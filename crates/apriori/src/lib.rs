@@ -1,0 +1,26 @@
+//! # sfa-apriori — the a priori baseline (Agrawal et al.)
+//!
+//! The comparison point of the paper's Fig. 4: classical level-wise
+//! frequent-itemset mining with support pruning. "The key observation is
+//! that if a set of attributes S appears in a fraction s of the tuples,
+//! then any subset of S also appears in a fraction s of the tuples" — so
+//! level `L_k` candidates are exactly the k-sets all of whose (k−1)-subsets
+//! survived `L_{k−1}`.
+//!
+//! * [`apriori`] — the level-wise algorithm over a row-major transaction
+//!   matrix: L1 by column counts, candidate generation by sorted prefix
+//!   join + subset pruning, support counting by transaction projection.
+//! * [`rules`] — association-rule generation (`X ⇒ Y` with support and
+//!   confidence) from the frequent itemsets.
+//! * [`pairs`] — the pair specialization used for the running-time
+//!   comparison: frequent pairs, their confidences, and their Jaccard
+//!   similarities, so the same output shape as the support-free schemes
+//!   can be compared directly.
+
+pub mod apriori;
+pub mod pairs;
+pub mod rules;
+
+pub use apriori::{frequent_itemsets, maximal_itemsets, FrequentItemset, LevelSummary};
+pub use pairs::{apriori_similar_pairs, AprioriPair};
+pub use rules::{generate_rules, AssociationRule};

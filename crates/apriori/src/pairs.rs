@@ -1,0 +1,144 @@
+//! The pair specialization used in the Fig. 4 comparison.
+//!
+//! To compare against the support-free schemes on equal terms, this module
+//! runs a priori to level 2 and converts the frequent pairs into the same
+//! similarity-scored shape the other algorithms emit. It can only see pairs
+//! whose *individual columns* clear the support threshold — which is
+//! precisely the limitation the paper's schemes remove.
+
+use sfa_matrix::RowMajorMatrix;
+
+use crate::apriori::frequent_itemsets;
+
+/// A frequent pair with its support, confidences and Jaccard similarity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AprioriPair {
+    /// Smaller column id.
+    pub i: u32,
+    /// Larger column id.
+    pub j: u32,
+    /// `|C_i ∩ C_j|`.
+    pub support: u32,
+    /// `Conf(c_i ⇒ c_j)`.
+    pub conf_ij: f64,
+    /// `Conf(c_j ⇒ c_i)`.
+    pub conf_ji: f64,
+    /// `S(c_i, c_j)`.
+    pub similarity: f64,
+}
+
+/// Mines all pairs whose *pair* support clears `min_support` (both columns
+/// necessarily do too) and whose similarity is at least `s_star`.
+///
+/// Returned sorted by descending similarity.
+#[must_use]
+pub fn apriori_similar_pairs(
+    matrix: &RowMajorMatrix,
+    min_support: u32,
+    s_star: f64,
+) -> Vec<AprioriPair> {
+    let counts = matrix.column_counts();
+    let (sets, _) = frequent_itemsets(matrix, min_support, 2);
+    let mut out = Vec::new();
+    for f in sets.iter().filter(|f| f.items.len() == 2) {
+        let (i, j) = (f.items[0], f.items[1]);
+        let (ci, cj) = (counts[i as usize], counts[j as usize]);
+        let inter = f.support;
+        let union = ci + cj - inter;
+        let similarity = if union == 0 {
+            0.0
+        } else {
+            f64::from(inter) / f64::from(union)
+        };
+        if similarity >= s_star {
+            out.push(AprioriPair {
+                i,
+                j,
+                support: inter,
+                conf_ij: f64::from(inter) / f64::from(ci),
+                conf_ji: f64::from(inter) / f64::from(cj),
+                similarity,
+            });
+        }
+    }
+    out.sort_by(|a, b| {
+        b.similarity
+            .partial_cmp(&a.similarity)
+            .expect("finite")
+            .then(a.i.cmp(&b.i))
+            .then(a.j.cmp(&b.j))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> RowMajorMatrix {
+        let mut rows = Vec::new();
+        // Columns 0, 1: identical, support 10 each — apriori finds them.
+        for _ in 0..10 {
+            rows.push(vec![0, 1]);
+        }
+        // Columns 2, 3: identical but support 2 — below threshold 5.
+        rows.push(vec![2, 3]);
+        rows.push(vec![2, 3]);
+        // Column 4: frequent but similar to nothing.
+        for _ in 0..12 {
+            rows.push(vec![4]);
+        }
+        RowMajorMatrix::from_rows(5, rows).unwrap()
+    }
+
+    #[test]
+    fn finds_high_support_similar_pair() {
+        let pairs = apriori_similar_pairs(&matrix(), 5, 0.8);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!((pairs[0].i, pairs[0].j), (0, 1));
+        assert_eq!(pairs[0].similarity, 1.0);
+        assert_eq!(pairs[0].support, 10);
+        assert_eq!(pairs[0].conf_ij, 1.0);
+    }
+
+    #[test]
+    fn misses_low_support_pair_by_design() {
+        // The paper's core point: a priori is blind to the rare pair.
+        let pairs = apriori_similar_pairs(&matrix(), 5, 0.8);
+        assert!(!pairs.iter().any(|p| (p.i, p.j) == (2, 3)));
+        // Lowering the support threshold recovers it.
+        let pairs = apriori_similar_pairs(&matrix(), 2, 0.8);
+        assert!(pairs.iter().any(|p| (p.i, p.j) == (2, 3)));
+    }
+
+    #[test]
+    fn similarity_threshold_filters() {
+        let mut rows = vec![vec![0, 1]; 5];
+        rows.extend(vec![vec![0]; 5]);
+        rows.extend(vec![vec![1]; 5]);
+        let m = RowMajorMatrix::from_rows(2, rows).unwrap();
+        // S(0,1) = 5/15 = 1/3.
+        assert_eq!(apriori_similar_pairs(&m, 2, 0.5).len(), 0);
+        let found = apriori_similar_pairs(&m, 2, 0.3);
+        assert_eq!(found.len(), 1);
+        assert!((found[0].similarity - 1.0 / 3.0).abs() < 1e-12);
+        assert!((found[0].conf_ij - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn output_sorted_by_similarity() {
+        let mut rows = Vec::new();
+        for _ in 0..8 {
+            rows.push(vec![0, 1]);
+        }
+        for _ in 0..4 {
+            rows.push(vec![2, 3]);
+        }
+        for _ in 0..4 {
+            rows.push(vec![2]);
+        }
+        let m = RowMajorMatrix::from_rows(4, rows).unwrap();
+        let pairs = apriori_similar_pairs(&m, 2, 0.1);
+        assert!(pairs.windows(2).all(|w| w[0].similarity >= w[1].similarity));
+    }
+}

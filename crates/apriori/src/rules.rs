@@ -1,0 +1,164 @@
+//! Association-rule generation from frequent itemsets.
+//!
+//! A rule `X ⇒ Y` (X, Y disjoint, X ∪ Y frequent) is valid when
+//! `support(X ∪ Y)/n ≥ s` and `support(X ∪ Y)/support(X) ≥ c` — the
+//! original Agrawal et al. definition the paper's introduction quotes.
+
+use sfa_hash::bucket::FastHashMap;
+
+use crate::apriori::FrequentItemset;
+
+/// An association rule with its measured support and confidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssociationRule {
+    /// Antecedent item ids (ascending).
+    pub antecedent: Vec<u32>,
+    /// Consequent item ids (ascending).
+    pub consequent: Vec<u32>,
+    /// Support count of antecedent ∪ consequent.
+    pub support: u32,
+    /// Confidence `support(X ∪ Y) / support(X)`.
+    pub confidence: f64,
+}
+
+/// Generates all rules with confidence at least `min_confidence` from the
+/// given frequent itemsets (which must include all their subsets, as
+/// [`frequent_itemsets`](crate::apriori::frequent_itemsets) guarantees).
+///
+/// Only itemsets of size ≥ 2 yield rules; every non-trivial bipartition is
+/// considered.
+#[must_use]
+pub fn generate_rules(
+    itemsets: &[FrequentItemset],
+    min_confidence: f64,
+) -> Vec<AssociationRule> {
+    let support_of: FastHashMap<&[u32], u32> = itemsets
+        .iter()
+        .map(|f| (f.items.as_slice(), f.support))
+        .collect();
+    let mut out = Vec::new();
+    for f in itemsets.iter().filter(|f| f.items.len() >= 2) {
+        let n = f.items.len();
+        // Enumerate antecedents by bitmask (itemsets are small).
+        for mask in 1..(1u32 << n) - 1 {
+            let mut antecedent = Vec::new();
+            let mut consequent = Vec::new();
+            for (b, &item) in f.items.iter().enumerate() {
+                if mask & (1 << b) != 0 {
+                    antecedent.push(item);
+                } else {
+                    consequent.push(item);
+                }
+            }
+            let Some(&sup_x) = support_of.get(antecedent.as_slice()) else {
+                continue; // subset missing (caller filtered itemsets)
+            };
+            let confidence = f64::from(f.support) / f64::from(sup_x);
+            if confidence >= min_confidence {
+                out.push(AssociationRule {
+                    antecedent,
+                    consequent,
+                    support: f.support,
+                    confidence,
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        b.confidence
+            .partial_cmp(&a.confidence)
+            .expect("finite")
+            .then(a.antecedent.cmp(&b.antecedent))
+            .then(a.consequent.cmp(&b.consequent))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::frequent_itemsets;
+    use sfa_matrix::RowMajorMatrix;
+
+    fn matrix() -> RowMajorMatrix {
+        RowMajorMatrix::from_rows(
+            3,
+            vec![
+                vec![0, 1],
+                vec![0, 1],
+                vec![0, 1, 2],
+                vec![0, 2],
+                vec![0],
+                vec![1],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rule_confidences_are_exact() {
+        let m = matrix();
+        let (sets, _) = frequent_itemsets(&m, 2, usize::MAX);
+        let rules = generate_rules(&sets, 0.0);
+        // {0,1} support 3, {0} support 5, {1} support 4.
+        let r01 = rules
+            .iter()
+            .find(|r| r.antecedent == vec![0] && r.consequent == vec![1])
+            .expect("0 => 1");
+        assert!((r01.confidence - 3.0 / 5.0).abs() < 1e-12);
+        let r10 = rules
+            .iter()
+            .find(|r| r.antecedent == vec![1] && r.consequent == vec![0])
+            .expect("1 => 0");
+        assert!((r10.confidence - 3.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_filters_rules() {
+        let m = matrix();
+        let (sets, _) = frequent_itemsets(&m, 2, usize::MAX);
+        let rules = generate_rules(&sets, 0.7);
+        assert!(rules.iter().all(|r| r.confidence >= 0.7));
+        assert!(rules
+            .iter()
+            .any(|r| r.antecedent == vec![1] && r.consequent == vec![0]));
+        assert!(!rules
+            .iter()
+            .any(|r| r.antecedent == vec![0] && r.consequent == vec![1]));
+    }
+
+    #[test]
+    fn multi_item_rules_are_generated() {
+        let m = RowMajorMatrix::from_rows(
+            3,
+            vec![vec![0, 1, 2], vec![0, 1, 2], vec![0, 1], vec![2]],
+        )
+        .unwrap();
+        let (sets, _) = frequent_itemsets(&m, 2, usize::MAX);
+        let rules = generate_rules(&sets, 0.5);
+        // {0,1} ⇒ {2} has confidence 2/3.
+        let r = rules
+            .iter()
+            .find(|r| r.antecedent == vec![0, 1] && r.consequent == vec![2])
+            .expect("compound rule");
+        assert!((r.confidence - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rules_sorted_by_confidence() {
+        let m = matrix();
+        let (sets, _) = frequent_itemsets(&m, 2, usize::MAX);
+        let rules = generate_rules(&sets, 0.0);
+        for w in rules.windows(2) {
+            assert!(w[0].confidence >= w[1].confidence - 1e-12);
+        }
+    }
+
+    #[test]
+    fn no_rules_from_singletons() {
+        let m = RowMajorMatrix::from_rows(2, vec![vec![0], vec![1]]).unwrap();
+        let (sets, _) = frequent_itemsets(&m, 1, usize::MAX);
+        // Only singleton frequent sets (pair {0,1} has support 0).
+        assert!(generate_rules(&sets, 0.0).is_empty());
+    }
+}

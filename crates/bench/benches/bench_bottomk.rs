@@ -1,0 +1,39 @@
+//! Bottom-k maintenance ablation: the paper's `O(log k)` heap structure vs
+//! the naive collect-then-sort approach, per column of hash values.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfa_hash::{BottomK, SeedSequence};
+
+const STREAM: usize = 100_000;
+
+fn bottom_k(c: &mut Criterion) {
+    let values: Vec<u64> = SeedSequence::new(42).take(STREAM).collect();
+    let mut group = c.benchmark_group("bottom_k_100k_values");
+    group.sample_size(20);
+    for &k in &[16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("heap", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut t = BottomK::new(k);
+                for &v in &values {
+                    if t.would_admit(v) {
+                        t.insert(v);
+                    }
+                }
+                t.into_sorted_vec()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sort_all", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut all = values.clone();
+                all.sort_unstable();
+                all.dedup();
+                all.truncate(k);
+                all
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bottom_k);
+criterion_main!(benches);

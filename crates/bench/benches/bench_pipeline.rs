@@ -1,0 +1,55 @@
+//! End-to-end pipeline per scheme, plus the a priori baseline — the Fig. 4
+//! running-time table as a repeatable benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sfa_apriori::apriori_similar_pairs;
+use sfa_bench::bench_weblog;
+use sfa_core::{Pipeline, PipelineConfig, Scheme};
+use sfa_matrix::MemoryRowStream;
+
+fn pipeline(c: &mut Criterion) {
+    let (_, rows) = bench_weblog();
+    let s_star = 0.5;
+    let schemes = [
+        ("mh_k100", Scheme::Mh { k: 100, delta: 0.2 }),
+        ("mh_rowsort_k100", Scheme::MhRowSort { k: 100, delta: 0.2 }),
+        ("kmh_k100", Scheme::Kmh { k: 100, delta: 0.2 }),
+        (
+            "mlsh_r5_l20",
+            Scheme::MLsh {
+                k: 100,
+                r: 5,
+                l: 20,
+                sampled: false,
+            },
+        ),
+        (
+            "hlsh_r16_l4",
+            Scheme::HLsh {
+                r: 16,
+                l: 4,
+                t: 4,
+                max_levels: 16,
+            },
+        ),
+    ];
+    let mut group = c.benchmark_group("pipeline_end_to_end");
+    group.sample_size(10);
+    for (name, scheme) in schemes {
+        group.bench_function(name, |b| {
+            let cfg = PipelineConfig::new(scheme, s_star, 9);
+            b.iter(|| {
+                Pipeline::new(cfg)
+                    .run(&mut MemoryRowStream::new(&rows))
+                    .unwrap()
+            });
+        });
+    }
+    group.bench_function("apriori_baseline_sup10", |b| {
+        b.iter(|| apriori_similar_pairs(&rows, 10, s_star));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, pipeline);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Signature-phase cost: MH (linear in k) vs K-MH (sublinear on sparse
+//! data) — the Fig. 5b / Fig. 6b claims — plus the parallel MH option.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfa_bench::bench_weblog;
+use sfa_matrix::MemoryRowStream;
+use sfa_minhash::{compute_bottom_k, compute_signatures, mh::compute_signatures_parallel};
+
+fn signatures(c: &mut Criterion) {
+    let (_, rows) = bench_weblog();
+    let mut group = c.benchmark_group("signatures");
+    group.sample_size(10);
+    for &k in &[50usize, 100, 200, 400] {
+        group.bench_with_input(BenchmarkId::new("mh", k), &k, |b, &k| {
+            b.iter(|| compute_signatures(&mut MemoryRowStream::new(&rows), k, 7).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("kmh", k), &k, |b, &k| {
+            b.iter(|| compute_bottom_k(&mut MemoryRowStream::new(&rows), k, 7).unwrap());
+        });
+    }
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("mh_parallel_k200", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| compute_signatures_parallel(&rows, 200, 7, threads));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, signatures);
+criterion_main!(benches);

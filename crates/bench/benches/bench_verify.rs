@@ -1,0 +1,53 @@
+//! Phase-3 verification ablation: sequential single-pass vs parallel vs
+//! bounded-memory chunked passes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfa_bench::bench_weblog;
+use sfa_core::verify::{verify_candidates, verify_candidates_chunked, verify_candidates_parallel};
+use sfa_core::{Pipeline, PipelineConfig, Scheme};
+use sfa_matrix::MemoryRowStream;
+
+fn verification(c: &mut Criterion) {
+    let (_, rows) = bench_weblog();
+    // A realistic candidate load: the M-LSH candidates at a loose cutoff.
+    let cfg = PipelineConfig::new(
+        Scheme::MLsh {
+            k: 60,
+            r: 3,
+            l: 20,
+            sampled: false,
+        },
+        0.3,
+        7,
+    );
+    let (candidates, _) = Pipeline::new(cfg)
+        .generate_candidates(&mut MemoryRowStream::new(&rows))
+        .unwrap();
+
+    let mut group = c.benchmark_group("verification");
+    group.sample_size(20);
+    group.bench_function("sequential", |b| {
+        b.iter(|| verify_candidates(&mut MemoryRowStream::new(&rows), &candidates).unwrap());
+    });
+    for &threads in &[2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| verify_candidates_parallel(&rows, &candidates, threads));
+            },
+        );
+    }
+    for &chunk in &[64usize, 512] {
+        group.bench_with_input(BenchmarkId::new("chunked", chunk), &chunk, |b, &chunk| {
+            b.iter(|| {
+                verify_candidates_chunked(&mut MemoryRowStream::new(&rows), &candidates, chunk)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, verification);
+criterion_main!(benches);

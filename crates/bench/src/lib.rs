@@ -1,0 +1,26 @@
+//! # sfa-bench — criterion benchmarks
+//!
+//! One bench target per performance claim / design choice:
+//!
+//! * `bench_signatures` — MH vs K-MH signature cost as `k` grows (the
+//!   Fig. 5b linear vs Fig. 6b sublinear claim), plus parallel MH.
+//! * `bench_candidates` — Row-Sorting vs Hash-Count candidate generation
+//!   (the §3.1 alternatives).
+//! * `bench_hash` — hash-family ablation: mixing vs multiply-shift vs
+//!   tabulation.
+//! * `bench_bottomk` — heap-based bottom-k maintenance vs sort-at-the-end.
+//! * `bench_lsh` — M-LSH banded vs sampled; H-LSH ladder-depth and density
+//!   gate ablation.
+//! * `bench_pipeline` — end-to-end pipeline per scheme and the a priori
+//!   baseline (the Fig. 4 table as a benchmark).
+
+use sfa_datagen::{WeblogConfig, WeblogData};
+use sfa_matrix::RowMajorMatrix;
+
+/// The shared benchmark dataset: a small weblog-like matrix.
+#[must_use]
+pub fn bench_weblog() -> (WeblogData, RowMajorMatrix) {
+    let data = WeblogConfig::tiny(1234).generate();
+    let rows = data.matrix.transpose();
+    (data, rows)
+}

@@ -1,0 +1,199 @@
+//! Cluster extraction from similar-pair graphs.
+//!
+//! The paper (§2) observes that beyond pairs, "we also get clusters of
+//! words, i.e., groups of words for which most of the pairs in the group
+//! have high similarity", like the chess-event cluster. This module
+//! extracts them from a mined pair list:
+//!
+//! * [`connected_components`] — single-link clusters (any similarity edge
+//!   joins), via union–find;
+//! * [`dense_clusters`] — components filtered to those where at least a
+//!   `min_edge_fraction` of member pairs are actually edges, matching the
+//!   paper's "most of the pairs in the group" phrasing.
+
+use sfa_hash::bucket::FastHashMap;
+
+/// Union–find over column ids.
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: u32) -> Self {
+        Self {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra as usize] = rb;
+        }
+    }
+}
+
+/// Groups columns into single-link clusters from `(i, j)` similarity edges.
+///
+/// Only columns appearing in at least one edge are returned; clusters are
+/// sorted by decreasing size, members ascending. `n_cols` bounds the id
+/// space.
+///
+/// # Panics
+///
+/// Panics if an edge id is `>= n_cols`.
+#[must_use]
+pub fn connected_components(n_cols: u32, edges: &[(u32, u32)]) -> Vec<Vec<u32>> {
+    let mut uf = UnionFind::new(n_cols);
+    for &(a, b) in edges {
+        assert!(a < n_cols && b < n_cols, "edge id out of range");
+        uf.union(a, b);
+    }
+    let mut groups: FastHashMap<u32, Vec<u32>> = FastHashMap::default();
+    let mut touched: Vec<u32> = edges.iter().flat_map(|&(a, b)| [a, b]).collect();
+    touched.sort_unstable();
+    touched.dedup();
+    for col in touched {
+        groups.entry(uf.find(col)).or_default().push(col);
+    }
+    let mut out: Vec<Vec<u32>> = groups.into_values().collect();
+    for g in &mut out {
+        g.sort_unstable();
+    }
+    out.sort_by(|a, b| b.len().cmp(&a.len()).then(a[0].cmp(&b[0])));
+    out
+}
+
+/// Single-link components filtered to *dense* clusters: a component of
+/// `s` members qualifies when its edge count is at least
+/// `min_edge_fraction · s(s−1)/2` and it has at least `min_size` members.
+///
+/// With `min_edge_fraction = 1.0` this returns only similarity cliques.
+///
+/// # Panics
+///
+/// Panics if `min_edge_fraction` is outside `[0, 1]` or `min_size < 2`.
+#[must_use]
+pub fn dense_clusters(
+    n_cols: u32,
+    edges: &[(u32, u32)],
+    min_size: usize,
+    min_edge_fraction: f64,
+) -> Vec<Vec<u32>> {
+    assert!(
+        (0.0..=1.0).contains(&min_edge_fraction),
+        "fraction out of range"
+    );
+    assert!(min_size >= 2, "a cluster needs at least two members");
+    let components = connected_components(n_cols, edges);
+    // Count edges per component root via membership lookup.
+    let mut member_of: FastHashMap<u32, usize> = FastHashMap::default();
+    for (idx, comp) in components.iter().enumerate() {
+        for &c in comp {
+            member_of.insert(c, idx);
+        }
+    }
+    let mut edge_counts = vec![0usize; components.len()];
+    for &(a, _) in edges {
+        if let Some(&idx) = member_of.get(&a) {
+            edge_counts[idx] += 1;
+        }
+    }
+    components
+        .into_iter()
+        .enumerate()
+        .filter(|(idx, comp)| {
+            let s = comp.len();
+            if s < min_size {
+                return false;
+            }
+            let possible = s * (s - 1) / 2;
+            edge_counts[*idx] as f64 >= min_edge_fraction * possible as f64
+        })
+        .map(|(_, comp)| comp)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_group_transitively() {
+        // 0-1, 1-2 chain plus isolated edge 5-6.
+        let comps = connected_components(10, &[(0, 1), (1, 2), (5, 6)]);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![0, 1, 2]);
+        assert_eq!(comps[1], vec![5, 6]);
+    }
+
+    #[test]
+    fn untouched_columns_are_absent() {
+        let comps = connected_components(100, &[(3, 4)]);
+        assert_eq!(comps, vec![vec![3, 4]]);
+    }
+
+    #[test]
+    fn empty_edges_give_no_clusters() {
+        assert!(connected_components(5, &[]).is_empty());
+    }
+
+    #[test]
+    fn components_sorted_by_size() {
+        let comps = connected_components(10, &[(0, 1), (2, 3), (3, 4), (4, 2)]);
+        assert_eq!(comps[0], vec![2, 3, 4]);
+        assert_eq!(comps[1], vec![0, 1]);
+    }
+
+    #[test]
+    fn dense_clusters_require_edge_fraction() {
+        // A 4-clique (6 edges) and a 4-chain (3 edges).
+        let clique = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        let chain = [(5, 6), (6, 7), (7, 8)];
+        let edges: Vec<(u32, u32)> = clique.iter().chain(chain.iter()).copied().collect();
+        let dense = dense_clusters(10, &edges, 3, 0.9);
+        assert_eq!(dense.len(), 1);
+        assert_eq!(dense[0], vec![0, 1, 2, 3]);
+        // Relaxing the fraction admits the chain too.
+        let loose = dense_clusters(10, &edges, 3, 0.4);
+        assert_eq!(loose.len(), 2);
+    }
+
+    #[test]
+    fn min_size_filters_pairs() {
+        let dense = dense_clusters(10, &[(0, 1)], 3, 0.0);
+        assert!(dense.is_empty());
+        let pairs_ok = dense_clusters(10, &[(0, 1)], 2, 1.0);
+        assert_eq!(pairs_ok, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge id out of range")]
+    fn out_of_range_edge_panics() {
+        let _ = connected_components(3, &[(0, 5)]);
+    }
+
+    #[test]
+    fn long_chain_compresses_paths() {
+        let edges: Vec<(u32, u32)> = (0..99).map(|i| (i, i + 1)).collect();
+        let comps = connected_components(100, &edges);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 100);
+    }
+}

@@ -1,0 +1,44 @@
+//! # sfa-core — the three-phase support-free association pipeline
+//!
+//! The paper's algorithms all share one skeleton: "compute signatures,
+//! generate candidates, and prune candidates. … The last phase is identical
+//! in all our algorithms: while scanning the table data, maintain for each
+//! candidate column-pair `(c_i, c_j)` the counts of the number of rows
+//! having a 1 in at least one of the two columns and also the number of
+//! rows having a 1 in both columns."
+//!
+//! * [`config`] — which scheme to run (MH, K-MH, M-LSH, H-LSH) and with
+//!   what parameters.
+//! * [`pipeline`] — the driver: phase 1 + 2 per scheme, then the exact
+//!   verification pass. Because phase 3 is exact, the pipeline's output
+//!   contains **no false positives**; quality is entirely a matter of
+//!   false negatives, which is how the paper frames its §5 comparison.
+//! * [`verify`] — the phase-3 counting pass over a [`RowStream`].
+//! * [`report`] — result and timing types.
+//! * [`quality`] — S-curves and false-positive/negative accounting against
+//!   exact ground truth (the §5.1 evaluation methodology).
+//! * [`confidence`] — the §6 extension: high-confidence rules without
+//!   support, from the same signatures.
+//! * [`boolean`] — the §7 extensions: OR-composition of signatures, AND
+//!   implications via cardinality, and (support-floored) anticorrelation.
+//! * [`cluster`] — single-link and dense cluster extraction from the mined
+//!   pair graph (the paper's §2 "clusters of words").
+//! * [`streaming`] — an online miner over an append-only table: push rows
+//!   as they arrive, mine (with exact verification) at any moment.
+//!
+//! [`RowStream`]: sfa_matrix::RowStream
+
+pub mod boolean;
+pub mod cluster;
+pub mod config;
+pub mod confidence;
+pub mod pipeline;
+pub mod quality;
+pub mod report;
+pub mod streaming;
+pub mod verify;
+
+pub use config::{PipelineConfig, Scheme};
+pub use pipeline::Pipeline;
+pub use quality::{evaluate_quality, QualityReport, SCurveBin};
+pub use report::{MiningResult, PhaseTimings, VerifiedPair};

@@ -1,0 +1,410 @@
+//! The pipeline driver: signatures → candidates → exact verification.
+
+use std::time::Instant;
+
+use sfa_lsh::{hlsh_candidates, mlsh_candidates, HLshParams, MLshParams};
+use sfa_matrix::{Result, RowMajorMatrix, RowStream};
+use sfa_minhash::hashcount::{kmh_candidates, mh_candidates};
+use sfa_minhash::rowsort::rowsort_candidates;
+use sfa_minhash::mh::compute_signatures_parallel;
+use sfa_minhash::{compute_bottom_k, compute_signatures, CandidatePair};
+
+use crate::config::{PipelineConfig, Scheme};
+use crate::report::{MiningResult, PhaseTimings};
+use crate::verify::verify_candidates;
+
+/// Seed-derivation labels, so each pipeline component gets an independent
+/// stream from the one root seed.
+mod purpose {
+    pub const SIGNATURES: u64 = 1;
+    pub const LSH: u64 = 2;
+}
+
+/// Runs the configured scheme end to end over a row stream.
+///
+/// # Examples
+///
+/// ```
+/// use sfa_core::{Pipeline, PipelineConfig, Scheme};
+/// use sfa_matrix::{MemoryRowStream, RowMajorMatrix};
+///
+/// let m = RowMajorMatrix::from_rows(2, vec![vec![0, 1]; 12]).unwrap();
+/// let cfg = PipelineConfig::new(Scheme::Mh { k: 32, delta: 0.2 }, 0.8, 7);
+/// let result = Pipeline::new(cfg)
+///     .run(&mut MemoryRowStream::new(&m))
+///     .unwrap();
+/// let pairs = result.similar_pairs();
+/// assert_eq!(pairs.len(), 1);
+/// assert_eq!((pairs[0].i, pairs[0].j), (0, 1));
+/// assert_eq!(pairs[0].similarity, 1.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Pipeline {
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Wraps a configuration.
+    #[must_use]
+    pub const fn new(config: PipelineConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub const fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Phases 1 + 2 only: produce the candidate pairs and the time spent
+    /// in each phase. Exposed separately for experiments that measure the
+    /// candidate set itself.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream errors.
+    pub fn generate_candidates<S: RowStream>(
+        &self,
+        stream: &mut S,
+    ) -> Result<(Vec<CandidatePair>, PhaseTimings)> {
+        let cfg = &self.config;
+        let sig_seed = sfa_hash::family::derive_seed(cfg.seed, purpose::SIGNATURES);
+        let lsh_seed = sfa_hash::family::derive_seed(cfg.seed, purpose::LSH);
+        let mut timings = PhaseTimings::default();
+        let candidates = match cfg.scheme {
+            Scheme::Mh { k, delta } => {
+                let t = Instant::now();
+                let sigs = compute_signatures(stream, k, sig_seed)?;
+                timings.signatures = t.elapsed();
+                let t = Instant::now();
+                let cands = mh_candidates(&sigs, cfg.s_star, delta);
+                timings.candidates = t.elapsed();
+                cands
+            }
+            Scheme::MhRowSort { k, delta } => {
+                let t = Instant::now();
+                let sigs = compute_signatures(stream, k, sig_seed)?;
+                timings.signatures = t.elapsed();
+                let t = Instant::now();
+                let cands = rowsort_candidates(&sigs, cfg.s_star, delta);
+                timings.candidates = t.elapsed();
+                cands
+            }
+            Scheme::Kmh { k, delta } => {
+                let t = Instant::now();
+                let sigs = compute_bottom_k(stream, k, sig_seed)?;
+                timings.signatures = t.elapsed();
+                let t = Instant::now();
+                let cands = kmh_candidates(&sigs, cfg.s_star, delta);
+                timings.candidates = t.elapsed();
+                cands
+            }
+            Scheme::MLsh { k, r, l, sampled } => {
+                let t = Instant::now();
+                let sigs = compute_signatures(stream, k, sig_seed)?;
+                timings.signatures = t.elapsed();
+                let t = Instant::now();
+                let params = if sampled {
+                    MLshParams::sampled(r, l, lsh_seed)
+                } else {
+                    MLshParams::banded(r, l, lsh_seed)
+                };
+                let cands = mlsh_candidates(&sigs, &params);
+                timings.candidates = t.elapsed();
+                cands
+            }
+            Scheme::HLsh {
+                r,
+                l,
+                t: gate,
+                max_levels,
+            } => {
+                // H-LSH "works directly on the data": materialize M_0 from
+                // the stream (phase 1), then ladder + runs (phase 2).
+                let t = Instant::now();
+                let matrix = materialize(stream)?;
+                timings.signatures = t.elapsed();
+                let t = Instant::now();
+                let params = HLshParams {
+                    r,
+                    l,
+                    t: gate,
+                    max_levels,
+                    include_zero_keys: false,
+                    seed: lsh_seed,
+                };
+                let cands = hlsh_candidates(&matrix, &params);
+                timings.candidates = t.elapsed();
+                cands
+            }
+        };
+        Ok((candidates, timings))
+    }
+
+    /// Runs the full three-phase pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream errors.
+    pub fn run<S: RowStream>(&self, stream: &mut S) -> Result<MiningResult> {
+        let (candidates, mut timings) = self.generate_candidates(stream)?;
+        stream.reset()?;
+        let t = Instant::now();
+        let (verified, column_counts) = verify_candidates(stream, &candidates)?;
+        timings.verify = t.elapsed();
+        Ok(MiningResult {
+            config: self.config,
+            verified,
+            column_counts,
+            timings,
+        })
+    }
+}
+
+impl Pipeline {
+    /// Parallel in-memory run: signature computation and verification are
+    /// partitioned across `n_threads` workers (candidate generation stays
+    /// sequential — it is sketch-sized). Output is identical to
+    /// [`run`](Self::run) for the MH and K-MH schemes; LSH schemes fall
+    /// back to the sequential path (their candidate phase dominates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_threads == 0`.
+    #[must_use]
+    pub fn run_parallel(&self, matrix: &RowMajorMatrix, n_threads: usize) -> MiningResult {
+        assert!(n_threads > 0, "need at least one thread");
+        let cfg = &self.config;
+        let sig_seed = sfa_hash::family::derive_seed(cfg.seed, purpose::SIGNATURES);
+        let mut timings = PhaseTimings::default();
+        let candidates = match cfg.scheme {
+            Scheme::Mh { k, delta } => {
+                let t = Instant::now();
+                let sigs = compute_signatures_parallel(matrix, k, sig_seed, n_threads);
+                timings.signatures = t.elapsed();
+                let t = Instant::now();
+                let cands = mh_candidates(&sigs, cfg.s_star, delta);
+                timings.candidates = t.elapsed();
+                cands
+            }
+            Scheme::Kmh { k, delta } => {
+                let t = Instant::now();
+                let sigs = sfa_minhash::compute_bottom_k_parallel(matrix, k, sig_seed, n_threads);
+                timings.signatures = t.elapsed();
+                let t = Instant::now();
+                let cands = kmh_candidates(&sigs, cfg.s_star, delta);
+                timings.candidates = t.elapsed();
+                cands
+            }
+            _ => {
+                let mut stream = sfa_matrix::MemoryRowStream::new(matrix);
+                return self.run(&mut stream).expect("memory stream cannot fail");
+            }
+        };
+        let t = Instant::now();
+        let (verified, column_counts) =
+            crate::verify::verify_candidates_parallel(matrix, &candidates, n_threads);
+        timings.verify = t.elapsed();
+        MiningResult {
+            config: self.config,
+            verified,
+            column_counts,
+            timings,
+        }
+    }
+}
+
+/// Reads a whole stream into a row-major matrix (used by H-LSH).
+fn materialize<S: RowStream>(stream: &mut S) -> Result<RowMajorMatrix> {
+    let n_cols = stream.n_cols();
+    let mut rows = Vec::with_capacity(stream.n_rows() as usize);
+    let mut buf = Vec::new();
+    while stream.read_row(&mut buf)?.is_some() {
+        rows.push(buf.clone());
+    }
+    RowMajorMatrix::from_rows(n_cols, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfa_matrix::MemoryRowStream;
+
+    /// 0–1 identical (S = 1), 2–3 at S = 0.5, others noise.
+    fn matrix() -> RowMajorMatrix {
+        let mut rows = Vec::new();
+        for _ in 0..30 {
+            rows.push(vec![0, 1]);
+        }
+        for _ in 0..10 {
+            rows.push(vec![2, 3]);
+        }
+        for _ in 0..5 {
+            rows.push(vec![2]);
+            rows.push(vec![3]);
+        }
+        for i in 0..20u32 {
+            rows.push(vec![4 + (i % 3)]);
+        }
+        RowMajorMatrix::from_rows(7, rows).unwrap()
+    }
+
+    fn all_schemes() -> Vec<Scheme> {
+        vec![
+            Scheme::Mh { k: 100, delta: 0.2 },
+            Scheme::MhRowSort { k: 100, delta: 0.2 },
+            Scheme::Kmh { k: 24, delta: 0.2 },
+            Scheme::MLsh {
+                k: 100,
+                r: 5,
+                l: 20,
+                sampled: false,
+            },
+            Scheme::MLsh {
+                k: 40,
+                r: 5,
+                l: 20,
+                sampled: true,
+            },
+            Scheme::HLsh {
+                r: 8,
+                l: 8,
+                t: 4,
+                max_levels: 12,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_scheme_finds_the_identical_pair() {
+        let m = matrix();
+        for scheme in all_schemes() {
+            let cfg = PipelineConfig::new(scheme, 0.9, 11);
+            let result = Pipeline::new(cfg)
+                .run(&mut MemoryRowStream::new(&m))
+                .unwrap();
+            let pairs = result.similar_pairs();
+            assert!(
+                pairs.iter().any(|p| (p.i, p.j) == (0, 1)),
+                "{} missed the identical pair",
+                scheme.name()
+            );
+        }
+    }
+
+    #[test]
+    fn no_false_positives_survive_verification() {
+        let m = matrix();
+        let csc = m.transpose();
+        for scheme in all_schemes() {
+            let cfg = PipelineConfig::new(scheme, 0.9, 5);
+            let result = Pipeline::new(cfg)
+                .run(&mut MemoryRowStream::new(&m))
+                .unwrap();
+            for p in result.similar_pairs() {
+                let exact = csc.similarity(p.i, p.j);
+                assert!(
+                    exact >= 0.9,
+                    "{}: output pair ({}, {}) has exact similarity {exact}",
+                    scheme.name(),
+                    p.i,
+                    p.j
+                );
+                assert!((p.similarity - exact).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn mh_and_rowsort_agree() {
+        let m = matrix();
+        let a = Pipeline::new(PipelineConfig::new(
+            Scheme::Mh { k: 64, delta: 0.2 },
+            0.8,
+            3,
+        ))
+        .run(&mut MemoryRowStream::new(&m))
+        .unwrap();
+        let b = Pipeline::new(PipelineConfig::new(
+            Scheme::MhRowSort { k: 64, delta: 0.2 },
+            0.8,
+            3,
+        ))
+        .run(&mut MemoryRowStream::new(&m))
+        .unwrap();
+        assert_eq!(a.verified, b.verified);
+    }
+
+    #[test]
+    fn pipeline_uses_exactly_two_passes() {
+        let m = matrix();
+        let mut counter = sfa_matrix::stream::PassCounter::new(MemoryRowStream::new(&m));
+        let cfg = PipelineConfig::new(Scheme::Mh { k: 16, delta: 0.2 }, 0.8, 1);
+        let _ = Pipeline::new(cfg).run(&mut counter).unwrap();
+        assert_eq!(counter.passes(), 2, "signature pass + verify pass");
+    }
+
+    #[test]
+    fn moderate_pair_respects_threshold() {
+        let m = matrix();
+        // S(2, 3) = 10/20 = 0.5: present at s* = 0.4, absent at s* = 0.7.
+        let low = Pipeline::new(PipelineConfig::new(
+            Scheme::Mh { k: 200, delta: 0.3 },
+            0.4,
+            9,
+        ))
+        .run(&mut MemoryRowStream::new(&m))
+        .unwrap();
+        assert!(low.similar_pairs().iter().any(|p| (p.i, p.j) == (2, 3)));
+        let high = Pipeline::new(PipelineConfig::new(
+            Scheme::Mh { k: 200, delta: 0.3 },
+            0.7,
+            9,
+        ))
+        .run(&mut MemoryRowStream::new(&m))
+        .unwrap();
+        assert!(!high.similar_pairs().iter().any(|p| (p.i, p.j) == (2, 3)));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let m = matrix();
+        let cfg = PipelineConfig::new(Scheme::Kmh { k: 16, delta: 0.2 }, 0.8, 42);
+        let a = Pipeline::new(cfg).run(&mut MemoryRowStream::new(&m)).unwrap();
+        let b = Pipeline::new(cfg).run(&mut MemoryRowStream::new(&m)).unwrap();
+        assert_eq!(a.verified, b.verified);
+    }
+
+    #[test]
+    fn run_parallel_matches_run() {
+        let m = matrix();
+        for scheme in [
+            Scheme::Mh { k: 64, delta: 0.2 },
+            Scheme::Kmh { k: 16, delta: 0.2 },
+            Scheme::MLsh {
+                k: 60,
+                r: 5,
+                l: 12,
+                sampled: false,
+            },
+        ] {
+            let cfg = PipelineConfig::new(scheme, 0.8, 17);
+            let seq = Pipeline::new(cfg)
+                .run(&mut MemoryRowStream::new(&m))
+                .unwrap();
+            for threads in [1, 3] {
+                let par = Pipeline::new(cfg).run_parallel(&m, threads);
+                assert_eq!(par.verified, seq.verified, "{} x{threads}", scheme.name());
+                assert_eq!(par.column_counts, seq.column_counts);
+            }
+        }
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let m = matrix();
+        let cfg = PipelineConfig::new(Scheme::Mh { k: 64, delta: 0.2 }, 0.8, 1);
+        let r = Pipeline::new(cfg).run(&mut MemoryRowStream::new(&m)).unwrap();
+        assert!(r.timings.total() > std::time::Duration::ZERO);
+    }
+}

@@ -1,0 +1,370 @@
+//! Phase 3: exact candidate verification in one streaming pass.
+//!
+//! "While scanning the table data, maintain for each candidate column-pair
+//! `(c_i, c_j)` the counts of the number of rows having a 1 in at least one
+//! of the two columns and also the number of rows having a 1 in both
+//! columns." We count intersections directly and column cardinalities for
+//! the union via `|C_i ∪ C_j| = |C_i| + |C_j| − |C_i ∩ C_j|`.
+
+use sfa_matrix::{Result, RowStream};
+use sfa_minhash::CandidatePair;
+
+use crate::report::VerifiedPair;
+
+/// Verifies candidates in one pass over `stream`; returns the verified
+/// pairs (all of them, including those that turn out dissimilar) sorted by
+/// `(i, j)`, plus the exact column counts of the touched columns.
+///
+/// The pass costs, per row, the row's 1-entries plus, for each entry whose
+/// column participates in a candidate, a probe per partner column.
+///
+/// # Errors
+///
+/// Propagates stream errors.
+pub fn verify_candidates<S: RowStream>(
+    stream: &mut S,
+    candidates: &[CandidatePair],
+) -> Result<(Vec<VerifiedPair>, Vec<u32>)> {
+    let m = stream.n_cols() as usize;
+    // Adjacency: for each column, the (partner, pair-index) list.
+    let mut partners: Vec<Vec<(u32, u32)>> = vec![Vec::new(); m];
+    for (idx, c) in candidates.iter().enumerate() {
+        partners[c.i as usize].push((c.j, idx as u32));
+        partners[c.j as usize].push((c.i, idx as u32));
+    }
+    let mut intersections = vec![0u32; candidates.len()];
+    let mut column_counts = vec![0u32; m];
+    let mut present = vec![false; m];
+    let mut buf = Vec::new();
+    while stream.read_row(&mut buf)?.is_some() {
+        for &col in &buf {
+            present[col as usize] = true;
+        }
+        for &col in &buf {
+            column_counts[col as usize] += 1;
+            // Probe partners once per pair: only from the smaller side.
+            for &(partner, idx) in &partners[col as usize] {
+                if partner > col && present[partner as usize] {
+                    intersections[idx as usize] += 1;
+                }
+            }
+        }
+        for &col in &buf {
+            present[col as usize] = false;
+        }
+    }
+    let mut verified: Vec<VerifiedPair> = candidates
+        .iter()
+        .zip(&intersections)
+        .map(|(c, &inter)| {
+            let ci = column_counts[c.i as usize];
+            let cj = column_counts[c.j as usize];
+            let union = ci + cj - inter;
+            VerifiedPair {
+                i: c.i,
+                j: c.j,
+                intersection: inter,
+                union,
+                similarity: if union == 0 {
+                    0.0
+                } else {
+                    f64::from(inter) / f64::from(union)
+                },
+                estimate: c.estimate,
+            }
+        })
+        .collect();
+    verified.sort_by_key(|p| (p.i, p.j));
+    Ok((verified, column_counts))
+}
+
+/// Bounded-memory verification: processes candidates in chunks of at most
+/// `chunk_size`, making one streaming pass per chunk.
+///
+/// The paper assumes "all of the candidates can fit in main memory"; when a
+/// loose scheme floods phase 3 with more pairs than memory allows, this
+/// variant trades extra sequential passes (`⌈candidates / chunk_size⌉`) for
+/// an `O(chunk_size + m)` memory bound.
+///
+/// Output is identical to [`verify_candidates`] (same order, same counts).
+///
+/// # Errors
+///
+/// Propagates stream errors.
+///
+/// # Panics
+///
+/// Panics if `chunk_size == 0`.
+pub fn verify_candidates_chunked<S: RowStream>(
+    stream: &mut S,
+    candidates: &[CandidatePair],
+    chunk_size: usize,
+) -> Result<(Vec<VerifiedPair>, Vec<u32>)> {
+    assert!(chunk_size > 0, "chunk size must be positive");
+    if candidates.len() <= chunk_size {
+        return verify_candidates(stream, candidates);
+    }
+    let mut verified = Vec::with_capacity(candidates.len());
+    let mut column_counts = vec![0u32; stream.n_cols() as usize];
+    for (idx, chunk) in candidates.chunks(chunk_size).enumerate() {
+        if idx > 0 {
+            stream.reset()?;
+        }
+        let (mut part, counts) = verify_candidates(stream, chunk)?;
+        verified.append(&mut part);
+        column_counts = counts;
+    }
+    verified.sort_by_key(|p| (p.i, p.j));
+    Ok((verified, column_counts))
+}
+
+/// Parallel verification over an in-memory matrix: rows are partitioned
+/// across `n_threads` workers, each counting intersections and column
+/// cardinalities for its row range; the partial counts sum exactly.
+///
+/// Output is identical to [`verify_candidates`].
+///
+/// # Panics
+///
+/// Panics if `n_threads == 0`.
+#[must_use]
+pub fn verify_candidates_parallel(
+    matrix: &sfa_matrix::RowMajorMatrix,
+    candidates: &[CandidatePair],
+    n_threads: usize,
+) -> (Vec<VerifiedPair>, Vec<u32>) {
+    assert!(n_threads > 0, "need at least one thread");
+    let n = matrix.n_rows();
+    let m = matrix.n_cols() as usize;
+    if n_threads == 1 || n < 2 {
+        let mut stream = sfa_matrix::MemoryRowStream::new(matrix);
+        return verify_candidates(&mut stream, candidates).expect("memory stream cannot fail");
+    }
+    let mut partners: Vec<Vec<(u32, u32)>> = vec![Vec::new(); m];
+    for (idx, c) in candidates.iter().enumerate() {
+        partners[c.i as usize].push((c.j, idx as u32));
+        partners[c.j as usize].push((c.i, idx as u32));
+    }
+    let partners = &partners;
+    let chunk = (n as usize).div_ceil(n_threads) as u32;
+    let partials = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..n_threads as u32 {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            if lo >= hi {
+                break;
+            }
+            handles.push(scope.spawn(move |_| {
+                let mut intersections = vec![0u32; candidates.len()];
+                let mut column_counts = vec![0u32; m];
+                let mut present = vec![false; m];
+                for row_id in lo..hi {
+                    let row = matrix.row(row_id);
+                    for &col in row {
+                        present[col as usize] = true;
+                    }
+                    for &col in row {
+                        column_counts[col as usize] += 1;
+                        for &(partner, idx) in &partners[col as usize] {
+                            if partner > col && present[partner as usize] {
+                                intersections[idx as usize] += 1;
+                            }
+                        }
+                    }
+                    for &col in row {
+                        present[col as usize] = false;
+                    }
+                }
+                (intersections, column_counts)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("scope panicked");
+
+    let mut intersections = vec![0u32; candidates.len()];
+    let mut column_counts = vec![0u32; m];
+    for (inter, counts) in partials {
+        for (acc, v) in intersections.iter_mut().zip(&inter) {
+            *acc += v;
+        }
+        for (acc, v) in column_counts.iter_mut().zip(&counts) {
+            *acc += v;
+        }
+    }
+    let mut verified: Vec<VerifiedPair> = candidates
+        .iter()
+        .zip(&intersections)
+        .map(|(c, &inter)| {
+            let ci = column_counts[c.i as usize];
+            let cj = column_counts[c.j as usize];
+            let union = ci + cj - inter;
+            VerifiedPair {
+                i: c.i,
+                j: c.j,
+                intersection: inter,
+                union,
+                similarity: if union == 0 {
+                    0.0
+                } else {
+                    f64::from(inter) / f64::from(union)
+                },
+                estimate: c.estimate,
+            }
+        })
+        .collect();
+    verified.sort_by_key(|p| (p.i, p.j));
+    (verified, column_counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfa_matrix::{MemoryRowStream, RowMajorMatrix};
+
+    fn matrix() -> RowMajorMatrix {
+        RowMajorMatrix::from_rows(
+            4,
+            vec![
+                vec![0, 1],
+                vec![0, 1],
+                vec![0, 2],
+                vec![1, 3],
+                vec![2, 3],
+                vec![3],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_counts_match_columns() {
+        let m = matrix();
+        let candidates = vec![
+            CandidatePair::new(0, 1, 0.9),
+            CandidatePair::new(2, 3, 0.5),
+            CandidatePair::new(0, 3, 0.1),
+        ];
+        let (verified, counts) =
+            verify_candidates(&mut MemoryRowStream::new(&m), &candidates).unwrap();
+        let csc = m.transpose();
+        assert_eq!(counts, vec![3, 3, 2, 3]);
+        for v in &verified {
+            assert_eq!(
+                v.intersection as usize,
+                csc.intersection_size(v.i, v.j),
+                "pair ({}, {})",
+                v.i,
+                v.j
+            );
+            assert!((v.similarity - csc.similarity(v.i, v.j)).abs() < 1e-12);
+            assert_eq!(
+                v.union as usize,
+                csc.column_count(v.i) + csc.column_count(v.j)
+                    - csc.intersection_size(v.i, v.j)
+            );
+        }
+    }
+
+    #[test]
+    fn estimates_are_preserved() {
+        let m = matrix();
+        let candidates = vec![CandidatePair::new(0, 1, 0.77)];
+        let (verified, _) =
+            verify_candidates(&mut MemoryRowStream::new(&m), &candidates).unwrap();
+        assert!((verified[0].estimate - 0.77).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_candidates_still_count_columns() {
+        let m = matrix();
+        let (verified, counts) =
+            verify_candidates(&mut MemoryRowStream::new(&m), &[]).unwrap();
+        assert!(verified.is_empty());
+        assert_eq!(counts.iter().sum::<u32>() as usize, m.nnz());
+    }
+
+    #[test]
+    fn single_pass_is_used() {
+        let m = matrix();
+        let mut counter = sfa_matrix::stream::PassCounter::new(MemoryRowStream::new(&m));
+        let _ = verify_candidates(&mut counter, &[CandidatePair::new(0, 1, 1.0)]).unwrap();
+        assert_eq!(counter.passes(), 1);
+    }
+
+    #[test]
+    fn chunked_matches_unchunked() {
+        let m = matrix();
+        let candidates = vec![
+            CandidatePair::new(0, 1, 0.9),
+            CandidatePair::new(0, 2, 0.4),
+            CandidatePair::new(0, 3, 0.1),
+            CandidatePair::new(1, 2, 0.2),
+            CandidatePair::new(2, 3, 0.5),
+        ];
+        let (full, counts_full) =
+            verify_candidates(&mut MemoryRowStream::new(&m), &candidates).unwrap();
+        for chunk_size in [1, 2, 3, 5, 100] {
+            let (chunked, counts) = verify_candidates_chunked(
+                &mut MemoryRowStream::new(&m),
+                &candidates,
+                chunk_size,
+            )
+            .unwrap();
+            assert_eq!(chunked, full, "chunk_size {chunk_size}");
+            assert_eq!(counts, counts_full);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        // A larger striped matrix so every thread sees real work.
+        let rows: Vec<Vec<u32>> = (0..500u32)
+            .map(|i| {
+                let mut v = vec![i % 8, (i * 3 + 1) % 8];
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+            .collect();
+        let m = RowMajorMatrix::from_rows(8, rows).unwrap();
+        let candidates: Vec<CandidatePair> = (0..8u32)
+            .flat_map(|i| ((i + 1)..8).map(move |j| CandidatePair::new(i, j, 0.5)))
+            .collect();
+        let (seq, counts_seq) =
+            verify_candidates(&mut MemoryRowStream::new(&m), &candidates).unwrap();
+        for threads in [1, 2, 4, 7] {
+            let (par, counts_par) = verify_candidates_parallel(&m, &candidates, threads);
+            assert_eq!(par, seq, "threads = {threads}");
+            assert_eq!(counts_par, counts_seq);
+        }
+    }
+
+    #[test]
+    fn chunked_pass_count_is_ceil_division() {
+        let m = matrix();
+        let candidates: Vec<CandidatePair> = (1..4)
+            .map(|j| CandidatePair::new(0, j, 0.5))
+            .collect();
+        let mut counter = sfa_matrix::stream::PassCounter::new(MemoryRowStream::new(&m));
+        let _ = verify_candidates_chunked(&mut counter, &candidates, 2).unwrap();
+        assert_eq!(counter.passes(), 2, "3 candidates / chunk 2 = 2 passes");
+    }
+
+    #[test]
+    fn disjoint_pair_verifies_to_zero() {
+        let m = RowMajorMatrix::from_rows(2, vec![vec![0], vec![1]]).unwrap();
+        let (verified, _) = verify_candidates(
+            &mut MemoryRowStream::new(&m),
+            &[CandidatePair::new(0, 1, 0.8)],
+        )
+        .unwrap();
+        assert_eq!(verified[0].intersection, 0);
+        assert_eq!(verified[0].similarity, 0.0);
+        assert_eq!(verified[0].union, 2);
+    }
+}

@@ -1,0 +1,157 @@
+//! Collaborative-filtering workload: users in latent taste communities.
+//!
+//! One of the paper's §1 motivating applications is collaborative filtering
+//! — "tracking user behavior and making recommendations to individuals
+//! based on similarity of their preferences to those of other users". This
+//! generator produces an item × user matrix where users belong to latent
+//! communities sharing an item pool; similar columns ⇔ users with similar
+//! taste, and the community labels give exact ground truth for evaluating
+//! neighbour quality.
+
+use rand::{Rng, SeedableRng};
+
+use sfa_matrix::{MatrixBuilder, SparseMatrix};
+
+/// Configuration for the collaborative-filtering generator.
+#[derive(Debug, Clone)]
+pub struct CfConfig {
+    /// Number of items (rows).
+    pub n_items: u32,
+    /// Number of users (columns).
+    pub n_users: u32,
+    /// Number of latent communities.
+    pub n_communities: u32,
+    /// Each user's rating count is uniform in this range.
+    pub ratings_range: (u32, u32),
+    /// Probability a rating comes from the user's community pool (the rest
+    /// are uniform over all items).
+    pub affinity: f64,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl CfConfig {
+    /// A small default: 4 000 items, 500 users, 10 communities.
+    #[must_use]
+    pub fn small(seed: u64) -> Self {
+        Self {
+            n_items: 4_000,
+            n_users: 500,
+            n_communities: 10,
+            ratings_range: (20, 60),
+            affinity: 0.9,
+            seed,
+        }
+    }
+}
+
+/// The generated ratings dataset.
+#[derive(Debug, Clone)]
+pub struct CfData {
+    /// Item rows × user columns, column-major.
+    pub matrix: SparseMatrix,
+    /// Community of each user column.
+    pub community_of: Vec<u32>,
+}
+
+impl CfConfig {
+    /// Generates the dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configuration (no communities, empty ranges,
+    /// affinity outside `[0, 1]`, pools smaller than the rating range).
+    #[must_use]
+    pub fn generate(&self) -> CfData {
+        assert!(self.n_communities > 0, "need at least one community");
+        assert!(
+            self.n_items >= self.n_communities,
+            "items must cover communities"
+        );
+        assert!((0.0..=1.0).contains(&self.affinity), "bad affinity");
+        let (lo, hi) = self.ratings_range;
+        assert!(lo > 0 && lo <= hi, "bad ratings range");
+        let pool = self.n_items / self.n_communities;
+        assert!(pool >= 1, "community pool is empty");
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut builder = MatrixBuilder::new(self.n_items, self.n_users);
+        let mut community_of = Vec::with_capacity(self.n_users as usize);
+        for user in 0..self.n_users {
+            let community = rng.gen_range(0..self.n_communities);
+            community_of.push(community);
+            let base = community * pool;
+            let n_ratings = rng.gen_range(lo..=hi);
+            for _ in 0..n_ratings {
+                let item = if rng.gen::<f64>() < self.affinity {
+                    base + rng.gen_range(0..pool)
+                } else {
+                    rng.gen_range(0..self.n_items)
+                };
+                builder.add_entry(item, user).expect("item id in range");
+            }
+        }
+        CfData {
+            matrix: builder.build_csc(),
+            community_of,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_config() {
+        let cfg = CfConfig::small(1);
+        let data = cfg.generate();
+        assert_eq!(data.matrix.n_rows(), cfg.n_items);
+        assert_eq!(data.matrix.n_cols(), cfg.n_users);
+        assert_eq!(data.community_of.len(), cfg.n_users as usize);
+    }
+
+    #[test]
+    fn same_community_users_are_more_similar() {
+        let data = CfConfig::small(2).generate();
+        let mut same = Vec::new();
+        let mut cross = Vec::new();
+        for i in 0..100u32 {
+            for j in (i + 1)..100 {
+                let s = data.matrix.similarity(i, j);
+                if data.community_of[i as usize] == data.community_of[j as usize] {
+                    same.push(s);
+                } else {
+                    cross.push(s);
+                }
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(
+            mean(&same) > 5.0 * mean(&cross),
+            "same-community mean {} vs cross {}",
+            mean(&same),
+            mean(&cross)
+        );
+    }
+
+    #[test]
+    fn rating_counts_respect_range() {
+        let cfg = CfConfig::small(3);
+        let data = cfg.generate();
+        for u in 0..cfg.n_users {
+            let c = data.matrix.column_count(u);
+            // Duplicates coalesce, so the count can be slightly below lo.
+            assert!(c <= cfg.ratings_range.1 as usize, "user {u}: {c}");
+            assert!(c >= cfg.ratings_range.0 as usize / 2, "user {u}: {c}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            CfConfig::small(9).generate().matrix,
+            CfConfig::small(9).generate().matrix
+        );
+    }
+}

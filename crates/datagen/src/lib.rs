@@ -1,0 +1,42 @@
+//! # sfa-datagen — workload generators for the reproduction
+//!
+//! The paper evaluates on two real datasets we cannot obtain (Reuters news
+//! articles; the www.sun.com web-server log) plus a synthetic benchmark it
+//! describes precisely. This crate rebuilds all three as seeded,
+//! deterministic generators (see DESIGN.md §4 for the substitution
+//! argument):
+//!
+//! * [`synthetic`] — the paper's §5 synthetic data, verbatim: 10⁴ columns,
+//!   10⁴–10⁶ rows, densities 1–5%, and one planted similar pair per 100
+//!   columns — 20 pairs in each of the similarity bands (45,55) … (85,95).
+//! * [`weblog`] — a Sun-weblog-like URL × client-IP matrix: power-law page
+//!   popularity and parent pages whose embedded images/applets are fetched
+//!   alongside them, the exact mechanism the paper credits for its similar
+//!   URL pairs. Reproduces the Fig. 3 similarity-distribution shape.
+//! * [`news`] — a Reuters-like word × document matrix: Zipfian vocabulary,
+//!   planted low-support collocations (the "Beluga caviar / Ketel vodka"
+//!   regime of Fig. 1), a planted multi-word cluster, and frequent
+//!   background words that a priori *can* mine.
+//! * [`zipf`] — the shared power-law sampler.
+//! * [`planted`] — machinery to plant a column pair with an exact target
+//!   Jaccard similarity.
+//! * [`cf`] — a collaborative-filtering workload (item × user matrix with
+//!   latent taste communities), for the §1 recommendation application.
+//! * [`basket`] — IBM Quest-style `T10.I4`-like transactions, the a priori
+//!   literature's home workload (Agrawal & Srikant, VLDB '94).
+
+pub mod basket;
+pub mod cf;
+pub mod news;
+pub mod planted;
+pub mod synthetic;
+pub mod weblog;
+pub mod zipf;
+
+pub use basket::{BasketConfig, BasketData};
+pub use cf::{CfConfig, CfData};
+pub use news::{NewsConfig, NewsData};
+pub use planted::{plant_pair, PlantedPair};
+pub use synthetic::{SyntheticConfig, SyntheticData};
+pub use weblog::{WeblogConfig, WeblogData};
+pub use zipf::ZipfSampler;

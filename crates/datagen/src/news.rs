@@ -1,0 +1,339 @@
+//! Reuters-like word × document matrix.
+//!
+//! The paper's motivating dataset (§2, Fig. 1) is a corpus of news articles
+//! in which the interesting word pairs — (Dalai, Lama), (Beluga caviar,
+//! Ketel vodka) — have *very low support* but near-1 confidence, while the
+//! frequent words (which a priori can mine) are uninteresting.
+//!
+//! This generator rebuilds those statistics:
+//!
+//! * background words drawn from a Zipfian vocabulary — the head gives
+//!   high-support columns, the tail extreme sparsity;
+//! * planted **collocations**: pairs of rare words that, when they occur,
+//!   almost always occur together (the Fig. 1 pairs), labeled after the
+//!   paper's own examples;
+//! * one planted **cluster** of words that co-occur as a clique (the
+//!   paper's `(chess, Timman, Karpov, Soviet, Ivanchuk, Polger)` example).
+
+use rand::{Rng, SeedableRng};
+
+use sfa_matrix::{MatrixBuilder, SparseMatrix};
+
+use crate::zipf::ZipfSampler;
+
+/// The paper's Fig. 1 example pairs, used to label planted collocations.
+pub const FIG1_PAIR_NAMES: [(&str, &str); 17] = [
+    ("Dalai", "Lama"),
+    ("Meryl", "Streep"),
+    ("Bertolt", "Brecht"),
+    ("Buenos", "Aires"),
+    ("Darth", "Vader"),
+    ("pneumocystis", "carinii"),
+    ("meseo", "oceania"),
+    ("fibrosis", "cystic"),
+    ("avant", "garde"),
+    ("mache", "papier"),
+    ("cosa", "nostra"),
+    ("hors", "oeuvres"),
+    ("presse", "agence"),
+    ("encyclopedia", "Britannica"),
+    ("Salman", "Satanic"),
+    ("Mardi", "Gras"),
+    ("emperor", "Hirohito"),
+];
+
+/// The paper's example word cluster (a chess event).
+pub const FIG1_CLUSTER_NAMES: [&str; 6] =
+    ["chess", "Timman", "Karpov", "Soviet", "Ivanchuk", "Polger"];
+
+/// Configuration for the news-corpus generator.
+#[derive(Debug, Clone)]
+pub struct NewsConfig {
+    /// Number of documents (rows).
+    pub n_docs: u32,
+    /// Background vocabulary size (columns `0..n_background`).
+    pub n_background: u32,
+    /// Mean background words per document (geometric, ≥ 1).
+    pub mean_doc_len: f64,
+    /// Zipf exponent of word frequency.
+    pub zipf_exponent: f64,
+    /// Number of planted collocation pairs.
+    pub n_collocations: usize,
+    /// Documents containing each collocation (its support count).
+    pub collocation_support: u32,
+    /// Probability that both words of a collocation appear together in one
+    /// of its documents (otherwise only one does).
+    pub co_occurrence_prob: f64,
+    /// Size of the planted cluster (0 disables it).
+    pub cluster_size: usize,
+    /// Documents containing the cluster.
+    pub cluster_support: u32,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl NewsConfig {
+    /// Paper-flavoured preset: ≈ 20 000 docs, 15 000 background words,
+    /// 17 collocations (one per Fig. 1 pair) and the 6-word cluster.
+    #[must_use]
+    pub fn paper_scale(seed: u64) -> Self {
+        Self {
+            n_docs: 20_000,
+            n_background: 15_000,
+            mean_doc_len: 60.0,
+            zipf_exponent: 1.1,
+            n_collocations: FIG1_PAIR_NAMES.len(),
+            collocation_support: 30,
+            co_occurrence_prob: 0.95,
+            cluster_size: FIG1_CLUSTER_NAMES.len(),
+            cluster_support: 25,
+            seed,
+        }
+    }
+
+    /// Small preset for tests.
+    #[must_use]
+    pub fn small(seed: u64) -> Self {
+        Self {
+            n_docs: 3_000,
+            n_background: 2_000,
+            mean_doc_len: 25.0,
+            zipf_exponent: 1.1,
+            n_collocations: 8,
+            collocation_support: 20,
+            co_occurrence_prob: 0.95,
+            cluster_size: 5,
+            cluster_support: 15,
+            seed,
+        }
+    }
+}
+
+/// The generated news dataset.
+#[derive(Debug, Clone)]
+pub struct NewsData {
+    /// Word columns × document rows, column-major.
+    pub matrix: SparseMatrix,
+    /// Column-id pairs of the planted collocations (`i < j`).
+    pub collocations: Vec<(u32, u32)>,
+    /// Column ids of the planted cluster.
+    pub cluster: Vec<u32>,
+    /// Number of background columns (planted words have ids
+    /// `n_background ..`).
+    pub n_background: u32,
+}
+
+impl NewsData {
+    /// Human-readable label for a column, using the paper's Fig. 1 names
+    /// for planted words.
+    #[must_use]
+    pub fn word_label(&self, col: u32) -> String {
+        if col < self.n_background {
+            return format!("w{col}");
+        }
+        // Planted words: collocation pairs come first, then the cluster.
+        let offset = (col - self.n_background) as usize;
+        let n_pair_words = 2 * self.collocations.len();
+        if offset < n_pair_words {
+            let pair = offset / 2;
+            let names = FIG1_PAIR_NAMES[pair % FIG1_PAIR_NAMES.len()];
+            let name = if offset.is_multiple_of(2) { names.0 } else { names.1 };
+            if pair < FIG1_PAIR_NAMES.len() {
+                name.to_string()
+            } else {
+                format!("{name}#{pair}")
+            }
+        } else {
+            let idx = offset - n_pair_words;
+            FIG1_CLUSTER_NAMES
+                .get(idx)
+                .map_or_else(|| format!("cluster{idx}"), |s| (*s).to_string())
+        }
+    }
+}
+
+impl NewsConfig {
+    /// Generates the dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configuration.
+    #[must_use]
+    pub fn generate(&self) -> NewsData {
+        assert!(self.n_docs > 0 && self.n_background > 0, "empty config");
+        assert!(
+            (0.0..=1.0).contains(&self.co_occurrence_prob),
+            "bad co-occurrence probability"
+        );
+        assert!(self.mean_doc_len >= 1.0, "documents must be non-empty");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+
+        let n_planted = (2 * self.n_collocations + self.cluster_size) as u32;
+        let n_cols = self.n_background + n_planted;
+        let zipf = ZipfSampler::new(self.n_background as usize, self.zipf_exponent);
+        let stop_prob = 1.0 / self.mean_doc_len;
+
+        let mut builder = MatrixBuilder::with_capacity(
+            self.n_docs,
+            n_cols,
+            (f64::from(self.n_docs) * self.mean_doc_len) as usize,
+        );
+
+        // Background text.
+        for doc in 0..self.n_docs {
+            let mut len = 1;
+            while rng.gen::<f64>() > stop_prob && len < 2_000 {
+                len += 1;
+            }
+            for _ in 0..len {
+                let w = zipf.sample(&mut rng) as u32;
+                builder.add_entry(doc, w).expect("word id in range");
+            }
+        }
+
+        // Collocations.
+        let mut collocations = Vec::with_capacity(self.n_collocations);
+        for p in 0..self.n_collocations {
+            let wa = self.n_background + 2 * p as u32;
+            let wb = wa + 1;
+            let docs = crate::planted::sample_rows(
+                &mut rng,
+                self.n_docs,
+                self.collocation_support as usize,
+            );
+            for &d in &docs {
+                if rng.gen::<f64>() < self.co_occurrence_prob {
+                    builder.add_entry(d, wa).expect("in range");
+                    builder.add_entry(d, wb).expect("in range");
+                } else if rng.gen::<bool>() {
+                    builder.add_entry(d, wa).expect("in range");
+                } else {
+                    builder.add_entry(d, wb).expect("in range");
+                }
+            }
+            collocations.push((wa, wb));
+        }
+
+        // Cluster: each cluster word appears in each cluster doc with high
+        // probability, so most pairs in the clique are highly similar.
+        let cluster: Vec<u32> = (0..self.cluster_size)
+            .map(|i| self.n_background + 2 * self.n_collocations as u32 + i as u32)
+            .collect();
+        if !cluster.is_empty() {
+            let docs =
+                crate::planted::sample_rows(&mut rng, self.n_docs, self.cluster_support as usize);
+            for &d in &docs {
+                for &w in &cluster {
+                    if rng.gen::<f64>() < 0.9 {
+                        builder.add_entry(d, w).expect("in range");
+                    }
+                }
+            }
+        }
+
+        NewsData {
+            matrix: builder.build_csc(),
+            collocations,
+            cluster,
+            n_background: self.n_background,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_config() {
+        let cfg = NewsConfig::small(1);
+        let data = cfg.generate();
+        assert_eq!(data.matrix.n_rows(), cfg.n_docs);
+        assert_eq!(
+            data.matrix.n_cols(),
+            cfg.n_background + 2 * cfg.n_collocations as u32 + cfg.cluster_size as u32
+        );
+        assert_eq!(data.collocations.len(), cfg.n_collocations);
+        assert_eq!(data.cluster.len(), cfg.cluster_size);
+    }
+
+    #[test]
+    fn collocations_are_similar_but_low_support() {
+        let cfg = NewsConfig::small(2);
+        let data = cfg.generate();
+        for &(a, b) in &data.collocations {
+            let s = data.matrix.similarity(a, b);
+            assert!(s > 0.7, "collocation ({a}, {b}) similarity {s}");
+            let support = data.matrix.column_count(a);
+            assert!(
+                support <= cfg.collocation_support as usize,
+                "support {support} too high"
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_pairs_are_similar() {
+        let data = NewsConfig::small(3).generate();
+        let mut similar = 0;
+        let mut total = 0;
+        for (x, &a) in data.cluster.iter().enumerate() {
+            for &b in &data.cluster[x + 1..] {
+                total += 1;
+                if data.matrix.similarity(a, b) > 0.6 {
+                    similar += 1;
+                }
+            }
+        }
+        assert!(
+            similar * 10 >= total * 8,
+            "only {similar}/{total} cluster pairs similar"
+        );
+    }
+
+    #[test]
+    fn head_words_have_high_support() {
+        let cfg = NewsConfig::small(4);
+        let data = cfg.generate();
+        // The most frequent background word should appear in a large
+        // fraction of documents — that's what a priori needs.
+        let max_support = (0..cfg.n_background)
+            .map(|j| data.matrix.column_count(j))
+            .max()
+            .unwrap();
+        assert!(
+            max_support > cfg.n_docs as usize / 10,
+            "head word support only {max_support}"
+        );
+    }
+
+    #[test]
+    fn tail_is_sparse() {
+        let cfg = NewsConfig::small(5);
+        let data = cfg.generate();
+        let sparse_cols = (0..cfg.n_background)
+            .filter(|&j| data.matrix.column_count(j) < 10)
+            .count();
+        assert!(
+            sparse_cols > cfg.n_background as usize / 2,
+            "only {sparse_cols} sparse columns"
+        );
+    }
+
+    #[test]
+    fn labels_use_paper_names() {
+        let data = NewsConfig::small(6).generate();
+        let (a, b) = data.collocations[0];
+        assert_eq!(data.word_label(a), "Dalai");
+        assert_eq!(data.word_label(b), "Lama");
+        assert_eq!(data.word_label(0), "w0");
+        assert_eq!(data.word_label(data.cluster[0]), "chess");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = NewsConfig::small(7).generate();
+        let b = NewsConfig::small(7).generate();
+        assert_eq!(a.matrix, b.matrix);
+    }
+}

@@ -1,0 +1,151 @@
+//! Planting column pairs with exact target similarity.
+//!
+//! Given a target Jaccard similarity `s` and a column cardinality `a`, two
+//! columns of equal cardinality sharing `x` rows have
+//! `S = x / (2a − x)`, so `x = round(2·a·s / (1 + s))` hits the closest
+//! achievable similarity. The generators use this to plant ground-truth
+//! pairs whose exact similarity is recorded alongside the matrix.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A planted ground-truth pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlantedPair {
+    /// Smaller column id.
+    pub i: u32,
+    /// Larger column id.
+    pub j: u32,
+    /// The pair's exact Jaccard similarity in the generated matrix.
+    pub similarity: f64,
+}
+
+/// Samples `count` distinct row ids out of `0..n_rows`, ascending.
+///
+/// Uses Floyd's algorithm: `O(count)` memory, no `O(n_rows)` shuffle.
+///
+/// # Panics
+///
+/// Panics if `count > n_rows`.
+pub fn sample_rows<R: Rng + ?Sized>(rng: &mut R, n_rows: u32, count: usize) -> Vec<u32> {
+    assert!(count <= n_rows as usize, "cannot sample {count} of {n_rows}");
+    let mut chosen = std::collections::HashSet::with_capacity(count);
+    let n = n_rows as usize;
+    for t in (n - count)..n {
+        let r = rng.gen_range(0..=t as u32);
+        if !chosen.insert(r) {
+            chosen.insert(t as u32);
+        }
+    }
+    let mut v: Vec<u32> = chosen.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+/// Plants two columns of cardinality `a` with Jaccard similarity as close
+/// as possible to `target`, using rows from `0..n_rows`.
+///
+/// Returns `(rows_i, rows_j, exact_similarity)`; both row lists ascend.
+///
+/// # Panics
+///
+/// Panics if `target` is outside `(0, 1]`, `a == 0`, or the construction
+/// needs more rows than `n_rows` provides (`2a − x` rows are touched).
+pub fn plant_pair<R: Rng + ?Sized>(
+    rng: &mut R,
+    n_rows: u32,
+    a: usize,
+    target: f64,
+) -> (Vec<u32>, Vec<u32>, f64) {
+    assert!(target > 0.0 && target <= 1.0, "target must be in (0, 1]");
+    assert!(a > 0, "cardinality must be positive");
+    let x = ((2.0 * a as f64 * target) / (1.0 + target)).round() as usize;
+    let x = x.clamp(1, a);
+    let needed = 2 * a - x;
+    assert!(
+        needed <= n_rows as usize,
+        "need {needed} rows, matrix has {n_rows}"
+    );
+    // Draw the union, then split: first x rows shared, then (a−x) each.
+    let mut union = sample_rows(rng, n_rows, needed);
+    union.shuffle(rng);
+    let shared = &union[..x];
+    let only_i = &union[x..a];
+    let only_j = &union[a..];
+    let mut rows_i: Vec<u32> = shared.iter().chain(only_i).copied().collect();
+    let mut rows_j: Vec<u32> = shared.iter().chain(only_j).copied().collect();
+    rows_i.sort_unstable();
+    rows_j.sort_unstable();
+    let exact = x as f64 / (2 * a - x) as f64;
+    (rows_i, rows_j, exact)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sfa_matrix::column::jaccard;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn sample_rows_is_distinct_sorted_in_range() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let v = sample_rows(&mut r, 100, 30);
+            assert_eq!(v.len(), 30);
+            assert!(v.windows(2).all(|w| w[0] < w[1]));
+            assert!(v.iter().all(|&x| x < 100));
+        }
+    }
+
+    #[test]
+    fn sample_rows_full_draw() {
+        let mut r = rng();
+        let v = sample_rows(&mut r, 10, 10);
+        assert_eq!(v, (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn planted_pair_hits_exact_similarity() {
+        let mut r = rng();
+        for &target in &[0.5, 0.7, 0.9, 1.0] {
+            let (a, b, exact) = plant_pair(&mut r, 10_000, 50, target);
+            assert_eq!(a.len(), 50);
+            assert_eq!(b.len(), 50);
+            let measured = jaccard(&a, &b);
+            assert!(
+                (measured - exact).abs() < 1e-12,
+                "target {target}: reported {exact}, measured {measured}"
+            );
+            // The discretized similarity is close to the target:
+            assert!((exact - target).abs() < 0.02, "target {target} got {exact}");
+        }
+    }
+
+    #[test]
+    fn planted_pair_target_one_is_identical_columns() {
+        let mut r = rng();
+        let (a, b, exact) = plant_pair(&mut r, 1000, 20, 1.0);
+        assert_eq!(a, b);
+        assert_eq!(exact, 1.0);
+    }
+
+    #[test]
+    fn planted_pair_small_cardinality() {
+        let mut r = rng();
+        let (a, b, exact) = plant_pair(&mut r, 100, 1, 0.5);
+        // With a = 1 the only options are S = 1 (x = 1): clamp keeps x ≥ 1.
+        assert_eq!(a, b);
+        assert_eq!(exact, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need")]
+    fn planted_pair_requires_enough_rows() {
+        let mut r = rng();
+        let _ = plant_pair(&mut r, 10, 50, 0.5);
+    }
+}

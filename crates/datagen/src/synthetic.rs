@@ -1,0 +1,237 @@
+//! The paper's §5 synthetic benchmark.
+//!
+//! "The data contains 10⁴ columns and the number of rows vary from 10⁴ to
+//! 10⁶. The column densities vary from 1 percent to 5 percent and, for
+//! every 100 columns, we have a pair of similar columns. We have 20 pairs
+//! of similar columns whose similarity fall in the ranges (85, 95),
+//! (75, 85), (65, 75), (55, 65), and (45, 55)."
+//!
+//! [`SyntheticConfig::paper`] reproduces that spec; smaller presets scale
+//! everything down proportionally for tests and CI.
+
+use rand::{Rng, SeedableRng};
+
+use sfa_matrix::SparseMatrix;
+
+use crate::planted::{plant_pair, sample_rows, PlantedPair};
+
+/// The five similarity bands of the paper, as `(low, high)` fractions.
+pub const PAPER_BANDS: [(f64, f64); 5] = [
+    (0.85, 0.95),
+    (0.75, 0.85),
+    (0.65, 0.75),
+    (0.55, 0.65),
+    (0.45, 0.55),
+];
+
+/// Configuration for the synthetic benchmark generator.
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Number of rows `n`.
+    pub n_rows: u32,
+    /// Number of columns `m`.
+    pub n_cols: u32,
+    /// Column densities are drawn uniformly from this range.
+    pub density_range: (f64, f64),
+    /// Planted pairs per similarity band.
+    pub pairs_per_band: usize,
+    /// Similarity bands; a planted pair's target is drawn uniformly within
+    /// its band.
+    pub bands: Vec<(f64, f64)>,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl SyntheticConfig {
+    /// The paper's configuration at a given row count (10⁴–10⁶ in §5).
+    #[must_use]
+    pub fn paper(n_rows: u32, seed: u64) -> Self {
+        Self {
+            n_rows,
+            n_cols: 10_000,
+            density_range: (0.01, 0.05),
+            pairs_per_band: 20,
+            bands: PAPER_BANDS.to_vec(),
+            seed,
+        }
+    }
+
+    /// A proportionally scaled-down preset for tests: 1 000 columns,
+    /// `n_rows` rows, 2 pairs per band.
+    #[must_use]
+    pub fn small(n_rows: u32, seed: u64) -> Self {
+        Self {
+            n_rows,
+            n_cols: 1_000,
+            density_range: (0.01, 0.05),
+            pairs_per_band: 2,
+            bands: PAPER_BANDS.to_vec(),
+            seed,
+        }
+    }
+}
+
+/// A generated synthetic dataset with its planted ground truth.
+#[derive(Debug, Clone)]
+pub struct SyntheticData {
+    /// The column-major matrix.
+    pub matrix: SparseMatrix,
+    /// The planted pairs, with exact similarities, sorted by `(i, j)`.
+    pub planted: Vec<PlantedPair>,
+}
+
+impl SyntheticConfig {
+    /// Generates the dataset.
+    ///
+    /// Planted pairs occupy randomly chosen column positions; all other
+    /// columns are independent uniform-random sparse columns, so their
+    /// pairwise similarities concentrate near
+    /// `d² / (2d − d²) ≈ d/2 ≪ 0.45` and never pollute the bands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (more planted columns
+    /// than columns, densities outside `(0, 1]`, …).
+    #[must_use]
+    pub fn generate(&self) -> SyntheticData {
+        let (d_lo, d_hi) = self.density_range;
+        assert!(d_lo > 0.0 && d_hi <= 1.0 && d_lo <= d_hi, "bad densities");
+        let planted_cols = 2 * self.pairs_per_band * self.bands.len();
+        assert!(
+            planted_cols <= self.n_cols as usize,
+            "{planted_cols} planted columns exceed {} total",
+            self.n_cols
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+
+        // Choose distinct column positions for the planted pairs.
+        let mut positions: Vec<u32> = sample_rows(&mut rng, self.n_cols, planted_cols);
+        // sample_rows returns ascending ids; shuffle so bands are scattered.
+        use rand::seq::SliceRandom;
+        positions.shuffle(&mut rng);
+
+        let mut columns: Vec<Option<Vec<u32>>> = vec![None; self.n_cols as usize];
+        let mut planted = Vec::with_capacity(self.pairs_per_band * self.bands.len());
+        let mut pos_iter = positions.into_iter();
+        for &(lo, hi) in &self.bands {
+            for _ in 0..self.pairs_per_band {
+                let target = rng.gen_range(lo..hi);
+                let density = rng.gen_range(d_lo..=d_hi);
+                let a = ((f64::from(self.n_rows) * density) as usize).max(1);
+                let (rows_i, rows_j, exact) = plant_pair(&mut rng, self.n_rows, a, target);
+                let ci = pos_iter.next().expect("enough positions");
+                let cj = pos_iter.next().expect("enough positions");
+                let (ci, cj) = if ci < cj { (ci, cj) } else { (cj, ci) };
+                columns[ci as usize] = Some(rows_i);
+                columns[cj as usize] = Some(rows_j);
+                planted.push(PlantedPair {
+                    i: ci,
+                    j: cj,
+                    similarity: exact,
+                });
+            }
+        }
+
+        // Fill the background columns.
+        let filled: Vec<Vec<u32>> = columns
+            .into_iter()
+            .map(|slot| {
+                slot.unwrap_or_else(|| {
+                    let density = rng.gen_range(d_lo..=d_hi);
+                    let a = ((f64::from(self.n_rows) * density) as usize).max(1);
+                    sample_rows(&mut rng, self.n_rows, a)
+                })
+            })
+            .collect();
+
+        let matrix =
+            SparseMatrix::from_columns(self.n_rows, filled).expect("generated columns are valid");
+        planted.sort_by_key(|p| (p.i, p.j));
+        SyntheticData { matrix, planted }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_preset_generates_expected_shape() {
+        let data = SyntheticConfig::small(2_000, 7).generate();
+        assert_eq!(data.matrix.n_rows(), 2_000);
+        assert_eq!(data.matrix.n_cols(), 1_000);
+        assert_eq!(data.planted.len(), 10); // 2 per band × 5 bands
+    }
+
+    #[test]
+    fn planted_similarities_match_matrix() {
+        let data = SyntheticConfig::small(2_000, 7).generate();
+        for p in &data.planted {
+            let s = data.matrix.similarity(p.i, p.j);
+            assert!(
+                (s - p.similarity).abs() < 1e-12,
+                "pair ({}, {}): recorded {} matrix {}",
+                p.i,
+                p.j,
+                p.similarity,
+                s
+            );
+        }
+    }
+
+    #[test]
+    fn planted_similarities_lie_in_bands() {
+        let data = SyntheticConfig::small(5_000, 11).generate();
+        for p in &data.planted {
+            assert!(
+                p.similarity > 0.40 && p.similarity < 0.97,
+                "similarity {} outside all bands",
+                p.similarity
+            );
+        }
+        // All five bands are represented.
+        for &(lo, hi) in &PAPER_BANDS {
+            assert!(
+                data.planted
+                    .iter()
+                    .any(|p| p.similarity >= lo - 0.03 && p.similarity <= hi + 0.03),
+                "no pair near band ({lo}, {hi})"
+            );
+        }
+    }
+
+    #[test]
+    fn densities_are_in_configured_range() {
+        let data = SyntheticConfig::small(5_000, 3).generate();
+        for j in 0..data.matrix.n_cols() {
+            let d = data.matrix.density(j);
+            assert!((0.008..=0.055).contains(&d), "column {j} density {d}");
+        }
+    }
+
+    #[test]
+    fn background_pairs_are_dissimilar() {
+        let data = SyntheticConfig::small(5_000, 13).generate();
+        let planted: std::collections::HashSet<(u32, u32)> =
+            data.planted.iter().map(|p| (p.i, p.j)).collect();
+        // Every exact pair above 0.4 must be planted.
+        for pair in sfa_matrix::stats::exact_similar_pairs(&data.matrix, 0.4) {
+            assert!(
+                planted.contains(&(pair.i, pair.j)),
+                "unexpected similar background pair ({}, {}) at {}",
+                pair.i,
+                pair.j,
+                pair.similarity
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SyntheticConfig::small(1_000, 42).generate();
+        let b = SyntheticConfig::small(1_000, 42).generate();
+        assert_eq!(a.matrix, b.matrix);
+        let c = SyntheticConfig::small(1_000, 43).generate();
+        assert_ne!(a.matrix, c.matrix);
+    }
+}

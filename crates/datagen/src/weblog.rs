@@ -1,0 +1,261 @@
+//! Sun-weblog-like URL × client matrix.
+//!
+//! The paper's real dataset is "the log of HTTP requests made over a period
+//! of nine days to the Sun Microsystems Web server": ~13 000 URL columns,
+//! over 200 000 client-IP rows, most column densities below 0.01%. The similar
+//! pairs it finds are "URLs corresponding to gif images or Java applets
+//! which are loaded automatically when a client IP accesses a parent URL".
+//!
+//! This generator rebuilds that mechanism: parent pages with power-law
+//! popularity own a handful of embedded child resources fetched with high
+//! probability on every parent visit, plus background noise hits. Columns
+//! for children of one parent are therefore highly similar (but
+//! low-support), and everything else is sparse and dissimilar — yielding
+//! the Fig. 3 histogram shape: a huge mass of near-zero similarities and a
+//! thin tail of high-similarity pairs.
+
+use rand::{Rng, SeedableRng};
+
+use sfa_matrix::{MatrixBuilder, SparseMatrix};
+
+use crate::zipf::ZipfSampler;
+
+/// Configuration for the weblog generator.
+#[derive(Debug, Clone)]
+pub struct WeblogConfig {
+    /// Number of client rows.
+    pub n_clients: u32,
+    /// Number of parent pages.
+    pub n_parents: u32,
+    /// Children per parent are drawn uniformly from `0..=max_children`.
+    pub max_children: u32,
+    /// Probability a child resource is fetched when its parent is visited.
+    pub child_fetch_prob: f64,
+    /// Zipf exponent of parent-page popularity.
+    pub zipf_exponent: f64,
+    /// Mean page visits per client (geometric, ≥ 1).
+    pub mean_visits: f64,
+    /// Per-client probability of one extra uniform-random URL hit.
+    pub noise_prob: f64,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl WeblogConfig {
+    /// Paper-scale preset: ≈ 13 000 URLs, 200 000 clients.
+    #[must_use]
+    pub fn paper_scale(seed: u64) -> Self {
+        Self {
+            n_clients: 200_000,
+            n_parents: 4_000,
+            max_children: 4,
+            child_fetch_prob: 0.92,
+            zipf_exponent: 1.0,
+            mean_visits: 4.0,
+            noise_prob: 0.3,
+            seed,
+        }
+    }
+
+    /// Small preset for tests and quick experiments (≈ 1 300 URLs).
+    #[must_use]
+    pub fn small(seed: u64) -> Self {
+        Self {
+            n_clients: 20_000,
+            n_parents: 400,
+            max_children: 4,
+            child_fetch_prob: 0.92,
+            zipf_exponent: 1.0,
+            mean_visits: 4.0,
+            noise_prob: 0.3,
+            seed,
+        }
+    }
+
+    /// Tiny preset for unit tests.
+    #[must_use]
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            n_clients: 2_000,
+            n_parents: 60,
+            max_children: 3,
+            child_fetch_prob: 0.9,
+            zipf_exponent: 1.0,
+            mean_visits: 3.0,
+            noise_prob: 0.2,
+            seed,
+        }
+    }
+}
+
+/// The generated weblog dataset.
+#[derive(Debug, Clone)]
+pub struct WeblogData {
+    /// URL columns × client rows, column-major.
+    pub matrix: SparseMatrix,
+    /// For each URL column: the parent page it belongs to (parents map to
+    /// themselves). `children_of[p]` can be recovered by scanning.
+    pub parent_of: Vec<u32>,
+    /// Number of parent-page columns (ids `0..n_parent_cols` are parents;
+    /// the rest are embedded child resources).
+    pub n_parent_cols: u32,
+}
+
+impl WeblogConfig {
+    /// Generates the dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configuration (zero parents/clients,
+    /// probabilities outside `[0, 1]`).
+    #[must_use]
+    pub fn generate(&self) -> WeblogData {
+        assert!(self.n_parents > 0 && self.n_clients > 0, "empty config");
+        assert!((0.0..=1.0).contains(&self.child_fetch_prob), "bad prob");
+        assert!((0.0..=1.0).contains(&self.noise_prob), "bad noise prob");
+        assert!(self.mean_visits >= 1.0, "mean visits must be >= 1");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+
+        // Lay out URL ids: parents first, then children grouped by parent.
+        let mut parent_of: Vec<u32> = (0..self.n_parents).collect();
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); self.n_parents as usize];
+        for p in 0..self.n_parents {
+            let k = rng.gen_range(0..=self.max_children);
+            for _ in 0..k {
+                let id = parent_of.len() as u32;
+                parent_of.push(p);
+                children[p as usize].push(id);
+            }
+        }
+        let n_urls = parent_of.len() as u32;
+
+        let popularity = ZipfSampler::new(self.n_parents as usize, self.zipf_exponent);
+        // Geometric with mean `mean_visits`: success prob 1/mean.
+        let stop_prob = 1.0 / self.mean_visits;
+
+        let mut builder = MatrixBuilder::with_capacity(
+            self.n_clients,
+            n_urls,
+            (f64::from(self.n_clients) * self.mean_visits * 2.0) as usize,
+        );
+        for client in 0..self.n_clients {
+            // Number of page visits ~ Geometric(stop_prob), at least 1.
+            let mut visits = 1;
+            while rng.gen::<f64>() > stop_prob && visits < 200 {
+                visits += 1;
+            }
+            for _ in 0..visits {
+                let p = popularity.sample(&mut rng) as u32;
+                builder
+                    .add_entry(client, p)
+                    .expect("parent URL id in range");
+                for &child in &children[p as usize] {
+                    if rng.gen::<f64>() < self.child_fetch_prob {
+                        builder
+                            .add_entry(client, child)
+                            .expect("child URL id in range");
+                    }
+                }
+            }
+            if rng.gen::<f64>() < self.noise_prob {
+                let noise = rng.gen_range(0..n_urls);
+                builder.add_entry(client, noise).expect("noise id in range");
+            }
+        }
+        WeblogData {
+            matrix: builder.build_csc(),
+            parent_of,
+            n_parent_cols: self.n_parents,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_config() {
+        let data = WeblogConfig::tiny(1).generate();
+        assert_eq!(data.matrix.n_rows(), 2_000);
+        assert!(data.matrix.n_cols() >= 60);
+        assert_eq!(data.parent_of.len(), data.matrix.n_cols() as usize);
+    }
+
+    #[test]
+    fn parents_map_to_themselves() {
+        let data = WeblogConfig::tiny(2).generate();
+        for p in 0..data.n_parent_cols {
+            assert_eq!(data.parent_of[p as usize], p);
+        }
+        for c in data.n_parent_cols..data.matrix.n_cols() {
+            assert!(data.parent_of[c as usize] < data.n_parent_cols);
+        }
+    }
+
+    #[test]
+    fn children_are_similar_to_their_parent() {
+        let data = WeblogConfig::tiny(3).generate();
+        // Find a popular parent with at least one child and check S.
+        let mut checked = 0;
+        for c in data.n_parent_cols..data.matrix.n_cols() {
+            let p = data.parent_of[c as usize];
+            if data.matrix.column_count(p) >= 30 {
+                let s = data.matrix.similarity(p, c);
+                assert!(
+                    s > 0.6,
+                    "child {c} of parent {p} only has similarity {s}"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 5, "too few parent-child pairs to check");
+    }
+
+    #[test]
+    fn sibling_children_are_similar() {
+        let data = WeblogConfig::tiny(4).generate();
+        let mut checked = 0;
+        for c1 in data.n_parent_cols..data.matrix.n_cols() {
+            for c2 in (c1 + 1)..data.matrix.n_cols() {
+                if data.parent_of[c1 as usize] == data.parent_of[c2 as usize]
+                    && data.matrix.column_count(c1) >= 30
+                {
+                    let s = data.matrix.similarity(c1, c2);
+                    assert!(s > 0.5, "siblings {c1},{c2} similarity {s}");
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 2, "too few sibling pairs to check");
+    }
+
+    #[test]
+    fn columns_are_sparse() {
+        let data = WeblogConfig::tiny(5).generate();
+        let stats = sfa_matrix::stats::density_stats(&data.matrix);
+        assert!(stats.mean < 0.1, "mean density {}", stats.mean);
+    }
+
+    #[test]
+    fn similarity_distribution_has_heavy_low_tail() {
+        // The Fig. 3 shape: overwhelmingly many low-similarity pairs, few
+        // high-similarity ones.
+        let data = WeblogConfig::tiny(6).generate();
+        let hist = sfa_matrix::stats::similarity_histogram(&data.matrix, 10);
+        let low: u64 = hist[..3].iter().sum();
+        let high: u64 = hist[7..].iter().sum();
+        assert!(high > 0, "no high-similarity pairs at all");
+        assert!(
+            low > high * 10,
+            "expected heavy low tail, got low {low}, high {high}"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = WeblogConfig::tiny(7).generate();
+        let b = WeblogConfig::tiny(7).generate();
+        assert_eq!(a.matrix, b.matrix);
+    }
+}

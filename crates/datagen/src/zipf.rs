@@ -1,0 +1,146 @@
+//! Power-law (Zipf) sampling.
+//!
+//! Word document-frequencies and web-page popularities are both classically
+//! Zipfian; the weblog and news generators draw from this sampler so the
+//! resulting column-density distributions have the heavy-tailed sparsity the
+//! paper's datasets exhibit ("most of the columns are sparse and have a
+//! density less than 0.01 percent", §5).
+
+use rand::Rng;
+
+/// Samples ranks `0..n` with probability proportional to `1 / (rank+1)^s`.
+///
+/// Uses a precomputed cumulative table and binary search: `O(n)` setup,
+/// `O(log n)` per sample, exact distribution.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sfa_datagen::ZipfSampler;
+///
+/// let z = ZipfSampler::new(100, 1.0);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let x = z.sample(&mut rng);
+/// assert!(x < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over ranks `0..n` with exponent `s >= 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is not finite and non-negative.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "need at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "exponent must be finite, >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating-point shortfall at the top.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler has no ranks (never true post-construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index with cdf > u.
+        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= len`.
+    #[must_use]
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = ZipfSampler::new(50, 1.2);
+        let total: f64 = (0..50).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pmf_is_monotone_decreasing() {
+        let z = ZipfSampler::new(100, 1.0);
+        for r in 1..100 {
+            assert!(z.pmf(r) <= z.pmf(r - 1) + 1e-15, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = ZipfSampler::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-12, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn samples_match_head_probability() {
+        // With s = 1 over 100 ranks, P(rank 0) = 1/H_100 ≈ 0.1928.
+        let z = ZipfSampler::new(100, 1.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let head = (0..n).filter(|_| z.sample(&mut rng) == 0).count();
+        let frac = head as f64 / n as f64;
+        assert!((frac - z.pmf(0)).abs() < 0.01, "head fraction {frac}");
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = ZipfSampler::new(7, 2.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one rank")]
+    fn empty_domain_panics() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Runs every experiment binary in sequence (same process, same seeds),
+//! refreshing all CSVs under `results/`.
+
+use std::process::Command;
+
+fn main() {
+    let binaries = [
+        "fig1_news_pairs",
+        "fig2_filter_functions",
+        "fig3_similarity_distribution",
+        "fig4_apriori_comparison",
+        "fig5_mh",
+        "fig6_kmh",
+        "fig7_hlsh",
+        "fig8_mlsh",
+        "fig9_comparison",
+        "synthetic_sweep",
+        "confidence_rules",
+        "scaling_rows",
+        "boolean_extensions",
+        "basket_benchmark",
+    ];
+    // Find sibling binaries next to this one (works for cargo run and for
+    // direct target/release invocation).
+    let me = std::env::current_exe().expect("current exe");
+    let dir = me.parent().expect("exe dir");
+    let mut failed = Vec::new();
+    for bin in binaries {
+        println!("\n=============================== {bin} ===============================");
+        let path = dir.join(bin);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        if !status.success() {
+            failed.push(bin);
+        }
+    }
+    if failed.is_empty() {
+        println!("\nall experiments completed; CSVs are in results/");
+    } else {
+        eprintln!("\nFAILED: {failed:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,82 @@
+//! Fig. 2: the LSH filter functions.
+//!
+//! (a) `P_{r,l}(s)` sharpening toward a unit step as `r, l` grow;
+//! (b) `Q_{r,l,k}` approximating `P_{r,l}` with only `k < r·l` min-hashes
+//!     (the paper's example: `P_{20,20}` needs 400 values, `Q_{20,20,40}`
+//!     approximates it with 40).
+
+use sfa_lsh::{p_filter, q_filter};
+use sfa_experiments::write_csv;
+
+fn main() {
+    println!("# Fig. 2 — filter functions P_{{r,l}} and Q_{{r,l,k}}");
+
+    // Panel (a): P for growing (r, l).
+    let configs = [(2usize, 2usize), (5, 5), (10, 10), (20, 20)];
+    let mut rows_a = Vec::new();
+    println!("\n(a) P_{{r,l}}(s) for (r,l) in {configs:?}");
+    println!("{:>6} {:>10} {:>10} {:>10} {:>10}", "s", "P_2,2", "P_5,5", "P_10,10", "P_20,20");
+    for i in 0..=50 {
+        let s = f64::from(i) / 50.0;
+        let vals: Vec<f64> = configs.iter().map(|&(r, l)| p_filter(s, r, l)).collect();
+        if i % 5 == 0 {
+            println!(
+                "{s:>6.2} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+                vals[0], vals[1], vals[2], vals[3]
+            );
+        }
+        let mut row = vec![format!("{s:.3}")];
+        row.extend(vals.iter().map(|v| format!("{v:.6}")));
+        rows_a.push(row);
+    }
+    write_csv(
+        "fig2a_p_filter.csv",
+        &["s", "p_2_2", "p_5_5", "p_10_10", "p_20_20"],
+        &rows_a,
+    );
+
+    // Panel (b): P_{20,20} (400 values) vs Q_{20,20,40} (40 values).
+    println!("\n(b) P_20,20 (400 min-hashes) vs Q_20,20,40 (40 min-hashes)");
+    println!("{:>6} {:>12} {:>12} {:>12}", "s", "P_20,20", "Q_20,20,40", "Q_20,20,100");
+    let mut rows_b = Vec::new();
+    for i in 0..=50 {
+        let s = f64::from(i) / 50.0;
+        let p = p_filter(s, 20, 20);
+        let q40 = q_filter(s, 20, 20, 40);
+        let q100 = q_filter(s, 20, 20, 100);
+        if i % 5 == 0 {
+            println!("{s:>6.2} {p:>12.4} {q40:>12.4} {q100:>12.4}");
+        }
+        rows_b.push(vec![
+            format!("{s:.3}"),
+            format!("{p:.6}"),
+            format!("{q40:.6}"),
+            format!("{q100:.6}"),
+        ]);
+    }
+    write_csv(
+        "fig2b_q_filter.csv",
+        &["s", "p_20_20", "q_20_20_40", "q_20_20_100"],
+        &rows_b,
+    );
+
+    // The qualitative claims of the figure, asserted:
+    // larger (r, l) ⇒ sharper around the implicit threshold.
+    assert!(p_filter(0.3, 20, 20) < p_filter(0.3, 5, 5));
+    assert!(p_filter(0.95, 20, 20) > 0.99);
+    // Q is a good approximation of P and sharper with larger pools.
+    let err40: f64 = (0..=20)
+        .map(|i| {
+            let s = f64::from(i) / 20.0;
+            (q_filter(s, 20, 20, 40) - p_filter(s, 20, 20)).abs()
+        })
+        .fold(0.0, f64::max);
+    let err100: f64 = (0..=20)
+        .map(|i| {
+            let s = f64::from(i) / 20.0;
+            (q_filter(s, 20, 20, 100) - p_filter(s, 20, 20)).abs()
+        })
+        .fold(0.0, f64::max);
+    println!("\nmax |Q − P|: k=40 → {err40:.3}, k=100 → {err100:.3}");
+    assert!(err100 < err40, "larger pool must approximate better");
+}

@@ -1,0 +1,60 @@
+//! Fig. 5: the MH algorithm as `k` and `s*` vary.
+//!
+//! (a) S-curves sharpen as `k` grows; (b) total time grows *linearly*
+//! in `k`; (c) S-curves shift right as `s*` grows; (d) time decreases
+//! mildly with `s*` (fewer candidates).
+
+use sfa_core::Scheme;
+use sfa_experiments::{sweep_panel, WeblogExperiment};
+
+fn main() {
+    println!("# Fig. 5 — MH quality and running time vs k and s*");
+    let weblog = WeblogExperiment::load();
+
+    // Panels (a) + (b): vary k at fixed s* = 0.5.
+    let k_values = [50usize, 100, 200, 400];
+    let configs: Vec<(String, Scheme, f64)> = k_values
+        .iter()
+        .map(|&k| (format!("k={k}"), Scheme::Mh { k, delta: 0.2 }, 0.5))
+        .collect();
+    let by_k = sweep_panel(
+        "fig5ab_mh_vs_k",
+        "Fig. 5a/5b — MH vs k (s* = 0.5)",
+        &weblog.rows,
+        &weblog.truth,
+        &configs,
+        10,
+    );
+
+    // Panels (c) + (d): vary s* at fixed k = 200.
+    let s_values = [0.3, 0.5, 0.7, 0.9];
+    let configs: Vec<(String, Scheme, f64)> = s_values
+        .iter()
+        .map(|&s| (format!("s*={s}"), Scheme::Mh { k: 200, delta: 0.2 }, s))
+        .collect();
+    let by_s = sweep_panel(
+        "fig5cd_mh_vs_sstar",
+        "Fig. 5c/5d — MH vs s* (k = 200)",
+        &weblog.rows,
+        &weblog.truth,
+        &configs,
+        10,
+    );
+
+    // Shape checks.
+    // (a) quality improves (FN rate non-increasing, modulo noise) with k.
+    assert!(
+        by_k.last().unwrap().fn_rate <= by_k.first().unwrap().fn_rate + 0.05,
+        "quality did not improve with k"
+    );
+    // (b) time grows with k, roughly linearly: t(400)/t(50) in [3, 16].
+    let ratio = by_k.last().unwrap().signature_s / by_k.first().unwrap().signature_s.max(1e-9);
+    println!("\nsignature-time ratio k=400 vs k=50: {ratio:.1} (linear would be 8)");
+    assert!(ratio > 2.0, "MH signature time should grow ~linearly in k");
+    // (d) candidates shrink as s* grows.
+    assert!(
+        by_s.last().unwrap().candidates <= by_s.first().unwrap().candidates,
+        "higher cutoff should generate fewer candidates"
+    );
+    println!("shape checks passed");
+}

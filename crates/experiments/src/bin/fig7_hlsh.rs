@@ -1,0 +1,76 @@
+//! Fig. 7: the H-LSH algorithm as `r` and `l` vary.
+//!
+//! (a) larger `r` ⇒ fewer collisions ⇒ fewer false positives but more
+//! false negatives; (c) larger `l` ⇒ more collisions ⇒ fewer false
+//! negatives, more false positives; (b) time grows with `l`; in the
+//! paper's implementation candidate checking dominates, so time *drops*
+//! as `r` grows.
+
+use sfa_core::Scheme;
+use sfa_experiments::{sweep_panel, WeblogExperiment};
+
+fn hlsh(r: usize, l: usize) -> Scheme {
+    Scheme::HLsh {
+        r,
+        l,
+        t: 4,
+        max_levels: 16,
+    }
+}
+
+fn main() {
+    println!("# Fig. 7 — H-LSH quality and running time vs r and l");
+    let weblog = WeblogExperiment::load();
+    let s_star = 0.7; // H-LSH "cannot be used if we are interested in low similarity cutoffs"
+
+    // Panels (a)/(b): vary r at fixed l.
+    let r_values = [8usize, 16, 24, 32];
+    let configs: Vec<(String, Scheme, f64)> = r_values
+        .iter()
+        .map(|&r| (format!("r={r}"), hlsh(r, 4), s_star))
+        .collect();
+    let by_r = sweep_panel(
+        "fig7ab_hlsh_vs_r",
+        "Fig. 7a/7b — H-LSH vs r (l = 4, s* = 0.7)",
+        &weblog.rows,
+        &weblog.truth,
+        &configs,
+        10,
+    );
+
+    // Panels (c)/(d): vary l at fixed r.
+    let l_values = [1usize, 2, 4, 8];
+    let configs: Vec<(String, Scheme, f64)> = l_values
+        .iter()
+        .map(|&l| (format!("l={l}"), hlsh(16, l), s_star))
+        .collect();
+    let by_l = sweep_panel(
+        "fig7cd_hlsh_vs_l",
+        "Fig. 7c/7d — H-LSH vs l (r = 16, s* = 0.7)",
+        &weblog.rows,
+        &weblog.truth,
+        &configs,
+        10,
+    );
+
+    // Shape checks.
+    // (a) false positives decrease with r; false negatives increase.
+    assert!(
+        by_r.last().unwrap().false_positives <= by_r.first().unwrap().false_positives,
+        "FP should fall as r grows"
+    );
+    assert!(
+        by_r.last().unwrap().fn_rate >= by_r.first().unwrap().fn_rate - 0.05,
+        "FN should rise (or stay) as r grows"
+    );
+    // (c) false negatives decrease with l; false positives increase.
+    assert!(
+        by_l.last().unwrap().fn_rate <= by_l.first().unwrap().fn_rate + 0.02,
+        "FN should fall as l grows"
+    );
+    assert!(
+        by_l.last().unwrap().false_positives >= by_l.first().unwrap().false_positives,
+        "FP should rise as l grows"
+    );
+    println!("\nshape checks passed");
+}

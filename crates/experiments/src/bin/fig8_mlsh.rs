@@ -1,0 +1,83 @@
+//! Fig. 8: the M-LSH algorithm as `r` and `l` vary.
+//!
+//! (a) larger `r` ⇒ fewer false positives, more false negatives;
+//! (c) larger `l` ⇒ fewer false negatives, more false positives;
+//! (b) time grows with `l`; min-hash extraction dominates, so time grows
+//! linearly with `r·l` (the signature budget `k`).
+
+use sfa_core::Scheme;
+use sfa_experiments::{sweep_panel, WeblogExperiment};
+
+fn mlsh(r: usize, l: usize) -> Scheme {
+    Scheme::MLsh {
+        k: r * l,
+        r,
+        l,
+        sampled: false,
+    }
+}
+
+fn main() {
+    println!("# Fig. 8 — M-LSH quality and running time vs r and l");
+    let weblog = WeblogExperiment::load();
+    let s_star = 0.5;
+
+    // Panels (a)/(b): vary r at fixed l.
+    let r_values = [3usize, 5, 8, 12];
+    let configs: Vec<(String, Scheme, f64)> = r_values
+        .iter()
+        .map(|&r| (format!("r={r}"), mlsh(r, 10), s_star))
+        .collect();
+    let by_r = sweep_panel(
+        "fig8ab_mlsh_vs_r",
+        "Fig. 8a/8b — M-LSH vs r (l = 10, s* = 0.5)",
+        &weblog.rows,
+        &weblog.truth,
+        &configs,
+        10,
+    );
+
+    // Panels (c)/(d): vary l at fixed r.
+    let l_values = [2usize, 5, 10, 20];
+    let configs: Vec<(String, Scheme, f64)> = l_values
+        .iter()
+        .map(|&l| (format!("l={l}"), mlsh(5, l), s_star))
+        .collect();
+    let by_l = sweep_panel(
+        "fig8cd_mlsh_vs_l",
+        "Fig. 8c/8d — M-LSH vs l (r = 5, s* = 0.5)",
+        &weblog.rows,
+        &weblog.truth,
+        &configs,
+        10,
+    );
+
+    // Shape checks.
+    assert!(
+        by_r.last().unwrap().false_positives <= by_r.first().unwrap().false_positives,
+        "FP should fall as r grows"
+    );
+    assert!(
+        by_r.last().unwrap().fn_rate >= by_r.first().unwrap().fn_rate - 0.05,
+        "FN should rise (or stay) as r grows"
+    );
+    assert!(
+        by_l.last().unwrap().fn_rate <= by_l.first().unwrap().fn_rate + 0.02,
+        "FN should fall as l grows"
+    );
+    assert!(
+        by_l.last().unwrap().false_positives >= by_l.first().unwrap().false_positives,
+        "FP should rise as l grows"
+    );
+    // (b) signature time dominated by min-hash extraction: grows with k = r·l.
+    let t_small = by_r.first().unwrap().signature_s;
+    let t_large = by_r.last().unwrap().signature_s;
+    println!(
+        "\nsignature time r=3 (k=30): {t_small:.3}s vs r=12 (k=120): {t_large:.3}s"
+    );
+    assert!(
+        t_large > t_small,
+        "min-hash extraction should dominate and grow with r·l"
+    );
+    println!("shape checks passed");
+}

@@ -1,0 +1,99 @@
+//! §5 scaling: "the number of rows vary from 10⁴ to 10⁶".
+//!
+//! Sweeps the synthetic benchmark's row count and reports per-phase times
+//! for each scheme, verifying the expected scaling: signature time linear
+//! in rows (the single data pass), candidate time essentially independent
+//! of rows (it works on sketches of fixed size).
+
+use sfa_core::Scheme;
+use sfa_datagen::SyntheticConfig;
+use sfa_experiments::{print_table, run_scheme, write_csv, EXPERIMENT_SEED};
+
+fn main() {
+    println!("# §5 scaling — synthetic data, rows from 10^4 to 2.5x10^5");
+    let row_counts = [10_000u32, 50_000, 100_000, 250_000];
+    let schemes = [
+        ("MH", Scheme::Mh { k: 100, delta: 0.2 }),
+        ("K-MH", Scheme::Kmh { k: 100, delta: 0.2 }),
+        (
+            "M-LSH",
+            Scheme::MLsh {
+                k: 100,
+                r: 4,
+                l: 25,
+                sampled: false,
+            },
+        ),
+    ];
+    let mut table = Vec::new();
+    let mut csv = Vec::new();
+    let mut sig_times: Vec<(String, f64)> = Vec::new();
+    for &n_rows in &row_counts {
+        let cfg = SyntheticConfig {
+            n_rows,
+            n_cols: 1_000,
+            density_range: (0.01, 0.05),
+            pairs_per_band: 2,
+            bands: sfa_datagen::synthetic::PAPER_BANDS.to_vec(),
+            seed: EXPERIMENT_SEED,
+        };
+        let data = cfg.generate();
+        let rows = data.matrix.transpose();
+        let mut row_out = vec![format!("{n_rows}")];
+        let mut csv_row = vec![n_rows.to_string()];
+        for (name, scheme) in schemes {
+            let result = run_scheme(&rows, scheme, 0.45, EXPERIMENT_SEED);
+            let found = result.similar_pairs().len();
+            row_out.push(format!(
+                "{:.2}+{:.2}+{:.2} ({found}p)",
+                result.timings.signatures.as_secs_f64(),
+                result.timings.candidates.as_secs_f64(),
+                result.timings.verify.as_secs_f64(),
+            ));
+            csv_row.push(format!("{:.5}", result.timings.signatures.as_secs_f64()));
+            csv_row.push(format!("{:.5}", result.timings.candidates.as_secs_f64()));
+            csv_row.push(format!("{:.5}", result.timings.verify.as_secs_f64()));
+            sig_times.push((
+                format!("{name}@{n_rows}"),
+                result.timings.signatures.as_secs_f64(),
+            ));
+            // Every scale recovers the planted pairs.
+            assert!(
+                found >= data.planted.len() * 8 / 10,
+                "{name} at n = {n_rows}: only {found}/{} pairs",
+                data.planted.len()
+            );
+        }
+        table.push(row_out);
+        csv.push(csv_row);
+    }
+    print_table(
+        "Per-phase seconds (signatures+candidates+verify) vs rows",
+        &["rows", "MH", "K-MH", "M-LSH"],
+        &table,
+    );
+    write_csv(
+        "scaling_rows.csv",
+        &[
+            "rows",
+            "mh_sig_s", "mh_cand_s", "mh_ver_s",
+            "kmh_sig_s", "kmh_cand_s", "kmh_ver_s",
+            "mlsh_sig_s", "mlsh_cand_s", "mlsh_ver_s",
+        ],
+        &csv,
+    );
+
+    // Linearity: MH signature time at 250k rows ≈ 25× the 10k time
+    // (tolerate a wide band; constant overheads flatter small runs).
+    let at = |label: &str| {
+        sig_times
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, t)| *t)
+            .expect("measured")
+    };
+    let ratio = at("MH@250000") / at("MH@10000").max(1e-9);
+    println!("\nMH signature-time ratio 250k/10k rows: {ratio:.1} (linear would be 25)");
+    assert!(ratio > 5.0, "signature pass should scale with rows");
+    println!("shape check passed");
+}

@@ -1,0 +1,425 @@
+//! Hash-count machinery: bucket tables and reusable sparse counters.
+//!
+//! The paper's candidate-generation algorithms (§3.1) revolve around two
+//! small data structures:
+//!
+//! * a **bucket table** mapping a hash value to the list of columns whose
+//!   signature contains it ("buckets … store column-indices for all columns
+//!   `c_i` with some element of `SIG_i` hashing into that bucket"), and
+//! * **reusable counters**: "to avoid `O(m²)` counter initializations, we
+//!   reuse the same `O(m)` counters … and remember and reinitialize only
+//!   counters that were incremented at least once" — implemented as
+//!   [`SparseCounters`].
+//!
+//! [`PairCounter`] packs `(i, j)` column pairs into one `u64` key over a
+//! fast hash map, which is the convenient form for LSH bucket scans.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A minimal fast `Hasher` for integer-keyed maps (FxHash-style fold-mul).
+///
+/// Collision attacks are irrelevant here (keys are our own hash values), so
+/// we trade SipHash's robustness for speed, as any database engine does for
+/// internal integer maps.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.write_u64(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.state = (self.state.rotate_left(5) ^ n).wrapping_mul(FX_SEED);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using the fast integer hasher.
+pub type FastHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using the fast integer hasher.
+pub type FastHashSet<K> = HashSet<K, FxBuildHasher>;
+
+/// Packs an ordered column pair into a single `u64` key (requires `i < j`).
+#[inline]
+#[must_use]
+pub fn pack_pair(i: u32, j: u32) -> u64 {
+    debug_assert!(i < j, "pairs must be ordered: {i} !< {j}");
+    (u64::from(i) << 32) | u64::from(j)
+}
+
+/// Unpacks a key produced by [`pack_pair`].
+#[inline]
+#[must_use]
+pub fn unpack_pair(key: u64) -> (u32, u32) {
+    ((key >> 32) as u32, key as u32)
+}
+
+/// A bucket table mapping hash values to the columns containing them.
+///
+/// This is the §3.1 Hash-Count structure: columns are inserted in index
+/// order, and before a column is added its bucket already holds exactly the
+/// earlier columns sharing the value.
+#[derive(Debug, Default)]
+pub struct BucketTable {
+    buckets: FastHashMap<u64, Vec<u32>>,
+}
+
+impl BucketTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty table with capacity for `n` distinct values.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            buckets: FastHashMap::with_capacity_and_hasher(n, FxBuildHasher::default()),
+        }
+    }
+
+    /// Columns previously inserted under `value` (empty slice if none).
+    #[must_use]
+    pub fn bucket(&self, value: u64) -> &[u32] {
+        self.buckets.get(&value).map_or(&[], Vec::as_slice)
+    }
+
+    /// Inserts `col` under `value`.
+    pub fn insert(&mut self, value: u64, col: u32) {
+        self.buckets.entry(value).or_default().push(col);
+    }
+
+    /// Number of distinct values present.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Iterates over `(value, columns)` buckets in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[u32])> {
+        self.buckets.iter().map(|(&v, cols)| (v, cols.as_slice()))
+    }
+
+    /// Clears all buckets, retaining allocation of the outer map.
+    pub fn clear(&mut self) {
+        self.buckets.clear();
+    }
+}
+
+/// Counts occurrences per ordered column pair.
+///
+/// Used by Hash-Count and by the LSH schemes to accumulate, for each pair,
+/// how many signature rows / bands / runs it collided in.
+#[derive(Debug, Default)]
+pub struct PairCounter {
+    counts: FastHashMap<u64, u32>,
+}
+
+impl PairCounter {
+    /// Creates an empty counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments the counter for the unordered pair `{a, b}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `a == b`; self-pairs are meaningless.
+    pub fn increment(&mut self, a: u32, b: u32) {
+        debug_assert_ne!(a, b, "self-pair");
+        let key = if a < b { pack_pair(a, b) } else { pack_pair(b, a) };
+        *self.counts.entry(key).or_insert(0) += 1;
+    }
+
+    /// Adds `count` to the unordered pair `{a, b}` (bulk merge support).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `a == b`.
+    pub fn add(&mut self, a: u32, b: u32, count: u32) {
+        debug_assert_ne!(a, b, "self-pair");
+        let key = if a < b { pack_pair(a, b) } else { pack_pair(b, a) };
+        *self.counts.entry(key).or_insert(0) += count;
+    }
+
+    /// Current count for the unordered pair `{a, b}`.
+    #[must_use]
+    pub fn get(&self, a: u32, b: u32) -> u32 {
+        let key = if a < b { pack_pair(a, b) } else { pack_pair(b, a) };
+        self.counts.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Number of pairs with a nonzero count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether no pair has been counted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Iterates `(i, j, count)` with `i < j`, in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
+        self.counts.iter().map(|(&k, &c)| {
+            let (i, j) = unpack_pair(k);
+            (i, j, c)
+        })
+    }
+
+    /// Drains `(i, j, count)` entries, leaving the counter empty.
+    pub fn drain(&mut self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
+        self.counts.drain().map(|(k, c)| {
+            let (i, j) = unpack_pair(k);
+            (i, j, c)
+        })
+    }
+
+    /// Pairs whose count is at least `threshold`, as `(i, j, count)`.
+    #[must_use]
+    pub fn pairs_at_least(&self, threshold: u32) -> Vec<(u32, u32, u32)> {
+        let mut v: Vec<(u32, u32, u32)> = self
+            .iter()
+            .filter(|&(_, _, c)| c >= threshold)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Reusable dense counters over `m` slots with `O(touched)` reset.
+///
+/// The paper's Row-Sorting algorithm keeps one counter per column while
+/// processing a focus column, then must avoid paying `O(m)` to reset them
+/// for the next focus column: "we reuse the same `O(m)` counters … and
+/// remember and reinitialize only counters that were incremented at least
+/// once". `SparseCounters` is that structure.
+#[derive(Debug)]
+pub struct SparseCounters {
+    counts: Vec<u32>,
+    touched: Vec<u32>,
+}
+
+impl SparseCounters {
+    /// Creates counters over slots `0..m`, all zero.
+    #[must_use]
+    pub fn new(m: usize) -> Self {
+        Self {
+            counts: vec![0; m],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Number of slots.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Increments slot `slot`, remembering it for the next [`reset`](Self::reset).
+    #[inline]
+    pub fn increment(&mut self, slot: u32) {
+        let c = &mut self.counts[slot as usize];
+        if *c == 0 {
+            self.touched.push(slot);
+        }
+        *c += 1;
+    }
+
+    /// Current value of `slot`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, slot: u32) -> u32 {
+        self.counts[slot as usize]
+    }
+
+    /// Slots incremented since the last reset (unsorted, no duplicates).
+    #[must_use]
+    pub fn touched(&self) -> &[u32] {
+        &self.touched
+    }
+
+    /// Resets only the touched slots; cost is `O(touched)`, not `O(m)`.
+    pub fn reset(&mut self) {
+        for &slot in &self.touched {
+            self.counts[slot as usize] = 0;
+        }
+        self.touched.clear();
+    }
+
+    /// Drains `(slot, count)` for touched slots with count ≥ `threshold`,
+    /// resetting the counters as it goes.
+    pub fn drain_at_least(&mut self, threshold: u32) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for &slot in &self.touched {
+            let c = self.counts[slot as usize];
+            if c >= threshold {
+                out.push((slot, c));
+            }
+            self.counts[slot as usize] = 0;
+        }
+        self.touched.clear();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for (i, j) in [(0, 1), (5, 9), (0, u32::MAX), (100, 101)] {
+            assert_eq!(unpack_pair(pack_pair(i, j)), (i, j));
+        }
+    }
+
+    #[test]
+    fn fx_hasher_spreads_sequential_keys() {
+        // Sequential u64 keys must land in distinct states.
+        let hash = |n: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(n);
+            h.finish()
+        };
+        let distinct: std::collections::HashSet<u64> = (0..10_000).map(hash).collect();
+        assert_eq!(distinct.len(), 10_000);
+        // and actually differ in high bits so map bucketing works:
+        assert_ne!(hash(1) >> 56, hash(2) >> 56);
+    }
+
+    #[test]
+    fn bucket_table_groups_columns() {
+        let mut t = BucketTable::new();
+        t.insert(42, 0);
+        t.insert(42, 3);
+        t.insert(7, 1);
+        assert_eq!(t.bucket(42), &[0, 3]);
+        assert_eq!(t.bucket(7), &[1]);
+        assert_eq!(t.bucket(999), &[] as &[u32]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn bucket_table_clear_retains_nothing() {
+        let mut t = BucketTable::with_capacity(16);
+        t.insert(1, 1);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.bucket(1), &[] as &[u32]);
+    }
+
+    #[test]
+    fn pair_counter_orders_pairs() {
+        let mut pc = PairCounter::new();
+        pc.increment(3, 1);
+        pc.increment(1, 3);
+        assert_eq!(pc.get(1, 3), 2);
+        assert_eq!(pc.get(3, 1), 2);
+        assert_eq!(pc.get(1, 2), 0);
+    }
+
+    #[test]
+    fn pair_counter_threshold_filter() {
+        let mut pc = PairCounter::new();
+        for _ in 0..5 {
+            pc.increment(0, 1);
+        }
+        pc.increment(0, 2);
+        assert_eq!(pc.pairs_at_least(2), vec![(0, 1, 5)]);
+        assert_eq!(pc.pairs_at_least(1).len(), 2);
+    }
+
+    #[test]
+    fn pair_counter_drain_empties() {
+        let mut pc = PairCounter::new();
+        pc.increment(0, 1);
+        let drained: Vec<_> = pc.drain().collect();
+        assert_eq!(drained, vec![(0, 1, 1)]);
+        assert!(pc.is_empty());
+    }
+
+    #[test]
+    fn sparse_counters_reset_is_sparse() {
+        let mut sc = SparseCounters::new(1000);
+        sc.increment(5);
+        sc.increment(5);
+        sc.increment(999);
+        assert_eq!(sc.get(5), 2);
+        assert_eq!(sc.get(999), 1);
+        assert_eq!(sc.touched().len(), 2);
+        sc.reset();
+        assert_eq!(sc.get(5), 0);
+        assert_eq!(sc.get(999), 0);
+        assert!(sc.touched().is_empty());
+    }
+
+    #[test]
+    fn sparse_counters_drain_at_least() {
+        let mut sc = SparseCounters::new(10);
+        sc.increment(1);
+        sc.increment(1);
+        sc.increment(2);
+        let mut hits = sc.drain_at_least(2);
+        hits.sort_unstable();
+        assert_eq!(hits, vec![(1, 2)]);
+        // fully reset afterwards:
+        assert_eq!(sc.get(1), 0);
+        assert_eq!(sc.get(2), 0);
+        assert!(sc.touched().is_empty());
+    }
+
+    #[test]
+    fn sparse_counters_reusable_across_focus_columns() {
+        let mut sc = SparseCounters::new(4);
+        sc.increment(0);
+        sc.reset();
+        sc.increment(1);
+        assert_eq!(sc.get(0), 0);
+        assert_eq!(sc.get(1), 1);
+    }
+}

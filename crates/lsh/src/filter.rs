@@ -1,0 +1,211 @@
+//! The LSH filter functions of Fig. 2.
+//!
+//! * `P_{r,l}(s) = 1 − (1 − s^r)^l` — the probability that two columns of
+//!   similarity `s` share a bucket in at least one of `l` bands of `r`
+//!   independent min-hash values (Lemma 2). For large `r, l` it
+//!   approximates a unit step at the threshold.
+//! * `Q_{r,l,k}(s)` — the same collision probability when each of the `l`
+//!   keys is built from `r` values *sampled from a pool of only `k`*
+//!   min-hashes: conditioned on the columns agreeing on exactly `d` of the
+//!   `k` pool values, a key matches with probability `(d/k)^r`, so
+//!   `Q = Σ_d C(k,d) s^d (1−s)^{k−d} · [1 − (1 − (d/k)^r)^l]`.
+
+/// The band filter `P_{r,l}(s) = 1 − (1 − s^r)^l`.
+///
+/// # Examples
+///
+/// ```
+/// use sfa_lsh::p_filter;
+///
+/// // One band of one row: collision probability equals the similarity.
+/// assert_eq!(p_filter(0.4, 1, 1), 0.4);
+/// // 20 bands of 5 rows sharpen toward a step around ~0.55.
+/// assert!(p_filter(0.3, 5, 20) < 0.05);
+/// assert!(p_filter(0.8, 5, 20) > 0.99);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `s` is outside `[0, 1]` or `r == 0 || l == 0`.
+#[must_use]
+pub fn p_filter(s: f64, r: usize, l: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&s), "similarity out of range: {s}");
+    assert!(r > 0 && l > 0, "r and l must be positive");
+    1.0 - (1.0 - s.powi(r as i32)).powi(l as i32)
+}
+
+/// The sampled-pool filter `Q_{r,l,k}(s)`.
+///
+/// # Panics
+///
+/// Panics on out-of-range `s` or zero parameters.
+#[must_use]
+pub fn q_filter(s: f64, r: usize, l: usize, k: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&s), "similarity out of range: {s}");
+    assert!(r > 0 && l > 0 && k > 0, "r, l, k must be positive");
+    if s == 0.0 {
+        return 0.0;
+    }
+    if s == 1.0 {
+        return 1.0;
+    }
+    // Accumulate the binomial pmf in log space: the d = 0 term
+    // (1 − s)^k underflows for large k, but each term's log is finite and
+    // only the near-mode terms matter after exponentiation.
+    let log_ratio = s.ln() - (1.0 - s).ln();
+    let mut log_pmf = (k as f64) * (1.0 - s).ln(); // d = 0
+    let mut total = 0.0;
+    for d in 1..=k {
+        log_pmf += log_ratio + ((k - d + 1) as f64 / d as f64).ln();
+        let collide = q_collision_given_d(d, k, r, l);
+        total += log_pmf.exp() * collide;
+    }
+    total.clamp(0.0, 1.0)
+}
+
+/// `q_{r,l,k}(d) = 1 − (1 − (d/k)^r)^l`: collision probability given the
+/// columns agree on exactly `d` of the `k` pool values.
+#[must_use]
+pub fn q_collision_given_d(d: usize, k: usize, r: usize, l: usize) -> f64 {
+    let frac = d as f64 / k as f64;
+    1.0 - (1.0 - frac.powi(r as i32)).powi(l as i32)
+}
+
+/// The similarity at which `P_{r,l}` crosses 1/2 — the effective threshold
+/// of a banded configuration: `s = (1 − 2^{−1/l})^{1/r}`.
+#[must_use]
+pub fn p_half_threshold(r: usize, l: usize) -> f64 {
+    (1.0 - 0.5f64.powf(1.0 / l as f64)).powf(1.0 / r as f64)
+}
+
+/// The smallest `l` such that `P_{r,l}(s) ≥ target` — used when tuning for
+/// a false-negative budget at similarity `s`.
+///
+/// Returns `None` if no `l ≤ l_max` suffices (e.g. `s^r` underflows).
+#[must_use]
+pub fn min_l_for_recall(s: f64, r: usize, target: f64, l_max: usize) -> Option<usize> {
+    assert!((0.0..1.0).contains(&target), "target must be in [0, 1)");
+    let miss = 1.0 - s.powi(r as i32); // per-band miss probability
+    if miss <= 0.0 {
+        return Some(1);
+    }
+    if miss >= 1.0 {
+        return None;
+    }
+    // (1 − s^r)^l ≤ 1 − target  ⟺  l ≥ ln(1 − target) / ln(miss).
+    let l = ((1.0 - target).ln() / miss.ln()).ceil() as usize;
+    let l = l.max(1);
+    (l <= l_max).then_some(l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p_filter_endpoints() {
+        assert_eq!(p_filter(0.0, 5, 10), 0.0);
+        assert_eq!(p_filter(1.0, 5, 10), 1.0);
+    }
+
+    #[test]
+    fn p_filter_single_band_single_row_is_identity() {
+        for &s in &[0.0, 0.3, 0.7, 1.0] {
+            assert!((p_filter(s, 1, 1) - s).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn p_filter_monotone_in_s() {
+        let mut prev = 0.0;
+        for i in 0..=100 {
+            let s = f64::from(i) / 100.0;
+            let p = p_filter(s, 10, 20);
+            assert!(p >= prev - 1e-12, "not monotone at s = {s}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn p_filter_sharpens_with_r_and_l() {
+        // Larger r pushes low-similarity collisions down; larger l pushes
+        // high-similarity collisions up (Fig. 2a).
+        assert!(p_filter(0.3, 20, 20) < p_filter(0.3, 5, 20));
+        assert!(p_filter(0.9, 20, 40) > p_filter(0.9, 20, 10));
+    }
+
+    #[test]
+    fn q_filter_endpoints_and_range() {
+        assert_eq!(q_filter(0.0, 5, 5, 40), 0.0);
+        assert_eq!(q_filter(1.0, 5, 5, 40), 1.0);
+        for i in 1..10 {
+            let s = f64::from(i) / 10.0;
+            let q = q_filter(s, 5, 5, 40);
+            assert!((0.0..=1.0).contains(&q), "Q({s}) = {q}");
+        }
+    }
+
+    #[test]
+    fn q_filter_monotone_in_s() {
+        let mut prev = 0.0;
+        for i in 0..=50 {
+            let s = f64::from(i) / 50.0;
+            let q = q_filter(s, 10, 10, 40);
+            assert!(q >= prev - 1e-9, "not monotone at s = {s}");
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn q_approaches_p_as_k_grows() {
+        // Fig. 2b: Q_{r,l,k} → P_{r,l} for large k.
+        let (r, l) = (6, 8);
+        for &s in &[0.4, 0.6, 0.8] {
+            let p = p_filter(s, r, l);
+            let q_small = q_filter(s, r, l, 24);
+            let q_large = q_filter(s, r, l, 800);
+            // Convergence need not be pointwise-monotone, but the large-k
+            // approximation must be tight while the small-k one may be loose.
+            assert!((q_large - p).abs() < 0.03, "s = {s}: |Q(800) − P| too big");
+            assert!((q_small - p).abs() < 0.35, "s = {s}: Q(24) implausible");
+        }
+    }
+
+    #[test]
+    fn q_is_smoother_than_p() {
+        // P is sharper: above the crossover P > Q is not universal, but at
+        // the paper's example (P_{20,20} vs Q_{20,20,40}) the Q curve lies
+        // below P at high similarity.
+        let s = 0.95;
+        assert!(q_filter(s, 20, 20, 40) < p_filter(s, 20, 20));
+    }
+
+    #[test]
+    fn p_half_threshold_matches_p() {
+        for &(r, l) in &[(5, 10), (10, 20), (20, 5)] {
+            let s = p_half_threshold(r, l);
+            assert!((p_filter(s, r, l) - 0.5).abs() < 1e-9, "r={r}, l={l}");
+        }
+    }
+
+    #[test]
+    fn min_l_for_recall_achieves_target() {
+        for &(s, r, target) in &[(0.8, 5, 0.95), (0.6, 4, 0.9), (0.9, 10, 0.99)] {
+            let l = min_l_for_recall(s, r, target, 100_000).expect("feasible");
+            assert!(p_filter(s, r, l) >= target, "s={s}, r={r}, l={l}");
+            if l > 1 {
+                assert!(
+                    p_filter(s, r, l - 1) < target,
+                    "l not minimal: s={s}, r={r}, l={l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn min_l_for_recall_infeasible_cases() {
+        assert_eq!(min_l_for_recall(0.0, 5, 0.9, 1000), None);
+        assert_eq!(min_l_for_recall(0.5, 5, 0.999, 2), None);
+        assert_eq!(min_l_for_recall(1.0, 5, 0.9, 1000), Some(1));
+    }
+}

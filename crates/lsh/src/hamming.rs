@@ -1,0 +1,79 @@
+//! Lemma 3: similarity ↔ Hamming distance.
+//!
+//! `S(c_i, c_j) = (|C_i| + |C_j| − d_H) / (|C_i| + |C_j| + d_H)`, so for a
+//! fixed density sum `ρ = |C_i| + |C_j|`, high similarity is exactly small
+//! Hamming distance — the reduction H-LSH is built on.
+
+/// Similarity from the two column cardinalities and their Hamming distance.
+///
+/// Returns 0 for two empty columns.
+#[must_use]
+pub fn similarity_from_hamming(card_i: usize, card_j: usize, d_h: usize) -> f64 {
+    let rho = (card_i + card_j) as f64;
+    if rho == 0.0 {
+        return 0.0;
+    }
+    let d = d_h as f64;
+    ((rho - d) / (rho + d)).max(0.0)
+}
+
+/// Hamming distance implied by the cardinalities and a similarity
+/// (inverse of [`similarity_from_hamming`]): `d_H = ρ·(1 − s)/(1 + s)`.
+#[must_use]
+pub fn hamming_from_similarity(card_i: usize, card_j: usize, s: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&s), "similarity out of range");
+    let rho = (card_i + card_j) as f64;
+    rho * (1.0 - s) / (1.0 + s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfa_matrix::ColumnSet;
+
+    #[test]
+    fn lemma3_agrees_with_set_similarity() {
+        let a = ColumnSet::from_unsorted(vec![1, 2, 3, 7, 9]);
+        let b = ColumnSet::from_unsorted(vec![2, 3, 4, 9]);
+        let s_sets = a.similarity(&b);
+        let s_lemma =
+            similarity_from_hamming(a.cardinality(), b.cardinality(), a.hamming_distance(&b));
+        assert!((s_sets - s_lemma).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_columns_give_one() {
+        assert_eq!(similarity_from_hamming(5, 5, 0), 1.0);
+    }
+
+    #[test]
+    fn disjoint_columns_give_zero() {
+        // d_H = |C_i| + |C_j| when disjoint.
+        assert_eq!(similarity_from_hamming(3, 4, 7), 0.0);
+    }
+
+    #[test]
+    fn empty_columns_give_zero() {
+        assert_eq!(similarity_from_hamming(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        for &(ci, cj, dh) in &[(5usize, 5usize, 2usize), (10, 4, 6), (7, 7, 0)] {
+            let s = similarity_from_hamming(ci, cj, dh);
+            let back = hamming_from_similarity(ci, cj, s);
+            assert!((back - dh as f64).abs() < 1e-9, "({ci}, {cj}, {dh})");
+        }
+    }
+
+    #[test]
+    fn fixed_rho_is_monotone() {
+        // For fixed ρ, smaller Hamming distance ⇒ larger similarity.
+        let mut prev = 1.0;
+        for dh in 0..10 {
+            let s = similarity_from_hamming(5, 5, dh);
+            assert!(s <= prev + 1e-12);
+            prev = s;
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! Input-sensitive parameter optimization (§4.1).
+//!
+//! "Assume that we are given (an estimate of) the similarity distribution
+//! of the data … the problem of estimating optimal parameters turns into
+//! the following minimization problem:
+//!
+//! ```text
+//! minimize   l · r
+//! subject to Σ_{s_i ≥ s₀} distr(s_i)·(1 − P(s_i)) ≤ n₋
+//!        and Σ_{s_i < s₀} distr(s_i)·P(s_i)       ≤ n₊
+//! ```
+//!
+//! … One approach is to solve the minimization problem by iterating on
+//! small values of r, finding a lower bound on the value of l by solving
+//! the first inequality" — which is exactly what [`optimize_params`] does.
+//! The paper reports "the optimal value of r was between 5 and 20" in most
+//! experiments.
+
+use sfa_matrix::SparseMatrix;
+
+use crate::filter::p_filter;
+
+/// A binned estimate of the pairwise-similarity distribution `distr(s)`.
+///
+/// Bin `b` spans `[b/bins, (b+1)/bins)` and holds the number of column
+/// pairs in that range. Pairs with similarity 0 need not be counted (LSH
+/// admits them with probability 0 anyway, and a nonzero `P(0⁺)` mass is
+/// captured by the first bin).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimilarityDistribution {
+    counts: Vec<u64>,
+}
+
+impl SimilarityDistribution {
+    /// Wraps histogram counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is empty.
+    #[must_use]
+    pub fn from_histogram(counts: Vec<u64>) -> Self {
+        assert!(!counts.is_empty(), "need at least one bin");
+        Self { counts }
+    }
+
+    /// Exact distribution of a (small) matrix.
+    #[must_use]
+    pub fn from_matrix(matrix: &SparseMatrix, bins: usize) -> Self {
+        Self::from_histogram(sfa_matrix::stats::similarity_histogram(matrix, bins))
+    }
+
+    /// The paper's practical variant: estimate by sampling a fraction of
+    /// columns and computing all pairwise similarities among the sample,
+    /// scaling counts back up by `1 / fraction²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fraction <= 1`.
+    #[must_use]
+    pub fn estimate_by_sampling(
+        matrix: &SparseMatrix,
+        fraction: f64,
+        bins: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(fraction > 0.0 && fraction <= 1.0, "bad sampling fraction");
+        let m = matrix.n_cols();
+        let take = ((f64::from(m) * fraction).ceil() as usize).clamp(1, m as usize);
+        let mut ids: Vec<u32> = (0..m).collect();
+        let mut seq = sfa_hash::SeedSequence::new(seed);
+        for i in 0..take {
+            let j = i + (seq.next_seed() % (m as usize - i) as u64) as usize;
+            ids.swap(i, j);
+        }
+        let mut sample: Vec<u32> = ids[..take].to_vec();
+        sample.sort_unstable();
+        let sub = sfa_matrix::ops::select_columns(matrix, &sample)
+            .expect("sample ids are valid and sorted");
+        let hist = sfa_matrix::stats::similarity_histogram(&sub, bins);
+        let scale = (f64::from(m) / take as f64).powi(2);
+        let counts = hist
+            .iter()
+            .map(|&c| (c as f64 * scale).round() as u64)
+            .collect();
+        Self::from_histogram(counts)
+    }
+
+    /// Number of bins.
+    #[must_use]
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count in bin `b`.
+    #[must_use]
+    pub fn count(&self, b: usize) -> u64 {
+        self.counts[b]
+    }
+
+    /// Midpoint similarity of bin `b`.
+    #[must_use]
+    pub fn midpoint(&self, b: usize) -> f64 {
+        (b as f64 + 0.5) / self.bins() as f64
+    }
+
+    /// Expected false negatives at threshold `s_star` under filter `P_{r,l}`.
+    #[must_use]
+    pub fn expected_false_negatives(&self, s_star: f64, r: usize, l: usize) -> f64 {
+        (0..self.bins())
+            .filter(|&b| self.midpoint(b) >= s_star)
+            .map(|b| self.counts[b] as f64 * (1.0 - p_filter(self.midpoint(b), r, l)))
+            .sum()
+    }
+
+    /// Expected false positives at threshold `s_star` under filter `P_{r,l}`.
+    #[must_use]
+    pub fn expected_false_positives(&self, s_star: f64, r: usize, l: usize) -> f64 {
+        (0..self.bins())
+            .filter(|&b| self.midpoint(b) < s_star)
+            .map(|b| self.counts[b] as f64 * p_filter(self.midpoint(b), r, l))
+            .sum()
+    }
+
+    /// Number of pairs at or above `s_star` (by bin midpoint).
+    #[must_use]
+    pub fn pairs_at_least(&self, s_star: f64) -> u64 {
+        (0..self.bins())
+            .filter(|&b| self.midpoint(b) >= s_star)
+            .map(|b| self.counts[b])
+            .sum()
+    }
+}
+
+/// The optimized `(r, l)` returned by [`optimize_params`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptimizedParams {
+    /// Rows per band.
+    pub r: usize,
+    /// Number of bands.
+    pub l: usize,
+}
+
+impl OptimizedParams {
+    /// The signature budget `k = r·l` the configuration needs.
+    #[must_use]
+    pub const fn k(&self) -> usize {
+        self.r * self.l
+    }
+}
+
+/// Solves the §4.1 minimization: the `(r, l)` with minimal `r·l` meeting
+/// both the false-negative budget `max_fn` and the false-positive budget
+/// `max_fp` at threshold `s_star`, searching `r ∈ [1, r_max]`,
+/// `l ∈ [1, l_max]`.
+///
+/// # Examples
+///
+/// ```
+/// use sfa_lsh::{optimize_params, SimilarityDistribution};
+///
+/// // A Fig.-3-like distribution: a huge dissimilar mass, a tiny tail.
+/// let mut bins = vec![0u64; 10];
+/// bins[0] = 1_000_000;
+/// bins[8] = 50;
+/// let distr = SimilarityDistribution::from_histogram(bins);
+/// let p = optimize_params(&distr, 0.7, 1.0, 1_000.0, 20, 1 << 12).unwrap();
+/// assert!(distr.expected_false_negatives(0.7, p.r, p.l) <= 1.0);
+/// ```
+///
+/// Returns `None` when no configuration within the search box satisfies
+/// both constraints.
+#[must_use]
+pub fn optimize_params(
+    distr: &SimilarityDistribution,
+    s_star: f64,
+    max_fn: f64,
+    max_fp: f64,
+    r_max: usize,
+    l_max: usize,
+) -> Option<OptimizedParams> {
+    let mut best: Option<OptimizedParams> = None;
+    for r in 1..=r_max {
+        // FN decreases monotonically in l: binary-search the minimal l.
+        if distr.expected_false_negatives(s_star, r, l_max) > max_fn {
+            continue; // even l_max cannot meet the FN budget at this r
+        }
+        let (mut lo, mut hi) = (1usize, l_max);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if distr.expected_false_negatives(s_star, r, mid) <= max_fn {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        let l = lo;
+        // FP increases with l, so the minimal l is also the best FP for
+        // this r; check the second constraint.
+        if distr.expected_false_positives(s_star, r, l) > max_fp {
+            continue;
+        }
+        let cand = OptimizedParams { r, l };
+        if best.is_none_or(|b| cand.k() < b.k()) {
+            best = Some(cand);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A distribution shaped like Fig. 3: a huge low-similarity mass and a
+    /// small high-similarity population.
+    fn weblike() -> SimilarityDistribution {
+        let mut counts = vec![0u64; 20];
+        counts[0] = 1_000_000;
+        counts[1] = 120_000;
+        counts[2] = 20_000;
+        counts[3] = 4_000;
+        counts[4] = 800;
+        counts[8] = 50;
+        counts[13] = 40;
+        counts[17] = 60;
+        counts[19] = 30;
+        SimilarityDistribution::from_histogram(counts)
+    }
+
+    #[test]
+    fn expectations_are_consistent() {
+        let d = weblike();
+        // With a step-like filter (huge r·l) FN ≈ 0 at any threshold the
+        // filter is centred on.
+        let fn_sharp = d.expected_false_negatives(0.5, 10, 100_000);
+        assert!(fn_sharp < 1.0, "sharp filter FN = {fn_sharp}");
+        // With a useless filter (r=1, l=1): FP is the mass below the
+        // threshold weighted by s.
+        let fp_weak = d.expected_false_positives(0.5, 1, 1);
+        assert!(fp_weak > 10_000.0);
+    }
+
+    #[test]
+    fn fn_monotone_decreasing_in_l() {
+        let d = weblike();
+        let mut prev = f64::INFINITY;
+        for l in [1, 2, 4, 8, 16, 32] {
+            let v = d.expected_false_negatives(0.6, 8, l);
+            assert!(v <= prev + 1e-9);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn fp_monotone_increasing_in_l() {
+        let d = weblike();
+        let mut prev = 0.0;
+        for l in [1, 2, 4, 8, 16, 32] {
+            let v = d.expected_false_positives(0.6, 8, l);
+            assert!(v >= prev - 1e-9);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn optimizer_meets_constraints() {
+        let d = weblike();
+        let (s_star, max_fn, max_fp) = (0.6, 5.0, 2_000.0);
+        let p = optimize_params(&d, s_star, max_fn, max_fp, 30, 1 << 14).expect("feasible");
+        assert!(d.expected_false_negatives(s_star, p.r, p.l) <= max_fn);
+        assert!(d.expected_false_positives(s_star, p.r, p.l) <= max_fp);
+        // Paper: optimal r is typically between 5 and 20 on such data.
+        assert!((2..=25).contains(&p.r), "r = {}", p.r);
+    }
+
+    #[test]
+    fn optimizer_is_minimal_over_grid() {
+        let d = weblike();
+        let (s_star, max_fn, max_fp) = (0.6, 5.0, 2_000.0);
+        let p = optimize_params(&d, s_star, max_fn, max_fp, 12, 256).expect("feasible");
+        // Exhaustive check: nothing cheaper in the search box is feasible.
+        for r in 1..=12 {
+            for l in 1..=256 {
+                if r * l < p.k()
+                    && d.expected_false_negatives(s_star, r, l) <= max_fn
+                    && d.expected_false_positives(s_star, r, l) <= max_fp
+                {
+                    panic!("optimizer missed cheaper feasible ({r}, {l})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimizer_returns_none_when_infeasible() {
+        let d = weblike();
+        // Impossible: zero false positives AND zero false negatives.
+        assert_eq!(optimize_params(&d, 0.6, 0.0, 0.0, 10, 64), None);
+    }
+
+    #[test]
+    fn tighter_fn_budget_costs_more() {
+        let d = weblike();
+        let loose = optimize_params(&d, 0.6, 50.0, 5_000.0, 30, 1 << 14).unwrap();
+        let tight = optimize_params(&d, 0.6, 0.5, 5_000.0, 30, 1 << 14).unwrap();
+        assert!(tight.k() >= loose.k());
+    }
+
+    #[test]
+    fn sampling_estimator_approximates_exact() {
+        let data = sfa_datagen::SyntheticConfig::small(2_000, 5).generate();
+        let exact = SimilarityDistribution::from_matrix(&data.matrix, 10);
+        let sampled =
+            SimilarityDistribution::estimate_by_sampling(&data.matrix, 0.5, 10, 3);
+        // High-similarity mass (the planted pairs) should be the same order
+        // of magnitude.
+        let hi_exact: u64 = (5..10).map(|b| exact.count(b)).sum();
+        let hi_sampled: u64 = (5..10).map(|b| sampled.count(b)).sum();
+        assert!(
+            hi_sampled <= hi_exact * 8 + 8,
+            "sampled {hi_sampled} vs exact {hi_exact}"
+        );
+    }
+
+    #[test]
+    fn pairs_at_least_counts_tail() {
+        let d = weblike();
+        assert_eq!(d.pairs_at_least(0.85), 90); // bins 17, 19
+        assert_eq!(d.pairs_at_least(0.95), 30); // bin 19
+    }
+}

@@ -1,0 +1,344 @@
+//! Exact sparse columns and the paper's similarity definitions.
+//!
+//! A column `c_i` is identified with the set `C_i` of rows holding a 1 in
+//! it. All of the paper's measures are defined on these sets:
+//!
+//! * similarity `S(c_i, c_j) = |C_i ∩ C_j| / |C_i ∪ C_j|` (Jaccard),
+//! * confidence `Conf(c_i ⇒ c_j) = |C_i ∩ C_j| / |C_i|`,
+//! * Hamming distance `d_H`, related to `S` by Lemma 3:
+//!   `S = (|C_i| + |C_j| − d_H) / (|C_i| + |C_j| + d_H)`.
+
+/// A sparse column: the strictly ascending set of row ids containing a 1.
+///
+/// # Examples
+///
+/// ```
+/// use sfa_matrix::ColumnSet;
+///
+/// let a = ColumnSet::from_sorted(vec![1, 2, 3]).unwrap();
+/// let b = ColumnSet::from_sorted(vec![2, 3, 4]).unwrap();
+/// assert_eq!(a.intersection_size(&b), 2);
+/// assert_eq!(a.union_size(&b), 4);
+/// assert!((a.similarity(&b) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct ColumnSet {
+    rows: Vec<u32>,
+}
+
+impl ColumnSet {
+    /// Creates an empty column.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self { rows: Vec::new() }
+    }
+
+    /// Wraps a strictly ascending row list.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if `rows` is not strictly ascending.
+    #[must_use]
+    pub fn from_sorted(rows: Vec<u32>) -> Option<Self> {
+        if rows.windows(2).all(|w| w[0] < w[1]) {
+            Some(Self { rows })
+        } else {
+            None
+        }
+    }
+
+    /// Builds from an arbitrary row list, sorting and deduplicating.
+    #[must_use]
+    pub fn from_unsorted(mut rows: Vec<u32>) -> Self {
+        rows.sort_unstable();
+        rows.dedup();
+        Self { rows }
+    }
+
+    /// Wraps a slice known (and debug-asserted) to be strictly ascending.
+    #[must_use]
+    pub fn from_slice(rows: &[u32]) -> Self {
+        debug_assert!(rows.windows(2).all(|w| w[0] < w[1]), "rows must ascend");
+        Self {
+            rows: rows.to_vec(),
+        }
+    }
+
+    /// The row ids, strictly ascending.
+    #[must_use]
+    pub fn rows(&self) -> &[u32] {
+        &self.rows
+    }
+
+    /// `|C_i|` — the number of 1s in the column (its support count).
+    #[must_use]
+    pub fn cardinality(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the column is all-zero.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Density `d_i = |C_i| / n` given the total row count `n`.
+    #[must_use]
+    pub fn density(&self, n_rows: u32) -> f64 {
+        if n_rows == 0 {
+            0.0
+        } else {
+            self.rows.len() as f64 / f64::from(n_rows)
+        }
+    }
+
+    /// Whether row `r` holds a 1 (binary search).
+    #[must_use]
+    pub fn contains(&self, r: u32) -> bool {
+        self.rows.binary_search(&r).is_ok()
+    }
+
+    /// `|C_i ∩ C_j|` by sorted-merge intersection.
+    #[must_use]
+    pub fn intersection_size(&self, other: &Self) -> usize {
+        intersection_size(&self.rows, &other.rows)
+    }
+
+    /// `|C_i ∪ C_j|` (inclusion–exclusion over the merge count).
+    #[must_use]
+    pub fn union_size(&self, other: &Self) -> usize {
+        self.rows.len() + other.rows.len() - self.intersection_size(other)
+    }
+
+    /// The Jaccard similarity `S(c_i, c_j)`.
+    ///
+    /// Two empty columns have similarity 0 by convention (the paper never
+    /// considers all-zero columns; 0 keeps them out of every result set).
+    #[must_use]
+    pub fn similarity(&self, other: &Self) -> f64 {
+        let union = self.union_size(other);
+        if union == 0 {
+            0.0
+        } else {
+            self.intersection_size(other) as f64 / union as f64
+        }
+    }
+
+    /// The confidence `Conf(self ⇒ other) = |C_i ∩ C_j| / |C_i|`.
+    ///
+    /// Returns 0 for an empty antecedent.
+    #[must_use]
+    pub fn confidence(&self, other: &Self) -> f64 {
+        if self.rows.is_empty() {
+            0.0
+        } else {
+            self.intersection_size(other) as f64 / self.rows.len() as f64
+        }
+    }
+
+    /// The Hamming distance `d_H` = size of the symmetric difference.
+    #[must_use]
+    pub fn hamming_distance(&self, other: &Self) -> usize {
+        self.rows.len() + other.rows.len() - 2 * self.intersection_size(other)
+    }
+
+    /// The union `C_i ∪ C_j` as a new column.
+    #[must_use]
+    pub fn union(&self, other: &Self) -> Self {
+        let mut rows = Vec::with_capacity(self.rows.len() + other.rows.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.rows.len() && j < other.rows.len() {
+            match self.rows[i].cmp(&other.rows[j]) {
+                std::cmp::Ordering::Less => {
+                    rows.push(self.rows[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    rows.push(other.rows[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    rows.push(self.rows[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        rows.extend_from_slice(&self.rows[i..]);
+        rows.extend_from_slice(&other.rows[j..]);
+        Self { rows }
+    }
+
+    /// The intersection `C_i ∩ C_j` as a new column.
+    #[must_use]
+    pub fn intersection(&self, other: &Self) -> Self {
+        let mut rows = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.rows.len() && j < other.rows.len() {
+            match self.rows[i].cmp(&other.rows[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    rows.push(self.rows[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        Self { rows }
+    }
+}
+
+/// Sorted-merge `|a ∩ b|` over ascending slices.
+///
+/// Exposed because signature code intersects raw `&[u32]` column slices
+/// straight out of CSC storage without materializing `ColumnSet`s.
+#[must_use]
+pub fn intersection_size(a: &[u32], b: &[u32]) -> usize {
+    // Galloping would win on very skewed sizes; sorted merge is optimal for
+    // the near-equal-cardinality pairs that dominate this workload.
+    let mut count = 0;
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Jaccard similarity of two ascending row-id slices.
+#[must_use]
+pub fn jaccard(a: &[u32], b: &[u32]) -> f64 {
+    let inter = intersection_size(a, b);
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(rows: &[u32]) -> ColumnSet {
+        ColumnSet::from_sorted(rows.to_vec()).expect("sorted")
+    }
+
+    #[test]
+    fn from_sorted_rejects_unsorted_and_duplicates() {
+        assert!(ColumnSet::from_sorted(vec![3, 1]).is_none());
+        assert!(ColumnSet::from_sorted(vec![1, 1]).is_none());
+        assert!(ColumnSet::from_sorted(vec![1, 2]).is_some());
+        assert!(ColumnSet::from_sorted(vec![]).is_some());
+    }
+
+    #[test]
+    fn from_unsorted_normalizes() {
+        let c = ColumnSet::from_unsorted(vec![5, 1, 5, 3]);
+        assert_eq!(c.rows(), &[1, 3, 5]);
+    }
+
+    #[test]
+    fn basic_set_sizes() {
+        let a = col(&[1, 2, 3, 7]);
+        let b = col(&[2, 3, 9]);
+        assert_eq!(a.intersection_size(&b), 2);
+        assert_eq!(a.union_size(&b), 5);
+        assert_eq!(a.hamming_distance(&b), 3);
+    }
+
+    #[test]
+    fn similarity_matches_definition() {
+        let a = col(&[1, 2, 3, 7]);
+        let b = col(&[2, 3, 9]);
+        assert!((a.similarity(&b) - 2.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_example_1_similarities() {
+        // The 4×3 matrix from Example 1 of the paper.
+        let c1 = col(&[0, 1]);
+        let c2 = col(&[0, 1, 2]);
+        let c3 = col(&[2, 3]);
+        assert!((c1.similarity(&c2) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c1.similarity(&c3) - 0.0).abs() < 1e-12);
+        assert!((c2.similarity(&c3) - 1.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_is_symmetric_and_reflexive() {
+        let a = col(&[1, 5, 9]);
+        let b = col(&[5, 9, 11, 20]);
+        assert_eq!(a.similarity(&b), b.similarity(&a));
+        assert_eq!(a.similarity(&a), 1.0);
+    }
+
+    #[test]
+    fn empty_columns_have_zero_similarity() {
+        let e = ColumnSet::new();
+        assert_eq!(e.similarity(&e), 0.0);
+        assert_eq!(e.similarity(&col(&[1])), 0.0);
+    }
+
+    #[test]
+    fn confidence_is_asymmetric() {
+        // Conf(a ⇒ b) = |a∩b|/|a|.
+        let a = col(&[1, 2]);
+        let b = col(&[1, 2, 3, 4]);
+        assert!((a.confidence(&b) - 1.0).abs() < 1e-12);
+        assert!((b.confidence(&a) - 0.5).abs() < 1e-12);
+        assert_eq!(ColumnSet::new().confidence(&a), 0.0);
+    }
+
+    #[test]
+    fn lemma_3_relates_similarity_and_hamming() {
+        let a = col(&[1, 2, 3, 7, 8]);
+        let b = col(&[2, 3, 9]);
+        let rho = (a.cardinality() + b.cardinality()) as f64;
+        let dh = a.hamming_distance(&b) as f64;
+        let via_lemma = (rho - dh) / (rho + dh);
+        assert!((a.similarity(&b) - via_lemma).abs() < 1e-12);
+    }
+
+    #[test]
+    fn union_and_intersection_materialize() {
+        let a = col(&[1, 3, 5]);
+        let b = col(&[3, 4]);
+        assert_eq!(a.union(&b).rows(), &[1, 3, 4, 5]);
+        assert_eq!(a.intersection(&b).rows(), &[3]);
+        assert_eq!(a.union(&b).cardinality(), a.union_size(&b));
+        assert_eq!(a.intersection(&b).cardinality(), a.intersection_size(&b));
+    }
+
+    #[test]
+    fn contains_uses_membership() {
+        let a = col(&[2, 4, 6]);
+        assert!(a.contains(4));
+        assert!(!a.contains(5));
+    }
+
+    #[test]
+    fn density_handles_degenerate_n() {
+        let a = col(&[0, 1]);
+        assert_eq!(a.density(4), 0.5);
+        assert_eq!(a.density(0), 0.0);
+    }
+
+    #[test]
+    fn raw_slice_helpers_agree_with_columnset() {
+        let a = [1u32, 2, 3, 7];
+        let b = [2u32, 3, 9];
+        assert_eq!(intersection_size(&a, &b), 2);
+        assert!((jaccard(&a, &b) - 0.4).abs() < 1e-12);
+        assert_eq!(jaccard(&[], &[]), 0.0);
+    }
+}

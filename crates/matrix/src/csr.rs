@@ -1,0 +1,216 @@
+//! Row-major (CSR) sparse boolean matrix — the streaming view.
+//!
+//! The paper's algorithms scan the table row by row ("while scanning the
+//! rows …", §3). `RowMajorMatrix` is the in-memory stand-in for that
+//! disk-resident table; signature computations consume it through the
+//! [`RowStream`](crate::stream::RowStream) trait so they cannot cheat with
+//! random access.
+
+use serde::{Deserialize, Serialize};
+
+use crate::csc::SparseMatrix;
+
+/// A sparse 0/1 matrix stored row-major: for each row, the strictly
+/// ascending list of columns holding a 1.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RowMajorMatrix {
+    n_rows: u32,
+    n_cols: u32,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+}
+
+impl RowMajorMatrix {
+    /// Builds from per-row column lists (each strictly ascending).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any column id is `>= n_cols` or a row is not
+    /// strictly ascending.
+    pub fn from_rows(n_cols: u32, rows: Vec<Vec<u32>>) -> crate::Result<Self> {
+        let n_rows =
+            u32::try_from(rows.len()).map_err(|_| crate::MatrixError::DimensionMismatch {
+                detail: "more than u32::MAX rows".into(),
+            })?;
+        let nnz: usize = rows.iter().map(Vec::len).sum();
+        let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+        let mut col_idx = Vec::with_capacity(nnz);
+        row_ptr.push(0);
+        for (i, row) in rows.iter().enumerate() {
+            if !row.windows(2).all(|w| w[0] < w[1]) {
+                return Err(crate::MatrixError::Parse {
+                    at: i as u64,
+                    detail: format!("row {i} is not strictly ascending"),
+                });
+            }
+            if let Some(&last) = row.last() {
+                if last >= n_cols {
+                    return Err(crate::MatrixError::IndexOutOfRange {
+                        kind: "column",
+                        index: last,
+                        bound: n_cols,
+                    });
+                }
+            }
+            col_idx.extend_from_slice(row);
+            row_ptr.push(col_idx.len());
+        }
+        Ok(Self {
+            n_rows,
+            n_cols,
+            row_ptr,
+            col_idx,
+        })
+    }
+
+    /// Builds from raw CSR parts (trusted, debug asserted).
+    pub(crate) fn from_parts(
+        n_rows: u32,
+        n_cols: u32,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+    ) -> Self {
+        debug_assert_eq!(row_ptr.len(), n_rows as usize + 1);
+        debug_assert_eq!(*row_ptr.last().unwrap_or(&0), col_idx.len());
+        Self {
+            n_rows,
+            n_cols,
+            row_ptr,
+            col_idx,
+        }
+    }
+
+    /// Number of rows `n`.
+    #[must_use]
+    pub const fn n_rows(&self) -> u32 {
+        self.n_rows
+    }
+
+    /// Number of columns `m`.
+    #[must_use]
+    pub const fn n_cols(&self) -> u32 {
+        self.n_cols
+    }
+
+    /// Total number of 1s, `|M|`.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// The ascending column ids of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_rows`.
+    #[must_use]
+    pub fn row(&self, i: u32) -> &[u32] {
+        let i = i as usize;
+        &self.col_idx[self.row_ptr[i]..self.row_ptr[i + 1]]
+    }
+
+    /// Number of 1s in row `i`.
+    #[must_use]
+    pub fn row_count(&self, i: u32) -> usize {
+        let i = i as usize;
+        self.row_ptr[i + 1] - self.row_ptr[i]
+    }
+
+    /// Iterates `(i, columns)` over rows — the streaming scan.
+    pub fn rows(&self) -> impl Iterator<Item = (u32, &[u32])> {
+        (0..self.n_rows).map(move |i| (i, self.row(i)))
+    }
+
+    /// Support count of every column in one pass.
+    #[must_use]
+    pub fn column_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.n_cols as usize];
+        for &c in &self.col_idx {
+            counts[c as usize] += 1;
+        }
+        counts
+    }
+
+    /// Transposes into a column-major matrix (counting sort, `O(|M| + m)`).
+    #[must_use]
+    pub fn transpose(&self) -> SparseMatrix {
+        let counts = self.column_counts();
+        let mut col_ptr = Vec::with_capacity(self.n_cols as usize + 1);
+        col_ptr.push(0usize);
+        for &c in &counts {
+            col_ptr.push(col_ptr.last().unwrap() + c as usize);
+        }
+        let mut cursor = col_ptr.clone();
+        let mut row_idx = vec![0u32; self.col_idx.len()];
+        for i in 0..self.n_rows {
+            for &c in self.row(i) {
+                row_idx[cursor[c as usize]] = i;
+                cursor[c as usize] += 1;
+            }
+        }
+        SparseMatrix::from_parts(self.n_rows, self.n_cols, col_ptr, row_idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example1_rows() -> RowMajorMatrix {
+        // Paper Example 1, stored row-wise: rows r1..r4 over columns c1..c3.
+        RowMajorMatrix::from_rows(3, vec![vec![0, 1], vec![0, 1], vec![1, 2], vec![2]]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let m = example1_rows();
+        assert_eq!(m.n_rows(), 4);
+        assert_eq!(m.n_cols(), 3);
+        assert_eq!(m.nnz(), 7);
+        assert_eq!(m.row(2), &[1, 2]);
+        assert_eq!(m.row_count(3), 1);
+    }
+
+    #[test]
+    fn rejects_bad_rows() {
+        assert!(RowMajorMatrix::from_rows(3, vec![vec![0, 3]]).is_err());
+        assert!(RowMajorMatrix::from_rows(3, vec![vec![1, 0]]).is_err());
+        assert!(RowMajorMatrix::from_rows(3, vec![vec![1, 1]]).is_err());
+    }
+
+    #[test]
+    fn column_counts_single_pass() {
+        let m = example1_rows();
+        assert_eq!(m.column_counts(), vec![2, 3, 2]);
+    }
+
+    #[test]
+    fn transpose_matches_columns() {
+        let m = example1_rows();
+        let t = m.transpose();
+        assert_eq!(t.column(0), &[0, 1]);
+        assert_eq!(t.column(1), &[0, 1, 2]);
+        assert_eq!(t.column(2), &[2, 3]);
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        let m = example1_rows();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn rows_iterator_visits_in_order() {
+        let m = example1_rows();
+        let ids: Vec<u32> = m.rows().map(|(i, _)| i).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_rows_are_preserved() {
+        let m = RowMajorMatrix::from_rows(2, vec![vec![], vec![0]]).unwrap();
+        assert_eq!(m.row(0), &[] as &[u32]);
+        assert_eq!(m.row_count(0), 0);
+        assert_eq!(m.transpose().column(0), &[1]);
+    }
+}

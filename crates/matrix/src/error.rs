@@ -1,0 +1,95 @@
+//! Error type for matrix construction, IO and streaming.
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, MatrixError>;
+
+/// Errors arising from matrix construction, IO and streaming.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum MatrixError {
+    /// A row index was `>= n_rows` or a column index `>= n_cols`.
+    IndexOutOfRange {
+        /// What kind of index was out of range ("row" or "column").
+        kind: &'static str,
+        /// The offending index.
+        index: u32,
+        /// The exclusive bound it violated.
+        bound: u32,
+    },
+    /// Two matrices (or a matrix and a stream) disagreed on dimensions.
+    DimensionMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A serialized matrix could not be parsed.
+    Parse {
+        /// Line number (1-based) for text formats, byte offset for binary.
+        at: u64,
+        /// What went wrong.
+        detail: String,
+    },
+    /// An underlying IO error.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::IndexOutOfRange { kind, index, bound } => {
+                write!(f, "{kind} index {index} out of range (bound {bound})")
+            }
+            Self::DimensionMismatch { detail } => write!(f, "dimension mismatch: {detail}"),
+            Self::Parse { at, detail } => write!(f, "parse error at {at}: {detail}"),
+            Self::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for MatrixError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = MatrixError::IndexOutOfRange {
+            kind: "row",
+            index: 10,
+            bound: 5,
+        };
+        assert_eq!(e.to_string(), "row index 10 out of range (bound 5)");
+
+        let e = MatrixError::DimensionMismatch {
+            detail: "3x4 vs 3x5".into(),
+        };
+        assert!(e.to_string().contains("3x4 vs 3x5"));
+
+        let e = MatrixError::Parse {
+            at: 7,
+            detail: "bad token".into(),
+        };
+        assert!(e.to_string().contains("at 7"));
+    }
+
+    #[test]
+    fn io_error_converts_and_chains() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: MatrixError = io.into();
+        assert!(e.to_string().contains("nope"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

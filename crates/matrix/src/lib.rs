@@ -1,0 +1,51 @@
+//! # sfa-matrix — sparse boolean matrix substrate
+//!
+//! The paper (Cohen et al., ICDE 2000) views the data as an `n × m` 0/1
+//! matrix `M`: rows are tuples/baskets/clients, columns are
+//! attributes/items/URLs. The matrix is sparse (average 1s per row
+//! `r ≪ m`) and, in the setting the paper targets, too large for main
+//! memory — algorithms may only *stream* its rows.
+//!
+//! This crate provides that substrate:
+//!
+//! * [`column::ColumnSet`] — an exact sparse column (sorted row ids) with
+//!   the set operations the paper's definitions are written in terms of:
+//!   `|C_i ∩ C_j|`, `|C_i ∪ C_j|`, the Jaccard similarity `S(c_i, c_j)`,
+//!   the confidence `Conf(c_i → c_j)`, and the Hamming distance of Lemma 3.
+//! * [`builder::MatrixBuilder`] — validated incremental construction.
+//! * [`csc::SparseMatrix`] — column-major storage (fast column access;
+//!   used for ground truth, verification bookkeeping and per-column views).
+//! * [`csr::RowMajorMatrix`] — row-major storage, the in-memory stand-in
+//!   for the disk-resident table; all signature computations scan it
+//!   row-by-row through the [`stream::RowStream`] trait.
+//! * [`stream::RowStream`] — single-pass row scanning abstraction with an
+//!   in-memory and an on-disk (file-backed) implementation, so tests can
+//!   prove that phase 1 and phase 3 really are single-pass.
+//! * [`io`] — a small text format and a binary format for matrices.
+//! * [`ops`] — transpose, support pruning, row sampling, and the random
+//!   row-pairing OR-fold that builds the H-LSH density ladder (§4.2).
+//! * [`stats`] — exact all-pairs similarity (the paper's offline
+//!   brute-force ground truth), similarity histograms (Fig. 3), density
+//!   statistics and the average similarity `S̄` appearing in the §3.1
+//!   running-time analyses.
+//! * [`triangle`] — the paper's literal dense all-pairs counter
+//!   ("counters for all pairs in the main memory", §5.1), as an
+//!   alternative exact method for modest column counts.
+
+pub mod builder;
+pub mod column;
+pub mod csc;
+pub mod csr;
+pub mod error;
+pub mod io;
+pub mod ops;
+pub mod stats;
+pub mod stream;
+pub mod triangle;
+
+pub use builder::MatrixBuilder;
+pub use column::ColumnSet;
+pub use csc::SparseMatrix;
+pub use csr::RowMajorMatrix;
+pub use error::{MatrixError, Result};
+pub use stream::{FileRowStream, MemoryRowStream, RowStream};

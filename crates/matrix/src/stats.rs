@@ -1,0 +1,265 @@
+//! Exact similarity statistics — the offline ground truth of the paper's
+//! experiments.
+//!
+//! The paper computes "the real number of pairs within a similarity range …
+//! in an offline fashion by a brute-force counting algorithm" (§5.1). We do
+//! the same, but organize the brute force around row-wise co-occurrence
+//! counting, which costs `O(Σ_rows r_i²)` — linear-ish for sparse rows —
+//! instead of the `O(m² n)` column-pair enumeration.
+
+use sfa_hash::bucket::{pack_pair, FastHashMap};
+
+use crate::csc::SparseMatrix;
+use crate::csr::RowMajorMatrix;
+
+/// Exact co-occurrence counts `|C_i ∩ C_j|` for every column pair that
+/// co-occurs in at least one row, keyed by [`pack_pair`]`(i, j)` with `i < j`.
+#[must_use]
+pub fn co_occurrence_counts(matrix: &RowMajorMatrix) -> FastHashMap<u64, u32> {
+    let mut counts = FastHashMap::default();
+    for (_, cols) in matrix.rows() {
+        for (a, &ci) in cols.iter().enumerate() {
+            for &cj in &cols[a + 1..] {
+                *counts.entry(pack_pair(ci, cj)).or_insert(0) += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// A column pair with its exact similarity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimilarPair {
+    /// Smaller column id.
+    pub i: u32,
+    /// Larger column id.
+    pub j: u32,
+    /// Exact Jaccard similarity.
+    pub similarity: f64,
+}
+
+/// All column pairs with exact similarity `>= threshold`, sorted by
+/// descending similarity then ascending ids.
+///
+/// Requires `threshold > 0`; pairs never sharing a row have similarity 0
+/// and are not enumerable without quadratic work.
+///
+/// # Examples
+///
+/// ```
+/// use sfa_matrix::SparseMatrix;
+/// use sfa_matrix::stats::exact_similar_pairs;
+///
+/// let m = SparseMatrix::from_columns(4, vec![
+///     vec![0, 1], vec![0, 1, 2], vec![2, 3],
+/// ]).unwrap();
+/// let pairs = exact_similar_pairs(&m, 0.5);
+/// assert_eq!(pairs.len(), 1);
+/// assert_eq!((pairs[0].i, pairs[0].j), (0, 1));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `threshold <= 0`.
+#[must_use]
+pub fn exact_similar_pairs(matrix: &SparseMatrix, threshold: f64) -> Vec<SimilarPair> {
+    assert!(threshold > 0.0, "threshold must be positive");
+    let row_major = matrix.transpose();
+    let counts = co_occurrence_counts(&row_major);
+    let sizes = matrix.column_counts();
+    let mut out = Vec::new();
+    for (&key, &co) in &counts {
+        let (i, j) = sfa_hash::bucket::unpack_pair(key);
+        let union = sizes[i as usize] + sizes[j as usize] - co as usize;
+        let s = co as f64 / union as f64;
+        if s >= threshold {
+            out.push(SimilarPair {
+                i,
+                j,
+                similarity: s,
+            });
+        }
+    }
+    out.sort_by(|a, b| {
+        b.similarity
+            .partial_cmp(&a.similarity)
+            .expect("similarities are finite")
+            .then(a.i.cmp(&b.i))
+            .then(a.j.cmp(&b.j))
+    });
+    out
+}
+
+/// Histogram over `[0, 1]` of the exact similarities of all co-occurring
+/// column pairs (pairs with similarity exactly 0 are not counted).
+///
+/// `counts[b]` holds pairs with `S ∈ [b/bins, (b+1)/bins)`; `S = 1` lands
+/// in the last bin. This regenerates the Fig. 3 similarity distribution.
+#[must_use]
+pub fn similarity_histogram(matrix: &SparseMatrix, bins: usize) -> Vec<u64> {
+    assert!(bins > 0, "need at least one bin");
+    let row_major = matrix.transpose();
+    let counts = co_occurrence_counts(&row_major);
+    let sizes = matrix.column_counts();
+    let mut hist = vec![0u64; bins];
+    for (&key, &co) in &counts {
+        let (i, j) = sfa_hash::bucket::unpack_pair(key);
+        let union = sizes[i as usize] + sizes[j as usize] - co as usize;
+        let s = co as f64 / union as f64;
+        let b = ((s * bins as f64) as usize).min(bins - 1);
+        hist[b] += 1;
+    }
+    hist
+}
+
+/// The average pairwise similarity `S̄ = Σ_{i,j} S(c_i, c_j) / m²` from the
+/// §3.1 running-time analyses (sum over ordered pairs including `i = j`).
+#[must_use]
+pub fn average_similarity(matrix: &SparseMatrix) -> f64 {
+    let m = matrix.n_cols() as f64;
+    if m == 0.0 {
+        return 0.0;
+    }
+    let row_major = matrix.transpose();
+    let counts = co_occurrence_counts(&row_major);
+    let sizes = matrix.column_counts();
+    let mut total = 0.0;
+    for (&key, &co) in &counts {
+        let (i, j) = sfa_hash::bucket::unpack_pair(key);
+        let union = sizes[i as usize] + sizes[j as usize] - co as usize;
+        // Each unordered pair contributes twice to the ordered-pair sum.
+        total += 2.0 * co as f64 / union as f64;
+    }
+    // Diagonal: S(c, c) = 1 for nonempty columns.
+    total += sizes.iter().filter(|&&s| s > 0).count() as f64;
+    total / (m * m)
+}
+
+/// Summary statistics of the column densities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DensityStats {
+    /// Minimum column density.
+    pub min: f64,
+    /// Maximum column density.
+    pub max: f64,
+    /// Mean column density.
+    pub mean: f64,
+    /// Number of all-zero columns.
+    pub empty_columns: usize,
+}
+
+/// Computes density statistics over all columns.
+#[must_use]
+pub fn density_stats(matrix: &SparseMatrix) -> DensityStats {
+    let n = matrix.n_rows();
+    let m = matrix.n_cols();
+    if m == 0 {
+        return DensityStats {
+            min: 0.0,
+            max: 0.0,
+            mean: 0.0,
+            empty_columns: 0,
+        };
+    }
+    let mut min = f64::INFINITY;
+    let mut max: f64 = 0.0;
+    let mut sum = 0.0;
+    let mut empty = 0;
+    for j in 0..m {
+        let d = if n == 0 { 0.0 } else { matrix.density(j) };
+        min = min.min(d);
+        max = max.max(d);
+        sum += d;
+        if matrix.column_count(j) == 0 {
+            empty += 1;
+        }
+    }
+    DensityStats {
+        min,
+        max,
+        mean: sum / f64::from(m),
+        empty_columns: empty,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example1() -> SparseMatrix {
+        SparseMatrix::from_columns(4, vec![vec![0, 1], vec![0, 1, 2], vec![2, 3]]).unwrap()
+    }
+
+    #[test]
+    fn co_occurrence_matches_column_intersections() {
+        let m = example1();
+        let counts = co_occurrence_counts(&m.transpose());
+        assert_eq!(counts.get(&pack_pair(0, 1)).copied(), Some(2));
+        assert_eq!(counts.get(&pack_pair(1, 2)).copied(), Some(1));
+        assert_eq!(counts.get(&pack_pair(0, 2)), None);
+    }
+
+    #[test]
+    fn exact_pairs_match_brute_force() {
+        let m = example1();
+        let pairs = exact_similar_pairs(&m, 0.2);
+        assert_eq!(pairs.len(), 2);
+        assert_eq!((pairs[0].i, pairs[0].j), (0, 1));
+        assert!((pairs[0].similarity - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!((pairs[1].i, pairs[1].j), (1, 2));
+        assert!((pairs[1].similarity - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_pairs_respect_threshold() {
+        let m = example1();
+        assert_eq!(exact_similar_pairs(&m, 0.5).len(), 1);
+        assert_eq!(exact_similar_pairs(&m, 0.7).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_panics() {
+        let _ = exact_similar_pairs(&example1(), 0.0);
+    }
+
+    #[test]
+    fn histogram_bins_cover_range() {
+        let m = example1();
+        let hist = similarity_histogram(&m, 4);
+        // S values present: 2/3 (bin 2), 1/4 (bin 1).
+        assert_eq!(hist, vec![0, 1, 1, 0]);
+        assert_eq!(hist.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn histogram_similarity_one_lands_in_last_bin() {
+        let m = SparseMatrix::from_columns(2, vec![vec![0, 1], vec![0, 1]]).unwrap();
+        let hist = similarity_histogram(&m, 10);
+        assert_eq!(hist[9], 1);
+    }
+
+    #[test]
+    fn average_similarity_small_case() {
+        let m = example1();
+        // ordered-pair sum: diag 3 + 2*(2/3 + 1/4 + 0) = 3 + 11/6.
+        let expected = (3.0 + 2.0 * (2.0 / 3.0 + 0.25)) / 9.0;
+        assert!((average_similarity(&m) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_similarity_empty_matrix() {
+        let m = SparseMatrix::from_columns(0, vec![]).unwrap();
+        assert_eq!(average_similarity(&m), 0.0);
+    }
+
+    #[test]
+    fn density_stats_basic() {
+        let m = SparseMatrix::from_columns(4, vec![vec![0, 1], vec![], vec![0, 1, 2, 3]]).unwrap();
+        let s = density_stats(&m);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 1.0);
+        assert_eq!(s.empty_columns, 1);
+        assert!((s.mean - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,362 @@
+//! Single-pass row streaming — the disk-resident table abstraction.
+//!
+//! The paper's setting is a table too large for main memory: phase 1
+//! (signature computation) and phase 3 (candidate verification) each make
+//! one sequential pass over the rows; phase 2 works on in-memory summaries
+//! only. [`RowStream`] encodes that contract: consumers can only pull rows
+//! forward, one at a time, into a caller-provided buffer, and must
+//! [`reset`](RowStream::reset) to start another pass. Tests wrap streams in
+//! [`PassCounter`] to assert that an algorithm really used the number of
+//! passes it claims.
+
+use std::fs::File;
+use std::io::{BufReader, Read, Seek, SeekFrom};
+use std::path::Path;
+
+use crate::csr::RowMajorMatrix;
+use crate::error::{MatrixError, Result};
+
+/// A single-pass, restartable scan over the rows of a 0/1 matrix.
+///
+/// Each call to [`read_row`](Self::read_row) fills `buf` with the strictly
+/// ascending column ids of the next row and returns its row id, or `None`
+/// at end of pass.
+pub trait RowStream {
+    /// Total number of rows `n`.
+    fn n_rows(&self) -> u32;
+
+    /// Total number of columns `m`.
+    fn n_cols(&self) -> u32;
+
+    /// Reads the next row into `buf`, returning its id, or `None` at end.
+    ///
+    /// `buf` is cleared first; on `None` it is left empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO/parse failures from the underlying source.
+    fn read_row(&mut self, buf: &mut Vec<u32>) -> Result<Option<u32>>;
+
+    /// Rewinds to the first row, beginning a new pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO failures (e.g. seek on a file-backed stream).
+    fn reset(&mut self) -> Result<()>;
+
+    /// Drives a full pass, invoking `f(row_id, columns)` per row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream errors.
+    fn for_each_row(&mut self, mut f: impl FnMut(u32, &[u32])) -> Result<()>
+    where
+        Self: Sized,
+    {
+        let mut buf = Vec::new();
+        while let Some(id) = self.read_row(&mut buf)? {
+            f(id, &buf);
+        }
+        Ok(())
+    }
+}
+
+/// In-memory stream over a [`RowMajorMatrix`].
+#[derive(Debug)]
+pub struct MemoryRowStream<'a> {
+    matrix: &'a RowMajorMatrix,
+    next: u32,
+}
+
+impl<'a> MemoryRowStream<'a> {
+    /// Creates a stream positioned at the first row.
+    #[must_use]
+    pub fn new(matrix: &'a RowMajorMatrix) -> Self {
+        Self { matrix, next: 0 }
+    }
+}
+
+impl RowStream for MemoryRowStream<'_> {
+    fn n_rows(&self) -> u32 {
+        self.matrix.n_rows()
+    }
+
+    fn n_cols(&self) -> u32 {
+        self.matrix.n_cols()
+    }
+
+    fn read_row(&mut self, buf: &mut Vec<u32>) -> Result<Option<u32>> {
+        buf.clear();
+        if self.next >= self.matrix.n_rows() {
+            return Ok(None);
+        }
+        let id = self.next;
+        buf.extend_from_slice(self.matrix.row(id));
+        self.next += 1;
+        Ok(Some(id))
+    }
+
+    fn reset(&mut self) -> Result<()> {
+        self.next = 0;
+        Ok(())
+    }
+}
+
+/// Magic bytes opening the binary row file format (see [`crate::io`]).
+pub(crate) const BINARY_MAGIC: [u8; 4] = *b"SFAB";
+
+/// File-backed stream over the binary row format written by
+/// [`io::write_binary`](crate::io::write_binary).
+///
+/// Reads sequentially through a `BufReader`; `reset` seeks back past the
+/// header. This is the implementation used to demonstrate genuinely
+/// out-of-core, single-pass operation.
+#[derive(Debug)]
+pub struct FileRowStream {
+    reader: BufReader<File>,
+    n_rows: u32,
+    n_cols: u32,
+    next: u32,
+    data_start: u64,
+}
+
+impl FileRowStream {
+    /// Opens a binary matrix file.
+    ///
+    /// # Errors
+    ///
+    /// Fails on IO errors or if the header is malformed.
+    pub fn open(path: &Path) -> Result<Self> {
+        let file = File::open(path)?;
+        let mut reader = BufReader::new(file);
+        let mut header = [0u8; 12];
+        reader.read_exact(&mut header)?;
+        if header[0..4] != BINARY_MAGIC {
+            return Err(MatrixError::Parse {
+                at: 0,
+                detail: "bad magic (not an SFAB file)".into(),
+            });
+        }
+        let n_rows = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        let n_cols = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+        Ok(Self {
+            reader,
+            n_rows,
+            n_cols,
+            next: 0,
+            data_start: 12,
+        })
+    }
+
+    fn read_u32(&mut self) -> Result<u32> {
+        let mut b = [0u8; 4];
+        self.reader.read_exact(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+}
+
+impl RowStream for FileRowStream {
+    fn n_rows(&self) -> u32 {
+        self.n_rows
+    }
+
+    fn n_cols(&self) -> u32 {
+        self.n_cols
+    }
+
+    fn read_row(&mut self, buf: &mut Vec<u32>) -> Result<Option<u32>> {
+        buf.clear();
+        if self.next >= self.n_rows {
+            return Ok(None);
+        }
+        let id = self.next;
+        let len = self.read_u32()? as usize;
+        // A row holds at most one entry per column; a larger declared
+        // length is corruption — reject before reserving memory for it.
+        if len > self.n_cols as usize {
+            return Err(MatrixError::Parse {
+                at: u64::from(id),
+                detail: format!("row {id} declares {len} entries for {} columns", self.n_cols),
+            });
+        }
+        buf.reserve(len);
+        let mut prev: Option<u32> = None;
+        for _ in 0..len {
+            let c = self.read_u32()?;
+            if c >= self.n_cols {
+                return Err(MatrixError::IndexOutOfRange {
+                    kind: "column",
+                    index: c,
+                    bound: self.n_cols,
+                });
+            }
+            if prev.is_some_and(|p| p >= c) {
+                return Err(MatrixError::Parse {
+                    at: u64::from(id),
+                    detail: format!("row {id} not strictly ascending"),
+                });
+            }
+            prev = Some(c);
+            buf.push(c);
+        }
+        self.next += 1;
+        Ok(Some(id))
+    }
+
+    fn reset(&mut self) -> Result<()> {
+        self.reader.seek(SeekFrom::Start(self.data_start))?;
+        self.next = 0;
+        Ok(())
+    }
+}
+
+/// Wrapper counting rows read and passes started — used by tests to prove
+/// an algorithm's pass complexity.
+#[derive(Debug)]
+pub struct PassCounter<S> {
+    inner: S,
+    rows_read: u64,
+    passes: u32,
+}
+
+impl<S: RowStream> PassCounter<S> {
+    /// Wraps a stream; the first pass counts as pass 1 once a row is read.
+    #[must_use]
+    pub fn new(inner: S) -> Self {
+        Self {
+            inner,
+            rows_read: 0,
+            passes: 1,
+        }
+    }
+
+    /// Rows delivered across all passes.
+    #[must_use]
+    pub const fn rows_read(&self) -> u64 {
+        self.rows_read
+    }
+
+    /// Passes started (resets + 1).
+    #[must_use]
+    pub const fn passes(&self) -> u32 {
+        self.passes
+    }
+
+    /// Unwraps the inner stream.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: RowStream> RowStream for PassCounter<S> {
+    fn n_rows(&self) -> u32 {
+        self.inner.n_rows()
+    }
+
+    fn n_cols(&self) -> u32 {
+        self.inner.n_cols()
+    }
+
+    fn read_row(&mut self, buf: &mut Vec<u32>) -> Result<Option<u32>> {
+        let r = self.inner.read_row(buf)?;
+        if r.is_some() {
+            self.rows_read += 1;
+        }
+        Ok(r)
+    }
+
+    fn reset(&mut self) -> Result<()> {
+        self.inner.reset()?;
+        self.passes += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io;
+
+    fn sample() -> RowMajorMatrix {
+        RowMajorMatrix::from_rows(3, vec![vec![0, 1], vec![], vec![1, 2], vec![0]]).unwrap()
+    }
+
+    #[test]
+    fn memory_stream_replays_rows() {
+        let m = sample();
+        let mut s = MemoryRowStream::new(&m);
+        let mut buf = Vec::new();
+        assert_eq!(s.read_row(&mut buf).unwrap(), Some(0));
+        assert_eq!(buf, vec![0, 1]);
+        assert_eq!(s.read_row(&mut buf).unwrap(), Some(1));
+        assert!(buf.is_empty());
+        assert_eq!(s.read_row(&mut buf).unwrap(), Some(2));
+        assert_eq!(s.read_row(&mut buf).unwrap(), Some(3));
+        assert_eq!(s.read_row(&mut buf).unwrap(), None);
+        s.reset().unwrap();
+        assert_eq!(s.read_row(&mut buf).unwrap(), Some(0));
+    }
+
+    #[test]
+    fn for_each_row_covers_all_rows() {
+        let m = sample();
+        let mut s = MemoryRowStream::new(&m);
+        let mut seen = Vec::new();
+        s.for_each_row(|id, cols| seen.push((id, cols.to_vec())))
+            .unwrap();
+        assert_eq!(seen.len(), 4);
+        assert_eq!(seen[2], (2, vec![1, 2]));
+    }
+
+    #[test]
+    fn file_stream_roundtrips() {
+        let m = sample();
+        let dir = std::env::temp_dir().join("sfa_matrix_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.sfab");
+        io::write_binary(&m, &path).unwrap();
+        let mut s = FileRowStream::open(&path).unwrap();
+        assert_eq!(s.n_rows(), 4);
+        assert_eq!(s.n_cols(), 3);
+        let mut rows = Vec::new();
+        let mut buf = Vec::new();
+        while let Some(id) = s.read_row(&mut buf).unwrap() {
+            rows.push((id, buf.clone()));
+        }
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].1, vec![0, 1]);
+        assert_eq!(rows[1].1, Vec::<u32>::new());
+        // reset and re-read:
+        s.reset().unwrap();
+        assert_eq!(s.read_row(&mut buf).unwrap(), Some(0));
+        assert_eq!(buf, vec![0, 1]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_stream_rejects_bad_magic() {
+        let dir = std::env::temp_dir().join("sfa_matrix_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.sfab");
+        std::fs::write(&path, b"NOPE00000000").unwrap();
+        assert!(matches!(
+            FileRowStream::open(&path),
+            Err(MatrixError::Parse { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pass_counter_counts() {
+        let m = sample();
+        let mut s = PassCounter::new(MemoryRowStream::new(&m));
+        let mut buf = Vec::new();
+        while s.read_row(&mut buf).unwrap().is_some() {}
+        assert_eq!(s.rows_read(), 4);
+        assert_eq!(s.passes(), 1);
+        s.reset().unwrap();
+        while s.read_row(&mut buf).unwrap().is_some() {}
+        assert_eq!(s.rows_read(), 8);
+        assert_eq!(s.passes(), 2);
+    }
+}

@@ -1,0 +1,125 @@
+//! Robustness of the file-backed stream against corrupt and adversarial
+//! inputs: a production reader must fail with an error, never panic or
+//! loop, on any byte sequence.
+
+use proptest::prelude::*;
+
+use sfa_matrix::{io, FileRowStream, RowMajorMatrix, RowStream};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("sfa_stream_fuzz");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Fully drains a stream, returning Ok(rows) or the first error.
+fn drain(stream: &mut FileRowStream) -> Result<usize, sfa_matrix::MatrixError> {
+    let mut buf = Vec::new();
+    let mut n = 0;
+    while stream.read_row(&mut buf)?.is_some() {
+        n += 1;
+    }
+    Ok(n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..200), tag in 0u64..1_000_000) {
+        let p = tmp(&format!("fuzz{tag}.bin"));
+        std::fs::write(&p, &bytes).unwrap();
+        // Opening may fail (bad magic / truncated header) or succeed with
+        // garbage dimensions; draining must then either finish or error —
+        // never panic, never hang (row count caps the loop).
+        if let Ok(mut stream) = FileRowStream::open(&p) {
+            let _ = drain(&mut stream);
+        }
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn truncations_of_valid_files_error_cleanly(
+        rows in prop::collection::vec(prop::collection::btree_set(0u32..6, 0..6), 1..8),
+        cut_frac in 0.0f64..1.0,
+        tag in 0u64..1_000_000,
+    ) {
+        let rows: Vec<Vec<u32>> = rows
+            .into_iter()
+            .map(|s| s.into_iter().collect())
+            .collect();
+        let m = RowMajorMatrix::from_rows(6, rows).unwrap();
+        let p = tmp(&format!("trunc{tag}.sfab"));
+        io::write_binary(&m, &p).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        std::fs::write(&p, &bytes[..cut]).unwrap();
+        // A truncated header fails open(); otherwise either the cut landed
+        // on a row boundary and we read a prefix, or we get a clean error.
+        if let Ok(mut stream) = FileRowStream::open(&p) {
+            if let Ok(n) = drain(&mut stream) {
+                prop_assert!(n <= m.n_rows() as usize);
+            }
+        }
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn bit_flips_are_detected_or_benign(
+        rows in prop::collection::vec(prop::collection::btree_set(0u32..6, 1..6), 2..6),
+        flip_byte in 12usize..64,
+        flip_bit in 0u8..8,
+        tag in 0u64..1_000_000,
+    ) {
+        let rows: Vec<Vec<u32>> = rows
+            .into_iter()
+            .map(|s| s.into_iter().collect())
+            .collect();
+        let m = RowMajorMatrix::from_rows(6, rows).unwrap();
+        let p = tmp(&format!("flip{tag}.sfab"));
+        io::write_binary(&m, &p).unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        if flip_byte < bytes.len() {
+            bytes[flip_byte] ^= 1 << flip_bit;
+            std::fs::write(&p, &bytes).unwrap();
+            if let Ok(mut stream) = FileRowStream::open(&p) {
+                // Must terminate without panicking; errors are expected
+                // (out-of-range column, unsorted row, short read).
+                let _ = drain(&mut stream);
+            }
+        }
+        std::fs::remove_file(&p).ok();
+    }
+}
+
+#[test]
+fn giant_declared_row_count_does_not_preallocate() {
+    // A header claiming u32::MAX rows with no data must not OOM: the
+    // reader streams rows, so it errors at the first missing byte.
+    let p = tmp("giant_header.sfab");
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"SFAB");
+    bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+    bytes.extend_from_slice(&10u32.to_le_bytes());
+    std::fs::write(&p, &bytes).unwrap();
+    let mut stream = FileRowStream::open(&p).expect("header parses");
+    let mut buf = Vec::new();
+    assert!(stream.read_row(&mut buf).is_err(), "no data must error");
+    std::fs::remove_file(&p).ok();
+}
+
+#[test]
+fn row_claiming_huge_length_errors_without_allocation_blowup() {
+    // One row declaring 2^31 entries but providing none.
+    let p = tmp("huge_row.sfab");
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"SFAB");
+    bytes.extend_from_slice(&1u32.to_le_bytes());
+    bytes.extend_from_slice(&10u32.to_le_bytes());
+    bytes.extend_from_slice(&(1u32 << 31).to_le_bytes());
+    std::fs::write(&p, &bytes).unwrap();
+    let mut stream = FileRowStream::open(&p).expect("header parses");
+    let mut buf = Vec::new();
+    assert!(stream.read_row(&mut buf).is_err());
+    std::fs::remove_file(&p).ok();
+}

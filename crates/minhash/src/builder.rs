@@ -1,0 +1,294 @@
+//! Incremental signature builders.
+//!
+//! Min-hash signatures are folds over rows with a commutative, idempotent
+//! merge (component-wise minimum / bottom-k union), so they support
+//! *append*: new rows can be pushed into an existing summary at any time
+//! without touching old data. This enables the growing-table scenario —
+//! keep a sketch per column while the log keeps arriving, and run candidate
+//! generation on the current sketch whenever wanted.
+//!
+//! [`MhBuilder`] and [`KmhBuilder`] are the streaming forms of
+//! [`compute_signatures`](crate::mh::compute_signatures) and
+//! [`compute_bottom_k`](crate::kmh::compute_bottom_k); the batch functions
+//! are thin wrappers over them.
+
+use sfa_hash::topk::BottomK;
+use sfa_hash::{HashFamily, RowHasher};
+
+use crate::kmh::BottomKSignatures;
+use crate::signature::SignatureMatrix;
+
+/// Streaming builder for the MH `k × m` signature matrix.
+///
+/// # Examples
+///
+/// ```
+/// use sfa_minhash::builder::MhBuilder;
+///
+/// let mut b = MhBuilder::new(8, 3, 42);
+/// b.push_row(0, &[0, 1]);
+/// b.push_row(1, &[1, 2]);
+/// let sigs = b.finish();
+/// assert_eq!(sigs.k(), 8);
+/// assert_eq!(sigs.m(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MhBuilder {
+    family: HashFamily,
+    sigs: SignatureMatrix,
+    row_hashes: Vec<u64>,
+    rows_seen: u64,
+}
+
+impl MhBuilder {
+    /// Creates a builder for `m` columns with `k` hash functions.
+    #[must_use]
+    pub fn new(k: usize, m: usize, seed: u64) -> Self {
+        Self {
+            family: HashFamily::new(k, seed),
+            sigs: SignatureMatrix::new_empty(k, m),
+            row_hashes: vec![0; k],
+            rows_seen: 0,
+        }
+    }
+
+    /// Number of rows folded in so far.
+    #[must_use]
+    pub const fn rows_seen(&self) -> u64 {
+        self.rows_seen
+    }
+
+    /// Folds one row (its ascending column ids) into the signatures.
+    ///
+    /// Row ids must be distinct across calls for the permutation semantics
+    /// to hold; the builder does not (and cannot cheaply) check this.
+    pub fn push_row(&mut self, row_id: u32, cols: &[u32]) {
+        self.family.hash_all(u64::from(row_id), &mut self.row_hashes);
+        for &col in cols {
+            for (l, &h) in self.row_hashes.iter().enumerate() {
+                let slot = self.sigs.get_mut(l, col);
+                if h < *slot {
+                    *slot = h;
+                }
+            }
+        }
+        self.rows_seen += 1;
+    }
+
+    /// A read-only view of the current signatures (usable mid-stream).
+    #[must_use]
+    pub const fn current(&self) -> &SignatureMatrix {
+        &self.sigs
+    }
+
+    /// Consumes the builder, returning the signature matrix.
+    #[must_use]
+    pub fn finish(self) -> SignatureMatrix {
+        self.sigs
+    }
+
+    /// Merges another builder over the *same* `(k, m, seed)` configuration
+    /// by component-wise minimum — the parallel-scan combine step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ. (Seeds are the caller's contract; two
+    /// different seeds produce a meaningless merge.)
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.sigs.k(), other.sigs.k(), "k mismatch");
+        assert_eq!(self.sigs.m(), other.sigs.m(), "m mismatch");
+        for l in 0..self.sigs.k() {
+            for j in 0..self.sigs.m() as u32 {
+                let v = other.sigs.get(l, j);
+                let slot = self.sigs.get_mut(l, j);
+                if v < *slot {
+                    *slot = v;
+                }
+            }
+        }
+        self.rows_seen += other.rows_seen;
+    }
+}
+
+/// Streaming builder for K-MH bottom-k sketches.
+#[derive(Debug, Clone)]
+pub struct KmhBuilder {
+    hasher: RowHasher,
+    k: usize,
+    trackers: Vec<BottomK>,
+    counts: Vec<u32>,
+    rows_seen: u64,
+}
+
+impl KmhBuilder {
+    /// Creates a builder for `m` columns with sketch size `k`.
+    #[must_use]
+    pub fn new(k: usize, m: usize, seed: u64) -> Self {
+        Self {
+            hasher: RowHasher::new(seed),
+            k,
+            trackers: (0..m).map(|_| BottomK::new(k)).collect(),
+            counts: vec![0; m],
+            rows_seen: 0,
+        }
+    }
+
+    /// Number of rows folded in so far.
+    #[must_use]
+    pub const fn rows_seen(&self) -> u64 {
+        self.rows_seen
+    }
+
+    /// Folds one row into the sketches.
+    pub fn push_row(&mut self, row_id: u32, cols: &[u32]) {
+        let h = self.hasher.hash_row(row_id);
+        for &col in cols {
+            self.counts[col as usize] += 1;
+            let t = &mut self.trackers[col as usize];
+            if t.would_admit(h) {
+                t.insert(h);
+            }
+        }
+        self.rows_seen += 1;
+    }
+
+    /// Consumes the builder, returning the sketches.
+    #[must_use]
+    pub fn finish(self) -> BottomKSignatures {
+        let sigs: Vec<Vec<u64>> = self
+            .trackers
+            .into_iter()
+            .map(BottomK::into_sorted_vec)
+            .collect();
+        BottomKSignatures::from_parts(self.k, sigs, self.counts)
+    }
+
+    /// Merges another builder over the same `(k, m, seed)` configuration:
+    /// bottom-k of the union of retained values, counts added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.k, other.k, "k mismatch");
+        assert_eq!(self.trackers.len(), other.trackers.len(), "m mismatch");
+        for (mine, theirs) in self.trackers.iter_mut().zip(&other.trackers) {
+            for v in theirs.iter() {
+                if mine.would_admit(v) {
+                    mine.insert(v);
+                }
+            }
+        }
+        for (c, &o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.rows_seen += other.rows_seen;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmh::compute_bottom_k;
+    use crate::mh::compute_signatures;
+    use sfa_matrix::{MemoryRowStream, RowMajorMatrix};
+
+    fn matrix() -> RowMajorMatrix {
+        RowMajorMatrix::from_rows(
+            4,
+            vec![vec![0, 1], vec![1, 2], vec![0, 3], vec![2, 3], vec![1]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mh_builder_matches_batch() {
+        let m = matrix();
+        let batch = compute_signatures(&mut MemoryRowStream::new(&m), 16, 9).unwrap();
+        let mut b = MhBuilder::new(16, 4, 9);
+        for (id, cols) in m.rows() {
+            b.push_row(id, cols);
+        }
+        assert_eq!(b.rows_seen(), 5);
+        assert_eq!(b.finish(), batch);
+    }
+
+    #[test]
+    fn kmh_builder_matches_batch() {
+        let m = matrix();
+        let batch = compute_bottom_k(&mut MemoryRowStream::new(&m), 3, 9).unwrap();
+        let mut b = KmhBuilder::new(3, 4, 9);
+        for (id, cols) in m.rows() {
+            b.push_row(id, cols);
+        }
+        assert_eq!(b.finish(), batch);
+    }
+
+    #[test]
+    fn appending_rows_later_is_equivalent() {
+        // Fold rows in two stages; result equals one-shot.
+        let m = matrix();
+        let mut staged = MhBuilder::new(8, 4, 5);
+        for (id, cols) in m.rows().take(2) {
+            staged.push_row(id, cols);
+        }
+        let mid = staged.current().clone();
+        for (id, cols) in m.rows().skip(2) {
+            staged.push_row(id, cols);
+        }
+        let batch = compute_signatures(&mut MemoryRowStream::new(&m), 8, 5).unwrap();
+        assert_eq!(staged.finish(), batch);
+        // And the mid-stream view was a valid sketch of the prefix.
+        let prefix = RowMajorMatrix::from_rows(
+            4,
+            m.rows().take(2).map(|(_, c)| c.to_vec()).collect(),
+        )
+        .unwrap();
+        let prefix_batch =
+            compute_signatures(&mut MemoryRowStream::new(&prefix), 8, 5).unwrap();
+        assert_eq!(mid, prefix_batch);
+    }
+
+    #[test]
+    fn mh_merge_equals_sequential() {
+        let m = matrix();
+        let mut left = MhBuilder::new(8, 4, 7);
+        let mut right = MhBuilder::new(8, 4, 7);
+        for (id, cols) in m.rows() {
+            if id < 2 {
+                left.push_row(id, cols);
+            } else {
+                right.push_row(id, cols);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.rows_seen(), 5);
+        let batch = compute_signatures(&mut MemoryRowStream::new(&m), 8, 7).unwrap();
+        assert_eq!(left.finish(), batch);
+    }
+
+    #[test]
+    fn kmh_merge_equals_sequential() {
+        let m = matrix();
+        let mut left = KmhBuilder::new(2, 4, 7);
+        let mut right = KmhBuilder::new(2, 4, 7);
+        for (id, cols) in m.rows() {
+            if id % 2 == 0 {
+                left.push_row(id, cols);
+            } else {
+                right.push_row(id, cols);
+            }
+        }
+        left.merge(&right);
+        let batch = compute_bottom_k(&mut MemoryRowStream::new(&m), 2, 7).unwrap();
+        assert_eq!(left.finish(), batch);
+    }
+
+    #[test]
+    #[should_panic(expected = "m mismatch")]
+    fn merge_rejects_shape_mismatch() {
+        let mut a = MhBuilder::new(4, 3, 1);
+        let b = MhBuilder::new(4, 5, 1);
+        a.merge(&b);
+    }
+}

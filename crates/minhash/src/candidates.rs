@@ -1,0 +1,89 @@
+//! Candidate pair containers shared by every scheme.
+
+/// A candidate column pair with the estimate that admitted it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidatePair {
+    /// Smaller column id.
+    pub i: u32,
+    /// Larger column id.
+    pub j: u32,
+    /// The similarity estimate (or score) produced by the generating
+    /// scheme; `1.0` for schemes that only produce set membership (LSH).
+    pub estimate: f64,
+}
+
+impl CandidatePair {
+    /// Creates a candidate, normalizing the order of ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    #[must_use]
+    pub fn new(a: u32, b: u32, estimate: f64) -> Self {
+        assert_ne!(a, b, "self-pair is not a candidate");
+        let (i, j) = if a < b { (a, b) } else { (b, a) };
+        Self { i, j, estimate }
+    }
+
+    /// The pair as an ordered tuple.
+    #[must_use]
+    pub const fn ids(&self) -> (u32, u32) {
+        (self.i, self.j)
+    }
+}
+
+/// Deduplicates candidates by pair id, keeping the highest estimate, and
+/// returns them sorted by `(i, j)`.
+#[must_use]
+pub fn dedup_candidates(mut candidates: Vec<CandidatePair>) -> Vec<CandidatePair> {
+    candidates.sort_by(|a, b| {
+        (a.i, a.j)
+            .cmp(&(b.i, b.j))
+            .then(b.estimate.partial_cmp(&a.estimate).expect("finite"))
+    });
+    candidates.dedup_by_key(|c| (c.i, c.j));
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_normalizes_order() {
+        let c = CandidatePair::new(7, 2, 0.5);
+        assert_eq!(c.ids(), (2, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-pair")]
+    fn self_pair_panics() {
+        let _ = CandidatePair::new(3, 3, 1.0);
+    }
+
+    #[test]
+    fn dedup_keeps_best_estimate() {
+        let v = vec![
+            CandidatePair::new(0, 1, 0.3),
+            CandidatePair::new(1, 0, 0.9),
+            CandidatePair::new(2, 3, 0.5),
+        ];
+        let d = dedup_candidates(v);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].ids(), (0, 1));
+        assert!((d[0].estimate - 0.9).abs() < 1e-12);
+        assert_eq!(d[1].ids(), (2, 3));
+    }
+
+    #[test]
+    fn dedup_sorts_output() {
+        let v = vec![
+            CandidatePair::new(5, 6, 0.1),
+            CandidatePair::new(0, 9, 0.1),
+            CandidatePair::new(0, 2, 0.1),
+        ];
+        let d = dedup_candidates(v);
+        let ids: Vec<(u32, u32)> = d.iter().map(CandidatePair::ids).collect();
+        assert_eq!(ids, vec![(0, 2), (0, 9), (5, 6)]);
+    }
+}

@@ -1,0 +1,286 @@
+//! Similarity estimators for the K-MH sketches.
+//!
+//! * [`kmh_unbiased`] — Theorem 2:
+//!   `Ŝ = |SIG_{i∪j} ∩ SIG_i ∩ SIG_j| / |SIG_{i∪j}|` is an unbiased
+//!   estimator of `S(c_i, c_j)` because `SIG_{i∪j}` is a uniform sample of
+//!   `C_i ∪ C_j` and a sampled row lies in `C_i ∩ C_j` exactly when its
+//!   hash appears in both signatures.
+//! * [`kmh_biased`] — the cheaper estimator the paper pairs with
+//!   Hash-Count: `E[|SIG_i ∩ SIG_j|] ≈ k·|C_ij| / max(|C_i|, |C_j|)`,
+//!   inverted to recover `|C_ij|` from the observed overlap and the known
+//!   cardinalities.
+//! * [`lemma1_bounds`] — the two-sided Lemma 1 sandwich used to pick the
+//!   Hash-Count pruning threshold.
+
+use sfa_hash::topk::merge_bottom_k;
+
+/// The Theorem 2 unbiased estimator from two ascending signatures.
+///
+/// Returns 0 when both signatures are empty.
+#[must_use]
+pub fn kmh_unbiased(sig_i: &[u64], sig_j: &[u64], k: usize) -> f64 {
+    let union = merge_bottom_k(sig_i, sig_j, k);
+    if union.is_empty() {
+        return 0.0;
+    }
+    // Count union-sketch members present in BOTH signatures.
+    let mut hits = 0usize;
+    let (mut x, mut y) = (0usize, 0usize);
+    for &v in &union {
+        while x < sig_i.len() && sig_i[x] < v {
+            x += 1;
+        }
+        while y < sig_j.len() && sig_j[y] < v {
+            y += 1;
+        }
+        let in_i = x < sig_i.len() && sig_i[x] == v;
+        let in_j = y < sig_j.len() && sig_j[y] == v;
+        if in_i && in_j {
+            hits += 1;
+        }
+    }
+    hits as f64 / union.len() as f64
+}
+
+/// The biased estimator: recovers `|C_ij|` from `|SIG_i ∩ SIG_j|` and the
+/// known `|C_i|, |C_j|`, then returns the implied Jaccard similarity.
+///
+/// Derivation (§3.2): with `|C_i| ≥ |C_j|`, the sketch overlap concentrates
+/// on `min(|SIG_ij|, |SIG_ji|) ≈ |SIG_ij|`, whose expectation is
+/// `min(k, |C_i|) · |C_ij| / |C_i|`. Solving for `|C_ij|` and plugging into
+/// `S = |C_ij| / (|C_i| + |C_j| − |C_ij|)` gives the estimate. When the
+/// larger column fits in the sketch (`|C_i| ≤ k`) the sketches are the full
+/// columns and the estimate is exact.
+#[must_use]
+pub fn kmh_biased(sig_overlap: usize, k: usize, count_i: usize, count_j: usize) -> f64 {
+    if count_i == 0 || count_j == 0 {
+        return 0.0;
+    }
+    let larger = count_i.max(count_j);
+    let scale = larger as f64 / larger.min(k) as f64;
+    // |C_ij| estimate, clamped to what the set sizes allow.
+    let cij = (sig_overlap as f64 * scale).min(count_i.min(count_j) as f64);
+    let union = count_i as f64 + count_j as f64 - cij;
+    if union <= 0.0 {
+        0.0
+    } else {
+        (cij / union).min(1.0)
+    }
+}
+
+/// Containment (directional confidence) estimator from bottom-k sketches:
+/// `Ĉonf(c_i ⇒ c_j) = |SIG_{i∪j} ∩ SIG_i ∩ SIG_j| / |SIG_{i∪j} ∩ SIG_i|`.
+///
+/// `SIG_{i∪j}` is a uniform sample of `C_i ∪ C_j`; restricting it to values
+/// from `SIG_i` gives a uniform sample of `C_i`, of which the doubly-shared
+/// values are exactly those in `C_i ∩ C_j` — so the ratio estimates
+/// `|C_i ∩ C_j| / |C_i|`, the §6 confidence. This goes beyond the paper's
+/// remark that Hash-Count cannot estimate confidence: the bottom-k sketch
+/// can, with no extra state.
+///
+/// Returns 0 when the conditioning sample is empty.
+#[must_use]
+pub fn kmh_containment(sig_i: &[u64], sig_j: &[u64], k: usize) -> f64 {
+    let union = merge_bottom_k(sig_i, sig_j, k);
+    if union.is_empty() {
+        return 0.0;
+    }
+    let (mut x, mut y) = (0usize, 0usize);
+    let mut in_i_count = 0usize;
+    let mut in_both = 0usize;
+    for &v in &union {
+        while x < sig_i.len() && sig_i[x] < v {
+            x += 1;
+        }
+        while y < sig_j.len() && sig_j[y] < v {
+            y += 1;
+        }
+        let in_i = x < sig_i.len() && sig_i[x] == v;
+        let in_j = y < sig_j.len() && sig_j[y] == v;
+        if in_i {
+            in_i_count += 1;
+            if in_j {
+                in_both += 1;
+            }
+        }
+    }
+    if in_i_count == 0 {
+        0.0
+    } else {
+        in_both as f64 / in_i_count as f64
+    }
+}
+
+/// Lemma 1: bounds on `S(c_i, c_j)` given `E[|SIG_i ∩ SIG_j|]`:
+///
+/// `E/min(2k, |C_i ∪ C_j|) ≤ S ≤ E/min(k, |C_i ∪ C_j|)`.
+///
+/// Returns `(lower, upper)`, both clamped to `[0, 1]`. `union_size` may be
+/// approximated by `|C_i| + |C_j|` when the exact union is unknown.
+#[must_use]
+pub fn lemma1_bounds(expected_overlap: f64, k: usize, union_size: usize) -> (f64, f64) {
+    if union_size == 0 {
+        return (0.0, 0.0);
+    }
+    let lower = expected_overlap / (2 * k).min(union_size) as f64;
+    let upper = expected_overlap / k.min(union_size) as f64;
+    (lower.clamp(0.0, 1.0), upper.clamp(0.0, 1.0))
+}
+
+/// The Hash-Count admission threshold for K-MH candidates: the smallest
+/// sketch overlap that could still correspond to similarity `s*`.
+///
+/// Inverting the biased estimator with a safety slack `delta` (a fraction
+/// of the threshold): a pair is kept when
+/// `|SIG_i ∩ SIG_j| ≥ (1 − delta) · s*/(1 + s*·0) …` — concretely we invert
+/// `cij = s·union/(1+s)`-free form: `overlap ≈ min(k, L)·cij/L` with
+/// `L = max(|C_i|, |C_j|)` and `cij = s·(|C_i|+|C_j|)/(1+s)`.
+#[must_use]
+pub fn kmh_overlap_threshold(
+    s_star: f64,
+    delta: f64,
+    k: usize,
+    count_i: usize,
+    count_j: usize,
+) -> usize {
+    if count_i == 0 || count_j == 0 {
+        return usize::MAX;
+    }
+    let larger = count_i.max(count_j);
+    let cij = s_star * (count_i + count_j) as f64 / (1.0 + s_star);
+    let expected = larger.min(k) as f64 * cij / larger as f64;
+    let thresh = (expected * (1.0 - delta)).floor();
+    thresh.max(1.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbiased_full_sketches_are_exact() {
+        // Sketches that contain the full columns: estimator = exact Jaccard.
+        let a = vec![1, 2, 3, 4];
+        let b = vec![3, 4, 5, 6];
+        // Union {1..6}, intersection {3,4} → S = 2/6.
+        assert!((kmh_unbiased(&a, &b, 10) - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unbiased_truncates_to_union_sketch() {
+        let a = vec![1, 2, 3];
+        let b = vec![2, 3, 9];
+        // k = 3: SIG_union = {1, 2, 3}; members in both = {2, 3} → 2/3.
+        assert!((kmh_unbiased(&a, &b, 3) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unbiased_handles_empty() {
+        assert_eq!(kmh_unbiased(&[], &[], 4), 0.0);
+        assert_eq!(kmh_unbiased(&[1], &[], 4), 0.0);
+    }
+
+    #[test]
+    fn unbiased_identical_is_one() {
+        let a = vec![5, 6, 7];
+        assert_eq!(kmh_unbiased(&a, &a, 3), 1.0);
+    }
+
+    #[test]
+    fn biased_exact_when_columns_fit() {
+        // |C_i| = 4, |C_j| = 3, overlap (= |C_ij|) = 2, k = 10:
+        // S = 2 / (4 + 3 − 2) = 0.4.
+        assert!((kmh_biased(2, 10, 4, 3) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn biased_scales_up_sketch_overlap() {
+        // |C_i| = 100, |C_j| = 100, k = 10, overlap 5 → cij ≈ 50,
+        // S ≈ 50/150 = 1/3.
+        let s = kmh_biased(5, 10, 100, 100);
+        assert!((s - 1.0 / 3.0).abs() < 1e-9, "estimate {s}");
+    }
+
+    #[test]
+    fn biased_clamps_to_valid_range() {
+        assert!(kmh_biased(10, 10, 10, 10) <= 1.0);
+        assert_eq!(kmh_biased(0, 10, 5, 5), 0.0);
+        assert_eq!(kmh_biased(3, 10, 0, 5), 0.0);
+    }
+
+    #[test]
+    fn containment_exact_when_sketches_hold_full_columns() {
+        // C_i = {1,2,3,4}, C_j = {3,4,5}: Conf(i⇒j) = 2/4, Conf(j⇒i) = 2/3.
+        let a = vec![1, 2, 3, 4];
+        let b = vec![3, 4, 5];
+        assert!((kmh_containment(&a, &b, 16) - 0.5).abs() < 1e-12);
+        assert!((kmh_containment(&b, &a, 16) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn containment_of_nested_columns_is_one() {
+        let small = vec![2, 4];
+        let big = vec![1, 2, 3, 4, 5];
+        assert_eq!(kmh_containment(&small, &big, 16), 1.0);
+    }
+
+    #[test]
+    fn containment_edge_cases() {
+        assert_eq!(kmh_containment(&[], &[], 4), 0.0);
+        assert_eq!(kmh_containment(&[], &[1], 4), 0.0);
+        assert_eq!(kmh_containment(&[1], &[], 4), 0.0);
+        assert_eq!(kmh_containment(&[1], &[2], 4), 0.0);
+    }
+
+    #[test]
+    fn containment_is_statistically_unbiased() {
+        // Plant C_i ⊂-ish C_j with Conf(i⇒j) = 0.5 and average the sketch
+        // estimator over many seeds.
+        use sfa_hash::RowHasher;
+        let rows_i: Vec<u32> = (0..40).collect();
+        let rows_j: Vec<u32> = (20..80).collect(); // overlap 20 → conf 0.5
+        let trials = 400;
+        let mut sum = 0.0;
+        for seed in 0..trials {
+            let h = RowHasher::new(seed * 13 + 1);
+            let sketch = |rows: &[u32]| -> Vec<u64> {
+                let mut v: Vec<u64> = rows.iter().map(|&r| h.hash_row(r)).collect();
+                v.sort_unstable();
+                v.truncate(8);
+                v
+            };
+            sum += kmh_containment(&sketch(&rows_i), &sketch(&rows_j), 8);
+        }
+        let mean = sum / trials as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean containment {mean}");
+    }
+
+    #[test]
+    fn lemma1_bounds_bracket_similarity() {
+        // A concrete sanity case: k = 5, union = 100, E[overlap] = 2.
+        let (lo, hi) = lemma1_bounds(2.0, 5, 100);
+        assert!(lo <= hi);
+        assert!((lo - 0.2).abs() < 1e-12);
+        assert!((hi - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma1_small_union_uses_union() {
+        let (lo, hi) = lemma1_bounds(3.0, 10, 4);
+        assert!((lo - 0.75).abs() < 1e-12);
+        assert!((hi - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_threshold_monotone_in_s() {
+        let t_low = kmh_overlap_threshold(0.3, 0.2, 50, 200, 200);
+        let t_high = kmh_overlap_threshold(0.8, 0.2, 50, 200, 200);
+        assert!(t_high >= t_low);
+        assert!(t_low >= 1);
+    }
+
+    #[test]
+    fn overlap_threshold_empty_column_never_passes() {
+        assert_eq!(kmh_overlap_threshold(0.5, 0.1, 10, 0, 7), usize::MAX);
+    }
+}

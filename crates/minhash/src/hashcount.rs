@@ -1,0 +1,337 @@
+//! The Hash-Count candidate generator (§3.1).
+//!
+//! "We associate a bucket with each Min-Hash value … and store
+//! column-indices for all columns `c_i` with some element of `SIG_i`
+//! hashing into that bucket. … For each column `c_j` in the bucket, we
+//! increment the counter for `(c_i, c_j)`." The total work is the number of
+//! counter increments — `O(k S̄ m²)` expected — with **no** term quadratic
+//! in `m` when the average similarity `S̄` is small.
+
+use sfa_hash::bucket::{BucketTable, PairCounter};
+use sfa_matrix::RowStream;
+
+use crate::candidates::CandidatePair;
+use crate::estimate;
+use crate::kmh::BottomKSignatures;
+use crate::signature::{SignatureMatrix, EMPTY_SIGNATURE};
+use crate::theory::agreement_threshold;
+
+/// Counts, for every column pair, the number of `M̂` rows on which the two
+/// columns agree, via one bucket table per signature row.
+///
+/// This is the MH flavour of Hash-Count: "we use a different hash table
+/// (and set of buckets) for each row of the matrix `M̂`, and execute the
+/// same process as for K-Min-Hash."
+#[must_use]
+pub fn mh_agreement_counts(sigs: &SignatureMatrix) -> PairCounter {
+    let mut counter = PairCounter::new();
+    let mut table = BucketTable::new();
+    for l in 0..sigs.k() {
+        table.clear();
+        for (j, &v) in sigs.row(l).iter().enumerate() {
+            if v == EMPTY_SIGNATURE {
+                continue;
+            }
+            for &earlier in table.bucket(v) {
+                counter.increment(earlier, j as u32);
+            }
+            table.insert(v, j as u32);
+        }
+    }
+    counter
+}
+
+/// Parallel variant of [`mh_agreement_counts`]: signature rows are
+/// partitioned across `n_threads` workers, each counting into a private
+/// [`PairCounter`]; per-pair counts add across workers, so the merge is
+/// exact.
+///
+/// # Panics
+///
+/// Panics if `n_threads == 0`.
+#[must_use]
+pub fn mh_agreement_counts_parallel(sigs: &SignatureMatrix, n_threads: usize) -> PairCounter {
+    assert!(n_threads > 0, "need at least one thread");
+    if n_threads == 1 || sigs.k() < 2 {
+        return mh_agreement_counts(sigs);
+    }
+    let chunk = sigs.k().div_ceil(n_threads);
+    let locals = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..n_threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(sigs.k());
+            if lo >= hi {
+                break;
+            }
+            handles.push(scope.spawn(move |_| {
+                let mut counter = PairCounter::new();
+                let mut table = BucketTable::new();
+                for l in lo..hi {
+                    table.clear();
+                    for (j, &v) in sigs.row(l).iter().enumerate() {
+                        if v == EMPTY_SIGNATURE {
+                            continue;
+                        }
+                        for &earlier in table.bucket(v) {
+                            counter.increment(earlier, j as u32);
+                        }
+                        table.insert(v, j as u32);
+                    }
+                }
+                counter
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("scope panicked");
+    let mut merged = PairCounter::new();
+    for local in locals {
+        for (i, j, c) in local.iter() {
+            merged.add(i, j, c);
+        }
+    }
+    merged
+}
+
+/// MH candidate generation: pairs agreeing on at least
+/// `(1 − δ)·s*·k` of their `k` min-hash values, with `Ŝ` as estimate.
+#[must_use]
+pub fn mh_candidates(sigs: &SignatureMatrix, s_star: f64, delta: f64) -> Vec<CandidatePair> {
+    let threshold = agreement_threshold(sigs.k(), s_star, delta) as u32;
+    let counts = mh_agreement_counts(sigs);
+    let mut out: Vec<CandidatePair> = counts
+        .iter()
+        .filter(|&(_, _, c)| c >= threshold)
+        .map(|(i, j, c)| CandidatePair::new(i, j, f64::from(c) / sigs.k() as f64))
+        .collect();
+    out.sort_by_key(CandidatePair::ids);
+    out
+}
+
+/// Counts `|SIG_i ∩ SIG_j|` for every column pair sharing at least one
+/// sketch value — the K-MH flavour of Hash-Count, using a single bucket
+/// table over all values.
+#[must_use]
+pub fn kmh_overlap_counts(sigs: &BottomKSignatures) -> PairCounter {
+    let mut counter = PairCounter::new();
+    let mut table = BucketTable::new();
+    for j in 0..sigs.m() as u32 {
+        for &v in sigs.signature(j) {
+            for &earlier in table.bucket(v) {
+                counter.increment(earlier, j);
+            }
+            table.insert(v, j);
+        }
+    }
+    counter
+}
+
+/// K-MH candidate generation (§3.2's two-stage plan):
+///
+/// 1. compute the sketch overlaps with Hash-Count (`O(k S̄ m²)`),
+/// 2. admit pairs whose overlap clears the per-pair biased threshold,
+/// 3. re-score the admitted pairs with the Theorem 2 unbiased estimator
+///    (the "main-memory candidate pruning phase") and keep those at
+///    `≥ (1 − δ)·s*`.
+#[must_use]
+pub fn kmh_candidates(sigs: &BottomKSignatures, s_star: f64, delta: f64) -> Vec<CandidatePair> {
+    let overlaps = kmh_overlap_counts(sigs);
+    let mut out = Vec::new();
+    for (i, j, overlap) in overlaps.iter() {
+        let threshold = estimate::kmh_overlap_threshold(
+            s_star,
+            delta,
+            sigs.k(),
+            sigs.column_count(i) as usize,
+            sigs.column_count(j) as usize,
+        );
+        if (overlap as usize) < threshold {
+            continue;
+        }
+        let unbiased = sigs.unbiased_similarity(i, j);
+        if unbiased >= (1.0 - delta) * s_star {
+            out.push(CandidatePair::new(i, j, unbiased));
+        }
+    }
+    out.sort_by_key(CandidatePair::ids);
+    out
+}
+
+/// Convenience: MH pipeline phase 1 + 2 straight from a row stream.
+///
+/// # Errors
+///
+/// Propagates stream errors.
+pub fn mh_candidates_from_stream<S: RowStream>(
+    stream: &mut S,
+    k: usize,
+    seed: u64,
+    s_star: f64,
+    delta: f64,
+) -> sfa_matrix::Result<Vec<CandidatePair>> {
+    let sigs = crate::mh::compute_signatures(stream, k, seed)?;
+    Ok(mh_candidates(&sigs, s_star, delta))
+}
+
+/// Convenience: K-MH pipeline phase 1 + 2 straight from a row stream.
+///
+/// # Errors
+///
+/// Propagates stream errors.
+pub fn kmh_candidates_from_stream<S: RowStream>(
+    stream: &mut S,
+    k: usize,
+    seed: u64,
+    s_star: f64,
+    delta: f64,
+) -> sfa_matrix::Result<Vec<CandidatePair>> {
+    let sigs = crate::kmh::compute_bottom_k(stream, k, seed)?;
+    Ok(kmh_candidates(&sigs, s_star, delta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfa_matrix::{MemoryRowStream, RowMajorMatrix};
+
+    /// Matrix with one highly similar pair (0, 1), a partial pair (2, 3),
+    /// and an isolated column 4.
+    fn matrix() -> RowMajorMatrix {
+        let rows = vec![
+            vec![0, 1],
+            vec![0, 1],
+            vec![0, 1],
+            vec![0, 1],
+            vec![0, 1, 2, 3],
+            vec![2, 3],
+            vec![2],
+            vec![3],
+            vec![4],
+            vec![4],
+        ];
+        RowMajorMatrix::from_rows(5, rows).unwrap()
+    }
+
+    #[test]
+    fn mh_agreement_counts_match_direct() {
+        let m = matrix();
+        let sigs =
+            crate::mh::compute_signatures(&mut MemoryRowStream::new(&m), 64, 3).unwrap();
+        let counts = mh_agreement_counts(&sigs);
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                assert_eq!(
+                    counts.get(i, j) as usize,
+                    sigs.agreement_count(i, j),
+                    "pair ({i}, {j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_agreement_counts_match_sequential() {
+        let m = matrix();
+        let sigs =
+            crate::mh::compute_signatures(&mut MemoryRowStream::new(&m), 64, 3).unwrap();
+        let seq = mh_agreement_counts(&sigs);
+        for threads in [1, 2, 4, 7] {
+            let par = mh_agreement_counts_parallel(&sigs, threads);
+            for i in 0..5u32 {
+                for j in (i + 1)..5 {
+                    assert_eq!(
+                        par.get(i, j),
+                        seq.get(i, j),
+                        "threads {threads}, pair ({i}, {j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mh_candidates_find_similar_pair() {
+        let m = matrix();
+        let sigs =
+            crate::mh::compute_signatures(&mut MemoryRowStream::new(&m), 200, 5).unwrap();
+        let cands = mh_candidates(&sigs, 0.8, 0.2);
+        assert!(
+            cands.iter().any(|c| c.ids() == (0, 1)),
+            "missing the similar pair: {cands:?}"
+        );
+        // The isolated column never appears.
+        assert!(cands.iter().all(|c| c.i != 4 && c.j != 4));
+    }
+
+    #[test]
+    fn mh_candidates_threshold_excludes_weak_pairs() {
+        let m = matrix();
+        let sigs =
+            crate::mh::compute_signatures(&mut MemoryRowStream::new(&m), 200, 5).unwrap();
+        // S(2,3) = 2/4 = 0.5 < 0.8·(1−0.1): excluded at high cutoff.
+        let cands = mh_candidates(&sigs, 0.9, 0.1);
+        assert!(cands.iter().all(|c| c.ids() != (2, 3)), "{cands:?}");
+    }
+
+    #[test]
+    fn kmh_overlap_counts_match_direct() {
+        let m = matrix();
+        let sigs =
+            crate::kmh::compute_bottom_k(&mut MemoryRowStream::new(&m), 8, 3).unwrap();
+        let counts = kmh_overlap_counts(&sigs);
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                assert_eq!(
+                    counts.get(i, j) as usize,
+                    sigs.intersection_size(i, j),
+                    "pair ({i}, {j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kmh_candidates_find_similar_pair() {
+        let m = matrix();
+        let sigs =
+            crate::kmh::compute_bottom_k(&mut MemoryRowStream::new(&m), 16, 5).unwrap();
+        let cands = kmh_candidates(&sigs, 0.8, 0.2);
+        assert!(
+            cands.iter().any(|c| c.ids() == (0, 1)),
+            "missing the similar pair: {cands:?}"
+        );
+        assert!(cands.iter().all(|c| c.i != 4 && c.j != 4));
+    }
+
+    #[test]
+    fn stream_helpers_match_two_stage() {
+        let m = matrix();
+        let direct =
+            mh_candidates_from_stream(&mut MemoryRowStream::new(&m), 64, 9, 0.8, 0.2).unwrap();
+        let sigs =
+            crate::mh::compute_signatures(&mut MemoryRowStream::new(&m), 64, 9).unwrap();
+        assert_eq!(direct, mh_candidates(&sigs, 0.8, 0.2));
+
+        let direct_k =
+            kmh_candidates_from_stream(&mut MemoryRowStream::new(&m), 16, 9, 0.8, 0.2).unwrap();
+        let ksigs =
+            crate::kmh::compute_bottom_k(&mut MemoryRowStream::new(&m), 16, 9).unwrap();
+        assert_eq!(direct_k, kmh_candidates(&ksigs, 0.8, 0.2));
+    }
+
+    #[test]
+    fn no_candidates_on_disjoint_columns() {
+        let rows = vec![vec![0], vec![1], vec![2]];
+        let m = RowMajorMatrix::from_rows(3, rows).unwrap();
+        let sigs =
+            crate::mh::compute_signatures(&mut MemoryRowStream::new(&m), 32, 1).unwrap();
+        assert!(mh_candidates(&sigs, 0.5, 0.2).is_empty());
+        let ksigs =
+            crate::kmh::compute_bottom_k(&mut MemoryRowStream::new(&m), 8, 1).unwrap();
+        assert!(kmh_candidates(&ksigs, 0.5, 0.2).is_empty());
+    }
+}

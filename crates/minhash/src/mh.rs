@@ -1,0 +1,261 @@
+//! The MH signature pass (§3).
+//!
+//! "While scanning the table and assigning random hash values to the rows,
+//! for each column `c_i`, we keep track of the *minimum* hash value of the
+//! rows which contain a 1 in that column." With `k` independent hash
+//! functions this yields the `k × m` matrix `M̂` in one pass and `O(mk)`
+//! memory.
+
+use sfa_matrix::{Result, RowMajorMatrix, RowStream};
+
+use crate::signature::SignatureMatrix;
+
+/// Computes the `k × m` MH signature matrix in a single pass over `stream`.
+///
+/// Cost: `k` hash evaluations per row plus `k` min-merges per 1-entry —
+/// the `O(k)`-per-entry cost that motivates K-MH (§3.2).
+///
+/// # Errors
+///
+/// Propagates stream errors.
+///
+/// # Examples
+///
+/// ```
+/// use sfa_matrix::{MemoryRowStream, RowMajorMatrix};
+/// use sfa_minhash::compute_signatures;
+///
+/// let m = RowMajorMatrix::from_rows(2, vec![vec![0, 1], vec![0]]).unwrap();
+/// let sigs = compute_signatures(&mut MemoryRowStream::new(&m), 16, 7).unwrap();
+/// assert_eq!(sigs.k(), 16);
+/// assert_eq!(sigs.m(), 2);
+/// // Column 0 ⊋ column 1 share row 0, S = 1/2; Ŝ is between 0 and 1.
+/// let s = sigs.s_hat(0, 1);
+/// assert!((0.0..=1.0).contains(&s));
+/// ```
+pub fn compute_signatures<S: RowStream>(
+    stream: &mut S,
+    k: usize,
+    seed: u64,
+) -> Result<SignatureMatrix> {
+    let mut builder = crate::builder::MhBuilder::new(k, stream.n_cols() as usize, seed);
+    let mut buf = Vec::new();
+    while let Some(row_id) = stream.read_row(&mut buf)? {
+        builder.push_row(row_id, &buf);
+    }
+    Ok(builder.finish())
+}
+
+/// Parallel MH signature computation over an in-memory matrix.
+///
+/// Rows are partitioned across `n_threads` workers; each computes a local
+/// signature matrix over its row range, and the results are merged by
+/// component-wise minimum (min-hash is a commutative idempotent fold, so
+/// the merge is exact). Workers share nothing but the read-only matrix.
+///
+/// # Panics
+///
+/// Panics if `n_threads == 0`.
+#[must_use]
+pub fn compute_signatures_parallel(
+    matrix: &RowMajorMatrix,
+    k: usize,
+    seed: u64,
+    n_threads: usize,
+) -> SignatureMatrix {
+    assert!(n_threads > 0, "need at least one thread");
+    let n = matrix.n_rows();
+    let m = matrix.n_cols() as usize;
+    if n_threads == 1 || n < 2 {
+        let mut stream = sfa_matrix::MemoryRowStream::new(matrix);
+        return compute_signatures(&mut stream, k, seed).expect("memory stream cannot fail");
+    }
+    let chunk = (n as usize).div_ceil(n_threads) as u32;
+    let locals = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..n_threads as u32 {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            if lo >= hi {
+                break;
+            }
+            handles.push(scope.spawn(move |_| {
+                let mut local = crate::builder::MhBuilder::new(k, m, seed);
+                for row_id in lo..hi {
+                    local.push_row(row_id, matrix.row(row_id));
+                }
+                local
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("scope panicked");
+
+    let mut merged = crate::builder::MhBuilder::new(k, m, seed);
+    for local in &locals {
+        merged.merge(local);
+    }
+    merged.finish()
+}
+
+/// Paper-fidelity mode: 32-bit row hashes.
+///
+/// §3 assumes `n ≤ 2^16` so that "it will suffice to choose the hash value
+/// as a random 32-bit integer, avoiding the 'birthday paradox' of having
+/// two rows get identical hash value". This variant folds every hash to 32
+/// bits, reproducing that setting exactly; with `n` beyond ~2^16, row-hash
+/// collisions start to bias `Ŝ` upward — which is why the library defaults
+/// to 64 bits.
+///
+/// # Errors
+///
+/// Propagates stream errors.
+pub fn compute_signatures_32<S: RowStream>(
+    stream: &mut S,
+    k: usize,
+    seed: u64,
+) -> Result<SignatureMatrix> {
+    let m = stream.n_cols() as usize;
+    let family = sfa_hash::HashFamily::new(k, seed);
+    let mut sigs = SignatureMatrix::new_empty(k, m);
+    let mut buf = Vec::new();
+    while let Some(row_id) = stream.read_row(&mut buf)? {
+        for &col in &buf {
+            for l in 0..k {
+                let h = u64::from(sfa_hash::mix::fold32(family.hash(l, u64::from(row_id))));
+                let slot = sigs.get_mut(l, col);
+                if h < *slot {
+                    *slot = h;
+                }
+            }
+        }
+    }
+    Ok(sigs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfa_hash::HashFamily;
+    use sfa_matrix::MemoryRowStream;
+
+    fn paper_like_matrix() -> RowMajorMatrix {
+        // Example 1: c1 = {r1, r2}, c2 = {r1, r2, r3}, c3 = {r3, r4}.
+        RowMajorMatrix::from_rows(3, vec![vec![0, 1], vec![0, 1], vec![1, 2], vec![2]]).unwrap()
+    }
+
+    #[test]
+    fn signatures_are_deterministic() {
+        let m = paper_like_matrix();
+        let a = compute_signatures(&mut MemoryRowStream::new(&m), 8, 1).unwrap();
+        let b = compute_signatures(&mut MemoryRowStream::new(&m), 8, 1).unwrap();
+        assert_eq!(a, b);
+        let c = compute_signatures(&mut MemoryRowStream::new(&m), 8, 2).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn signature_is_min_over_column_rows() {
+        let m = paper_like_matrix();
+        let k = 4;
+        let sigs = compute_signatures(&mut MemoryRowStream::new(&m), k, 5).unwrap();
+        let fam = HashFamily::new(k, 5);
+        // Column 0 = rows {0, 1}.
+        for l in 0..k {
+            let expected = fam.hash(l, 0).min(fam.hash(l, 1));
+            assert_eq!(sigs.get(l, 0), expected);
+        }
+        // Column 2 = rows {2, 3}.
+        for l in 0..k {
+            let expected = fam.hash(l, 2).min(fam.hash(l, 3));
+            assert_eq!(sigs.get(l, 2), expected);
+        }
+    }
+
+    #[test]
+    fn empty_column_keeps_sentinel() {
+        let m = RowMajorMatrix::from_rows(2, vec![vec![0], vec![0]]).unwrap();
+        let sigs = compute_signatures(&mut MemoryRowStream::new(&m), 3, 9).unwrap();
+        for l in 0..3 {
+            assert_eq!(sigs.get(l, 1), crate::signature::EMPTY_SIGNATURE);
+        }
+        assert_eq!(sigs.s_hat(0, 1), 0.0);
+    }
+
+    #[test]
+    fn proposition_1_collision_probability() {
+        // Empirically: Pr[h(c_i) = h(c_j)] ≈ S(c_i, c_j). With S = 1/2 and
+        // k = 4000, Ŝ should be within ±0.04 of 0.5 (3.2 σ).
+        let m = RowMajorMatrix::from_rows(
+            2,
+            vec![vec![0, 1], vec![0, 1], vec![0], vec![1]], // S = 2/4
+        )
+        .unwrap();
+        let sigs = compute_signatures(&mut MemoryRowStream::new(&m), 4000, 12).unwrap();
+        let s_hat = sigs.s_hat(0, 1);
+        assert!((s_hat - 0.5).abs() < 0.04, "Ŝ = {s_hat}");
+    }
+
+    #[test]
+    fn disjoint_columns_rarely_agree() {
+        let m = RowMajorMatrix::from_rows(2, vec![vec![0], vec![0], vec![1], vec![1]]).unwrap();
+        let sigs = compute_signatures(&mut MemoryRowStream::new(&m), 1000, 3).unwrap();
+        assert!(sigs.s_hat(0, 1) < 0.01);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let m = paper_like_matrix();
+        let seq = compute_signatures(&mut MemoryRowStream::new(&m), 16, 21).unwrap();
+        for threads in [1, 2, 3, 8] {
+            let par = compute_signatures_parallel(&m, 16, 21, threads);
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_on_larger_matrix() {
+        // 400 rows, 20 columns, striped pattern.
+        let rows: Vec<Vec<u32>> = (0..400u32)
+            .map(|i| vec![i % 20, (i * 7 + 3) % 20])
+            .map(|mut v| {
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+            .collect();
+        let m = RowMajorMatrix::from_rows(20, rows).unwrap();
+        let seq = compute_signatures(&mut MemoryRowStream::new(&m), 32, 77).unwrap();
+        let par = compute_signatures_parallel(&m, 32, 77, 4);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn thirty_two_bit_mode_estimates_similarity() {
+        // Values all fit in 32 bits, and Ŝ still concentrates on S.
+        let m = RowMajorMatrix::from_rows(
+            2,
+            vec![vec![0, 1], vec![0, 1], vec![0], vec![1]], // S = 1/2
+        )
+        .unwrap();
+        let sigs = compute_signatures_32(&mut MemoryRowStream::new(&m), 3000, 4).unwrap();
+        for l in 0..sigs.k() {
+            for j in 0..2 {
+                assert!(sigs.get(l, j) <= u64::from(u32::MAX));
+            }
+        }
+        assert!((sigs.s_hat(0, 1) - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn single_pass_over_stream() {
+        let m = paper_like_matrix();
+        let mut counter = sfa_matrix::stream::PassCounter::new(MemoryRowStream::new(&m));
+        let _ = compute_signatures(&mut counter, 4, 1).unwrap();
+        assert_eq!(counter.passes(), 1);
+        assert_eq!(counter.rows_read(), 4);
+    }
+}

@@ -1,0 +1,239 @@
+//! Sketch persistence.
+//!
+//! Signatures are the expensive phase — one full pass over the data — while
+//! candidate generation is cheap and parameter-dependent. Persisting the
+//! sketch lets a deployment compute it once (or keep it updated with
+//! [`MhBuilder`](crate::builder::MhBuilder)) and re-mine at many thresholds
+//! or band configurations without touching the table again.
+//!
+//! Formats (little-endian):
+//!
+//! * `.sfmh` — `b"SFMH"`, `k: u32`, `m: u32`, then `k·m` `u64` values
+//!   (row-major), for [`SignatureMatrix`].
+//! * `.sfkm` — `b"SFKM"`, `k: u32`, `m: u32`, then per column
+//!   `count: u32`, `len: u32`, `len` ascending `u64` values, for
+//!   [`BottomKSignatures`].
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use sfa_matrix::{MatrixError, Result};
+
+use crate::kmh::BottomKSignatures;
+use crate::signature::SignatureMatrix;
+
+const MH_MAGIC: [u8; 4] = *b"SFMH";
+const KMH_MAGIC: [u8; 4] = *b"SFKM";
+
+fn write_u32(w: &mut impl Write, v: u32) -> Result<()> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> Result<()> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Writes a [`SignatureMatrix`] to `path`.
+///
+/// # Errors
+///
+/// Propagates IO errors.
+pub fn write_signatures(sigs: &SignatureMatrix, path: &Path) -> Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&MH_MAGIC)?;
+    write_u32(&mut w, u32::try_from(sigs.k()).expect("k fits u32"))?;
+    write_u32(&mut w, u32::try_from(sigs.m()).expect("m fits u32"))?;
+    for l in 0..sigs.k() {
+        for &v in sigs.row(l) {
+            write_u64(&mut w, v)?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a [`SignatureMatrix`] from `path`.
+///
+/// # Errors
+///
+/// Fails on IO errors or a malformed header.
+pub fn read_signatures(path: &Path) -> Result<SignatureMatrix> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MH_MAGIC {
+        return Err(MatrixError::Parse {
+            at: 0,
+            detail: "bad magic (not an SFMH sketch)".into(),
+        });
+    }
+    let k = read_u32(&mut r)? as usize;
+    let m = read_u32(&mut r)? as usize;
+    let mut values = Vec::with_capacity(k * m);
+    for _ in 0..k * m {
+        values.push(read_u64(&mut r)?);
+    }
+    Ok(SignatureMatrix::from_values(k, m, values))
+}
+
+/// Writes [`BottomKSignatures`] to `path`.
+///
+/// # Errors
+///
+/// Propagates IO errors.
+pub fn write_bottom_k(sigs: &BottomKSignatures, path: &Path) -> Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&KMH_MAGIC)?;
+    write_u32(&mut w, u32::try_from(sigs.k()).expect("k fits u32"))?;
+    write_u32(&mut w, u32::try_from(sigs.m()).expect("m fits u32"))?;
+    for j in 0..sigs.m() as u32 {
+        write_u32(&mut w, sigs.column_count(j))?;
+        let sig = sigs.signature(j);
+        write_u32(&mut w, u32::try_from(sig.len()).expect("len fits u32"))?;
+        for &v in sig {
+            write_u64(&mut w, v)?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads [`BottomKSignatures`] from `path`.
+///
+/// # Errors
+///
+/// Fails on IO errors, malformed headers, or invalid sketch contents.
+pub fn read_bottom_k(path: &Path) -> Result<BottomKSignatures> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != KMH_MAGIC {
+        return Err(MatrixError::Parse {
+            at: 0,
+            detail: "bad magic (not an SFKM sketch)".into(),
+        });
+    }
+    let k = read_u32(&mut r)? as usize;
+    let m = read_u32(&mut r)? as usize;
+    let mut sigs = Vec::with_capacity(m);
+    let mut counts = Vec::with_capacity(m);
+    for j in 0..m {
+        counts.push(read_u32(&mut r)?);
+        let len = read_u32(&mut r)? as usize;
+        if len > k {
+            return Err(MatrixError::Parse {
+                at: j as u64,
+                detail: format!("column {j}: signature length {len} exceeds k = {k}"),
+            });
+        }
+        let mut sig = Vec::with_capacity(len);
+        for _ in 0..len {
+            sig.push(read_u64(&mut r)?);
+        }
+        if !sig.windows(2).all(|w| w[0] < w[1]) {
+            return Err(MatrixError::Parse {
+                at: j as u64,
+                detail: format!("column {j}: signature not strictly ascending"),
+            });
+        }
+        sigs.push(sig);
+    }
+    Ok(BottomKSignatures::from_parts(k, sigs, counts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compute_bottom_k, compute_signatures};
+    use sfa_matrix::{MemoryRowStream, RowMajorMatrix};
+
+    fn matrix() -> RowMajorMatrix {
+        RowMajorMatrix::from_rows(
+            4,
+            vec![vec![0, 1], vec![1, 2], vec![0, 3], vec![2, 3], vec![]],
+        )
+        .unwrap()
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("sfa_persist_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn signature_matrix_roundtrips() {
+        let m = matrix();
+        let sigs = compute_signatures(&mut MemoryRowStream::new(&m), 8, 5).unwrap();
+        let p = tmp("sigs.sfmh");
+        write_signatures(&sigs, &p).unwrap();
+        assert_eq!(read_signatures(&p).unwrap(), sigs);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn bottom_k_roundtrips() {
+        let m = matrix();
+        let sigs = compute_bottom_k(&mut MemoryRowStream::new(&m), 3, 5).unwrap();
+        let p = tmp("sigs.sfkm");
+        write_bottom_k(&sigs, &p).unwrap();
+        assert_eq!(read_bottom_k(&p).unwrap(), sigs);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn wrong_magic_rejected_both_ways() {
+        let m = matrix();
+        let mh = compute_signatures(&mut MemoryRowStream::new(&m), 4, 1).unwrap();
+        let kmh = compute_bottom_k(&mut MemoryRowStream::new(&m), 4, 1).unwrap();
+        let pm = tmp("cross.sfmh");
+        let pk = tmp("cross.sfkm");
+        write_signatures(&mh, &pm).unwrap();
+        write_bottom_k(&kmh, &pk).unwrap();
+        assert!(read_signatures(&pk).is_err());
+        assert!(read_bottom_k(&pm).is_err());
+        std::fs::remove_file(&pm).ok();
+        std::fs::remove_file(&pk).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_an_error() {
+        let m = matrix();
+        let sigs = compute_signatures(&mut MemoryRowStream::new(&m), 8, 5).unwrap();
+        let p = tmp("truncated.sfmh");
+        write_signatures(&sigs, &p).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(read_signatures(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn reloaded_sketch_mines_identically() {
+        let m = matrix();
+        let sigs = compute_bottom_k(&mut MemoryRowStream::new(&m), 4, 9).unwrap();
+        let p = tmp("mine.sfkm");
+        write_bottom_k(&sigs, &p).unwrap();
+        let loaded = read_bottom_k(&p).unwrap();
+        assert_eq!(
+            crate::hashcount::kmh_candidates(&sigs, 0.4, 0.2),
+            crate::hashcount::kmh_candidates(&loaded, 0.4, 0.2)
+        );
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -1,0 +1,208 @@
+//! Theorem 1 machinery: how many min-hash values are enough.
+//!
+//! Theorem 1: with `k ≥ 2 δ⁻² c⁻¹ ln(1/ε)` (where `c ≤ s*` lower-bounds the
+//! similarity threshold), for every pair, `Ŝ` concentrates within a
+//! `(1 ± δ)` factor with probability `1 − ε`, by a Chernoff bound on the
+//! sum of per-row agreement indicators.
+
+/// The Theorem 1 signature size: `⌈2 δ⁻² c⁻¹ ln(1/ε)⌉`.
+///
+/// # Panics
+///
+/// Panics unless `0 < delta < 1`, `0 < epsilon < 1`, `0 < c <= 1`.
+#[must_use]
+pub fn required_k(delta: f64, epsilon: f64, c: f64) -> usize {
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+    assert!(c > 0.0 && c <= 1.0, "c must be in (0, 1]");
+    (2.0 / (delta * delta * c) * (1.0 / epsilon).ln()).ceil() as usize
+}
+
+/// Chernoff upper bound on `Pr[X < (1 − δ)·E[X]]` for a sum of independent
+/// 0/1 variables with mean `mu = E[X]`: `exp(−δ²·mu / 2)`.
+#[must_use]
+pub fn chernoff_lower_tail(delta: f64, mu: f64) -> f64 {
+    (-delta * delta * mu / 2.0).exp()
+}
+
+/// Chernoff upper bound on `Pr[X > (1 + δ)·E[X]]`: `exp(−δ²·mu / 3)`.
+#[must_use]
+pub fn chernoff_upper_tail(delta: f64, mu: f64) -> f64 {
+    (-delta * delta * mu / 3.0).exp()
+}
+
+/// The agreement-count threshold used to call a pair a candidate: a pair
+/// with true similarity `s*` has expected agreement `k·s*`; admitting
+/// everything above `(1 − δ)·k·s*` keeps false negatives below the
+/// Theorem 1 `ε`.
+#[must_use]
+pub fn agreement_threshold(k: usize, s_star: f64, delta: f64) -> usize {
+    let t = ((1.0 - delta) * k as f64 * s_star).ceil();
+    (t as usize).max(1)
+}
+
+/// The false-negative probability Theorem 1 guarantees for a pair with
+/// similarity exactly `s*` when using `k` values and slack `δ`.
+#[must_use]
+pub fn false_negative_bound(k: usize, s_star: f64, delta: f64) -> f64 {
+    chernoff_lower_tail(delta, k as f64 * s_star)
+}
+
+/// Standard error of `Ŝ` for a pair with true similarity `s` under `k`
+/// independent min-hash values: `√(s(1−s)/k)` (each row agreement is a
+/// Bernoulli(s) trial, Proposition 1).
+#[must_use]
+pub fn s_hat_std_error(s: f64, k: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&s), "similarity out of range");
+    assert!(k > 0, "k must be positive");
+    (s * (1.0 - s) / k as f64).sqrt()
+}
+
+/// A two-sided confidence interval for the true similarity given an
+/// observed `Ŝ`, by the Wilson score method (well-behaved near 0 and 1,
+/// where the naive normal interval breaks down).
+///
+/// `z` is the standard-normal quantile (1.96 for 95%).
+///
+/// # Panics
+///
+/// Panics on out-of-range inputs.
+#[must_use]
+pub fn wilson_interval(s_hat: f64, k: usize, z: f64) -> (f64, f64) {
+    assert!((0.0..=1.0).contains(&s_hat), "estimate out of range");
+    assert!(k > 0, "k must be positive");
+    assert!(z > 0.0, "z must be positive");
+    let n = k as f64;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = (s_hat + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (s_hat * (1.0 - s_hat) / n + z2 / (4.0 * n * n)).sqrt();
+    ((centre - half).max(0.0), (centre + half).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn required_k_matches_formula() {
+        // δ = 0.5, ε = e⁻¹, c = 0.5 → 2 / (0.25 · 0.5) · 1 = 16.
+        assert_eq!(required_k(0.5, std::f64::consts::E.recip(), 0.5), 16);
+    }
+
+    #[test]
+    fn required_k_grows_with_tighter_parameters() {
+        let base = required_k(0.2, 0.05, 0.5);
+        assert!(required_k(0.1, 0.05, 0.5) > base, "smaller delta needs more");
+        assert!(required_k(0.2, 0.01, 0.5) > base, "smaller eps needs more");
+        assert!(required_k(0.2, 0.05, 0.25) > base, "smaller c needs more");
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be in (0, 1)")]
+    fn required_k_rejects_bad_delta() {
+        let _ = required_k(1.5, 0.1, 0.5);
+    }
+
+    #[test]
+    fn chernoff_bounds_shrink_with_mu() {
+        assert!(chernoff_lower_tail(0.3, 100.0) < chernoff_lower_tail(0.3, 10.0));
+        assert!(chernoff_upper_tail(0.3, 100.0) < chernoff_upper_tail(0.3, 10.0));
+    }
+
+    #[test]
+    fn chernoff_bounds_are_probabilities() {
+        for &(d, mu) in &[(0.1, 1.0), (0.5, 50.0), (0.9, 1000.0)] {
+            let lo = chernoff_lower_tail(d, mu);
+            let hi = chernoff_upper_tail(d, mu);
+            assert!((0.0..=1.0).contains(&lo));
+            assert!((0.0..=1.0).contains(&hi));
+        }
+    }
+
+    #[test]
+    fn theorem1_k_actually_concentrates() {
+        // Empirical check of the Theorem 1 guarantee: simulate Ŝ for a pair
+        // with s = 0.5 using the required k and verify the failure rate is
+        // below ε (with margin for simulation noise).
+        let (delta, eps, c) = (0.3, 0.1, 0.5);
+        let k = required_k(delta, eps, c);
+        let s = 0.5;
+        let mut failures = 0;
+        let trials = 2000;
+        let mut seq = sfa_hash::SeedSequence::new(31);
+        for _ in 0..trials {
+            let agreements = (0..k)
+                .filter(|_| (seq.next_seed() as f64 / u64::MAX as f64) < s)
+                .count();
+            if (agreements as f64) < (1.0 - delta) * k as f64 * s {
+                failures += 1;
+            }
+        }
+        let rate = f64::from(failures) / f64::from(trials);
+        assert!(rate < eps, "failure rate {rate} exceeds eps {eps}");
+    }
+
+    #[test]
+    fn agreement_threshold_basic() {
+        assert_eq!(agreement_threshold(100, 0.5, 0.2), 40);
+        assert_eq!(agreement_threshold(10, 0.01, 0.5), 1);
+    }
+
+    #[test]
+    fn false_negative_bound_decreases_in_k() {
+        assert!(false_negative_bound(400, 0.5, 0.2) < false_negative_bound(100, 0.5, 0.2));
+    }
+
+    #[test]
+    fn std_error_shrinks_with_k_and_vanishes_at_extremes() {
+        assert!(s_hat_std_error(0.5, 400) < s_hat_std_error(0.5, 100));
+        assert_eq!(s_hat_std_error(0.0, 100), 0.0);
+        assert_eq!(s_hat_std_error(1.0, 100), 0.0);
+        // Known value: √(0.25/100) = 0.05.
+        assert!((s_hat_std_error(0.5, 100) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wilson_interval_contains_estimate_and_shrinks() {
+        let (lo, hi) = wilson_interval(0.5, 100, 1.96);
+        assert!(lo < 0.5 && 0.5 < hi);
+        let (lo2, hi2) = wilson_interval(0.5, 1000, 1.96);
+        assert!(hi2 - lo2 < hi - lo, "interval should shrink with k");
+    }
+
+    #[test]
+    fn wilson_interval_behaves_at_boundaries() {
+        // At Ŝ = 0 the lower bound is 0 but the upper stays positive —
+        // zero observed agreements never "prove" zero similarity.
+        let (lo, hi) = wilson_interval(0.0, 50, 1.96);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.2);
+        let (lo, hi) = wilson_interval(1.0, 50, 1.96);
+        assert_eq!(hi, 1.0);
+        assert!(lo > 0.8);
+    }
+
+    #[test]
+    fn wilson_interval_covers_truth_empirically() {
+        // Simulate Ŝ for a pair with s = 0.3 many times; the 95% interval
+        // should cover the truth in ≳ 90% of trials.
+        let s = 0.3;
+        let k = 200;
+        let mut covered = 0;
+        let trials = 500;
+        let mut seq = sfa_hash::SeedSequence::new(7);
+        for _ in 0..trials {
+            let agreements = (0..k)
+                .filter(|_| (seq.next_seed() as f64 / u64::MAX as f64) < s)
+                .count();
+            let s_hat = agreements as f64 / k as f64;
+            let (lo, hi) = wilson_interval(s_hat, k, 1.96);
+            if lo <= s && s <= hi {
+                covered += 1;
+            }
+        }
+        let rate = f64::from(covered) / f64::from(trials);
+        assert!(rate > 0.9, "coverage {rate}");
+    }
+}

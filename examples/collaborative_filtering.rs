@@ -1,0 +1,64 @@
+//! Collaborative-filtering scenario (paper §1: "tracking user behavior and
+//! making recommendations to individuals based on similarity of their
+//! preferences to those of other users").
+//!
+//! Columns are *users*, rows are *items*; similar columns are users with
+//! similar taste. Recommendations for a user are items their most similar
+//! peers have that they lack.
+//!
+//! ```sh
+//! cargo run --release --example collaborative_filtering
+//! ```
+
+use sfa::core::{Pipeline, PipelineConfig, Scheme};
+use sfa::datagen::CfConfig;
+use sfa::matrix::MemoryRowStream;
+
+fn main() {
+    let data = CfConfig::small(2026).generate();
+    let matrix = data.matrix.transpose();
+    println!(
+        "ratings matrix: {} items × {} users, {} ratings",
+        matrix.n_rows(),
+        matrix.n_cols(),
+        matrix.nnz()
+    );
+
+    // Find similar user pairs. Taste overlap is moderate, so use a low
+    // threshold with a sharp sketch.
+    let config = PipelineConfig::new(Scheme::Kmh { k: 80, delta: 0.2 }, 0.15, 5);
+    let result = Pipeline::new(config)
+        .run(&mut MemoryRowStream::new(&matrix))
+        .expect("in-memory run");
+    let pairs = result.similar_pairs();
+    println!("found {} similar user pairs ({})", pairs.len(), result.timings);
+
+    // Sanity: similar users should overwhelmingly share a community.
+    let same = pairs
+        .iter()
+        .filter(|p| data.community_of[p.i as usize] == data.community_of[p.j as usize])
+        .count();
+    println!(
+        "{same}/{} similar pairs are within one taste community",
+        pairs.len()
+    );
+    assert!(same * 10 >= pairs.len() * 9, "communities should dominate");
+
+    // Recommend: for the user in the most similar pair, suggest items the
+    // peer has that they lack.
+    let top = pairs.first().expect("at least one pair");
+    let user_items = data.matrix.column(top.i);
+    let peer_items = data.matrix.column(top.j);
+    let recommendations: Vec<u32> = peer_items
+        .iter()
+        .filter(|item| user_items.binary_search(item).is_err())
+        .copied()
+        .take(5)
+        .collect();
+    println!(
+        "\nuser {} (community {}) — most similar peer: user {} (S = {:.2})",
+        top.i, data.community_of[top.i as usize], top.j, top.similarity
+    );
+    println!("recommended items from the peer's history: {recommendations:?}");
+    assert!(!recommendations.is_empty() || user_items.len() >= peer_items.len());
+}

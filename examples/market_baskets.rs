@@ -1,0 +1,64 @@
+//! Market-basket scenario on a priori's home workload: classical frequent
+//! itemsets + rules side by side with support-free similar pairs.
+//!
+//! ```sh
+//! cargo run --release --example market_baskets
+//! ```
+
+use sfa::apriori::{frequent_itemsets, generate_rules, maximal_itemsets};
+use sfa::core::{Pipeline, PipelineConfig, Scheme};
+use sfa::datagen::BasketConfig;
+use sfa::matrix::MemoryRowStream;
+
+fn main() {
+    let data = BasketConfig::t10_i4(10_000, 7).generate();
+    let rows = data.matrix.transpose();
+    println!(
+        "transactions: {} × {} items, avg basket {:.1}",
+        rows.n_rows(),
+        rows.n_cols(),
+        rows.nnz() as f64 / f64::from(rows.n_rows())
+    );
+
+    // Classical mining: frequent itemsets and high-confidence rules.
+    let min_support = rows.n_rows() / 100; // 1%
+    let (sets, summaries) = frequent_itemsets(&rows, min_support, 3);
+    let maximal = maximal_itemsets(&sets);
+    println!("\nclassical a priori at {min_support} support:");
+    for s in &summaries {
+        println!("  level {}: {} candidates -> {} frequent", s.k, s.candidates, s.frequent);
+    }
+    println!("  {} frequent itemsets ({} maximal)", sets.len(), maximal.len());
+    let rules = generate_rules(&sets, 0.8);
+    println!("  {} rules at confidence >= 0.8; top 3:", rules.len());
+    for r in rules.iter().take(3) {
+        println!(
+            "    {:?} => {:?}  (conf {:.2}, support {})",
+            r.antecedent, r.consequent, r.confidence, r.support
+        );
+    }
+
+    // Support-free mining on the same data: similar item pairs regardless
+    // of frequency.
+    let result = Pipeline::new(PipelineConfig::new(
+        Scheme::Kmh { k: 100, delta: 0.25 },
+        0.3,
+        7,
+    ))
+    .run(&mut MemoryRowStream::new(&rows))
+    .expect("in-memory run");
+    let pairs = result.similar_pairs();
+    let rare = pairs
+        .iter()
+        .filter(|p| (p.intersection as usize) < min_support as usize)
+        .count();
+    println!(
+        "\nsupport-free K-MH at S >= 0.3: {} similar pairs, {} of them below \
+         the a priori support threshold ({})",
+        pairs.len(),
+        rare,
+        result.timings
+    );
+    assert!(!sets.is_empty() && !rules.is_empty());
+    assert!(rare > 0, "the interesting low-support pairs exist");
+}

@@ -1,0 +1,6 @@
+//! The `sfa` command-line entry point; all logic lives in [`sfa::cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(sfa::cli::run(&args));
+}

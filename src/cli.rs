@@ -1,0 +1,694 @@
+//! The `sfa` command-line tool.
+//!
+//! Subcommands:
+//!
+//! ```text
+//! sfa gen --kind weblog|news|synthetic --out table.sfab [--seed N] [--scale tiny|small|paper]
+//! sfa info --input table.sfab
+//! sfa stats --input table.sfab [--bins N]
+//! sfa sketch --input table.sfab --out sketch.sfmh|sketch.sfkm --scheme mh|kmh --k N [--seed N]
+//! sfa mine --input table.sfab --scheme mh|kmh|mlsh|hlsh --threshold S
+//!          [--k N] [--r N] [--l N] [--delta D] [--seed N] [--csv out.csv]
+//! ```
+//!
+//! Argument parsing is hand-rolled (`--key value` pairs after the
+//! subcommand) to keep the dependency footprint at zero.
+
+use std::path::{Path, PathBuf};
+
+use crate::core::{Pipeline, PipelineConfig, Scheme};
+use crate::datagen::{NewsConfig, SyntheticConfig, WeblogConfig};
+use crate::matrix::{io, FileRowStream, RowStream};
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    /// The subcommand word.
+    pub command: String,
+    /// `--key value` options.
+    pub options: Vec<(String, String)>,
+}
+
+impl Args {
+    /// Parses raw arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the shape is invalid.
+    pub fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut it = raw.iter();
+        let command = it
+            .next()
+            .ok_or_else(|| "missing subcommand; try `sfa help`".to_string())?
+            .clone();
+        let mut options = Vec::new();
+        while let Some(key) = it.next() {
+            let key = key
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --option, got {key:?}"))?;
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{key} needs a value"))?;
+            options.push((key.to_string(), value.clone()));
+        }
+        Ok(Self { command, options })
+    }
+
+    /// Looks up an option.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Option with a default.
+    #[must_use]
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad --{key}: {v:?}")),
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "sfa — support-free association mining (Cohen et al., ICDE 2000)
+
+USAGE:
+  sfa gen    --kind weblog|news|synthetic --out FILE [--seed N] [--scale tiny|small|paper]
+  sfa info   --input FILE
+  sfa stats  --input FILE [--bins N]
+  sfa sketch --input FILE --out FILE --scheme mh|kmh [--k N] [--seed N]
+  sfa mine   --input FILE --scheme mh|kmh|mlsh|hlsh [--threshold S]
+             [--k N] [--r N] [--l N] [--delta D] [--seed N] [--csv FILE]
+  sfa optimize --input FILE [--threshold S] [--max-fn N] [--max-fp N]
+               [--sample F] [--seed N]
+  sfa rules  --input FILE [--confidence C] [--k N] [--delta D] [--seed N]
+  sfa compare --input FILE [--threshold S] [--k N] [--seed N]
+  sfa help
+
+Dataset kinds for gen: weblog, news, synthetic, cf, basket.
+";
+
+/// Runs the CLI; returns the process exit code.
+#[must_use]
+pub fn run(raw: &[String]) -> i32 {
+    match dispatch(raw) {
+        Ok(output) => {
+            print!("{output}");
+            0
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            1
+        }
+    }
+}
+
+/// Parses and executes, returning the textual output (testable core).
+///
+/// # Errors
+///
+/// Returns a human-readable message on bad arguments or IO failures.
+pub fn dispatch(raw: &[String]) -> Result<String, String> {
+    let args = Args::parse(raw)?;
+    match args.command.as_str() {
+        "gen" => cmd_gen(&args),
+        "info" => cmd_info(&args),
+        "stats" => cmd_stats(&args),
+        "sketch" => cmd_sketch(&args),
+        "mine" => cmd_mine(&args),
+        "optimize" => cmd_optimize(&args),
+        "rules" => cmd_rules(&args),
+        "compare" => cmd_compare(&args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn io_err(e: impl std::fmt::Display) -> String {
+    format!("{e}")
+}
+
+fn cmd_gen(args: &Args) -> Result<String, String> {
+    let kind = args.require("kind")?;
+    let out = PathBuf::from(args.require("out")?);
+    let seed: u64 = args.parse_num("seed", 42)?;
+    let scale = args.get_or("scale", "small");
+    let rows = match (kind, scale) {
+        ("weblog", "tiny") => WeblogConfig::tiny(seed).generate().matrix.transpose(),
+        ("weblog", "small") => WeblogConfig::small(seed).generate().matrix.transpose(),
+        ("weblog", "paper") => WeblogConfig::paper_scale(seed).generate().matrix.transpose(),
+        ("news", "tiny" | "small") => NewsConfig::small(seed).generate().matrix.transpose(),
+        ("news", "paper") => NewsConfig::paper_scale(seed).generate().matrix.transpose(),
+        ("synthetic", "tiny") => SyntheticConfig::small(2_000, seed)
+            .generate()
+            .matrix
+            .transpose(),
+        ("synthetic", "small") => SyntheticConfig::small(10_000, seed)
+            .generate()
+            .matrix
+            .transpose(),
+        ("synthetic", "paper") => SyntheticConfig::paper(100_000, seed)
+            .generate()
+            .matrix
+            .transpose(),
+        ("cf", _) => crate::datagen::CfConfig::small(seed)
+            .generate()
+            .matrix
+            .transpose(),
+        ("basket", "tiny") => crate::datagen::BasketConfig::t10_i4(2_000, seed)
+            .generate()
+            .matrix
+            .transpose(),
+        ("basket", "small" | "paper") => crate::datagen::BasketConfig::t10_i4(100_000, seed)
+            .generate()
+            .matrix
+            .transpose(),
+        (k, s) => return Err(format!("unknown --kind {k:?} / --scale {s:?}")),
+    };
+    io::write_binary(&rows, &out).map_err(io_err)?;
+    Ok(format!(
+        "wrote {} rows x {} cols ({} ones) to {}\n",
+        rows.n_rows(),
+        rows.n_cols(),
+        rows.nnz(),
+        out.display()
+    ))
+}
+
+fn open_input(args: &Args) -> Result<(PathBuf, FileRowStream), String> {
+    let input = PathBuf::from(args.require("input")?);
+    let stream = FileRowStream::open(&input).map_err(io_err)?;
+    Ok((input, stream))
+}
+
+fn cmd_info(args: &Args) -> Result<String, String> {
+    let (input, mut stream) = open_input(args)?;
+    let mut nnz = 0usize;
+    let mut max_row = 0usize;
+    let mut buf = Vec::new();
+    while stream.read_row(&mut buf).map_err(io_err)?.is_some() {
+        nnz += buf.len();
+        max_row = max_row.max(buf.len());
+    }
+    Ok(format!(
+        "{}: {} rows x {} cols, {} ones, avg {:.2} / max {} ones per row\n",
+        input.display(),
+        stream.n_rows(),
+        stream.n_cols(),
+        nnz,
+        nnz as f64 / f64::from(stream.n_rows().max(1)),
+        max_row
+    ))
+}
+
+fn cmd_stats(args: &Args) -> Result<String, String> {
+    let (_, mut stream) = open_input(args)?;
+    let bins: usize = args.parse_num("bins", 20)?;
+    let matrix = materialize(&mut stream)?;
+    let csc = matrix.transpose();
+    let density = crate::matrix::stats::density_stats(&csc);
+    let hist = crate::matrix::stats::similarity_histogram(&csc, bins);
+    let mut out = format!(
+        "densities: min {:.6}, mean {:.6}, max {:.6}, empty columns {}\n",
+        density.min, density.max.min(1.0).max(density.min), density.max, density.empty_columns
+    );
+    out.push_str("similarity histogram (co-occurring pairs only):\n");
+    for (b, &count) in hist.iter().enumerate() {
+        if count > 0 {
+            out.push_str(&format!(
+                "  [{:.2}, {:.2}) {count}\n",
+                b as f64 / bins as f64,
+                (b + 1) as f64 / bins as f64
+            ));
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_sketch(args: &Args) -> Result<String, String> {
+    let (_, mut stream) = open_input(args)?;
+    let out = PathBuf::from(args.require("out")?);
+    let k: usize = args.parse_num("k", 100)?;
+    let seed: u64 = args.parse_num("seed", 42)?;
+    match args.require("scheme")? {
+        "mh" => {
+            let sigs = crate::minhash::compute_signatures(&mut stream, k, seed).map_err(io_err)?;
+            crate::minhash::persist::write_signatures(&sigs, &out).map_err(io_err)?;
+            Ok(format!("wrote MH sketch (k={k}) to {}\n", out.display()))
+        }
+        "kmh" => {
+            let sigs = crate::minhash::compute_bottom_k(&mut stream, k, seed).map_err(io_err)?;
+            crate::minhash::persist::write_bottom_k(&sigs, &out).map_err(io_err)?;
+            Ok(format!("wrote K-MH sketch (k={k}) to {}\n", out.display()))
+        }
+        other => Err(format!("sketch scheme must be mh|kmh, got {other:?}")),
+    }
+}
+
+fn scheme_from_args(args: &Args) -> Result<Scheme, String> {
+    let k: usize = args.parse_num("k", 100)?;
+    let delta: f64 = args.parse_num("delta", 0.2)?;
+    let r: usize = args.parse_num("r", 5)?;
+    let l: usize = args.parse_num("l", 20)?;
+    Ok(match args.require("scheme")? {
+        "mh" => Scheme::Mh { k, delta },
+        "kmh" => Scheme::Kmh { k, delta },
+        "mlsh" => Scheme::MLsh {
+            k: k.max(r * l),
+            r,
+            l,
+            sampled: false,
+        },
+        "hlsh" => Scheme::HLsh {
+            r,
+            l,
+            t: 4,
+            max_levels: 16,
+        },
+        other => Err(format!("unknown --scheme {other:?}"))?,
+    })
+}
+
+fn cmd_mine(args: &Args) -> Result<String, String> {
+    let (_, mut stream) = open_input(args)?;
+    let s_star: f64 = args.parse_num("threshold", 0.7)?;
+    let seed: u64 = args.parse_num("seed", 42)?;
+    let scheme = scheme_from_args(args)?;
+    let config = PipelineConfig::new(scheme, s_star, seed);
+    let result = Pipeline::new(config).run(&mut stream).map_err(io_err)?;
+    let pairs = result.similar_pairs();
+    let mut out = format!(
+        "{}: {} candidates, {} pairs at S >= {s_star} ({})\n",
+        scheme.name(),
+        result.candidates_generated(),
+        pairs.len(),
+        result.timings
+    );
+    for p in &pairs {
+        out.push_str(&format!(
+            "{}\t{}\t{:.4}\t{}\t{}\n",
+            p.i, p.j, p.similarity, p.intersection, p.union
+        ));
+    }
+    if let Some(csv) = args.get("csv") {
+        write_pairs_csv(Path::new(csv), &pairs).map_err(io_err)?;
+        out.push_str(&format!("wrote {csv}\n"));
+    }
+    Ok(out)
+}
+
+fn cmd_optimize(args: &Args) -> Result<String, String> {
+    let (_, mut stream) = open_input(args)?;
+    let s_star: f64 = args.parse_num("threshold", 0.7)?;
+    let max_fn: f64 = args.parse_num("max-fn", 5.0)?;
+    let max_fp: f64 = args.parse_num("max-fp", 10_000.0)?;
+    let sample: f64 = args.parse_num("sample", 0.2)?;
+    let seed: u64 = args.parse_num("seed", 42)?;
+    let matrix = materialize(&mut stream)?;
+    let csc = matrix.transpose();
+    let distr = crate::lsh::SimilarityDistribution::estimate_by_sampling(&csc, sample, 20, seed);
+    match crate::lsh::optimize_params(&distr, s_star, max_fn, max_fp, 30, 1 << 14) {
+        Some(p) => Ok(format!(
+            "optimal M-LSH parameters at s* = {s_star}: r = {}, l = {} (k = {} min-hashes)\n\
+             expected false negatives ≤ {:.1}, expected false positives ≤ {:.1}\n\
+             run: sfa mine --input … --scheme mlsh --r {} --l {} --k {} --threshold {s_star}\n",
+            p.r,
+            p.l,
+            p.k(),
+            distr.expected_false_negatives(s_star, p.r, p.l),
+            distr.expected_false_positives(s_star, p.r, p.l),
+            p.r,
+            p.l,
+            p.k(),
+        )),
+        None => Err(format!(
+            "no (r, l) within the search box satisfies FN ≤ {max_fn} and FP ≤ {max_fp}"
+        )),
+    }
+}
+
+fn cmd_rules(args: &Args) -> Result<String, String> {
+    let (_, mut stream) = open_input(args)?;
+    let confidence: f64 = args.parse_num("confidence", 0.9)?;
+    let k: usize = args.parse_num("k", 200)?;
+    let delta: f64 = args.parse_num("delta", 0.2)?;
+    let seed: u64 = args.parse_num("seed", 42)?;
+    let rules =
+        crate::core::confidence::mine_confidence_rules(&mut stream, k, seed, confidence, delta)
+            .map_err(io_err)?;
+    let mut out = format!(
+        "{} high-confidence rules (conf >= {confidence}):\n",
+        rules.len()
+    );
+    for r in &rules {
+        out.push_str(&format!(
+            "{} => {}\tconf {:.4}\tsupport {}\n",
+            r.antecedent, r.consequent, r.confidence, r.support
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_compare(args: &Args) -> Result<String, String> {
+    let input = PathBuf::from(args.require("input")?);
+    let s_star: f64 = args.parse_num("threshold", 0.7)?;
+    let k: usize = args.parse_num("k", 100)?;
+    let seed: u64 = args.parse_num("seed", 42)?;
+    let schemes = [
+        Scheme::Mh { k, delta: 0.2 },
+        Scheme::Kmh { k, delta: 0.2 },
+        Scheme::MLsh {
+            k,
+            r: 5,
+            l: k / 5,
+            sampled: false,
+        },
+        Scheme::HLsh {
+            r: 16,
+            l: 4,
+            t: 4,
+            max_levels: 16,
+        },
+    ];
+    let mut out = format!(
+        "{:<8} {:>10} {:>10} {:>8} {:>10}\n",
+        "scheme", "time(s)", "candidates", "pairs", "cand. FPs"
+    );
+    for scheme in schemes {
+        let mut stream = FileRowStream::open(&input).map_err(io_err)?;
+        let config = PipelineConfig::new(scheme, s_star, seed);
+        let result = Pipeline::new(config).run(&mut stream).map_err(io_err)?;
+        out.push_str(&format!(
+            "{:<8} {:>10.3} {:>10} {:>8} {:>10}\n",
+            scheme.name(),
+            result.timings.total().as_secs_f64(),
+            result.candidates_generated(),
+            result.similar_pairs().len(),
+            result.false_positive_candidates(),
+        ));
+    }
+    Ok(out)
+}
+
+fn write_pairs_csv(
+    path: &Path,
+    pairs: &[crate::core::VerifiedPair],
+) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "i,j,similarity,intersection,union")?;
+    for p in pairs {
+        writeln!(
+            f,
+            "{},{},{:.6},{},{}",
+            p.i, p.j, p.similarity, p.intersection, p.union
+        )?;
+    }
+    Ok(())
+}
+
+fn materialize(stream: &mut FileRowStream) -> Result<crate::matrix::RowMajorMatrix, String> {
+    let n_cols = stream.n_cols();
+    let mut rows = Vec::with_capacity(stream.n_rows() as usize);
+    let mut buf = Vec::new();
+    while stream.read_row(&mut buf).map_err(io_err)?.is_some() {
+        rows.push(buf.clone());
+    }
+    crate::matrix::RowMajorMatrix::from_rows(n_cols, rows).map_err(io_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("sfa_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn parse_options() {
+        let a = Args::parse(&strs(&["mine", "--input", "x.sfab", "--k", "50"])).unwrap();
+        assert_eq!(a.command, "mine");
+        assert_eq!(a.get("input"), Some("x.sfab"));
+        assert_eq!(a.get_or("seed", "42"), "42");
+        assert!(Args::parse(&strs(&[])).is_err());
+        assert!(Args::parse(&strs(&["mine", "oops"])).is_err());
+        assert!(Args::parse(&strs(&["mine", "--k"])).is_err());
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = dispatch(&strs(&["help"])).unwrap();
+        assert!(out.contains("sfa mine"));
+        assert!(dispatch(&strs(&["nonsense"])).is_err());
+    }
+
+    #[test]
+    fn gen_info_stats_roundtrip() {
+        let table = tmp("weblog_tiny.sfab");
+        let out = dispatch(&strs(&[
+            "gen",
+            "--kind",
+            "weblog",
+            "--out",
+            table.to_str().unwrap(),
+            "--scale",
+            "tiny",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote 2000 rows"));
+
+        let info = dispatch(&strs(&["info", "--input", table.to_str().unwrap()])).unwrap();
+        assert!(info.contains("2000 rows"));
+
+        let stats = dispatch(&strs(&[
+            "stats",
+            "--input",
+            table.to_str().unwrap(),
+            "--bins",
+            "10",
+        ]))
+        .unwrap();
+        assert!(stats.contains("similarity histogram"));
+        std::fs::remove_file(&table).ok();
+    }
+
+    #[test]
+    fn mine_finds_pairs_and_writes_csv() {
+        let table = tmp("mine_me.sfab");
+        dispatch(&strs(&[
+            "gen",
+            "--kind",
+            "weblog",
+            "--out",
+            table.to_str().unwrap(),
+            "--scale",
+            "tiny",
+        ]))
+        .unwrap();
+        let csv = tmp("mined.csv");
+        let out = dispatch(&strs(&[
+            "mine",
+            "--input",
+            table.to_str().unwrap(),
+            "--scheme",
+            "kmh",
+            "--threshold",
+            "0.8",
+            "--k",
+            "40",
+            "--csv",
+            csv.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("pairs at S >= 0.8"));
+        let csv_text = std::fs::read_to_string(&csv).unwrap();
+        assert!(csv_text.starts_with("i,j,similarity"));
+        assert!(csv_text.lines().count() > 1, "no pairs mined");
+        std::fs::remove_file(&table).ok();
+        std::fs::remove_file(&csv).ok();
+    }
+
+    #[test]
+    fn sketch_roundtrip_via_cli() {
+        let table = tmp("sketchable.sfab");
+        dispatch(&strs(&[
+            "gen",
+            "--kind",
+            "weblog",
+            "--out",
+            table.to_str().unwrap(),
+            "--scale",
+            "tiny",
+        ]))
+        .unwrap();
+        let sk = tmp("sketch.sfkm");
+        let out = dispatch(&strs(&[
+            "sketch",
+            "--input",
+            table.to_str().unwrap(),
+            "--out",
+            sk.to_str().unwrap(),
+            "--scheme",
+            "kmh",
+            "--k",
+            "16",
+        ]))
+        .unwrap();
+        assert!(out.contains("K-MH sketch"));
+        let loaded = crate::minhash::persist::read_bottom_k(&sk).unwrap();
+        assert_eq!(loaded.k(), 16);
+        std::fs::remove_file(&table).ok();
+        std::fs::remove_file(&sk).ok();
+    }
+
+    #[test]
+    fn optimize_suggests_parameters() {
+        let table = tmp("optimizable.sfab");
+        dispatch(&strs(&[
+            "gen",
+            "--kind",
+            "weblog",
+            "--out",
+            table.to_str().unwrap(),
+            "--scale",
+            "tiny",
+        ]))
+        .unwrap();
+        let out = dispatch(&strs(&[
+            "optimize",
+            "--input",
+            table.to_str().unwrap(),
+            "--threshold",
+            "0.7",
+            "--sample",
+            "0.5",
+        ]))
+        .unwrap();
+        assert!(out.contains("optimal M-LSH parameters"), "{out}");
+        assert!(out.contains("r ="));
+        std::fs::remove_file(&table).ok();
+    }
+
+    #[test]
+    fn rules_finds_high_confidence_implications() {
+        let table = tmp("rules.sfab");
+        dispatch(&strs(&[
+            "gen",
+            "--kind",
+            "weblog",
+            "--out",
+            table.to_str().unwrap(),
+            "--scale",
+            "tiny",
+        ]))
+        .unwrap();
+        let out = dispatch(&strs(&[
+            "rules",
+            "--input",
+            table.to_str().unwrap(),
+            "--confidence",
+            "0.9",
+            "--k",
+            "100",
+        ]))
+        .unwrap();
+        assert!(out.contains("high-confidence rules"));
+        assert!(out.lines().count() > 1, "no rules found: {out}");
+        std::fs::remove_file(&table).ok();
+    }
+
+    #[test]
+    fn compare_runs_all_schemes() {
+        let table = tmp("compare.sfab");
+        dispatch(&strs(&[
+            "gen",
+            "--kind",
+            "weblog",
+            "--out",
+            table.to_str().unwrap(),
+            "--scale",
+            "tiny",
+        ]))
+        .unwrap();
+        let out = dispatch(&strs(&[
+            "compare",
+            "--input",
+            table.to_str().unwrap(),
+            "--threshold",
+            "0.8",
+            "--k",
+            "60",
+        ]))
+        .unwrap();
+        for name in ["MH", "K-MH", "M-LSH", "H-LSH"] {
+            assert!(out.contains(name), "{name} missing from:\n{out}");
+        }
+        std::fs::remove_file(&table).ok();
+    }
+
+    #[test]
+    fn gen_supports_all_kinds() {
+        for kind in ["cf", "basket"] {
+            let table = tmp(&format!("kind_{kind}.sfab"));
+            let out = dispatch(&strs(&[
+                "gen",
+                "--kind",
+                kind,
+                "--out",
+                table.to_str().unwrap(),
+                "--scale",
+                "tiny",
+            ]))
+            .unwrap();
+            assert!(out.contains("wrote"), "{kind}: {out}");
+            std::fs::remove_file(&table).ok();
+        }
+    }
+
+    #[test]
+    fn mine_rejects_unknown_scheme() {
+        let table = tmp("reject.sfab");
+        dispatch(&strs(&[
+            "gen",
+            "--kind",
+            "weblog",
+            "--out",
+            table.to_str().unwrap(),
+            "--scale",
+            "tiny",
+        ]))
+        .unwrap();
+        let err = dispatch(&strs(&[
+            "mine",
+            "--input",
+            table.to_str().unwrap(),
+            "--scheme",
+            "quantum",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("quantum"));
+        std::fs::remove_file(&table).ok();
+    }
+}

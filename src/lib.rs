@@ -1,0 +1,60 @@
+//! # sfa — Support-Free Association mining
+//!
+//! A faithful, from-scratch Rust implementation of
+//! **"Finding Interesting Associations without Support Pruning"**
+//! (Cohen, Datar, Fujiwara, Gionis, Indyk, Motwani, Ullman, Yang —
+//! ICDE 2000 / IEEE TKDE 13(1)).
+//!
+//! The library finds all column pairs of a large sparse 0/1 matrix whose
+//! Jaccard similarity exceeds a threshold — **without any support
+//! requirement**, the regime where classical a priori mining is useless —
+//! using min-hash signatures and locality-sensitive hashing, in two
+//! streaming passes over the data.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sfa::core::{Pipeline, PipelineConfig, Scheme};
+//! use sfa::matrix::{MemoryRowStream, RowMajorMatrix};
+//!
+//! // Rows are baskets/documents/clients; columns are items/words/URLs.
+//! let matrix = RowMajorMatrix::from_rows(3, vec![
+//!     vec![0, 1],
+//!     vec![0, 1],
+//!     vec![0, 1, 2],
+//!     vec![2],
+//! ]).unwrap();
+//!
+//! // Find pairs with similarity ≥ 0.6 via Min-Hashing.
+//! let config = PipelineConfig::new(Scheme::Mh { k: 64, delta: 0.2 }, 0.6, 42);
+//! let result = Pipeline::new(config)
+//!     .run(&mut MemoryRowStream::new(&matrix))
+//!     .unwrap();
+//!
+//! // Columns 0 and 1 hold 1s in exactly the same rows: S = 1.
+//! let pairs = result.similar_pairs();
+//! assert_eq!((pairs[0].i, pairs[0].j), (0, 1));
+//! assert_eq!(pairs[0].similarity, 1.0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`matrix`] | sparse boolean matrix substrate, row streaming, IO, exact stats |
+//! | [`hash`] | hash families, bottom-k trackers, bucket tables |
+//! | [`minhash`] | MH and K-MH signatures, Row-Sorting / Hash-Count candidates (§3) |
+//! | [`lsh`] | M-LSH banding, H-LSH density ladder, filter functions, parameter optimizer (§4) |
+//! | [`apriori`] | the classical support-pruned baseline |
+//! | [`datagen`] | seeded generators for the paper's three workloads |
+//! | [`core`] | the three-phase pipeline, quality evaluation, §6 confidence rules, §7 boolean extensions |
+
+pub mod cli;
+
+pub use sfa_apriori as apriori;
+pub use sfa_core as core;
+pub use sfa_datagen as datagen;
+pub use sfa_hash as hash;
+pub use sfa_lsh as lsh;
+pub use sfa_matrix as matrix;
+pub use sfa_minhash as minhash;

@@ -1,0 +1,107 @@
+//! The support-free schemes against the classical baseline: wherever
+//! a priori *can* see (above its support threshold), both must agree; below
+//! it, only the support-free schemes see anything.
+
+use sfa::apriori::apriori_similar_pairs;
+use sfa::core::{Pipeline, PipelineConfig, Scheme};
+use sfa::datagen::NewsConfig;
+use sfa::matrix::{ops::prune_support, MemoryRowStream};
+
+#[test]
+fn mh_finds_everything_apriori_finds_and_more() {
+    let data = NewsConfig::small(41).generate();
+    let s_star = 0.6;
+    let min_support = 30u32; // above the planted collocations' support
+
+    // a priori on support-pruned data (as the paper's Fig. 4 setup).
+    let (pruned, kept) = prune_support(&data.matrix, min_support as usize);
+    let pruned_rows = pruned.transpose();
+    let apairs = apriori_similar_pairs(&pruned_rows, min_support, s_star);
+    // Map back to original column ids.
+    let apriori_found: std::collections::HashSet<(u32, u32)> = apairs
+        .iter()
+        .map(|p| (kept[p.i as usize], kept[p.j as usize]))
+        .collect();
+
+    // MH on the *unpruned* data.
+    let rows = data.matrix.transpose();
+    let result = Pipeline::new(PipelineConfig::new(
+        Scheme::Mh { k: 250, delta: 0.25 },
+        s_star,
+        11,
+    ))
+    .run(&mut MemoryRowStream::new(&rows))
+    .unwrap();
+    let mh_found: std::collections::HashSet<(u32, u32)> = result
+        .similar_pairs()
+        .iter()
+        .map(|p| (p.i, p.j))
+        .collect();
+
+    // Superset: everything a priori sees, MH sees.
+    for pair in &apriori_found {
+        assert!(
+            mh_found.contains(pair),
+            "MH missed the apriori-visible pair {pair:?}"
+        );
+    }
+
+    // Strictly more: the planted low-support collocations are invisible to
+    // a priori but found by MH.
+    let mut recovered_hidden = 0;
+    for &(a, b) in &data.collocations {
+        assert!(
+            !apriori_found.contains(&(a, b)),
+            "collocation ({a}, {b}) should be below apriori's support threshold"
+        );
+        if mh_found.contains(&(a, b)) {
+            recovered_hidden += 1;
+        }
+    }
+    assert!(
+        recovered_hidden * 10 >= data.collocations.len() * 8,
+        "MH recovered only {recovered_hidden}/{} hidden collocations",
+        data.collocations.len()
+    );
+}
+
+#[test]
+fn apriori_pair_measurements_match_exact_columns() {
+    let data = NewsConfig::small(43).generate();
+    let rows = data.matrix.transpose();
+    let pairs = apriori_similar_pairs(&rows, 10, 0.3);
+    assert!(!pairs.is_empty());
+    for p in pairs.iter().take(50) {
+        assert_eq!(
+            p.support as usize,
+            data.matrix.intersection_size(p.i, p.j),
+            "support mismatch for ({}, {})",
+            p.i,
+            p.j
+        );
+        assert!((p.similarity - data.matrix.similarity(p.i, p.j)).abs() < 1e-12);
+        assert!((p.conf_ij - data.matrix.confidence(p.i, p.j)).abs() < 1e-12);
+        assert!((p.conf_ji - data.matrix.confidence(p.j, p.i)).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn association_rules_from_frequent_head_words() {
+    // The Zipf head gives a priori plenty of high-support material; rules
+    // generated from it must have exact confidences.
+    let data = NewsConfig::small(47).generate();
+    let rows = data.matrix.transpose();
+    let (sets, _) = sfa::apriori::frequent_itemsets(&rows, 300, 2);
+    let rules = sfa::apriori::generate_rules(&sets, 0.5);
+    for r in rules.iter().take(20) {
+        assert_eq!(r.antecedent.len(), 1);
+        assert_eq!(r.consequent.len(), 1);
+        let exact = data.matrix.confidence(r.antecedent[0], r.consequent[0]);
+        assert!(
+            (r.confidence - exact).abs() < 1e-12,
+            "rule {:?} ⇒ {:?}",
+            r.antecedent,
+            r.consequent
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! End-to-end tests of the compiled `sfa` binary: generate a table on
+//! disk, inspect it, sketch it, mine it — all through the real process
+//! boundary (`CARGO_BIN_EXE_sfa`).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn sfa(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_sfa"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("sfa_cli_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn help_succeeds_and_unknown_fails() {
+    let (ok, stdout, _) = sfa(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    let (ok, _, stderr) = sfa(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown subcommand"));
+}
+
+#[test]
+fn full_workflow_gen_info_sketch_mine() {
+    let table = tmp("workflow.sfab");
+    let table_s = table.to_str().unwrap();
+
+    let (ok, stdout, stderr) = sfa(&[
+        "gen", "--kind", "weblog", "--out", table_s, "--scale", "tiny", "--seed", "5",
+    ]);
+    assert!(ok, "gen failed: {stderr}");
+    assert!(stdout.contains("wrote 2000 rows"));
+
+    let (ok, stdout, _) = sfa(&["info", "--input", table_s]);
+    assert!(ok);
+    assert!(stdout.contains("2000 rows"));
+
+    let sketch = tmp("workflow.sfkm");
+    let (ok, stdout, _) = sfa(&[
+        "sketch", "--input", table_s, "--out", sketch.to_str().unwrap(),
+        "--scheme", "kmh", "--k", "24",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("K-MH sketch"));
+    assert!(sketch.exists());
+
+    let csv = tmp("workflow_pairs.csv");
+    let (ok, stdout, _) = sfa(&[
+        "mine", "--input", table_s, "--scheme", "mlsh", "--threshold", "0.8",
+        "--r", "4", "--l", "12", "--k", "48", "--csv", csv.to_str().unwrap(),
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("M-LSH:"));
+    let pairs = std::fs::read_to_string(&csv).unwrap();
+    assert!(pairs.lines().count() > 1, "mining found nothing:\n{stdout}");
+    // Every CSV row reports similarity ≥ the threshold.
+    for line in pairs.lines().skip(1) {
+        let s: f64 = line.split(',').nth(2).unwrap().parse().unwrap();
+        assert!(s >= 0.8, "below-threshold pair in output: {line}");
+    }
+
+    for p in [table, sketch, csv] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn mine_missing_file_reports_error() {
+    let (ok, _, stderr) = sfa(&[
+        "mine", "--input", "/nonexistent/table.sfab", "--scheme", "mh",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("error"));
+}
+
+#[test]
+fn optimize_then_mine_with_suggested_parameters() {
+    let table = tmp("opt.sfab");
+    let table_s = table.to_str().unwrap();
+    let (ok, _, _) = sfa(&[
+        "gen", "--kind", "weblog", "--out", table_s, "--scale", "tiny",
+    ]);
+    assert!(ok);
+    let (ok, stdout, stderr) = sfa(&[
+        "optimize", "--input", table_s, "--threshold", "0.7", "--sample", "0.5",
+    ]);
+    assert!(ok, "optimize failed: {stderr}");
+    // Parse the suggested r / l back out of the output line.
+    let line = stdout
+        .lines()
+        .find(|l| l.contains("r ="))
+        .expect("suggestion line");
+    let grab = |tag: &str| -> usize {
+        line.split(tag).nth(1).unwrap().trim_start()
+            .split([',', ' ', ')']).next().unwrap().parse().unwrap()
+    };
+    let (r, l) = (grab("r ="), grab("l ="));
+    assert!(r >= 1 && l >= 1);
+    let (ok, stdout, _) = sfa(&[
+        "mine", "--input", table_s, "--scheme", "mlsh", "--threshold", "0.7",
+        "--r", &r.to_string(), "--l", &l.to_string(), "--k", &(r * l).to_string(),
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("pairs at S >= 0.7"));
+    std::fs::remove_file(table).ok();
+}

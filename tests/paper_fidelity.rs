@@ -1,0 +1,157 @@
+//! Paper-fidelity tests: statements the paper makes, encoded directly.
+
+use sfa::matrix::{ColumnSet, MemoryRowStream, RowMajorMatrix, SparseMatrix};
+use sfa::minhash::explicit::{signatures_from_permutations, RowPermutation};
+use sfa::minhash::theory::required_k;
+use sfa::minhash::{compute_bottom_k, compute_signatures};
+
+/// §1: the definitions of similarity and confidence, on the paper's own
+/// example numbers.
+#[test]
+fn section1_similarity_and_confidence_definitions() {
+    // S(ci, cj) = |Ci ∩ Cj| / |Ci ∪ Cj|; Conf(ci ⇒ cj) = |Ci ∩ Cj| / |Ci|.
+    let ci = ColumnSet::from_unsorted(vec![1, 2, 3, 4]);
+    let cj = ColumnSet::from_unsorted(vec![3, 4, 5]);
+    assert_eq!(ci.intersection_size(&cj), 2);
+    assert_eq!(ci.union_size(&cj), 5);
+    assert!((ci.similarity(&cj) - 0.4).abs() < 1e-12);
+    assert!((ci.confidence(&cj) - 0.5).abs() < 1e-12);
+    // Confidence is asymmetric, similarity symmetric:
+    assert!((cj.confidence(&ci) - 2.0 / 3.0).abs() < 1e-12);
+    assert_eq!(ci.similarity(&cj), cj.similarity(&ci));
+}
+
+/// §3 Example 1: the 4×3 matrix, both permutations, the resulting M̂ and
+/// the quoted similarity values.
+#[test]
+fn section3_example_1_verbatim() {
+    let m = SparseMatrix::from_columns(4, vec![vec![0, 1], vec![0, 1, 2], vec![2, 3]]).unwrap();
+    // "S(c1,c2) = 2/3, S(c1,c3) = 0, and S(c2,c3) = 1/4"
+    assert!((m.similarity(0, 1) - 2.0 / 3.0).abs() < 1e-12);
+    assert_eq!(m.similarity(0, 2), 0.0);
+    assert!((m.similarity(1, 2) - 0.25).abs() < 1e-12);
+    // π1 = {1→3, 2→1, 3→2, 4→4}, π2 = {1→2, 2→4, 3→3, 4→1}.
+    let p1 = RowPermutation::new(vec![2, 0, 1, 3]);
+    let p2 = RowPermutation::new(vec![1, 3, 2, 0]);
+    let m_hat = signatures_from_permutations(&m, &[p1, p2]);
+    // "M̂ = [[2, 2, 3], [1, 1, 4]]" (1-based row ids).
+    assert_eq!(m_hat.row(0), &[1, 1, 2]);
+    assert_eq!(m_hat.row(1), &[0, 0, 3]);
+    // "Ŝ(c1,c2) = 1, Ŝ(c1,c3) = 0, and Ŝ(c2,c3) = 0".
+    assert_eq!(m_hat.s_hat(0, 1), 1.0);
+    assert_eq!(m_hat.s_hat(0, 2), 0.0);
+    assert_eq!(m_hat.s_hat(1, 2), 0.0);
+}
+
+/// Theorem 1's k bound: `k ≥ 2 δ⁻² c⁻¹ log ε⁻¹` — check the formula's
+/// shape and that it is achievable in practice for typical parameters.
+#[test]
+fn theorem1_bound_shape() {
+    // Doubling 1/c doubles k; halving δ quadruples k.
+    let base = required_k(0.2, 0.05, 0.5);
+    assert_eq!(required_k(0.2, 0.05, 0.25), base * 2);
+    let quartered = required_k(0.1, 0.05, 0.5);
+    assert!(quartered >= base * 4 - 2 && quartered <= base * 4 + 2);
+}
+
+/// §3.2: "SIG_{i∪j} … is in fact the set of the smallest k elements from
+/// SIG_i ∪ SIG_j" — and Theorem 2's estimator is exact when the sketches
+/// exhaust the columns.
+#[test]
+fn section32_union_signature_and_theorem2() {
+    let rows = vec![
+        vec![0, 1],
+        vec![0],
+        vec![1],
+        vec![0, 1],
+        vec![0],
+    ];
+    let m = RowMajorMatrix::from_rows(2, rows).unwrap();
+    let sigs = compute_bottom_k(&mut MemoryRowStream::new(&m), 16, 3).unwrap();
+    // Sketches hold the full columns (|C| ≤ 16): the estimator is exact.
+    let exact = m.transpose().similarity(0, 1);
+    assert!((sigs.unbiased_similarity(0, 1) - exact).abs() < 1e-12);
+    // And SIG_{i∪j} is the merge of the two signatures.
+    let merged = sfa::hash::topk::merge_bottom_k(sigs.signature(0), sigs.signature(1), 16);
+    assert_eq!(sigs.union_signature(0, 1), merged);
+}
+
+/// §4 Lemma 2 / the filter: P_{r,l}(s) = 1 − (1 − s^r)^l, with both limits
+/// the paper uses: step-like for large parameters.
+#[test]
+fn section4_lemma2_filter_shape() {
+    let s_star: f64 = 0.7;
+    // "For any s ≥ (1+δ)s*, P ≥ 1−ε; for any s ≤ (1−δ)s*, P ≤ ε."
+    let (delta, eps) = (0.25, 0.05);
+    // Find (r, l) realizing the guarantee, as the lemma promises exists.
+    let mut found = None;
+    'outer: for r in 1..=30 {
+        for l in 1..=4096 {
+            let hi = sfa::lsh::p_filter(((1.0 + delta) * s_star).min(1.0), r, l);
+            let lo = sfa::lsh::p_filter((1.0 - delta) * s_star, r, l);
+            if hi >= 1.0 - eps && lo <= eps {
+                found = Some((r, l));
+                break 'outer;
+            }
+        }
+    }
+    let (r, l) = found.expect("Lemma 2 parameters exist");
+    assert!(r >= 2, "needs amplification, got r = {r}, l = {l}");
+}
+
+/// §5: "although our algorithms are probabilistic, they report the same
+/// set of pairs as that reported by a priori" — on a support-pruned
+/// dataset where both apply.
+#[test]
+fn section5_probabilistic_equals_exact_output() {
+    let data = sfa::datagen::NewsConfig::small(3).generate();
+    let rows = data.matrix.transpose();
+    let (s_star, min_support) = (0.5, 15u32);
+    let apriori = sfa::apriori::apriori_similar_pairs(&rows, min_support, s_star);
+    let mh = sfa::core::Pipeline::new(sfa::core::PipelineConfig::new(
+        sfa::core::Scheme::Mh { k: 300, delta: 0.3 },
+        s_star,
+        77,
+    ))
+    .run(&mut MemoryRowStream::new(&rows))
+    .unwrap();
+    let mh_pairs: std::collections::HashSet<(u32, u32)> =
+        mh.similar_pairs().iter().map(|p| (p.i, p.j)).collect();
+    for p in &apriori {
+        assert!(
+            mh_pairs.contains(&(p.i, p.j)),
+            "MH missed apriori pair ({}, {}) at S = {}",
+            p.i,
+            p.j,
+            p.similarity
+        );
+    }
+}
+
+/// §6: conf(ci ⇒ cj) = S(ci,cj) · |Ci ∪ Cj| / |Ci| — the identity the
+/// extension is built on, checked exactly.
+#[test]
+fn section6_confidence_identity() {
+    let ci = ColumnSet::from_unsorted(vec![1, 2, 3, 4, 5]);
+    let cj = ColumnSet::from_unsorted(vec![4, 5, 6]);
+    let s = ci.similarity(&cj);
+    let conf = ci.confidence(&cj);
+    let identity = s * ci.union_size(&cj) as f64 / ci.cardinality() as f64;
+    assert!((conf - identity).abs() < 1e-12);
+    // And S lower-bounds both confidences.
+    assert!(s <= conf + 1e-12);
+    assert!(s <= cj.confidence(&ci) + 1e-12);
+}
+
+/// §8 summary: "The probability that two column's Min-Hash values are the
+/// same is equal to the similarity between them" — Proposition 1 at scale.
+#[test]
+fn proposition1_at_scale() {
+    // 60 shared, 40 exclusive rows: S = 60/100.
+    let mut rows = vec![vec![0u32, 1]; 60];
+    rows.extend(vec![vec![0]; 20]);
+    rows.extend(vec![vec![1]; 20]);
+    let m = RowMajorMatrix::from_rows(2, rows).unwrap();
+    let sigs = compute_signatures(&mut MemoryRowStream::new(&m), 8000, 11).unwrap();
+    assert!((sigs.s_hat(0, 1) - 0.6).abs() < 0.02);
+}

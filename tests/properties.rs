@@ -1,0 +1,295 @@
+//! Property-based tests (proptest) for the DESIGN.md §7 invariants.
+
+use proptest::prelude::*;
+
+use sfa::core::{Pipeline, PipelineConfig, Scheme};
+use sfa::hash::topk::merge_bottom_k;
+use sfa::hash::{BottomK, HashFamily};
+use sfa::lsh::hamming::similarity_from_hamming;
+use sfa::lsh::{p_filter, q_filter};
+use sfa::matrix::column::jaccard;
+use sfa::matrix::{ColumnSet, MemoryRowStream, RowMajorMatrix};
+use sfa::minhash::{compute_bottom_k, compute_signatures, CandidatePair};
+
+/// Strategy: a sorted-unique row-id set over `0..bound`.
+fn row_set(bound: u32, max_len: usize) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::btree_set(0..bound, 0..=max_len)
+        .prop_map(|s| s.into_iter().collect::<Vec<u32>>())
+}
+
+/// Strategy: a small row-major matrix (rows of sorted column ids).
+fn small_matrix() -> impl Strategy<Value = RowMajorMatrix> {
+    (1u32..12, 2u32..10)
+        .prop_flat_map(|(n_rows, n_cols)| {
+            prop::collection::vec(row_set(n_cols, n_cols as usize), n_rows as usize)
+                .prop_map(move |rows| RowMajorMatrix::from_rows(n_cols, rows).unwrap())
+        })
+}
+
+proptest! {
+    // ---- similarity axioms ----
+
+    #[test]
+    fn jaccard_is_bounded_and_symmetric(a in row_set(50, 20), b in row_set(50, 20)) {
+        let s = jaccard(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert_eq!(s, jaccard(&b, &a));
+    }
+
+    #[test]
+    fn jaccard_identity_iff_equal(a in row_set(30, 12), b in row_set(30, 12)) {
+        let s = jaccard(&a, &b);
+        if !a.is_empty() || !b.is_empty() {
+            prop_assert_eq!(s == 1.0, a == b);
+        }
+        if !a.is_empty() {
+            prop_assert_eq!(jaccard(&a, &a), 1.0);
+        }
+    }
+
+    #[test]
+    fn lemma3_holds_for_all_columns(a in row_set(40, 16), b in row_set(40, 16)) {
+        let ca = ColumnSet::from_sorted(a).unwrap();
+        let cb = ColumnSet::from_sorted(b).unwrap();
+        let via_lemma = similarity_from_hamming(
+            ca.cardinality(),
+            cb.cardinality(),
+            ca.hamming_distance(&cb),
+        );
+        prop_assert!((ca.similarity(&cb) - via_lemma).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confidence_bounds_similarity(a in row_set(40, 16), b in row_set(40, 16)) {
+        // S(a, b) ≤ min(conf(a⇒b), conf(b⇒a)) — §6's candidate rationale.
+        let ca = ColumnSet::from_sorted(a).unwrap();
+        let cb = ColumnSet::from_sorted(b).unwrap();
+        let s = ca.similarity(&cb);
+        prop_assert!(s <= ca.confidence(&cb) + 1e-12);
+        prop_assert!(s <= cb.confidence(&ca) + 1e-12);
+    }
+
+    // ---- bottom-k structures ----
+
+    #[test]
+    fn bottom_k_keeps_exactly_the_k_smallest(values in prop::collection::vec(any::<u64>(), 0..60), k in 1usize..12) {
+        let mut tracker = BottomK::new(k);
+        for &v in &values {
+            tracker.insert(v);
+        }
+        let mut expected: Vec<u64> = values.clone();
+        expected.sort_unstable();
+        expected.dedup();
+        expected.truncate(k);
+        prop_assert_eq!(tracker.into_sorted_vec(), expected);
+    }
+
+    #[test]
+    fn merge_bottom_k_matches_naive(
+        a in prop::collection::btree_set(any::<u64>(), 0..20),
+        b in prop::collection::btree_set(any::<u64>(), 0..20),
+        k in 1usize..12,
+    ) {
+        let a: Vec<u64> = a.into_iter().collect();
+        let b: Vec<u64> = b.into_iter().collect();
+        let mut naive: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        naive.sort_unstable();
+        naive.dedup();
+        naive.truncate(k);
+        prop_assert_eq!(merge_bottom_k(&a, &b, k), naive);
+    }
+
+    // ---- matrix structure ----
+
+    #[test]
+    fn transpose_is_an_involution(m in small_matrix()) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn or_fold_preserves_column_presence(m in small_matrix(), seed in any::<u64>()) {
+        prop_assume!(m.n_rows() >= 2);
+        let folded = sfa::matrix::ops::or_fold_random(&m, seed);
+        prop_assert_eq!(folded.n_rows(), m.n_rows().div_ceil(2));
+        for (before, after) in m.column_counts().iter().zip(folded.column_counts()) {
+            prop_assert_eq!(*before > 0, after > 0);
+            prop_assert!(after <= *before);
+        }
+    }
+
+    #[test]
+    fn io_roundtrips_are_identity(m in small_matrix(), tag in 0u64..1_000_000) {
+        let dir = std::env::temp_dir().join("sfa_prop_io");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pt = dir.join(format!("m{tag}.sfat"));
+        let pb = dir.join(format!("m{tag}.sfab"));
+        sfa::matrix::io::write_text(&m, &pt).unwrap();
+        sfa::matrix::io::write_binary(&m, &pb).unwrap();
+        prop_assert_eq!(sfa::matrix::io::read_text(&pt).unwrap(), m.clone());
+        prop_assert_eq!(sfa::matrix::io::read_binary(&pb).unwrap(), m);
+        std::fs::remove_file(&pt).ok();
+        std::fs::remove_file(&pb).ok();
+    }
+
+    // ---- signatures ----
+
+    #[test]
+    fn mh_signature_is_columnwise_min(m in small_matrix(), seed in any::<u64>(), k in 1usize..6) {
+        let sigs = compute_signatures(&mut MemoryRowStream::new(&m), k, seed).unwrap();
+        let fam = HashFamily::new(k, seed);
+        let csc = m.transpose();
+        for j in 0..m.n_cols() {
+            for l in 0..k {
+                let expected = csc
+                    .column(j)
+                    .iter()
+                    .map(|&r| fam.hash(l, u64::from(r)))
+                    .min()
+                    .unwrap_or(u64::MAX);
+                prop_assert_eq!(sigs.get(l, j), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn kmh_signature_is_bottom_k_of_column(m in small_matrix(), seed in any::<u64>(), k in 1usize..6) {
+        let sigs = compute_bottom_k(&mut MemoryRowStream::new(&m), k, seed).unwrap();
+        let hasher = sfa::hash::RowHasher::new(seed);
+        let csc = m.transpose();
+        for j in 0..m.n_cols() {
+            let mut expected: Vec<u64> =
+                csc.column(j).iter().map(|&r| hasher.hash_row(r)).collect();
+            expected.sort_unstable();
+            expected.dedup();
+            expected.truncate(k);
+            prop_assert_eq!(sigs.signature(j), expected.as_slice());
+            prop_assert_eq!(sigs.column_count(j) as usize, csc.column_count(j));
+        }
+    }
+
+    #[test]
+    fn kmh_union_signature_matches_union_column(m in small_matrix(), seed in any::<u64>(), k in 1usize..6) {
+        let sigs = compute_bottom_k(&mut MemoryRowStream::new(&m), k, seed).unwrap();
+        let hasher = sfa::hash::RowHasher::new(seed);
+        let csc = m.transpose();
+        let n_cols = m.n_cols();
+        prop_assume!(n_cols >= 2);
+        for i in 0..n_cols {
+            for j in (i + 1)..n_cols {
+                let union = ColumnSet::from_slice(csc.column(i))
+                    .union(&ColumnSet::from_slice(csc.column(j)));
+                let mut expected: Vec<u64> =
+                    union.rows().iter().map(|&r| hasher.hash_row(r)).collect();
+                expected.sort_unstable();
+                expected.dedup();
+                expected.truncate(k);
+                prop_assert_eq!(sigs.union_signature(i, j), expected);
+            }
+        }
+    }
+
+    // ---- filters ----
+
+    #[test]
+    fn filters_are_probabilities_and_monotone(
+        s1 in 0.0f64..=1.0,
+        s2 in 0.0f64..=1.0,
+        r in 1usize..15,
+        l in 1usize..30,
+        k in 1usize..60,
+    ) {
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        let p_lo = p_filter(lo, r, l);
+        let p_hi = p_filter(hi, r, l);
+        prop_assert!((0.0..=1.0).contains(&p_lo));
+        prop_assert!(p_lo <= p_hi + 1e-12);
+        let k = k.max(r);
+        let q_lo = q_filter(lo, r, l, k);
+        let q_hi = q_filter(hi, r, l, k);
+        prop_assert!((0.0..=1.0).contains(&q_lo));
+        prop_assert!(q_lo <= q_hi + 1e-9);
+    }
+
+    // ---- verification and the pipeline ----
+
+    #[test]
+    fn verification_is_exact_for_arbitrary_candidates(m in small_matrix(), pick in any::<u64>()) {
+        let n_cols = m.n_cols();
+        prop_assume!(n_cols >= 2);
+        // Derive a pseudo-random candidate subset from `pick`.
+        let mut candidates = Vec::new();
+        let mut state = pick;
+        for i in 0..n_cols {
+            for j in (i + 1)..n_cols {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if state >> 63 == 1 {
+                    candidates.push(CandidatePair::new(i, j, 0.5));
+                }
+            }
+        }
+        let (verified, counts) =
+            sfa::core::verify::verify_candidates(&mut MemoryRowStream::new(&m), &candidates)
+                .unwrap();
+        let csc = m.transpose();
+        prop_assert_eq!(verified.len(), candidates.len());
+        for v in &verified {
+            prop_assert_eq!(v.intersection as usize, csc.intersection_size(v.i, v.j));
+            prop_assert!((v.similarity - csc.similarity(v.i, v.j)).abs() < 1e-12);
+        }
+        for j in 0..n_cols {
+            prop_assert_eq!(counts[j as usize] as usize, csc.column_count(j));
+        }
+    }
+
+    #[test]
+    fn pipeline_output_never_contains_false_positives(m in small_matrix(), seed in any::<u64>()) {
+        let cfg = PipelineConfig::new(Scheme::Mh { k: 16, delta: 0.2 }, 0.6, seed);
+        let result = Pipeline::new(cfg).run(&mut MemoryRowStream::new(&m)).unwrap();
+        let csc = m.transpose();
+        for p in result.similar_pairs() {
+            prop_assert!(csc.similarity(p.i, p.j) >= 0.6);
+        }
+    }
+
+    // ---- a priori vs brute force ----
+
+    #[test]
+    fn apriori_pairs_match_brute_force(m in small_matrix(), min_support in 1u32..4) {
+        let (sets, _) = sfa::apriori::frequent_itemsets(&m, min_support, 2);
+        let csc = m.transpose();
+        let frequent_pairs: std::collections::HashSet<(u32, u32)> = sets
+            .iter()
+            .filter(|f| f.items.len() == 2)
+            .map(|f| (f.items[0], f.items[1]))
+            .collect();
+        for i in 0..m.n_cols() {
+            for j in (i + 1)..m.n_cols() {
+                let support = csc.intersection_size(i, j) as u32;
+                prop_assert_eq!(
+                    frequent_pairs.contains(&(i, j)),
+                    support >= min_support,
+                    "pair ({}, {}) support {}", i, j, support
+                );
+            }
+        }
+    }
+}
+
+/// Statistical (non-proptest) check of Proposition 1 at moderate scale:
+/// kept out of the proptest block because it needs many hash functions,
+/// not many inputs.
+#[test]
+fn proposition_1_estimator_concentrates() {
+    let rows = vec![
+        vec![0, 1],
+        vec![0, 1],
+        vec![0, 1],
+        vec![0],
+        vec![1],
+        vec![0],
+    ];
+    // S = 3 / 6 = 0.5.
+    let m = RowMajorMatrix::from_rows(2, rows).unwrap();
+    let sigs = compute_signatures(&mut MemoryRowStream::new(&m), 6000, 99).unwrap();
+    assert!((sigs.s_hat(0, 1) - 0.5).abs() < 0.03);
+}
