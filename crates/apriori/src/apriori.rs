@@ -92,11 +92,7 @@ pub fn frequent_itemsets(
         let mut projection = Vec::new();
         for (_, row) in matrix.rows() {
             projection.clear();
-            projection.extend(
-                row.iter()
-                    .copied()
-                    .filter(|&c| frequent_item[c as usize]),
-            );
+            projection.extend(row.iter().copied().filter(|&c| frequent_item[c as usize]));
             for (a, &ci) in projection.iter().enumerate() {
                 for &cj in &projection[a + 1..] {
                     pair_counts.increment(ci, cj);
@@ -191,10 +187,8 @@ fn count_and_filter(
     k: usize,
 ) -> Vec<FrequentItemset> {
     use std::collections::HashMap;
-    let mut counts: HashMap<&[u32], u32> = candidates
-        .iter()
-        .map(|c| (c.as_slice(), 0u32))
-        .collect();
+    let mut counts: HashMap<&[u32], u32> =
+        candidates.iter().map(|c| (c.as_slice(), 0u32)).collect();
     // Items appearing in any candidate, for transaction projection.
     let mut in_candidates = FastHashSet::default();
     for c in candidates {
@@ -233,10 +227,12 @@ fn count_and_filter(
 pub fn maximal_itemsets(itemsets: &[FrequentItemset]) -> Vec<FrequentItemset> {
     // Group by size for superset probing.
     let by_size: std::collections::BTreeMap<usize, Vec<&FrequentItemset>> =
-        itemsets.iter().fold(std::collections::BTreeMap::new(), |mut m, f| {
-            m.entry(f.items.len()).or_default().push(f);
-            m
-        });
+        itemsets
+            .iter()
+            .fold(std::collections::BTreeMap::new(), |mut m, f| {
+                m.entry(f.items.len()).or_default().push(f);
+                m
+            });
     let is_subset = |small: &[u32], big: &[u32]| -> bool {
         let mut it = big.iter();
         small.iter().all(|x| it.any(|y| y == x))
@@ -391,7 +387,11 @@ mod tests {
                 for drop in 0..s.items.len() {
                     let mut sub = s.items.clone();
                     sub.remove(drop);
-                    assert!(all.contains(sub.as_slice()), "missing subset of {:?}", s.items);
+                    assert!(
+                        all.contains(sub.as_slice()),
+                        "missing subset of {:?}",
+                        s.items
+                    );
                 }
             }
         }

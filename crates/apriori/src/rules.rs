@@ -28,10 +28,7 @@ pub struct AssociationRule {
 /// Only itemsets of size ≥ 2 yield rules; every non-trivial bipartition is
 /// considered.
 #[must_use]
-pub fn generate_rules(
-    itemsets: &[FrequentItemset],
-    min_confidence: f64,
-) -> Vec<AssociationRule> {
+pub fn generate_rules(itemsets: &[FrequentItemset], min_confidence: f64) -> Vec<AssociationRule> {
     let support_of: FastHashMap<&[u32], u32> = itemsets
         .iter()
         .map(|f| (f.items.as_slice(), f.support))
@@ -129,11 +126,9 @@ mod tests {
 
     #[test]
     fn multi_item_rules_are_generated() {
-        let m = RowMajorMatrix::from_rows(
-            3,
-            vec![vec![0, 1, 2], vec![0, 1, 2], vec![0, 1], vec![2]],
-        )
-        .unwrap();
+        let m =
+            RowMajorMatrix::from_rows(3, vec![vec![0, 1, 2], vec![0, 1, 2], vec![0, 1], vec![2]])
+                .unwrap();
         let (sets, _) = frequent_itemsets(&m, 2, usize::MAX);
         let rules = generate_rules(&sets, 0.5);
         // {0,1} ⇒ {2} has confidence 2/3.

@@ -1,13 +1,13 @@
 //! Pipeline configuration: scheme selection and parameters.
 
-use serde::{Deserialize, Serialize};
+use sfa_json::{FromJson, Json, JsonError, ToJson};
 
 /// Which signature/candidate scheme the pipeline runs, with its parameters.
 ///
 /// The `delta` slack of the Min-Hashing schemes widens the candidate
 /// admission threshold to `(1 − δ)·s*` so that pairs right at the threshold
 /// are not lost to estimator variance (Theorem 1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Scheme {
     /// MH with `k` independent min-hash values per column, Hash-Count
     /// candidate generation.
@@ -70,8 +70,80 @@ impl Scheme {
     }
 }
 
+impl ToJson for Scheme {
+    /// Externally tagged encoding, e.g. `{"Mh": {"k": 400, "delta": 0.2}}`.
+    fn to_json(&self) -> Json {
+        let (tag, body) = match *self {
+            Self::Mh { k, delta } => ("Mh", Json::obj().field("k", k).field("delta", delta)),
+            Self::MhRowSort { k, delta } => {
+                ("MhRowSort", Json::obj().field("k", k).field("delta", delta))
+            }
+            Self::Kmh { k, delta } => ("Kmh", Json::obj().field("k", k).field("delta", delta)),
+            Self::MLsh { k, r, l, sampled } => (
+                "MLsh",
+                Json::obj()
+                    .field("k", k)
+                    .field("r", r)
+                    .field("l", l)
+                    .field("sampled", sampled),
+            ),
+            Self::HLsh {
+                r,
+                l,
+                t,
+                max_levels,
+            } => (
+                "HLsh",
+                Json::obj()
+                    .field("r", r)
+                    .field("l", l)
+                    .field("t", t)
+                    .field("max_levels", max_levels),
+            ),
+        };
+        Json::Obj(vec![(tag.to_owned(), body)])
+    }
+}
+
+impl FromJson for Scheme {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let fields = match json {
+            Json::Obj(fields) if fields.len() == 1 => fields,
+            _ => return Err(JsonError::expected("single-variant scheme object")),
+        };
+        let (tag, body) = &fields[0];
+        match tag.as_str() {
+            "Mh" => Ok(Self::Mh {
+                k: usize::from_json(body.req("k")?)?,
+                delta: f64::from_json(body.req("delta")?)?,
+            }),
+            "MhRowSort" => Ok(Self::MhRowSort {
+                k: usize::from_json(body.req("k")?)?,
+                delta: f64::from_json(body.req("delta")?)?,
+            }),
+            "Kmh" => Ok(Self::Kmh {
+                k: usize::from_json(body.req("k")?)?,
+                delta: f64::from_json(body.req("delta")?)?,
+            }),
+            "MLsh" => Ok(Self::MLsh {
+                k: usize::from_json(body.req("k")?)?,
+                r: usize::from_json(body.req("r")?)?,
+                l: usize::from_json(body.req("l")?)?,
+                sampled: bool::from_json(body.req("sampled")?)?,
+            }),
+            "HLsh" => Ok(Self::HLsh {
+                r: usize::from_json(body.req("r")?)?,
+                l: usize::from_json(body.req("l")?)?,
+                t: u32::from_json(body.req("t")?)?,
+                max_levels: usize::from_json(body.req("max_levels")?)?,
+            }),
+            other => Err(JsonError::new(format!("unknown scheme `{other}`"))),
+        }
+    }
+}
+
 /// Full pipeline configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PipelineConfig {
     /// The scheme and its parameters.
     pub scheme: Scheme,
@@ -100,6 +172,25 @@ impl PipelineConfig {
             s_star,
             seed,
         }
+    }
+}
+
+impl ToJson for PipelineConfig {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("scheme", self.scheme)
+            .field("s_star", self.s_star)
+            .field("seed", self.seed)
+    }
+}
+
+impl FromJson for PipelineConfig {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            scheme: Scheme::from_json(json.req("scheme")?)?,
+            s_star: f64::from_json(json.req("s_star")?)?,
+            seed: u64::from_json(json.req("seed")?)?,
+        })
     }
 }
 
@@ -140,10 +231,29 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
-        let cfg = PipelineConfig::new(Scheme::Kmh { k: 100, delta: 0.2 }, 0.7, 42);
-        let json = serde_json::to_string(&cfg).unwrap();
-        let back: PipelineConfig = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, cfg);
+    fn json_roundtrip_every_scheme() {
+        let schemes = [
+            Scheme::Mh { k: 400, delta: 0.2 },
+            Scheme::MhRowSort { k: 400, delta: 0.2 },
+            Scheme::Kmh { k: 100, delta: 0.2 },
+            Scheme::MLsh {
+                k: 100,
+                r: 5,
+                l: 20,
+                sampled: true,
+            },
+            Scheme::HLsh {
+                r: 8,
+                l: 4,
+                t: 4,
+                max_levels: 10,
+            },
+        ];
+        for scheme in schemes {
+            let cfg = PipelineConfig::new(scheme, 0.7, u64::MAX - 1);
+            let json = cfg.to_json().to_string_compact();
+            let back: PipelineConfig = sfa_json::from_str(&json).unwrap();
+            assert_eq!(back, cfg, "{json}");
+        }
     }
 }

@@ -15,6 +15,8 @@
 //!   false negatives, which is how the paper frames its §5 comparison.
 //! * [`verify`] — the phase-3 counting pass over a [`RowStream`].
 //! * [`report`] — result and timing types.
+//! * [`metrics`] — structured per-phase counters and the schema-stable
+//!   JSON document behind `--metrics-json` and the bench baseline.
 //! * [`quality`] — S-curves and false-positive/negative accounting against
 //!   exact ground truth (the §5.1 evaluation methodology).
 //! * [`confidence`] — the §6 extension: high-confidence rules without
@@ -28,10 +30,13 @@
 //!
 //! [`RowStream`]: sfa_matrix::RowStream
 
+#![warn(missing_docs)]
+
 pub mod boolean;
 pub mod cluster;
-pub mod config;
 pub mod confidence;
+pub mod config;
+pub mod metrics;
 pub mod pipeline;
 pub mod quality;
 pub mod report;
@@ -39,6 +44,9 @@ pub mod streaming;
 pub mod verify;
 
 pub use config::{PipelineConfig, Scheme};
+pub use metrics::{
+    MetricsDocument, MiningMetrics, PassMetrics, StageCount, VerifyMetrics, METRICS_SCHEMA_VERSION,
+};
 pub use pipeline::Pipeline;
 pub use quality::{evaluate_quality, QualityReport, SCurveBin};
 pub use report::{MiningResult, PhaseTimings, VerifiedPair};

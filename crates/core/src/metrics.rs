@@ -1,0 +1,422 @@
+//! Pipeline observability: structured counters for every phase.
+//!
+//! [`MiningMetrics`] is threaded through the driver so one run reports,
+//! for any scheme, the quantities the paper reasons about: data volume
+//! scanned per pass (phases 1 and 3 are each "one sequential pass over the
+//! rows"), resident signature bytes (the `O(mk)` phase-1 memory budget),
+//! candidate counts surviving each generation stage (the `O(k S̄ m²)`
+//! phase-2 work), bucket-occupancy histograms of the Hash-Count/LSH
+//! tables, and the exact-verification outcomes.
+//!
+//! Everything serializes to schema-stable JSON via [`MetricsDocument`]
+//! (see `docs/FORMATS.md` for the on-disk formats and `--metrics-json`
+//! in the CLI for the emitter).
+
+use sfa_json::{FromJson, Json, JsonError, ToJson};
+use sfa_matrix::PassScan;
+use sfa_minhash::CandidateGenStats;
+
+use crate::config::PipelineConfig;
+use crate::report::PhaseTimings;
+
+/// Version tag written into every [`MetricsDocument`]; bump when a field
+/// is renamed, removed, or changes meaning (adding fields is compatible).
+pub const METRICS_SCHEMA_VERSION: u32 = 1;
+
+/// Scan volume of one streaming pass over the table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PassMetrics {
+    /// Rows the consumer pulled.
+    pub rows_scanned: u64,
+    /// 1-entries (column ids) the consumer pulled.
+    pub nonzeros_scanned: u64,
+}
+
+impl From<PassScan> for PassMetrics {
+    fn from(scan: PassScan) -> Self {
+        Self {
+            rows_scanned: scan.rows,
+            nonzeros_scanned: scan.nonzeros,
+        }
+    }
+}
+
+impl ToJson for PassMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("rows_scanned", self.rows_scanned)
+            .field("nonzeros_scanned", self.nonzeros_scanned)
+    }
+}
+
+impl FromJson for PassMetrics {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            rows_scanned: u64::from_json(json.req("rows_scanned")?)?,
+            nonzeros_scanned: u64::from_json(json.req("nonzeros_scanned")?)?,
+        })
+    }
+}
+
+/// One named candidate-generation counter (see
+/// [`CandidateGenStats::stages`] for the per-scheme naming convention).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageCount {
+    /// Stage name, e.g. `counter-increments` or `threshold-admitted`.
+    pub stage: String,
+    /// The counter value.
+    pub count: u64,
+}
+
+impl ToJson for StageCount {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("stage", self.stage.as_str())
+            .field("count", self.count)
+    }
+}
+
+impl FromJson for StageCount {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            stage: String::from_json(json.req("stage")?)?,
+            count: u64::from_json(json.req("count")?)?,
+        })
+    }
+}
+
+/// Exact-verification (phase 3) outcomes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerifyMetrics {
+    /// Candidates the pass checked (phase 2's output size).
+    pub candidates_checked: u64,
+    /// Verified pairs at or above `s*` — the run's output.
+    pub true_positives: u64,
+    /// Candidates below `s*` that verification pruned (the scheme's false
+    /// positives; they cost pass work but never reach the output).
+    pub false_positives_pruned: u64,
+    /// Partner probes performed by the counting loop — the per-pair
+    /// intersection work summed over candidates.
+    pub intersection_work: u64,
+}
+
+impl ToJson for VerifyMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("candidates_checked", self.candidates_checked)
+            .field("true_positives", self.true_positives)
+            .field("false_positives_pruned", self.false_positives_pruned)
+            .field("intersection_work", self.intersection_work)
+    }
+}
+
+impl FromJson for VerifyMetrics {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            candidates_checked: u64::from_json(json.req("candidates_checked")?)?,
+            true_positives: u64::from_json(json.req("true_positives")?)?,
+            false_positives_pruned: u64::from_json(json.req("false_positives_pruned")?)?,
+            intersection_work: u64::from_json(json.req("intersection_work")?)?,
+        })
+    }
+}
+
+/// Structured counters for one pipeline run, phase by phase.
+///
+/// # Examples
+///
+/// ```
+/// use sfa_core::metrics::MiningMetrics;
+/// use sfa_json::ToJson;
+///
+/// let mut metrics = MiningMetrics::default();
+/// metrics.scheme = "MH".to_owned();
+/// metrics.signature_pass.rows_scanned = 1_000;
+/// metrics.signature_pass.nonzeros_scanned = 12_345;
+/// metrics.signature_bytes = 400 * 500 * 8;
+/// metrics.verification.true_positives = 7;
+///
+/// let json = metrics.to_json().to_string_compact();
+/// let back: MiningMetrics = sfa_json::from_str(&json).unwrap();
+/// assert_eq!(back, metrics);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MiningMetrics {
+    /// Short scheme name ([`Scheme::name`](crate::config::Scheme::name)).
+    pub scheme: String,
+    /// Phase 1: the signature pass's scan volume.
+    pub signature_pass: PassMetrics,
+    /// Phase 3: the verification pass's scan volume.
+    pub verify_pass: PassMetrics,
+    /// Resident bytes of the phase-1 summary (signature matrix, bottom-k
+    /// sketches, or the materialized matrix for H-LSH).
+    pub signature_bytes: u64,
+    /// Phase 2: named counters in generation order.
+    pub candidate_stages: Vec<StageCount>,
+    /// Phase 2's output size (candidate pairs handed to verification).
+    pub candidates_generated: u64,
+    /// `bucket_histogram[s]` = hash-table buckets (or sorted runs) holding
+    /// exactly `s` columns, aggregated over the whole candidate phase.
+    pub bucket_histogram: Vec<u64>,
+    /// Phase 3 outcomes.
+    pub verification: VerifyMetrics,
+}
+
+impl MiningMetrics {
+    /// Folds a generator's [`CandidateGenStats`] into the phase-2 fields.
+    pub fn absorb_candidate_stats(&mut self, stats: CandidateGenStats) {
+        self.candidate_stages = stats
+            .stages
+            .into_iter()
+            .map(|(stage, count)| StageCount {
+                stage: stage.to_owned(),
+                count,
+            })
+            .collect();
+        self.bucket_histogram = stats.bucket_histogram;
+    }
+
+    /// The count recorded under `stage`, if any.
+    #[must_use]
+    pub fn stage(&self, stage: &str) -> Option<u64> {
+        self.candidate_stages
+            .iter()
+            .find(|s| s.stage == stage)
+            .map(|s| s.count)
+    }
+}
+
+impl ToJson for MiningMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("scheme", self.scheme.as_str())
+            .field("signature_pass", self.signature_pass)
+            .field("verify_pass", self.verify_pass)
+            .field("signature_bytes", self.signature_bytes)
+            .field("candidate_stages", &self.candidate_stages[..])
+            .field("candidates_generated", self.candidates_generated)
+            .field("bucket_histogram", &self.bucket_histogram[..])
+            .field("verification", self.verification)
+    }
+}
+
+impl FromJson for MiningMetrics {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            scheme: String::from_json(json.req("scheme")?)?,
+            signature_pass: PassMetrics::from_json(json.req("signature_pass")?)?,
+            verify_pass: PassMetrics::from_json(json.req("verify_pass")?)?,
+            signature_bytes: u64::from_json(json.req("signature_bytes")?)?,
+            candidate_stages: Vec::<StageCount>::from_json(json.req("candidate_stages")?)?,
+            candidates_generated: u64::from_json(json.req("candidates_generated")?)?,
+            bucket_histogram: Vec::<u64>::from_json(json.req("bucket_histogram")?)?,
+            verification: VerifyMetrics::from_json(json.req("verification")?)?,
+        })
+    }
+}
+
+/// The schema-stable document `sfa mine --metrics-json` writes: the
+/// configuration, phase timings, and [`MiningMetrics`] of one run under a
+/// [`METRICS_SCHEMA_VERSION`] tag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsDocument {
+    /// The writing library's [`METRICS_SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// The run's configuration.
+    pub config: PipelineConfig,
+    /// Wall-clock phase timings.
+    pub timings: PhaseTimings,
+    /// The structured counters.
+    pub metrics: MiningMetrics,
+}
+
+impl MetricsDocument {
+    /// Packages a run's observables under the current schema version.
+    #[must_use]
+    pub fn new(config: PipelineConfig, timings: PhaseTimings, metrics: MiningMetrics) -> Self {
+        Self {
+            schema_version: METRICS_SCHEMA_VERSION,
+            config,
+            timings,
+            metrics,
+        }
+    }
+}
+
+impl ToJson for MetricsDocument {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("schema_version", self.schema_version)
+            .field("config", self.config)
+            .field("timings", self.timings)
+            .field("metrics", &self.metrics)
+    }
+}
+
+impl FromJson for MetricsDocument {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let schema_version = u32::from_json(json.req("schema_version")?)?;
+        if schema_version != METRICS_SCHEMA_VERSION {
+            return Err(JsonError::new(format!(
+                "unsupported metrics schema version {schema_version} (expected {METRICS_SCHEMA_VERSION})"
+            )));
+        }
+        Ok(Self {
+            schema_version,
+            config: PipelineConfig::from_json(json.req("config")?)?,
+            timings: PhaseTimings::from_json(json.req("timings")?)?,
+            metrics: MiningMetrics::from_json(json.req("metrics")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scheme;
+    use std::time::Duration;
+
+    fn sample_metrics() -> MiningMetrics {
+        MiningMetrics {
+            scheme: "MH".to_owned(),
+            signature_pass: PassMetrics {
+                rows_scanned: 100,
+                nonzeros_scanned: 450,
+            },
+            verify_pass: PassMetrics {
+                rows_scanned: 100,
+                nonzeros_scanned: 450,
+            },
+            signature_bytes: 64 * 7 * 8,
+            candidate_stages: vec![
+                StageCount {
+                    stage: "counter-increments".to_owned(),
+                    count: 812,
+                },
+                StageCount {
+                    stage: "threshold-admitted".to_owned(),
+                    count: 2,
+                },
+            ],
+            candidates_generated: 2,
+            bucket_histogram: vec![0, 3, 5, 1],
+            verification: VerifyMetrics {
+                candidates_checked: 2,
+                true_positives: 1,
+                false_positives_pruned: 1,
+                intersection_work: 120,
+            },
+        }
+    }
+
+    #[test]
+    fn metrics_json_roundtrip() {
+        let metrics = sample_metrics();
+        let json = metrics.to_json().to_string_compact();
+        let back: MiningMetrics = sfa_json::from_str(&json).unwrap();
+        assert_eq!(back, metrics);
+    }
+
+    #[test]
+    fn document_roundtrip_every_scheme() {
+        let schemes = [
+            Scheme::Mh { k: 400, delta: 0.2 },
+            Scheme::MhRowSort { k: 400, delta: 0.2 },
+            Scheme::Kmh { k: 100, delta: 0.2 },
+            Scheme::MLsh {
+                k: 100,
+                r: 5,
+                l: 20,
+                sampled: false,
+            },
+            Scheme::HLsh {
+                r: 8,
+                l: 4,
+                t: 4,
+                max_levels: 10,
+            },
+        ];
+        for scheme in schemes {
+            let config = PipelineConfig::new(scheme, 0.7, 99);
+            let timings = PhaseTimings {
+                signatures: Duration::from_millis(120),
+                candidates: Duration::from_micros(3500),
+                verify: Duration::from_millis(80),
+            };
+            let mut metrics = sample_metrics();
+            metrics.scheme = scheme.name().to_owned();
+            let doc = MetricsDocument::new(config, timings, metrics);
+            let json = sfa_json::to_string_pretty(&doc);
+            let back: MetricsDocument = sfa_json::from_str(&json).unwrap();
+            assert_eq!(back, doc, "{json}");
+        }
+    }
+
+    #[test]
+    fn document_schema_is_stable() {
+        // Guards the key set the external consumers rely on; renaming any
+        // of these is a schema break and must bump METRICS_SCHEMA_VERSION.
+        let doc = MetricsDocument::new(
+            PipelineConfig::new(Scheme::Mh { k: 8, delta: 0.2 }, 0.5, 1),
+            PhaseTimings::default(),
+            sample_metrics(),
+        );
+        let json = doc.to_json();
+        for key in ["schema_version", "config", "timings", "metrics"] {
+            assert!(json.get(key).is_some(), "missing top-level key {key}");
+        }
+        let metrics = json.get("metrics").unwrap();
+        for key in [
+            "scheme",
+            "signature_pass",
+            "verify_pass",
+            "signature_bytes",
+            "candidate_stages",
+            "candidates_generated",
+            "bucket_histogram",
+            "verification",
+        ] {
+            assert!(metrics.get(key).is_some(), "missing metrics key {key}");
+        }
+        let verification = metrics.get("verification").unwrap();
+        for key in [
+            "candidates_checked",
+            "true_positives",
+            "false_positives_pruned",
+            "intersection_work",
+        ] {
+            assert!(
+                verification.get(key).is_some(),
+                "missing verification key {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_future_schema_version() {
+        let doc = MetricsDocument::new(
+            PipelineConfig::new(Scheme::Mh { k: 8, delta: 0.2 }, 0.5, 1),
+            PhaseTimings::default(),
+            sample_metrics(),
+        );
+        let mut json = doc.to_json();
+        if let Json::Obj(fields) = &mut json {
+            fields[0].1 = Json::U64(u64::from(METRICS_SCHEMA_VERSION) + 1);
+        }
+        assert!(MetricsDocument::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn absorb_translates_generator_stats() {
+        let mut stats = CandidateGenStats::default();
+        stats.record("counter-increments", 10);
+        stats.record("threshold-admitted", 3);
+        stats.bucket_histogram = vec![0, 2, 1];
+        let mut metrics = MiningMetrics::default();
+        metrics.absorb_candidate_stats(stats);
+        assert_eq!(metrics.stage("counter-increments"), Some(10));
+        assert_eq!(metrics.stage("threshold-admitted"), Some(3));
+        assert_eq!(metrics.stage("missing"), None);
+        assert_eq!(metrics.bucket_histogram, vec![0, 2, 1]);
+    }
+}

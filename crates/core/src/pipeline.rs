@@ -2,16 +2,17 @@
 
 use std::time::Instant;
 
-use sfa_lsh::{hlsh_candidates, mlsh_candidates, HLshParams, MLshParams};
-use sfa_matrix::{Result, RowMajorMatrix, RowStream};
-use sfa_minhash::hashcount::{kmh_candidates, mh_candidates};
-use sfa_minhash::rowsort::rowsort_candidates;
+use sfa_lsh::{hlsh_candidates_with_stats, mlsh_candidates_with_stats, HLshParams, MLshParams};
+use sfa_matrix::{Result, RowMajorMatrix, RowStream, ScanCounter};
+use sfa_minhash::hashcount::{kmh_candidates_with_stats, mh_candidates_with_stats};
 use sfa_minhash::mh::compute_signatures_parallel;
+use sfa_minhash::rowsort::rowsort_candidates_with_stats;
 use sfa_minhash::{compute_bottom_k, compute_signatures, CandidatePair};
 
 use crate::config::{PipelineConfig, Scheme};
-use crate::report::{MiningResult, PhaseTimings};
-use crate::verify::verify_candidates;
+use crate::metrics::{MiningMetrics, VerifyMetrics};
+use crate::report::{MiningResult, PhaseTimings, VerifiedPair};
+use crate::verify::verify_candidates_with_stats;
 
 /// Seed-derivation labels, so each pipeline component gets an independent
 /// stream from the one root seed.
@@ -67,50 +68,74 @@ impl Pipeline {
         &self,
         stream: &mut S,
     ) -> Result<(Vec<CandidatePair>, PhaseTimings)> {
+        let (candidates, timings, _) = self.candidates_with_metrics(stream)?;
+        Ok((candidates, timings))
+    }
+
+    /// Phases 1 + 2 with the observability counters: signature bytes,
+    /// per-stage candidate counts, bucket occupancy. The pass-scan fields
+    /// stay zero here — [`run`](Self::run) fills them from its
+    /// [`ScanCounter`] wrapper.
+    fn candidates_with_metrics<S: RowStream>(
+        &self,
+        stream: &mut S,
+    ) -> Result<(Vec<CandidatePair>, PhaseTimings, MiningMetrics)> {
         let cfg = &self.config;
         let sig_seed = sfa_hash::family::derive_seed(cfg.seed, purpose::SIGNATURES);
         let lsh_seed = sfa_hash::family::derive_seed(cfg.seed, purpose::LSH);
         let mut timings = PhaseTimings::default();
+        let mut metrics = MiningMetrics {
+            scheme: cfg.scheme.name().to_owned(),
+            ..MiningMetrics::default()
+        };
         let candidates = match cfg.scheme {
             Scheme::Mh { k, delta } => {
                 let t = Instant::now();
                 let sigs = compute_signatures(stream, k, sig_seed)?;
                 timings.signatures = t.elapsed();
+                metrics.signature_bytes = sigs.heap_bytes();
                 let t = Instant::now();
-                let cands = mh_candidates(&sigs, cfg.s_star, delta);
+                let (cands, stats) = mh_candidates_with_stats(&sigs, cfg.s_star, delta);
                 timings.candidates = t.elapsed();
+                metrics.absorb_candidate_stats(stats);
                 cands
             }
             Scheme::MhRowSort { k, delta } => {
                 let t = Instant::now();
                 let sigs = compute_signatures(stream, k, sig_seed)?;
                 timings.signatures = t.elapsed();
+                metrics.signature_bytes = sigs.heap_bytes();
                 let t = Instant::now();
-                let cands = rowsort_candidates(&sigs, cfg.s_star, delta);
+                let (cands, stats) = rowsort_candidates_with_stats(&sigs, cfg.s_star, delta);
                 timings.candidates = t.elapsed();
+                metrics.absorb_candidate_stats(stats);
                 cands
             }
             Scheme::Kmh { k, delta } => {
                 let t = Instant::now();
                 let sigs = compute_bottom_k(stream, k, sig_seed)?;
                 timings.signatures = t.elapsed();
+                metrics.signature_bytes = sigs.heap_bytes();
                 let t = Instant::now();
-                let cands = kmh_candidates(&sigs, cfg.s_star, delta);
+                let (cands, stats) = kmh_candidates_with_stats(&sigs, cfg.s_star, delta);
                 timings.candidates = t.elapsed();
+                metrics.absorb_candidate_stats(stats);
                 cands
             }
             Scheme::MLsh { k, r, l, sampled } => {
                 let t = Instant::now();
                 let sigs = compute_signatures(stream, k, sig_seed)?;
                 timings.signatures = t.elapsed();
+                metrics.signature_bytes = sigs.heap_bytes();
                 let t = Instant::now();
                 let params = if sampled {
                     MLshParams::sampled(r, l, lsh_seed)
                 } else {
                     MLshParams::banded(r, l, lsh_seed)
                 };
-                let cands = mlsh_candidates(&sigs, &params);
+                let (cands, stats) = mlsh_candidates_with_stats(&sigs, &params);
                 timings.candidates = t.elapsed();
+                metrics.absorb_candidate_stats(stats);
                 cands
             }
             Scheme::HLsh {
@@ -124,6 +149,7 @@ impl Pipeline {
                 let t = Instant::now();
                 let matrix = materialize(stream)?;
                 timings.signatures = t.elapsed();
+                metrics.signature_bytes = matrix.heap_bytes();
                 let t = Instant::now();
                 let params = HLshParams {
                     r,
@@ -133,12 +159,29 @@ impl Pipeline {
                     include_zero_keys: false,
                     seed: lsh_seed,
                 };
-                let cands = hlsh_candidates(&matrix, &params);
+                let (cands, stats) = hlsh_candidates_with_stats(&matrix, &params);
                 timings.candidates = t.elapsed();
+                metrics.absorb_candidate_stats(stats);
                 cands
             }
         };
-        Ok((candidates, timings))
+        metrics.candidates_generated = candidates.len() as u64;
+        Ok((candidates, timings, metrics))
+    }
+
+    /// Classifies verified pairs against the `s*` threshold and packs the
+    /// phase-3 counters.
+    fn verification_metrics(&self, verified: &[VerifiedPair], probes: u64) -> VerifyMetrics {
+        let true_positives = verified
+            .iter()
+            .filter(|p| p.similarity >= self.config.s_star)
+            .count() as u64;
+        VerifyMetrics {
+            candidates_checked: verified.len() as u64,
+            true_positives,
+            false_positives_pruned: verified.len() as u64 - true_positives,
+            intersection_work: probes,
+        }
     }
 
     /// Runs the full three-phase pipeline.
@@ -147,16 +190,23 @@ impl Pipeline {
     ///
     /// Propagates stream errors.
     pub fn run<S: RowStream>(&self, stream: &mut S) -> Result<MiningResult> {
-        let (candidates, mut timings) = self.generate_candidates(stream)?;
-        stream.reset()?;
+        let mut scan = ScanCounter::new(&mut *stream);
+        let (candidates, mut timings, mut metrics) = self.candidates_with_metrics(&mut scan)?;
+        scan.reset()?;
         let t = Instant::now();
-        let (verified, column_counts) = verify_candidates(stream, &candidates)?;
+        let (verified, column_counts, probes) =
+            verify_candidates_with_stats(&mut scan, &candidates)?;
         timings.verify = t.elapsed();
+        let passes = scan.pass_scans();
+        metrics.signature_pass = passes.first().copied().unwrap_or_default().into();
+        metrics.verify_pass = passes.get(1).copied().unwrap_or_default().into();
+        metrics.verification = self.verification_metrics(&verified, probes);
         Ok(MiningResult {
             config: self.config,
             verified,
             column_counts,
             timings,
+            metrics,
         })
     }
 }
@@ -177,23 +227,31 @@ impl Pipeline {
         let cfg = &self.config;
         let sig_seed = sfa_hash::family::derive_seed(cfg.seed, purpose::SIGNATURES);
         let mut timings = PhaseTimings::default();
+        let mut metrics = MiningMetrics {
+            scheme: cfg.scheme.name().to_owned(),
+            ..MiningMetrics::default()
+        };
         let candidates = match cfg.scheme {
             Scheme::Mh { k, delta } => {
                 let t = Instant::now();
                 let sigs = compute_signatures_parallel(matrix, k, sig_seed, n_threads);
                 timings.signatures = t.elapsed();
+                metrics.signature_bytes = sigs.heap_bytes();
                 let t = Instant::now();
-                let cands = mh_candidates(&sigs, cfg.s_star, delta);
+                let (cands, stats) = mh_candidates_with_stats(&sigs, cfg.s_star, delta);
                 timings.candidates = t.elapsed();
+                metrics.absorb_candidate_stats(stats);
                 cands
             }
             Scheme::Kmh { k, delta } => {
                 let t = Instant::now();
                 let sigs = sfa_minhash::compute_bottom_k_parallel(matrix, k, sig_seed, n_threads);
                 timings.signatures = t.elapsed();
+                metrics.signature_bytes = sigs.heap_bytes();
                 let t = Instant::now();
-                let cands = kmh_candidates(&sigs, cfg.s_star, delta);
+                let (cands, stats) = kmh_candidates_with_stats(&sigs, cfg.s_star, delta);
                 timings.candidates = t.elapsed();
+                metrics.absorb_candidate_stats(stats);
                 cands
             }
             _ => {
@@ -201,15 +259,27 @@ impl Pipeline {
                 return self.run(&mut stream).expect("memory stream cannot fail");
             }
         };
+        metrics.candidates_generated = candidates.len() as u64;
         let t = Instant::now();
         let (verified, column_counts) =
             crate::verify::verify_candidates_parallel(matrix, &candidates, n_threads);
         timings.verify = t.elapsed();
+        // Both passes scan the whole in-memory matrix; the partitioned
+        // workers do not count per-pair probes, so `intersection_work`
+        // stays 0 on this path (use `run` for the full counters).
+        let full_scan = crate::metrics::PassMetrics {
+            rows_scanned: u64::from(matrix.n_rows()),
+            nonzeros_scanned: matrix.nnz() as u64,
+        };
+        metrics.signature_pass = full_scan;
+        metrics.verify_pass = full_scan;
+        metrics.verification = self.verification_metrics(&verified, 0);
         MiningResult {
             config: self.config,
             verified,
             column_counts,
             timings,
+            metrics,
         }
     }
 }
@@ -370,8 +440,12 @@ mod tests {
     fn deterministic_per_seed() {
         let m = matrix();
         let cfg = PipelineConfig::new(Scheme::Kmh { k: 16, delta: 0.2 }, 0.8, 42);
-        let a = Pipeline::new(cfg).run(&mut MemoryRowStream::new(&m)).unwrap();
-        let b = Pipeline::new(cfg).run(&mut MemoryRowStream::new(&m)).unwrap();
+        let a = Pipeline::new(cfg)
+            .run(&mut MemoryRowStream::new(&m))
+            .unwrap();
+        let b = Pipeline::new(cfg)
+            .run(&mut MemoryRowStream::new(&m))
+            .unwrap();
         assert_eq!(a.verified, b.verified);
     }
 
@@ -404,7 +478,75 @@ mod tests {
     fn timings_are_populated() {
         let m = matrix();
         let cfg = PipelineConfig::new(Scheme::Mh { k: 64, delta: 0.2 }, 0.8, 1);
-        let r = Pipeline::new(cfg).run(&mut MemoryRowStream::new(&m)).unwrap();
+        let r = Pipeline::new(cfg)
+            .run(&mut MemoryRowStream::new(&m))
+            .unwrap();
         assert!(r.timings.total() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn metrics_are_populated_for_every_scheme() {
+        let m = matrix();
+        for scheme in all_schemes() {
+            let cfg = PipelineConfig::new(scheme, 0.9, 11);
+            let r = Pipeline::new(cfg)
+                .run(&mut MemoryRowStream::new(&m))
+                .unwrap();
+            let metrics = &r.metrics;
+            let name = scheme.name();
+            assert_eq!(metrics.scheme, name);
+            // Both passes scanned the full table.
+            assert_eq!(metrics.signature_pass.rows_scanned, u64::from(m.n_rows()));
+            assert_eq!(metrics.signature_pass.nonzeros_scanned, m.nnz() as u64);
+            assert_eq!(metrics.verify_pass, metrics.signature_pass);
+            assert!(metrics.signature_bytes > 0, "{name}: no signature bytes");
+            assert!(
+                !metrics.candidate_stages.is_empty(),
+                "{name}: no candidate stages"
+            );
+            assert_eq!(metrics.candidates_generated, r.verified.len() as u64);
+            let v = &metrics.verification;
+            assert_eq!(v.candidates_checked, r.verified.len() as u64);
+            assert_eq!(
+                v.true_positives as usize,
+                r.similar_pairs().len(),
+                "{name}: TP mismatch"
+            );
+            assert_eq!(
+                v.false_positives_pruned as usize,
+                r.false_positive_candidates(),
+                "{name}: FP mismatch"
+            );
+            if !r.verified.is_empty() {
+                assert!(v.intersection_work > 0, "{name}: no probe work counted");
+            }
+            assert!(
+                metrics.bucket_histogram.iter().sum::<u64>() > 0,
+                "{name}: empty bucket histogram"
+            );
+        }
+    }
+
+    #[test]
+    fn run_parallel_reports_coarse_metrics() {
+        let m = matrix();
+        let cfg = PipelineConfig::new(Scheme::Mh { k: 64, delta: 0.2 }, 0.8, 17);
+        let par = Pipeline::new(cfg).run_parallel(&m, 3);
+        assert_eq!(par.metrics.scheme, "MH");
+        assert_eq!(
+            par.metrics.signature_pass.rows_scanned,
+            u64::from(m.n_rows())
+        );
+        assert_eq!(par.metrics.candidates_generated, par.verified.len() as u64);
+        let seq = Pipeline::new(cfg)
+            .run(&mut MemoryRowStream::new(&m))
+            .unwrap();
+        // Scheme-side counters agree with the sequential path.
+        assert_eq!(par.metrics.candidate_stages, seq.metrics.candidate_stages);
+        assert_eq!(par.metrics.bucket_histogram, seq.metrics.bucket_histogram);
+        assert_eq!(
+            par.metrics.verification.true_positives,
+            seq.metrics.verification.true_positives
+        );
     }
 }

@@ -2,12 +2,13 @@
 
 use std::time::Duration;
 
-use serde::{Deserialize, Serialize};
+use sfa_json::{FromJson, Json, JsonError, ToJson};
 
 use crate::config::PipelineConfig;
+use crate::metrics::{MetricsDocument, MiningMetrics};
 
 /// A candidate pair after exact verification.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VerifiedPair {
     /// Smaller column id.
     pub i: u32,
@@ -34,8 +35,33 @@ impl VerifiedPair {
     }
 }
 
+impl ToJson for VerifiedPair {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("i", self.i)
+            .field("j", self.j)
+            .field("intersection", self.intersection)
+            .field("union", self.union)
+            .field("similarity", self.similarity)
+            .field("estimate", self.estimate)
+    }
+}
+
+impl FromJson for VerifiedPair {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            i: u32::from_json(json.req("i")?)?,
+            j: u32::from_json(json.req("j")?)?,
+            intersection: u32::from_json(json.req("intersection")?)?,
+            union: u32::from_json(json.req("union")?)?,
+            similarity: f64::from_json(json.req("similarity")?)?,
+            estimate: f64::from_json(json.req("estimate")?)?,
+        })
+    }
+}
+
 /// Wall-clock time of each pipeline phase.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PhaseTimings {
     /// Phase 1: signature computation (the first data pass).
     pub signatures: Duration,
@@ -47,9 +73,42 @@ pub struct PhaseTimings {
 
 impl PhaseTimings {
     /// Total across phases.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sfa_core::PhaseTimings;
+    /// use std::time::Duration;
+    ///
+    /// let timings = PhaseTimings {
+    ///     signatures: Duration::from_millis(100),
+    ///     candidates: Duration::from_millis(50),
+    ///     verify: Duration::from_millis(25),
+    /// };
+    /// assert_eq!(timings.total(), Duration::from_millis(175));
+    /// ```
     #[must_use]
     pub fn total(&self) -> Duration {
         self.signatures + self.candidates + self.verify
+    }
+}
+
+impl ToJson for PhaseTimings {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("signatures", self.signatures)
+            .field("candidates", self.candidates)
+            .field("verify", self.verify)
+    }
+}
+
+impl FromJson for PhaseTimings {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            signatures: Duration::from_json(json.req("signatures")?)?,
+            candidates: Duration::from_json(json.req("candidates")?)?,
+            verify: Duration::from_json(json.req("verify")?)?,
+        })
     }
 }
 
@@ -67,7 +126,7 @@ impl std::fmt::Display for PhaseTimings {
 }
 
 /// The output of one pipeline run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MiningResult {
     /// The configuration that produced this result.
     pub config: PipelineConfig,
@@ -80,6 +139,8 @@ pub struct MiningResult {
     pub column_counts: Vec<u32>,
     /// Phase timings.
     pub timings: PhaseTimings,
+    /// Structured per-phase counters (see [`crate::metrics`]).
+    pub metrics: MiningMetrics,
 }
 
 impl MiningResult {
@@ -135,6 +196,36 @@ impl MiningResult {
             f64::from(pair.intersection) / f64::from(ci)
         }
     }
+
+    /// Packages the run's observables as the schema-stable document that
+    /// `--metrics-json` writes.
+    #[must_use]
+    pub fn metrics_document(&self) -> MetricsDocument {
+        MetricsDocument::new(self.config, self.timings, self.metrics.clone())
+    }
+}
+
+impl ToJson for MiningResult {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("config", self.config)
+            .field("verified", &self.verified[..])
+            .field("column_counts", &self.column_counts[..])
+            .field("timings", self.timings)
+            .field("metrics", &self.metrics)
+    }
+}
+
+impl FromJson for MiningResult {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            config: PipelineConfig::from_json(json.req("config")?)?,
+            verified: Vec::<VerifiedPair>::from_json(json.req("verified")?)?,
+            column_counts: Vec::<u32>::from_json(json.req("column_counts")?)?,
+            timings: PhaseTimings::from_json(json.req("timings")?)?,
+            metrics: MiningMetrics::from_json(json.req("metrics")?)?,
+        })
+    }
 }
 
 impl std::fmt::Display for MiningResult {
@@ -186,6 +277,7 @@ mod tests {
             ],
             column_counts: vec![10, 9, 5, 6],
             timings: PhaseTimings::default(),
+            metrics: MiningMetrics::default(),
         }
     }
 
@@ -219,6 +311,16 @@ mod tests {
         assert!(text.contains("MH at s* = 0.5"));
         assert!(text.contains("2 candidates -> 1 pairs"));
         assert!(text.contains("1 candidate false positives"));
+    }
+
+    #[test]
+    fn result_json_roundtrip() {
+        let mut r = result();
+        r.metrics.scheme = "MH".to_owned();
+        r.metrics.candidates_generated = 2;
+        let json = sfa_json::to_string_pretty(&r);
+        let back: MiningResult = sfa_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
     }
 
     #[test]

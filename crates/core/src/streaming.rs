@@ -131,10 +131,8 @@ mod tests {
         let mut miner = StreamingMiner::new(4, 8, 5);
         for (prefix_len, row) in rows.iter().enumerate() {
             miner.push_row(row);
-            let matrix =
-                RowMajorMatrix::from_rows(4, rows[..=prefix_len].to_vec()).unwrap();
-            let batch =
-                compute_bottom_k(&mut MemoryRowStream::new(&matrix), 8, 5).unwrap();
+            let matrix = RowMajorMatrix::from_rows(4, rows[..=prefix_len].to_vec()).unwrap();
+            let batch = compute_bottom_k(&mut MemoryRowStream::new(&matrix), 8, 5).unwrap();
             assert_eq!(miner.snapshot_sketch(), batch, "prefix {prefix_len}");
         }
     }

@@ -25,6 +25,22 @@ pub fn verify_candidates<S: RowStream>(
     stream: &mut S,
     candidates: &[CandidatePair],
 ) -> Result<(Vec<VerifiedPair>, Vec<u32>)> {
+    let (verified, counts, _) = verify_candidates_with_stats(stream, candidates)?;
+    Ok((verified, counts))
+}
+
+/// [`verify_candidates`] plus the pass's intersection work: the total
+/// number of partner probes performed by the inner loop (each probe
+/// belongs to exactly one candidate pair, so this is the per-pair
+/// verification cost summed over pairs).
+///
+/// # Errors
+///
+/// Propagates stream errors.
+pub fn verify_candidates_with_stats<S: RowStream>(
+    stream: &mut S,
+    candidates: &[CandidatePair],
+) -> Result<(Vec<VerifiedPair>, Vec<u32>, u64)> {
     let m = stream.n_cols() as usize;
     // Adjacency: for each column, the (partner, pair-index) list.
     let mut partners: Vec<Vec<(u32, u32)>> = vec![Vec::new(); m];
@@ -35,6 +51,7 @@ pub fn verify_candidates<S: RowStream>(
     let mut intersections = vec![0u32; candidates.len()];
     let mut column_counts = vec![0u32; m];
     let mut present = vec![false; m];
+    let mut probes = 0u64;
     let mut buf = Vec::new();
     while stream.read_row(&mut buf)?.is_some() {
         for &col in &buf {
@@ -43,6 +60,7 @@ pub fn verify_candidates<S: RowStream>(
         for &col in &buf {
             column_counts[col as usize] += 1;
             // Probe partners once per pair: only from the smaller side.
+            probes += partners[col as usize].len() as u64;
             for &(partner, idx) in &partners[col as usize] {
                 if partner > col && present[partner as usize] {
                     intersections[idx as usize] += 1;
@@ -75,7 +93,7 @@ pub fn verify_candidates<S: RowStream>(
         })
         .collect();
     verified.sort_by_key(|p| (p.i, p.j));
-    Ok((verified, column_counts))
+    Ok((verified, column_counts, probes))
 }
 
 /// Bounded-memory verification: processes candidates in chunks of at most
@@ -147,7 +165,7 @@ pub fn verify_candidates_parallel(
     }
     let partners = &partners;
     let chunk = (n as usize).div_ceil(n_threads) as u32;
-    let partials = crossbeam::thread::scope(|scope| {
+    let partials = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..n_threads as u32 {
             let lo = t * chunk;
@@ -155,7 +173,7 @@ pub fn verify_candidates_parallel(
             if lo >= hi {
                 break;
             }
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut intersections = vec![0u32; candidates.len()];
                 let mut column_counts = vec![0u32; m];
                 let mut present = vec![false; m];
@@ -183,8 +201,7 @@ pub fn verify_candidates_parallel(
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
             .collect::<Vec<_>>()
-    })
-    .expect("scope panicked");
+    });
 
     let mut intersections = vec![0u32; candidates.len()];
     let mut column_counts = vec![0u32; m];
@@ -264,8 +281,7 @@ mod tests {
             assert!((v.similarity - csc.similarity(v.i, v.j)).abs() < 1e-12);
             assert_eq!(
                 v.union as usize,
-                csc.column_count(v.i) + csc.column_count(v.j)
-                    - csc.intersection_size(v.i, v.j)
+                csc.column_count(v.i) + csc.column_count(v.j) - csc.intersection_size(v.i, v.j)
             );
         }
     }
@@ -274,16 +290,14 @@ mod tests {
     fn estimates_are_preserved() {
         let m = matrix();
         let candidates = vec![CandidatePair::new(0, 1, 0.77)];
-        let (verified, _) =
-            verify_candidates(&mut MemoryRowStream::new(&m), &candidates).unwrap();
+        let (verified, _) = verify_candidates(&mut MemoryRowStream::new(&m), &candidates).unwrap();
         assert!((verified[0].estimate - 0.77).abs() < 1e-12);
     }
 
     #[test]
     fn empty_candidates_still_count_columns() {
         let m = matrix();
-        let (verified, counts) =
-            verify_candidates(&mut MemoryRowStream::new(&m), &[]).unwrap();
+        let (verified, counts) = verify_candidates(&mut MemoryRowStream::new(&m), &[]).unwrap();
         assert!(verified.is_empty());
         assert_eq!(counts.iter().sum::<u32>() as usize, m.nnz());
     }
@@ -309,12 +323,9 @@ mod tests {
         let (full, counts_full) =
             verify_candidates(&mut MemoryRowStream::new(&m), &candidates).unwrap();
         for chunk_size in [1, 2, 3, 5, 100] {
-            let (chunked, counts) = verify_candidates_chunked(
-                &mut MemoryRowStream::new(&m),
-                &candidates,
-                chunk_size,
-            )
-            .unwrap();
+            let (chunked, counts) =
+                verify_candidates_chunked(&mut MemoryRowStream::new(&m), &candidates, chunk_size)
+                    .unwrap();
             assert_eq!(chunked, full, "chunk_size {chunk_size}");
             assert_eq!(counts, counts_full);
         }
@@ -347,12 +358,22 @@ mod tests {
     #[test]
     fn chunked_pass_count_is_ceil_division() {
         let m = matrix();
-        let candidates: Vec<CandidatePair> = (1..4)
-            .map(|j| CandidatePair::new(0, j, 0.5))
-            .collect();
+        let candidates: Vec<CandidatePair> =
+            (1..4).map(|j| CandidatePair::new(0, j, 0.5)).collect();
         let mut counter = sfa_matrix::stream::PassCounter::new(MemoryRowStream::new(&m));
         let _ = verify_candidates_chunked(&mut counter, &candidates, 2).unwrap();
         assert_eq!(counter.passes(), 2, "3 candidates / chunk 2 = 2 passes");
+    }
+
+    #[test]
+    fn stats_count_partner_probes() {
+        let m = matrix();
+        let candidates = vec![CandidatePair::new(0, 1, 0.9)];
+        let (_, _, probes) =
+            verify_candidates_with_stats(&mut MemoryRowStream::new(&m), &candidates).unwrap();
+        // Columns 0 and 1 hold 3 ones each; every occurrence probes its
+        // single partner once.
+        assert_eq!(probes, 6);
     }
 
     #[test]

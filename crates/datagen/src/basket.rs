@@ -70,10 +70,7 @@ impl BasketConfig {
     pub fn generate(&self) -> BasketData {
         assert!(self.n_transactions > 0 && self.n_items > 0, "empty config");
         assert!(self.n_patterns > 0, "need at least one pattern");
-        assert!(
-            (0.0..=1.0).contains(&self.pattern_fidelity),
-            "bad fidelity"
-        );
+        assert!((0.0..=1.0).contains(&self.pattern_fidelity), "bad fidelity");
         assert!(
             self.avg_transaction_len >= 1.0 && self.avg_pattern_len >= 1.0,
             "lengths must be >= 1"
@@ -92,9 +89,7 @@ impl BasketConfig {
             while rng.gen::<f64>() > pattern_stop && len < 20 {
                 len += 1;
             }
-            let mut items: Vec<u32> = (0..len)
-                .map(|_| zipf.sample(&mut rng) as u32)
-                .collect();
+            let mut items: Vec<u32> = (0..len).map(|_| zipf.sample(&mut rng) as u32).collect();
             items.sort_unstable();
             items.dedup();
             if !items.is_empty() {

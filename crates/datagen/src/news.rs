@@ -137,7 +137,11 @@ impl NewsData {
         if offset < n_pair_words {
             let pair = offset / 2;
             let names = FIG1_PAIR_NAMES[pair % FIG1_PAIR_NAMES.len()];
-            let name = if offset.is_multiple_of(2) { names.0 } else { names.1 };
+            let name = if offset.is_multiple_of(2) {
+                names.0
+            } else {
+                names.1
+            };
             if pair < FIG1_PAIR_NAMES.len() {
                 name.to_string()
             } else {

@@ -28,7 +28,10 @@ pub struct PlantedPair {
 ///
 /// Panics if `count > n_rows`.
 pub fn sample_rows<R: Rng + ?Sized>(rng: &mut R, n_rows: u32, count: usize) -> Vec<u32> {
-    assert!(count <= n_rows as usize, "cannot sample {count} of {n_rows}");
+    assert!(
+        count <= n_rows as usize,
+        "cannot sample {count} of {n_rows}"
+    );
     let mut chosen = std::collections::HashSet::with_capacity(count);
     let n = n_rows as usize;
     for t in (n - count)..n {

@@ -202,10 +202,7 @@ mod tests {
             let p = data.parent_of[c as usize];
             if data.matrix.column_count(p) >= 30 {
                 let s = data.matrix.similarity(p, c);
-                assert!(
-                    s > 0.6,
-                    "child {c} of parent {p} only has similarity {s}"
-                );
+                assert!(s > 0.6, "child {c} of parent {p} only has similarity {s}");
                 checked += 1;
             }
         }

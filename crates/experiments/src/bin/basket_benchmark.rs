@@ -47,17 +47,26 @@ fn main() {
             s.frequent.to_string(),
         ]);
     }
-    print_table("a priori levels", &["k", "candidates", "frequent"], &level_rows);
+    print_table(
+        "a priori levels",
+        &["k", "candidates", "frequent"],
+        &level_rows,
+    );
 
     // (b) agreement on the visible pairs.
     let s_star = 0.3;
     let visible = apriori_similar_pairs(&rows, min_support, s_star);
-    let result = run_scheme(&rows, Scheme::Kmh { k: 120, delta: 0.25 }, s_star, EXPERIMENT_SEED);
-    let kmh_found: std::collections::HashSet<(u32, u32)> = result
-        .similar_pairs()
-        .iter()
-        .map(|p| (p.i, p.j))
-        .collect();
+    let result = run_scheme(
+        &rows,
+        Scheme::Kmh {
+            k: 120,
+            delta: 0.25,
+        },
+        s_star,
+        EXPERIMENT_SEED,
+    );
+    let kmh_found: std::collections::HashSet<(u32, u32)> =
+        result.similar_pairs().iter().map(|p| (p.i, p.j)).collect();
     let mut agreed = 0;
     let mut worst_miss: f64 = 0.0;
     for p in &visible {

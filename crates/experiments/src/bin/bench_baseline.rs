@@ -1,0 +1,130 @@
+//! Reproducible pipeline baseline: every scheme over the seeded synthetic
+//! and weblog generators, with the full [`MiningMetrics`] counters.
+//!
+//! Writes `BENCH_pipeline.json` at the repository root. Everything in the
+//! file is deterministic for the fixed [`EXPERIMENT_SEED`] — scan volumes,
+//! signature bytes, per-stage candidate counts, bucket histograms, and
+//! verification outcomes — so a re-run on any machine reproduces it
+//! byte-for-byte and a diff means behavior actually changed. Wall-clock
+//! timings are machine-dependent and therefore go to stdout only.
+//!
+//! ```text
+//! cargo run --release -p sfa-experiments --bin bench-baseline
+//! ```
+//!
+//! [`MiningMetrics`]: sfa_core::MiningMetrics
+
+use std::path::PathBuf;
+
+use sfa_core::{MiningResult, Scheme, METRICS_SCHEMA_VERSION};
+use sfa_datagen::{SyntheticConfig, WeblogConfig};
+use sfa_experiments::{print_table, run_scheme, EXPERIMENT_SEED};
+use sfa_json::Json;
+use sfa_matrix::RowMajorMatrix;
+
+/// Similarity threshold shared by every baseline run.
+const S_STAR: f64 = 0.7;
+
+fn schemes() -> Vec<Scheme> {
+    vec![
+        Scheme::Mh { k: 100, delta: 0.2 },
+        Scheme::MhRowSort { k: 100, delta: 0.2 },
+        Scheme::Kmh { k: 64, delta: 0.2 },
+        Scheme::MLsh {
+            k: 100,
+            r: 5,
+            l: 20,
+            sampled: false,
+        },
+        Scheme::HLsh {
+            r: 8,
+            l: 8,
+            t: 4,
+            max_levels: 12,
+        },
+    ]
+}
+
+fn run_json(result: &MiningResult) -> Json {
+    Json::obj()
+        .field("scheme", result.config.scheme.name())
+        .field("config", result.config)
+        .field("pairs_found", result.similar_pairs().len())
+        .field(
+            "candidate_false_positives",
+            result.false_positive_candidates(),
+        )
+        .field("metrics", &result.metrics)
+}
+
+fn dataset_json(name: &str, rows: &RowMajorMatrix, table: &mut Vec<Vec<String>>) -> Json {
+    let mut runs = Vec::new();
+    for scheme in schemes() {
+        let result = run_scheme(rows, scheme, S_STAR, EXPERIMENT_SEED);
+        table.push(vec![
+            name.to_owned(),
+            scheme.name().to_owned(),
+            format!("{:.3}", result.timings.total().as_secs_f64()),
+            result.candidates_generated().to_string(),
+            result.similar_pairs().len().to_string(),
+            result.metrics.verification.intersection_work.to_string(),
+        ]);
+        runs.push(run_json(&result));
+    }
+    Json::obj()
+        .field("name", name)
+        .field("rows", rows.n_rows())
+        .field("cols", rows.n_cols())
+        .field("nonzeros", rows.nnz())
+        .field("s_star", S_STAR)
+        .field("runs", runs)
+}
+
+fn main() {
+    let synthetic = SyntheticConfig::small(2_000, EXPERIMENT_SEED)
+        .generate()
+        .matrix
+        .transpose();
+    let weblog = WeblogConfig::tiny(EXPERIMENT_SEED)
+        .generate()
+        .matrix
+        .transpose();
+
+    let mut table = Vec::new();
+    let datasets = vec![
+        dataset_json("synthetic", &synthetic, &mut table),
+        dataset_json("weblog", &weblog, &mut table),
+    ];
+    print_table(
+        "bench-baseline (timings are informational; JSON holds only deterministic counters)",
+        &[
+            "dataset",
+            "scheme",
+            "time(s)",
+            "candidates",
+            "pairs",
+            "probe work",
+        ],
+        &table,
+    );
+
+    let doc = Json::obj()
+        .field("schema_version", METRICS_SCHEMA_VERSION)
+        .field("seed", EXPERIMENT_SEED)
+        .field("datasets", datasets);
+    let path = out_path();
+    std::fs::write(&path, doc.to_string_pretty()).expect("write BENCH_pipeline.json");
+    println!("\nwrote {}", path.display());
+}
+
+/// `$SFA_BENCH_OUT` or `<repo root>/BENCH_pipeline.json`.
+fn out_path() -> PathBuf {
+    std::env::var_os("SFA_BENCH_OUT").map_or_else(
+        || {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("BENCH_pipeline.json")
+        },
+        PathBuf::from,
+    )
+}

@@ -112,7 +112,12 @@ fn main() {
         EXPERIMENT_SEED ^ 1,
     )
     .expect("in-memory stream");
-    let cf_counts: Vec<u32> = cf.matrix.column_counts().iter().map(|&c| c as u32).collect();
+    let cf_counts: Vec<u32> = cf
+        .matrix
+        .column_counts()
+        .iter()
+        .map(|&c| c as u32)
+        .collect();
     let floor = 40;
     let anti = anticorrelated_pairs(&cf_sigs, &cf_counts, floor, 0.005);
     println!(

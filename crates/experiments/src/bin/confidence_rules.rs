@@ -55,9 +55,7 @@ fn main() {
         &["rule", "confidence", "support", "relation"],
         &table,
     );
-    println!(
-        "\n{child_parent} of the top 25 are child⇒parent rules (embedded resources)"
-    );
+    println!("\n{child_parent} of the top 25 are child⇒parent rules (embedded resources)");
 
     let csv: Vec<Vec<String>> = rules
         .iter()
@@ -78,10 +76,7 @@ fn main() {
 
     // Exactness check: every reported rule really has conf ≥ threshold.
     for r in &rules {
-        let exact = weblog
-            .data
-            .matrix
-            .confidence(r.antecedent, r.consequent);
+        let exact = weblog.data.matrix.confidence(r.antecedent, r.consequent);
         assert!(
             (exact - r.confidence).abs() < 1e-9,
             "reported confidence differs from exact"

@@ -51,7 +51,11 @@ fn main() {
             kind.to_string(),
         ]);
     }
-    rows.sort_by(|a, b| b[2].partial_cmp(&a[2]).expect("finite").then(a[0].cmp(&b[0])));
+    rows.sort_by(|a, b| {
+        b[2].partial_cmp(&a[2])
+            .expect("finite")
+            .then(a[0].cmp(&b[0]))
+    });
     print_table(
         "Similar pairs found (cf. paper Fig. 1)",
         &["word A", "word B", "similarity", "support", "kind"],

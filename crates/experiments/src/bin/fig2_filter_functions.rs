@@ -5,8 +5,8 @@
 //!     (the paper's example: `P_{20,20}` needs 400 values, `Q_{20,20,40}`
 //!     approximates it with 40).
 
-use sfa_lsh::{p_filter, q_filter};
 use sfa_experiments::write_csv;
+use sfa_lsh::{p_filter, q_filter};
 
 fn main() {
     println!("# Fig. 2 — filter functions P_{{r,l}} and Q_{{r,l,k}}");
@@ -15,7 +15,10 @@ fn main() {
     let configs = [(2usize, 2usize), (5, 5), (10, 10), (20, 20)];
     let mut rows_a = Vec::new();
     println!("\n(a) P_{{r,l}}(s) for (r,l) in {configs:?}");
-    println!("{:>6} {:>10} {:>10} {:>10} {:>10}", "s", "P_2,2", "P_5,5", "P_10,10", "P_20,20");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10}",
+        "s", "P_2,2", "P_5,5", "P_10,10", "P_20,20"
+    );
     for i in 0..=50 {
         let s = f64::from(i) / 50.0;
         let vals: Vec<f64> = configs.iter().map(|&(r, l)| p_filter(s, r, l)).collect();
@@ -37,7 +40,10 @@ fn main() {
 
     // Panel (b): P_{20,20} (400 values) vs Q_{20,20,40} (40 values).
     println!("\n(b) P_20,20 (400 min-hashes) vs Q_20,20,40 (40 min-hashes)");
-    println!("{:>6} {:>12} {:>12} {:>12}", "s", "P_20,20", "Q_20,20,40", "Q_20,20,100");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "s", "P_20,20", "Q_20,20,40", "Q_20,20,100"
+    );
     let mut rows_b = Vec::new();
     for i in 0..=50 {
         let s = f64::from(i) / 50.0;

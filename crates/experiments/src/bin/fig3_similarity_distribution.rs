@@ -15,7 +15,10 @@ fn main() {
     let hist = similarity_histogram(&weblog.data.matrix, bins);
     let total: u64 = hist.iter().sum();
     println!("\n(a) full distribution over {total} co-occurring pairs:");
-    println!("{:>12} {:>12} {:>9}  histogram", "similarity", "pairs", "fraction");
+    println!(
+        "{:>12} {:>12} {:>9}  histogram",
+        "similarity", "pairs", "fraction"
+    );
     let max = *hist.iter().max().unwrap_or(&1) as f64;
     let mut rows = Vec::new();
     for (b, &count) in hist.iter().enumerate() {
@@ -40,7 +43,11 @@ fn main() {
             count.to_string(),
         ]);
     }
-    write_csv("fig3_similarity_distribution.csv", &["low", "high", "pairs"], &rows);
+    write_csv(
+        "fig3_similarity_distribution.csv",
+        &["low", "high", "pairs"],
+        &rows,
+    );
 
     println!("\n(b) zoom on the region of interest (s ≥ 0.3):");
     let tail: u64 = hist[(bins * 3 / 10)..].iter().sum();

@@ -81,13 +81,7 @@ fn main() {
     print_table(
         "Running times (seconds), news data, s* = 0.5 (cf. paper Fig. 4)",
         &[
-            "support",
-            "columns",
-            "a priori",
-            "MH",
-            "K-MH",
-            "H-LSH",
-            "M-LSH",
+            "support", "columns", "a priori", "MH", "K-MH", "H-LSH", "M-LSH",
         ],
         &table,
     );

@@ -72,9 +72,7 @@ fn main() {
     // (b) signature time dominated by min-hash extraction: grows with k = r·l.
     let t_small = by_r.first().unwrap().signature_s;
     let t_large = by_r.last().unwrap().signature_s;
-    println!(
-        "\nsignature time r=3 (k=30): {t_small:.3}s vs r=12 (k=120): {t_large:.3}s"
-    );
+    println!("\nsignature time r=3 (k=30): {t_small:.3}s vs r=12 (k=120): {t_large:.3}s");
     assert!(
         t_large > t_small,
         "min-hash extraction should dominate and grow with r·l"

@@ -33,7 +33,11 @@ fn grid_for(algorithm: &str, cutoff: f64) -> Vec<(String, Scheme)> {
             .collect(),
         "M-LSH" => {
             let mut grid = Vec::new();
-            let r_values: &[usize] = if cutoff >= 0.7 { &[5, 8, 10] } else { &[3, 4, 5] };
+            let r_values: &[usize] = if cutoff >= 0.7 {
+                &[5, 8, 10]
+            } else {
+                &[3, 4, 5]
+            };
             for &r in r_values {
                 for &l in &[5usize, 10, 20, 40] {
                     grid.push((
@@ -106,7 +110,10 @@ fn main() {
                     .min_by(|a, b| a.total_s.partial_cmp(&b.total_s).expect("finite"));
                 match best {
                     Some(p) => {
-                        row.push(format!("{:.2}s/{} ({})", p.total_s, p.false_positives, p.label));
+                        row.push(format!(
+                            "{:.2}s/{} ({})",
+                            p.total_s, p.false_positives, p.label
+                        ));
                         csv_row.push(format!("{:.5}", p.total_s));
                         csv_row.push(p.false_positives.to_string());
                         csv_row.push(p.label.clone());
@@ -150,22 +157,16 @@ fn main() {
         // Paper's headline: the LSH schemes beat MH/K-MH on time when some
         // false negatives are tolerable; M-LSH is the overall best.
         let best_time = |algo: &str, tol: f64| -> Option<f64> {
-            grids
-                .iter()
-                .find(|(a, _)| *a == algo)
-                .and_then(|(_, pts)| {
-                    pts.iter()
-                        .filter(|p| p.fn_rate <= tol)
-                        .map(|p| p.total_s)
-                        .min_by(|a, b| a.partial_cmp(b).expect("finite"))
-                })
+            grids.iter().find(|(a, _)| *a == algo).and_then(|(_, pts)| {
+                pts.iter()
+                    .filter(|p| p.fn_rate <= tol)
+                    .map(|p| p.total_s)
+                    .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+            })
         };
         if let (Some(mlsh), Some(mh)) = (best_time("M-LSH", 0.10), best_time("MH", 0.10)) {
             println!("\nat 10% tolerance: M-LSH {mlsh:.2}s vs MH {mh:.2}s");
-            assert!(
-                mlsh < mh,
-                "M-LSH should beat MH at a relaxed FN tolerance"
-            );
+            assert!(mlsh < mh, "M-LSH should beat MH at a relaxed FN tolerance");
         }
     }
     println!("\nshape checks passed");

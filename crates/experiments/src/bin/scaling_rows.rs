@@ -76,9 +76,15 @@ fn main() {
         "scaling_rows.csv",
         &[
             "rows",
-            "mh_sig_s", "mh_cand_s", "mh_ver_s",
-            "kmh_sig_s", "kmh_cand_s", "kmh_ver_s",
-            "mlsh_sig_s", "mlsh_cand_s", "mlsh_ver_s",
+            "mh_sig_s",
+            "mh_cand_s",
+            "mh_ver_s",
+            "kmh_sig_s",
+            "kmh_cand_s",
+            "kmh_ver_s",
+            "mlsh_sig_s",
+            "mlsh_cand_s",
+            "mlsh_ver_s",
         ],
         &csv,
     );

@@ -58,11 +58,8 @@ fn main() {
     let mut csv = Vec::new();
     for (name, scheme) in schemes {
         let result = run_scheme(&rows, scheme, s_star, EXPERIMENT_SEED);
-        let found: std::collections::HashSet<(u32, u32)> = result
-            .similar_pairs()
-            .iter()
-            .map(|p| (p.i, p.j))
-            .collect();
+        let found: std::collections::HashSet<(u32, u32)> =
+            result.similar_pairs().iter().map(|p| (p.i, p.j)).collect();
         let recovered = data
             .planted
             .iter()
@@ -106,7 +103,13 @@ fn main() {
     }
     print_table(
         "Planted-pair recovery, s* = 0.45 (bands 85-95 … 45-55)",
-        &["scheme", "time(s)", "recovered", "per band (hi→lo)", "spurious"],
+        &[
+            "scheme",
+            "time(s)",
+            "recovered",
+            "per band (hi→lo)",
+            "spurious",
+        ],
         &table,
     );
     write_csv(

@@ -35,8 +35,7 @@ pub const EXPERIMENT_SEED: u64 = 20000214; // ICDE 2000 conference date
 /// Where CSV outputs land: `$SFA_RESULTS` or `./results`.
 #[must_use]
 pub fn results_dir() -> PathBuf {
-    std::env::var_os("SFA_RESULTS")
-        .map_or_else(|| PathBuf::from("results"), PathBuf::from)
+    std::env::var_os("SFA_RESULTS").map_or_else(|| PathBuf::from("results"), PathBuf::from)
 }
 
 /// Writes a CSV file into [`results_dir`], creating the directory.
@@ -76,7 +75,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     };
     let header_cells: Vec<String> = header.iter().map(|s| (*s).to_string()).collect();
     println!("{}", fmt_row(&header_cells));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -141,7 +143,12 @@ impl NewsExperiment {
 
 /// Runs one scheme end to end and returns its result.
 #[must_use]
-pub fn run_scheme(rows: &RowMajorMatrix, scheme: Scheme, s_star: f64, seed: u64) -> sfa_core::MiningResult {
+pub fn run_scheme(
+    rows: &RowMajorMatrix,
+    scheme: Scheme,
+    s_star: f64,
+    seed: u64,
+) -> sfa_core::MiningResult {
     Pipeline::new(PipelineConfig::new(scheme, s_star, seed))
         .run(&mut MemoryRowStream::new(rows))
         .expect("in-memory stream cannot fail")
@@ -160,11 +167,7 @@ pub fn found_triples(result: &sfa_core::MiningResult) -> Vec<(u32, u32, f64)> {
 
 /// Measures the false-negative rate of a result at `cutoff` against truth.
 #[must_use]
-pub fn fn_rate(
-    result: &sfa_core::MiningResult,
-    truth: &[SimilarPair],
-    cutoff: f64,
-) -> f64 {
+pub fn fn_rate(result: &sfa_core::MiningResult, truth: &[SimilarPair], cutoff: f64) -> f64 {
     sfa_core::evaluate_quality(&found_triples(result), truth, 20, cutoff).false_negative_rate()
 }
 
@@ -304,8 +307,7 @@ mod tests {
             &["a", "b"],
             &[vec!["1".into(), "2".into()]],
         );
-        let contents =
-            std::fs::read_to_string(results_dir().join("unit_test.csv")).unwrap();
+        let contents = std::fs::read_to_string(results_dir().join("unit_test.csv")).unwrap();
         assert_eq!(contents, "a,b\n1,2\n");
         print_table("t", &["x"], &[vec!["y".into()]]);
         std::env::remove_var("SFA_RESULTS");

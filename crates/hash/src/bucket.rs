@@ -135,6 +135,21 @@ impl BucketTable {
         self.buckets.is_empty()
     }
 
+    /// Accumulates this table's bucket-occupancy histogram into `hist`:
+    /// `hist[s]` counts buckets holding exactly `s` columns (`hist` grows as
+    /// needed; index 0 stays untouched since empty buckets are never
+    /// stored). Callers pass the same vector across tables to aggregate a
+    /// whole scheme's occupancy profile.
+    pub fn accumulate_occupancy(&self, hist: &mut Vec<u64>) {
+        for cols in self.buckets.values() {
+            let size = cols.len();
+            if hist.len() <= size {
+                hist.resize(size + 1, 0);
+            }
+            hist[size] += 1;
+        }
+    }
+
     /// Iterates over `(value, columns)` buckets in arbitrary order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &[u32])> {
         self.buckets.iter().map(|(&v, cols)| (v, cols.as_slice()))
@@ -169,7 +184,11 @@ impl PairCounter {
     /// Panics (debug) if `a == b`; self-pairs are meaningless.
     pub fn increment(&mut self, a: u32, b: u32) {
         debug_assert_ne!(a, b, "self-pair");
-        let key = if a < b { pack_pair(a, b) } else { pack_pair(b, a) };
+        let key = if a < b {
+            pack_pair(a, b)
+        } else {
+            pack_pair(b, a)
+        };
         *self.counts.entry(key).or_insert(0) += 1;
     }
 
@@ -180,14 +199,22 @@ impl PairCounter {
     /// Panics (debug) if `a == b`.
     pub fn add(&mut self, a: u32, b: u32, count: u32) {
         debug_assert_ne!(a, b, "self-pair");
-        let key = if a < b { pack_pair(a, b) } else { pack_pair(b, a) };
+        let key = if a < b {
+            pack_pair(a, b)
+        } else {
+            pack_pair(b, a)
+        };
         *self.counts.entry(key).or_insert(0) += count;
     }
 
     /// Current count for the unordered pair `{a, b}`.
     #[must_use]
     pub fn get(&self, a: u32, b: u32) -> u32 {
-        let key = if a < b { pack_pair(a, b) } else { pack_pair(b, a) };
+        let key = if a < b {
+            pack_pair(a, b)
+        } else {
+            pack_pair(b, a)
+        };
         self.counts.get(&key).copied().unwrap_or(0)
     }
 
@@ -222,10 +249,7 @@ impl PairCounter {
     /// Pairs whose count is at least `threshold`, as `(i, j, count)`.
     #[must_use]
     pub fn pairs_at_least(&self, threshold: u32) -> Vec<(u32, u32, u32)> {
-        let mut v: Vec<(u32, u32, u32)> = self
-            .iter()
-            .filter(|&(_, _, c)| c >= threshold)
-            .collect();
+        let mut v: Vec<(u32, u32, u32)> = self.iter().filter(|&(_, _, c)| c >= threshold).collect();
         v.sort_unstable();
         v
     }
@@ -310,6 +334,22 @@ impl SparseCounters {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn occupancy_histogram_counts_bucket_sizes() {
+        let mut table = BucketTable::new();
+        table.insert(1, 0);
+        table.insert(1, 1);
+        table.insert(1, 2);
+        table.insert(2, 3);
+        table.insert(3, 4);
+        let mut hist = Vec::new();
+        table.accumulate_occupancy(&mut hist);
+        assert_eq!(hist, vec![0, 2, 0, 1]);
+        // Accumulating again doubles the counts instead of resetting.
+        table.accumulate_occupancy(&mut hist);
+        assert_eq!(hist, vec![0, 4, 0, 2]);
+    }
 
     #[test]
     fn pack_unpack_roundtrip() {

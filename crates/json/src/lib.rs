@@ -1,0 +1,504 @@
+//! Zero-dependency JSON support for the `sfa` workspace.
+//!
+//! The build environment cannot fetch `serde`/`serde_json`, so structured
+//! documents (mining metrics, quality reports, persisted configs) go
+//! through this small crate instead:
+//!
+//! * [`Json`] — an owned JSON value. Objects preserve insertion order so
+//!   emitted documents are schema-stable (field order is part of the
+//!   schema contract for `BENCH_pipeline.json` and `--metrics-json`).
+//! * [`ToJson`] / [`FromJson`] — conversion traits playing the role of
+//!   `Serialize` / `Deserialize`; implemented manually per type.
+//! * [`Json::parse`] / [`Json::to_string_pretty`] — a strict RFC 8259
+//!   parser and a serializer.
+//!
+//! Integers are kept exact: [`Json::U64`] and [`Json::I64`] survive a
+//! round-trip bit-for-bit (a plain f64 would corrupt 64-bit seeds and
+//! large counters above 2^53).
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+mod parse;
+mod ser;
+
+pub use parse::ParseError;
+
+/// An owned JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A negative integer (any non-negative integer parses as [`Json::U64`]).
+    I64(i64),
+    /// A non-negative integer.
+    U64(u64),
+    /// A number with a fraction or exponent.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved on parse and emit.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an empty object.
+    #[must_use]
+    pub const fn obj() -> Self {
+        Json::Obj(Vec::new())
+    }
+
+    /// Appends a field to an object, builder-style.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    #[must_use]
+    pub fn field(mut self, key: &str, value: impl ToJson) -> Self {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.to_owned(), value.to_json())),
+            other => panic!("Json::field on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Looks up a field of an object.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Looks up a required field, reporting its name on failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the missing `key`.
+    pub fn req(&self, key: &str) -> Result<&Json, JsonError> {
+        self.get(key).ok_or_else(|| JsonError::missing_field(key))
+    }
+
+    /// The value as `bool`, if it is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(n) => Some(*n),
+            Json::I64(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an integer in range.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::I64(n) => Some(*n),
+            Json::U64(n) => i64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` (integers convert losslessly when possible).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::F64(x) => Some(*x),
+            Json::U64(n) => Some(*n as f64),
+            Json::I64(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a slice of elements, if it is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document (strict: one value, no trailing input).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] with a byte offset on malformed input.
+    pub fn parse(input: &str) -> Result<Json, ParseError> {
+        parse::parse(input)
+    }
+
+    /// Serializes compactly (no whitespace).
+    #[must_use]
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        ser::write(self, &mut out, None, 0);
+        out
+    }
+
+    /// Serializes with two-space indentation and a trailing newline,
+    /// suitable for committed artifacts like `BENCH_pipeline.json`.
+    #[must_use]
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        ser::write(self, &mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string_compact())
+    }
+}
+
+/// Error produced when converting a [`Json`] value into a Rust type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    message: String,
+}
+
+impl JsonError {
+    /// An error with a custom message.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// "missing field `key`".
+    #[must_use]
+    pub fn missing_field(key: &str) -> Self {
+        Self::new(format!("missing field `{key}`"))
+    }
+
+    /// "expected `what`".
+    #[must_use]
+    pub fn expected(what: &str) -> Self {
+        Self::new(format!("expected {what}"))
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Conversion into [`Json`]; plays the role of `serde::Serialize`.
+pub trait ToJson {
+    /// Converts `self` into a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+/// Conversion from [`Json`]; plays the role of `serde::Deserialize`.
+pub trait FromJson: Sized {
+    /// Reconstructs `Self` from a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] describing the first mismatch.
+    fn from_json(json: &Json) -> Result<Self, JsonError>;
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(json.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.as_bool().ok_or_else(|| JsonError::expected("bool"))
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::U64(u64::from(*self))
+            }
+        }
+
+        impl FromJson for $t {
+            fn from_json(json: &Json) -> Result<Self, JsonError> {
+                let n = json.as_u64().ok_or_else(|| JsonError::expected("unsigned integer"))?;
+                <$t>::try_from(n).map_err(|_| JsonError::expected(stringify!($t)))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64);
+
+impl ToJson for usize {
+    fn to_json(&self) -> Json {
+        Json::U64(*self as u64)
+    }
+}
+
+impl FromJson for usize {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let n = json
+            .as_u64()
+            .ok_or_else(|| JsonError::expected("unsigned integer"))?;
+        usize::try_from(n).map_err(|_| JsonError::expected("usize"))
+    }
+}
+
+impl ToJson for i64 {
+    fn to_json(&self) -> Json {
+        if *self >= 0 {
+            Json::U64(*self as u64)
+        } else {
+            Json::I64(*self)
+        }
+    }
+}
+
+impl FromJson for i64 {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.as_i64().ok_or_else(|| JsonError::expected("integer"))
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.as_f64().ok_or_else(|| JsonError::expected("number"))
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_owned())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| JsonError::expected("string"))
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.as_arr()
+            .ok_or_else(|| JsonError::expected("array"))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(value) => value.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<K: ToString + Ord, V: ToJson> ToJson for BTreeMap<K, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_json()))
+                .collect(),
+        )
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let items = json.as_arr().ok_or_else(|| JsonError::expected("array"))?;
+        if items.len() != 2 {
+            return Err(JsonError::expected("2-element array"));
+        }
+        Ok((A::from_json(&items[0])?, B::from_json(&items[1])?))
+    }
+}
+
+impl ToJson for std::time::Duration {
+    /// Exact encoding as `{"secs": u64, "nanos": u32}` — an f64 of seconds
+    /// would lose sub-microsecond precision on long runs.
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("secs", self.as_secs())
+            .field("nanos", self.subsec_nanos())
+    }
+}
+
+impl FromJson for std::time::Duration {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let secs = u64::from_json(json.req("secs")?)?;
+        let nanos = u32::from_json(json.req("nanos")?)?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+/// Serializes any [`ToJson`] value as a pretty document.
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().to_string_pretty()
+}
+
+/// Parses a document and converts it, like `serde_json::from_str`.
+///
+/// # Errors
+///
+/// Returns the parse or conversion error message.
+pub fn from_str<T: FromJson>(input: &str) -> Result<T, JsonError> {
+    let json = Json::parse(input).map_err(|e| JsonError::new(e.to_string()))?;
+    T::from_json(&json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_lookup() {
+        let doc = Json::obj()
+            .field("name", "MH")
+            .field("k", 400u32)
+            .field("ok", true)
+            .field("ratio", 0.25f64);
+        assert_eq!(doc.get("name").unwrap().as_str(), Some("MH"));
+        assert_eq!(doc.get("k").unwrap().as_u64(), Some(400));
+        assert_eq!(doc.get("ok").unwrap().as_bool(), Some(true));
+        assert!(doc.get("missing").is_none());
+        assert!(doc.req("missing").is_err());
+    }
+
+    #[test]
+    fn integers_round_trip_exactly() {
+        for n in [0u64, 1, u64::from(u32::MAX), 1 << 53, u64::MAX] {
+            let text = Json::U64(n).to_string_compact();
+            assert_eq!(Json::parse(&text).unwrap().as_u64(), Some(n));
+        }
+        for n in [-1i64, i64::MIN] {
+            let text = n.to_json().to_string_compact();
+            assert_eq!(Json::parse(&text).unwrap().as_i64(), Some(n));
+        }
+    }
+
+    #[test]
+    fn duration_round_trips() {
+        let d = std::time::Duration::new(3, 141_592_653);
+        let back = std::time::Duration::from_json(&d.to_json()).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn object_order_is_preserved() {
+        let text = r#"{"z": 1, "a": 2, "m": 3}"#;
+        let doc = Json::parse(text).unwrap();
+        match &doc {
+            Json::Obj(fields) => {
+                let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+                assert_eq!(keys, ["z", "a", "m"]);
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+        assert_eq!(doc.to_string_compact(), r#"{"z":1,"a":2,"m":3}"#);
+    }
+
+    #[test]
+    fn options_and_vecs() {
+        let v: Vec<u32> = vec![1, 2, 3];
+        let json = v.to_json();
+        assert_eq!(Vec::<u32>::from_json(&json).unwrap(), v);
+        assert_eq!(Option::<u32>::from_json(&Json::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_json(&Json::U64(4)).unwrap(), Some(4));
+        assert_eq!(None::<u32>.to_json(), Json::Null);
+    }
+}

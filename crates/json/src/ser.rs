@@ -1,0 +1,139 @@
+//! JSON serializer (compact and pretty).
+
+use crate::Json;
+use std::fmt::Write;
+
+/// Appends `value` to `out`. `indent = Some(n)` pretty-prints with
+/// `n`-space indentation; `None` emits compactly.
+pub(crate) fn write(value: &Json, out: &mut String, indent: Option<usize>, level: usize) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Json::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Json::F64(x) => write_f64(*x, out),
+        Json::Str(s) => write_str(s, out),
+        Json::Arr(items) => write_seq(out, indent, level, items.len(), b'[', |out, i| {
+            write(&items[i], out, indent, level + 1);
+        }),
+        Json::Obj(fields) => write_seq(out, indent, level, fields.len(), b'{', |out, i| {
+            let (key, val) = &fields[i];
+            write_str(key, out);
+            out.push(':');
+            if indent.is_some() {
+                out.push(' ');
+            }
+            write(val, out, indent, level + 1);
+        }),
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    len: usize,
+    open: u8,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    let close = if open == b'[' { ']' } else { '}' };
+    out.push(open as char);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(n) = indent {
+            out.push('\n');
+            for _ in 0..n * (level + 1) {
+                out.push(' ');
+            }
+        }
+        item(out, i);
+    }
+    if let Some(n) = indent {
+        out.push('\n');
+        for _ in 0..n * level {
+            out.push(' ');
+        }
+    }
+    out.push(close);
+}
+
+/// Emits an f64 so that it re-parses as [`Json::F64`]: integral values get
+/// a trailing `.0`, and non-finite values (unrepresentable in JSON)
+/// become `null`.
+fn write_f64(x: f64, out: &mut String) {
+    if !x.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let start = out.len();
+    let _ = write!(out, "{x}");
+    if !out[start..].contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_str(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Json;
+
+    #[test]
+    fn compact_and_pretty() {
+        let doc = Json::obj()
+            .field("a", 1u32)
+            .field("b", vec![1u32, 2])
+            .field("c", Json::obj());
+        assert_eq!(doc.to_string_compact(), r#"{"a":1,"b":[1,2],"c":{}}"#);
+        assert_eq!(
+            doc.to_string_pretty(),
+            "{\n  \"a\": 1,\n  \"b\": [\n    1,\n    2\n  ],\n  \"c\": {}\n}\n"
+        );
+    }
+
+    #[test]
+    fn floats_reparse_as_floats() {
+        for x in [0.5, 2.0, -3.25, 1e-9, 1e300] {
+            let text = Json::F64(x).to_string_compact();
+            match Json::parse(&text).unwrap() {
+                Json::F64(back) => assert_eq!(back, x, "{text}"),
+                other => panic!("{text} parsed as {other:?}"),
+            }
+        }
+        assert_eq!(Json::F64(f64::NAN).to_string_compact(), "null");
+    }
+
+    #[test]
+    fn strings_escape_and_round_trip() {
+        let s = "line\nquote\"back\\slash\ttab\u{1}end";
+        let text = Json::Str(s.into()).to_string_compact();
+        assert_eq!(Json::parse(&text).unwrap(), Json::Str(s.into()));
+    }
+}

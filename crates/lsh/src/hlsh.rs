@@ -13,7 +13,7 @@ use sfa_hash::bucket::{BucketTable, FastHashMap, PairCounter};
 use sfa_hash::SeedSequence;
 use sfa_matrix::ops::or_fold_random;
 use sfa_matrix::RowMajorMatrix;
-use sfa_minhash::CandidatePair;
+use sfa_minhash::{CandidateGenStats, CandidatePair};
 
 /// H-LSH parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,7 +113,22 @@ fn sample_distinct_rows(n: u32, r: usize, seq: &mut SeedSequence) -> Vec<u32> {
 /// Per-pair collision counts across all levels and runs.
 #[must_use]
 pub fn hlsh_collision_counts(base: &RowMajorMatrix, params: &HLshParams) -> PairCounter {
-    assert!(params.r >= 1 && params.r <= 64, "pattern width must be 1..=64");
+    hlsh_collision_counts_with_histogram(base, params, &mut Vec::new())
+}
+
+/// [`hlsh_collision_counts`], additionally accumulating the occupancy
+/// histogram of every run's pattern bucket table into `hist`
+/// (`hist[s]` = buckets holding exactly `s` columns).
+#[must_use]
+pub fn hlsh_collision_counts_with_histogram(
+    base: &RowMajorMatrix,
+    params: &HLshParams,
+    hist: &mut Vec<u64>,
+) -> PairCounter {
+    assert!(
+        params.r >= 1 && params.r <= 64,
+        "pattern width must be 1..=64"
+    );
     assert!(params.t >= 3, "density gate needs t >= 3");
     let ladder = DensityLadder::build(base, params.max_levels, params.seed);
     let mut seq = SeedSequence::new(params.seed ^ 0x5f5f_5f5f);
@@ -162,6 +177,7 @@ pub fn hlsh_collision_counts(base: &RowMajorMatrix, params: &HLshParams) -> Pair
                     }
                 }
             }
+            table.accumulate_occupancy(hist);
             for (_, bucket) in table.iter() {
                 // Buckets are unordered; sort for deterministic pairing.
                 let mut cols = bucket.to_vec();
@@ -191,6 +207,27 @@ pub fn hlsh_candidates(base: &RowMajorMatrix, params: &HLshParams) -> Vec<Candid
     out
 }
 
+/// [`hlsh_candidates`] plus instrumentation: the `colliding-pairs` /
+/// `emitted` counters and the aggregated bucket-occupancy histogram over
+/// every run at every ladder level.
+#[must_use]
+pub fn hlsh_candidates_with_stats(
+    base: &RowMajorMatrix,
+    params: &HLshParams,
+) -> (Vec<CandidatePair>, CandidateGenStats) {
+    let mut stats = CandidateGenStats::default();
+    let counts = hlsh_collision_counts_with_histogram(base, params, &mut stats.bucket_histogram);
+    stats.record("colliding-pairs", counts.len() as u64);
+    let total_runs = (params.max_levels * params.l) as f64;
+    let mut out: Vec<CandidatePair> = counts
+        .iter()
+        .map(|(i, j, c)| CandidatePair::new(i, j, f64::from(c) / total_runs))
+        .collect();
+    out.sort_by_key(CandidatePair::ids);
+    stats.record("emitted", out.len() as u64);
+    (out, stats)
+}
+
 /// Per-level diagnostics of an H-LSH run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HlshLevelStats {
@@ -210,7 +247,10 @@ pub struct HlshLevelStats {
 /// both sufficiently dense" analysis of §4.2.
 #[must_use]
 pub fn hlsh_trace(base: &RowMajorMatrix, params: &HLshParams) -> Vec<HlshLevelStats> {
-    assert!(params.r >= 1 && params.r <= 64, "pattern width must be 1..=64");
+    assert!(
+        params.r >= 1 && params.r <= 64,
+        "pattern width must be 1..=64"
+    );
     assert!(params.t >= 3, "density gate needs t >= 3");
     let ladder = DensityLadder::build(base, params.max_levels, params.seed);
     let mut seq = SeedSequence::new(params.seed ^ 0x5f5f_5f5f);
@@ -386,6 +426,16 @@ mod tests {
         let m = matrix();
         let params = HLshParams::new(8, 6, 77);
         assert_eq!(hlsh_candidates(&m, &params), hlsh_candidates(&m, &params));
+    }
+
+    #[test]
+    fn stats_variant_matches_plain_generator() {
+        let m = matrix();
+        let params = HLshParams::new(8, 6, 5);
+        let (cands, stats) = hlsh_candidates_with_stats(&m, &params);
+        assert_eq!(cands, hlsh_candidates(&m, &params));
+        assert_eq!(stats.stage("emitted"), Some(cands.len() as u64));
+        assert!(stats.bucket_histogram.iter().sum::<u64>() > 0);
     }
 
     #[test]

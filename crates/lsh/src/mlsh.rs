@@ -9,7 +9,7 @@
 use sfa_hash::bucket::{pack_pair, BucketTable, FastHashSet, PairCounter};
 use sfa_hash::mix::{fmix64, splitmix64};
 use sfa_hash::SeedSequence;
-use sfa_minhash::{CandidatePair, SignatureMatrix, EMPTY_SIGNATURE};
+use sfa_minhash::{CandidateGenStats, CandidatePair, SignatureMatrix, EMPTY_SIGNATURE};
 
 /// How each iteration picks its `r` signature rows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,12 +132,25 @@ pub fn mlsh_candidates(sigs: &SignatureMatrix, params: &MLshParams) -> Vec<Candi
 /// Per-pair collision counts across the `l` iterations.
 #[must_use]
 pub fn mlsh_collision_counts(sigs: &SignatureMatrix, params: &MLshParams) -> PairCounter {
+    mlsh_collision_counts_with_histogram(sigs, params, &mut Vec::new())
+}
+
+/// [`mlsh_collision_counts`], additionally accumulating the occupancy
+/// histogram of every iteration's bucket table into `hist`
+/// (`hist[s]` = buckets holding exactly `s` columns).
+#[must_use]
+pub fn mlsh_collision_counts_with_histogram(
+    sigs: &SignatureMatrix,
+    params: &MLshParams,
+    hist: &mut Vec<u64>,
+) -> PairCounter {
     let mut counter = PairCounter::new();
     let mut seq = SeedSequence::new(params.seed);
     for t in 0..params.l {
         let rows = rows_for_iteration(params, sigs.k(), t, &mut seq);
         let key_seed = seq.next_seed();
         let table = iteration_buckets(sigs, &rows, key_seed);
+        table.accumulate_occupancy(hist);
         for (_, bucket) in table.iter() {
             for (a, &ci) in bucket.iter().enumerate() {
                 for &cj in &bucket[a + 1..] {
@@ -147,6 +160,26 @@ pub fn mlsh_collision_counts(sigs: &SignatureMatrix, params: &MLshParams) -> Pai
         }
     }
     counter
+}
+
+/// [`mlsh_candidates`] plus instrumentation: the `colliding-pairs` /
+/// `emitted` counters and the aggregated bucket-occupancy histogram over
+/// all `l` iterations.
+#[must_use]
+pub fn mlsh_candidates_with_stats(
+    sigs: &SignatureMatrix,
+    params: &MLshParams,
+) -> (Vec<CandidatePair>, CandidateGenStats) {
+    let mut stats = CandidateGenStats::default();
+    let counts = mlsh_collision_counts_with_histogram(sigs, params, &mut stats.bucket_histogram);
+    stats.record("colliding-pairs", counts.len() as u64);
+    let mut out: Vec<CandidatePair> = counts
+        .iter()
+        .map(|(i, j, c)| CandidatePair::new(i, j, f64::from(c) / params.l as f64))
+        .collect();
+    out.sort_by_key(CandidatePair::ids);
+    stats.record("emitted", out.len() as u64);
+    (out, stats)
 }
 
 /// One iteration's newly discovered pairs, for the online mode: returns
@@ -216,7 +249,10 @@ mod tests {
         let params = MLshParams::banded(5, 8, 11);
         let cands = mlsh_candidates(&s, &params);
         let found = cands.iter().find(|c| c.ids() == (0, 1)).expect("pair 0-1");
-        assert!((found.estimate - 1.0).abs() < 1e-12, "identical columns collide in every band");
+        assert!(
+            (found.estimate - 1.0).abs() < 1e-12,
+            "identical columns collide in every band"
+        );
     }
 
     #[test]
@@ -278,6 +314,24 @@ mod tests {
         let p2 = MLshParams::sampled(5, 6, 43);
         // Different seed may differ (not guaranteed, but counts will).
         let _ = mlsh_candidates(&s, &p2);
+    }
+
+    #[test]
+    fn stats_variant_matches_plain_generator() {
+        let s = sigs(40, 3);
+        let params = MLshParams::banded(5, 8, 11);
+        let (cands, stats) = mlsh_candidates_with_stats(&s, &params);
+        assert_eq!(cands, mlsh_candidates(&s, &params));
+        assert_eq!(stats.stage("emitted"), Some(cands.len() as u64));
+        // Every non-empty column lands in some bucket each iteration, so
+        // total occupancy is l × (non-empty columns) = 8 × 5.
+        let occupancy: u64 = stats
+            .bucket_histogram
+            .iter()
+            .enumerate()
+            .map(|(size, &n)| size as u64 * n)
+            .sum();
+        assert_eq!(occupancy, 40);
     }
 
     #[test]

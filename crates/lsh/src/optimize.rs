@@ -310,8 +310,7 @@ mod tests {
     fn sampling_estimator_approximates_exact() {
         let data = sfa_datagen::SyntheticConfig::small(2_000, 5).generate();
         let exact = SimilarityDistribution::from_matrix(&data.matrix, 10);
-        let sampled =
-            SimilarityDistribution::estimate_by_sampling(&data.matrix, 0.5, 10, 3);
+        let sampled = SimilarityDistribution::estimate_by_sampling(&data.matrix, 0.5, 10, 3);
         // High-similarity mass (the planted pairs) should be the same order
         // of magnitude.
         let hi_exact: u64 = (5..10).map(|b| exact.count(b)).sum();

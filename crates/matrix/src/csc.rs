@@ -1,6 +1,6 @@
 //! Column-major (CSC) sparse boolean matrix.
 
-use serde::{Deserialize, Serialize};
+use sfa_json::{FromJson, Json, JsonError, ToJson};
 
 use crate::column::{intersection_size, ColumnSet};
 use crate::csr::RowMajorMatrix;
@@ -27,7 +27,7 @@ use crate::error::{MatrixError, Result};
 /// assert!((m.similarity(0, 1) - 2.0 / 3.0).abs() < 1e-12);
 /// assert_eq!(m.similarity(0, 2), 0.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SparseMatrix {
     n_rows: u32,
     n_cols: u32,
@@ -213,6 +213,41 @@ impl SparseMatrix {
     }
 }
 
+impl ToJson for SparseMatrix {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("n_rows", self.n_rows)
+            .field("n_cols", self.n_cols)
+            .field("col_ptr", &self.col_ptr[..])
+            .field("row_idx", &self.row_idx[..])
+    }
+}
+
+impl FromJson for SparseMatrix {
+    fn from_json(json: &Json) -> std::result::Result<Self, JsonError> {
+        let n_rows = u32::from_json(json.req("n_rows")?)?;
+        let n_cols = u32::from_json(json.req("n_cols")?)?;
+        let col_ptr = Vec::<usize>::from_json(json.req("col_ptr")?)?;
+        let row_idx = Vec::<u32>::from_json(json.req("row_idx")?)?;
+        if col_ptr.len() != n_cols as usize + 1
+            || col_ptr.first() != Some(&0)
+            || *col_ptr.last().unwrap() != row_idx.len()
+            || col_ptr.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(JsonError::new("inconsistent CSC structure"));
+        }
+        if row_idx.iter().any(|&r| r >= n_rows) {
+            return Err(JsonError::new("row index out of range"));
+        }
+        Ok(Self {
+            n_rows,
+            n_cols,
+            col_ptr,
+            row_idx,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,10 +337,20 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let m = example1();
-        let json = serde_json::to_string(&m).unwrap();
-        let back: SparseMatrix = serde_json::from_str(&json).unwrap();
+        let json = m.to_json().to_string_compact();
+        let back: SparseMatrix = sfa_json::from_str(&json).unwrap();
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn json_rejects_inconsistent_structure() {
+        let doc = Json::obj()
+            .field("n_rows", 2u32)
+            .field("n_cols", 1u32)
+            .field("col_ptr", vec![0usize, 3])
+            .field("row_idx", vec![0u32]);
+        assert!(SparseMatrix::from_json(&doc).is_err());
     }
 }

@@ -6,13 +6,13 @@
 //! [`RowStream`](crate::stream::RowStream) trait so they cannot cheat with
 //! random access.
 
-use serde::{Deserialize, Serialize};
+use sfa_json::{FromJson, Json, JsonError, ToJson};
 
 use crate::csc::SparseMatrix;
 
 /// A sparse 0/1 matrix stored row-major: for each row, the strictly
 /// ascending list of columns holding a 1.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RowMajorMatrix {
     n_rows: u32,
     n_cols: u32,
@@ -98,6 +98,13 @@ impl RowMajorMatrix {
         self.col_idx.len()
     }
 
+    /// Resident heap size of the CSR arrays (row pointers + column ids).
+    #[must_use]
+    pub fn heap_bytes(&self) -> u64 {
+        (self.row_ptr.len() * std::mem::size_of::<usize>()
+            + self.col_idx.len() * std::mem::size_of::<u32>()) as u64
+    }
+
     /// The ascending column ids of row `i`.
     ///
     /// # Panics
@@ -149,6 +156,41 @@ impl RowMajorMatrix {
             }
         }
         SparseMatrix::from_parts(self.n_rows, self.n_cols, col_ptr, row_idx)
+    }
+}
+
+impl ToJson for RowMajorMatrix {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("n_rows", self.n_rows)
+            .field("n_cols", self.n_cols)
+            .field("row_ptr", &self.row_ptr[..])
+            .field("col_idx", &self.col_idx[..])
+    }
+}
+
+impl FromJson for RowMajorMatrix {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let n_rows = u32::from_json(json.req("n_rows")?)?;
+        let n_cols = u32::from_json(json.req("n_cols")?)?;
+        let row_ptr = Vec::<usize>::from_json(json.req("row_ptr")?)?;
+        let col_idx = Vec::<u32>::from_json(json.req("col_idx")?)?;
+        if row_ptr.len() != n_rows as usize + 1
+            || row_ptr.first() != Some(&0)
+            || *row_ptr.last().unwrap() != col_idx.len()
+            || row_ptr.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(JsonError::new("inconsistent CSR structure"));
+        }
+        if col_idx.iter().any(|&c| c >= n_cols) {
+            return Err(JsonError::new("column index out of range"));
+        }
+        Ok(Self {
+            n_rows,
+            n_cols,
+            row_ptr,
+            col_idx,
+        })
     }
 }
 
@@ -212,5 +254,13 @@ mod tests {
         assert_eq!(m.row(0), &[] as &[u32]);
         assert_eq!(m.row_count(0), 0);
         assert_eq!(m.transpose().column(0), &[1]);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let m = example1_rows();
+        let json = m.to_json().to_string_compact();
+        let back: RowMajorMatrix = sfa_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
     }
 }

@@ -13,6 +13,9 @@
 //! LE`, `n_cols: u32 LE`, followed per row by `len: u32 LE` and `len`
 //! ascending `u32 LE` column ids. [`FileRowStream`](crate::stream::FileRowStream)
 //! reads this format sequentially without loading it into memory.
+//!
+//! Both layouts are specified byte-for-byte in `docs/FORMATS.md` at the
+//! repository root, alongside the sketch formats from `sfa-minhash`.
 
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};

@@ -48,4 +48,4 @@ pub use column::ColumnSet;
 pub use csc::SparseMatrix;
 pub use csr::RowMajorMatrix;
 pub use error::{MatrixError, Result};
-pub use stream::{FileRowStream, MemoryRowStream, RowStream};
+pub use stream::{FileRowStream, MemoryRowStream, PassScan, RowStream, ScanCounter};

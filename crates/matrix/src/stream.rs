@@ -61,6 +61,24 @@ pub trait RowStream {
     }
 }
 
+impl<S: RowStream + ?Sized> RowStream for &mut S {
+    fn n_rows(&self) -> u32 {
+        (**self).n_rows()
+    }
+
+    fn n_cols(&self) -> u32 {
+        (**self).n_cols()
+    }
+
+    fn read_row(&mut self, buf: &mut Vec<u32>) -> Result<Option<u32>> {
+        (**self).read_row(buf)
+    }
+
+    fn reset(&mut self) -> Result<()> {
+        (**self).reset()
+    }
+}
+
 /// In-memory stream over a [`RowMajorMatrix`].
 #[derive(Debug)]
 pub struct MemoryRowStream<'a> {
@@ -176,7 +194,10 @@ impl RowStream for FileRowStream {
         if len > self.n_cols as usize {
             return Err(MatrixError::Parse {
                 at: u64::from(id),
-                detail: format!("row {id} declares {len} entries for {} columns", self.n_cols),
+                detail: format!(
+                    "row {id} declares {len} entries for {} columns",
+                    self.n_cols
+                ),
             });
         }
         buf.reserve(len);
@@ -272,6 +293,73 @@ impl<S: RowStream> RowStream for PassCounter<S> {
     }
 }
 
+/// Per-pass scan volume recorded by [`ScanCounter`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PassScan {
+    /// Rows delivered in this pass.
+    pub rows: u64,
+    /// Total 1-entries (column ids) delivered in this pass.
+    pub nonzeros: u64,
+}
+
+/// Wrapper recording, for every pass, how many rows and nonzeros the
+/// consumer actually pulled — the data-volume side of the pipeline's
+/// observability (the pass-count side is [`PassCounter`]).
+#[derive(Debug)]
+pub struct ScanCounter<S> {
+    inner: S,
+    passes: Vec<PassScan>,
+}
+
+impl<S: RowStream> ScanCounter<S> {
+    /// Wraps a stream, starting in pass 0.
+    #[must_use]
+    pub fn new(inner: S) -> Self {
+        Self {
+            inner,
+            passes: vec![PassScan::default()],
+        }
+    }
+
+    /// The per-pass scan volumes, in pass order (the last entry is the
+    /// pass currently in progress).
+    #[must_use]
+    pub fn pass_scans(&self) -> &[PassScan] {
+        &self.passes
+    }
+
+    /// Unwraps the inner stream.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: RowStream> RowStream for ScanCounter<S> {
+    fn n_rows(&self) -> u32 {
+        self.inner.n_rows()
+    }
+
+    fn n_cols(&self) -> u32 {
+        self.inner.n_cols()
+    }
+
+    fn read_row(&mut self, buf: &mut Vec<u32>) -> Result<Option<u32>> {
+        let r = self.inner.read_row(buf)?;
+        if r.is_some() {
+            let current = self.passes.last_mut().expect("at least one pass");
+            current.rows += 1;
+            current.nonzeros += buf.len() as u64;
+        }
+        Ok(r)
+    }
+
+    fn reset(&mut self) -> Result<()> {
+        self.inner.reset()?;
+        self.passes.push(PassScan::default());
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -344,6 +432,48 @@ mod tests {
             Err(MatrixError::Parse { .. })
         ));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn scan_counter_tracks_rows_and_nonzeros_per_pass() {
+        let m = sample();
+        let mut s = ScanCounter::new(MemoryRowStream::new(&m));
+        let mut buf = Vec::new();
+        while s.read_row(&mut buf).unwrap().is_some() {}
+        assert_eq!(
+            s.pass_scans(),
+            &[PassScan {
+                rows: 4,
+                nonzeros: 5
+            }]
+        );
+        s.reset().unwrap();
+        // Partial second pass: stop after two rows.
+        s.read_row(&mut buf).unwrap();
+        s.read_row(&mut buf).unwrap();
+        assert_eq!(
+            s.pass_scans(),
+            &[
+                PassScan {
+                    rows: 4,
+                    nonzeros: 5
+                },
+                PassScan {
+                    rows: 2,
+                    nonzeros: 2
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn mut_ref_is_a_stream_too() {
+        let m = sample();
+        let mut s = MemoryRowStream::new(&m);
+        let mut wrapper = ScanCounter::new(&mut s);
+        let mut buf = Vec::new();
+        while wrapper.read_row(&mut buf).unwrap().is_some() {}
+        assert_eq!(wrapper.pass_scans()[0].rows, 4);
     }
 
     #[test]

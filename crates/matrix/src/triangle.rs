@@ -185,7 +185,9 @@ mod tests {
         let mut columns = Vec::new();
         let mut seq = sfa_hash::SeedSequence::new(5);
         for _ in 0..30 {
-            let mut rows: Vec<u32> = (0..20).filter(|_| seq.next_seed().is_multiple_of(4)).collect();
+            let mut rows: Vec<u32> = (0..20)
+                .filter(|_| seq.next_seed().is_multiple_of(4))
+                .collect();
             rows.dedup();
             columns.push(rows);
         }

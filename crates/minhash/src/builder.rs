@@ -63,7 +63,8 @@ impl MhBuilder {
     /// Row ids must be distinct across calls for the permutation semantics
     /// to hold; the builder does not (and cannot cheaply) check this.
     pub fn push_row(&mut self, row_id: u32, cols: &[u32]) {
-        self.family.hash_all(u64::from(row_id), &mut self.row_hashes);
+        self.family
+            .hash_all(u64::from(row_id), &mut self.row_hashes);
         for &col in cols {
             for (l, &h) in self.row_hashes.iter().enumerate() {
                 let slot = self.sigs.get_mut(l, col);
@@ -239,13 +240,10 @@ mod tests {
         let batch = compute_signatures(&mut MemoryRowStream::new(&m), 8, 5).unwrap();
         assert_eq!(staged.finish(), batch);
         // And the mid-stream view was a valid sketch of the prefix.
-        let prefix = RowMajorMatrix::from_rows(
-            4,
-            m.rows().take(2).map(|(_, c)| c.to_vec()).collect(),
-        )
-        .unwrap();
-        let prefix_batch =
-            compute_signatures(&mut MemoryRowStream::new(&prefix), 8, 5).unwrap();
+        let prefix =
+            RowMajorMatrix::from_rows(4, m.rows().take(2).map(|(_, c)| c.to_vec()).collect())
+                .unwrap();
+        let prefix_batch = compute_signatures(&mut MemoryRowStream::new(&prefix), 8, 5).unwrap();
         assert_eq!(mid, prefix_batch);
     }
 

@@ -32,6 +32,40 @@ impl CandidatePair {
     }
 }
 
+/// Instrumentation emitted by the `*_with_stats` candidate generators:
+/// named counters in generation order, plus the aggregate bucket-occupancy
+/// histogram of every hash table (or run structure) the generator filled.
+///
+/// The counters are scheme-specific but follow a convention: a
+/// `counter-increments` entry measures phase-2 work (the paper's
+/// `O(k S̄ m²)` term is exactly this number for Hash-Count), and the
+/// remaining entries count the pairs surviving each admission stage.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CandidateGenStats {
+    /// `(name, count)` entries in generation order.
+    pub stages: Vec<(&'static str, u64)>,
+    /// `bucket_histogram[s]` = number of buckets (for Hash-Count/LSH
+    /// tables) or sorted runs (for Row-Sorting) holding exactly `s`
+    /// columns, aggregated across every table the generator used.
+    pub bucket_histogram: Vec<u64>,
+}
+
+impl CandidateGenStats {
+    /// Appends a named counter.
+    pub fn record(&mut self, stage: &'static str, count: u64) {
+        self.stages.push((stage, count));
+    }
+
+    /// The count recorded under `stage`, if any.
+    #[must_use]
+    pub fn stage(&self, stage: &str) -> Option<u64> {
+        self.stages
+            .iter()
+            .find(|(name, _)| *name == stage)
+            .map(|&(_, count)| count)
+    }
+}
+
 /// Deduplicates candidates by pair id, keeping the highest estimate, and
 /// returns them sorted by `(i, j)`.
 #[must_use]

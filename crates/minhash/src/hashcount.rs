@@ -10,7 +10,7 @@
 use sfa_hash::bucket::{BucketTable, PairCounter};
 use sfa_matrix::RowStream;
 
-use crate::candidates::CandidatePair;
+use crate::candidates::{CandidateGenStats, CandidatePair};
 use crate::estimate;
 use crate::kmh::BottomKSignatures;
 use crate::signature::{SignatureMatrix, EMPTY_SIGNATURE};
@@ -56,7 +56,7 @@ pub fn mh_agreement_counts_parallel(sigs: &SignatureMatrix, n_threads: usize) ->
         return mh_agreement_counts(sigs);
     }
     let chunk = sigs.k().div_ceil(n_threads);
-    let locals = crossbeam::thread::scope(|scope| {
+    let locals = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..n_threads {
             let lo = t * chunk;
@@ -64,7 +64,7 @@ pub fn mh_agreement_counts_parallel(sigs: &SignatureMatrix, n_threads: usize) ->
             if lo >= hi {
                 break;
             }
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut counter = PairCounter::new();
                 let mut table = BucketTable::new();
                 for l in lo..hi {
@@ -86,8 +86,7 @@ pub fn mh_agreement_counts_parallel(sigs: &SignatureMatrix, n_threads: usize) ->
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
             .collect::<Vec<_>>()
-    })
-    .expect("scope panicked");
+    });
     let mut merged = PairCounter::new();
     for local in locals {
         for (i, j, c) in local.iter() {
@@ -110,6 +109,46 @@ pub fn mh_candidates(sigs: &SignatureMatrix, s_star: f64, delta: f64) -> Vec<Can
         .collect();
     out.sort_by_key(CandidatePair::ids);
     out
+}
+
+/// [`mh_candidates`] plus instrumentation: per-stage counters
+/// (`counter-increments`, `pairs-agreeing`, `threshold-admitted`) and the
+/// aggregate occupancy histogram of the `k` per-row bucket tables.
+#[must_use]
+pub fn mh_candidates_with_stats(
+    sigs: &SignatureMatrix,
+    s_star: f64,
+    delta: f64,
+) -> (Vec<CandidatePair>, CandidateGenStats) {
+    let mut stats = CandidateGenStats::default();
+    let mut counter = PairCounter::new();
+    let mut table = BucketTable::new();
+    let mut increments = 0u64;
+    for l in 0..sigs.k() {
+        table.clear();
+        for (j, &v) in sigs.row(l).iter().enumerate() {
+            if v == EMPTY_SIGNATURE {
+                continue;
+            }
+            for &earlier in table.bucket(v) {
+                counter.increment(earlier, j as u32);
+                increments += 1;
+            }
+            table.insert(v, j as u32);
+        }
+        table.accumulate_occupancy(&mut stats.bucket_histogram);
+    }
+    stats.record("counter-increments", increments);
+    stats.record("pairs-agreeing", counter.len() as u64);
+    let threshold = agreement_threshold(sigs.k(), s_star, delta) as u32;
+    let mut out: Vec<CandidatePair> = counter
+        .iter()
+        .filter(|&(_, _, c)| c >= threshold)
+        .map(|(i, j, c)| CandidatePair::new(i, j, f64::from(c) / sigs.k() as f64))
+        .collect();
+    out.sort_by_key(CandidatePair::ids);
+    stats.record("threshold-admitted", out.len() as u64);
+    (out, stats)
 }
 
 /// Counts `|SIG_i ∩ SIG_j|` for every column pair sharing at least one
@@ -159,6 +198,57 @@ pub fn kmh_candidates(sigs: &BottomKSignatures, s_star: f64, delta: f64) -> Vec<
     }
     out.sort_by_key(CandidatePair::ids);
     out
+}
+
+/// [`kmh_candidates`] plus instrumentation: per-stage counters
+/// (`counter-increments`, `pairs-overlapping`, `overlap-admitted`,
+/// `rescore-admitted`) and the occupancy histogram of the single
+/// sketch-value bucket table.
+#[must_use]
+pub fn kmh_candidates_with_stats(
+    sigs: &BottomKSignatures,
+    s_star: f64,
+    delta: f64,
+) -> (Vec<CandidatePair>, CandidateGenStats) {
+    let mut stats = CandidateGenStats::default();
+    let mut counter = PairCounter::new();
+    let mut table = BucketTable::new();
+    let mut increments = 0u64;
+    for j in 0..sigs.m() as u32 {
+        for &v in sigs.signature(j) {
+            for &earlier in table.bucket(v) {
+                counter.increment(earlier, j);
+                increments += 1;
+            }
+            table.insert(v, j);
+        }
+    }
+    table.accumulate_occupancy(&mut stats.bucket_histogram);
+    stats.record("counter-increments", increments);
+    stats.record("pairs-overlapping", counter.len() as u64);
+    let mut overlap_admitted = 0u64;
+    let mut out = Vec::new();
+    for (i, j, overlap) in counter.iter() {
+        let threshold = estimate::kmh_overlap_threshold(
+            s_star,
+            delta,
+            sigs.k(),
+            sigs.column_count(i) as usize,
+            sigs.column_count(j) as usize,
+        );
+        if (overlap as usize) < threshold {
+            continue;
+        }
+        overlap_admitted += 1;
+        let unbiased = sigs.unbiased_similarity(i, j);
+        if unbiased >= (1.0 - delta) * s_star {
+            out.push(CandidatePair::new(i, j, unbiased));
+        }
+    }
+    out.sort_by_key(CandidatePair::ids);
+    stats.record("overlap-admitted", overlap_admitted);
+    stats.record("rescore-admitted", out.len() as u64);
+    (out, stats)
 }
 
 /// Convenience: MH pipeline phase 1 + 2 straight from a row stream.
@@ -219,8 +309,7 @@ mod tests {
     #[test]
     fn mh_agreement_counts_match_direct() {
         let m = matrix();
-        let sigs =
-            crate::mh::compute_signatures(&mut MemoryRowStream::new(&m), 64, 3).unwrap();
+        let sigs = crate::mh::compute_signatures(&mut MemoryRowStream::new(&m), 64, 3).unwrap();
         let counts = mh_agreement_counts(&sigs);
         for i in 0..5u32 {
             for j in (i + 1)..5 {
@@ -236,8 +325,7 @@ mod tests {
     #[test]
     fn parallel_agreement_counts_match_sequential() {
         let m = matrix();
-        let sigs =
-            crate::mh::compute_signatures(&mut MemoryRowStream::new(&m), 64, 3).unwrap();
+        let sigs = crate::mh::compute_signatures(&mut MemoryRowStream::new(&m), 64, 3).unwrap();
         let seq = mh_agreement_counts(&sigs);
         for threads in [1, 2, 4, 7] {
             let par = mh_agreement_counts_parallel(&sigs, threads);
@@ -256,8 +344,7 @@ mod tests {
     #[test]
     fn mh_candidates_find_similar_pair() {
         let m = matrix();
-        let sigs =
-            crate::mh::compute_signatures(&mut MemoryRowStream::new(&m), 200, 5).unwrap();
+        let sigs = crate::mh::compute_signatures(&mut MemoryRowStream::new(&m), 200, 5).unwrap();
         let cands = mh_candidates(&sigs, 0.8, 0.2);
         assert!(
             cands.iter().any(|c| c.ids() == (0, 1)),
@@ -270,8 +357,7 @@ mod tests {
     #[test]
     fn mh_candidates_threshold_excludes_weak_pairs() {
         let m = matrix();
-        let sigs =
-            crate::mh::compute_signatures(&mut MemoryRowStream::new(&m), 200, 5).unwrap();
+        let sigs = crate::mh::compute_signatures(&mut MemoryRowStream::new(&m), 200, 5).unwrap();
         // S(2,3) = 2/4 = 0.5 < 0.8·(1−0.1): excluded at high cutoff.
         let cands = mh_candidates(&sigs, 0.9, 0.1);
         assert!(cands.iter().all(|c| c.ids() != (2, 3)), "{cands:?}");
@@ -280,8 +366,7 @@ mod tests {
     #[test]
     fn kmh_overlap_counts_match_direct() {
         let m = matrix();
-        let sigs =
-            crate::kmh::compute_bottom_k(&mut MemoryRowStream::new(&m), 8, 3).unwrap();
+        let sigs = crate::kmh::compute_bottom_k(&mut MemoryRowStream::new(&m), 8, 3).unwrap();
         let counts = kmh_overlap_counts(&sigs);
         for i in 0..5u32 {
             for j in (i + 1)..5 {
@@ -297,8 +382,7 @@ mod tests {
     #[test]
     fn kmh_candidates_find_similar_pair() {
         let m = matrix();
-        let sigs =
-            crate::kmh::compute_bottom_k(&mut MemoryRowStream::new(&m), 16, 5).unwrap();
+        let sigs = crate::kmh::compute_bottom_k(&mut MemoryRowStream::new(&m), 16, 5).unwrap();
         let cands = kmh_candidates(&sigs, 0.8, 0.2);
         assert!(
             cands.iter().any(|c| c.ids() == (0, 1)),
@@ -312,26 +396,39 @@ mod tests {
         let m = matrix();
         let direct =
             mh_candidates_from_stream(&mut MemoryRowStream::new(&m), 64, 9, 0.8, 0.2).unwrap();
-        let sigs =
-            crate::mh::compute_signatures(&mut MemoryRowStream::new(&m), 64, 9).unwrap();
+        let sigs = crate::mh::compute_signatures(&mut MemoryRowStream::new(&m), 64, 9).unwrap();
         assert_eq!(direct, mh_candidates(&sigs, 0.8, 0.2));
 
         let direct_k =
             kmh_candidates_from_stream(&mut MemoryRowStream::new(&m), 16, 9, 0.8, 0.2).unwrap();
-        let ksigs =
-            crate::kmh::compute_bottom_k(&mut MemoryRowStream::new(&m), 16, 9).unwrap();
+        let ksigs = crate::kmh::compute_bottom_k(&mut MemoryRowStream::new(&m), 16, 9).unwrap();
         assert_eq!(direct_k, kmh_candidates(&ksigs, 0.8, 0.2));
+    }
+
+    #[test]
+    fn stats_variants_match_plain_generators() {
+        let m = matrix();
+        let sigs = crate::mh::compute_signatures(&mut MemoryRowStream::new(&m), 64, 3).unwrap();
+        let (cands, stats) = mh_candidates_with_stats(&sigs, 0.8, 0.2);
+        assert_eq!(cands, mh_candidates(&sigs, 0.8, 0.2));
+        assert_eq!(stats.stage("threshold-admitted"), Some(cands.len() as u64));
+        assert!(stats.stage("counter-increments").unwrap() > 0);
+        assert!(stats.bucket_histogram.iter().sum::<u64>() > 0);
+
+        let ksigs = crate::kmh::compute_bottom_k(&mut MemoryRowStream::new(&m), 16, 5).unwrap();
+        let (kcands, kstats) = kmh_candidates_with_stats(&ksigs, 0.8, 0.2);
+        assert_eq!(kcands, kmh_candidates(&ksigs, 0.8, 0.2));
+        assert_eq!(kstats.stage("rescore-admitted"), Some(kcands.len() as u64));
+        assert!(kstats.stage("pairs-overlapping").unwrap() >= kcands.len() as u64);
     }
 
     #[test]
     fn no_candidates_on_disjoint_columns() {
         let rows = vec![vec![0], vec![1], vec![2]];
         let m = RowMajorMatrix::from_rows(3, rows).unwrap();
-        let sigs =
-            crate::mh::compute_signatures(&mut MemoryRowStream::new(&m), 32, 1).unwrap();
+        let sigs = crate::mh::compute_signatures(&mut MemoryRowStream::new(&m), 32, 1).unwrap();
         assert!(mh_candidates(&sigs, 0.5, 0.2).is_empty());
-        let ksigs =
-            crate::kmh::compute_bottom_k(&mut MemoryRowStream::new(&m), 8, 1).unwrap();
+        let ksigs = crate::kmh::compute_bottom_k(&mut MemoryRowStream::new(&m), 8, 1).unwrap();
         assert!(kmh_candidates(&ksigs, 0.5, 0.2).is_empty());
     }
 }

@@ -53,6 +53,17 @@ impl BottomKSignatures {
         self.counts[j as usize]
     }
 
+    /// Resident heap size of the sketch payload: 8 bytes per stored hash
+    /// value plus 4 per column count. Unlike MH's fixed `k · m · 8`, this
+    /// shrinks on sparse data because a column stores only
+    /// `min(k, |C_j|)` values.
+    #[must_use]
+    pub fn heap_bytes(&self) -> u64 {
+        let values: usize = self.sigs.iter().map(Vec::len).sum();
+        (values * std::mem::size_of::<u64>() + self.counts.len() * std::mem::size_of::<u32>())
+            as u64
+    }
+
     /// `SIG_{i∪j}`: the bottom-k of `SIG_i ∪ SIG_j`, which equals the
     /// bottom-k sketch of the union column `C_i ∪ C_j` (§3.2: "`SIG_{i∪j}`
     /// can be obtained in `O(k)` time from `SIG_i` and `SIG_j`").
@@ -180,7 +191,7 @@ pub fn compute_bottom_k_parallel(
         return compute_bottom_k(&mut stream, k, seed).expect("memory stream cannot fail");
     }
     let chunk = (n as usize).div_ceil(n_threads) as u32;
-    let locals = crossbeam::thread::scope(|scope| {
+    let locals = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..n_threads as u32 {
             let lo = t * chunk;
@@ -188,7 +199,7 @@ pub fn compute_bottom_k_parallel(
             if lo >= hi {
                 break;
             }
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut local = crate::builder::KmhBuilder::new(k, m, seed);
                 for row_id in lo..hi {
                     local.push_row(row_id, matrix.row(row_id));
@@ -200,8 +211,7 @@ pub fn compute_bottom_k_parallel(
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
             .collect::<Vec<_>>()
-    })
-    .expect("scope panicked");
+    });
     let mut merged = crate::builder::KmhBuilder::new(k, m, seed);
     for local in &locals {
         merged.merge(local);
@@ -264,8 +274,7 @@ mod tests {
 
     #[test]
     fn identical_columns_estimate_one() {
-        let m =
-            RowMajorMatrix::from_rows(2, vec![vec![0, 1], vec![0, 1], vec![0, 1]]).unwrap();
+        let m = RowMajorMatrix::from_rows(2, vec![vec![0, 1], vec![0, 1], vec![0, 1]]).unwrap();
         let sigs = compute_bottom_k(&mut MemoryRowStream::new(&m), 8, 3).unwrap();
         assert_eq!(sigs.unbiased_similarity(0, 1), 1.0);
         assert_eq!(sigs.biased_similarity(0, 1), 1.0);

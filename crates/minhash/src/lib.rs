@@ -40,7 +40,7 @@ pub mod signature;
 pub mod theory;
 
 pub use builder::{KmhBuilder, MhBuilder};
-pub use candidates::CandidatePair;
+pub use candidates::{CandidateGenStats, CandidatePair};
 pub use kmh::{compute_bottom_k, compute_bottom_k_parallel, BottomKSignatures};
 pub use mh::{compute_signatures, compute_signatures_parallel};
 pub use signature::{SignatureMatrix, EMPTY_SIGNATURE};

@@ -71,7 +71,7 @@ pub fn compute_signatures_parallel(
         return compute_signatures(&mut stream, k, seed).expect("memory stream cannot fail");
     }
     let chunk = (n as usize).div_ceil(n_threads) as u32;
-    let locals = crossbeam::thread::scope(|scope| {
+    let locals = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..n_threads as u32 {
             let lo = t * chunk;
@@ -79,7 +79,7 @@ pub fn compute_signatures_parallel(
             if lo >= hi {
                 break;
             }
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut local = crate::builder::MhBuilder::new(k, m, seed);
                 for row_id in lo..hi {
                     local.push_row(row_id, matrix.row(row_id));
@@ -91,8 +91,7 @@ pub fn compute_signatures_parallel(
             .into_iter()
             .map(|h| h.join().expect("worker panicked"))
             .collect::<Vec<_>>()
-    })
-    .expect("scope panicked");
+    });
 
     let mut merged = crate::builder::MhBuilder::new(k, m, seed);
     for local in &locals {

@@ -13,6 +13,9 @@
 //! * `.sfkm` — `b"SFKM"`, `k: u32`, `m: u32`, then per column
 //!   `count: u32`, `len: u32`, `len` ascending `u64` values, for
 //!   [`BottomKSignatures`].
+//!
+//! Byte-exact layouts and the validation rules readers enforce are
+//! specified in `docs/FORMATS.md` at the repository root.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};

@@ -16,7 +16,7 @@
 use sfa_hash::bucket::PairCounter;
 use sfa_hash::SparseCounters;
 
-use crate::candidates::CandidatePair;
+use crate::candidates::{CandidateGenStats, CandidatePair};
 use crate::signature::{SignatureMatrix, EMPTY_SIGNATURE};
 use crate::theory::agreement_threshold;
 
@@ -224,6 +224,51 @@ pub fn rowsort_candidates(sigs: &SignatureMatrix, s_star: f64, delta: f64) -> Ve
     out
 }
 
+/// [`rowsort_candidates`] plus instrumentation. The histogram counts
+/// sorted-row *runs* by length (the Row-Sorting analogue of Hash-Count
+/// bucket occupancy: a run of length `s` is exactly a bucket of `s`
+/// agreeing columns).
+#[must_use]
+pub fn rowsort_candidates_with_stats(
+    sigs: &SignatureMatrix,
+    s_star: f64,
+    delta: f64,
+) -> (Vec<CandidatePair>, CandidateGenStats) {
+    let mut stats = CandidateGenStats::default();
+    let sorted = SortedRows::build(sigs);
+    let mut counter = PairCounter::new();
+    let mut increments = 0u64;
+    for l in 0..sorted.k() {
+        for run in sorted.runs(l) {
+            if run[0].0 == EMPTY_SIGNATURE {
+                continue;
+            }
+            let size = run.len();
+            if stats.bucket_histogram.len() <= size {
+                stats.bucket_histogram.resize(size + 1, 0);
+            }
+            stats.bucket_histogram[size] += 1;
+            for (a, &(_, ci)) in run.iter().enumerate() {
+                for &(_, cj) in &run[a + 1..] {
+                    counter.increment(ci, cj);
+                    increments += 1;
+                }
+            }
+        }
+    }
+    stats.record("counter-increments", increments);
+    stats.record("pairs-agreeing", counter.len() as u64);
+    let threshold = agreement_threshold(sigs.k(), s_star, delta) as u32;
+    let mut out: Vec<CandidatePair> = counter
+        .iter()
+        .filter(|&(_, _, c)| c >= threshold)
+        .map(|(i, j, c)| CandidatePair::new(i, j, f64::from(c) / sigs.k() as f64))
+        .collect();
+    out.sort_by_key(CandidatePair::ids);
+    stats.record("threshold-admitted", out.len() as u64);
+    (out, stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,6 +329,24 @@ mod tests {
     }
 
     #[test]
+    fn stats_variant_matches_plain_generator() {
+        let m = matrix();
+        let sigs = compute_signatures(&mut MemoryRowStream::new(&m), 128, 11).unwrap();
+        let (cands, stats) = rowsort_candidates_with_stats(&sigs, 0.7, 0.2);
+        assert_eq!(cands, rowsort_candidates(&sigs, 0.7, 0.2));
+        assert_eq!(stats.stage("threshold-admitted"), Some(cands.len() as u64));
+        // Run-length histogram and increments must agree:
+        // a run of length s contributes s·(s−1)/2 increments.
+        let from_hist: u64 = stats
+            .bucket_histogram
+            .iter()
+            .enumerate()
+            .map(|(s, &n)| n * (s as u64 * (s as u64).saturating_sub(1) / 2))
+            .sum();
+        assert_eq!(stats.stage("counter-increments"), Some(from_hist));
+    }
+
+    #[test]
     fn agreements_with_matches_pairwise() {
         let m = matrix();
         let sigs = compute_signatures(&mut MemoryRowStream::new(&m), 32, 5).unwrap();
@@ -319,11 +382,13 @@ mod tests {
                 let direct_ge = (0..48)
                     .filter(|&l| {
                         let v = sigs.get(l, focus);
-                        v != crate::signature::EMPTY_SIGNATURE
-                            && sigs.get(l, other) >= v
+                        v != crate::signature::EMPTY_SIGNATURE && sigs.get(l, other) >= v
                     })
                     .count() as u32;
-                assert_eq!(agree[other as usize], direct_agree, "agree {focus}->{other}");
+                assert_eq!(
+                    agree[other as usize], direct_agree,
+                    "agree {focus}->{other}"
+                );
                 assert_eq!(ge[other as usize], direct_ge, "ge {focus}->{other}");
             }
         }
@@ -360,8 +425,7 @@ mod tests {
     #[test]
     fn empty_sentinel_runs_are_ignored() {
         use crate::signature::EMPTY_SIGNATURE;
-        let sigs =
-            SignatureMatrix::from_values(1, 3, vec![EMPTY_SIGNATURE, EMPTY_SIGNATURE, 4]);
+        let sigs = SignatureMatrix::from_values(1, 3, vec![EMPTY_SIGNATURE, EMPTY_SIGNATURE, 4]);
         let counts = rowsort_agreement_counts(&sigs);
         assert_eq!(counts.get(0, 1), 0, "two empty columns must not agree");
     }

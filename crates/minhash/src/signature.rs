@@ -74,6 +74,13 @@ impl SignatureMatrix {
         &self.values[l * self.m..(l + 1) * self.m]
     }
 
+    /// Resident heap size of the signature values: `k · m · 8` bytes — the
+    /// `O(mk)` memory the paper budgets for phase 1.
+    #[must_use]
+    pub fn heap_bytes(&self) -> u64 {
+        (self.values.len() * std::mem::size_of::<u64>()) as u64
+    }
+
     /// The `k` min-hash values of column `j` (allocates; for hot paths use
     /// [`get`](Self::get) with a stride loop).
     #[must_use]
@@ -163,11 +170,7 @@ mod tests {
 
     #[test]
     fn sentinel_never_agrees() {
-        let s = SignatureMatrix::from_values(
-            2,
-            2,
-            vec![EMPTY_SIGNATURE, EMPTY_SIGNATURE, 3, 3],
-        );
+        let s = SignatureMatrix::from_values(2, 2, vec![EMPTY_SIGNATURE, EMPTY_SIGNATURE, 3, 3]);
         // Row 0 is two empty columns: must not count.
         assert_eq!(s.agreement_count(0, 1), 1);
     }

@@ -93,7 +93,10 @@ mod tests {
     #[test]
     fn required_k_grows_with_tighter_parameters() {
         let base = required_k(0.2, 0.05, 0.5);
-        assert!(required_k(0.1, 0.05, 0.5) > base, "smaller delta needs more");
+        assert!(
+            required_k(0.1, 0.05, 0.5) > base,
+            "smaller delta needs more"
+        );
         assert!(required_k(0.2, 0.01, 0.5) > base, "smaller eps needs more");
         assert!(required_k(0.2, 0.05, 0.25) > base, "smaller c needs more");
     }

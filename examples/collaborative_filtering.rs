@@ -31,7 +31,11 @@ fn main() {
         .run(&mut MemoryRowStream::new(&matrix))
         .expect("in-memory run");
     let pairs = result.similar_pairs();
-    println!("found {} similar user pairs ({})", pairs.len(), result.timings);
+    println!(
+        "found {} similar user pairs ({})",
+        pairs.len(),
+        result.timings
+    );
 
     // Sanity: similar users should overwhelmingly share a community.
     let same = pairs

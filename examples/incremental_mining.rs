@@ -34,7 +34,11 @@ fn main() {
     let mut sketch = KmhBuilder::new(k, full.n_cols() as usize, seed);
     for day in 0..days {
         let lo = day * per_day;
-        let hi = if day == days - 1 { n } else { (day + 1) * per_day };
+        let hi = if day == days - 1 {
+            n
+        } else {
+            (day + 1) * per_day
+        };
         for row_id in lo..hi {
             sketch.push_row(row_id, full.row(row_id));
         }

@@ -26,9 +26,16 @@ fn main() {
     let maximal = maximal_itemsets(&sets);
     println!("\nclassical a priori at {min_support} support:");
     for s in &summaries {
-        println!("  level {}: {} candidates -> {} frequent", s.k, s.candidates, s.frequent);
+        println!(
+            "  level {}: {} candidates -> {} frequent",
+            s.k, s.candidates, s.frequent
+        );
     }
-    println!("  {} frequent itemsets ({} maximal)", sets.len(), maximal.len());
+    println!(
+        "  {} frequent itemsets ({} maximal)",
+        sets.len(),
+        maximal.len()
+    );
     let rules = generate_rules(&sets, 0.8);
     println!("  {} rules at confidence >= 0.8; top 3:", rules.len());
     for r in rules.iter().take(3) {
@@ -41,7 +48,10 @@ fn main() {
     // Support-free mining on the same data: similar item pairs regardless
     // of frequency.
     let result = Pipeline::new(PipelineConfig::new(
-        Scheme::Kmh { k: 100, delta: 0.25 },
+        Scheme::Kmh {
+            k: 100,
+            delta: 0.25,
+        },
         0.3,
         7,
     ))

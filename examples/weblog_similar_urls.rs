@@ -61,7 +61,11 @@ fn main() {
         .run(&mut MemoryRowStream::new(&rows))
         .expect("in-memory run");
     let pairs = result.similar_pairs();
-    println!("\nfound {} similar URL pairs ({})", pairs.len(), result.timings);
+    println!(
+        "\nfound {} similar URL pairs ({})",
+        pairs.len(),
+        result.timings
+    );
 
     // Interpret: how many are the generator's embedded-resource relations?
     let mut related = 0;

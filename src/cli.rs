@@ -7,8 +7,10 @@
 //! sfa info --input table.sfab
 //! sfa stats --input table.sfab [--bins N]
 //! sfa sketch --input table.sfab --out sketch.sfmh|sketch.sfkm --scheme mh|kmh --k N [--seed N]
+//!            [--metrics-json out.json]
 //! sfa mine --input table.sfab --scheme mh|kmh|mlsh|hlsh --threshold S
 //!          [--k N] [--r N] [--l N] [--delta D] [--seed N] [--csv out.csv]
+//!          [--metrics-json out.json]
 //! ```
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs after the
@@ -46,9 +48,7 @@ impl Args {
             let key = key
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --option, got {key:?}"))?;
-            let value = it
-                .next()
-                .ok_or_else(|| format!("--{key} needs a value"))?;
+            let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
             options.push((key.to_string(), value.clone()));
         }
         Ok(Self { command, options })
@@ -89,8 +89,10 @@ USAGE:
   sfa info   --input FILE
   sfa stats  --input FILE [--bins N]
   sfa sketch --input FILE --out FILE --scheme mh|kmh [--k N] [--seed N]
+             [--metrics-json FILE]
   sfa mine   --input FILE --scheme mh|kmh|mlsh|hlsh [--threshold S]
              [--k N] [--r N] [--l N] [--delta D] [--seed N] [--csv FILE]
+             [--metrics-json FILE]
   sfa optimize --input FILE [--threshold S] [--max-fn N] [--max-fp N]
                [--sample F] [--seed N]
   sfa rules  --input FILE [--confidence C] [--k N] [--delta D] [--seed N]
@@ -149,7 +151,10 @@ fn cmd_gen(args: &Args) -> Result<String, String> {
     let rows = match (kind, scale) {
         ("weblog", "tiny") => WeblogConfig::tiny(seed).generate().matrix.transpose(),
         ("weblog", "small") => WeblogConfig::small(seed).generate().matrix.transpose(),
-        ("weblog", "paper") => WeblogConfig::paper_scale(seed).generate().matrix.transpose(),
+        ("weblog", "paper") => WeblogConfig::paper_scale(seed)
+            .generate()
+            .matrix
+            .transpose(),
         ("news", "tiny" | "small") => NewsConfig::small(seed).generate().matrix.transpose(),
         ("news", "paper") => NewsConfig::paper_scale(seed).generate().matrix.transpose(),
         ("synthetic", "tiny") => SyntheticConfig::small(2_000, seed)
@@ -223,7 +228,10 @@ fn cmd_stats(args: &Args) -> Result<String, String> {
     let hist = crate::matrix::stats::similarity_histogram(&csc, bins);
     let mut out = format!(
         "densities: min {:.6}, mean {:.6}, max {:.6}, empty columns {}\n",
-        density.min, density.max.min(1.0).max(density.min), density.max, density.empty_columns
+        density.min,
+        density.max.min(1.0).max(density.min),
+        density.max,
+        density.empty_columns
     );
     out.push_str("similarity histogram (co-occurring pairs only):\n");
     for (b, &count) in hist.iter().enumerate() {
@@ -239,23 +247,51 @@ fn cmd_stats(args: &Args) -> Result<String, String> {
 }
 
 fn cmd_sketch(args: &Args) -> Result<String, String> {
-    let (_, mut stream) = open_input(args)?;
+    let (_, stream) = open_input(args)?;
     let out = PathBuf::from(args.require("out")?);
     let k: usize = args.parse_num("k", 100)?;
     let seed: u64 = args.parse_num("seed", 42)?;
-    match args.require("scheme")? {
+    let mut scan = crate::matrix::ScanCounter::new(stream);
+    let started = std::time::Instant::now();
+    let (mut output, scheme, signature_bytes) = match args.require("scheme")? {
         "mh" => {
-            let sigs = crate::minhash::compute_signatures(&mut stream, k, seed).map_err(io_err)?;
+            let sigs = crate::minhash::compute_signatures(&mut scan, k, seed).map_err(io_err)?;
             crate::minhash::persist::write_signatures(&sigs, &out).map_err(io_err)?;
-            Ok(format!("wrote MH sketch (k={k}) to {}\n", out.display()))
+            let output = format!("wrote MH sketch (k={k}) to {}\n", out.display());
+            (output, Scheme::Mh { k, delta: 0.0 }, sigs.heap_bytes())
         }
         "kmh" => {
-            let sigs = crate::minhash::compute_bottom_k(&mut stream, k, seed).map_err(io_err)?;
+            let sigs = crate::minhash::compute_bottom_k(&mut scan, k, seed).map_err(io_err)?;
             crate::minhash::persist::write_bottom_k(&sigs, &out).map_err(io_err)?;
-            Ok(format!("wrote K-MH sketch (k={k}) to {}\n", out.display()))
+            let output = format!("wrote K-MH sketch (k={k}) to {}\n", out.display());
+            (output, Scheme::Kmh { k, delta: 0.0 }, sigs.heap_bytes())
         }
-        other => Err(format!("sketch scheme must be mh|kmh, got {other:?}")),
+        other => return Err(format!("sketch scheme must be mh|kmh, got {other:?}")),
+    };
+    if let Some(path) = args.get("metrics-json") {
+        // Sketching is phase 1 only: the threshold is not involved, so the
+        // config records the neutral s* = 1.0.
+        let timings = crate::core::PhaseTimings {
+            signatures: started.elapsed(),
+            ..Default::default()
+        };
+        let metrics = crate::core::MiningMetrics {
+            scheme: scheme.name().to_owned(),
+            signature_pass: scan
+                .pass_scans()
+                .first()
+                .copied()
+                .unwrap_or_default()
+                .into(),
+            signature_bytes,
+            ..Default::default()
+        };
+        let config = PipelineConfig::new(scheme, 1.0, seed);
+        let doc = crate::core::MetricsDocument::new(config, timings, metrics);
+        write_metrics_json(Path::new(path), &doc).map_err(io_err)?;
+        output.push_str(&format!("wrote {path}\n"));
     }
+    Ok(output)
 }
 
 fn scheme_from_args(args: &Args) -> Result<Scheme, String> {
@@ -307,7 +343,15 @@ fn cmd_mine(args: &Args) -> Result<String, String> {
         write_pairs_csv(Path::new(csv), &pairs).map_err(io_err)?;
         out.push_str(&format!("wrote {csv}\n"));
     }
+    if let Some(path) = args.get("metrics-json") {
+        write_metrics_json(Path::new(path), &result.metrics_document()).map_err(io_err)?;
+        out.push_str(&format!("wrote {path}\n"));
+    }
     Ok(out)
+}
+
+fn write_metrics_json(path: &Path, doc: &crate::core::MetricsDocument) -> std::io::Result<()> {
+    std::fs::write(path, crate::json::to_string_pretty(doc))
 }
 
 fn cmd_optimize(args: &Args) -> Result<String, String> {
@@ -403,10 +447,7 @@ fn cmd_compare(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
-fn write_pairs_csv(
-    path: &Path,
-    pairs: &[crate::core::VerifiedPair],
-) -> std::io::Result<()> {
+fn write_pairs_csv(path: &Path, pairs: &[crate::core::VerifiedPair]) -> std::io::Result<()> {
     use std::io::Write as _;
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
     writeln!(f, "i,j,similarity,intersection,union")?;
@@ -528,6 +569,87 @@ mod tests {
         assert!(csv_text.lines().count() > 1, "no pairs mined");
         std::fs::remove_file(&table).ok();
         std::fs::remove_file(&csv).ok();
+    }
+
+    #[test]
+    fn mine_writes_metrics_json() {
+        let table = tmp("mine_metrics.sfab");
+        dispatch(&strs(&[
+            "gen",
+            "--kind",
+            "weblog",
+            "--out",
+            table.to_str().unwrap(),
+            "--scale",
+            "tiny",
+        ]))
+        .unwrap();
+        let json_path = tmp("mine_metrics.json");
+        dispatch(&strs(&[
+            "mine",
+            "--input",
+            table.to_str().unwrap(),
+            "--scheme",
+            "mh",
+            "--threshold",
+            "0.8",
+            "--k",
+            "40",
+            "--metrics-json",
+            json_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&json_path).unwrap();
+        let doc: crate::core::MetricsDocument = crate::json::from_str(&text).unwrap();
+        assert_eq!(doc.schema_version, crate::core::METRICS_SCHEMA_VERSION);
+        assert_eq!(doc.metrics.scheme, "MH");
+        assert_eq!(doc.metrics.signature_pass.rows_scanned, 2000);
+        assert_eq!(doc.metrics.verify_pass.rows_scanned, 2000);
+        assert!(doc.metrics.signature_bytes > 0);
+        assert!(!doc.metrics.candidate_stages.is_empty());
+        std::fs::remove_file(&table).ok();
+        std::fs::remove_file(&json_path).ok();
+    }
+
+    #[test]
+    fn sketch_writes_metrics_json() {
+        let table = tmp("sketch_metrics.sfab");
+        dispatch(&strs(&[
+            "gen",
+            "--kind",
+            "weblog",
+            "--out",
+            table.to_str().unwrap(),
+            "--scale",
+            "tiny",
+        ]))
+        .unwrap();
+        let sk = tmp("sketch_metrics.sfmh");
+        let json_path = tmp("sketch_metrics.json");
+        dispatch(&strs(&[
+            "sketch",
+            "--input",
+            table.to_str().unwrap(),
+            "--out",
+            sk.to_str().unwrap(),
+            "--scheme",
+            "mh",
+            "--k",
+            "16",
+            "--metrics-json",
+            json_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&json_path).unwrap();
+        let doc: crate::core::MetricsDocument = crate::json::from_str(&text).unwrap();
+        assert_eq!(doc.metrics.scheme, "MH");
+        assert_eq!(doc.metrics.signature_pass.rows_scanned, 2000);
+        assert!(doc.metrics.signature_bytes > 0);
+        // Phase 1 only: nothing verified, no candidate stages.
+        assert_eq!(doc.metrics.verification.candidates_checked, 0);
+        std::fs::remove_file(&table).ok();
+        std::fs::remove_file(&sk).ok();
+        std::fs::remove_file(&json_path).ok();
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub use sfa_apriori as apriori;
 pub use sfa_core as core;
 pub use sfa_datagen as datagen;
 pub use sfa_hash as hash;
+pub use sfa_json as json;
 pub use sfa_lsh as lsh;
 pub use sfa_matrix as matrix;
 pub use sfa_minhash as minhash;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-385a68ee8014f3e7.d: crates/experiments/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-385a68ee8014f3e7: crates/experiments/src/bin/all_experiments.rs
+
+crates/experiments/src/bin/all_experiments.rs:

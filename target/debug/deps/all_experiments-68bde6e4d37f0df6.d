@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/all_experiments-68bde6e4d37f0df6.d: crates/experiments/src/bin/all_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/liball_experiments-68bde6e4d37f0df6.rmeta: crates/experiments/src/bin/all_experiments.rs Cargo.toml
+
+crates/experiments/src/bin/all_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/all_experiments-faa5d4e428c945f8.d: crates/experiments/src/bin/all_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/liball_experiments-faa5d4e428c945f8.rmeta: crates/experiments/src/bin/all_experiments.rs Cargo.toml
+
+crates/experiments/src/bin/all_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/apriori_agreement-27fc2b877bd5f1e8.d: tests/apriori_agreement.rs
+
+/root/repo/target/debug/deps/apriori_agreement-27fc2b877bd5f1e8: tests/apriori_agreement.rs
+
+tests/apriori_agreement.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/apriori_agreement-c4017d6c7cb6e4ad.d: tests/apriori_agreement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapriori_agreement-c4017d6c7cb6e4ad.rmeta: tests/apriori_agreement.rs Cargo.toml
+
+tests/apriori_agreement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/basket_benchmark-7f692185978bb039.d: crates/experiments/src/bin/basket_benchmark.rs
+
+/root/repo/target/debug/deps/basket_benchmark-7f692185978bb039: crates/experiments/src/bin/basket_benchmark.rs
+
+crates/experiments/src/bin/basket_benchmark.rs:

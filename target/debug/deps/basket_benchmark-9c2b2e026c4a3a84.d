@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/basket_benchmark-9c2b2e026c4a3a84.d: crates/experiments/src/bin/basket_benchmark.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbasket_benchmark-9c2b2e026c4a3a84.rmeta: crates/experiments/src/bin/basket_benchmark.rs Cargo.toml
+
+crates/experiments/src/bin/basket_benchmark.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

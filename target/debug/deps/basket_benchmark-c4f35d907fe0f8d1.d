@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/basket_benchmark-c4f35d907fe0f8d1.d: crates/experiments/src/bin/basket_benchmark.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbasket_benchmark-c4f35d907fe0f8d1.rmeta: crates/experiments/src/bin/basket_benchmark.rs Cargo.toml
+
+crates/experiments/src/bin/basket_benchmark.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bench_baseline-a09f53a1f9b5e29c.d: crates/experiments/src/bin/bench_baseline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_baseline-a09f53a1f9b5e29c.rmeta: crates/experiments/src/bin/bench_baseline.rs Cargo.toml
+
+crates/experiments/src/bin/bench_baseline.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/experiments
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench_baseline-bac33ef9f8ca79a3.d: crates/experiments/src/bin/bench_baseline.rs
+
+/root/repo/target/debug/deps/bench_baseline-bac33ef9f8ca79a3: crates/experiments/src/bin/bench_baseline.rs
+
+crates/experiments/src/bin/bench_baseline.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/experiments

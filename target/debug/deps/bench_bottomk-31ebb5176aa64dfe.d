@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_bottomk-31ebb5176aa64dfe.d: crates/bench/benches/bench_bottomk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_bottomk-31ebb5176aa64dfe.rmeta: crates/bench/benches/bench_bottomk.rs Cargo.toml
+
+crates/bench/benches/bench_bottomk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

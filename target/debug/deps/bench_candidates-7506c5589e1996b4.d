@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_candidates-7506c5589e1996b4.d: crates/bench/benches/bench_candidates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_candidates-7506c5589e1996b4.rmeta: crates/bench/benches/bench_candidates.rs Cargo.toml
+
+crates/bench/benches/bench_candidates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_hash-8705a7c1919e5b5f.d: crates/bench/benches/bench_hash.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_hash-8705a7c1919e5b5f.rmeta: crates/bench/benches/bench_hash.rs Cargo.toml
+
+crates/bench/benches/bench_hash.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

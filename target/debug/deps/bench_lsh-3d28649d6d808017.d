@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_lsh-3d28649d6d808017.d: crates/bench/benches/bench_lsh.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_lsh-3d28649d6d808017.rmeta: crates/bench/benches/bench_lsh.rs Cargo.toml
+
+crates/bench/benches/bench_lsh.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_pipeline-b49330e27a61dc9d.d: crates/bench/benches/bench_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_pipeline-b49330e27a61dc9d.rmeta: crates/bench/benches/bench_pipeline.rs Cargo.toml
+
+crates/bench/benches/bench_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_signatures-bc67330392ab2ef3.d: crates/bench/benches/bench_signatures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_signatures-bc67330392ab2ef3.rmeta: crates/bench/benches/bench_signatures.rs Cargo.toml
+
+crates/bench/benches/bench_signatures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

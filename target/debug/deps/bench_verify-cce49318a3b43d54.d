@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_verify-cce49318a3b43d54.d: crates/bench/benches/bench_verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_verify-cce49318a3b43d54.rmeta: crates/bench/benches/bench_verify.rs Cargo.toml
+
+crates/bench/benches/bench_verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

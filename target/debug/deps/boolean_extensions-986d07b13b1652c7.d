@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/boolean_extensions-986d07b13b1652c7.d: crates/experiments/src/bin/boolean_extensions.rs
+
+/root/repo/target/debug/deps/boolean_extensions-986d07b13b1652c7: crates/experiments/src/bin/boolean_extensions.rs
+
+crates/experiments/src/bin/boolean_extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/boolean_extensions-988a0ba5b3e48052.d: crates/experiments/src/bin/boolean_extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libboolean_extensions-988a0ba5b3e48052.rmeta: crates/experiments/src/bin/boolean_extensions.rs Cargo.toml
+
+crates/experiments/src/bin/boolean_extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

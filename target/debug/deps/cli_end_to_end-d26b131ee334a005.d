@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli_end_to_end-d26b131ee334a005.d: tests/cli_end_to_end.rs
+
+/root/repo/target/debug/deps/cli_end_to_end-d26b131ee334a005: tests/cli_end_to_end.rs
+
+tests/cli_end_to_end.rs:
+
+# env-dep:CARGO_BIN_EXE_sfa=/root/repo/target/debug/sfa

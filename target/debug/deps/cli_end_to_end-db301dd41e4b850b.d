@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli_end_to_end-db301dd41e4b850b.d: tests/cli_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli_end_to_end-db301dd41e4b850b.rmeta: tests/cli_end_to_end.rs Cargo.toml
+
+tests/cli_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_sfa=placeholder:sfa
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

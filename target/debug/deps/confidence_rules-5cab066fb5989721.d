@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/confidence_rules-5cab066fb5989721.d: crates/experiments/src/bin/confidence_rules.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconfidence_rules-5cab066fb5989721.rmeta: crates/experiments/src/bin/confidence_rules.rs Cargo.toml
+
+crates/experiments/src/bin/confidence_rules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/confidence_rules-f402846a41606831.d: crates/experiments/src/bin/confidence_rules.rs
+
+/root/repo/target/debug/deps/confidence_rules-f402846a41606831: crates/experiments/src/bin/confidence_rules.rs
+
+crates/experiments/src/bin/confidence_rules.rs:

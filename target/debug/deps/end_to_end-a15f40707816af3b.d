@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-a15f40707816af3b.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-a15f40707816af3b: tests/end_to_end.rs
+
+tests/end_to_end.rs:

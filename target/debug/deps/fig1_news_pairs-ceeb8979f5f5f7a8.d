@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_news_pairs-ceeb8979f5f5f7a8.d: crates/experiments/src/bin/fig1_news_pairs.rs
+
+/root/repo/target/debug/deps/fig1_news_pairs-ceeb8979f5f5f7a8: crates/experiments/src/bin/fig1_news_pairs.rs
+
+crates/experiments/src/bin/fig1_news_pairs.rs:

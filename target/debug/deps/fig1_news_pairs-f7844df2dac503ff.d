@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_news_pairs-f7844df2dac503ff.d: crates/experiments/src/bin/fig1_news_pairs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_news_pairs-f7844df2dac503ff.rmeta: crates/experiments/src/bin/fig1_news_pairs.rs Cargo.toml
+
+crates/experiments/src/bin/fig1_news_pairs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_filter_functions-02696b1290e757e5.d: crates/experiments/src/bin/fig2_filter_functions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_filter_functions-02696b1290e757e5.rmeta: crates/experiments/src/bin/fig2_filter_functions.rs Cargo.toml
+
+crates/experiments/src/bin/fig2_filter_functions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_filter_functions-2adc8179167e8d96.d: crates/experiments/src/bin/fig2_filter_functions.rs
+
+/root/repo/target/debug/deps/fig2_filter_functions-2adc8179167e8d96: crates/experiments/src/bin/fig2_filter_functions.rs
+
+crates/experiments/src/bin/fig2_filter_functions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_filter_functions-fe2f318c228e69d6.d: crates/experiments/src/bin/fig2_filter_functions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_filter_functions-fe2f318c228e69d6.rmeta: crates/experiments/src/bin/fig2_filter_functions.rs Cargo.toml
+
+crates/experiments/src/bin/fig2_filter_functions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

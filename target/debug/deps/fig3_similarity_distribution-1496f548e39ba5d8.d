@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_similarity_distribution-1496f548e39ba5d8.d: crates/experiments/src/bin/fig3_similarity_distribution.rs
+
+/root/repo/target/debug/deps/fig3_similarity_distribution-1496f548e39ba5d8: crates/experiments/src/bin/fig3_similarity_distribution.rs
+
+crates/experiments/src/bin/fig3_similarity_distribution.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_similarity_distribution-20dd912ea12eef17.d: crates/experiments/src/bin/fig3_similarity_distribution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_similarity_distribution-20dd912ea12eef17.rmeta: crates/experiments/src/bin/fig3_similarity_distribution.rs Cargo.toml
+
+crates/experiments/src/bin/fig3_similarity_distribution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

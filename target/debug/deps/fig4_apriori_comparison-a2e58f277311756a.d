@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_apriori_comparison-a2e58f277311756a.d: crates/experiments/src/bin/fig4_apriori_comparison.rs
+
+/root/repo/target/debug/deps/fig4_apriori_comparison-a2e58f277311756a: crates/experiments/src/bin/fig4_apriori_comparison.rs
+
+crates/experiments/src/bin/fig4_apriori_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_apriori_comparison-ee41c32eaf1c2261.d: crates/experiments/src/bin/fig4_apriori_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_apriori_comparison-ee41c32eaf1c2261.rmeta: crates/experiments/src/bin/fig4_apriori_comparison.rs Cargo.toml
+
+crates/experiments/src/bin/fig4_apriori_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

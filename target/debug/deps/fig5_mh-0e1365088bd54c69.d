@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_mh-0e1365088bd54c69.d: crates/experiments/src/bin/fig5_mh.rs
+
+/root/repo/target/debug/deps/fig5_mh-0e1365088bd54c69: crates/experiments/src/bin/fig5_mh.rs
+
+crates/experiments/src/bin/fig5_mh.rs:

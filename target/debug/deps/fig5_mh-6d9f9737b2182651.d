@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_mh-6d9f9737b2182651.d: crates/experiments/src/bin/fig5_mh.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_mh-6d9f9737b2182651.rmeta: crates/experiments/src/bin/fig5_mh.rs Cargo.toml
+
+crates/experiments/src/bin/fig5_mh.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_mh-b7244a3e4f2ec4b9.d: crates/experiments/src/bin/fig5_mh.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_mh-b7244a3e4f2ec4b9.rmeta: crates/experiments/src/bin/fig5_mh.rs Cargo.toml
+
+crates/experiments/src/bin/fig5_mh.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

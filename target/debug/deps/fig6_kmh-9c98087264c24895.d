@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_kmh-9c98087264c24895.d: crates/experiments/src/bin/fig6_kmh.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_kmh-9c98087264c24895.rmeta: crates/experiments/src/bin/fig6_kmh.rs Cargo.toml
+
+crates/experiments/src/bin/fig6_kmh.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

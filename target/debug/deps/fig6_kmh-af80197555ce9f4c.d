@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_kmh-af80197555ce9f4c.d: crates/experiments/src/bin/fig6_kmh.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_kmh-af80197555ce9f4c.rmeta: crates/experiments/src/bin/fig6_kmh.rs Cargo.toml
+
+crates/experiments/src/bin/fig6_kmh.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

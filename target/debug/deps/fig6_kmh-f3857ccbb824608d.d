@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_kmh-f3857ccbb824608d.d: crates/experiments/src/bin/fig6_kmh.rs
+
+/root/repo/target/debug/deps/fig6_kmh-f3857ccbb824608d: crates/experiments/src/bin/fig6_kmh.rs
+
+crates/experiments/src/bin/fig6_kmh.rs:

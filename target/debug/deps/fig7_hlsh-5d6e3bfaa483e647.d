@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_hlsh-5d6e3bfaa483e647.d: crates/experiments/src/bin/fig7_hlsh.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_hlsh-5d6e3bfaa483e647.rmeta: crates/experiments/src/bin/fig7_hlsh.rs Cargo.toml
+
+crates/experiments/src/bin/fig7_hlsh.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_hlsh-83c50ebfb5fd4094.d: crates/experiments/src/bin/fig7_hlsh.rs
+
+/root/repo/target/debug/deps/fig7_hlsh-83c50ebfb5fd4094: crates/experiments/src/bin/fig7_hlsh.rs
+
+crates/experiments/src/bin/fig7_hlsh.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_hlsh-eab5a00b51603771.d: crates/experiments/src/bin/fig7_hlsh.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_hlsh-eab5a00b51603771.rmeta: crates/experiments/src/bin/fig7_hlsh.rs Cargo.toml
+
+crates/experiments/src/bin/fig7_hlsh.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

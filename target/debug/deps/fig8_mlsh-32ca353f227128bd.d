@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_mlsh-32ca353f227128bd.d: crates/experiments/src/bin/fig8_mlsh.rs
+
+/root/repo/target/debug/deps/fig8_mlsh-32ca353f227128bd: crates/experiments/src/bin/fig8_mlsh.rs
+
+crates/experiments/src/bin/fig8_mlsh.rs:

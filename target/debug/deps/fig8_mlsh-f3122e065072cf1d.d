@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_mlsh-f3122e065072cf1d.d: crates/experiments/src/bin/fig8_mlsh.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_mlsh-f3122e065072cf1d.rmeta: crates/experiments/src/bin/fig8_mlsh.rs Cargo.toml
+
+crates/experiments/src/bin/fig8_mlsh.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

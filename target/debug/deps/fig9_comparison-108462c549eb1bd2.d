@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_comparison-108462c549eb1bd2.d: crates/experiments/src/bin/fig9_comparison.rs
+
+/root/repo/target/debug/deps/fig9_comparison-108462c549eb1bd2: crates/experiments/src/bin/fig9_comparison.rs
+
+crates/experiments/src/bin/fig9_comparison.rs:

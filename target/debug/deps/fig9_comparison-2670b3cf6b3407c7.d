@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_comparison-2670b3cf6b3407c7.d: crates/experiments/src/bin/fig9_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_comparison-2670b3cf6b3407c7.rmeta: crates/experiments/src/bin/fig9_comparison.rs Cargo.toml
+
+crates/experiments/src/bin/fig9_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

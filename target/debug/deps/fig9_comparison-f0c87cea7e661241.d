@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_comparison-f0c87cea7e661241.d: crates/experiments/src/bin/fig9_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_comparison-f0c87cea7e661241.rmeta: crates/experiments/src/bin/fig9_comparison.rs Cargo.toml
+
+crates/experiments/src/bin/fig9_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/filter_validation-5d82299f1eb64058.d: crates/lsh/tests/filter_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfilter_validation-5d82299f1eb64058.rmeta: crates/lsh/tests/filter_validation.rs Cargo.toml
+
+crates/lsh/tests/filter_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/filter_validation-8776cbd058951daf.d: crates/lsh/tests/filter_validation.rs
+
+/root/repo/target/debug/deps/filter_validation-8776cbd058951daf: crates/lsh/tests/filter_validation.rs
+
+crates/lsh/tests/filter_validation.rs:

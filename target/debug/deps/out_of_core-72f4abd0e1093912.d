@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/out_of_core-72f4abd0e1093912.d: tests/out_of_core.rs
+
+/root/repo/target/debug/deps/out_of_core-72f4abd0e1093912: tests/out_of_core.rs
+
+tests/out_of_core.rs:

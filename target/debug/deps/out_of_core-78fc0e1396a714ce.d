@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/out_of_core-78fc0e1396a714ce.d: tests/out_of_core.rs Cargo.toml
+
+/root/repo/target/debug/deps/libout_of_core-78fc0e1396a714ce.rmeta: tests/out_of_core.rs Cargo.toml
+
+tests/out_of_core.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_fidelity-797bb54b977313f5.d: tests/paper_fidelity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_fidelity-797bb54b977313f5.rmeta: tests/paper_fidelity.rs Cargo.toml
+
+tests/paper_fidelity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_fidelity-7a442f7685071ada.d: tests/paper_fidelity.rs
+
+/root/repo/target/debug/deps/paper_fidelity-7a442f7685071ada: tests/paper_fidelity.rs
+
+tests/paper_fidelity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-0a52d33772598f2b.d: crates/hash/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-0a52d33772598f2b.rmeta: crates/hash/tests/properties.rs Cargo.toml
+
+crates/hash/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

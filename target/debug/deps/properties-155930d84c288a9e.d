@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-155930d84c288a9e.d: crates/matrix/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-155930d84c288a9e: crates/matrix/tests/properties.rs
+
+crates/matrix/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6e9ed449a2766ac3.d: crates/hash/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-6e9ed449a2766ac3: crates/hash/tests/properties.rs
+
+crates/hash/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-8a249abe3a788f98.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-8a249abe3a788f98: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-a2f8664894a928d1.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-a2f8664894a928d1.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

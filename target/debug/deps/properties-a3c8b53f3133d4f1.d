@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-a3c8b53f3133d4f1.d: crates/lsh/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-a3c8b53f3133d4f1.rmeta: crates/lsh/tests/properties.rs Cargo.toml
+
+crates/lsh/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

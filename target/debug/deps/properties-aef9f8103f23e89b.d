@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-aef9f8103f23e89b.d: crates/lsh/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-aef9f8103f23e89b: crates/lsh/tests/properties.rs
+
+crates/lsh/tests/properties.rs:

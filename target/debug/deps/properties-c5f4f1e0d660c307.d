@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-c5f4f1e0d660c307.d: crates/minhash/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-c5f4f1e0d660c307.rmeta: crates/minhash/tests/properties.rs Cargo.toml
+
+crates/minhash/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

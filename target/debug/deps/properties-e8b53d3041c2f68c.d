@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-e8b53d3041c2f68c.d: crates/apriori/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-e8b53d3041c2f68c.rmeta: crates/apriori/tests/properties.rs Cargo.toml
+
+crates/apriori/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

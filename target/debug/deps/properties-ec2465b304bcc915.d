@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ec2465b304bcc915.d: crates/minhash/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-ec2465b304bcc915: crates/minhash/tests/properties.rs
+
+crates/minhash/tests/properties.rs:

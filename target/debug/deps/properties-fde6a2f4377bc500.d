@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-fde6a2f4377bc500.d: crates/matrix/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-fde6a2f4377bc500.rmeta: crates/matrix/tests/properties.rs Cargo.toml
+
+crates/matrix/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-fed53d0daa39363e.d: crates/apriori/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-fed53d0daa39363e: crates/apriori/tests/properties.rs
+
+crates/apriori/tests/properties.rs:

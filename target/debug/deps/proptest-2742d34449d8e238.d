@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/proptest-2742d34449d8e238.d: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/proptest-2742d34449d8e238: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/strategy.rs:

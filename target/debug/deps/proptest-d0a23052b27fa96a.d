@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest-d0a23052b27fa96a.d: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-d0a23052b27fa96a.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs Cargo.toml
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/strategy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest-e3b9e54991314449.d: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-e3b9e54991314449.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs Cargo.toml
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/strategy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scaling_rows-1258eb6a46baffb6.d: crates/experiments/src/bin/scaling_rows.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscaling_rows-1258eb6a46baffb6.rmeta: crates/experiments/src/bin/scaling_rows.rs Cargo.toml
+
+crates/experiments/src/bin/scaling_rows.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

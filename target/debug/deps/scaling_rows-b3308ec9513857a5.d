@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling_rows-b3308ec9513857a5.d: crates/experiments/src/bin/scaling_rows.rs
+
+/root/repo/target/debug/deps/scaling_rows-b3308ec9513857a5: crates/experiments/src/bin/scaling_rows.rs
+
+crates/experiments/src/bin/scaling_rows.rs:

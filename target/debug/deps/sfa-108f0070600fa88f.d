@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sfa-108f0070600fa88f.d: src/lib.rs src/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsfa-108f0070600fa88f.rmeta: src/lib.rs src/cli.rs Cargo.toml
+
+src/lib.rs:
+src/cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

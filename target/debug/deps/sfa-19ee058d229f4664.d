@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sfa-19ee058d229f4664.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libsfa-19ee058d229f4664.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libsfa-19ee058d229f4664.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sfa-37c86f5f00aee526.d: src/bin/sfa.rs
+
+/root/repo/target/debug/deps/sfa-37c86f5f00aee526: src/bin/sfa.rs
+
+src/bin/sfa.rs:

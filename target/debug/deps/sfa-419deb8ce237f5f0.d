@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sfa-419deb8ce237f5f0.d: src/bin/sfa.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsfa-419deb8ce237f5f0.rmeta: src/bin/sfa.rs Cargo.toml
+
+src/bin/sfa.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

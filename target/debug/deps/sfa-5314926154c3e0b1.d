@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/sfa-5314926154c3e0b1.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/sfa-5314926154c3e0b1: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sfa-6115748979930ff9.d: src/bin/sfa.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsfa-6115748979930ff9.rmeta: src/bin/sfa.rs Cargo.toml
+
+src/bin/sfa.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

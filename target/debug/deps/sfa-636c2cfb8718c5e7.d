@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sfa-636c2cfb8718c5e7.d: src/lib.rs src/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsfa-636c2cfb8718c5e7.rmeta: src/lib.rs src/cli.rs Cargo.toml
+
+src/lib.rs:
+src/cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sfa-a92bd1dbdd635bf0.d: src/bin/sfa.rs
+
+/root/repo/target/debug/deps/sfa-a92bd1dbdd635bf0: src/bin/sfa.rs
+
+src/bin/sfa.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sfa_apriori-afb5fe6d922f597c.d: crates/apriori/src/lib.rs crates/apriori/src/apriori.rs crates/apriori/src/pairs.rs crates/apriori/src/rules.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsfa_apriori-afb5fe6d922f597c.rmeta: crates/apriori/src/lib.rs crates/apriori/src/apriori.rs crates/apriori/src/pairs.rs crates/apriori/src/rules.rs Cargo.toml
+
+crates/apriori/src/lib.rs:
+crates/apriori/src/apriori.rs:
+crates/apriori/src/pairs.rs:
+crates/apriori/src/rules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

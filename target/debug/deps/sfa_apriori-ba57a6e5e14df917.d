@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sfa_apriori-ba57a6e5e14df917.d: crates/apriori/src/lib.rs crates/apriori/src/apriori.rs crates/apriori/src/pairs.rs crates/apriori/src/rules.rs
+
+/root/repo/target/debug/deps/sfa_apriori-ba57a6e5e14df917: crates/apriori/src/lib.rs crates/apriori/src/apriori.rs crates/apriori/src/pairs.rs crates/apriori/src/rules.rs
+
+crates/apriori/src/lib.rs:
+crates/apriori/src/apriori.rs:
+crates/apriori/src/pairs.rs:
+crates/apriori/src/rules.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sfa_bench-072bba43c42ba81a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsfa_bench-072bba43c42ba81a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsfa_bench-072bba43c42ba81a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

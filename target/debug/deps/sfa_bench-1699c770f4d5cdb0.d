@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sfa_bench-1699c770f4d5cdb0.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsfa_bench-1699c770f4d5cdb0.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sfa_bench-e44af64504522ca2.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsfa_bench-e44af64504522ca2.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sfa_bench-f0e1c1be28f4935d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/sfa_bench-f0e1c1be28f4935d: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/sfa_core-b82ef2f3d62541b4.d: crates/core/src/lib.rs crates/core/src/boolean.rs crates/core/src/cluster.rs crates/core/src/confidence.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/pipeline.rs crates/core/src/quality.rs crates/core/src/report.rs crates/core/src/streaming.rs crates/core/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsfa_core-b82ef2f3d62541b4.rmeta: crates/core/src/lib.rs crates/core/src/boolean.rs crates/core/src/cluster.rs crates/core/src/confidence.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/pipeline.rs crates/core/src/quality.rs crates/core/src/report.rs crates/core/src/streaming.rs crates/core/src/verify.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/boolean.rs:
+crates/core/src/cluster.rs:
+crates/core/src/confidence.rs:
+crates/core/src/config.rs:
+crates/core/src/metrics.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/quality.rs:
+crates/core/src/report.rs:
+crates/core/src/streaming.rs:
+crates/core/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sfa_datagen-49d851d99b814364.d: crates/datagen/src/lib.rs crates/datagen/src/basket.rs crates/datagen/src/cf.rs crates/datagen/src/news.rs crates/datagen/src/planted.rs crates/datagen/src/synthetic.rs crates/datagen/src/weblog.rs crates/datagen/src/zipf.rs
+
+/root/repo/target/debug/deps/sfa_datagen-49d851d99b814364: crates/datagen/src/lib.rs crates/datagen/src/basket.rs crates/datagen/src/cf.rs crates/datagen/src/news.rs crates/datagen/src/planted.rs crates/datagen/src/synthetic.rs crates/datagen/src/weblog.rs crates/datagen/src/zipf.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/basket.rs:
+crates/datagen/src/cf.rs:
+crates/datagen/src/news.rs:
+crates/datagen/src/planted.rs:
+crates/datagen/src/synthetic.rs:
+crates/datagen/src/weblog.rs:
+crates/datagen/src/zipf.rs:

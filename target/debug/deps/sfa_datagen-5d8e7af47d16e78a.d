@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/sfa_datagen-5d8e7af47d16e78a.d: crates/datagen/src/lib.rs crates/datagen/src/basket.rs crates/datagen/src/cf.rs crates/datagen/src/news.rs crates/datagen/src/planted.rs crates/datagen/src/synthetic.rs crates/datagen/src/weblog.rs crates/datagen/src/zipf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsfa_datagen-5d8e7af47d16e78a.rmeta: crates/datagen/src/lib.rs crates/datagen/src/basket.rs crates/datagen/src/cf.rs crates/datagen/src/news.rs crates/datagen/src/planted.rs crates/datagen/src/synthetic.rs crates/datagen/src/weblog.rs crates/datagen/src/zipf.rs Cargo.toml
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/basket.rs:
+crates/datagen/src/cf.rs:
+crates/datagen/src/news.rs:
+crates/datagen/src/planted.rs:
+crates/datagen/src/synthetic.rs:
+crates/datagen/src/weblog.rs:
+crates/datagen/src/zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

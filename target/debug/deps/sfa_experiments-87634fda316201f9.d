@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sfa_experiments-87634fda316201f9.d: crates/experiments/src/lib.rs
+
+/root/repo/target/debug/deps/libsfa_experiments-87634fda316201f9.rlib: crates/experiments/src/lib.rs
+
+/root/repo/target/debug/deps/libsfa_experiments-87634fda316201f9.rmeta: crates/experiments/src/lib.rs
+
+crates/experiments/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sfa_experiments-8cdbbbdd1f03bb5b.d: crates/experiments/src/lib.rs
+
+/root/repo/target/debug/deps/sfa_experiments-8cdbbbdd1f03bb5b: crates/experiments/src/lib.rs
+
+crates/experiments/src/lib.rs:

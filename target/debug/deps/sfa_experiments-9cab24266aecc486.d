@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sfa_experiments-9cab24266aecc486.d: crates/experiments/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsfa_experiments-9cab24266aecc486.rmeta: crates/experiments/src/lib.rs Cargo.toml
+
+crates/experiments/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

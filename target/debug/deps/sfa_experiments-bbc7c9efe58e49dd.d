@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sfa_experiments-bbc7c9efe58e49dd.d: crates/experiments/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsfa_experiments-bbc7c9efe58e49dd.rmeta: crates/experiments/src/lib.rs Cargo.toml
+
+crates/experiments/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

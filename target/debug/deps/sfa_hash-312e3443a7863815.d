@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sfa_hash-312e3443a7863815.d: crates/hash/src/lib.rs crates/hash/src/bucket.rs crates/hash/src/family.rs crates/hash/src/mix.rs crates/hash/src/rng.rs crates/hash/src/tabulation.rs crates/hash/src/topk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsfa_hash-312e3443a7863815.rmeta: crates/hash/src/lib.rs crates/hash/src/bucket.rs crates/hash/src/family.rs crates/hash/src/mix.rs crates/hash/src/rng.rs crates/hash/src/tabulation.rs crates/hash/src/topk.rs Cargo.toml
+
+crates/hash/src/lib.rs:
+crates/hash/src/bucket.rs:
+crates/hash/src/family.rs:
+crates/hash/src/mix.rs:
+crates/hash/src/rng.rs:
+crates/hash/src/tabulation.rs:
+crates/hash/src/topk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sfa_hash-40a9d18889b5cb88.d: crates/hash/src/lib.rs crates/hash/src/bucket.rs crates/hash/src/family.rs crates/hash/src/mix.rs crates/hash/src/rng.rs crates/hash/src/tabulation.rs crates/hash/src/topk.rs
+
+/root/repo/target/debug/deps/libsfa_hash-40a9d18889b5cb88.rlib: crates/hash/src/lib.rs crates/hash/src/bucket.rs crates/hash/src/family.rs crates/hash/src/mix.rs crates/hash/src/rng.rs crates/hash/src/tabulation.rs crates/hash/src/topk.rs
+
+/root/repo/target/debug/deps/libsfa_hash-40a9d18889b5cb88.rmeta: crates/hash/src/lib.rs crates/hash/src/bucket.rs crates/hash/src/family.rs crates/hash/src/mix.rs crates/hash/src/rng.rs crates/hash/src/tabulation.rs crates/hash/src/topk.rs
+
+crates/hash/src/lib.rs:
+crates/hash/src/bucket.rs:
+crates/hash/src/family.rs:
+crates/hash/src/mix.rs:
+crates/hash/src/rng.rs:
+crates/hash/src/tabulation.rs:
+crates/hash/src/topk.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sfa_json-1c5310062da46d64.d: crates/json/src/lib.rs crates/json/src/parse.rs crates/json/src/ser.rs
+
+/root/repo/target/debug/deps/libsfa_json-1c5310062da46d64.rlib: crates/json/src/lib.rs crates/json/src/parse.rs crates/json/src/ser.rs
+
+/root/repo/target/debug/deps/libsfa_json-1c5310062da46d64.rmeta: crates/json/src/lib.rs crates/json/src/parse.rs crates/json/src/ser.rs
+
+crates/json/src/lib.rs:
+crates/json/src/parse.rs:
+crates/json/src/ser.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sfa_json-2152fecffdf2a17c.d: crates/json/src/lib.rs crates/json/src/parse.rs crates/json/src/ser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsfa_json-2152fecffdf2a17c.rmeta: crates/json/src/lib.rs crates/json/src/parse.rs crates/json/src/ser.rs Cargo.toml
+
+crates/json/src/lib.rs:
+crates/json/src/parse.rs:
+crates/json/src/ser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

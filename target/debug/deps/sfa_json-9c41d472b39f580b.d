@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sfa_json-9c41d472b39f580b.d: crates/json/src/lib.rs crates/json/src/parse.rs crates/json/src/ser.rs
+
+/root/repo/target/debug/deps/sfa_json-9c41d472b39f580b: crates/json/src/lib.rs crates/json/src/parse.rs crates/json/src/ser.rs
+
+crates/json/src/lib.rs:
+crates/json/src/parse.rs:
+crates/json/src/ser.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sfa_json-eebe1771ce62f181.d: crates/json/src/lib.rs crates/json/src/parse.rs crates/json/src/ser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsfa_json-eebe1771ce62f181.rmeta: crates/json/src/lib.rs crates/json/src/parse.rs crates/json/src/ser.rs Cargo.toml
+
+crates/json/src/lib.rs:
+crates/json/src/parse.rs:
+crates/json/src/ser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

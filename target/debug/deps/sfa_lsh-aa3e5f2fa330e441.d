@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sfa_lsh-aa3e5f2fa330e441.d: crates/lsh/src/lib.rs crates/lsh/src/filter.rs crates/lsh/src/hamming.rs crates/lsh/src/hlsh.rs crates/lsh/src/mlsh.rs crates/lsh/src/online.rs crates/lsh/src/optimize.rs
+
+/root/repo/target/debug/deps/libsfa_lsh-aa3e5f2fa330e441.rlib: crates/lsh/src/lib.rs crates/lsh/src/filter.rs crates/lsh/src/hamming.rs crates/lsh/src/hlsh.rs crates/lsh/src/mlsh.rs crates/lsh/src/online.rs crates/lsh/src/optimize.rs
+
+/root/repo/target/debug/deps/libsfa_lsh-aa3e5f2fa330e441.rmeta: crates/lsh/src/lib.rs crates/lsh/src/filter.rs crates/lsh/src/hamming.rs crates/lsh/src/hlsh.rs crates/lsh/src/mlsh.rs crates/lsh/src/online.rs crates/lsh/src/optimize.rs
+
+crates/lsh/src/lib.rs:
+crates/lsh/src/filter.rs:
+crates/lsh/src/hamming.rs:
+crates/lsh/src/hlsh.rs:
+crates/lsh/src/mlsh.rs:
+crates/lsh/src/online.rs:
+crates/lsh/src/optimize.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sfa_lsh-da5c77b1da9f3128.d: crates/lsh/src/lib.rs crates/lsh/src/filter.rs crates/lsh/src/hamming.rs crates/lsh/src/hlsh.rs crates/lsh/src/mlsh.rs crates/lsh/src/online.rs crates/lsh/src/optimize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsfa_lsh-da5c77b1da9f3128.rmeta: crates/lsh/src/lib.rs crates/lsh/src/filter.rs crates/lsh/src/hamming.rs crates/lsh/src/hlsh.rs crates/lsh/src/mlsh.rs crates/lsh/src/online.rs crates/lsh/src/optimize.rs Cargo.toml
+
+crates/lsh/src/lib.rs:
+crates/lsh/src/filter.rs:
+crates/lsh/src/hamming.rs:
+crates/lsh/src/hlsh.rs:
+crates/lsh/src/mlsh.rs:
+crates/lsh/src/online.rs:
+crates/lsh/src/optimize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/sfa_matrix-3edca73516f46e90.d: crates/matrix/src/lib.rs crates/matrix/src/builder.rs crates/matrix/src/column.rs crates/matrix/src/csc.rs crates/matrix/src/csr.rs crates/matrix/src/error.rs crates/matrix/src/io.rs crates/matrix/src/ops.rs crates/matrix/src/stats.rs crates/matrix/src/stream.rs crates/matrix/src/triangle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsfa_matrix-3edca73516f46e90.rmeta: crates/matrix/src/lib.rs crates/matrix/src/builder.rs crates/matrix/src/column.rs crates/matrix/src/csc.rs crates/matrix/src/csr.rs crates/matrix/src/error.rs crates/matrix/src/io.rs crates/matrix/src/ops.rs crates/matrix/src/stats.rs crates/matrix/src/stream.rs crates/matrix/src/triangle.rs Cargo.toml
+
+crates/matrix/src/lib.rs:
+crates/matrix/src/builder.rs:
+crates/matrix/src/column.rs:
+crates/matrix/src/csc.rs:
+crates/matrix/src/csr.rs:
+crates/matrix/src/error.rs:
+crates/matrix/src/io.rs:
+crates/matrix/src/ops.rs:
+crates/matrix/src/stats.rs:
+crates/matrix/src/stream.rs:
+crates/matrix/src/triangle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

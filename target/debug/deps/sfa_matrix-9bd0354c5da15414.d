@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/sfa_matrix-9bd0354c5da15414.d: crates/matrix/src/lib.rs crates/matrix/src/builder.rs crates/matrix/src/column.rs crates/matrix/src/csc.rs crates/matrix/src/csr.rs crates/matrix/src/error.rs crates/matrix/src/io.rs crates/matrix/src/ops.rs crates/matrix/src/stats.rs crates/matrix/src/stream.rs crates/matrix/src/triangle.rs
+
+/root/repo/target/debug/deps/libsfa_matrix-9bd0354c5da15414.rlib: crates/matrix/src/lib.rs crates/matrix/src/builder.rs crates/matrix/src/column.rs crates/matrix/src/csc.rs crates/matrix/src/csr.rs crates/matrix/src/error.rs crates/matrix/src/io.rs crates/matrix/src/ops.rs crates/matrix/src/stats.rs crates/matrix/src/stream.rs crates/matrix/src/triangle.rs
+
+/root/repo/target/debug/deps/libsfa_matrix-9bd0354c5da15414.rmeta: crates/matrix/src/lib.rs crates/matrix/src/builder.rs crates/matrix/src/column.rs crates/matrix/src/csc.rs crates/matrix/src/csr.rs crates/matrix/src/error.rs crates/matrix/src/io.rs crates/matrix/src/ops.rs crates/matrix/src/stats.rs crates/matrix/src/stream.rs crates/matrix/src/triangle.rs
+
+crates/matrix/src/lib.rs:
+crates/matrix/src/builder.rs:
+crates/matrix/src/column.rs:
+crates/matrix/src/csc.rs:
+crates/matrix/src/csr.rs:
+crates/matrix/src/error.rs:
+crates/matrix/src/io.rs:
+crates/matrix/src/ops.rs:
+crates/matrix/src/stats.rs:
+crates/matrix/src/stream.rs:
+crates/matrix/src/triangle.rs:

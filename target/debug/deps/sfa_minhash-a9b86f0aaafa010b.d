@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/sfa_minhash-a9b86f0aaafa010b.d: crates/minhash/src/lib.rs crates/minhash/src/builder.rs crates/minhash/src/candidates.rs crates/minhash/src/estimate.rs crates/minhash/src/explicit.rs crates/minhash/src/hashcount.rs crates/minhash/src/kmh.rs crates/minhash/src/mh.rs crates/minhash/src/persist.rs crates/minhash/src/rowsort.rs crates/minhash/src/signature.rs crates/minhash/src/theory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsfa_minhash-a9b86f0aaafa010b.rmeta: crates/minhash/src/lib.rs crates/minhash/src/builder.rs crates/minhash/src/candidates.rs crates/minhash/src/estimate.rs crates/minhash/src/explicit.rs crates/minhash/src/hashcount.rs crates/minhash/src/kmh.rs crates/minhash/src/mh.rs crates/minhash/src/persist.rs crates/minhash/src/rowsort.rs crates/minhash/src/signature.rs crates/minhash/src/theory.rs Cargo.toml
+
+crates/minhash/src/lib.rs:
+crates/minhash/src/builder.rs:
+crates/minhash/src/candidates.rs:
+crates/minhash/src/estimate.rs:
+crates/minhash/src/explicit.rs:
+crates/minhash/src/hashcount.rs:
+crates/minhash/src/kmh.rs:
+crates/minhash/src/mh.rs:
+crates/minhash/src/persist.rs:
+crates/minhash/src/rowsort.rs:
+crates/minhash/src/signature.rs:
+crates/minhash/src/theory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sketch_reuse-37ee4332409ff19a.d: tests/sketch_reuse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsketch_reuse-37ee4332409ff19a.rmeta: tests/sketch_reuse.rs Cargo.toml
+
+tests/sketch_reuse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

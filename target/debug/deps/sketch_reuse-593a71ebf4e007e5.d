@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sketch_reuse-593a71ebf4e007e5.d: tests/sketch_reuse.rs
+
+/root/repo/target/debug/deps/sketch_reuse-593a71ebf4e007e5: tests/sketch_reuse.rs
+
+tests/sketch_reuse.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stream_robustness-7f56b4b2fa3f1ab3.d: crates/matrix/tests/stream_robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstream_robustness-7f56b4b2fa3f1ab3.rmeta: crates/matrix/tests/stream_robustness.rs Cargo.toml
+
+crates/matrix/tests/stream_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

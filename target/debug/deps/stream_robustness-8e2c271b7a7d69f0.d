@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stream_robustness-8e2c271b7a7d69f0.d: crates/matrix/tests/stream_robustness.rs
+
+/root/repo/target/debug/deps/stream_robustness-8e2c271b7a7d69f0: crates/matrix/tests/stream_robustness.rs
+
+crates/matrix/tests/stream_robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/synthetic_sweep-396635c9c998f0b8.d: crates/experiments/src/bin/synthetic_sweep.rs
+
+/root/repo/target/debug/deps/synthetic_sweep-396635c9c998f0b8: crates/experiments/src/bin/synthetic_sweep.rs
+
+crates/experiments/src/bin/synthetic_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/synthetic_sweep-a4e1a05a6925cbf7.d: crates/experiments/src/bin/synthetic_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsynthetic_sweep-a4e1a05a6925cbf7.rmeta: crates/experiments/src/bin/synthetic_sweep.rs Cargo.toml
+
+crates/experiments/src/bin/synthetic_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

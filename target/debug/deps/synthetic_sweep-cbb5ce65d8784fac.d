@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/synthetic_sweep-cbb5ce65d8784fac.d: crates/experiments/src/bin/synthetic_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsynthetic_sweep-cbb5ce65d8784fac.rmeta: crates/experiments/src/bin/synthetic_sweep.rs Cargo.toml
+
+crates/experiments/src/bin/synthetic_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

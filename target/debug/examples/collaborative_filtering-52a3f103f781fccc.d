@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/collaborative_filtering-52a3f103f781fccc.d: examples/collaborative_filtering.rs
+
+/root/repo/target/debug/examples/collaborative_filtering-52a3f103f781fccc: examples/collaborative_filtering.rs
+
+examples/collaborative_filtering.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/collaborative_filtering-ecea8936a82cc1aa.d: examples/collaborative_filtering.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcollaborative_filtering-ecea8936a82cc1aa.rmeta: examples/collaborative_filtering.rs Cargo.toml
+
+examples/collaborative_filtering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/incremental_mining-4eaea085b9b54d9d.d: examples/incremental_mining.rs Cargo.toml
+
+/root/repo/target/debug/examples/libincremental_mining-4eaea085b9b54d9d.rmeta: examples/incremental_mining.rs Cargo.toml
+
+examples/incremental_mining.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/incremental_mining-daac4c7f0f405368.d: examples/incremental_mining.rs
+
+/root/repo/target/debug/examples/incremental_mining-daac4c7f0f405368: examples/incremental_mining.rs
+
+examples/incremental_mining.rs:

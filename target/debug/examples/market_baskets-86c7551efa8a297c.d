@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/market_baskets-86c7551efa8a297c.d: examples/market_baskets.rs
+
+/root/repo/target/debug/examples/market_baskets-86c7551efa8a297c: examples/market_baskets.rs
+
+examples/market_baskets.rs:

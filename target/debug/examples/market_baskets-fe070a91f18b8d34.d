@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/market_baskets-fe070a91f18b8d34.d: examples/market_baskets.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmarket_baskets-fe070a91f18b8d34.rmeta: examples/market_baskets.rs Cargo.toml
+
+examples/market_baskets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/news_collocations-0b376c775ded2e63.d: examples/news_collocations.rs
+
+/root/repo/target/debug/examples/news_collocations-0b376c775ded2e63: examples/news_collocations.rs
+
+examples/news_collocations.rs:

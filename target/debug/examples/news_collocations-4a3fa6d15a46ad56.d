@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/news_collocations-4a3fa6d15a46ad56.d: examples/news_collocations.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnews_collocations-4a3fa6d15a46ad56.rmeta: examples/news_collocations.rs Cargo.toml
+
+examples/news_collocations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4443041b5843d8f3.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4443041b5843d8f3: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-83fe74cc5fd0a6cf.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-83fe74cc5fd0a6cf.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/streaming_out_of_core-7f3c68ee4b6d9985.d: examples/streaming_out_of_core.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstreaming_out_of_core-7f3c68ee4b6d9985.rmeta: examples/streaming_out_of_core.rs Cargo.toml
+
+examples/streaming_out_of_core.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

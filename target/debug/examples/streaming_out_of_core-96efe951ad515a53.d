@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/streaming_out_of_core-96efe951ad515a53.d: examples/streaming_out_of_core.rs
+
+/root/repo/target/debug/examples/streaming_out_of_core-96efe951ad515a53: examples/streaming_out_of_core.rs
+
+examples/streaming_out_of_core.rs:

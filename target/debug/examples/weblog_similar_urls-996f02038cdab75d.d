@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/weblog_similar_urls-996f02038cdab75d.d: examples/weblog_similar_urls.rs
+
+/root/repo/target/debug/examples/weblog_similar_urls-996f02038cdab75d: examples/weblog_similar_urls.rs
+
+examples/weblog_similar_urls.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/weblog_similar_urls-f836a6aa0f77a024.d: examples/weblog_similar_urls.rs Cargo.toml
+
+/root/repo/target/debug/examples/libweblog_similar_urls-f836a6aa0f77a024.rmeta: examples/weblog_similar_urls.rs Cargo.toml
+
+examples/weblog_similar_urls.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

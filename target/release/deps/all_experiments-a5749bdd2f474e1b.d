@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_experiments-a5749bdd2f474e1b.d: crates/experiments/src/bin/all_experiments.rs
+
+/root/repo/target/release/deps/all_experiments-a5749bdd2f474e1b: crates/experiments/src/bin/all_experiments.rs
+
+crates/experiments/src/bin/all_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/apriori_agreement-7cef0cf1e80d87ad.d: tests/apriori_agreement.rs
+
+/root/repo/target/release/deps/apriori_agreement-7cef0cf1e80d87ad: tests/apriori_agreement.rs
+
+tests/apriori_agreement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/apriori_agreement-806a83860bf0bcb8.d: tests/apriori_agreement.rs
+
+/root/repo/target/release/deps/apriori_agreement-806a83860bf0bcb8: tests/apriori_agreement.rs
+
+tests/apriori_agreement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/basket_benchmark-fc355e829625074b.d: crates/experiments/src/bin/basket_benchmark.rs
+
+/root/repo/target/release/deps/basket_benchmark-fc355e829625074b: crates/experiments/src/bin/basket_benchmark.rs
+
+crates/experiments/src/bin/basket_benchmark.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench_baseline-9dc0a05db8f40843.d: crates/experiments/src/bin/bench_baseline.rs
+
+/root/repo/target/release/deps/bench_baseline-9dc0a05db8f40843: crates/experiments/src/bin/bench_baseline.rs
+
+crates/experiments/src/bin/bench_baseline.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/experiments

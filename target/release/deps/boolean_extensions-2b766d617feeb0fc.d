@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/boolean_extensions-2b766d617feeb0fc.d: crates/experiments/src/bin/boolean_extensions.rs
+
+/root/repo/target/release/deps/boolean_extensions-2b766d617feeb0fc: crates/experiments/src/bin/boolean_extensions.rs
+
+crates/experiments/src/bin/boolean_extensions.rs:

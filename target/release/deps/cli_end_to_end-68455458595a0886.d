@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cli_end_to_end-68455458595a0886.d: tests/cli_end_to_end.rs
+
+/root/repo/target/release/deps/cli_end_to_end-68455458595a0886: tests/cli_end_to_end.rs
+
+tests/cli_end_to_end.rs:
+
+# env-dep:CARGO_BIN_EXE_sfa=/root/repo/target/release/sfa

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cli_end_to_end-f5ac2527b84ec8c0.d: tests/cli_end_to_end.rs
+
+/root/repo/target/release/deps/cli_end_to_end-f5ac2527b84ec8c0: tests/cli_end_to_end.rs
+
+tests/cli_end_to_end.rs:
+
+# env-dep:CARGO_BIN_EXE_sfa=/root/repo/target/release/sfa

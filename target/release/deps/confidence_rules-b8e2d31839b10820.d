@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/confidence_rules-b8e2d31839b10820.d: crates/experiments/src/bin/confidence_rules.rs
+
+/root/repo/target/release/deps/confidence_rules-b8e2d31839b10820: crates/experiments/src/bin/confidence_rules.rs
+
+crates/experiments/src/bin/confidence_rules.rs:

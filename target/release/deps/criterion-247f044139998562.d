@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-247f044139998562.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-247f044139998562: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

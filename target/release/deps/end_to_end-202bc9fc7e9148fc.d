@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-202bc9fc7e9148fc.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-202bc9fc7e9148fc: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-b21375bd4e94d287.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-b21375bd4e94d287: tests/end_to_end.rs
+
+tests/end_to_end.rs:

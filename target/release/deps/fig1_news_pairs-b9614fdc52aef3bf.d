@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_news_pairs-b9614fdc52aef3bf.d: crates/experiments/src/bin/fig1_news_pairs.rs
+
+/root/repo/target/release/deps/fig1_news_pairs-b9614fdc52aef3bf: crates/experiments/src/bin/fig1_news_pairs.rs
+
+crates/experiments/src/bin/fig1_news_pairs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_filter_functions-301e8bc1d2012fa1.d: crates/experiments/src/bin/fig2_filter_functions.rs
+
+/root/repo/target/release/deps/fig2_filter_functions-301e8bc1d2012fa1: crates/experiments/src/bin/fig2_filter_functions.rs
+
+crates/experiments/src/bin/fig2_filter_functions.rs:

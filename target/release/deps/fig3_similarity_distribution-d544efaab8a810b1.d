@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_similarity_distribution-d544efaab8a810b1.d: crates/experiments/src/bin/fig3_similarity_distribution.rs
+
+/root/repo/target/release/deps/fig3_similarity_distribution-d544efaab8a810b1: crates/experiments/src/bin/fig3_similarity_distribution.rs
+
+crates/experiments/src/bin/fig3_similarity_distribution.rs:

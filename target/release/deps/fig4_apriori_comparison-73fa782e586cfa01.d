@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_apriori_comparison-73fa782e586cfa01.d: crates/experiments/src/bin/fig4_apriori_comparison.rs
+
+/root/repo/target/release/deps/fig4_apriori_comparison-73fa782e586cfa01: crates/experiments/src/bin/fig4_apriori_comparison.rs
+
+crates/experiments/src/bin/fig4_apriori_comparison.rs:

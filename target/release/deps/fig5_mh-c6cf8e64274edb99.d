@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_mh-c6cf8e64274edb99.d: crates/experiments/src/bin/fig5_mh.rs
+
+/root/repo/target/release/deps/fig5_mh-c6cf8e64274edb99: crates/experiments/src/bin/fig5_mh.rs
+
+crates/experiments/src/bin/fig5_mh.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_kmh-8145dfcbb1b06db9.d: crates/experiments/src/bin/fig6_kmh.rs
+
+/root/repo/target/release/deps/fig6_kmh-8145dfcbb1b06db9: crates/experiments/src/bin/fig6_kmh.rs
+
+crates/experiments/src/bin/fig6_kmh.rs:

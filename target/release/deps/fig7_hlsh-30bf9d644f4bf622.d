@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_hlsh-30bf9d644f4bf622.d: crates/experiments/src/bin/fig7_hlsh.rs
+
+/root/repo/target/release/deps/fig7_hlsh-30bf9d644f4bf622: crates/experiments/src/bin/fig7_hlsh.rs
+
+crates/experiments/src/bin/fig7_hlsh.rs:

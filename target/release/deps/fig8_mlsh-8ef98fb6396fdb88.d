@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_mlsh-8ef98fb6396fdb88.d: crates/experiments/src/bin/fig8_mlsh.rs
+
+/root/repo/target/release/deps/fig8_mlsh-8ef98fb6396fdb88: crates/experiments/src/bin/fig8_mlsh.rs
+
+crates/experiments/src/bin/fig8_mlsh.rs:

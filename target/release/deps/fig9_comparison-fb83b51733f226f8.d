@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_comparison-fb83b51733f226f8.d: crates/experiments/src/bin/fig9_comparison.rs
+
+/root/repo/target/release/deps/fig9_comparison-fb83b51733f226f8: crates/experiments/src/bin/fig9_comparison.rs
+
+crates/experiments/src/bin/fig9_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/filter_validation-157755d0f334544b.d: crates/lsh/tests/filter_validation.rs
+
+/root/repo/target/release/deps/filter_validation-157755d0f334544b: crates/lsh/tests/filter_validation.rs
+
+crates/lsh/tests/filter_validation.rs:

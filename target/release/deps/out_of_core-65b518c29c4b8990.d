@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/out_of_core-65b518c29c4b8990.d: tests/out_of_core.rs
+
+/root/repo/target/release/deps/out_of_core-65b518c29c4b8990: tests/out_of_core.rs
+
+tests/out_of_core.rs:

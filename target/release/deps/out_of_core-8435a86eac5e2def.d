@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/out_of_core-8435a86eac5e2def.d: tests/out_of_core.rs
+
+/root/repo/target/release/deps/out_of_core-8435a86eac5e2def: tests/out_of_core.rs
+
+tests/out_of_core.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_fidelity-7e96a72c3cea36c5.d: tests/paper_fidelity.rs
+
+/root/repo/target/release/deps/paper_fidelity-7e96a72c3cea36c5: tests/paper_fidelity.rs
+
+tests/paper_fidelity.rs:

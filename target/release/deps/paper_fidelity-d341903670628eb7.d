@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_fidelity-d341903670628eb7.d: tests/paper_fidelity.rs
+
+/root/repo/target/release/deps/paper_fidelity-d341903670628eb7: tests/paper_fidelity.rs
+
+tests/paper_fidelity.rs:

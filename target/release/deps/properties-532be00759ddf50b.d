@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-532be00759ddf50b.d: crates/hash/tests/properties.rs
+
+/root/repo/target/release/deps/properties-532be00759ddf50b: crates/hash/tests/properties.rs
+
+crates/hash/tests/properties.rs:

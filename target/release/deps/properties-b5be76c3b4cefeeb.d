@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-b5be76c3b4cefeeb.d: crates/apriori/tests/properties.rs
+
+/root/repo/target/release/deps/properties-b5be76c3b4cefeeb: crates/apriori/tests/properties.rs
+
+crates/apriori/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-c17c8eee55fa0fd0.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-c17c8eee55fa0fd0: tests/properties.rs
+
+tests/properties.rs:

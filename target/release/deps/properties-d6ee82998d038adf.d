@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-d6ee82998d038adf.d: crates/lsh/tests/properties.rs
+
+/root/repo/target/release/deps/properties-d6ee82998d038adf: crates/lsh/tests/properties.rs
+
+crates/lsh/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-f46daa2ba87169b8.d: crates/minhash/tests/properties.rs
+
+/root/repo/target/release/deps/properties-f46daa2ba87169b8: crates/minhash/tests/properties.rs
+
+crates/minhash/tests/properties.rs:

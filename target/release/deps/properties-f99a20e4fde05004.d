@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-f99a20e4fde05004.d: crates/matrix/tests/properties.rs
+
+/root/repo/target/release/deps/properties-f99a20e4fde05004: crates/matrix/tests/properties.rs
+
+crates/matrix/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-ff6c55031e12e2ae.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-ff6c55031e12e2ae: tests/properties.rs
+
+tests/properties.rs:

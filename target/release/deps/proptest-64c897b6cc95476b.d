@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/proptest-64c897b6cc95476b.d: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs
+
+/root/repo/target/release/deps/proptest-64c897b6cc95476b: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/strategy.rs:

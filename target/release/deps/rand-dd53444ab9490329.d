@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-dd53444ab9490329.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-dd53444ab9490329: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

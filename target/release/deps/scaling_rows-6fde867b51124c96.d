@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling_rows-6fde867b51124c96.d: crates/experiments/src/bin/scaling_rows.rs
+
+/root/repo/target/release/deps/scaling_rows-6fde867b51124c96: crates/experiments/src/bin/scaling_rows.rs
+
+crates/experiments/src/bin/scaling_rows.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/sfa-000648cdc5a0f7aa.d: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libsfa-000648cdc5a0f7aa.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libsfa-000648cdc5a0f7aa.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

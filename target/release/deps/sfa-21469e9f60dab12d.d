@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sfa-21469e9f60dab12d.d: src/bin/sfa.rs
+
+/root/repo/target/release/deps/sfa-21469e9f60dab12d: src/bin/sfa.rs
+
+src/bin/sfa.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sfa-3f2f7e44c3c0df8f.d: src/bin/sfa.rs
+
+/root/repo/target/release/deps/sfa-3f2f7e44c3c0df8f: src/bin/sfa.rs
+
+src/bin/sfa.rs:

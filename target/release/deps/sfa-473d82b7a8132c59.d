@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sfa-473d82b7a8132c59.d: src/bin/sfa.rs
+
+/root/repo/target/release/deps/sfa-473d82b7a8132c59: src/bin/sfa.rs
+
+src/bin/sfa.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/sfa-67384b1b329bfef1.d: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/sfa-67384b1b329bfef1: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/sfa-84e9391e05eb5953.d: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libsfa-84e9391e05eb5953.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libsfa-84e9391e05eb5953.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

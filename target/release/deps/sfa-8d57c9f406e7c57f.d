@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sfa-8d57c9f406e7c57f.d: src/bin/sfa.rs
+
+/root/repo/target/release/deps/sfa-8d57c9f406e7c57f: src/bin/sfa.rs
+
+src/bin/sfa.rs:

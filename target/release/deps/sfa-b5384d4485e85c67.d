@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/sfa-b5384d4485e85c67.d: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/sfa-b5384d4485e85c67: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/sfa_apriori-10fa1d02d5122e7a.d: crates/apriori/src/lib.rs crates/apriori/src/apriori.rs crates/apriori/src/pairs.rs crates/apriori/src/rules.rs
+
+/root/repo/target/release/deps/sfa_apriori-10fa1d02d5122e7a: crates/apriori/src/lib.rs crates/apriori/src/apriori.rs crates/apriori/src/pairs.rs crates/apriori/src/rules.rs
+
+crates/apriori/src/lib.rs:
+crates/apriori/src/apriori.rs:
+crates/apriori/src/pairs.rs:
+crates/apriori/src/rules.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sfa_apriori-6ffa244ffe9def1d.d: crates/apriori/src/lib.rs crates/apriori/src/apriori.rs crates/apriori/src/pairs.rs crates/apriori/src/rules.rs
+
+/root/repo/target/release/deps/libsfa_apriori-6ffa244ffe9def1d.rlib: crates/apriori/src/lib.rs crates/apriori/src/apriori.rs crates/apriori/src/pairs.rs crates/apriori/src/rules.rs
+
+/root/repo/target/release/deps/libsfa_apriori-6ffa244ffe9def1d.rmeta: crates/apriori/src/lib.rs crates/apriori/src/apriori.rs crates/apriori/src/pairs.rs crates/apriori/src/rules.rs
+
+crates/apriori/src/lib.rs:
+crates/apriori/src/apriori.rs:
+crates/apriori/src/pairs.rs:
+crates/apriori/src/rules.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sfa_bench-69c3a42f6338d284.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/sfa_bench-69c3a42f6338d284: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

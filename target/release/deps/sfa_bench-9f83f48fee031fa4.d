@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sfa_bench-9f83f48fee031fa4.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsfa_bench-9f83f48fee031fa4.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsfa_bench-9f83f48fee031fa4.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

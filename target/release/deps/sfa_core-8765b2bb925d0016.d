@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/sfa_core-8765b2bb925d0016.d: crates/core/src/lib.rs crates/core/src/boolean.rs crates/core/src/cluster.rs crates/core/src/confidence.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/pipeline.rs crates/core/src/quality.rs crates/core/src/report.rs crates/core/src/streaming.rs crates/core/src/verify.rs
+
+/root/repo/target/release/deps/libsfa_core-8765b2bb925d0016.rlib: crates/core/src/lib.rs crates/core/src/boolean.rs crates/core/src/cluster.rs crates/core/src/confidence.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/pipeline.rs crates/core/src/quality.rs crates/core/src/report.rs crates/core/src/streaming.rs crates/core/src/verify.rs
+
+/root/repo/target/release/deps/libsfa_core-8765b2bb925d0016.rmeta: crates/core/src/lib.rs crates/core/src/boolean.rs crates/core/src/cluster.rs crates/core/src/confidence.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/pipeline.rs crates/core/src/quality.rs crates/core/src/report.rs crates/core/src/streaming.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/boolean.rs:
+crates/core/src/cluster.rs:
+crates/core/src/confidence.rs:
+crates/core/src/config.rs:
+crates/core/src/metrics.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/quality.rs:
+crates/core/src/report.rs:
+crates/core/src/streaming.rs:
+crates/core/src/verify.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/sfa_datagen-8149bb49fc3d7b46.d: crates/datagen/src/lib.rs crates/datagen/src/basket.rs crates/datagen/src/cf.rs crates/datagen/src/news.rs crates/datagen/src/planted.rs crates/datagen/src/synthetic.rs crates/datagen/src/weblog.rs crates/datagen/src/zipf.rs
+
+/root/repo/target/release/deps/sfa_datagen-8149bb49fc3d7b46: crates/datagen/src/lib.rs crates/datagen/src/basket.rs crates/datagen/src/cf.rs crates/datagen/src/news.rs crates/datagen/src/planted.rs crates/datagen/src/synthetic.rs crates/datagen/src/weblog.rs crates/datagen/src/zipf.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/basket.rs:
+crates/datagen/src/cf.rs:
+crates/datagen/src/news.rs:
+crates/datagen/src/planted.rs:
+crates/datagen/src/synthetic.rs:
+crates/datagen/src/weblog.rs:
+crates/datagen/src/zipf.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/sfa_datagen-fbdcbf57c64dba24.d: crates/datagen/src/lib.rs crates/datagen/src/basket.rs crates/datagen/src/cf.rs crates/datagen/src/news.rs crates/datagen/src/planted.rs crates/datagen/src/synthetic.rs crates/datagen/src/weblog.rs crates/datagen/src/zipf.rs
+
+/root/repo/target/release/deps/libsfa_datagen-fbdcbf57c64dba24.rlib: crates/datagen/src/lib.rs crates/datagen/src/basket.rs crates/datagen/src/cf.rs crates/datagen/src/news.rs crates/datagen/src/planted.rs crates/datagen/src/synthetic.rs crates/datagen/src/weblog.rs crates/datagen/src/zipf.rs
+
+/root/repo/target/release/deps/libsfa_datagen-fbdcbf57c64dba24.rmeta: crates/datagen/src/lib.rs crates/datagen/src/basket.rs crates/datagen/src/cf.rs crates/datagen/src/news.rs crates/datagen/src/planted.rs crates/datagen/src/synthetic.rs crates/datagen/src/weblog.rs crates/datagen/src/zipf.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/basket.rs:
+crates/datagen/src/cf.rs:
+crates/datagen/src/news.rs:
+crates/datagen/src/planted.rs:
+crates/datagen/src/synthetic.rs:
+crates/datagen/src/weblog.rs:
+crates/datagen/src/zipf.rs:

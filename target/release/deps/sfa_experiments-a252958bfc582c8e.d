@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sfa_experiments-a252958bfc582c8e.d: crates/experiments/src/lib.rs
+
+/root/repo/target/release/deps/sfa_experiments-a252958bfc582c8e: crates/experiments/src/lib.rs
+
+crates/experiments/src/lib.rs:

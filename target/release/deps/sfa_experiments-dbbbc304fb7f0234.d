@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sfa_experiments-dbbbc304fb7f0234.d: crates/experiments/src/lib.rs
+
+/root/repo/target/release/deps/libsfa_experiments-dbbbc304fb7f0234.rlib: crates/experiments/src/lib.rs
+
+/root/repo/target/release/deps/libsfa_experiments-dbbbc304fb7f0234.rmeta: crates/experiments/src/lib.rs
+
+crates/experiments/src/lib.rs:

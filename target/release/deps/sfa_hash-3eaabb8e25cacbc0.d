@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sfa_hash-3eaabb8e25cacbc0.d: crates/hash/src/lib.rs crates/hash/src/bucket.rs crates/hash/src/family.rs crates/hash/src/mix.rs crates/hash/src/rng.rs crates/hash/src/tabulation.rs crates/hash/src/topk.rs
+
+/root/repo/target/release/deps/sfa_hash-3eaabb8e25cacbc0: crates/hash/src/lib.rs crates/hash/src/bucket.rs crates/hash/src/family.rs crates/hash/src/mix.rs crates/hash/src/rng.rs crates/hash/src/tabulation.rs crates/hash/src/topk.rs
+
+crates/hash/src/lib.rs:
+crates/hash/src/bucket.rs:
+crates/hash/src/family.rs:
+crates/hash/src/mix.rs:
+crates/hash/src/rng.rs:
+crates/hash/src/tabulation.rs:
+crates/hash/src/topk.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sfa_hash-d73290eb0a10e741.d: crates/hash/src/lib.rs crates/hash/src/bucket.rs crates/hash/src/family.rs crates/hash/src/mix.rs crates/hash/src/rng.rs crates/hash/src/tabulation.rs crates/hash/src/topk.rs
+
+/root/repo/target/release/deps/libsfa_hash-d73290eb0a10e741.rlib: crates/hash/src/lib.rs crates/hash/src/bucket.rs crates/hash/src/family.rs crates/hash/src/mix.rs crates/hash/src/rng.rs crates/hash/src/tabulation.rs crates/hash/src/topk.rs
+
+/root/repo/target/release/deps/libsfa_hash-d73290eb0a10e741.rmeta: crates/hash/src/lib.rs crates/hash/src/bucket.rs crates/hash/src/family.rs crates/hash/src/mix.rs crates/hash/src/rng.rs crates/hash/src/tabulation.rs crates/hash/src/topk.rs
+
+crates/hash/src/lib.rs:
+crates/hash/src/bucket.rs:
+crates/hash/src/family.rs:
+crates/hash/src/mix.rs:
+crates/hash/src/rng.rs:
+crates/hash/src/tabulation.rs:
+crates/hash/src/topk.rs:

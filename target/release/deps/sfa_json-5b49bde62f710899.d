@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sfa_json-5b49bde62f710899.d: crates/json/src/lib.rs crates/json/src/parse.rs crates/json/src/ser.rs
+
+/root/repo/target/release/deps/sfa_json-5b49bde62f710899: crates/json/src/lib.rs crates/json/src/parse.rs crates/json/src/ser.rs
+
+crates/json/src/lib.rs:
+crates/json/src/parse.rs:
+crates/json/src/ser.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sfa_json-b5ff9c143f6efa9c.d: crates/json/src/lib.rs crates/json/src/parse.rs crates/json/src/ser.rs
+
+/root/repo/target/release/deps/libsfa_json-b5ff9c143f6efa9c.rlib: crates/json/src/lib.rs crates/json/src/parse.rs crates/json/src/ser.rs
+
+/root/repo/target/release/deps/libsfa_json-b5ff9c143f6efa9c.rmeta: crates/json/src/lib.rs crates/json/src/parse.rs crates/json/src/ser.rs
+
+crates/json/src/lib.rs:
+crates/json/src/parse.rs:
+crates/json/src/ser.rs:

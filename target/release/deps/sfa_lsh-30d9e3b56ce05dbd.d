@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/sfa_lsh-30d9e3b56ce05dbd.d: crates/lsh/src/lib.rs crates/lsh/src/filter.rs crates/lsh/src/hamming.rs crates/lsh/src/hlsh.rs crates/lsh/src/mlsh.rs crates/lsh/src/online.rs crates/lsh/src/optimize.rs
+
+/root/repo/target/release/deps/libsfa_lsh-30d9e3b56ce05dbd.rlib: crates/lsh/src/lib.rs crates/lsh/src/filter.rs crates/lsh/src/hamming.rs crates/lsh/src/hlsh.rs crates/lsh/src/mlsh.rs crates/lsh/src/online.rs crates/lsh/src/optimize.rs
+
+/root/repo/target/release/deps/libsfa_lsh-30d9e3b56ce05dbd.rmeta: crates/lsh/src/lib.rs crates/lsh/src/filter.rs crates/lsh/src/hamming.rs crates/lsh/src/hlsh.rs crates/lsh/src/mlsh.rs crates/lsh/src/online.rs crates/lsh/src/optimize.rs
+
+crates/lsh/src/lib.rs:
+crates/lsh/src/filter.rs:
+crates/lsh/src/hamming.rs:
+crates/lsh/src/hlsh.rs:
+crates/lsh/src/mlsh.rs:
+crates/lsh/src/online.rs:
+crates/lsh/src/optimize.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/sfa_lsh-4e5c501886697105.d: crates/lsh/src/lib.rs crates/lsh/src/filter.rs crates/lsh/src/hamming.rs crates/lsh/src/hlsh.rs crates/lsh/src/mlsh.rs crates/lsh/src/online.rs crates/lsh/src/optimize.rs
+
+/root/repo/target/release/deps/sfa_lsh-4e5c501886697105: crates/lsh/src/lib.rs crates/lsh/src/filter.rs crates/lsh/src/hamming.rs crates/lsh/src/hlsh.rs crates/lsh/src/mlsh.rs crates/lsh/src/online.rs crates/lsh/src/optimize.rs
+
+crates/lsh/src/lib.rs:
+crates/lsh/src/filter.rs:
+crates/lsh/src/hamming.rs:
+crates/lsh/src/hlsh.rs:
+crates/lsh/src/mlsh.rs:
+crates/lsh/src/online.rs:
+crates/lsh/src/optimize.rs:

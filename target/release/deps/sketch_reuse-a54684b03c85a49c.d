@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sketch_reuse-a54684b03c85a49c.d: tests/sketch_reuse.rs
+
+/root/repo/target/release/deps/sketch_reuse-a54684b03c85a49c: tests/sketch_reuse.rs
+
+tests/sketch_reuse.rs:

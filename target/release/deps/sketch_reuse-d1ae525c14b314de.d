@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sketch_reuse-d1ae525c14b314de.d: tests/sketch_reuse.rs
+
+/root/repo/target/release/deps/sketch_reuse-d1ae525c14b314de: tests/sketch_reuse.rs
+
+tests/sketch_reuse.rs:

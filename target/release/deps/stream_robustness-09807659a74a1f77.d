@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stream_robustness-09807659a74a1f77.d: crates/matrix/tests/stream_robustness.rs
+
+/root/repo/target/release/deps/stream_robustness-09807659a74a1f77: crates/matrix/tests/stream_robustness.rs
+
+crates/matrix/tests/stream_robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/synthetic_sweep-18621dabdbbf14af.d: crates/experiments/src/bin/synthetic_sweep.rs
+
+/root/repo/target/release/deps/synthetic_sweep-18621dabdbbf14af: crates/experiments/src/bin/synthetic_sweep.rs
+
+crates/experiments/src/bin/synthetic_sweep.rs:

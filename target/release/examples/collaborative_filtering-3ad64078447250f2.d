@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/collaborative_filtering-3ad64078447250f2.d: examples/collaborative_filtering.rs
+
+/root/repo/target/release/examples/collaborative_filtering-3ad64078447250f2: examples/collaborative_filtering.rs
+
+examples/collaborative_filtering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/collaborative_filtering-bb4a85ccfc721625.d: examples/collaborative_filtering.rs
+
+/root/repo/target/release/examples/collaborative_filtering-bb4a85ccfc721625: examples/collaborative_filtering.rs
+
+examples/collaborative_filtering.rs:

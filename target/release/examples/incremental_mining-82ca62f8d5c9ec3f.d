@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/incremental_mining-82ca62f8d5c9ec3f.d: examples/incremental_mining.rs
+
+/root/repo/target/release/examples/incremental_mining-82ca62f8d5c9ec3f: examples/incremental_mining.rs
+
+examples/incremental_mining.rs:

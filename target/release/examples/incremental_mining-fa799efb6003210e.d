@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/incremental_mining-fa799efb6003210e.d: examples/incremental_mining.rs
+
+/root/repo/target/release/examples/incremental_mining-fa799efb6003210e: examples/incremental_mining.rs
+
+examples/incremental_mining.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/market_baskets-60c17e2cc42efd77.d: examples/market_baskets.rs
+
+/root/repo/target/release/examples/market_baskets-60c17e2cc42efd77: examples/market_baskets.rs
+
+examples/market_baskets.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/market_baskets-dcb1bae084465f50.d: examples/market_baskets.rs
+
+/root/repo/target/release/examples/market_baskets-dcb1bae084465f50: examples/market_baskets.rs
+
+examples/market_baskets.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/news_collocations-09c5462bed2a4ca2.d: examples/news_collocations.rs
+
+/root/repo/target/release/examples/news_collocations-09c5462bed2a4ca2: examples/news_collocations.rs
+
+examples/news_collocations.rs:

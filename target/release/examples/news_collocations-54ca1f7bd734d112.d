@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/news_collocations-54ca1f7bd734d112.d: examples/news_collocations.rs
+
+/root/repo/target/release/examples/news_collocations-54ca1f7bd734d112: examples/news_collocations.rs
+
+examples/news_collocations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-bbae75d19924539a.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-bbae75d19924539a: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-c9670afdfc146021.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-c9670afdfc146021: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/streaming_out_of_core-3a50ca60cc66027a.d: examples/streaming_out_of_core.rs
+
+/root/repo/target/release/examples/streaming_out_of_core-3a50ca60cc66027a: examples/streaming_out_of_core.rs
+
+examples/streaming_out_of_core.rs:

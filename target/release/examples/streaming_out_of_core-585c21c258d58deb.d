@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/streaming_out_of_core-585c21c258d58deb.d: examples/streaming_out_of_core.rs
+
+/root/repo/target/release/examples/streaming_out_of_core-585c21c258d58deb: examples/streaming_out_of_core.rs
+
+examples/streaming_out_of_core.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/weblog_similar_urls-16164dc6c99d6209.d: examples/weblog_similar_urls.rs
+
+/root/repo/target/release/examples/weblog_similar_urls-16164dc6c99d6209: examples/weblog_similar_urls.rs
+
+examples/weblog_similar_urls.rs:

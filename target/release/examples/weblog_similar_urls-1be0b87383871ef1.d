@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/weblog_similar_urls-1be0b87383871ef1.d: examples/weblog_similar_urls.rs
+
+/root/repo/target/release/examples/weblog_similar_urls-1be0b87383871ef1: examples/weblog_similar_urls.rs
+
+examples/weblog_similar_urls.rs:

@@ -26,17 +26,17 @@ fn mh_finds_everything_apriori_finds_and_more() {
     // MH on the *unpruned* data.
     let rows = data.matrix.transpose();
     let result = Pipeline::new(PipelineConfig::new(
-        Scheme::Mh { k: 250, delta: 0.25 },
+        Scheme::Mh {
+            k: 250,
+            delta: 0.25,
+        },
         s_star,
         11,
     ))
     .run(&mut MemoryRowStream::new(&rows))
     .unwrap();
-    let mh_found: std::collections::HashSet<(u32, u32)> = result
-        .similar_pairs()
-        .iter()
-        .map(|p| (p.i, p.j))
-        .collect();
+    let mh_found: std::collections::HashSet<(u32, u32)> =
+        result.similar_pairs().iter().map(|p| (p.i, p.j)).collect();
 
     // Superset: everything a priori sees, MH sees.
     for pair in &apriori_found {

@@ -50,8 +50,15 @@ fn full_workflow_gen_info_sketch_mine() {
 
     let sketch = tmp("workflow.sfkm");
     let (ok, stdout, _) = sfa(&[
-        "sketch", "--input", table_s, "--out", sketch.to_str().unwrap(),
-        "--scheme", "kmh", "--k", "24",
+        "sketch",
+        "--input",
+        table_s,
+        "--out",
+        sketch.to_str().unwrap(),
+        "--scheme",
+        "kmh",
+        "--k",
+        "24",
     ]);
     assert!(ok);
     assert!(stdout.contains("K-MH sketch"));
@@ -59,8 +66,21 @@ fn full_workflow_gen_info_sketch_mine() {
 
     let csv = tmp("workflow_pairs.csv");
     let (ok, stdout, _) = sfa(&[
-        "mine", "--input", table_s, "--scheme", "mlsh", "--threshold", "0.8",
-        "--r", "4", "--l", "12", "--k", "48", "--csv", csv.to_str().unwrap(),
+        "mine",
+        "--input",
+        table_s,
+        "--scheme",
+        "mlsh",
+        "--threshold",
+        "0.8",
+        "--r",
+        "4",
+        "--l",
+        "12",
+        "--k",
+        "48",
+        "--csv",
+        csv.to_str().unwrap(),
     ]);
     assert!(ok);
     assert!(stdout.contains("M-LSH:"));
@@ -80,7 +100,11 @@ fn full_workflow_gen_info_sketch_mine() {
 #[test]
 fn mine_missing_file_reports_error() {
     let (ok, _, stderr) = sfa(&[
-        "mine", "--input", "/nonexistent/table.sfab", "--scheme", "mh",
+        "mine",
+        "--input",
+        "/nonexistent/table.sfab",
+        "--scheme",
+        "mh",
     ]);
     assert!(!ok);
     assert!(stderr.contains("error"));
@@ -95,7 +119,13 @@ fn optimize_then_mine_with_suggested_parameters() {
     ]);
     assert!(ok);
     let (ok, stdout, stderr) = sfa(&[
-        "optimize", "--input", table_s, "--threshold", "0.7", "--sample", "0.5",
+        "optimize",
+        "--input",
+        table_s,
+        "--threshold",
+        "0.7",
+        "--sample",
+        "0.5",
     ]);
     assert!(ok, "optimize failed: {stderr}");
     // Parse the suggested r / l back out of the output line.
@@ -104,14 +134,32 @@ fn optimize_then_mine_with_suggested_parameters() {
         .find(|l| l.contains("r ="))
         .expect("suggestion line");
     let grab = |tag: &str| -> usize {
-        line.split(tag).nth(1).unwrap().trim_start()
-            .split([',', ' ', ')']).next().unwrap().parse().unwrap()
+        line.split(tag)
+            .nth(1)
+            .unwrap()
+            .trim_start()
+            .split([',', ' ', ')'])
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
     };
     let (r, l) = (grab("r ="), grab("l ="));
     assert!(r >= 1 && l >= 1);
     let (ok, stdout, _) = sfa(&[
-        "mine", "--input", table_s, "--scheme", "mlsh", "--threshold", "0.7",
-        "--r", &r.to_string(), "--l", &l.to_string(), "--k", &(r * l).to_string(),
+        "mine",
+        "--input",
+        table_s,
+        "--scheme",
+        "mlsh",
+        "--threshold",
+        "0.7",
+        "--r",
+        &r.to_string(),
+        "--l",
+        &l.to_string(),
+        "--k",
+        &(r * l).to_string(),
     ]);
     assert!(ok);
     assert!(stdout.contains("pairs at S >= 0.7"));

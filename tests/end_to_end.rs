@@ -86,7 +86,10 @@ fn planted_pairs_are_found_with_exact_similarity() {
     let data = SyntheticConfig::small(4_000, 3).generate();
     let rows = data.matrix.transpose();
     let result = Pipeline::new(PipelineConfig::new(
-        Scheme::Mh { k: 200, delta: 0.25 },
+        Scheme::Mh {
+            k: 200,
+            delta: 0.25,
+        },
         0.45,
         9,
     ))
@@ -115,13 +118,17 @@ fn higher_threshold_output_is_subset_of_lower() {
     let data = SyntheticConfig::small(3_000, 21).generate();
     let rows = data.matrix.transpose();
     let run = |s_star: f64| -> std::collections::HashSet<(u32, u32)> {
-        Pipeline::new(PipelineConfig::new(Scheme::Kmh { k: 80, delta: 0.2 }, s_star, 4))
-            .run(&mut MemoryRowStream::new(&rows))
-            .unwrap()
-            .similar_pairs()
-            .iter()
-            .map(|p| (p.i, p.j))
-            .collect()
+        Pipeline::new(PipelineConfig::new(
+            Scheme::Kmh { k: 80, delta: 0.2 },
+            s_star,
+            4,
+        ))
+        .run(&mut MemoryRowStream::new(&rows))
+        .unwrap()
+        .similar_pairs()
+        .iter()
+        .map(|p| (p.i, p.j))
+        .collect()
     };
     let at_low = run(0.45);
     let at_high = run(0.75);
@@ -139,7 +146,10 @@ fn seeds_change_internals_not_correctness() {
     let mut outputs = Vec::new();
     for seed in [1u64, 2, 3] {
         let result = Pipeline::new(PipelineConfig::new(
-            Scheme::Mh { k: 200, delta: 0.25 },
+            Scheme::Mh {
+                k: 200,
+                delta: 0.25,
+            },
             0.45,
             seed,
         ))

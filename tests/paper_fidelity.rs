@@ -59,13 +59,7 @@ fn theorem1_bound_shape() {
 /// exhaust the columns.
 #[test]
 fn section32_union_signature_and_theorem2() {
-    let rows = vec![
-        vec![0, 1],
-        vec![0],
-        vec![1],
-        vec![0, 1],
-        vec![0],
-    ];
+    let rows = vec![vec![0, 1], vec![0], vec![1], vec![0, 1], vec![0]];
     let m = RowMajorMatrix::from_rows(2, rows).unwrap();
     let sigs = compute_bottom_k(&mut MemoryRowStream::new(&m), 16, 3).unwrap();
     // Sketches hold the full columns (|C| ≤ 16): the estimator is exact.

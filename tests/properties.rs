@@ -19,11 +19,10 @@ fn row_set(bound: u32, max_len: usize) -> impl Strategy<Value = Vec<u32>> {
 
 /// Strategy: a small row-major matrix (rows of sorted column ids).
 fn small_matrix() -> impl Strategy<Value = RowMajorMatrix> {
-    (1u32..12, 2u32..10)
-        .prop_flat_map(|(n_rows, n_cols)| {
-            prop::collection::vec(row_set(n_cols, n_cols as usize), n_rows as usize)
-                .prop_map(move |rows| RowMajorMatrix::from_rows(n_cols, rows).unwrap())
-        })
+    (1u32..12, 2u32..10).prop_flat_map(|(n_rows, n_cols)| {
+        prop::collection::vec(row_set(n_cols, n_cols as usize), n_rows as usize)
+            .prop_map(move |rows| RowMajorMatrix::from_rows(n_cols, rows).unwrap())
+    })
 }
 
 proptest! {

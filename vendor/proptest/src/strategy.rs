@@ -1,0 +1,217 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] deterministically produces values from a
+//! [`TestRng`](crate::test_runner::TestRng). Unlike real proptest there
+//! is no value tree / shrinking — `generate` returns the final value.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating random values of one type.
+pub trait Strategy: Sized {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms every generated value with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    /// Builds a second strategy from every generated value and samples it
+    /// (dependent generation).
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F> {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// References to strategies are themselves strategies, so `proptest!`
+/// can both consume expressions and borrow named strategies.
+impl<S: Strategy> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields clones of one value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns for this type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The full-domain strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// A strategy over the entire domain of `T` (like `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-domain strategy for a primitive; the `any::<T>()` result type.
+pub struct AnyPrimitive<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty => |$rng:ident| $gen:expr),* $(,)?) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+
+            fn generate(&self, $rng: &mut TestRng) -> $t {
+                $gen
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive { _marker: core::marker::PhantomData }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary! {
+    u8 => |rng| (rng.next_u64() >> 56) as u8,
+    u16 => |rng| (rng.next_u64() >> 48) as u16,
+    u32 => |rng| (rng.next_u64() >> 32) as u32,
+    u64 => |rng| rng.next_u64(),
+    usize => |rng| rng.next_u64() as usize,
+    bool => |rng| rng.next_u64() >> 63 == 1,
+    f64 => |rng| rng.unit_f64(),
+}
+
+macro_rules! impl_int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategies!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for core::ops::RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty strategy range");
+        lo + rng.unit_f64() * (hi - lo)
+    }
+}
+
+macro_rules! impl_tuple_strategies {
+    ($(($($s:ident . $idx:tt),+)),* $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategies! {
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+}
+
+// Signed int ranges go through i64 arithmetic to avoid overflow on the
+// span computation above; re-check with a targeted test.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn signed_ranges_are_in_bounds() {
+        let mut rng = TestRng::for_test("signed");
+        for _ in 0..1000 {
+            let x = (-5i64..7).generate(&mut rng);
+            assert!((-5..7).contains(&x));
+            let y = (-3i32..=3).generate(&mut rng);
+            assert!((-3..=3).contains(&y));
+        }
+    }
+
+    #[test]
+    fn just_yields_the_value() {
+        let mut rng = TestRng::for_test("just");
+        assert_eq!(Just(41u8).generate(&mut rng), 41);
+    }
+}
