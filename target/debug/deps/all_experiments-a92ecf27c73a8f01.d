@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-a92ecf27c73a8f01.d: crates/experiments/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/liball_experiments-a92ecf27c73a8f01.rmeta: crates/experiments/src/bin/all_experiments.rs
+
+crates/experiments/src/bin/all_experiments.rs:

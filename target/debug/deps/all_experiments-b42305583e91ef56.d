@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-b42305583e91ef56.d: crates/experiments/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/liball_experiments-b42305583e91ef56.rmeta: crates/experiments/src/bin/all_experiments.rs
+
+crates/experiments/src/bin/all_experiments.rs:

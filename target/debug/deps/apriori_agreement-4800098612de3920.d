@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/apriori_agreement-4800098612de3920.d: tests/apriori_agreement.rs
+
+/root/repo/target/debug/deps/libapriori_agreement-4800098612de3920.rmeta: tests/apriori_agreement.rs
+
+tests/apriori_agreement.rs:

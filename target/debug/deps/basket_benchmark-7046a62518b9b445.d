@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/basket_benchmark-7046a62518b9b445.d: crates/experiments/src/bin/basket_benchmark.rs
+
+/root/repo/target/debug/deps/libbasket_benchmark-7046a62518b9b445.rmeta: crates/experiments/src/bin/basket_benchmark.rs
+
+crates/experiments/src/bin/basket_benchmark.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/basket_benchmark-f9401ddcff0d0232.d: crates/experiments/src/bin/basket_benchmark.rs
+
+/root/repo/target/debug/deps/libbasket_benchmark-f9401ddcff0d0232.rmeta: crates/experiments/src/bin/basket_benchmark.rs
+
+crates/experiments/src/bin/basket_benchmark.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench_baseline-02c4dce559bd63b8.d: crates/experiments/src/bin/bench_baseline.rs
+
+/root/repo/target/debug/deps/libbench_baseline-02c4dce559bd63b8.rmeta: crates/experiments/src/bin/bench_baseline.rs
+
+crates/experiments/src/bin/bench_baseline.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/experiments

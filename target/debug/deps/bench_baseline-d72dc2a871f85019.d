@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench_baseline-d72dc2a871f85019.d: crates/experiments/src/bin/bench_baseline.rs
+
+/root/repo/target/debug/deps/libbench_baseline-d72dc2a871f85019.rmeta: crates/experiments/src/bin/bench_baseline.rs
+
+crates/experiments/src/bin/bench_baseline.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/experiments

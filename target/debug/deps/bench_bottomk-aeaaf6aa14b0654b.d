@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_bottomk-aeaaf6aa14b0654b.d: crates/bench/benches/bench_bottomk.rs
+
+/root/repo/target/debug/deps/libbench_bottomk-aeaaf6aa14b0654b.rmeta: crates/bench/benches/bench_bottomk.rs
+
+crates/bench/benches/bench_bottomk.rs:

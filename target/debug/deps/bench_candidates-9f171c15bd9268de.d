@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_candidates-9f171c15bd9268de.d: crates/bench/benches/bench_candidates.rs
+
+/root/repo/target/debug/deps/libbench_candidates-9f171c15bd9268de.rmeta: crates/bench/benches/bench_candidates.rs
+
+crates/bench/benches/bench_candidates.rs:

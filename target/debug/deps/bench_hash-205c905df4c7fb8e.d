@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_hash-205c905df4c7fb8e.d: crates/bench/benches/bench_hash.rs
+
+/root/repo/target/debug/deps/libbench_hash-205c905df4c7fb8e.rmeta: crates/bench/benches/bench_hash.rs
+
+crates/bench/benches/bench_hash.rs:

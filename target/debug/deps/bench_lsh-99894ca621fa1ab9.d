@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_lsh-99894ca621fa1ab9.d: crates/bench/benches/bench_lsh.rs
+
+/root/repo/target/debug/deps/libbench_lsh-99894ca621fa1ab9.rmeta: crates/bench/benches/bench_lsh.rs
+
+crates/bench/benches/bench_lsh.rs:

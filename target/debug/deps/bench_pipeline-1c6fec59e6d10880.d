@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_pipeline-1c6fec59e6d10880.d: crates/bench/benches/bench_pipeline.rs
+
+/root/repo/target/debug/deps/libbench_pipeline-1c6fec59e6d10880.rmeta: crates/bench/benches/bench_pipeline.rs
+
+crates/bench/benches/bench_pipeline.rs:

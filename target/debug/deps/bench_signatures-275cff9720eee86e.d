@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_signatures-275cff9720eee86e.d: crates/bench/benches/bench_signatures.rs
+
+/root/repo/target/debug/deps/libbench_signatures-275cff9720eee86e.rmeta: crates/bench/benches/bench_signatures.rs
+
+crates/bench/benches/bench_signatures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_verify-957ef54944db3534.d: crates/bench/benches/bench_verify.rs
+
+/root/repo/target/debug/deps/libbench_verify-957ef54944db3534.rmeta: crates/bench/benches/bench_verify.rs
+
+crates/bench/benches/bench_verify.rs:

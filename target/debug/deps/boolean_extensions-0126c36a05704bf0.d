@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/boolean_extensions-0126c36a05704bf0.d: crates/experiments/src/bin/boolean_extensions.rs
+
+/root/repo/target/debug/deps/libboolean_extensions-0126c36a05704bf0.rmeta: crates/experiments/src/bin/boolean_extensions.rs
+
+crates/experiments/src/bin/boolean_extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/boolean_extensions-4a4b891bd19ad6f2.d: crates/experiments/src/bin/boolean_extensions.rs
+
+/root/repo/target/debug/deps/libboolean_extensions-4a4b891bd19ad6f2.rmeta: crates/experiments/src/bin/boolean_extensions.rs
+
+crates/experiments/src/bin/boolean_extensions.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli_end_to_end-95c69a2bda6b0c61.d: tests/cli_end_to_end.rs
+
+/root/repo/target/debug/deps/libcli_end_to_end-95c69a2bda6b0c61.rmeta: tests/cli_end_to_end.rs
+
+tests/cli_end_to_end.rs:
+
+# env-dep:CARGO_BIN_EXE_sfa=placeholder:sfa

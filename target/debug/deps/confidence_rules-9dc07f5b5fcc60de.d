@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/confidence_rules-9dc07f5b5fcc60de.d: crates/experiments/src/bin/confidence_rules.rs
+
+/root/repo/target/debug/deps/libconfidence_rules-9dc07f5b5fcc60de.rmeta: crates/experiments/src/bin/confidence_rules.rs
+
+crates/experiments/src/bin/confidence_rules.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/confidence_rules-a10475861624eb2c.d: crates/experiments/src/bin/confidence_rules.rs
+
+/root/repo/target/debug/deps/libconfidence_rules-a10475861624eb2c.rmeta: crates/experiments/src/bin/confidence_rules.rs
+
+crates/experiments/src/bin/confidence_rules.rs:

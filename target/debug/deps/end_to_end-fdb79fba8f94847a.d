@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-fdb79fba8f94847a.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-fdb79fba8f94847a.rmeta: tests/end_to_end.rs
+
+tests/end_to_end.rs:

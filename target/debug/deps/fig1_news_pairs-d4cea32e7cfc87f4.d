@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_news_pairs-d4cea32e7cfc87f4.d: crates/experiments/src/bin/fig1_news_pairs.rs
+
+/root/repo/target/debug/deps/libfig1_news_pairs-d4cea32e7cfc87f4.rmeta: crates/experiments/src/bin/fig1_news_pairs.rs
+
+crates/experiments/src/bin/fig1_news_pairs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_filter_functions-5da303f7d5e6fcd1.d: crates/experiments/src/bin/fig2_filter_functions.rs
+
+/root/repo/target/debug/deps/libfig2_filter_functions-5da303f7d5e6fcd1.rmeta: crates/experiments/src/bin/fig2_filter_functions.rs
+
+crates/experiments/src/bin/fig2_filter_functions.rs:

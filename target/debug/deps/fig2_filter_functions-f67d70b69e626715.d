@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_filter_functions-f67d70b69e626715.d: crates/experiments/src/bin/fig2_filter_functions.rs
+
+/root/repo/target/debug/deps/libfig2_filter_functions-f67d70b69e626715.rmeta: crates/experiments/src/bin/fig2_filter_functions.rs
+
+crates/experiments/src/bin/fig2_filter_functions.rs:

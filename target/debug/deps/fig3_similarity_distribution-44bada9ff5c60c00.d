@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_similarity_distribution-44bada9ff5c60c00.d: crates/experiments/src/bin/fig3_similarity_distribution.rs
+
+/root/repo/target/debug/deps/libfig3_similarity_distribution-44bada9ff5c60c00.rmeta: crates/experiments/src/bin/fig3_similarity_distribution.rs
+
+crates/experiments/src/bin/fig3_similarity_distribution.rs:

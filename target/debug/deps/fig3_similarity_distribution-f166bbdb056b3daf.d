@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_similarity_distribution-f166bbdb056b3daf.d: crates/experiments/src/bin/fig3_similarity_distribution.rs
+
+/root/repo/target/debug/deps/libfig3_similarity_distribution-f166bbdb056b3daf.rmeta: crates/experiments/src/bin/fig3_similarity_distribution.rs
+
+crates/experiments/src/bin/fig3_similarity_distribution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_apriori_comparison-09e22f2108430b0f.d: crates/experiments/src/bin/fig4_apriori_comparison.rs
+
+/root/repo/target/debug/deps/libfig4_apriori_comparison-09e22f2108430b0f.rmeta: crates/experiments/src/bin/fig4_apriori_comparison.rs
+
+crates/experiments/src/bin/fig4_apriori_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_apriori_comparison-c5ba0f59a0c3fc56.d: crates/experiments/src/bin/fig4_apriori_comparison.rs
+
+/root/repo/target/debug/deps/libfig4_apriori_comparison-c5ba0f59a0c3fc56.rmeta: crates/experiments/src/bin/fig4_apriori_comparison.rs
+
+crates/experiments/src/bin/fig4_apriori_comparison.rs:

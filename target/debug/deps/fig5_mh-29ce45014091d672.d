@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_mh-29ce45014091d672.d: crates/experiments/src/bin/fig5_mh.rs
+
+/root/repo/target/debug/deps/libfig5_mh-29ce45014091d672.rmeta: crates/experiments/src/bin/fig5_mh.rs
+
+crates/experiments/src/bin/fig5_mh.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_mh-4242ee43ca620adf.d: crates/experiments/src/bin/fig5_mh.rs
+
+/root/repo/target/debug/deps/libfig5_mh-4242ee43ca620adf.rmeta: crates/experiments/src/bin/fig5_mh.rs
+
+crates/experiments/src/bin/fig5_mh.rs:

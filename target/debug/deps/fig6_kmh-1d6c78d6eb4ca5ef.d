@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_kmh-1d6c78d6eb4ca5ef.d: crates/experiments/src/bin/fig6_kmh.rs
+
+/root/repo/target/debug/deps/libfig6_kmh-1d6c78d6eb4ca5ef.rmeta: crates/experiments/src/bin/fig6_kmh.rs
+
+crates/experiments/src/bin/fig6_kmh.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_kmh-896a9f5083558d7e.d: crates/experiments/src/bin/fig6_kmh.rs
+
+/root/repo/target/debug/deps/libfig6_kmh-896a9f5083558d7e.rmeta: crates/experiments/src/bin/fig6_kmh.rs
+
+crates/experiments/src/bin/fig6_kmh.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_hlsh-67643df195a971d4.d: crates/experiments/src/bin/fig7_hlsh.rs
+
+/root/repo/target/debug/deps/libfig7_hlsh-67643df195a971d4.rmeta: crates/experiments/src/bin/fig7_hlsh.rs
+
+crates/experiments/src/bin/fig7_hlsh.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_hlsh-7e5a52527e11b8c4.d: crates/experiments/src/bin/fig7_hlsh.rs
+
+/root/repo/target/debug/deps/libfig7_hlsh-7e5a52527e11b8c4.rmeta: crates/experiments/src/bin/fig7_hlsh.rs
+
+crates/experiments/src/bin/fig7_hlsh.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_mlsh-79082c2b9702ce56.d: crates/experiments/src/bin/fig8_mlsh.rs
+
+/root/repo/target/debug/deps/libfig8_mlsh-79082c2b9702ce56.rmeta: crates/experiments/src/bin/fig8_mlsh.rs
+
+crates/experiments/src/bin/fig8_mlsh.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_mlsh-a93b61bb90f3b09d.d: crates/experiments/src/bin/fig8_mlsh.rs
+
+/root/repo/target/debug/deps/libfig8_mlsh-a93b61bb90f3b09d.rmeta: crates/experiments/src/bin/fig8_mlsh.rs
+
+crates/experiments/src/bin/fig8_mlsh.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_comparison-5a0b23634d44c41b.d: crates/experiments/src/bin/fig9_comparison.rs
+
+/root/repo/target/debug/deps/libfig9_comparison-5a0b23634d44c41b.rmeta: crates/experiments/src/bin/fig9_comparison.rs
+
+crates/experiments/src/bin/fig9_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_comparison-73caee4cfaf41e3c.d: crates/experiments/src/bin/fig9_comparison.rs
+
+/root/repo/target/debug/deps/libfig9_comparison-73caee4cfaf41e3c.rmeta: crates/experiments/src/bin/fig9_comparison.rs
+
+crates/experiments/src/bin/fig9_comparison.rs:

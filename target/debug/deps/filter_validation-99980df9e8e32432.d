@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/filter_validation-99980df9e8e32432.d: crates/lsh/tests/filter_validation.rs
+
+/root/repo/target/debug/deps/libfilter_validation-99980df9e8e32432.rmeta: crates/lsh/tests/filter_validation.rs
+
+crates/lsh/tests/filter_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/out_of_core-0dfd022dedad82fe.d: tests/out_of_core.rs
+
+/root/repo/target/debug/deps/libout_of_core-0dfd022dedad82fe.rmeta: tests/out_of_core.rs
+
+tests/out_of_core.rs:

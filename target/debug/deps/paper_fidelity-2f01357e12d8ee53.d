@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_fidelity-2f01357e12d8ee53.d: tests/paper_fidelity.rs
+
+/root/repo/target/debug/deps/libpaper_fidelity-2f01357e12d8ee53.rmeta: tests/paper_fidelity.rs
+
+tests/paper_fidelity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-0f92d47bd3cf8344.d: crates/matrix/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-0f92d47bd3cf8344.rmeta: crates/matrix/tests/properties.rs
+
+crates/matrix/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-20099bf86930b07a.d: crates/lsh/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-20099bf86930b07a.rmeta: crates/lsh/tests/properties.rs
+
+crates/lsh/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7027509faaf79071.d: crates/apriori/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-7027509faaf79071.rmeta: crates/apriori/tests/properties.rs
+
+crates/apriori/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-901cc03a84c8bc8c.d: tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-901cc03a84c8bc8c.rmeta: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-9210269d3e646100.d: crates/minhash/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-9210269d3e646100.rmeta: crates/minhash/tests/properties.rs
+
+crates/minhash/tests/properties.rs:

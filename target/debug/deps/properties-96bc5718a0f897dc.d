@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-96bc5718a0f897dc.d: crates/hash/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-96bc5718a0f897dc.rmeta: crates/hash/tests/properties.rs
+
+crates/hash/tests/properties.rs:

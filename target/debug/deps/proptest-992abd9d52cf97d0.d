@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/proptest-992abd9d52cf97d0.d: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/libproptest-992abd9d52cf97d0.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/strategy.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/strategy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling_rows-521e9fdeefc73f17.d: crates/experiments/src/bin/scaling_rows.rs
+
+/root/repo/target/debug/deps/libscaling_rows-521e9fdeefc73f17.rmeta: crates/experiments/src/bin/scaling_rows.rs
+
+crates/experiments/src/bin/scaling_rows.rs:

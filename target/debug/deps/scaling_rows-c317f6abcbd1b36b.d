@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling_rows-c317f6abcbd1b36b.d: crates/experiments/src/bin/scaling_rows.rs
+
+/root/repo/target/debug/deps/libscaling_rows-c317f6abcbd1b36b.rmeta: crates/experiments/src/bin/scaling_rows.rs
+
+crates/experiments/src/bin/scaling_rows.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sfa-2bdc283ff1eab120.d: src/bin/sfa.rs
+
+/root/repo/target/debug/deps/libsfa-2bdc283ff1eab120.rmeta: src/bin/sfa.rs
+
+src/bin/sfa.rs:

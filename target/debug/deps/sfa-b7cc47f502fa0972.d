@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/sfa-b7cc47f502fa0972.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libsfa-b7cc47f502fa0972.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

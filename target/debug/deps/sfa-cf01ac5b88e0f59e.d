@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/sfa-cf01ac5b88e0f59e.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libsfa-cf01ac5b88e0f59e.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

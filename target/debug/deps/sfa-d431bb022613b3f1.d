@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sfa-d431bb022613b3f1.d: src/bin/sfa.rs
+
+/root/repo/target/debug/deps/libsfa-d431bb022613b3f1.rmeta: src/bin/sfa.rs
+
+src/bin/sfa.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sfa_apriori-94877f136ac8465e.d: crates/apriori/src/lib.rs crates/apriori/src/apriori.rs crates/apriori/src/pairs.rs crates/apriori/src/rules.rs
+
+/root/repo/target/debug/deps/libsfa_apriori-94877f136ac8465e.rmeta: crates/apriori/src/lib.rs crates/apriori/src/apriori.rs crates/apriori/src/pairs.rs crates/apriori/src/rules.rs
+
+crates/apriori/src/lib.rs:
+crates/apriori/src/apriori.rs:
+crates/apriori/src/pairs.rs:
+crates/apriori/src/rules.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sfa_apriori-ddc4e0554d6a3ef4.d: crates/apriori/src/lib.rs crates/apriori/src/apriori.rs crates/apriori/src/pairs.rs crates/apriori/src/rules.rs
+
+/root/repo/target/debug/deps/libsfa_apriori-ddc4e0554d6a3ef4.rmeta: crates/apriori/src/lib.rs crates/apriori/src/apriori.rs crates/apriori/src/pairs.rs crates/apriori/src/rules.rs
+
+crates/apriori/src/lib.rs:
+crates/apriori/src/apriori.rs:
+crates/apriori/src/pairs.rs:
+crates/apriori/src/rules.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sfa_bench-390d875b1ba1f52d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsfa_bench-390d875b1ba1f52d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sfa_bench-b448fa5b986bb665.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsfa_bench-b448fa5b986bb665.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

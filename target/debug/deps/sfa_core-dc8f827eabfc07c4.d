@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sfa_core-dc8f827eabfc07c4.d: crates/core/src/lib.rs crates/core/src/boolean.rs crates/core/src/cluster.rs crates/core/src/confidence.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/pipeline.rs crates/core/src/quality.rs crates/core/src/report.rs crates/core/src/streaming.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/libsfa_core-dc8f827eabfc07c4.rmeta: crates/core/src/lib.rs crates/core/src/boolean.rs crates/core/src/cluster.rs crates/core/src/confidence.rs crates/core/src/config.rs crates/core/src/metrics.rs crates/core/src/pipeline.rs crates/core/src/quality.rs crates/core/src/report.rs crates/core/src/streaming.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/boolean.rs:
+crates/core/src/cluster.rs:
+crates/core/src/confidence.rs:
+crates/core/src/config.rs:
+crates/core/src/metrics.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/quality.rs:
+crates/core/src/report.rs:
+crates/core/src/streaming.rs:
+crates/core/src/verify.rs:

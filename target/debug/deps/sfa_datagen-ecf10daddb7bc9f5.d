@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sfa_datagen-ecf10daddb7bc9f5.d: crates/datagen/src/lib.rs crates/datagen/src/basket.rs crates/datagen/src/cf.rs crates/datagen/src/news.rs crates/datagen/src/planted.rs crates/datagen/src/synthetic.rs crates/datagen/src/weblog.rs crates/datagen/src/zipf.rs
+
+/root/repo/target/debug/deps/libsfa_datagen-ecf10daddb7bc9f5.rmeta: crates/datagen/src/lib.rs crates/datagen/src/basket.rs crates/datagen/src/cf.rs crates/datagen/src/news.rs crates/datagen/src/planted.rs crates/datagen/src/synthetic.rs crates/datagen/src/weblog.rs crates/datagen/src/zipf.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/basket.rs:
+crates/datagen/src/cf.rs:
+crates/datagen/src/news.rs:
+crates/datagen/src/planted.rs:
+crates/datagen/src/synthetic.rs:
+crates/datagen/src/weblog.rs:
+crates/datagen/src/zipf.rs:

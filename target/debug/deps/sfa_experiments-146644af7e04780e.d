@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sfa_experiments-146644af7e04780e.d: crates/experiments/src/lib.rs
+
+/root/repo/target/debug/deps/libsfa_experiments-146644af7e04780e.rmeta: crates/experiments/src/lib.rs
+
+crates/experiments/src/lib.rs:

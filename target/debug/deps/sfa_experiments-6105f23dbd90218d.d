@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sfa_experiments-6105f23dbd90218d.d: crates/experiments/src/lib.rs
+
+/root/repo/target/debug/deps/libsfa_experiments-6105f23dbd90218d.rmeta: crates/experiments/src/lib.rs
+
+crates/experiments/src/lib.rs:

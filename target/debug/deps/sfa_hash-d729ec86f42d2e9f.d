@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sfa_hash-d729ec86f42d2e9f.d: crates/hash/src/lib.rs crates/hash/src/bucket.rs crates/hash/src/family.rs crates/hash/src/mix.rs crates/hash/src/rng.rs crates/hash/src/tabulation.rs crates/hash/src/topk.rs
+
+/root/repo/target/debug/deps/libsfa_hash-d729ec86f42d2e9f.rmeta: crates/hash/src/lib.rs crates/hash/src/bucket.rs crates/hash/src/family.rs crates/hash/src/mix.rs crates/hash/src/rng.rs crates/hash/src/tabulation.rs crates/hash/src/topk.rs
+
+crates/hash/src/lib.rs:
+crates/hash/src/bucket.rs:
+crates/hash/src/family.rs:
+crates/hash/src/mix.rs:
+crates/hash/src/rng.rs:
+crates/hash/src/tabulation.rs:
+crates/hash/src/topk.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sfa_json-c1624571ce56ecc6.d: crates/json/src/lib.rs crates/json/src/parse.rs crates/json/src/ser.rs
+
+/root/repo/target/debug/deps/libsfa_json-c1624571ce56ecc6.rmeta: crates/json/src/lib.rs crates/json/src/parse.rs crates/json/src/ser.rs
+
+crates/json/src/lib.rs:
+crates/json/src/parse.rs:
+crates/json/src/ser.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sfa_json-dccddc4dd6fb3a92.d: crates/json/src/lib.rs crates/json/src/parse.rs crates/json/src/ser.rs
+
+/root/repo/target/debug/deps/libsfa_json-dccddc4dd6fb3a92.rmeta: crates/json/src/lib.rs crates/json/src/parse.rs crates/json/src/ser.rs
+
+crates/json/src/lib.rs:
+crates/json/src/parse.rs:
+crates/json/src/ser.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/sfa_lsh-c99f724c0d02a5e5.d: crates/lsh/src/lib.rs crates/lsh/src/filter.rs crates/lsh/src/hamming.rs crates/lsh/src/hlsh.rs crates/lsh/src/mlsh.rs crates/lsh/src/online.rs crates/lsh/src/optimize.rs
+
+/root/repo/target/debug/deps/libsfa_lsh-c99f724c0d02a5e5.rmeta: crates/lsh/src/lib.rs crates/lsh/src/filter.rs crates/lsh/src/hamming.rs crates/lsh/src/hlsh.rs crates/lsh/src/mlsh.rs crates/lsh/src/online.rs crates/lsh/src/optimize.rs
+
+crates/lsh/src/lib.rs:
+crates/lsh/src/filter.rs:
+crates/lsh/src/hamming.rs:
+crates/lsh/src/hlsh.rs:
+crates/lsh/src/mlsh.rs:
+crates/lsh/src/online.rs:
+crates/lsh/src/optimize.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/sfa_matrix-e4c1b258a2eb15b2.d: crates/matrix/src/lib.rs crates/matrix/src/builder.rs crates/matrix/src/column.rs crates/matrix/src/csc.rs crates/matrix/src/csr.rs crates/matrix/src/error.rs crates/matrix/src/io.rs crates/matrix/src/ops.rs crates/matrix/src/stats.rs crates/matrix/src/stream.rs crates/matrix/src/triangle.rs
+
+/root/repo/target/debug/deps/libsfa_matrix-e4c1b258a2eb15b2.rmeta: crates/matrix/src/lib.rs crates/matrix/src/builder.rs crates/matrix/src/column.rs crates/matrix/src/csc.rs crates/matrix/src/csr.rs crates/matrix/src/error.rs crates/matrix/src/io.rs crates/matrix/src/ops.rs crates/matrix/src/stats.rs crates/matrix/src/stream.rs crates/matrix/src/triangle.rs
+
+crates/matrix/src/lib.rs:
+crates/matrix/src/builder.rs:
+crates/matrix/src/column.rs:
+crates/matrix/src/csc.rs:
+crates/matrix/src/csr.rs:
+crates/matrix/src/error.rs:
+crates/matrix/src/io.rs:
+crates/matrix/src/ops.rs:
+crates/matrix/src/stats.rs:
+crates/matrix/src/stream.rs:
+crates/matrix/src/triangle.rs:

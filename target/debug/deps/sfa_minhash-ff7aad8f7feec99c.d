@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/sfa_minhash-ff7aad8f7feec99c.d: crates/minhash/src/lib.rs crates/minhash/src/builder.rs crates/minhash/src/candidates.rs crates/minhash/src/estimate.rs crates/minhash/src/explicit.rs crates/minhash/src/hashcount.rs crates/minhash/src/kmh.rs crates/minhash/src/mh.rs crates/minhash/src/persist.rs crates/minhash/src/rowsort.rs crates/minhash/src/signature.rs crates/minhash/src/theory.rs
+
+/root/repo/target/debug/deps/libsfa_minhash-ff7aad8f7feec99c.rmeta: crates/minhash/src/lib.rs crates/minhash/src/builder.rs crates/minhash/src/candidates.rs crates/minhash/src/estimate.rs crates/minhash/src/explicit.rs crates/minhash/src/hashcount.rs crates/minhash/src/kmh.rs crates/minhash/src/mh.rs crates/minhash/src/persist.rs crates/minhash/src/rowsort.rs crates/minhash/src/signature.rs crates/minhash/src/theory.rs
+
+crates/minhash/src/lib.rs:
+crates/minhash/src/builder.rs:
+crates/minhash/src/candidates.rs:
+crates/minhash/src/estimate.rs:
+crates/minhash/src/explicit.rs:
+crates/minhash/src/hashcount.rs:
+crates/minhash/src/kmh.rs:
+crates/minhash/src/mh.rs:
+crates/minhash/src/persist.rs:
+crates/minhash/src/rowsort.rs:
+crates/minhash/src/signature.rs:
+crates/minhash/src/theory.rs:

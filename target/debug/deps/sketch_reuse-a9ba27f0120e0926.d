@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sketch_reuse-a9ba27f0120e0926.d: tests/sketch_reuse.rs
+
+/root/repo/target/debug/deps/libsketch_reuse-a9ba27f0120e0926.rmeta: tests/sketch_reuse.rs
+
+tests/sketch_reuse.rs:

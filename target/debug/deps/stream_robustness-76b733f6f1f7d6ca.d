@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stream_robustness-76b733f6f1f7d6ca.d: crates/matrix/tests/stream_robustness.rs
+
+/root/repo/target/debug/deps/libstream_robustness-76b733f6f1f7d6ca.rmeta: crates/matrix/tests/stream_robustness.rs
+
+crates/matrix/tests/stream_robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/synthetic_sweep-122ea6fc606c7668.d: crates/experiments/src/bin/synthetic_sweep.rs
+
+/root/repo/target/debug/deps/libsynthetic_sweep-122ea6fc606c7668.rmeta: crates/experiments/src/bin/synthetic_sweep.rs
+
+crates/experiments/src/bin/synthetic_sweep.rs:

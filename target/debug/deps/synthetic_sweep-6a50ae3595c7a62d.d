@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/synthetic_sweep-6a50ae3595c7a62d.d: crates/experiments/src/bin/synthetic_sweep.rs
+
+/root/repo/target/debug/deps/libsynthetic_sweep-6a50ae3595c7a62d.rmeta: crates/experiments/src/bin/synthetic_sweep.rs
+
+crates/experiments/src/bin/synthetic_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/collaborative_filtering-1084ff711b762dc7.d: examples/collaborative_filtering.rs
+
+/root/repo/target/debug/examples/libcollaborative_filtering-1084ff711b762dc7.rmeta: examples/collaborative_filtering.rs
+
+examples/collaborative_filtering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/incremental_mining-e33cec5afa723433.d: examples/incremental_mining.rs
+
+/root/repo/target/debug/examples/libincremental_mining-e33cec5afa723433.rmeta: examples/incremental_mining.rs
+
+examples/incremental_mining.rs:

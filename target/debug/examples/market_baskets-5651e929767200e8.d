@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/market_baskets-5651e929767200e8.d: examples/market_baskets.rs
+
+/root/repo/target/debug/examples/libmarket_baskets-5651e929767200e8.rmeta: examples/market_baskets.rs
+
+examples/market_baskets.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/news_collocations-f0879f23bcc05775.d: examples/news_collocations.rs
+
+/root/repo/target/debug/examples/libnews_collocations-f0879f23bcc05775.rmeta: examples/news_collocations.rs
+
+examples/news_collocations.rs:

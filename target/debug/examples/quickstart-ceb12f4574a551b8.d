@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ceb12f4574a551b8.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-ceb12f4574a551b8.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

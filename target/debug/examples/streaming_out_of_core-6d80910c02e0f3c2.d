@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/streaming_out_of_core-6d80910c02e0f3c2.d: examples/streaming_out_of_core.rs
+
+/root/repo/target/debug/examples/libstreaming_out_of_core-6d80910c02e0f3c2.rmeta: examples/streaming_out_of_core.rs
+
+examples/streaming_out_of_core.rs:

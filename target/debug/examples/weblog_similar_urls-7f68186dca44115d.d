@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/weblog_similar_urls-7f68186dca44115d.d: examples/weblog_similar_urls.rs
+
+/root/repo/target/debug/examples/libweblog_similar_urls-7f68186dca44115d.rmeta: examples/weblog_similar_urls.rs
+
+examples/weblog_similar_urls.rs:
