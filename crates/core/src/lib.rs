@@ -14,6 +14,8 @@
 //!   contains **no false positives**; quality is entirely a matter of
 //!   false negatives, which is how the paper frames its §5 comparison.
 //! * [`verify`] — the phase-3 counting pass over a [`RowStream`].
+//! * [`checkpoint`] — crash-safe checkpoint files for both streaming
+//!   passes, behind [`Pipeline::run_resumable`](pipeline::Pipeline::run_resumable).
 //! * [`report`] — result and timing types.
 //! * [`metrics`] — structured per-phase counters and the schema-stable
 //!   JSON document behind `--metrics-json` and the bench baseline.
@@ -33,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod boolean;
+pub mod checkpoint;
 pub mod cluster;
 pub mod confidence;
 pub mod config;
@@ -43,9 +46,11 @@ pub mod report;
 pub mod streaming;
 pub mod verify;
 
+pub use checkpoint::CheckpointSpec;
 pub use config::{PipelineConfig, Scheme};
 pub use metrics::{
-    MetricsDocument, MiningMetrics, PassMetrics, StageCount, VerifyMetrics, METRICS_SCHEMA_VERSION,
+    MetricsDocument, MiningMetrics, PassMetrics, RecoveryMetrics, StageCount, VerifyMetrics,
+    METRICS_SCHEMA_VERSION,
 };
 pub use pipeline::Pipeline;
 pub use quality::{evaluate_quality, QualityReport, SCurveBin};

@@ -121,6 +121,46 @@ impl FromJson for VerifyMetrics {
     }
 }
 
+/// Fault-recovery counters: what the run had to absorb (retries,
+/// refetches) and how checkpointing participated (writes, resume point).
+///
+/// All-zero for an undisturbed, checkpoint-free run — the common case —
+/// so consumers can treat a missing `recovery` object (documents written
+/// before this field existed) as "nothing happened".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryMetrics {
+    /// Transient stream errors absorbed by retry (never surfaced).
+    pub transient_errors_retried: u64,
+    /// Rows fast-forwarded past while re-establishing stream position
+    /// after transient errors.
+    pub rows_refetched: u64,
+    /// Checkpoint files written during the run.
+    pub checkpoints_written: u64,
+    /// Row cursor the run resumed from (0 = started fresh).
+    pub resumed_from_row: u64,
+}
+
+impl ToJson for RecoveryMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("transient_errors_retried", self.transient_errors_retried)
+            .field("rows_refetched", self.rows_refetched)
+            .field("checkpoints_written", self.checkpoints_written)
+            .field("resumed_from_row", self.resumed_from_row)
+    }
+}
+
+impl FromJson for RecoveryMetrics {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            transient_errors_retried: u64::from_json(json.req("transient_errors_retried")?)?,
+            rows_refetched: u64::from_json(json.req("rows_refetched")?)?,
+            checkpoints_written: u64::from_json(json.req("checkpoints_written")?)?,
+            resumed_from_row: u64::from_json(json.req("resumed_from_row")?)?,
+        })
+    }
+}
+
 /// Structured counters for one pipeline run, phase by phase.
 ///
 /// # Examples
@@ -160,6 +200,8 @@ pub struct MiningMetrics {
     pub bucket_histogram: Vec<u64>,
     /// Phase 3 outcomes.
     pub verification: VerifyMetrics,
+    /// Fault-recovery events (retries, refetches, checkpoints, resume).
+    pub recovery: RecoveryMetrics,
 }
 
 impl MiningMetrics {
@@ -197,6 +239,7 @@ impl ToJson for MiningMetrics {
             .field("candidates_generated", self.candidates_generated)
             .field("bucket_histogram", &self.bucket_histogram[..])
             .field("verification", self.verification)
+            .field("recovery", self.recovery)
     }
 }
 
@@ -211,6 +254,14 @@ impl FromJson for MiningMetrics {
             candidates_generated: u64::from_json(json.req("candidates_generated")?)?,
             bucket_histogram: Vec::<u64>::from_json(json.req("bucket_histogram")?)?,
             verification: VerifyMetrics::from_json(json.req("verification")?)?,
+            // Documents written before the recovery counters existed omit
+            // the key; absence means an undisturbed run (schema-compatible
+            // field addition, so no version bump).
+            recovery: json
+                .get("recovery")
+                .map(RecoveryMetrics::from_json)
+                .transpose()?
+                .unwrap_or_default(),
         })
     }
 }
@@ -306,6 +357,12 @@ mod tests {
                 false_positives_pruned: 1,
                 intersection_work: 120,
             },
+            recovery: RecoveryMetrics {
+                transient_errors_retried: 3,
+                rows_refetched: 17,
+                checkpoints_written: 2,
+                resumed_from_row: 0,
+            },
         }
     }
 
@@ -375,8 +432,18 @@ mod tests {
             "candidates_generated",
             "bucket_histogram",
             "verification",
+            "recovery",
         ] {
             assert!(metrics.get(key).is_some(), "missing metrics key {key}");
+        }
+        let recovery = metrics.get("recovery").unwrap();
+        for key in [
+            "transient_errors_retried",
+            "rows_refetched",
+            "checkpoints_written",
+            "resumed_from_row",
+        ] {
+            assert!(recovery.get(key).is_some(), "missing recovery key {key}");
         }
         let verification = metrics.get("verification").unwrap();
         for key in [
@@ -390,6 +457,27 @@ mod tests {
                 "missing verification key {key}"
             );
         }
+    }
+
+    #[test]
+    fn documents_without_recovery_key_still_parse() {
+        // Metrics JSON written before the recovery counters existed: the
+        // key is absent and must default to all-zero, not error.
+        let mut metrics = sample_metrics();
+        metrics.recovery = RecoveryMetrics::default();
+        let json = metrics.to_json();
+        let legacy = match json {
+            Json::Obj(fields) => Json::Obj(
+                fields
+                    .into_iter()
+                    .filter(|(k, _)| k != "recovery")
+                    .collect(),
+            ),
+            other => other,
+        };
+        assert!(legacy.get("recovery").is_none());
+        let back = MiningMetrics::from_json(&legacy).unwrap();
+        assert_eq!(back, metrics);
     }
 
     #[test]

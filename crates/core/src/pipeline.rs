@@ -3,16 +3,20 @@
 use std::time::Instant;
 
 use sfa_lsh::{hlsh_candidates_with_stats, mlsh_candidates_with_stats, HLshParams, MLshParams};
-use sfa_matrix::{Result, RowMajorMatrix, RowStream, ScanCounter};
+use sfa_matrix::{MatrixError, Result, RowMajorMatrix, RowStream, ScanCounter};
 use sfa_minhash::hashcount::{kmh_candidates_with_stats, mh_candidates_with_stats};
 use sfa_minhash::mh::compute_signatures_parallel;
 use sfa_minhash::rowsort::rowsort_candidates_with_stats;
-use sfa_minhash::{compute_bottom_k, compute_signatures, CandidatePair};
+use sfa_minhash::{
+    compute_bottom_k, compute_signatures, BottomKSignatures, CandidatePair, KmhBuilder, MhBuilder,
+    SignatureMatrix,
+};
 
+use crate::checkpoint::{self, CheckpointSpec, Phase1State, RunKey};
 use crate::config::{PipelineConfig, Scheme};
-use crate::metrics::{MiningMetrics, VerifyMetrics};
+use crate::metrics::{MiningMetrics, RecoveryMetrics, VerifyMetrics};
 use crate::report::{MiningResult, PhaseTimings, VerifiedPair};
-use crate::verify::verify_candidates_with_stats;
+use crate::verify::{verify_candidates_resumable, verify_candidates_with_stats};
 
 /// Seed-derivation labels, so each pipeline component gets an independent
 /// stream from the one root seed.
@@ -209,6 +213,245 @@ impl Pipeline {
             metrics,
         })
     }
+
+    /// [`run`](Self::run) with checkpoint/resume: both streaming passes
+    /// persist their partial state into `spec.dir` every `spec.every_rows`
+    /// rows (phase 1 checkpoints the signature builder, phase 3 the
+    /// verification frontier), so a rerun after a crash fast-forwards past
+    /// the checkpointed prefix and re-reads only the unprocessed suffix.
+    ///
+    /// Output is byte-identical to an uninterrupted [`run`](Self::run);
+    /// `metrics.recovery` reports how many checkpoints were written and the
+    /// row cursor a resumed run continued from. Checkpoints are tied to the
+    /// exact `(configuration, table)` pair — stale or mismatched state is
+    /// ignored, never resumed into — and are deleted once the run
+    /// completes. The H-LSH scheme materializes the matrix up front and has
+    /// no incremental state; it falls back to a plain [`run`](Self::run).
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream and checkpoint-IO errors.
+    pub fn run_resumable<S: RowStream>(
+        &self,
+        stream: &mut S,
+        spec: &CheckpointSpec,
+    ) -> Result<MiningResult> {
+        let cfg = &self.config;
+        if matches!(cfg.scheme, Scheme::HLsh { .. }) {
+            return self.run(stream);
+        }
+        std::fs::create_dir_all(&spec.dir)?;
+        let key = RunKey::new(cfg, stream.n_rows(), stream.n_cols());
+        let sig_seed = sfa_hash::family::derive_seed(cfg.seed, purpose::SIGNATURES);
+        let lsh_seed = sfa_hash::family::derive_seed(cfg.seed, purpose::LSH);
+        let mut recovery = RecoveryMetrics::default();
+        let mut timings = PhaseTimings::default();
+        let mut metrics = MiningMetrics {
+            scheme: cfg.scheme.name().to_owned(),
+            ..MiningMetrics::default()
+        };
+        let mut scan = ScanCounter::new(&mut *stream);
+        let candidates = match cfg.scheme {
+            Scheme::Mh { k, delta } => {
+                let t = Instant::now();
+                let sigs = signatures_resumable(&mut scan, k, sig_seed, spec, key, &mut recovery)?;
+                timings.signatures = t.elapsed();
+                metrics.signature_bytes = sigs.heap_bytes();
+                let t = Instant::now();
+                let (cands, stats) = mh_candidates_with_stats(&sigs, cfg.s_star, delta);
+                timings.candidates = t.elapsed();
+                metrics.absorb_candidate_stats(stats);
+                cands
+            }
+            Scheme::MhRowSort { k, delta } => {
+                let t = Instant::now();
+                let sigs = signatures_resumable(&mut scan, k, sig_seed, spec, key, &mut recovery)?;
+                timings.signatures = t.elapsed();
+                metrics.signature_bytes = sigs.heap_bytes();
+                let t = Instant::now();
+                let (cands, stats) = rowsort_candidates_with_stats(&sigs, cfg.s_star, delta);
+                timings.candidates = t.elapsed();
+                metrics.absorb_candidate_stats(stats);
+                cands
+            }
+            Scheme::Kmh { k, delta } => {
+                let t = Instant::now();
+                let sigs = bottom_k_resumable(&mut scan, k, sig_seed, spec, key, &mut recovery)?;
+                timings.signatures = t.elapsed();
+                metrics.signature_bytes = sigs.heap_bytes();
+                let t = Instant::now();
+                let (cands, stats) = kmh_candidates_with_stats(&sigs, cfg.s_star, delta);
+                timings.candidates = t.elapsed();
+                metrics.absorb_candidate_stats(stats);
+                cands
+            }
+            Scheme::MLsh { k, r, l, sampled } => {
+                let t = Instant::now();
+                let sigs = signatures_resumable(&mut scan, k, sig_seed, spec, key, &mut recovery)?;
+                timings.signatures = t.elapsed();
+                metrics.signature_bytes = sigs.heap_bytes();
+                let t = Instant::now();
+                let params = if sampled {
+                    MLshParams::sampled(r, l, lsh_seed)
+                } else {
+                    MLshParams::banded(r, l, lsh_seed)
+                };
+                let (cands, stats) = mlsh_candidates_with_stats(&sigs, &params);
+                timings.candidates = t.elapsed();
+                metrics.absorb_candidate_stats(stats);
+                cands
+            }
+            Scheme::HLsh { .. } => unreachable!("handled above"),
+        };
+        metrics.candidates_generated = candidates.len() as u64;
+        scan.reset()?;
+        let fp = checkpoint::candidates_fingerprint(&candidates);
+        let resume = checkpoint::load_phase3(spec, key, fp);
+        if let Some(s) = &resume {
+            recovery.resumed_from_row = recovery.resumed_from_row.max(s.progress.rows_done);
+        }
+        let t = Instant::now();
+        let mut checkpoints_written = 0u64;
+        let (verified, column_counts, probes) = verify_candidates_resumable(
+            &mut scan,
+            &candidates,
+            resume.map(|s| s.progress),
+            spec.every_rows,
+            &mut |p| {
+                checkpoint::save_phase3(spec, key, fp, p)?;
+                checkpoints_written += 1;
+                Ok(())
+            },
+        )?;
+        timings.verify = t.elapsed();
+        recovery.checkpoints_written += checkpoints_written;
+        checkpoint::clear(spec)?;
+        let passes = scan.pass_scans();
+        metrics.signature_pass = passes.first().copied().unwrap_or_default().into();
+        metrics.verify_pass = passes.get(1).copied().unwrap_or_default().into();
+        metrics.verification = self.verification_metrics(&verified, probes);
+        metrics.recovery = recovery;
+        Ok(MiningResult {
+            config: self.config,
+            verified,
+            column_counts,
+            timings,
+            metrics,
+        })
+    }
+}
+
+/// Phase 1 (MH family) with checkpointing: resumes an [`MhBuilder`] from
+/// the last phase-1 checkpoint if one matches, persists its state every
+/// `spec.every_rows` rows, and always persists the completed state so a
+/// later phase-3 crash resumes without redoing signature work.
+fn signatures_resumable<S: RowStream>(
+    stream: &mut S,
+    k: usize,
+    seed: u64,
+    spec: &CheckpointSpec,
+    key: RunKey,
+    recovery: &mut RecoveryMetrics,
+) -> Result<SignatureMatrix> {
+    let m = stream.n_cols() as usize;
+    let mut builder = match checkpoint::load_phase1(spec, key) {
+        Some(Phase1State::Mh { rows_done, sigs }) if sigs.k() == k && sigs.m() == m => {
+            fast_forward(stream, rows_done)?;
+            recovery.resumed_from_row = rows_done;
+            MhBuilder::from_state(seed, rows_done, sigs)
+        }
+        _ => MhBuilder::new(k, m, seed),
+    };
+    let mut buf = Vec::new();
+    while let Some(row_id) = stream.read_row(&mut buf)? {
+        builder.push_row(row_id, &buf);
+        if builder.rows_seen() % spec.every_rows == 0 {
+            save_mh_state(spec, key, &builder)?;
+            recovery.checkpoints_written += 1;
+        }
+    }
+    if builder.rows_seen() % spec.every_rows != 0 {
+        save_mh_state(spec, key, &builder)?;
+        recovery.checkpoints_written += 1;
+    }
+    Ok(builder.finish())
+}
+
+/// Phase 1 (K-MH) with checkpointing; see [`signatures_resumable`].
+fn bottom_k_resumable<S: RowStream>(
+    stream: &mut S,
+    k: usize,
+    seed: u64,
+    spec: &CheckpointSpec,
+    key: RunKey,
+    recovery: &mut RecoveryMetrics,
+) -> Result<BottomKSignatures> {
+    let m = stream.n_cols() as usize;
+    let mut builder = match checkpoint::load_phase1(spec, key) {
+        Some(Phase1State::Kmh {
+            rows_done,
+            k: ck,
+            counts,
+            sigs,
+        }) if ck as usize == k && sigs.len() == m => {
+            fast_forward(stream, rows_done)?;
+            recovery.resumed_from_row = rows_done;
+            KmhBuilder::from_state(k, seed, rows_done, sigs, counts)
+        }
+        _ => KmhBuilder::new(k, m, seed),
+    };
+    let mut buf = Vec::new();
+    while let Some(row_id) = stream.read_row(&mut buf)? {
+        builder.push_row(row_id, &buf);
+        if builder.rows_seen() % spec.every_rows == 0 {
+            save_kmh_state(spec, key, &builder)?;
+            recovery.checkpoints_written += 1;
+        }
+    }
+    if builder.rows_seen() % spec.every_rows != 0 {
+        save_kmh_state(spec, key, &builder)?;
+        recovery.checkpoints_written += 1;
+    }
+    Ok(builder.finish())
+}
+
+/// Skips the checkpointed prefix, erroring if the stream is shorter than
+/// the checkpoint claims.
+fn fast_forward<S: RowStream>(stream: &mut S, rows_done: u64) -> Result<()> {
+    let skipped = stream.skip_rows(rows_done)?;
+    if skipped != rows_done {
+        return Err(MatrixError::DimensionMismatch {
+            detail: format!(
+                "checkpoint claims {rows_done} rows processed but the stream holds only {skipped}"
+            ),
+        });
+    }
+    Ok(())
+}
+
+fn save_mh_state(spec: &CheckpointSpec, key: RunKey, builder: &MhBuilder) -> Result<()> {
+    checkpoint::save_phase1(
+        spec,
+        key,
+        &Phase1State::Mh {
+            rows_done: builder.rows_seen(),
+            sigs: builder.current().clone(),
+        },
+    )
+}
+
+fn save_kmh_state(spec: &CheckpointSpec, key: RunKey, builder: &KmhBuilder) -> Result<()> {
+    let (sigs, counts) = builder.snapshot();
+    checkpoint::save_phase1(
+        spec,
+        key,
+        &Phase1State::Kmh {
+            rows_done: builder.rows_seen(),
+            k: u32::try_from(builder.k()).expect("k fits u32"),
+            counts,
+            sigs,
+        },
+    )
 }
 
 impl Pipeline {
@@ -525,6 +768,159 @@ mod tests {
                 "{name}: empty bucket histogram"
             );
         }
+    }
+
+    fn checkpoint_spec(name: &str) -> CheckpointSpec {
+        let dir = std::env::temp_dir().join("sfa_pipeline_tests").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        CheckpointSpec::new(dir)
+    }
+
+    #[test]
+    fn run_resumable_without_interruption_matches_run() {
+        let m = matrix();
+        for scheme in all_schemes() {
+            let cfg = PipelineConfig::new(scheme, 0.8, 11);
+            let plain = Pipeline::new(cfg)
+                .run(&mut MemoryRowStream::new(&m))
+                .unwrap();
+            let spec =
+                checkpoint_spec(&format!("uninterrupted_{}", scheme.name())).with_every_rows(16);
+            let resumable = Pipeline::new(cfg)
+                .run_resumable(&mut MemoryRowStream::new(&m), &spec)
+                .unwrap();
+            assert_eq!(resumable.verified, plain.verified, "{}", scheme.name());
+            assert_eq!(resumable.column_counts, plain.column_counts);
+            if !matches!(scheme, Scheme::HLsh { .. }) {
+                assert!(
+                    resumable.metrics.recovery.checkpoints_written > 0,
+                    "{}: no checkpoints written",
+                    scheme.name()
+                );
+                assert_eq!(resumable.metrics.recovery.resumed_from_row, 0);
+                // Success must leave no checkpoint files behind.
+                assert!(!spec.dir.join("phase1.sfcp").exists());
+                assert!(!spec.dir.join("phase3.sfcp").exists());
+            }
+        }
+    }
+
+    #[test]
+    fn run_resumable_resumes_after_phase1_crash() {
+        let m = matrix(); // 70 rows
+        for scheme in [
+            Scheme::Mh { k: 32, delta: 0.2 },
+            Scheme::Kmh { k: 16, delta: 0.2 },
+        ] {
+            let cfg = PipelineConfig::new(scheme, 0.8, 11);
+            let plain = Pipeline::new(cfg)
+                .run(&mut MemoryRowStream::new(&m))
+                .unwrap();
+            let spec =
+                checkpoint_spec(&format!("phase1_crash_{}", scheme.name())).with_every_rows(16);
+
+            // First attempt dies on a fatal fault at row 40, after the
+            // checkpoints at rows 16 and 32 have been written.
+            let faulty = sfa_matrix::FaultConfig {
+                fatal_at_row: Some(40),
+                ..sfa_matrix::FaultConfig::default()
+            };
+            let mut stream = sfa_matrix::FaultyRowStream::new(MemoryRowStream::new(&m), faulty);
+            Pipeline::new(cfg)
+                .run_resumable(&mut stream, &spec)
+                .unwrap_err();
+            assert!(spec.dir.join("phase1.sfcp").exists());
+
+            // The rerun fast-forwards to row 32: it reads 70 − 32 = 38 rows
+            // in the signature pass plus the full 70-row verify pass.
+            let mut counter = sfa_matrix::stream::PassCounter::new(MemoryRowStream::new(&m));
+            let resumed = Pipeline::new(cfg)
+                .run_resumable(&mut counter, &spec)
+                .unwrap();
+            assert_eq!(counter.rows_read(), 38 + 70, "{}", scheme.name());
+            assert_eq!(resumed.metrics.recovery.resumed_from_row, 32);
+            assert_eq!(resumed.verified, plain.verified, "{}", scheme.name());
+            assert_eq!(resumed.column_counts, plain.column_counts);
+        }
+    }
+
+    #[test]
+    fn run_resumable_resumes_after_phase3_crash() {
+        let m = matrix(); // 70 rows
+        let cfg = PipelineConfig::new(Scheme::Mh { k: 32, delta: 0.2 }, 0.8, 11);
+        let plain = Pipeline::new(cfg)
+            .run(&mut MemoryRowStream::new(&m))
+            .unwrap();
+        let spec = checkpoint_spec("phase3_crash").with_every_rows(16);
+        std::fs::create_dir_all(&spec.dir).unwrap();
+
+        // Manufacture a *completed* phase-1 checkpoint (rows_done = 70), so
+        // the next attempt skips the whole signature pass without reading.
+        let key = RunKey::new(&cfg, m.n_rows(), m.n_cols());
+        let sig_seed = sfa_hash::family::derive_seed(cfg.seed, purpose::SIGNATURES);
+        let mut builder = MhBuilder::new(32, m.n_cols() as usize, sig_seed);
+        let mut stream = MemoryRowStream::new(&m);
+        let mut buf = Vec::new();
+        while let Some(id) = stream.read_row(&mut buf).unwrap() {
+            builder.push_row(id, &buf);
+        }
+        save_mh_state(&spec, key, &builder).unwrap();
+
+        // With phase 1 fully skipped (skip_rows bypasses fault injection),
+        // the fatal fault at position 40 now fires mid-verify, after the
+        // frontier checkpoints at rows 16 and 32 were written.
+        let faulty = sfa_matrix::FaultConfig {
+            fatal_at_row: Some(40),
+            ..sfa_matrix::FaultConfig::default()
+        };
+        let mut attempt = sfa_matrix::FaultyRowStream::new(MemoryRowStream::new(&m), faulty);
+        Pipeline::new(cfg)
+            .run_resumable(&mut attempt, &spec)
+            .unwrap_err();
+        assert!(
+            spec.dir.join("phase3.sfcp").exists(),
+            "the crash must leave a phase-3 frontier checkpoint"
+        );
+
+        // Final attempt on a clean stream: phase 1 resumes from its
+        // completed checkpoint (0 signature rows re-read), phase 3 from
+        // the row-32 frontier (70 − 32 = 38 rows re-read).
+        let mut counter = sfa_matrix::stream::PassCounter::new(MemoryRowStream::new(&m));
+        let resumed = Pipeline::new(cfg)
+            .run_resumable(&mut counter, &spec)
+            .unwrap();
+        assert_eq!(counter.rows_read(), 38, "only the verify suffix is read");
+        assert_eq!(resumed.metrics.recovery.resumed_from_row, 70);
+        assert_eq!(resumed.verified, plain.verified);
+        assert_eq!(resumed.column_counts, plain.column_counts);
+    }
+
+    #[test]
+    fn stale_checkpoint_from_other_config_is_ignored() {
+        let m = matrix();
+        let spec = checkpoint_spec("stale_config").with_every_rows(16);
+        let cfg_a = PipelineConfig::new(Scheme::Mh { k: 32, delta: 0.2 }, 0.8, 11);
+        let faulty = sfa_matrix::FaultConfig {
+            fatal_at_row: Some(40),
+            ..sfa_matrix::FaultConfig::default()
+        };
+        let mut stream = sfa_matrix::FaultyRowStream::new(MemoryRowStream::new(&m), faulty);
+        Pipeline::new(cfg_a)
+            .run_resumable(&mut stream, &spec)
+            .unwrap_err();
+
+        // A different seed must not resume from cfg_a's checkpoint.
+        let cfg_b = PipelineConfig::new(Scheme::Mh { k: 32, delta: 0.2 }, 0.8, 12);
+        let mut counter = sfa_matrix::stream::PassCounter::new(MemoryRowStream::new(&m));
+        let result = Pipeline::new(cfg_b)
+            .run_resumable(&mut counter, &spec)
+            .unwrap();
+        assert_eq!(counter.rows_read(), 140, "both passes run in full");
+        assert_eq!(result.metrics.recovery.resumed_from_row, 0);
+        let plain = Pipeline::new(cfg_b)
+            .run(&mut MemoryRowStream::new(&m))
+            .unwrap();
+        assert_eq!(result.verified, plain.verified);
     }
 
     #[test]

@@ -6,10 +6,25 @@
 //! columns." We count intersections directly and column cardinalities for
 //! the union via `|C_i ∪ C_j| = |C_i| + |C_j| − |C_i ∩ C_j|`.
 
-use sfa_matrix::{Result, RowStream};
+use sfa_matrix::{MatrixError, Result, RowStream};
 use sfa_minhash::CandidatePair;
 
 use crate::report::VerifiedPair;
+
+/// Mid-pass verification counters: everything phase 3 needs to continue
+/// from row `rows_done` instead of row 0. This is the payload of a phase-3
+/// checkpoint (see [`crate::checkpoint`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyProgress {
+    /// Rows already folded into the counters.
+    pub rows_done: u64,
+    /// Per-candidate intersection counts (indexed like the candidate list).
+    pub intersections: Vec<u32>,
+    /// Per-column 1-counts.
+    pub column_counts: Vec<u32>,
+    /// Partner probes performed so far.
+    pub probes: u64,
+}
 
 /// Verifies candidates in one pass over `stream`; returns the verified
 /// pairs (all of them, including those that turn out dissimilar) sorted by
@@ -41,6 +56,37 @@ pub fn verify_candidates_with_stats<S: RowStream>(
     stream: &mut S,
     candidates: &[CandidatePair],
 ) -> Result<(Vec<VerifiedPair>, Vec<u32>, u64)> {
+    verify_candidates_resumable(stream, candidates, None, u64::MAX, &mut |_| Ok(()))
+}
+
+/// [`verify_candidates_with_stats`] with checkpoint/resume support: starts
+/// from `resume` (counters captured mid-pass) instead of row 0 when given,
+/// fast-forwarding the stream past the rows already counted, and invokes
+/// `on_checkpoint` with a snapshot of the counters every `every_rows`
+/// processed rows.
+///
+/// Output is identical to an uninterrupted [`verify_candidates_with_stats`]
+/// pass — the counters are pure functions of the rows folded in, so
+/// "resume + suffix" equals "full pass".
+///
+/// # Errors
+///
+/// Propagates stream and `on_checkpoint` errors, and reports a dimension
+/// mismatch if the stream holds fewer rows than `resume` claims were
+/// already processed.
+///
+/// # Panics
+///
+/// Panics if `resume`'s counter lengths disagree with `candidates` /
+/// `stream.n_cols()` — callers must validate provenance (see
+/// [`crate::checkpoint`]'s fingerprint checks) before resuming.
+pub fn verify_candidates_resumable<S: RowStream>(
+    stream: &mut S,
+    candidates: &[CandidatePair],
+    resume: Option<VerifyProgress>,
+    every_rows: u64,
+    on_checkpoint: &mut dyn FnMut(&VerifyProgress) -> Result<()>,
+) -> Result<(Vec<VerifiedPair>, Vec<u32>, u64)> {
     let m = stream.n_cols() as usize;
     // Adjacency: for each column, the (partner, pair-index) list.
     let mut partners: Vec<Vec<(u32, u32)>> = vec![Vec::new(); m];
@@ -48,10 +94,32 @@ pub fn verify_candidates_with_stats<S: RowStream>(
         partners[c.i as usize].push((c.j, idx as u32));
         partners[c.j as usize].push((c.i, idx as u32));
     }
-    let mut intersections = vec![0u32; candidates.len()];
-    let mut column_counts = vec![0u32; m];
+    let (mut rows_done, mut intersections, mut column_counts, mut probes) = match resume {
+        Some(p) => {
+            assert_eq!(
+                p.intersections.len(),
+                candidates.len(),
+                "resume state belongs to a different candidate list"
+            );
+            assert_eq!(
+                p.column_counts.len(),
+                m,
+                "resume state belongs to a different table"
+            );
+            let skipped = stream.skip_rows(p.rows_done)?;
+            if skipped != p.rows_done {
+                return Err(MatrixError::DimensionMismatch {
+                    detail: format!(
+                        "checkpoint claims {} rows processed but the stream holds only {skipped}",
+                        p.rows_done
+                    ),
+                });
+            }
+            (p.rows_done, p.intersections, p.column_counts, p.probes)
+        }
+        None => (0, vec![0u32; candidates.len()], vec![0u32; m], 0u64),
+    };
     let mut present = vec![false; m];
-    let mut probes = 0u64;
     let mut buf = Vec::new();
     while stream.read_row(&mut buf)?.is_some() {
         for &col in &buf {
@@ -69,6 +137,15 @@ pub fn verify_candidates_with_stats<S: RowStream>(
         }
         for &col in &buf {
             present[col as usize] = false;
+        }
+        rows_done += 1;
+        if rows_done % every_rows == 0 {
+            on_checkpoint(&VerifyProgress {
+                rows_done,
+                intersections: intersections.clone(),
+                column_counts: column_counts.clone(),
+                probes,
+            })?;
         }
     }
     let mut verified: Vec<VerifiedPair> = candidates
@@ -374,6 +451,69 @@ mod tests {
         // Columns 0 and 1 hold 3 ones each; every occurrence probes its
         // single partner once.
         assert_eq!(probes, 6);
+    }
+
+    #[test]
+    fn resumed_pass_equals_full_pass_and_rereads_only_the_suffix() {
+        let m = matrix(); // 6 rows
+        let candidates = vec![CandidatePair::new(0, 1, 0.9), CandidatePair::new(2, 3, 0.5)];
+        let full =
+            verify_candidates_with_stats(&mut MemoryRowStream::new(&m), &candidates).unwrap();
+
+        // Take checkpoints every 2 rows.
+        let mut checkpoints = Vec::new();
+        let _ = verify_candidates_resumable(
+            &mut MemoryRowStream::new(&m),
+            &candidates,
+            None,
+            2,
+            &mut |p| {
+                checkpoints.push(p.clone());
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            checkpoints.iter().map(|p| p.rows_done).collect::<Vec<_>>(),
+            vec![2, 4, 6]
+        );
+
+        // Resume from the row-4 snapshot on a fresh stream: the counters
+        // must match the uninterrupted pass while only rows 4..6 are read.
+        let mut counter = sfa_matrix::stream::PassCounter::new(MemoryRowStream::new(&m));
+        let resumed = verify_candidates_resumable(
+            &mut counter,
+            &candidates,
+            Some(checkpoints[1].clone()),
+            u64::MAX,
+            &mut |_| Ok(()),
+        )
+        .unwrap();
+        assert_eq!(counter.rows_read(), 2, "only the suffix is re-read");
+        assert_eq!(resumed, full);
+    }
+
+    #[test]
+    fn resume_beyond_stream_end_is_a_dimension_mismatch() {
+        let m = matrix();
+        let progress = VerifyProgress {
+            rows_done: 99,
+            intersections: vec![0],
+            column_counts: vec![0; 4],
+            probes: 0,
+        };
+        let err = verify_candidates_resumable(
+            &mut MemoryRowStream::new(&m),
+            &[CandidatePair::new(0, 1, 0.9)],
+            Some(progress),
+            u64::MAX,
+            &mut |_| Ok(()),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            sfa_matrix::MatrixError::DimensionMismatch { .. }
+        ));
     }
 
     #[test]

@@ -28,8 +28,47 @@ pub enum MatrixError {
         /// What went wrong.
         detail: String,
     },
+    /// A checksummed (v2) file whose stored CRC-32 does not match its
+    /// contents — a bit flip, overwrite, or truncation.
+    Checksum {
+        /// The CRC-32 the file claims.
+        stored: u32,
+        /// The CRC-32 its bytes actually have.
+        computed: u32,
+    },
     /// An underlying IO error.
     Io(std::io::Error),
+}
+
+impl MatrixError {
+    /// Whether this failure is *transient* — worth retrying against the
+    /// same source — as opposed to *fatal* (corrupt data, structural
+    /// mismatch, or a permanent IO condition).
+    ///
+    /// The taxonomy (see `docs/ROBUSTNESS.md`): parse, checksum, range and
+    /// dimension errors are always fatal — the bytes themselves are wrong
+    /// and rereading them cannot help. IO errors are transient exactly when
+    /// the OS reports an interruption-flavored kind (`Interrupted`,
+    /// `WouldBlock`, `TimedOut`, `ConnectionReset`, `ConnectionAborted`,
+    /// `BrokenPipe`) — the failure modes of network mounts and flaky media.
+    /// `UnexpectedEof`, `NotFound`, permission errors and everything else
+    /// are fatal.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        use std::io::ErrorKind;
+        match self {
+            Self::Io(e) => matches!(
+                e.kind(),
+                ErrorKind::Interrupted
+                    | ErrorKind::WouldBlock
+                    | ErrorKind::TimedOut
+                    | ErrorKind::ConnectionReset
+                    | ErrorKind::ConnectionAborted
+                    | ErrorKind::BrokenPipe
+            ),
+            _ => false,
+        }
+    }
 }
 
 impl std::fmt::Display for MatrixError {
@@ -40,6 +79,10 @@ impl std::fmt::Display for MatrixError {
             }
             Self::DimensionMismatch { detail } => write!(f, "dimension mismatch: {detail}"),
             Self::Parse { at, detail } => write!(f, "parse error at {at}: {detail}"),
+            Self::Checksum { stored, computed } => write!(
+                f,
+                "checksum mismatch: file claims {stored:#010x}, contents hash to {computed:#010x}"
+            ),
             Self::Io(e) => write!(f, "io error: {e}"),
         }
     }
@@ -91,5 +134,55 @@ mod tests {
         let e: MatrixError = io.into();
         assert!(e.to_string().contains("nope"));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn transient_classification() {
+        use std::io::ErrorKind;
+        for kind in [
+            ErrorKind::Interrupted,
+            ErrorKind::WouldBlock,
+            ErrorKind::TimedOut,
+            ErrorKind::ConnectionReset,
+            ErrorKind::ConnectionAborted,
+            ErrorKind::BrokenPipe,
+        ] {
+            let e: MatrixError = std::io::Error::new(kind, "flaky").into();
+            assert!(e.is_transient(), "{kind:?} should be transient");
+        }
+        for kind in [
+            ErrorKind::NotFound,
+            ErrorKind::PermissionDenied,
+            ErrorKind::UnexpectedEof,
+        ] {
+            let e: MatrixError = std::io::Error::new(kind, "gone").into();
+            assert!(!e.is_transient(), "{kind:?} should be fatal");
+        }
+        assert!(!MatrixError::Parse {
+            at: 0,
+            detail: "bad".into()
+        }
+        .is_transient());
+        assert!(!MatrixError::Checksum {
+            stored: 1,
+            computed: 2
+        }
+        .is_transient());
+        assert!(!MatrixError::IndexOutOfRange {
+            kind: "column",
+            index: 9,
+            bound: 3
+        }
+        .is_transient());
+    }
+
+    #[test]
+    fn checksum_display_shows_both_values() {
+        let e = MatrixError::Checksum {
+            stored: 0xDEAD_BEEF,
+            computed: 0x1234_5678,
+        };
+        let s = e.to_string();
+        assert!(s.contains("0xdeadbeef") && s.contains("0x12345678"), "{s}");
     }
 }

@@ -9,10 +9,14 @@
 //! <row 1: …>
 //! ```
 //!
-//! **Binary format** (`.sfab`): the 12-byte header `b"SFAB"`, `n_rows: u32
+//! **Binary format** (`.sfab`): the 12-byte header `b"SFB2"`, `n_rows: u32
 //! LE`, `n_cols: u32 LE`, followed per row by `len: u32 LE` and `len`
-//! ascending `u32 LE` column ids. [`FileRowStream`](crate::stream::FileRowStream)
-//! reads this format sequentially without loading it into memory.
+//! ascending `u32 LE` column ids, and a trailing CRC-32 (see
+//! [`crate::crc32`]) over everything after the magic.
+//! [`FileRowStream`](crate::stream::FileRowStream) reads this format
+//! sequentially without loading it into memory; it also still accepts the
+//! checksum-less v1 layout (magic `b"SFAB"`, no trailer) that
+//! [`write_binary_v1`] emits.
 //!
 //! Both layouts are specified byte-for-byte in `docs/FORMATS.md` at the
 //! repository root, alongside the sketch formats from `sfa-minhash`.
@@ -21,9 +25,10 @@ use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
+use crate::crc32::CrcWriter;
 use crate::csr::RowMajorMatrix;
 use crate::error::{MatrixError, Result};
-use crate::stream::BINARY_MAGIC;
+use crate::stream::{BINARY_MAGIC, BINARY_MAGIC_V2};
 
 /// Writes a matrix in the text format.
 ///
@@ -82,7 +87,9 @@ pub fn read_text(path: &Path) -> Result<RowMajorMatrix> {
     };
     let n_rows = parse_u32(parts.next(), "n_rows")?;
     let n_cols = parse_u32(parts.next(), "n_cols")?;
-    let mut rows = Vec::with_capacity(n_rows as usize);
+    // The header is untrusted: cap the preallocation so a hostile
+    // `n_rows` cannot trigger a huge up-front reservation.
+    let mut rows = Vec::with_capacity((n_rows as usize).min(1 << 16));
     for (i, line) in lines.enumerate() {
         let line = line?;
         let lineno = i as u64 + 2;
@@ -104,15 +111,42 @@ pub fn read_text(path: &Path) -> Result<RowMajorMatrix> {
     RowMajorMatrix::from_rows(n_cols, rows)
 }
 
-/// Writes a matrix in the binary format readable by
+/// Writes a matrix in the checksummed v2 binary format readable by
 /// [`FileRowStream`](crate::stream::FileRowStream).
 ///
 /// # Errors
 ///
 /// Propagates IO errors.
 pub fn write_binary(matrix: &RowMajorMatrix, path: &Path) -> Result<()> {
+    let mut w = CrcWriter::new(BufWriter::new(File::create(path)?));
+    w.get_mut().write_all(&BINARY_MAGIC_V2)?;
+    write_binary_body(&mut w, matrix)?;
+    let crc = w.digest();
+    let inner = w.get_mut();
+    inner.write_all(&crc.to_le_bytes())?;
+    inner.flush()?;
+    Ok(())
+}
+
+/// Writes a matrix in the legacy v1 binary format (no checksum).
+///
+/// Kept so compatibility tests (and deployments that must interoperate
+/// with pre-v2 readers) can still produce v1 files; new code should use
+/// [`write_binary`].
+///
+/// # Errors
+///
+/// Propagates IO errors.
+pub fn write_binary_v1(matrix: &RowMajorMatrix, path: &Path) -> Result<()> {
     let mut w = BufWriter::new(File::create(path)?);
     w.write_all(&BINARY_MAGIC)?;
+    write_binary_body(&mut w, matrix)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// The header fields and row payload shared by both format versions.
+fn write_binary_body(w: &mut impl Write, matrix: &RowMajorMatrix) -> Result<()> {
     w.write_all(&matrix.n_rows().to_le_bytes())?;
     w.write_all(&matrix.n_cols().to_le_bytes())?;
     for (_, cols) in matrix.rows() {
@@ -124,7 +158,6 @@ pub fn write_binary(matrix: &RowMajorMatrix, path: &Path) -> Result<()> {
             w.write_all(&c.to_le_bytes())?;
         }
     }
-    w.flush()?;
     Ok(())
 }
 

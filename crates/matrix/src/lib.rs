@@ -21,7 +21,11 @@
 //! * [`stream::RowStream`] — single-pass row scanning abstraction with an
 //!   in-memory and an on-disk (file-backed) implementation, so tests can
 //!   prove that phase 1 and phase 3 really are single-pass.
-//! * [`io`] — a small text format and a binary format for matrices.
+//! * [`io`] — a small text format and a checksummed binary format for
+//!   matrices ([`crc32`] holds the in-tree CRC-32 implementation).
+//! * [`fault`] — deterministic fault injection ([`fault::FaultyRowStream`])
+//!   and bounded-retry recovery ([`fault::RetryingRowStream`]) for testing
+//!   and surviving transient IO failures mid-pass.
 //! * [`ops`] — transpose, support pruning, row sampling, and the random
 //!   row-pairing OR-fold that builds the H-LSH density ladder (§4.2).
 //! * [`stats`] — exact all-pairs similarity (the paper's offline
@@ -34,9 +38,11 @@
 
 pub mod builder;
 pub mod column;
+pub mod crc32;
 pub mod csc;
 pub mod csr;
 pub mod error;
+pub mod fault;
 pub mod io;
 pub mod ops;
 pub mod stats;
@@ -48,4 +54,5 @@ pub use column::ColumnSet;
 pub use csc::SparseMatrix;
 pub use csr::RowMajorMatrix;
 pub use error::{MatrixError, Result};
+pub use fault::{FaultConfig, FaultyRowStream, RetryStats, RetryingRowStream};
 pub use stream::{FileRowStream, MemoryRowStream, PassScan, RowStream, ScanCounter};

@@ -13,6 +13,7 @@ use std::fs::File;
 use std::io::{BufReader, Read, Seek, SeekFrom};
 use std::path::Path;
 
+use crate::crc32::Crc32;
 use crate::csr::RowMajorMatrix;
 use crate::error::{MatrixError, Result};
 
@@ -43,6 +44,32 @@ pub trait RowStream {
     ///
     /// Propagates IO failures (e.g. seek on a file-backed stream).
     fn reset(&mut self) -> Result<()>;
+
+    /// Skips the next `count` rows without delivering them, returning how
+    /// many were actually skipped (less than `count` only at end of pass).
+    ///
+    /// This is the fast-forward primitive behind checkpoint resume: a
+    /// consumer that already processed a prefix of the pass jumps past it
+    /// instead of re-reading. The default implementation reads and
+    /// discards; seekable implementations override it to avoid delivering
+    /// (and, for [`FileRowStream`], parsing) the skipped rows, and the
+    /// counting wrappers ([`PassCounter`], [`ScanCounter`]) deliberately do
+    /// **not** count skipped rows as scan volume.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IO/parse failures from the underlying source.
+    fn skip_rows(&mut self, count: u64) -> Result<u64> {
+        let mut buf = Vec::new();
+        let mut skipped = 0;
+        while skipped < count {
+            if self.read_row(&mut buf)?.is_none() {
+                break;
+            }
+            skipped += 1;
+        }
+        Ok(skipped)
+    }
 
     /// Drives a full pass, invoking `f(row_id, columns)` per row.
     ///
@@ -76,6 +103,10 @@ impl<S: RowStream + ?Sized> RowStream for &mut S {
 
     fn reset(&mut self) -> Result<()> {
         (**self).reset()
+    }
+
+    fn skip_rows(&mut self, count: u64) -> Result<u64> {
+        (**self).skip_rows(count)
     }
 }
 
@@ -118,10 +149,21 @@ impl RowStream for MemoryRowStream<'_> {
         self.next = 0;
         Ok(())
     }
+
+    fn skip_rows(&mut self, count: u64) -> Result<u64> {
+        let remaining = u64::from(self.matrix.n_rows() - self.next);
+        let skipped = count.min(remaining);
+        self.next += u32::try_from(skipped).expect("bounded by n_rows");
+        Ok(skipped)
+    }
 }
 
-/// Magic bytes opening the binary row file format (see [`crate::io`]).
+/// Magic bytes opening the v1 binary row file format (see [`crate::io`]).
 pub(crate) const BINARY_MAGIC: [u8; 4] = *b"SFAB";
+
+/// Magic bytes of the checksummed v2 binary row format: same row layout as
+/// v1 but with a trailing CRC-32 over everything after the magic.
+pub(crate) const BINARY_MAGIC_V2: [u8; 4] = *b"SFB2";
 
 /// File-backed stream over the binary row format written by
 /// [`io::write_binary`](crate::io::write_binary).
@@ -129,6 +171,13 @@ pub(crate) const BINARY_MAGIC: [u8; 4] = *b"SFAB";
 /// Reads sequentially through a `BufReader`; `reset` seeks back past the
 /// header. This is the implementation used to demonstrate genuinely
 /// out-of-core, single-pass operation.
+///
+/// Both format versions are accepted: v2 (`SFB2`) files carry a CRC-32
+/// which [`open`](Self::open) verifies with one sequential scan before any
+/// row is served, so bit flips and truncation surface as a
+/// [`MatrixError::Checksum`]/[`MatrixError::Parse`] error up front rather
+/// than as silently wrong rows mid-pass; legacy v1 (`SFAB`) files load
+/// without that protection.
 #[derive(Debug)]
 pub struct FileRowStream {
     reader: BufReader<File>,
@@ -136,40 +185,119 @@ pub struct FileRowStream {
     n_cols: u32,
     next: u32,
     data_start: u64,
+    /// Current byte offset in the file (for error reporting).
+    offset: u64,
+    /// First byte past the row payload (the CRC trailer for v2, EOF for v1).
+    payload_end: u64,
 }
 
 impl FileRowStream {
-    /// Opens a binary matrix file.
+    /// Opens a binary matrix file (v1 `SFAB` or checksummed v2 `SFB2`).
+    ///
+    /// For v2 files this verifies the CRC-32 — one extra sequential read of
+    /// the file — before returning; corrupt or truncated files never yield
+    /// a stream.
     ///
     /// # Errors
     ///
-    /// Fails on IO errors or if the header is malformed.
+    /// Fails on IO errors, a malformed header, or (v2) a checksum mismatch.
     pub fn open(path: &Path) -> Result<Self> {
         let file = File::open(path)?;
+        let file_len = file.metadata()?.len();
         let mut reader = BufReader::new(file);
         let mut header = [0u8; 12];
-        reader.read_exact(&mut header)?;
-        if header[0..4] != BINARY_MAGIC {
-            return Err(MatrixError::Parse {
-                at: 0,
-                detail: "bad magic (not an SFAB file)".into(),
-            });
-        }
+        reader
+            .read_exact(&mut header)
+            .map_err(|e| truncated(e, 0))?;
+        let v2 = match &header[0..4] {
+            m if *m == BINARY_MAGIC => false,
+            m if *m == BINARY_MAGIC_V2 => true,
+            _ => {
+                return Err(MatrixError::Parse {
+                    at: 0,
+                    detail: "bad magic (not an SFAB/SFB2 file)".into(),
+                })
+            }
+        };
         let n_rows = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
         let n_cols = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
-        Ok(Self {
+        let payload_end = if v2 {
+            if file_len < 16 {
+                return Err(MatrixError::Parse {
+                    at: file_len,
+                    detail: "v2 file shorter than header + checksum trailer".into(),
+                });
+            }
+            file_len - 4
+        } else {
+            file_len
+        };
+        let mut stream = Self {
             reader,
             n_rows,
             n_cols,
             next: 0,
             data_start: 12,
-        })
+            offset: 12,
+            payload_end,
+        };
+        if v2 {
+            stream.verify_checksum(&header[4..12])?;
+            stream.reset()?;
+        }
+        Ok(stream)
+    }
+
+    /// Streams from the current position (just past the header) to the
+    /// trailer, checking the CRC-32 over header fields + payload.
+    fn verify_checksum(&mut self, header_tail: &[u8]) -> Result<()> {
+        let mut crc = Crc32::new();
+        crc.update(header_tail);
+        let mut remaining = self.payload_end - self.data_start;
+        let mut chunk = [0u8; 8192];
+        while remaining > 0 {
+            let take = chunk
+                .len()
+                .min(usize::try_from(remaining).unwrap_or(chunk.len()));
+            self.reader
+                .read_exact(&mut chunk[..take])
+                .map_err(|e| truncated(e, self.offset))?;
+            crc.update(&chunk[..take]);
+            self.offset += take as u64;
+            remaining -= take as u64;
+        }
+        let mut trailer = [0u8; 4];
+        self.reader
+            .read_exact(&mut trailer)
+            .map_err(|e| truncated(e, self.offset))?;
+        let stored = u32::from_le_bytes(trailer);
+        let computed = crc.finalize();
+        if stored != computed {
+            return Err(MatrixError::Checksum { stored, computed });
+        }
+        Ok(())
     }
 
     fn read_u32(&mut self) -> Result<u32> {
         let mut b = [0u8; 4];
-        self.reader.read_exact(&mut b)?;
+        self.reader
+            .read_exact(&mut b)
+            .map_err(|e| truncated(e, self.offset))?;
+        self.offset += 4;
         Ok(u32::from_le_bytes(b))
+    }
+}
+
+/// Maps an `UnexpectedEof` from a fixed-size read to a parse error carrying
+/// the byte offset where the data ran out.
+fn truncated(e: std::io::Error, offset: u64) -> MatrixError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        MatrixError::Parse {
+            at: offset,
+            detail: "file truncated mid-record".into(),
+        }
+    } else {
+        MatrixError::Io(e)
     }
 }
 
@@ -188,14 +316,17 @@ impl RowStream for FileRowStream {
             return Ok(None);
         }
         let id = self.next;
+        let len_offset = self.offset;
         let len = self.read_u32()? as usize;
-        // A row holds at most one entry per column; a larger declared
-        // length is corruption — reject before reserving memory for it.
-        if len > self.n_cols as usize {
+        // A row holds at most one entry per column, and its entries must
+        // fit in the remaining payload; a larger declared length is
+        // corruption — reject before reserving memory for it.
+        let bytes_left = self.payload_end.saturating_sub(self.offset);
+        if len > self.n_cols as usize || (len as u64) * 4 > bytes_left {
             return Err(MatrixError::Parse {
-                at: u64::from(id),
+                at: len_offset,
                 detail: format!(
-                    "row {id} declares {len} entries for {} columns",
+                    "row {id} declares {len} entries ({} columns, {bytes_left} payload bytes left)",
                     self.n_cols
                 ),
             });
@@ -203,17 +334,20 @@ impl RowStream for FileRowStream {
         buf.reserve(len);
         let mut prev: Option<u32> = None;
         for _ in 0..len {
+            let col_offset = self.offset;
             let c = self.read_u32()?;
             if c >= self.n_cols {
-                return Err(MatrixError::IndexOutOfRange {
-                    kind: "column",
-                    index: c,
-                    bound: self.n_cols,
+                return Err(MatrixError::Parse {
+                    at: col_offset,
+                    detail: format!(
+                        "row {id}: column id {c} out of range ({} columns)",
+                        self.n_cols
+                    ),
                 });
             }
             if prev.is_some_and(|p| p >= c) {
                 return Err(MatrixError::Parse {
-                    at: u64::from(id),
+                    at: col_offset,
                     detail: format!("row {id} not strictly ascending"),
                 });
             }
@@ -226,8 +360,38 @@ impl RowStream for FileRowStream {
 
     fn reset(&mut self) -> Result<()> {
         self.reader.seek(SeekFrom::Start(self.data_start))?;
+        self.offset = self.data_start;
         self.next = 0;
         Ok(())
+    }
+
+    fn skip_rows(&mut self, count: u64) -> Result<u64> {
+        // Read each skipped row's length header, then seek past its ids —
+        // sequential IO but no parsing and no delivery.
+        let mut skipped = 0;
+        while skipped < count {
+            if self.next >= self.n_rows {
+                break;
+            }
+            let len_offset = self.offset;
+            let len = u64::from(self.read_u32()?);
+            let bytes_left = self.payload_end.saturating_sub(self.offset);
+            if len > u64::from(self.n_cols) || len * 4 > bytes_left {
+                return Err(MatrixError::Parse {
+                    at: len_offset,
+                    detail: format!(
+                        "row {} declares {len} entries ({} columns, {bytes_left} payload bytes left)",
+                        self.next, self.n_cols
+                    ),
+                });
+            }
+            self.reader
+                .seek_relative(i64::try_from(len * 4).expect("bounded by file size"))?;
+            self.offset += len * 4;
+            self.next += 1;
+            skipped += 1;
+        }
+        Ok(skipped)
     }
 }
 
@@ -290,6 +454,13 @@ impl<S: RowStream> RowStream for PassCounter<S> {
         self.inner.reset()?;
         self.passes += 1;
         Ok(())
+    }
+
+    fn skip_rows(&mut self, count: u64) -> Result<u64> {
+        // Skipped rows are not delivered to the consumer, so they do not
+        // count as rows read — this is what lets tests prove that a resumed
+        // run re-processed only the suffix.
+        self.inner.skip_rows(count)
     }
 }
 
@@ -357,6 +528,11 @@ impl<S: RowStream> RowStream for ScanCounter<S> {
         self.inner.reset()?;
         self.passes.push(PassScan::default());
         Ok(())
+    }
+
+    fn skip_rows(&mut self, count: u64) -> Result<u64> {
+        // Skipped rows deliver no data, so they add no scan volume.
+        self.inner.skip_rows(count)
     }
 }
 
@@ -474,6 +650,72 @@ mod tests {
         let mut buf = Vec::new();
         while wrapper.read_row(&mut buf).unwrap().is_some() {}
         assert_eq!(wrapper.pass_scans()[0].rows, 4);
+    }
+
+    #[test]
+    fn skip_rows_fast_forwards_without_counting() {
+        let m = sample();
+        let dir = std::env::temp_dir().join("sfa_matrix_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("skip.sfab");
+        io::write_binary(&m, &path).unwrap();
+        for seekable in [true, false] {
+            let mut buf = Vec::new();
+            if seekable {
+                let mut s = PassCounter::new(FileRowStream::open(&path).unwrap());
+                assert_eq!(s.skip_rows(2).unwrap(), 2);
+                assert_eq!(s.read_row(&mut buf).unwrap(), Some(2));
+                assert_eq!(buf, vec![1, 2]);
+                assert_eq!(s.skip_rows(5).unwrap(), 1, "only one row left");
+                assert_eq!(s.read_row(&mut buf).unwrap(), None);
+                assert_eq!(s.rows_read(), 1, "skipped rows must not count");
+            } else {
+                let mut s = ScanCounter::new(MemoryRowStream::new(&m));
+                assert_eq!(s.skip_rows(2).unwrap(), 2);
+                assert_eq!(s.read_row(&mut buf).unwrap(), Some(2));
+                assert_eq!(s.pass_scans()[0].rows, 1);
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v2_file_detects_corruption_and_truncation() {
+        let m = sample();
+        let dir = std::env::temp_dir().join("sfa_matrix_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.sfab");
+        io::write_binary(&m, &path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+        assert_eq!(&good[0..4], b"SFB2", "writer should emit v2");
+        // Flip one payload byte: checksum must catch it.
+        let mut bad = good.clone();
+        bad[14] ^= 0x40;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            FileRowStream::open(&path),
+            Err(MatrixError::Checksum { .. })
+        ));
+        // Truncate: either a parse error (mid-record) or checksum mismatch.
+        std::fs::write(&path, &good[..good.len() - 3]).unwrap();
+        assert!(FileRowStream::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_files_still_load() {
+        let m = sample();
+        let dir = std::env::temp_dir().join("sfa_matrix_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.sfab");
+        io::write_binary_v1(&m, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(&bytes[0..4], b"SFAB");
+        let mut s = FileRowStream::open(&path).unwrap();
+        let mut buf = Vec::new();
+        assert_eq!(s.read_row(&mut buf).unwrap(), Some(0));
+        assert_eq!(buf, vec![0, 1]);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -35,6 +35,7 @@ use crate::signature::SignatureMatrix;
 #[derive(Debug, Clone)]
 pub struct MhBuilder {
     family: HashFamily,
+    seed: u64,
     sigs: SignatureMatrix,
     row_hashes: Vec<u64>,
     rows_seen: u64,
@@ -46,10 +47,33 @@ impl MhBuilder {
     pub fn new(k: usize, m: usize, seed: u64) -> Self {
         Self {
             family: HashFamily::new(k, seed),
+            seed,
             sigs: SignatureMatrix::new_empty(k, m),
             row_hashes: vec![0; k],
             rows_seen: 0,
         }
+    }
+
+    /// Reconstructs a builder from checkpointed state: the partial
+    /// signatures of the first `rows_seen` rows, under configuration
+    /// `(sigs.k(), sigs.m(), seed)`. Pushing the remaining rows yields
+    /// exactly what an uninterrupted builder would have produced.
+    #[must_use]
+    pub fn from_state(seed: u64, rows_seen: u64, sigs: SignatureMatrix) -> Self {
+        let k = sigs.k();
+        Self {
+            family: HashFamily::new(k, seed),
+            seed,
+            sigs,
+            row_hashes: vec![0; k],
+            rows_seen,
+        }
+    }
+
+    /// The seed this builder's hash family was created with.
+    #[must_use]
+    pub const fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Number of rows folded in so far.
@@ -115,6 +139,7 @@ impl MhBuilder {
 #[derive(Debug, Clone)]
 pub struct KmhBuilder {
     hasher: RowHasher,
+    seed: u64,
     k: usize,
     trackers: Vec<BottomK>,
     counts: Vec<u32>,
@@ -127,11 +152,78 @@ impl KmhBuilder {
     pub fn new(k: usize, m: usize, seed: u64) -> Self {
         Self {
             hasher: RowHasher::new(seed),
+            seed,
             k,
             trackers: (0..m).map(|_| BottomK::new(k)).collect(),
             counts: vec![0; m],
             rows_seen: 0,
         }
+    }
+
+    /// Reconstructs a builder from checkpointed state: per-column retained
+    /// values (each ascending, at most `k` long) and 1-counts for the first
+    /// `rows_seen` rows. Pushing the remaining rows yields exactly what an
+    /// uninterrupted builder would have produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigs` and `counts` lengths disagree or a column retains
+    /// more than `k` values.
+    #[must_use]
+    pub fn from_state(
+        k: usize,
+        seed: u64,
+        rows_seen: u64,
+        sigs: Vec<Vec<u64>>,
+        counts: Vec<u32>,
+    ) -> Self {
+        assert_eq!(sigs.len(), counts.len(), "per-column lengths disagree");
+        let trackers = sigs
+            .into_iter()
+            .enumerate()
+            .map(|(j, values)| {
+                assert!(values.len() <= k, "column {j} retains more than k values");
+                let mut t = BottomK::new(k);
+                for v in values {
+                    t.insert(v);
+                }
+                t
+            })
+            .collect();
+        Self {
+            hasher: RowHasher::new(seed),
+            seed,
+            k,
+            trackers,
+            counts,
+            rows_seen,
+        }
+    }
+
+    /// The seed this builder's row hasher was created with.
+    #[must_use]
+    pub const fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Sketch size `k`.
+    #[must_use]
+    pub const fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of columns `m`.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.trackers.len()
+    }
+
+    /// The current per-column state, for checkpointing: for each column its
+    /// retained values in ascending order, and its 1-count so far.
+    #[must_use]
+    pub fn snapshot(&self) -> (Vec<Vec<u64>>, Vec<u32>) {
+        let sigs = self.trackers.iter().map(BottomK::to_sorted_vec).collect();
+        (sigs, self.counts.clone())
     }
 
     /// Number of rows folded in so far.
@@ -280,6 +372,45 @@ mod tests {
         left.merge(&right);
         let batch = compute_bottom_k(&mut MemoryRowStream::new(&m), 2, 7).unwrap();
         assert_eq!(left.finish(), batch);
+    }
+
+    #[test]
+    fn mh_from_state_resumes_identically() {
+        let m = matrix();
+        let mut first = MhBuilder::new(8, 4, 5);
+        for (id, cols) in m.rows().take(3) {
+            first.push_row(id, cols);
+        }
+        // Checkpoint: partial signatures + row cursor. Then "crash" and
+        // rebuild from the persisted state.
+        let (rows_seen, sigs) = (first.rows_seen(), first.current().clone());
+        drop(first);
+        let mut resumed = MhBuilder::from_state(5, rows_seen, sigs);
+        assert_eq!(resumed.seed(), 5);
+        for (id, cols) in m.rows().skip(3) {
+            resumed.push_row(id, cols);
+        }
+        let batch = compute_signatures(&mut MemoryRowStream::new(&m), 8, 5).unwrap();
+        assert_eq!(resumed.finish(), batch);
+    }
+
+    #[test]
+    fn kmh_from_state_resumes_identically() {
+        let m = matrix();
+        let mut first = KmhBuilder::new(2, 4, 5);
+        for (id, cols) in m.rows().take(3) {
+            first.push_row(id, cols);
+        }
+        let (sigs, counts) = first.snapshot();
+        let rows_seen = first.rows_seen();
+        drop(first);
+        let mut resumed = KmhBuilder::from_state(2, 5, rows_seen, sigs, counts);
+        assert_eq!((resumed.k(), resumed.m(), resumed.seed()), (2, 4, 5));
+        for (id, cols) in m.rows().skip(3) {
+            resumed.push_row(id, cols);
+        }
+        let batch = compute_bottom_k(&mut MemoryRowStream::new(&m), 2, 5).unwrap();
+        assert_eq!(resumed.finish(), batch);
     }
 
     #[test]

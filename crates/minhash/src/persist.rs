@@ -8,26 +8,35 @@
 //!
 //! Formats (little-endian):
 //!
-//! * `.sfmh` — `b"SFMH"`, `k: u32`, `m: u32`, then `k·m` `u64` values
-//!   (row-major), for [`SignatureMatrix`].
-//! * `.sfkm` — `b"SFKM"`, `k: u32`, `m: u32`, then per column
-//!   `count: u32`, `len: u32`, `len` ascending `u64` values, for
-//!   [`BottomKSignatures`].
+//! * `.sfmh` — `b"SFM2"`, `k: u32`, `m: u32`, then `k·m` `u64` values
+//!   (row-major), then a CRC-32 trailer, for [`SignatureMatrix`].
+//! * `.sfkm` — `b"SFK2"`, `k: u32`, `m: u32`, then per column
+//!   `count: u32`, `len: u32`, `len` ascending `u64` values, then a CRC-32
+//!   trailer, for [`BottomKSignatures`].
+//!
+//! The trailing CRC-32 (see [`sfa_matrix::crc32`]) covers everything after
+//! the magic and is verified before any value is trusted, so bit flips and
+//! truncation are rejected up front. Readers also still accept the legacy
+//! checksum-less v1 layouts (magics `b"SFMH"`/`b"SFKM"`, no trailer), which
+//! [`write_signatures_v1`]/[`write_bottom_k_v1`] keep producible.
 //!
 //! Byte-exact layouts and the validation rules readers enforce are
 //! specified in `docs/FORMATS.md` at the repository root.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufWriter, Write};
 use std::path::Path;
 
+use sfa_matrix::crc32::{crc32, CrcWriter};
 use sfa_matrix::{MatrixError, Result};
 
 use crate::kmh::BottomKSignatures;
 use crate::signature::SignatureMatrix;
 
 const MH_MAGIC: [u8; 4] = *b"SFMH";
+const MH_MAGIC_V2: [u8; 4] = *b"SFM2";
 const KMH_MAGIC: [u8; 4] = *b"SFKM";
+const KMH_MAGIC_V2: [u8; 4] = *b"SFK2";
 
 fn write_u32(w: &mut impl Write, v: u32) -> Result<()> {
     w.write_all(&v.to_le_bytes())?;
@@ -39,122 +48,288 @@ fn write_u64(w: &mut impl Write, v: u64) -> Result<()> {
     Ok(())
 }
 
-fn read_u32(r: &mut impl Read) -> Result<u32> {
-    let mut b = [0u8; 4];
-    r.read_exact(&mut b)?;
-    Ok(u32::from_le_bytes(b))
+/// A bounds-checked cursor over an in-memory file image; every error
+/// carries the byte offset where the data ran out or went wrong.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
 }
 
-fn read_u64(r: &mut impl Read) -> Result<u64> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
-    Ok(u64::from_le_bytes(b))
+impl<'a> Cursor<'a> {
+    const fn new(bytes: &'a [u8], pos: usize) -> Self {
+        Self { bytes, pos }
+    }
+
+    /// Current byte offset (for error messages).
+    const fn offset(&self) -> u64 {
+        self.pos as u64
+    }
+
+    /// Bytes between the cursor and the end of the parseable region.
+    const fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(MatrixError::Parse {
+                at: self.offset(),
+                detail: format!(
+                    "file truncated: needed {n} bytes, {} left",
+                    self.remaining()
+                ),
+            });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn read_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn read_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
 }
 
-/// Writes a [`SignatureMatrix`] to `path`.
+/// Loads a sketch file, checks its magic against the v1/v2 constants, and
+/// (for v2) verifies the CRC-32 trailer. Returns the file image and a
+/// cursor positioned after the magic, covering exactly the payload.
+fn open_sketch(path: &Path, magic_v1: [u8; 4], magic_v2: [u8; 4], what: &str) -> Result<Vec<u8>> {
+    let bytes = std::fs::read(path)?;
+    if bytes.len() < 4 {
+        return Err(MatrixError::Parse {
+            at: bytes.len() as u64,
+            detail: format!("file too short for a magic (not an {what} sketch)"),
+        });
+    }
+    let v2 = match &bytes[0..4] {
+        m if *m == magic_v1 => false,
+        m if *m == magic_v2 => true,
+        _ => {
+            return Err(MatrixError::Parse {
+                at: 0,
+                detail: format!("bad magic (not an {what} sketch)"),
+            })
+        }
+    };
+    if v2 {
+        if bytes.len() < 8 {
+            return Err(MatrixError::Parse {
+                at: bytes.len() as u64,
+                detail: "v2 file shorter than magic + checksum trailer".into(),
+            });
+        }
+        let body_end = bytes.len() - 4;
+        let stored = u32::from_le_bytes(bytes[body_end..].try_into().expect("4 bytes"));
+        let computed = crc32(&bytes[4..body_end]);
+        if stored != computed {
+            return Err(MatrixError::Checksum { stored, computed });
+        }
+    }
+    Ok(bytes)
+}
+
+/// The payload region of a loaded sketch image: everything after the magic,
+/// minus the CRC trailer when the magic says v2.
+fn payload(bytes: &[u8], magic_v2: [u8; 4]) -> Cursor<'_> {
+    let end = if bytes[0..4] == magic_v2 {
+        bytes.len() - 4
+    } else {
+        bytes.len()
+    };
+    Cursor::new(&bytes[..end], 4)
+}
+
+/// Writes a [`SignatureMatrix`] to `path` in the checksummed v2 format.
 ///
 /// # Errors
 ///
 /// Propagates IO errors.
 pub fn write_signatures(sigs: &SignatureMatrix, path: &Path) -> Result<()> {
+    let mut w = CrcWriter::new(BufWriter::new(File::create(path)?));
+    w.get_mut().write_all(&MH_MAGIC_V2)?;
+    write_signatures_body(&mut w, sigs)?;
+    let crc = w.digest();
+    let inner = w.get_mut();
+    inner.write_all(&crc.to_le_bytes())?;
+    inner.flush()?;
+    Ok(())
+}
+
+/// Writes a [`SignatureMatrix`] in the legacy v1 format (no checksum), for
+/// interoperating with pre-v2 readers and for compatibility tests.
+///
+/// # Errors
+///
+/// Propagates IO errors.
+pub fn write_signatures_v1(sigs: &SignatureMatrix, path: &Path) -> Result<()> {
     let mut w = BufWriter::new(File::create(path)?);
     w.write_all(&MH_MAGIC)?;
-    write_u32(&mut w, u32::try_from(sigs.k()).expect("k fits u32"))?;
-    write_u32(&mut w, u32::try_from(sigs.m()).expect("m fits u32"))?;
-    for l in 0..sigs.k() {
-        for &v in sigs.row(l) {
-            write_u64(&mut w, v)?;
-        }
-    }
+    write_signatures_body(&mut w, sigs)?;
     w.flush()?;
     Ok(())
 }
 
-/// Reads a [`SignatureMatrix`] from `path`.
+fn write_signatures_body(w: &mut impl Write, sigs: &SignatureMatrix) -> Result<()> {
+    write_u32(w, u32::try_from(sigs.k()).expect("k fits u32"))?;
+    write_u32(w, u32::try_from(sigs.m()).expect("m fits u32"))?;
+    for l in 0..sigs.k() {
+        for &v in sigs.row(l) {
+            write_u64(w, v)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a [`SignatureMatrix`] from `path` (v1 `SFMH` or checksummed v2
+/// `SFM2`).
 ///
 /// # Errors
 ///
-/// Fails on IO errors or a malformed header.
+/// Fails on IO errors, a malformed header, a payload whose size disagrees
+/// with the declared `k·m`, or (v2) a checksum mismatch.
 pub fn read_signatures(path: &Path) -> Result<SignatureMatrix> {
-    let mut r = BufReader::new(File::open(path)?);
-    let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
-    if magic != MH_MAGIC {
+    let bytes = open_sketch(path, MH_MAGIC, MH_MAGIC_V2, "SFMH/SFM2")?;
+    let mut c = payload(&bytes, MH_MAGIC_V2);
+    let k = c.read_u32()? as usize;
+    let m = c.read_u32()? as usize;
+    // Validate the declared size against the actual payload *before*
+    // allocating: a corrupt header must not drive a huge reservation.
+    let declared = (k as u128) * (m as u128) * 8;
+    if declared != c.remaining() as u128 {
         return Err(MatrixError::Parse {
-            at: 0,
-            detail: "bad magic (not an SFMH sketch)".into(),
+            at: c.offset(),
+            detail: format!(
+                "header declares k={k}, m={m} ({declared} payload bytes) but {} are present",
+                c.remaining()
+            ),
         });
     }
-    let k = read_u32(&mut r)? as usize;
-    let m = read_u32(&mut r)? as usize;
     let mut values = Vec::with_capacity(k * m);
     for _ in 0..k * m {
-        values.push(read_u64(&mut r)?);
+        values.push(c.read_u64()?);
     }
     Ok(SignatureMatrix::from_values(k, m, values))
 }
 
-/// Writes [`BottomKSignatures`] to `path`.
+/// Writes [`BottomKSignatures`] to `path` in the checksummed v2 format.
 ///
 /// # Errors
 ///
 /// Propagates IO errors.
 pub fn write_bottom_k(sigs: &BottomKSignatures, path: &Path) -> Result<()> {
+    let mut w = CrcWriter::new(BufWriter::new(File::create(path)?));
+    w.get_mut().write_all(&KMH_MAGIC_V2)?;
+    write_bottom_k_body(&mut w, sigs)?;
+    let crc = w.digest();
+    let inner = w.get_mut();
+    inner.write_all(&crc.to_le_bytes())?;
+    inner.flush()?;
+    Ok(())
+}
+
+/// Writes [`BottomKSignatures`] in the legacy v1 format (no checksum), for
+/// interoperating with pre-v2 readers and for compatibility tests.
+///
+/// # Errors
+///
+/// Propagates IO errors.
+pub fn write_bottom_k_v1(sigs: &BottomKSignatures, path: &Path) -> Result<()> {
     let mut w = BufWriter::new(File::create(path)?);
     w.write_all(&KMH_MAGIC)?;
-    write_u32(&mut w, u32::try_from(sigs.k()).expect("k fits u32"))?;
-    write_u32(&mut w, u32::try_from(sigs.m()).expect("m fits u32"))?;
-    for j in 0..sigs.m() as u32 {
-        write_u32(&mut w, sigs.column_count(j))?;
-        let sig = sigs.signature(j);
-        write_u32(&mut w, u32::try_from(sig.len()).expect("len fits u32"))?;
-        for &v in sig {
-            write_u64(&mut w, v)?;
-        }
-    }
+    write_bottom_k_body(&mut w, sigs)?;
     w.flush()?;
     Ok(())
 }
 
-/// Reads [`BottomKSignatures`] from `path`.
+fn write_bottom_k_body(w: &mut impl Write, sigs: &BottomKSignatures) -> Result<()> {
+    write_u32(w, u32::try_from(sigs.k()).expect("k fits u32"))?;
+    write_u32(w, u32::try_from(sigs.m()).expect("m fits u32"))?;
+    for j in 0..sigs.m() as u32 {
+        write_u32(w, sigs.column_count(j))?;
+        let sig = sigs.signature(j);
+        write_u32(w, u32::try_from(sig.len()).expect("len fits u32"))?;
+        for &v in sig {
+            write_u64(w, v)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads [`BottomKSignatures`] from `path` (v1 `SFKM` or checksummed v2
+/// `SFK2`).
 ///
 /// # Errors
 ///
-/// Fails on IO errors, malformed headers, or invalid sketch contents.
+/// Fails on IO errors, malformed headers, invalid sketch contents
+/// (signature longer than `k`, non-ascending values, size mismatches —
+/// every error carries the byte offset), or (v2) a checksum mismatch.
 pub fn read_bottom_k(path: &Path) -> Result<BottomKSignatures> {
-    let mut r = BufReader::new(File::open(path)?);
-    let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
-    if magic != KMH_MAGIC {
+    let bytes = open_sketch(path, KMH_MAGIC, KMH_MAGIC_V2, "SFKM/SFK2")?;
+    let mut c = payload(&bytes, KMH_MAGIC_V2);
+    let k = c.read_u32()? as usize;
+    let m = c.read_u32()? as usize;
+    // Each column record is at least 8 bytes; bound the declared column
+    // count by the payload before reserving per-column vectors.
+    if (m as u64) * 8 > c.remaining() as u64 {
         return Err(MatrixError::Parse {
-            at: 0,
-            detail: "bad magic (not an SFKM sketch)".into(),
+            at: c.offset(),
+            detail: format!(
+                "header declares {m} columns but only {} payload bytes remain",
+                c.remaining()
+            ),
         });
     }
-    let k = read_u32(&mut r)? as usize;
-    let m = read_u32(&mut r)? as usize;
     let mut sigs = Vec::with_capacity(m);
     let mut counts = Vec::with_capacity(m);
     for j in 0..m {
-        counts.push(read_u32(&mut r)?);
-        let len = read_u32(&mut r)? as usize;
+        counts.push(c.read_u32()?);
+        let len_offset = c.offset();
+        let len = c.read_u32()? as usize;
         if len > k {
             return Err(MatrixError::Parse {
-                at: j as u64,
+                at: len_offset,
                 detail: format!("column {j}: signature length {len} exceeds k = {k}"),
             });
         }
-        let mut sig = Vec::with_capacity(len);
-        for _ in 0..len {
-            sig.push(read_u64(&mut r)?);
-        }
-        if !sig.windows(2).all(|w| w[0] < w[1]) {
+        if (len as u64) * 8 > c.remaining() as u64 {
             return Err(MatrixError::Parse {
-                at: j as u64,
-                detail: format!("column {j}: signature not strictly ascending"),
+                at: len_offset,
+                detail: format!(
+                    "column {j}: signature of {len} values needs {} bytes, {} left",
+                    len * 8,
+                    c.remaining()
+                ),
             });
         }
+        let mut sig = Vec::with_capacity(len);
+        let mut prev: Option<u64> = None;
+        for _ in 0..len {
+            let value_offset = c.offset();
+            let v = c.read_u64()?;
+            if prev.is_some_and(|p| p >= v) {
+                return Err(MatrixError::Parse {
+                    at: value_offset,
+                    detail: format!("column {j}: signature not strictly ascending"),
+                });
+            }
+            prev = Some(v);
+            sig.push(v);
+        }
         sigs.push(sig);
+    }
+    if c.remaining() > 0 {
+        return Err(MatrixError::Parse {
+            at: c.offset(),
+            detail: format!("{} trailing bytes after the last column", c.remaining()),
+        });
     }
     Ok(BottomKSignatures::from_parts(k, sigs, counts))
 }
@@ -185,6 +360,7 @@ mod tests {
         let sigs = compute_signatures(&mut MemoryRowStream::new(&m), 8, 5).unwrap();
         let p = tmp("sigs.sfmh");
         write_signatures(&sigs, &p).unwrap();
+        assert_eq!(&std::fs::read(&p).unwrap()[0..4], b"SFM2");
         assert_eq!(read_signatures(&p).unwrap(), sigs);
         std::fs::remove_file(&p).ok();
     }
@@ -195,8 +371,26 @@ mod tests {
         let sigs = compute_bottom_k(&mut MemoryRowStream::new(&m), 3, 5).unwrap();
         let p = tmp("sigs.sfkm");
         write_bottom_k(&sigs, &p).unwrap();
+        assert_eq!(&std::fs::read(&p).unwrap()[0..4], b"SFK2");
         assert_eq!(read_bottom_k(&p).unwrap(), sigs);
         std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn v1_sketches_still_load() {
+        let m = matrix();
+        let mh = compute_signatures(&mut MemoryRowStream::new(&m), 8, 5).unwrap();
+        let kmh = compute_bottom_k(&mut MemoryRowStream::new(&m), 3, 5).unwrap();
+        let pm = tmp("legacy.sfmh");
+        let pk = tmp("legacy.sfkm");
+        write_signatures_v1(&mh, &pm).unwrap();
+        write_bottom_k_v1(&kmh, &pk).unwrap();
+        assert_eq!(&std::fs::read(&pm).unwrap()[0..4], b"SFMH");
+        assert_eq!(&std::fs::read(&pk).unwrap()[0..4], b"SFKM");
+        assert_eq!(read_signatures(&pm).unwrap(), mh);
+        assert_eq!(read_bottom_k(&pk).unwrap(), kmh);
+        std::fs::remove_file(&pm).ok();
+        std::fs::remove_file(&pk).ok();
     }
 
     #[test]
@@ -223,6 +417,51 @@ mod tests {
         let bytes = std::fs::read(&p).unwrap();
         std::fs::write(&p, &bytes[..bytes.len() / 2]).unwrap();
         assert!(read_signatures(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn bit_flip_is_a_checksum_error() {
+        let m = matrix();
+        let mh = compute_signatures(&mut MemoryRowStream::new(&m), 8, 5).unwrap();
+        let kmh = compute_bottom_k(&mut MemoryRowStream::new(&m), 3, 5).unwrap();
+        let pm = tmp("flip.sfmh");
+        let pk = tmp("flip.sfkm");
+        write_signatures(&mh, &pm).unwrap();
+        write_bottom_k(&kmh, &pk).unwrap();
+        for p in [&pm, &pk] {
+            let mut bytes = std::fs::read(p).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x10;
+            std::fs::write(p, &bytes).unwrap();
+        }
+        assert!(matches!(
+            read_signatures(&pm),
+            Err(MatrixError::Checksum { .. })
+        ));
+        assert!(matches!(
+            read_bottom_k(&pk),
+            Err(MatrixError::Checksum { .. })
+        ));
+        std::fs::remove_file(&pm).ok();
+        std::fs::remove_file(&pk).ok();
+    }
+
+    #[test]
+    fn v1_size_mismatch_is_rejected_before_allocation() {
+        // A hostile v1 header declaring a huge k·m must be rejected from
+        // the payload size alone, without attempting the allocation.
+        let p = tmp("huge.sfmh");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"SFMH");
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 16]);
+        std::fs::write(&p, &bytes).unwrap();
+        assert!(matches!(
+            read_signatures(&p),
+            Err(MatrixError::Parse { .. })
+        ));
         std::fs::remove_file(&p).ok();
     }
 

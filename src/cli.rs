@@ -10,17 +10,62 @@
 //!            [--metrics-json out.json]
 //! sfa mine --input table.sfab --scheme mh|kmh|mlsh|hlsh --threshold S
 //!          [--k N] [--r N] [--l N] [--delta D] [--seed N] [--csv out.csv]
-//!          [--metrics-json out.json]
+//!          [--metrics-json out.json] [--max-retries N]
+//!          [--checkpoint-dir DIR] [--checkpoint-every N]
 //! ```
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs after the
 //! subcommand) to keep the dependency footprint at zero.
+//!
+//! Exit codes: 0 success, 1 data/environment error (one-line diagnostic),
+//! 2 usage error (usage text printed). `--max-retries` wraps the input in a
+//! [`RetryingRowStream`] so transient IO errors are absorbed;
+//! `--checkpoint-dir` makes `mine` crash-safe via
+//! [`Pipeline::run_resumable`].
 
 use std::path::{Path, PathBuf};
 
-use crate::core::{Pipeline, PipelineConfig, Scheme};
+use crate::core::{CheckpointSpec, Pipeline, PipelineConfig, Scheme};
 use crate::datagen::{NewsConfig, SyntheticConfig, WeblogConfig};
-use crate::matrix::{io, FileRowStream, RowStream};
+use crate::matrix::{io, FileRowStream, RetryingRowStream, RowStream};
+
+/// A CLI failure, classified so the process can exit with a distinct code
+/// per failure family (usage mistakes vs. bad data/environment).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// The command line itself is malformed — unknown subcommand, missing
+    /// option, unparsable value. Exit code 2; usage text is printed.
+    Usage(String),
+    /// The command line is fine but the data or environment is not —
+    /// missing/corrupt/truncated input, IO failure. Exit code 1; a
+    /// one-line diagnostic is printed (no usage spam).
+    Data(String),
+}
+
+impl CliError {
+    /// The process exit code for this failure family.
+    #[must_use]
+    pub const fn exit_code(&self) -> i32 {
+        match self {
+            Self::Usage(_) => 2,
+            Self::Data(_) => 1,
+        }
+    }
+
+    /// The diagnostic message.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        match self {
+            Self::Usage(m) | Self::Data(m) => m,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.message())
+    }
+}
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,14 +114,17 @@ impl Args {
         self.get(key).unwrap_or(default)
     }
 
-    fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.get(key)
+            .ok_or_else(|| CliError::Usage(format!("missing --{key}")))
     }
 
-    fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+    fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("bad --{key}: {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad --{key}: {v:?}"))),
         }
     }
 }
@@ -92,7 +140,8 @@ USAGE:
              [--metrics-json FILE]
   sfa mine   --input FILE --scheme mh|kmh|mlsh|hlsh [--threshold S]
              [--k N] [--r N] [--l N] [--delta D] [--seed N] [--csv FILE]
-             [--metrics-json FILE]
+             [--metrics-json FILE] [--max-retries N]
+             [--checkpoint-dir DIR] [--checkpoint-every N]
   sfa optimize --input FILE [--threshold S] [--max-fn N] [--max-fp N]
                [--sample F] [--seed N]
   sfa rules  --input FILE [--confidence C] [--k N] [--delta D] [--seed N]
@@ -102,7 +151,8 @@ USAGE:
 Dataset kinds for gen: weblog, news, synthetic, cf, basket.
 ";
 
-/// Runs the CLI; returns the process exit code.
+/// Runs the CLI; returns the process exit code (0 success, 1 data error,
+/// 2 usage error).
 #[must_use]
 pub fn run(raw: &[String]) -> i32 {
     match dispatch(raw) {
@@ -110,10 +160,12 @@ pub fn run(raw: &[String]) -> i32 {
             print!("{output}");
             0
         }
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            eprintln!("{USAGE}");
-            1
+        Err(e) => {
+            eprintln!("error: {e}");
+            if matches!(e, CliError::Usage(_)) {
+                eprintln!("{USAGE}");
+            }
+            e.exit_code()
         }
     }
 }
@@ -122,9 +174,9 @@ pub fn run(raw: &[String]) -> i32 {
 ///
 /// # Errors
 ///
-/// Returns a human-readable message on bad arguments or IO failures.
-pub fn dispatch(raw: &[String]) -> Result<String, String> {
-    let args = Args::parse(raw)?;
+/// Returns a classified [`CliError`] on bad arguments or IO failures.
+pub fn dispatch(raw: &[String]) -> Result<String, CliError> {
+    let args = Args::parse(raw).map_err(CliError::Usage)?;
     match args.command.as_str() {
         "gen" => cmd_gen(&args),
         "info" => cmd_info(&args),
@@ -135,15 +187,15 @@ pub fn dispatch(raw: &[String]) -> Result<String, String> {
         "rules" => cmd_rules(&args),
         "compare" => cmd_compare(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
-        other => Err(format!("unknown subcommand {other:?}")),
+        other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
     }
 }
 
-fn io_err(e: impl std::fmt::Display) -> String {
-    format!("{e}")
+fn io_err(e: impl std::fmt::Display) -> CliError {
+    CliError::Data(e.to_string())
 }
 
-fn cmd_gen(args: &Args) -> Result<String, String> {
+fn cmd_gen(args: &Args) -> Result<String, CliError> {
     let kind = args.require("kind")?;
     let out = PathBuf::from(args.require("out")?);
     let seed: u64 = args.parse_num("seed", 42)?;
@@ -181,7 +233,11 @@ fn cmd_gen(args: &Args) -> Result<String, String> {
             .generate()
             .matrix
             .transpose(),
-        (k, s) => return Err(format!("unknown --kind {k:?} / --scale {s:?}")),
+        (k, s) => {
+            return Err(CliError::Usage(format!(
+                "unknown --kind {k:?} / --scale {s:?}"
+            )))
+        }
     };
     io::write_binary(&rows, &out).map_err(io_err)?;
     Ok(format!(
@@ -193,13 +249,13 @@ fn cmd_gen(args: &Args) -> Result<String, String> {
     ))
 }
 
-fn open_input(args: &Args) -> Result<(PathBuf, FileRowStream), String> {
+fn open_input(args: &Args) -> Result<(PathBuf, FileRowStream), CliError> {
     let input = PathBuf::from(args.require("input")?);
     let stream = FileRowStream::open(&input).map_err(io_err)?;
     Ok((input, stream))
 }
 
-fn cmd_info(args: &Args) -> Result<String, String> {
+fn cmd_info(args: &Args) -> Result<String, CliError> {
     let (input, mut stream) = open_input(args)?;
     let mut nnz = 0usize;
     let mut max_row = 0usize;
@@ -219,7 +275,7 @@ fn cmd_info(args: &Args) -> Result<String, String> {
     ))
 }
 
-fn cmd_stats(args: &Args) -> Result<String, String> {
+fn cmd_stats(args: &Args) -> Result<String, CliError> {
     let (_, mut stream) = open_input(args)?;
     let bins: usize = args.parse_num("bins", 20)?;
     let matrix = materialize(&mut stream)?;
@@ -246,7 +302,7 @@ fn cmd_stats(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
-fn cmd_sketch(args: &Args) -> Result<String, String> {
+fn cmd_sketch(args: &Args) -> Result<String, CliError> {
     let (_, stream) = open_input(args)?;
     let out = PathBuf::from(args.require("out")?);
     let k: usize = args.parse_num("k", 100)?;
@@ -266,7 +322,11 @@ fn cmd_sketch(args: &Args) -> Result<String, String> {
             let output = format!("wrote K-MH sketch (k={k}) to {}\n", out.display());
             (output, Scheme::Kmh { k, delta: 0.0 }, sigs.heap_bytes())
         }
-        other => return Err(format!("sketch scheme must be mh|kmh, got {other:?}")),
+        other => {
+            return Err(CliError::Usage(format!(
+                "sketch scheme must be mh|kmh, got {other:?}"
+            )))
+        }
     };
     if let Some(path) = args.get("metrics-json") {
         // Sketching is phase 1 only: the threshold is not involved, so the
@@ -294,7 +354,7 @@ fn cmd_sketch(args: &Args) -> Result<String, String> {
     Ok(output)
 }
 
-fn scheme_from_args(args: &Args) -> Result<Scheme, String> {
+fn scheme_from_args(args: &Args) -> Result<Scheme, CliError> {
     let k: usize = args.parse_num("k", 100)?;
     let delta: f64 = args.parse_num("delta", 0.2)?;
     let r: usize = args.parse_num("r", 5)?;
@@ -314,17 +374,49 @@ fn scheme_from_args(args: &Args) -> Result<Scheme, String> {
             t: 4,
             max_levels: 16,
         },
-        other => Err(format!("unknown --scheme {other:?}"))?,
+        other => Err(CliError::Usage(format!("unknown --scheme {other:?}")))?,
     })
 }
 
-fn cmd_mine(args: &Args) -> Result<String, String> {
-    let (_, mut stream) = open_input(args)?;
+/// Runs `mine`'s pipeline over a stream, with or without a checkpoint dir.
+fn mine_run<S: RowStream>(
+    config: PipelineConfig,
+    stream: &mut S,
+    checkpoint: Option<&CheckpointSpec>,
+) -> Result<crate::core::MiningResult, CliError> {
+    let pipeline = Pipeline::new(config);
+    match checkpoint {
+        Some(spec) => pipeline.run_resumable(stream, spec).map_err(io_err),
+        None => pipeline.run(stream).map_err(io_err),
+    }
+}
+
+fn cmd_mine(args: &Args) -> Result<String, CliError> {
+    // Validate the whole command line before touching the filesystem, so
+    // usage mistakes are reported as such even when the input is also bad.
     let s_star: f64 = args.parse_num("threshold", 0.7)?;
     let seed: u64 = args.parse_num("seed", 42)?;
+    let max_retries: u32 = args.parse_num("max-retries", 0)?;
+    let every_rows: u64 = args.parse_num("checkpoint-every", 1024)?;
+    if every_rows == 0 {
+        return Err(CliError::Usage("--checkpoint-every must be > 0".into()));
+    }
+    let checkpoint = args
+        .get("checkpoint-dir")
+        .map(|dir| CheckpointSpec::new(dir).with_every_rows(every_rows));
     let scheme = scheme_from_args(args)?;
     let config = PipelineConfig::new(scheme, s_star, seed);
-    let result = Pipeline::new(config).run(&mut stream).map_err(io_err)?;
+    let (_, mut stream) = open_input(args)?;
+    let result = if max_retries > 0 {
+        let mut retrying = RetryingRowStream::new(stream, max_retries);
+        let mut result = mine_run(config, &mut retrying, checkpoint.as_ref())?;
+        let stats = retrying.stats();
+        result.metrics.recovery.transient_errors_retried += stats.retries;
+        result.metrics.recovery.rows_refetched += stats.rows_refetched;
+        result
+    } else {
+        mine_run(config, &mut stream, checkpoint.as_ref())?
+    };
     let pairs = result.similar_pairs();
     let mut out = format!(
         "{}: {} candidates, {} pairs at S >= {s_star} ({})\n",
@@ -354,7 +446,7 @@ fn write_metrics_json(path: &Path, doc: &crate::core::MetricsDocument) -> std::i
     std::fs::write(path, crate::json::to_string_pretty(doc))
 }
 
-fn cmd_optimize(args: &Args) -> Result<String, String> {
+fn cmd_optimize(args: &Args) -> Result<String, CliError> {
     let (_, mut stream) = open_input(args)?;
     let s_star: f64 = args.parse_num("threshold", 0.7)?;
     let max_fn: f64 = args.parse_num("max-fn", 5.0)?;
@@ -378,13 +470,13 @@ fn cmd_optimize(args: &Args) -> Result<String, String> {
             p.l,
             p.k(),
         )),
-        None => Err(format!(
+        None => Err(CliError::Data(format!(
             "no (r, l) within the search box satisfies FN ≤ {max_fn} and FP ≤ {max_fp}"
-        )),
+        ))),
     }
 }
 
-fn cmd_rules(args: &Args) -> Result<String, String> {
+fn cmd_rules(args: &Args) -> Result<String, CliError> {
     let (_, mut stream) = open_input(args)?;
     let confidence: f64 = args.parse_num("confidence", 0.9)?;
     let k: usize = args.parse_num("k", 200)?;
@@ -406,7 +498,7 @@ fn cmd_rules(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
-fn cmd_compare(args: &Args) -> Result<String, String> {
+fn cmd_compare(args: &Args) -> Result<String, CliError> {
     let input = PathBuf::from(args.require("input")?);
     let s_star: f64 = args.parse_num("threshold", 0.7)?;
     let k: usize = args.parse_num("k", 100)?;
@@ -461,7 +553,7 @@ fn write_pairs_csv(path: &Path, pairs: &[crate::core::VerifiedPair]) -> std::io:
     Ok(())
 }
 
-fn materialize(stream: &mut FileRowStream) -> Result<crate::matrix::RowMajorMatrix, String> {
+fn materialize(stream: &mut FileRowStream) -> Result<crate::matrix::RowMajorMatrix, CliError> {
     let n_cols = stream.n_cols();
     let mut rows = Vec::with_capacity(stream.n_rows() as usize);
     let mut buf = Vec::new();
@@ -810,7 +902,109 @@ mod tests {
             "quantum",
         ]))
         .unwrap_err();
-        assert!(err.contains("quantum"));
+        assert!(err.message().contains("quantum"));
+        assert_eq!(err.exit_code(), 2, "bad scheme is a usage error");
         std::fs::remove_file(&table).ok();
+    }
+
+    #[test]
+    fn errors_are_classified_for_exit_codes() {
+        // Usage family → exit 2.
+        for bad in [
+            vec!["frobnicate"],
+            vec!["mine"],
+            vec!["mine", "--input", "x.sfab", "--scheme", "mh", "--k", "NaN"],
+            vec![
+                "gen", "--kind", "weblog", "--out", "x.sfab", "--scale", "galactic",
+            ],
+        ] {
+            let err = dispatch(&strs(&bad)).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{bad:?} → {err:?}");
+        }
+        // Data family → exit 1: missing and corrupt inputs.
+        let missing = dispatch(&strs(&[
+            "mine",
+            "--input",
+            "/nonexistent/no.sfab",
+            "--scheme",
+            "mh",
+        ]))
+        .unwrap_err();
+        assert_eq!(missing.exit_code(), 1, "{missing:?}");
+
+        let garbage = tmp("garbage.sfab");
+        std::fs::write(&garbage, b"not a matrix at all").unwrap();
+        let err = dispatch(&strs(&[
+            "mine",
+            "--input",
+            garbage.to_str().unwrap(),
+            "--scheme",
+            "mh",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 1, "{err:?}");
+        std::fs::remove_file(&garbage).ok();
+    }
+
+    #[test]
+    fn mine_with_retries_and_checkpoints_matches_plain_mine() {
+        let table = tmp("robust_mine.sfab");
+        dispatch(&strs(&[
+            "gen",
+            "--kind",
+            "weblog",
+            "--out",
+            table.to_str().unwrap(),
+            "--scale",
+            "tiny",
+        ]))
+        .unwrap();
+        let plain = dispatch(&strs(&[
+            "mine",
+            "--input",
+            table.to_str().unwrap(),
+            "--scheme",
+            "mh",
+            "--threshold",
+            "0.8",
+            "--k",
+            "40",
+        ]))
+        .unwrap();
+        let ckpt_dir = tmp("robust_mine_ckpt");
+        let json_path = tmp("robust_mine.json");
+        let robust = dispatch(&strs(&[
+            "mine",
+            "--input",
+            table.to_str().unwrap(),
+            "--scheme",
+            "mh",
+            "--threshold",
+            "0.8",
+            "--k",
+            "40",
+            "--max-retries",
+            "3",
+            "--checkpoint-dir",
+            ckpt_dir.to_str().unwrap(),
+            "--checkpoint-every",
+            "256",
+            "--metrics-json",
+            json_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Same pairs line-for-line (line 1 carries wall-clock timings and
+        // the robust run appends a "wrote …" line; skip both).
+        let plain_pairs: Vec<&str> = plain.lines().skip(1).collect();
+        let robust_pairs: Vec<&str> = robust.lines().skip(1).take(plain_pairs.len()).collect();
+        assert!(!plain_pairs.is_empty(), "no pairs mined");
+        assert_eq!(robust_pairs, plain_pairs, "output diverged");
+        let text = std::fs::read_to_string(&json_path).unwrap();
+        let doc: crate::core::MetricsDocument = crate::json::from_str(&text).unwrap();
+        assert!(doc.metrics.recovery.checkpoints_written > 0);
+        assert_eq!(doc.metrics.recovery.transient_errors_retried, 0);
+        std::fs::remove_file(&table).ok();
+        std::fs::remove_file(&json_path).ok();
+        std::fs::remove_dir_all(&ckpt_dir).ok();
     }
 }

@@ -6,12 +6,19 @@ use std::path::PathBuf;
 use std::process::Command;
 
 fn sfa(args: &[&str]) -> (bool, String, String) {
+    let (code, stdout, stderr) = sfa_code(args);
+    (code == 0, stdout, stderr)
+}
+
+/// Like [`sfa`] but returns the raw exit code, for the exit-code contract
+/// tests (0 = ok, 1 = data error, 2 = usage error).
+fn sfa_code(args: &[&str]) -> (i32, String, String) {
     let out = Command::new(env!("CARGO_BIN_EXE_sfa"))
         .args(args)
         .output()
         .expect("binary runs");
     (
-        out.status.success(),
+        out.status.code().expect("no signal"),
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
     )
@@ -108,6 +115,145 @@ fn mine_missing_file_reports_error() {
     ]);
     assert!(!ok);
     assert!(stderr.contains("error"));
+}
+
+#[test]
+fn usage_errors_exit_2_and_print_usage() {
+    // Unknown subcommand, missing required option, malformed number, and a
+    // bad enum value are all the operator's mistake: exit code 2 + USAGE.
+    for args in [
+        vec!["frobnicate"],
+        vec!["mine"],
+        vec![
+            "mine",
+            "--input",
+            "/nonexistent.sfab",
+            "--scheme",
+            "mh",
+            "--k",
+            "NaN",
+        ],
+        vec![
+            "gen",
+            "--kind",
+            "weblog",
+            "--out",
+            "/dev/null",
+            "--scale",
+            "galactic",
+        ],
+    ] {
+        let (code, _, stderr) = sfa_code(&args);
+        assert_eq!(code, 2, "{args:?} should be a usage error: {stderr}");
+        assert!(stderr.contains("error:"), "{args:?}: {stderr}");
+        assert!(
+            stderr.contains("USAGE"),
+            "{args:?} should print usage: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn data_errors_exit_1_with_a_one_line_diagnostic() {
+    // A missing input file is a data problem, not a usage problem: exit
+    // code 1, a single diagnostic line, and no usage dump.
+    let (code, _, stderr) = sfa_code(&["mine", "--input", "/nonexistent/t.sfab", "--scheme", "mh"]);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("error:"), "{stderr}");
+    assert!(
+        !stderr.contains("USAGE"),
+        "data errors must not dump usage: {stderr}"
+    );
+    assert_eq!(
+        stderr.trim_end().lines().count(),
+        1,
+        "one line only: {stderr}"
+    );
+
+    // Same for a file that exists but holds garbage…
+    let garbage = tmp("garbage.sfab");
+    std::fs::write(&garbage, b"not a matrix at all").unwrap();
+    let (code, _, stderr) = sfa_code(&["info", "--input", garbage.to_str().unwrap()]);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("error:"), "{stderr}");
+    assert!(!stderr.contains("USAGE"), "{stderr}");
+
+    // …and for a checksummed v2 file with a flipped payload byte.
+    let table = tmp("flipped.sfab");
+    let table_s = table.to_str().unwrap();
+    let (ok, _, _) = sfa(&[
+        "gen", "--kind", "weblog", "--out", table_s, "--scale", "tiny",
+    ]);
+    assert!(ok);
+    let mut bytes = std::fs::read(&table).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&table, &bytes).unwrap();
+    let (code, _, stderr) = sfa_code(&["mine", "--input", table_s, "--scheme", "mh"]);
+    assert_eq!(code, 1, "corruption must be a data error: {stderr}");
+    assert!(stderr.contains("error:"), "{stderr}");
+
+    for p in [garbage, table] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn mine_with_retries_and_checkpoints_from_the_cli() {
+    let table = tmp("robust.sfab");
+    let table_s = table.to_str().unwrap();
+    let (ok, _, _) = sfa(&[
+        "gen", "--kind", "weblog", "--out", table_s, "--scale", "tiny",
+    ]);
+    assert!(ok);
+
+    let ckpt_dir = tmp("robust_ckpt");
+    let metrics = tmp("robust_metrics.json");
+    let (code, stdout, stderr) = sfa_code(&[
+        "mine",
+        "--input",
+        table_s,
+        "--scheme",
+        "mh",
+        "--threshold",
+        "0.7",
+        "--max-retries",
+        "3",
+        "--checkpoint-dir",
+        ckpt_dir.to_str().unwrap(),
+        "--checkpoint-every",
+        "512",
+        "--metrics-json",
+        metrics.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 0, "robust mine failed: {stderr}");
+    assert!(stdout.contains("pairs at S >= 0.7"));
+
+    let doc = std::fs::read_to_string(&metrics).unwrap();
+    assert!(
+        doc.contains("\"recovery\""),
+        "metrics must report recovery: {doc}"
+    );
+    assert!(doc.contains("\"checkpoints_written\""), "{doc}");
+    // The run succeeded, so its checkpoints were cleared.
+    assert!(!ckpt_dir.join("phase1.sfcp").exists());
+    assert!(!ckpt_dir.join("phase3.sfcp").exists());
+
+    // --checkpoint-every 0 is rejected as a usage mistake.
+    let (code, _, stderr) = sfa_code(&[
+        "mine",
+        "--input",
+        table_s,
+        "--scheme",
+        "mh",
+        "--checkpoint-every",
+        "0",
+    ]);
+    assert_eq!(code, 2, "{stderr}");
+
+    std::fs::remove_file(&table).ok();
+    std::fs::remove_file(&metrics).ok();
+    std::fs::remove_dir_all(&ckpt_dir).ok();
 }
 
 #[test]

@@ -1,0 +1,140 @@
+//! Property tests for the checksummed v2 on-disk formats: any single-byte
+//! mutation of a valid `.sfab` / `.sfmh` / `.sfkm` file, and any
+//! truncation, must surface as a clean `Err` from the reader — never a
+//! panic, and never silently wrong data.
+//!
+//! The v2 CRC-32 trailer covers everything after the magic, so every
+//! mutation is either a magic/parse error or a checksum mismatch.
+
+use proptest::prelude::*;
+
+use sfa::matrix::{io, FileRowStream, RowMajorMatrix, RowStream};
+use sfa::minhash::persist::{read_bottom_k, read_signatures, write_bottom_k, write_signatures};
+use sfa::minhash::{KmhBuilder, MhBuilder};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("sfa_corruption_fuzz");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// A small but non-trivial matrix: 20 rows over 6 columns.
+fn sample_matrix() -> RowMajorMatrix {
+    let rows = (0..20u32)
+        .map(|r| {
+            let mut cols = vec![r % 6, (r * 3 + 1) % 6];
+            cols.sort_unstable();
+            cols.dedup();
+            cols
+        })
+        .collect();
+    RowMajorMatrix::from_rows(6, rows).unwrap()
+}
+
+/// Writes each of the three v2 formats once and returns the pristine bytes
+/// keyed by extension. `prefix` keeps concurrently running properties from
+/// racing on the same fixture paths.
+fn fixtures(prefix: &str, tag: u64) -> Vec<(&'static str, Vec<u8>)> {
+    let m = sample_matrix();
+
+    let pb = tmp(&format!("{prefix}{tag}.sfab"));
+    io::write_binary(&m, &pb).unwrap();
+
+    let mut mh = MhBuilder::new(8, 6, 42);
+    let mut kmh = KmhBuilder::new(5, 6, 42);
+    let mut stream = sfa::matrix::MemoryRowStream::new(&m);
+    let mut buf = Vec::new();
+    while let Some(id) = stream.read_row(&mut buf).unwrap() {
+        mh.push_row(id, &buf);
+        kmh.push_row(id, &buf);
+    }
+    let pm = tmp(&format!("{prefix}{tag}.sfmh"));
+    write_signatures(&mh.finish(), &pm).unwrap();
+    let pk = tmp(&format!("{prefix}{tag}.sfkm"));
+    write_bottom_k(&kmh.finish(), &pk).unwrap();
+
+    let out = vec![
+        ("sfab", std::fs::read(&pb).unwrap()),
+        ("sfmh", std::fs::read(&pm).unwrap()),
+        ("sfkm", std::fs::read(&pk).unwrap()),
+    ];
+    for p in [pb, pm, pk] {
+        std::fs::remove_file(&p).ok();
+    }
+    out
+}
+
+/// Attempts a full load of `path` as format `ext`, reducing the outcome to
+/// `Result<(), MatrixError>`; a panic anywhere fails the property.
+fn load(ext: &str, path: &std::path::Path) -> Result<(), sfa::matrix::MatrixError> {
+    match ext {
+        "sfab" => {
+            let mut stream = FileRowStream::open(path)?;
+            let mut buf = Vec::new();
+            while stream.read_row(&mut buf)?.is_some() {}
+            Ok(())
+        }
+        "sfmh" => read_signatures(path).map(|_| ()),
+        "sfkm" => read_bottom_k(path).map(|_| ()),
+        other => unreachable!("unknown fixture {other}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn single_byte_mutations_are_always_rejected(
+        pos_raw in 0usize..1_000_000,
+        mask in 1u8..=255,
+        tag in 0u64..1_000_000,
+    ) {
+        for (ext, pristine) in fixtures("mutsrc", tag) {
+            // XOR with a nonzero mask guarantees the byte actually changes.
+            let pos = pos_raw % pristine.len();
+            let mut bytes = pristine.clone();
+            bytes[pos] ^= mask;
+            let p = tmp(&format!("mut{tag}_{pos}.{ext}"));
+            std::fs::write(&p, &bytes).unwrap();
+            let res = load(ext, &p);
+            prop_assert!(
+                res.is_err(),
+                "mutated byte {pos} (mask {mask:#04x}) of a {ext} file must be rejected"
+            );
+            std::fs::remove_file(&p).ok();
+        }
+    }
+
+    #[test]
+    fn truncations_are_always_rejected(
+        cut_frac in 0.0f64..1.0,
+        tag in 0u64..1_000_000,
+    ) {
+        for (ext, pristine) in fixtures("cutsrc", tag) {
+            // `cut_frac < 1.0` strictly, so at least the final byte is lost
+            // — which for v2 always takes part of the CRC trailer with it.
+            let cut = ((pristine.len() as f64) * cut_frac) as usize;
+            prop_assert!(cut < pristine.len());
+            let p = tmp(&format!("cut{tag}_{cut}.{ext}"));
+            std::fs::write(&p, &pristine[..cut]).unwrap();
+            let res = load(ext, &p);
+            prop_assert!(
+                res.is_err(),
+                "a {ext} file truncated to {cut}/{} bytes must be rejected",
+                pristine.len()
+            );
+            std::fs::remove_file(&p).ok();
+        }
+    }
+}
+
+#[test]
+fn pristine_fixtures_round_trip() {
+    // Sanity check on the harness itself: the unmutated fixtures load.
+    for (ext, pristine) in fixtures("pristine", 0) {
+        let p = tmp(&format!("pristine.{ext}"));
+        std::fs::write(&p, &pristine).unwrap();
+        load(ext, &p).unwrap();
+        std::fs::remove_file(&p).ok();
+    }
+}
