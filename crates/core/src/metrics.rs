@@ -21,7 +21,13 @@ use crate::report::PhaseTimings;
 
 /// Version tag written into every [`MetricsDocument`]; bump when a field
 /// is renamed, removed, or changes meaning (adding fields is compatible).
-pub const METRICS_SCHEMA_VERSION: u32 = 1;
+///
+/// Version history: 1 = initial document; 2 = adds `metrics.threads`
+/// (worker count of the run; absent in v1 documents, which parse as 1).
+pub const METRICS_SCHEMA_VERSION: u32 = 2;
+
+/// Oldest document version [`MetricsDocument::from_json`] still accepts.
+pub const METRICS_SCHEMA_MIN_VERSION: u32 = 1;
 
 /// Scan volume of one streaming pass over the table.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -180,10 +186,12 @@ impl FromJson for RecoveryMetrics {
 /// let back: MiningMetrics = sfa_json::from_str(&json).unwrap();
 /// assert_eq!(back, metrics);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MiningMetrics {
     /// Short scheme name ([`Scheme::name`](crate::config::Scheme::name)).
     pub scheme: String,
+    /// Worker threads the run used (1 = sequential, the default).
+    pub threads: u64,
     /// Phase 1: the signature pass's scan volume.
     pub signature_pass: PassMetrics,
     /// Phase 3: the verification pass's scan volume.
@@ -202,6 +210,23 @@ pub struct MiningMetrics {
     pub verification: VerifyMetrics,
     /// Fault-recovery events (retries, refetches, checkpoints, resume).
     pub recovery: RecoveryMetrics,
+}
+
+impl Default for MiningMetrics {
+    fn default() -> Self {
+        Self {
+            scheme: String::new(),
+            threads: 1,
+            signature_pass: PassMetrics::default(),
+            verify_pass: PassMetrics::default(),
+            signature_bytes: 0,
+            candidate_stages: Vec::new(),
+            candidates_generated: 0,
+            bucket_histogram: Vec::new(),
+            verification: VerifyMetrics::default(),
+            recovery: RecoveryMetrics::default(),
+        }
+    }
 }
 
 impl MiningMetrics {
@@ -232,6 +257,7 @@ impl ToJson for MiningMetrics {
     fn to_json(&self) -> Json {
         Json::obj()
             .field("scheme", self.scheme.as_str())
+            .field("threads", self.threads)
             .field("signature_pass", self.signature_pass)
             .field("verify_pass", self.verify_pass)
             .field("signature_bytes", self.signature_bytes)
@@ -247,6 +273,13 @@ impl FromJson for MiningMetrics {
     fn from_json(json: &Json) -> Result<Self, JsonError> {
         Ok(Self {
             scheme: String::from_json(json.req("scheme")?)?,
+            // Schema-v1 documents predate the parallel layer; absence
+            // means a sequential run.
+            threads: json
+                .get("threads")
+                .map(u64::from_json)
+                .transpose()?
+                .unwrap_or(1),
             signature_pass: PassMetrics::from_json(json.req("signature_pass")?)?,
             verify_pass: PassMetrics::from_json(json.req("verify_pass")?)?,
             signature_bytes: u64::from_json(json.req("signature_bytes")?)?,
@@ -307,9 +340,10 @@ impl ToJson for MetricsDocument {
 impl FromJson for MetricsDocument {
     fn from_json(json: &Json) -> Result<Self, JsonError> {
         let schema_version = u32::from_json(json.req("schema_version")?)?;
-        if schema_version != METRICS_SCHEMA_VERSION {
+        if !(METRICS_SCHEMA_MIN_VERSION..=METRICS_SCHEMA_VERSION).contains(&schema_version) {
             return Err(JsonError::new(format!(
-                "unsupported metrics schema version {schema_version} (expected {METRICS_SCHEMA_VERSION})"
+                "unsupported metrics schema version {schema_version} \
+                 (supported: {METRICS_SCHEMA_MIN_VERSION}..={METRICS_SCHEMA_VERSION})"
             )));
         }
         Ok(Self {
@@ -330,6 +364,7 @@ mod tests {
     fn sample_metrics() -> MiningMetrics {
         MiningMetrics {
             scheme: "MH".to_owned(),
+            threads: 4,
             signature_pass: PassMetrics {
                 rows_scanned: 100,
                 nonzeros_scanned: 450,
@@ -425,6 +460,7 @@ mod tests {
         let metrics = json.get("metrics").unwrap();
         for key in [
             "scheme",
+            "threads",
             "signature_pass",
             "verify_pass",
             "signature_bytes",
@@ -478,6 +514,54 @@ mod tests {
         assert!(legacy.get("recovery").is_none());
         let back = MiningMetrics::from_json(&legacy).unwrap();
         assert_eq!(back, metrics);
+    }
+
+    #[test]
+    fn documents_without_threads_key_parse_as_sequential() {
+        // Schema-v1 metrics predate the parallel layer: no `threads` key,
+        // parsed as a single-threaded run.
+        let mut metrics = sample_metrics();
+        metrics.threads = 1;
+        let json = metrics.to_json();
+        let legacy = match json {
+            Json::Obj(fields) => {
+                Json::Obj(fields.into_iter().filter(|(k, _)| k != "threads").collect())
+            }
+            other => other,
+        };
+        assert!(legacy.get("threads").is_none());
+        let back = MiningMetrics::from_json(&legacy).unwrap();
+        assert_eq!(back, metrics);
+    }
+
+    #[test]
+    fn schema_v1_documents_still_parse() {
+        let doc = MetricsDocument::new(
+            PipelineConfig::new(Scheme::Mh { k: 8, delta: 0.2 }, 0.5, 1),
+            PhaseTimings::default(),
+            sample_metrics(),
+        );
+        let mut json = doc.to_json();
+        if let Json::Obj(fields) = &mut json {
+            fields[0].1 = Json::U64(u64::from(METRICS_SCHEMA_MIN_VERSION));
+        }
+        let back = MetricsDocument::from_json(&json).unwrap();
+        assert_eq!(back.schema_version, METRICS_SCHEMA_MIN_VERSION);
+        assert_eq!(back.metrics, doc.metrics);
+    }
+
+    #[test]
+    fn rejects_schema_version_zero() {
+        let doc = MetricsDocument::new(
+            PipelineConfig::new(Scheme::Mh { k: 8, delta: 0.2 }, 0.5, 1),
+            PhaseTimings::default(),
+            sample_metrics(),
+        );
+        let mut json = doc.to_json();
+        if let Json::Obj(fields) = &mut json {
+            fields[0].1 = Json::U64(0);
+        }
+        assert!(MetricsDocument::from_json(&json).is_err());
     }
 
     #[test]

@@ -2,14 +2,19 @@
 
 use std::time::Instant;
 
-use sfa_lsh::{hlsh_candidates_with_stats, mlsh_candidates_with_stats, HLshParams, MLshParams};
+use sfa_lsh::{
+    hlsh_candidates_with_stats, hlsh_candidates_with_stats_pool, mlsh_candidates_with_stats,
+    mlsh_candidates_with_stats_pool, HLshParams, MLshParams,
+};
 use sfa_matrix::{MatrixError, Result, RowMajorMatrix, RowStream, ScanCounter};
-use sfa_minhash::hashcount::{kmh_candidates_with_stats, mh_candidates_with_stats};
-use sfa_minhash::mh::compute_signatures_parallel;
-use sfa_minhash::rowsort::rowsort_candidates_with_stats;
+use sfa_minhash::hashcount::{
+    kmh_candidates_with_stats, kmh_candidates_with_stats_pool, mh_candidates_with_stats,
+    mh_candidates_with_stats_pool,
+};
+use sfa_minhash::rowsort::{rowsort_candidates_with_stats, rowsort_candidates_with_stats_pool};
 use sfa_minhash::{
-    compute_bottom_k, compute_signatures, BottomKSignatures, CandidatePair, KmhBuilder, MhBuilder,
-    SignatureMatrix,
+    compute_bottom_k, compute_bottom_k_pool, compute_signatures, compute_signatures_pool,
+    BottomKSignatures, CandidatePair, KmhBuilder, MhBuilder, SignatureMatrix,
 };
 
 use crate::checkpoint::{self, CheckpointSpec, Phase1State, RunKey};
@@ -455,57 +460,114 @@ fn save_kmh_state(spec: &CheckpointSpec, key: RunKey, builder: &KmhBuilder) -> R
 }
 
 impl Pipeline {
-    /// Parallel in-memory run: signature computation and verification are
-    /// partitioned across `n_threads` workers (candidate generation stays
-    /// sequential — it is sketch-sized). Output is identical to
-    /// [`run`](Self::run) for the MH and K-MH schemes; LSH schemes fall
-    /// back to the sequential path (their candidate phase dominates).
+    /// Parallel in-memory run: every phase of every scheme executes over
+    /// one persistent [`sfa_par::ThreadPool`] — signature computation,
+    /// candidate generation (Hash-Count, Row-Sorting, K-MH overlap, M-LSH
+    /// banding, and H-LSH ladder runs all have pool-parallel kernels), and
+    /// exact verification. Output is byte-identical to [`run`](Self::run)
+    /// for every scheme at every thread count.
     ///
-    /// # Panics
-    ///
-    /// Panics if `n_threads == 0`.
+    /// `n_threads == 0` sizes the pool from the machine
+    /// (`std::thread::available_parallelism`); the count actually used is
+    /// recorded in `metrics.threads`.
     #[must_use]
     pub fn run_parallel(&self, matrix: &RowMajorMatrix, n_threads: usize) -> MiningResult {
-        assert!(n_threads > 0, "need at least one thread");
+        let pool = sfa_par::ThreadPool::new(n_threads);
+        self.run_pool(matrix, &pool)
+    }
+
+    /// [`run_parallel`](Self::run_parallel) over a caller-owned pool, so
+    /// several runs (e.g. a benchmark sweep) can share one set of workers.
+    #[must_use]
+    pub fn run_pool(&self, matrix: &RowMajorMatrix, pool: &sfa_par::ThreadPool) -> MiningResult {
         let cfg = &self.config;
         let sig_seed = sfa_hash::family::derive_seed(cfg.seed, purpose::SIGNATURES);
+        let lsh_seed = sfa_hash::family::derive_seed(cfg.seed, purpose::LSH);
         let mut timings = PhaseTimings::default();
         let mut metrics = MiningMetrics {
             scheme: cfg.scheme.name().to_owned(),
+            threads: pool.threads() as u64,
             ..MiningMetrics::default()
         };
         let candidates = match cfg.scheme {
             Scheme::Mh { k, delta } => {
                 let t = Instant::now();
-                let sigs = compute_signatures_parallel(matrix, k, sig_seed, n_threads);
+                let sigs = compute_signatures_pool(matrix, k, sig_seed, pool);
                 timings.signatures = t.elapsed();
                 metrics.signature_bytes = sigs.heap_bytes();
                 let t = Instant::now();
-                let (cands, stats) = mh_candidates_with_stats(&sigs, cfg.s_star, delta);
+                let (cands, stats) = mh_candidates_with_stats_pool(&sigs, cfg.s_star, delta, pool);
+                timings.candidates = t.elapsed();
+                metrics.absorb_candidate_stats(stats);
+                cands
+            }
+            Scheme::MhRowSort { k, delta } => {
+                let t = Instant::now();
+                let sigs = compute_signatures_pool(matrix, k, sig_seed, pool);
+                timings.signatures = t.elapsed();
+                metrics.signature_bytes = sigs.heap_bytes();
+                let t = Instant::now();
+                let (cands, stats) =
+                    rowsort_candidates_with_stats_pool(&sigs, cfg.s_star, delta, pool);
                 timings.candidates = t.elapsed();
                 metrics.absorb_candidate_stats(stats);
                 cands
             }
             Scheme::Kmh { k, delta } => {
                 let t = Instant::now();
-                let sigs = sfa_minhash::compute_bottom_k_parallel(matrix, k, sig_seed, n_threads);
+                let sigs = compute_bottom_k_pool(matrix, k, sig_seed, pool);
                 timings.signatures = t.elapsed();
                 metrics.signature_bytes = sigs.heap_bytes();
                 let t = Instant::now();
-                let (cands, stats) = kmh_candidates_with_stats(&sigs, cfg.s_star, delta);
+                let (cands, stats) = kmh_candidates_with_stats_pool(&sigs, cfg.s_star, delta, pool);
                 timings.candidates = t.elapsed();
                 metrics.absorb_candidate_stats(stats);
                 cands
             }
-            _ => {
-                let mut stream = sfa_matrix::MemoryRowStream::new(matrix);
-                return self.run(&mut stream).expect("memory stream cannot fail");
+            Scheme::MLsh { k, r, l, sampled } => {
+                let t = Instant::now();
+                let sigs = compute_signatures_pool(matrix, k, sig_seed, pool);
+                timings.signatures = t.elapsed();
+                metrics.signature_bytes = sigs.heap_bytes();
+                let t = Instant::now();
+                let params = if sampled {
+                    MLshParams::sampled(r, l, lsh_seed)
+                } else {
+                    MLshParams::banded(r, l, lsh_seed)
+                };
+                let (cands, stats) = mlsh_candidates_with_stats_pool(&sigs, &params, pool);
+                timings.candidates = t.elapsed();
+                metrics.absorb_candidate_stats(stats);
+                cands
+            }
+            Scheme::HLsh {
+                r,
+                l,
+                t: gate,
+                max_levels,
+            } => {
+                // H-LSH works directly on the data; the in-memory matrix
+                // *is* the phase-1 summary.
+                metrics.signature_bytes = matrix.heap_bytes();
+                let t = Instant::now();
+                let params = HLshParams {
+                    r,
+                    l,
+                    t: gate,
+                    max_levels,
+                    include_zero_keys: false,
+                    seed: lsh_seed,
+                };
+                let (cands, stats) = hlsh_candidates_with_stats_pool(matrix, &params, pool);
+                timings.candidates = t.elapsed();
+                metrics.absorb_candidate_stats(stats);
+                cands
             }
         };
         metrics.candidates_generated = candidates.len() as u64;
         let t = Instant::now();
         let (verified, column_counts) =
-            crate::verify::verify_candidates_parallel(matrix, &candidates, n_threads);
+            crate::verify::verify_candidates_pool(matrix, &candidates, pool);
         timings.verify = t.elapsed();
         // Both passes scan the whole in-memory matrix; the partitioned
         // workers do not count per-pair probes, so `intersection_work`
@@ -694,9 +756,13 @@ mod tests {
 
     #[test]
     fn run_parallel_matches_run() {
+        // Every scheme's parallel path must be byte-identical to the
+        // sequential pipeline at every thread count: same verified pairs,
+        // column counts, stage counters, and occupancy histograms.
         let m = matrix();
         for scheme in [
             Scheme::Mh { k: 64, delta: 0.2 },
+            Scheme::MhRowSort { k: 64, delta: 0.2 },
             Scheme::Kmh { k: 16, delta: 0.2 },
             Scheme::MLsh {
                 k: 60,
@@ -704,16 +770,71 @@ mod tests {
                 l: 12,
                 sampled: false,
             },
+            Scheme::MLsh {
+                k: 40,
+                r: 5,
+                l: 20,
+                sampled: true,
+            },
+            Scheme::HLsh {
+                r: 8,
+                l: 8,
+                t: 4,
+                max_levels: 12,
+            },
         ] {
             let cfg = PipelineConfig::new(scheme, 0.8, 17);
             let seq = Pipeline::new(cfg)
                 .run(&mut MemoryRowStream::new(&m))
                 .unwrap();
-            for threads in [1, 3] {
+            for threads in [1, 2, 4, 7] {
                 let par = Pipeline::new(cfg).run_parallel(&m, threads);
                 assert_eq!(par.verified, seq.verified, "{} x{threads}", scheme.name());
                 assert_eq!(par.column_counts, seq.column_counts);
+                assert_eq!(
+                    par.metrics.candidate_stages,
+                    seq.metrics.candidate_stages,
+                    "{} x{threads}: stage counters",
+                    scheme.name()
+                );
+                assert_eq!(
+                    par.metrics.bucket_histogram,
+                    seq.metrics.bucket_histogram,
+                    "{} x{threads}: bucket histogram",
+                    scheme.name()
+                );
+                assert_eq!(par.metrics.threads, threads as u64);
             }
+        }
+    }
+
+    #[test]
+    fn run_parallel_auto_threads_sizes_from_machine() {
+        let m = matrix();
+        let cfg = PipelineConfig::new(Scheme::Mh { k: 32, delta: 0.2 }, 0.8, 17);
+        let auto = Pipeline::new(cfg).run_parallel(&m, 0);
+        assert!(auto.metrics.threads >= 1);
+        let seq = Pipeline::new(cfg)
+            .run(&mut MemoryRowStream::new(&m))
+            .unwrap();
+        assert_eq!(auto.verified, seq.verified);
+    }
+
+    #[test]
+    fn run_pool_reuses_one_pool_across_runs() {
+        let m = matrix();
+        let pool = sfa_par::ThreadPool::new(3);
+        for scheme in [
+            Scheme::Mh { k: 32, delta: 0.2 },
+            Scheme::Kmh { k: 16, delta: 0.2 },
+        ] {
+            let cfg = PipelineConfig::new(scheme, 0.8, 17);
+            let seq = Pipeline::new(cfg)
+                .run(&mut MemoryRowStream::new(&m))
+                .unwrap();
+            let par = Pipeline::new(cfg).run_pool(&m, &pool);
+            assert_eq!(par.verified, seq.verified, "{}", scheme.name());
+            assert_eq!(par.metrics.threads, 3);
         }
     }
 

@@ -213,11 +213,13 @@ pub fn verify_candidates_chunked<S: RowStream>(
     Ok((verified, column_counts))
 }
 
-/// Parallel verification over an in-memory matrix: rows are partitioned
-/// across `n_threads` workers, each counting intersections and column
-/// cardinalities for its row range; the partial counts sum exactly.
+/// Parallel verification over an in-memory matrix: rows are dealt out
+/// dynamically across `n_threads` workers, each counting intersections and
+/// column cardinalities for its row ranges; the partial counts sum exactly.
 ///
-/// Output is identical to [`verify_candidates`].
+/// Output is identical to [`verify_candidates`]. Convenience wrapper over
+/// a one-shot pool; pipeline code reuses a pool across phases via
+/// [`verify_candidates_pool`].
 ///
 /// # Panics
 ///
@@ -229,9 +231,21 @@ pub fn verify_candidates_parallel(
     n_threads: usize,
 ) -> (Vec<VerifiedPair>, Vec<u32>) {
     assert!(n_threads > 0, "need at least one thread");
-    let n = matrix.n_rows();
+    verify_candidates_pool(matrix, candidates, &sfa_par::ThreadPool::new(n_threads))
+}
+
+/// Pool-based [`verify_candidates_parallel`]: the partner adjacency is
+/// built once, row ranges are dealt out dynamically, and per-worker
+/// `(intersections, column_counts)` vectors add exactly.
+#[must_use]
+pub fn verify_candidates_pool(
+    matrix: &sfa_matrix::RowMajorMatrix,
+    candidates: &[CandidatePair],
+    pool: &sfa_par::ThreadPool,
+) -> (Vec<VerifiedPair>, Vec<u32>) {
+    let n = matrix.n_rows() as usize;
     let m = matrix.n_cols() as usize;
-    if n_threads == 1 || n < 2 {
+    if pool.threads() == 1 || n < 2 {
         let mut stream = sfa_matrix::MemoryRowStream::new(matrix);
         return verify_candidates(&mut stream, candidates).expect("memory stream cannot fail");
     }
@@ -241,48 +255,34 @@ pub fn verify_candidates_parallel(
         partners[c.j as usize].push((c.i, idx as u32));
     }
     let partners = &partners;
-    let chunk = (n as usize).div_ceil(n_threads) as u32;
-    let partials = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..n_threads as u32 {
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(n);
-            if lo >= hi {
-                break;
-            }
-            handles.push(scope.spawn(move || {
-                let mut intersections = vec![0u32; candidates.len()];
-                let mut column_counts = vec![0u32; m];
-                let mut present = vec![false; m];
-                for row_id in lo..hi {
-                    let row = matrix.row(row_id);
-                    for &col in row {
-                        present[col as usize] = true;
-                    }
-                    for &col in row {
-                        column_counts[col as usize] += 1;
-                        for &(partner, idx) in &partners[col as usize] {
-                            if partner > col && present[partner as usize] {
-                                intersections[idx as usize] += 1;
-                            }
+    let partials = pool.par_fold(
+        n,
+        pool.chunk_for(n),
+        |_| (vec![0u32; candidates.len()], vec![0u32; m], vec![false; m]),
+        |(intersections, column_counts, present), rows| {
+            for row_id in rows {
+                let row = matrix.row(row_id as u32);
+                for &col in row {
+                    present[col as usize] = true;
+                }
+                for &col in row {
+                    column_counts[col as usize] += 1;
+                    for &(partner, idx) in &partners[col as usize] {
+                        if partner > col && present[partner as usize] {
+                            intersections[idx as usize] += 1;
                         }
                     }
-                    for &col in row {
-                        present[col as usize] = false;
-                    }
                 }
-                (intersections, column_counts)
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect::<Vec<_>>()
-    });
+                for &col in row {
+                    present[col as usize] = false;
+                }
+            }
+        },
+    );
 
     let mut intersections = vec![0u32; candidates.len()];
     let mut column_counts = vec![0u32; m];
-    for (inter, counts) in partials {
+    for (inter, counts, _) in partials {
         for (acc, v) in intersections.iter_mut().zip(&inter) {
             *acc += v;
         }

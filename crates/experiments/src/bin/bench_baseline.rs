@@ -1,12 +1,14 @@
 //! Reproducible pipeline baseline: every scheme over the seeded synthetic
 //! and weblog generators, with the full [`MiningMetrics`] counters.
 //!
-//! Writes `BENCH_pipeline.json` at the repository root. Everything in the
-//! file is deterministic for the fixed [`EXPERIMENT_SEED`] — scan volumes,
-//! signature bytes, per-stage candidate counts, bucket histograms, and
-//! verification outcomes — so a re-run on any machine reproduces it
-//! byte-for-byte and a diff means behavior actually changed. Wall-clock
-//! timings are machine-dependent and therefore go to stdout only.
+//! Writes `BENCH_pipeline.json` at the repository root. Every counter in
+//! the file is deterministic for the fixed [`EXPERIMENT_SEED`] — scan
+//! volumes, signature bytes, per-stage candidate counts, bucket
+//! histograms, and verification outcomes — so a re-run on any machine
+//! reproduces those byte-for-byte and a diff means behavior actually
+//! changed. Machine-dependent wall-clock data (per-phase seconds and the
+//! 1-vs-4-thread phase-2 speedup sweep) lives exclusively under keys named
+//! `"timing"`, which the CI `bench-diff` tool strips before comparing.
 //!
 //! ```text
 //! cargo run --release -p sfa-experiments --bin bench-baseline
@@ -16,11 +18,12 @@
 
 use std::path::PathBuf;
 
-use sfa_core::{MiningResult, Scheme, METRICS_SCHEMA_VERSION};
+use sfa_core::{MiningResult, Pipeline, PipelineConfig, Scheme, METRICS_SCHEMA_VERSION};
 use sfa_datagen::{SyntheticConfig, WeblogConfig};
 use sfa_experiments::{print_table, run_scheme, EXPERIMENT_SEED};
 use sfa_json::Json;
 use sfa_matrix::RowMajorMatrix;
+use sfa_par::ThreadPool;
 
 /// Similarity threshold shared by every baseline run.
 const S_STAR: f64 = 0.7;
@@ -55,6 +58,62 @@ fn run_json(result: &MiningResult) -> Json {
             result.false_positive_candidates(),
         )
         .field("metrics", &result.metrics)
+        .field(
+            "timing",
+            Json::obj()
+                .field("signatures_s", result.timings.signatures.as_secs_f64())
+                .field("candidates_s", result.timings.candidates.as_secs_f64())
+                .field("verify_s", result.timings.verify.as_secs_f64())
+                .field("total_s", result.timings.total().as_secs_f64()),
+        )
+}
+
+/// Best-of-`reps` phase-2 (candidate generation) seconds for one scheme
+/// over a shared pool, via the parallel in-memory pipeline.
+fn best_phase2_seconds(rows: &RowMajorMatrix, scheme: Scheme, pool: &ThreadPool) -> f64 {
+    let pipeline = Pipeline::new(PipelineConfig::new(scheme, S_STAR, EXPERIMENT_SEED));
+    (0..3)
+        .map(|_| {
+            pipeline
+                .run_pool(rows, pool)
+                .timings
+                .candidates
+                .as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// The machine-dependent speedup sweep: phase 2 of every scheme at one
+/// worker vs. four, best of three runs each. Everything here goes under a
+/// `"timing"` key so the CI diff ignores it.
+fn speedup_json(rows: &RowMajorMatrix, table: &mut Vec<Vec<String>>) -> Json {
+    let pool1 = ThreadPool::new(1);
+    let pool4 = ThreadPool::new(4);
+    let mut per_scheme = Vec::new();
+    for scheme in schemes() {
+        let t1 = best_phase2_seconds(rows, scheme, &pool1);
+        let t4 = best_phase2_seconds(rows, scheme, &pool4);
+        let speedup = t1 / t4;
+        table.push(vec![
+            scheme.name().to_owned(),
+            format!("{t1:.4}"),
+            format!("{t4:.4}"),
+            format!("{speedup:.2}x"),
+        ]);
+        per_scheme.push(
+            Json::obj()
+                .field("scheme", scheme.name())
+                .field("phase2_1t_s", t1)
+                .field("phase2_4t_s", t4)
+                .field("speedup_4t", speedup),
+        );
+    }
+    Json::obj()
+        .field(
+            "host_threads",
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        )
+        .field("phase2_speedup", per_scheme)
 }
 
 fn dataset_json(name: &str, rows: &RowMajorMatrix, table: &mut Vec<Vec<String>>) -> Json {
@@ -96,7 +155,7 @@ fn main() {
         dataset_json("weblog", &weblog, &mut table),
     ];
     print_table(
-        "bench-baseline (timings are informational; JSON holds only deterministic counters)",
+        "bench-baseline (counters are deterministic; \"timing\" keys are machine-dependent)",
         &[
             "dataset",
             "scheme",
@@ -108,9 +167,18 @@ fn main() {
         &table,
     );
 
+    let mut speedup_table = Vec::new();
+    let speedups = speedup_json(&synthetic, &mut speedup_table);
+    print_table(
+        "phase-2 speedup, 1 vs 4 workers (synthetic; best of 3; single-core hosts report ~1x)",
+        &["scheme", "1t(s)", "4t(s)", "speedup"],
+        &speedup_table,
+    );
+
     let doc = Json::obj()
         .field("schema_version", METRICS_SCHEMA_VERSION)
         .field("seed", EXPERIMENT_SEED)
+        .field("timing", speedups)
         .field("datasets", datasets);
     let path = out_path();
     std::fs::write(&path, doc.to_string_pretty()).expect("write BENCH_pipeline.json");

@@ -1,0 +1,126 @@
+//! Compares two `BENCH_pipeline.json` documents, ignoring machine speed.
+//!
+//! Every machine-dependent number the baseline emits lives under a key
+//! named `"timing"` (per-run phase seconds, the 1-vs-4-thread speedup
+//! sweep). This tool strips those subtrees from both documents — at any
+//! depth — and compares what remains, so CI fails only when deterministic
+//! counters (candidates, pairs, histograms, scan volumes) actually change.
+//!
+//! ```text
+//! cargo run --release -p sfa-experiments --bin bench-diff -- \
+//!     BENCH_pipeline.json /tmp/bench_new.json
+//! ```
+//!
+//! Exit codes: 0 documents match, 1 they differ (or a file is
+//! missing/malformed), 2 usage error.
+
+use std::process::ExitCode;
+
+use sfa_json::Json;
+
+/// Removes every object field named `"timing"`, recursively.
+fn strip_timing(json: &mut Json) {
+    match json {
+        Json::Obj(fields) => {
+            fields.retain(|(k, _)| k != "timing");
+            for (_, v) in fields.iter_mut() {
+                strip_timing(v);
+            }
+        }
+        Json::Arr(items) => {
+            for v in items.iter_mut() {
+                strip_timing(v);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Loads a file and parses it, stripping `"timing"` subtrees.
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut json = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    strip_timing(&mut json);
+    Ok(json)
+}
+
+/// The first line where the stripped pretty-printed forms diverge.
+fn first_diff_line(a: &Json, b: &Json) -> Option<(usize, String, String)> {
+    let (a, b) = (a.to_string_pretty(), b.to_string_pretty());
+    let (mut la, mut lb) = (a.lines(), b.lines());
+    for i in 1.. {
+        match (la.next(), lb.next()) {
+            (None, None) => return None,
+            (x, y) if x == y => {}
+            (x, y) => {
+                return Some((
+                    i,
+                    x.unwrap_or("<end of document>").to_owned(),
+                    y.unwrap_or("<end of document>").to_owned(),
+                ))
+            }
+        }
+    }
+    None
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline, current] = args.as_slice() else {
+        eprintln!("usage: bench-diff <baseline.json> <current.json>");
+        return ExitCode::from(2);
+    };
+    let (a, b) = match (load(baseline), load(current)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    match first_diff_line(&a, &b) {
+        None => {
+            println!("bench-diff: deterministic counters match (timing fields ignored)");
+            ExitCode::SUCCESS
+        }
+        Some((line, left, right)) => {
+            eprintln!(
+                "bench-diff: deterministic counters differ at line {line} \
+                 (after stripping \"timing\" fields):\n  baseline: {left}\n  current:  {right}\n\
+                 If the behavior change is intended, regenerate the committed baseline with\n  \
+                 cargo run --release -p sfa-experiments --bin bench-baseline"
+            );
+            ExitCode::from(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_timing_at_every_depth() {
+        let mut json =
+            Json::parse(r#"{"timing": {"x": 1}, "keep": [{"timing": 3.5, "n": 2}], "n": 1}"#)
+                .unwrap();
+        strip_timing(&mut json);
+        assert_eq!(
+            json,
+            Json::parse(r#"{"keep": [{"n": 2}], "n": 1}"#).unwrap()
+        );
+    }
+
+    #[test]
+    fn diff_ignores_timing_but_catches_counters() {
+        let a = Json::parse(r#"{"n": 1, "timing": {"s": 0.5}}"#).unwrap();
+        let mut b = Json::parse(r#"{"n": 1, "timing": {"s": 9.0}}"#).unwrap();
+        let (mut sa, mut sb) = (a.clone(), b.clone());
+        strip_timing(&mut sa);
+        strip_timing(&mut sb);
+        assert_eq!(first_diff_line(&sa, &sb), None);
+
+        b = Json::parse(r#"{"n": 2, "timing": {"s": 0.5}}"#).unwrap();
+        strip_timing(&mut b);
+        assert!(first_diff_line(&sa, &b).is_some());
+    }
+}

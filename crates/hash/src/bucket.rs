@@ -37,7 +37,13 @@ impl Hasher for FxHasher {
 
     #[inline]
     fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
+        // Fold whole 8-byte words instead of one mul per byte; only the
+        // sub-word tail goes through the byte path.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.write_u64(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        for &b in chunks.remainder() {
             self.write_u8(b);
         }
     }
@@ -87,6 +93,391 @@ pub fn unpack_pair(key: u64) -> (u32, u32) {
     ((key >> 32) as u32, key as u32)
 }
 
+/// Open-addressing `u64 → u32` counter table for [`pack_pair`] keys.
+///
+/// The hot loop of every phase-2 generator is "bump the counter for this
+/// pair"; a general `HashMap<u64, u32>` pays for SipHash-free but still
+/// branchy entry logic and per-entry overhead. This table is the minimal
+/// alternative: power-of-two capacity, Fibonacci multiply-shift indexing,
+/// linear probing, parallel `keys`/`vals` arrays, grow at ¾ load.
+///
+/// The key `u64::MAX` is reserved as the empty-slot sentinel — it can
+/// never be produced by `pack_pair`, which requires `i < j`.
+#[derive(Debug, Default, Clone)]
+pub struct CounterTable {
+    keys: Vec<u64>,
+    vals: Vec<u32>,
+    items: usize,
+}
+
+/// Empty-slot marker; unreachable as a `pack_pair(i, j)` key since it
+/// would need `i == j == u32::MAX`.
+const EMPTY_SLOT: u64 = u64::MAX;
+
+/// Fibonacci hashing constant (2^64 / φ, forced odd).
+const FIB_MUL: u64 = 0x9e37_79b9_7f4a_7c15;
+
+impl CounterTable {
+    /// Creates an empty table (no allocation until the first insert).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a table pre-sized for roughly `n` distinct keys.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        let slots = (n.saturating_mul(4) / 3 + 1).next_power_of_two().max(16);
+        Self {
+            keys: vec![EMPTY_SLOT; slots],
+            vals: vec![0; slots],
+            items: 0,
+        }
+    }
+
+    /// Number of distinct keys stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items
+    }
+
+    /// Whether no key has been counted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    #[inline]
+    fn start_slot(&self, key: u64) -> usize {
+        // High multiply-shift bits: with power-of-two `slots`, take the
+        // top log2(slots) bits of key * FIB_MUL.
+        let h = key.wrapping_mul(FIB_MUL);
+        (h >> (64 - self.keys.len().trailing_zeros())) as usize
+    }
+
+    /// Adds `count` to `key`'s counter.
+    #[inline]
+    pub fn add(&mut self, key: u64, count: u32) {
+        debug_assert_ne!(key, EMPTY_SLOT, "u64::MAX is the empty sentinel");
+        if self.items * 4 >= self.keys.len() * 3 {
+            self.grow();
+        }
+        let mask = self.keys.len() - 1;
+        let mut slot = self.start_slot(key);
+        loop {
+            let k = self.keys[slot];
+            if k == key {
+                self.vals[slot] += count;
+                return;
+            }
+            if k == EMPTY_SLOT {
+                self.keys[slot] = key;
+                self.vals[slot] = count;
+                self.items += 1;
+                return;
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Increments `key`'s counter.
+    #[inline]
+    pub fn increment(&mut self, key: u64) {
+        self.add(key, 1);
+    }
+
+    /// Current counter value for `key` (0 if absent).
+    #[inline]
+    #[must_use]
+    pub fn get(&self, key: u64) -> u32 {
+        if self.keys.is_empty() {
+            return 0;
+        }
+        let mask = self.keys.len() - 1;
+        let mut slot = self.start_slot(key);
+        loop {
+            let k = self.keys[slot];
+            if k == key {
+                return self.vals[slot];
+            }
+            if k == EMPTY_SLOT {
+                return 0;
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    #[cold]
+    fn grow(&mut self) {
+        let new_slots = (self.keys.len() * 2).max(16);
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY_SLOT; new_slots]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![0; new_slots]);
+        self.items = 0;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k != EMPTY_SLOT {
+                self.add(k, v);
+            }
+        }
+    }
+
+    /// Iterates `(key, count)` in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.keys
+            .iter()
+            .zip(&self.vals)
+            .filter(|&(&k, _)| k != EMPTY_SLOT)
+            .map(|(&k, &v)| (k, v))
+    }
+
+    /// Consumes the table, yielding `(key, count)` in arbitrary order.
+    pub fn into_entries(self) -> impl Iterator<Item = (u64, u32)> {
+        self.keys
+            .into_iter()
+            .zip(self.vals)
+            .filter(|&(k, _)| k != EMPTY_SLOT)
+    }
+}
+
+/// A [`PairCounter`] split into independent shards by key bits, so
+/// per-thread local counters can be merged **in parallel per shard**
+/// instead of through a single-threaded fold.
+///
+/// The shard of a key is a pure function of the key (an fmix64-style
+/// finalizer's low bits), so the same pair lands in the same shard in
+/// every thread-local counter and in the merged result.
+#[derive(Debug)]
+pub struct ShardedPairCounter {
+    shards: Vec<CounterTable>,
+}
+
+/// fmix64 finalizer (MurmurHash3): used for shard selection so shard
+/// bits are independent of [`CounterTable`]'s Fibonacci index bits.
+#[inline]
+#[must_use]
+fn shard_mix(key: u64) -> u64 {
+    let mut h = key;
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h
+}
+
+impl ShardedPairCounter {
+    /// Creates a counter with `n_shards` (rounded up to a power of two).
+    #[must_use]
+    pub fn new(n_shards: usize) -> Self {
+        let n = n_shards.next_power_of_two().max(1);
+        Self {
+            shards: (0..n).map(|_| CounterTable::new()).collect(),
+        }
+    }
+
+    /// Reassembles a counter from per-shard tables (the parallel-merge
+    /// path). `shards.len()` must be a power of two and every key must
+    /// already be in its [`Self::shard_of`] shard.
+    #[must_use]
+    pub fn from_shards(shards: Vec<CounterTable>) -> Self {
+        assert!(
+            shards.len().is_power_of_two(),
+            "shard count not a power of two"
+        );
+        Self { shards }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `key` belongs to.
+    #[inline]
+    #[must_use]
+    pub fn shard_of(&self, key: u64) -> usize {
+        (shard_mix(key) & (self.shards.len() as u64 - 1)) as usize
+    }
+
+    /// The table backing shard `s`.
+    #[must_use]
+    pub fn shard(&self, s: usize) -> &CounterTable {
+        &self.shards[s]
+    }
+
+    /// Decomposes the counter into its per-shard tables (inverse of
+    /// [`Self::from_shards`]).
+    #[must_use]
+    pub fn into_shards(self) -> Vec<CounterTable> {
+        self.shards
+    }
+
+    /// Adds `count` to the packed pair `key`.
+    #[inline]
+    pub fn add_key(&mut self, key: u64, count: u32) {
+        let s = self.shard_of(key);
+        self.shards[s].add(key, count);
+    }
+
+    /// Increments the counter for the unordered pair `{a, b}`.
+    #[inline]
+    pub fn increment(&mut self, a: u32, b: u32) {
+        debug_assert_ne!(a, b, "self-pair");
+        let key = if a < b {
+            pack_pair(a, b)
+        } else {
+            pack_pair(b, a)
+        };
+        self.add_key(key, 1);
+    }
+
+    /// Current count for the unordered pair `{a, b}`.
+    #[must_use]
+    pub fn get(&self, a: u32, b: u32) -> u32 {
+        let key = if a < b {
+            pack_pair(a, b)
+        } else {
+            pack_pair(b, a)
+        };
+        self.shards[self.shard_of(key)].get(key)
+    }
+
+    /// Number of pairs with a nonzero count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(CounterTable::len).sum()
+    }
+
+    /// Whether no pair has been counted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(CounterTable::is_empty)
+    }
+
+    /// Iterates `(i, j, count)` with `i < j`, in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
+        self.shards.iter().flat_map(|t| {
+            t.iter().map(|(k, c)| {
+                let (i, j) = unpack_pair(k);
+                (i, j, c)
+            })
+        })
+    }
+
+    /// Pairs whose count is at least `threshold`, as sorted `(i, j, count)`.
+    #[must_use]
+    pub fn pairs_at_least(&self, threshold: u32) -> Vec<(u32, u32, u32)> {
+        let mut v: Vec<(u32, u32, u32)> = self.iter().filter(|&(_, _, c)| c >= threshold).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// A shard count giving each of `threads` workers several shards to
+/// merge (~4× oversubscription for dynamic balance), clamped to [8, 64].
+#[must_use]
+pub fn default_shards(threads: usize) -> usize {
+    (threads * 4).next_power_of_two().clamp(8, 64)
+}
+
+/// Merges per-worker [`ShardedPairCounter`] locals into one counter,
+/// **shard-parallel**: each shard's tables (one per local) are summed by
+/// a single worker, and shards are dealt out dynamically over `pool`.
+/// All locals must have the same shard count.
+#[must_use]
+pub fn merge_sharded(
+    mut locals: Vec<ShardedPairCounter>,
+    pool: &sfa_par::ThreadPool,
+) -> ShardedPairCounter {
+    if locals.len() <= 1 {
+        return locals.pop().unwrap_or_else(|| ShardedPairCounter::new(1));
+    }
+    let n_shards = locals[0].shards();
+    assert!(
+        locals.iter().all(|l| l.shards() == n_shards),
+        "locals disagree on shard count"
+    );
+    let locals = &locals;
+    let mut merged: Vec<(usize, CounterTable)> = pool
+        .par_fold(
+            n_shards,
+            1,
+            |_| Vec::new(),
+            |acc, range| {
+                for s in range {
+                    let cap: usize = locals.iter().map(|l| l.shard(s).len()).sum();
+                    let mut table = CounterTable::with_capacity(cap);
+                    for local in locals {
+                        for (k, c) in local.shard(s).iter() {
+                            table.add(k, c);
+                        }
+                    }
+                    acc.push((s, table));
+                }
+            },
+        )
+        .into_iter()
+        .flatten()
+        .collect();
+    merged.sort_unstable_by_key(|&(s, _)| s);
+    ShardedPairCounter::from_shards(merged.into_iter().map(|(_, t)| t).collect())
+}
+
+/// Batched bucket scan over a **sorted** `(bucket_key, column)` slice:
+/// every maximal run of equal keys is one bucket, and each run of length
+/// `s` contributes `C(s, 2)` pair increments to `counter` plus (when
+/// `s >= min_hist_run`) one entry to the occupancy histogram `hist[s]`.
+///
+/// Sorting the occupants once per table replaces per-element hash-map
+/// probing in the bucket-build step, and makes the scan a cache-friendly
+/// linear walk. Returns the number of counter increments performed —
+/// exactly what the incremental Hash-Count structure would have done.
+pub fn count_sorted_runs(
+    entries: &[(u64, u32)],
+    counter: &mut ShardedPairCounter,
+    hist: &mut Vec<u64>,
+    min_hist_run: usize,
+) -> u64 {
+    debug_assert!(
+        entries.windows(2).all(|w| w[0] <= w[1]),
+        "entries not sorted"
+    );
+    let mut increments = 0u64;
+    let mut start = 0;
+    while start < entries.len() {
+        let key = entries[start].0;
+        let mut end = start + 1;
+        while end < entries.len() && entries[end].0 == key {
+            end += 1;
+        }
+        let run = &entries[start..end];
+        if run.len() >= min_hist_run {
+            if hist.len() <= run.len() {
+                hist.resize(run.len() + 1, 0);
+            }
+            hist[run.len()] += 1;
+        }
+        for (a, &(_, cj)) in run.iter().enumerate().skip(1) {
+            for &(_, ci) in &run[..a] {
+                counter.increment(ci, cj);
+                increments += 1;
+            }
+        }
+        start = end;
+    }
+    increments
+}
+
+/// Elementwise histogram accumulation (grows `into` as needed) — the merge
+/// step for per-worker occupancy histograms produced by
+/// [`count_sorted_runs`].
+pub fn add_hist(into: &mut Vec<u64>, from: &[u64]) {
+    if into.len() < from.len() {
+        into.resize(from.len(), 0);
+    }
+    for (dst, &src) in into.iter_mut().zip(from) {
+        *dst += src;
+    }
+}
+
 /// A bucket table mapping hash values to the columns containing them.
 ///
 /// This is the §3.1 Hash-Count structure: columns are inserted in index
@@ -113,12 +504,14 @@ impl BucketTable {
     }
 
     /// Columns previously inserted under `value` (empty slice if none).
+    #[inline]
     #[must_use]
     pub fn bucket(&self, value: u64) -> &[u32] {
         self.buckets.get(&value).map_or(&[], Vec::as_slice)
     }
 
     /// Inserts `col` under `value`.
+    #[inline]
     pub fn insert(&mut self, value: u64, col: u32) {
         self.buckets.entry(value).or_default().push(col);
     }
@@ -167,7 +560,7 @@ impl BucketTable {
 /// how many signature rows / bands / runs it collided in.
 #[derive(Debug, Default)]
 pub struct PairCounter {
-    counts: FastHashMap<u64, u32>,
+    counts: CounterTable,
 }
 
 impl PairCounter {
@@ -182,14 +575,9 @@ impl PairCounter {
     /// # Panics
     ///
     /// Panics (debug) if `a == b`; self-pairs are meaningless.
+    #[inline]
     pub fn increment(&mut self, a: u32, b: u32) {
-        debug_assert_ne!(a, b, "self-pair");
-        let key = if a < b {
-            pack_pair(a, b)
-        } else {
-            pack_pair(b, a)
-        };
-        *self.counts.entry(key).or_insert(0) += 1;
+        self.add(a, b, 1);
     }
 
     /// Adds `count` to the unordered pair `{a, b}` (bulk merge support).
@@ -197,6 +585,7 @@ impl PairCounter {
     /// # Panics
     ///
     /// Panics (debug) if `a == b`.
+    #[inline]
     pub fn add(&mut self, a: u32, b: u32, count: u32) {
         debug_assert_ne!(a, b, "self-pair");
         let key = if a < b {
@@ -204,10 +593,11 @@ impl PairCounter {
         } else {
             pack_pair(b, a)
         };
-        *self.counts.entry(key).or_insert(0) += count;
+        self.counts.add(key, count);
     }
 
     /// Current count for the unordered pair `{a, b}`.
+    #[inline]
     #[must_use]
     pub fn get(&self, a: u32, b: u32) -> u32 {
         let key = if a < b {
@@ -215,7 +605,7 @@ impl PairCounter {
         } else {
             pack_pair(b, a)
         };
-        self.counts.get(&key).copied().unwrap_or(0)
+        self.counts.get(key)
     }
 
     /// Number of pairs with a nonzero count.
@@ -232,18 +622,20 @@ impl PairCounter {
 
     /// Iterates `(i, j, count)` with `i < j`, in arbitrary order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
-        self.counts.iter().map(|(&k, &c)| {
+        self.counts.iter().map(|(k, c)| {
             let (i, j) = unpack_pair(k);
             (i, j, c)
         })
     }
 
     /// Drains `(i, j, count)` entries, leaving the counter empty.
-    pub fn drain(&mut self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
-        self.counts.drain().map(|(k, c)| {
-            let (i, j) = unpack_pair(k);
-            (i, j, c)
-        })
+    pub fn drain(&mut self) -> impl Iterator<Item = (u32, u32, u32)> {
+        std::mem::take(&mut self.counts)
+            .into_entries()
+            .map(|(k, c)| {
+                let (i, j) = unpack_pair(k);
+                (i, j, c)
+            })
     }
 
     /// Pairs whose count is at least `threshold`, as `(i, j, count)`.
@@ -451,6 +843,139 @@ mod tests {
         assert_eq!(sc.get(1), 0);
         assert_eq!(sc.get(2), 0);
         assert!(sc.touched().is_empty());
+    }
+
+    #[test]
+    fn counter_table_counts_and_grows() {
+        let mut t = CounterTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.get(pack_pair(0, 1)), 0);
+        // Enough keys to force several growth rounds from the empty state.
+        for round in 1..=3u32 {
+            for i in 0..2_000u32 {
+                t.add(pack_pair(i, i + 1), round);
+            }
+        }
+        assert_eq!(t.len(), 2_000);
+        let total: u64 = t.iter().map(|(_, c)| u64::from(c)).sum();
+        assert_eq!(total, 2_000 * 6);
+        for i in 0..2_000u32 {
+            assert_eq!(t.get(pack_pair(i, i + 1)), 6);
+        }
+        assert_eq!(t.get(pack_pair(5_000, 5_001)), 0);
+    }
+
+    #[test]
+    fn counter_table_with_capacity_avoids_regrowth() {
+        let mut t = CounterTable::with_capacity(100);
+        for i in 0..100u32 {
+            t.increment(pack_pair(i, i + 1));
+        }
+        assert_eq!(t.len(), 100);
+        let entries: Vec<(u64, u32)> = t.into_entries().collect();
+        assert_eq!(entries.len(), 100);
+        assert!(entries.iter().all(|&(_, c)| c == 1));
+    }
+
+    #[test]
+    fn sharded_counter_matches_pair_counter() {
+        let mut sharded = ShardedPairCounter::new(8);
+        let mut plain = PairCounter::new();
+        // Deterministic pseudo-random pair stream with repeats.
+        let mut x = 12345u64;
+        for _ in 0..20_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = (x >> 40) as u32 % 300;
+            let b = (x >> 20) as u32 % 300;
+            if a == b {
+                continue;
+            }
+            sharded.increment(a, b);
+            plain.increment(a, b);
+        }
+        assert_eq!(sharded.len(), plain.len());
+        assert_eq!(sharded.pairs_at_least(3), plain.pairs_at_least(3));
+        // Every key sits in the shard `shard_of` claims.
+        for s in 0..sharded.shards() {
+            for (k, _) in sharded.shard(s).iter() {
+                assert_eq!(sharded.shard_of(k), s);
+            }
+        }
+    }
+
+    #[test]
+    fn from_shards_roundtrips_shard_tables() {
+        let mut a = ShardedPairCounter::new(4);
+        a.increment(1, 2);
+        a.increment(1, 2);
+        a.increment(7, 9);
+        let shards: Vec<CounterTable> = (0..a.shards()).map(|s| a.shard(s).clone()).collect();
+        let b = ShardedPairCounter::from_shards(shards);
+        assert_eq!(b.get(1, 2), 2);
+        assert_eq!(b.get(7, 9), 1);
+        assert_eq!(b.pairs_at_least(1), a.pairs_at_least(1));
+    }
+
+    #[test]
+    fn merge_sharded_sums_locals_per_shard() {
+        for threads in [1, 2, 4, 7] {
+            let pool = sfa_par::ThreadPool::new(threads);
+            let shards = default_shards(threads);
+            let mut expected = PairCounter::new();
+            let locals: Vec<ShardedPairCounter> = (0..3)
+                .map(|w| {
+                    let mut local = ShardedPairCounter::new(shards);
+                    for i in 0..50u32 {
+                        let j = i + 1 + w;
+                        local.increment(i, j);
+                        expected.increment(i, j);
+                    }
+                    local
+                })
+                .collect();
+            let merged = merge_sharded(locals, &pool);
+            assert_eq!(merged.pairs_at_least(1), expected.pairs_at_least(1));
+        }
+    }
+
+    #[test]
+    fn count_sorted_runs_matches_incremental_scan() {
+        // Buckets: key 1 -> {0,2,5}, key 3 -> {1}, key 4 -> {3,4}.
+        let entries = [(1, 0), (1, 2), (1, 5), (3, 1), (4, 3), (4, 4)];
+        let mut counter = ShardedPairCounter::new(4);
+        let mut hist = Vec::new();
+        let incr = count_sorted_runs(&entries, &mut counter, &mut hist, 1);
+        assert_eq!(incr, 4); // C(3,2) + C(1,2) + C(2,2)
+        assert_eq!(hist, vec![0, 1, 1, 1]);
+        assert_eq!(
+            counter.pairs_at_least(1),
+            vec![(0, 2, 1), (0, 5, 1), (2, 5, 1), (3, 4, 1)]
+        );
+        // min_hist_run = 2 drops singleton buckets from the histogram
+        // (the Row-Sorting convention) without changing the counts.
+        let mut counter2 = ShardedPairCounter::new(4);
+        let mut hist2 = Vec::new();
+        let incr2 = count_sorted_runs(&entries, &mut counter2, &mut hist2, 2);
+        assert_eq!(incr2, 4);
+        assert_eq!(hist2, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn fx_hasher_write_matches_word_folds() {
+        // 8-byte chunks must fold exactly like write_u64 on the LE word.
+        let mut by_slice = FxHasher::default();
+        by_slice.write(&42u64.to_le_bytes());
+        let mut by_word = FxHasher::default();
+        by_word.write_u64(42);
+        assert_eq!(by_slice.finish(), by_word.finish());
+        // Tails shorter than a word still contribute.
+        let mut h1 = FxHasher::default();
+        h1.write(&[1, 2, 3]);
+        let mut h2 = FxHasher::default();
+        h2.write(&[1, 2, 4]);
+        assert_ne!(h1.finish(), h2.finish());
     }
 
     #[test]

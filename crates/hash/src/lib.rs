@@ -31,7 +31,8 @@ pub mod tabulation;
 pub mod topk;
 
 pub use bucket::{
-    BucketTable, FastHashMap, FastHashSet, FxBuildHasher, PairCounter, SparseCounters,
+    add_hist, count_sorted_runs, default_shards, merge_sharded, BucketTable, CounterTable,
+    FastHashMap, FastHashSet, FxBuildHasher, PairCounter, ShardedPairCounter, SparseCounters,
 };
 pub use family::{HashFamily, MultiplyShiftFamily, RowHasher};
 pub use mix::{fmix32, fmix64, hash64_with_seed, splitmix64};

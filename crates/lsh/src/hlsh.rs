@@ -9,11 +9,15 @@
 //! buckets columns by their `r`-bit patterns. A pair is a candidate if it
 //! shares a bucket in any run at any level.
 
-use sfa_hash::bucket::{BucketTable, FastHashMap, PairCounter};
+use sfa_hash::bucket::{
+    add_hist, count_sorted_runs, default_shards, merge_sharded, BucketTable, FastHashMap,
+    PairCounter, ShardedPairCounter,
+};
 use sfa_hash::SeedSequence;
 use sfa_matrix::ops::or_fold_random;
 use sfa_matrix::RowMajorMatrix;
 use sfa_minhash::{CandidateGenStats, CandidatePair};
+use sfa_par::ThreadPool;
 
 /// H-LSH parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -220,6 +224,143 @@ pub fn hlsh_candidates_with_stats(
     stats.record("colliding-pairs", counts.len() as u64);
     let total_runs = (params.max_levels * params.l) as f64;
     let mut out: Vec<CandidatePair> = counts
+        .iter()
+        .map(|(i, j, c)| CandidatePair::new(i, j, f64::from(c) / total_runs))
+        .collect();
+    out.sort_by_key(CandidatePair::ids);
+    stats.record("emitted", out.len() as u64);
+    (out, stats)
+}
+
+/// A ladder level's prepared work: which columns pass the density gate and
+/// the `l` seeded row samples for its runs.
+struct HlshLevelPlan {
+    level: usize,
+    gated: Vec<bool>,
+    runs: Vec<Vec<u32>>,
+}
+
+/// Per-worker state for the parallel (level, run) bucket scans.
+struct HlshLocal {
+    counter: ShardedPairCounter,
+    hist: Vec<u64>,
+    buf: Vec<(u64, u32)>,
+    patterns: FastHashMap<u32, u64>,
+}
+
+/// Pool-based [`hlsh_candidates_with_stats`]: the ladder construction and
+/// the seeded sampling stream stay sequential (so the row samples — and
+/// hence the output — are byte-identical to the sequential scan), then the
+/// independent (level, run) bucket scans are dealt out dynamically over
+/// the pool.
+///
+/// # Panics
+///
+/// Panics on the same parameter violations as
+/// [`hlsh_collision_counts_with_histogram`].
+#[must_use]
+pub fn hlsh_candidates_with_stats_pool(
+    base: &RowMajorMatrix,
+    params: &HLshParams,
+    pool: &ThreadPool,
+) -> (Vec<CandidatePair>, CandidateGenStats) {
+    if pool.threads() == 1 {
+        return hlsh_candidates_with_stats(base, params);
+    }
+    assert!(
+        params.r >= 1 && params.r <= 64,
+        "pattern width must be 1..=64"
+    );
+    assert!(params.t >= 3, "density gate needs t >= 3");
+    let ladder = DensityLadder::build(base, params.max_levels, params.seed);
+    let mut seq = SeedSequence::new(params.seed ^ 0x5f5f_5f5f);
+    let lo_gate = 1.0 / f64::from(params.t);
+    let hi_gate = f64::from(params.t - 1) / f64::from(params.t);
+    let mut plans: Vec<HlshLevelPlan> = Vec::new();
+    for level in 0..ladder.n_levels() {
+        let matrix = ladder.level(level);
+        let n = matrix.n_rows();
+        if (n as usize) < params.r {
+            break;
+        }
+        let counts = matrix.column_counts();
+        let gated: Vec<bool> = counts
+            .iter()
+            .map(|&c| {
+                let d = f64::from(c) / f64::from(n);
+                d > lo_gate && d < hi_gate
+            })
+            .collect();
+        if !gated.iter().any(|&g| g) {
+            // No seeds are consumed here, matching the sequential scan.
+            continue;
+        }
+        let runs: Vec<Vec<u32>> = (0..params.l)
+            .map(|_| sample_distinct_rows(n, params.r, &mut seq))
+            .collect();
+        plans.push(HlshLevelPlan { level, gated, runs });
+    }
+    let tasks: Vec<(usize, usize)> = plans
+        .iter()
+        .enumerate()
+        .flat_map(|(p, plan)| (0..plan.runs.len()).map(move |r| (p, r)))
+        .collect();
+    let ladder = &ladder;
+    let plans = &plans;
+    let tasks = &tasks;
+    let shards = default_shards(pool.threads());
+    let locals = pool.par_fold(
+        tasks.len(),
+        1,
+        |_| HlshLocal {
+            counter: ShardedPairCounter::new(shards),
+            hist: Vec::new(),
+            buf: Vec::new(),
+            patterns: FastHashMap::default(),
+        },
+        |local, range| {
+            for idx in range {
+                let (p, run) = tasks[idx];
+                let plan = &plans[p];
+                let matrix = ladder.level(plan.level);
+                local.patterns.clear();
+                for (bit, &row) in plan.runs[run].iter().enumerate() {
+                    for &col in matrix.row(row) {
+                        if plan.gated[col as usize] {
+                            *local.patterns.entry(col).or_insert(0) |= 1u64 << bit;
+                        }
+                    }
+                }
+                local.buf.clear();
+                for (&col, &bits) in &local.patterns {
+                    local.buf.push((bits, col));
+                }
+                if params.include_zero_keys {
+                    for (col, &g) in plan.gated.iter().enumerate() {
+                        if g && !local.patterns.contains_key(&(col as u32)) {
+                            local.buf.push((0, col as u32));
+                        }
+                    }
+                }
+                local.buf.sort_unstable();
+                let _ = count_sorted_runs(&local.buf, &mut local.counter, &mut local.hist, 1);
+            }
+        },
+    );
+    let mut hist = Vec::new();
+    let mut counters = Vec::with_capacity(locals.len());
+    for local in locals {
+        add_hist(&mut hist, &local.hist);
+        counters.push(local.counter);
+    }
+    let counter = merge_sharded(counters, pool);
+    let mut stats = CandidateGenStats {
+        bucket_histogram: hist,
+        ..CandidateGenStats::default()
+    };
+    stats.record("colliding-pairs", counter.len() as u64);
+    let total_runs = (params.max_levels * params.l) as f64;
+    let mut out: Vec<CandidatePair> = counter
         .iter()
         .map(|(i, j, c)| CandidatePair::new(i, j, f64::from(c) / total_runs))
         .collect();
@@ -491,6 +632,30 @@ mod tests {
         // Columns 0,1 (density 1/3) and 2,3 (1/4 boundary — excluded at
         // t = 4) give at least two gated columns at level 0.
         assert!(early.gated_columns >= 2, "{early:?}");
+    }
+
+    #[test]
+    fn pool_variant_matches_sequential_at_every_thread_count() {
+        let m = matrix();
+        for params in [
+            HLshParams::new(8, 6, 5),
+            HLshParams {
+                include_zero_keys: true,
+                ..HLshParams::new(8, 4, 13)
+            },
+        ] {
+            let seq = hlsh_candidates_with_stats(&m, &params);
+            for threads in [1, 2, 4, 7] {
+                let pool = sfa_par::ThreadPool::new(threads);
+                let par = hlsh_candidates_with_stats_pool(&m, &params, &pool);
+                assert_eq!(par.0, seq.0, "candidates, threads = {threads}");
+                assert_eq!(par.1.stages, seq.1.stages, "stages, threads = {threads}");
+                assert_eq!(
+                    par.1.bucket_histogram, seq.1.bucket_histogram,
+                    "histogram, threads = {threads}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -6,10 +6,14 @@
 //! similar columns will hash to the same bucket, we repeat the process
 //! l times."
 
-use sfa_hash::bucket::{pack_pair, BucketTable, FastHashSet, PairCounter};
+use sfa_hash::bucket::{
+    add_hist, count_sorted_runs, default_shards, merge_sharded, pack_pair, BucketTable,
+    FastHashSet, PairCounter, ShardedPairCounter,
+};
 use sfa_hash::mix::{fmix64, splitmix64};
 use sfa_hash::SeedSequence;
 use sfa_minhash::{CandidateGenStats, CandidatePair, SignatureMatrix, EMPTY_SIGNATURE};
+use sfa_par::ThreadPool;
 
 /// How each iteration picks its `r` signature rows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -174,6 +178,107 @@ pub fn mlsh_candidates_with_stats(
     let counts = mlsh_collision_counts_with_histogram(sigs, params, &mut stats.bucket_histogram);
     stats.record("colliding-pairs", counts.len() as u64);
     let mut out: Vec<CandidatePair> = counts
+        .iter()
+        .map(|(i, j, c)| CandidatePair::new(i, j, f64::from(c) / params.l as f64))
+        .collect();
+    out.sort_by_key(CandidatePair::ids);
+    stats.record("emitted", out.len() as u64);
+    (out, stats)
+}
+
+/// Per-worker state for the parallel iteration scan.
+struct MLshLocal {
+    counter: ShardedPairCounter,
+    hist: Vec<u64>,
+    buf: Vec<(u64, u32)>,
+}
+
+/// Fills `buf` with one iteration's sorted `(bucket_key, column)` entries —
+/// the sort-based analogue of [`iteration_buckets`]: equal keys form the
+/// same buckets, and columns touching an [`EMPTY_SIGNATURE`] are skipped.
+fn iteration_entries(
+    sigs: &SignatureMatrix,
+    rows: &[usize],
+    key_seed: u64,
+    buf: &mut Vec<(u64, u32)>,
+) {
+    buf.clear();
+    'col: for j in 0..sigs.m() as u32 {
+        let mut key = splitmix64(key_seed);
+        for &l in rows {
+            let v = sigs.get(l, j);
+            if v == EMPTY_SIGNATURE {
+                continue 'col;
+            }
+            key = fmix64(key ^ v);
+        }
+        buf.push((key, j));
+    }
+    buf.sort_unstable();
+}
+
+/// Parallel collision counting: the per-iteration `(rows, key_seed)` plan
+/// is replayed sequentially from [`SeedSequence`] (so the seed stream —
+/// and hence the output — is byte-identical to the sequential scan), then
+/// iterations are dealt out dynamically over the pool.
+fn mlsh_sharded_counts_pool(
+    sigs: &SignatureMatrix,
+    params: &MLshParams,
+    pool: &ThreadPool,
+) -> (ShardedPairCounter, Vec<u64>) {
+    let mut seq = SeedSequence::new(params.seed);
+    let mut plans = Vec::with_capacity(params.l);
+    for t in 0..params.l {
+        let rows = rows_for_iteration(params, sigs.k(), t, &mut seq);
+        let key_seed = seq.next_seed();
+        plans.push((rows, key_seed));
+    }
+    let plans = &plans;
+    let shards = default_shards(pool.threads());
+    let locals = pool.par_fold(
+        plans.len(),
+        1,
+        |_| MLshLocal {
+            counter: ShardedPairCounter::new(shards),
+            hist: Vec::new(),
+            buf: Vec::new(),
+        },
+        |local, iterations| {
+            for t in iterations {
+                let (rows, key_seed) = &plans[t];
+                iteration_entries(sigs, rows, *key_seed, &mut local.buf);
+                let _ = count_sorted_runs(&local.buf, &mut local.counter, &mut local.hist, 1);
+            }
+        },
+    );
+    let mut hist = Vec::new();
+    let mut counters = Vec::with_capacity(locals.len());
+    for local in locals {
+        add_hist(&mut hist, &local.hist);
+        counters.push(local.counter);
+    }
+    (merge_sharded(counters, pool), hist)
+}
+
+/// Pool-based [`mlsh_candidates_with_stats`]: identical candidates, stage
+/// counters, and occupancy histogram, with the `l` iterations dealt out
+/// dynamically over the pool.
+#[must_use]
+pub fn mlsh_candidates_with_stats_pool(
+    sigs: &SignatureMatrix,
+    params: &MLshParams,
+    pool: &ThreadPool,
+) -> (Vec<CandidatePair>, CandidateGenStats) {
+    if pool.threads() == 1 || params.l < 2 {
+        return mlsh_candidates_with_stats(sigs, params);
+    }
+    let (counter, hist) = mlsh_sharded_counts_pool(sigs, params, pool);
+    let mut stats = CandidateGenStats {
+        bucket_histogram: hist,
+        ..CandidateGenStats::default()
+    };
+    stats.record("colliding-pairs", counter.len() as u64);
+    let mut out: Vec<CandidatePair> = counter
         .iter()
         .map(|(i, j, c)| CandidatePair::new(i, j, f64::from(c) / params.l as f64))
         .collect();
@@ -355,6 +460,24 @@ mod tests {
         let mut batch_sorted = batch;
         batch_sorted.sort_unstable();
         assert_eq!(online, batch_sorted);
+    }
+
+    #[test]
+    fn pool_variant_matches_sequential_at_every_thread_count() {
+        let s = sigs(40, 9);
+        for params in [MLshParams::banded(5, 8, 21), MLshParams::sampled(5, 20, 7)] {
+            let seq = mlsh_candidates_with_stats(&s, &params);
+            for threads in [1, 2, 4, 7] {
+                let pool = sfa_par::ThreadPool::new(threads);
+                let par = mlsh_candidates_with_stats_pool(&s, &params, &pool);
+                assert_eq!(par.0, seq.0, "candidates, threads = {threads}");
+                assert_eq!(par.1.stages, seq.1.stages, "stages, threads = {threads}");
+                assert_eq!(
+                    par.1.bucket_histogram, seq.1.bucket_histogram,
+                    "histogram, threads = {threads}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -7,8 +7,12 @@
 //! counter increments — `O(k S̄ m²)` expected — with **no** term quadratic
 //! in `m` when the average similarity `S̄` is small.
 
-use sfa_hash::bucket::{BucketTable, PairCounter};
+use sfa_hash::bucket::{
+    add_hist, count_sorted_runs, default_shards, merge_sharded, unpack_pair, BucketTable,
+    PairCounter, ShardedPairCounter,
+};
 use sfa_matrix::RowStream;
+use sfa_par::ThreadPool;
 
 use crate::candidates::{CandidateGenStats, CandidatePair};
 use crate::estimate;
@@ -41,10 +45,9 @@ pub fn mh_agreement_counts(sigs: &SignatureMatrix) -> PairCounter {
     counter
 }
 
-/// Parallel variant of [`mh_agreement_counts`]: signature rows are
-/// partitioned across `n_threads` workers, each counting into a private
-/// [`PairCounter`]; per-pair counts add across workers, so the merge is
-/// exact.
+/// Parallel variant of [`mh_agreement_counts`] over a one-shot pool;
+/// pipeline code reuses a pool across phases via
+/// [`mh_agreement_counts_pool`].
 ///
 /// # Panics
 ///
@@ -52,48 +55,85 @@ pub fn mh_agreement_counts(sigs: &SignatureMatrix) -> PairCounter {
 #[must_use]
 pub fn mh_agreement_counts_parallel(sigs: &SignatureMatrix, n_threads: usize) -> PairCounter {
     assert!(n_threads > 0, "need at least one thread");
-    if n_threads == 1 || sigs.k() < 2 {
+    mh_agreement_counts_pool(sigs, &ThreadPool::new(n_threads))
+}
+
+/// Pool-based [`mh_agreement_counts`]: signature rows are dealt out
+/// dynamically, each worker counting into a private sharded counter;
+/// per-pair counts add across workers, so the merge is exact.
+#[must_use]
+pub fn mh_agreement_counts_pool(sigs: &SignatureMatrix, pool: &ThreadPool) -> PairCounter {
+    if pool.threads() == 1 || sigs.k() < 2 {
         return mh_agreement_counts(sigs);
     }
-    let chunk = sigs.k().div_ceil(n_threads);
-    let locals = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..n_threads {
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(sigs.k());
-            if lo >= hi {
-                break;
-            }
-            handles.push(scope.spawn(move || {
-                let mut counter = PairCounter::new();
-                let mut table = BucketTable::new();
-                for l in lo..hi {
-                    table.clear();
-                    for (j, &v) in sigs.row(l).iter().enumerate() {
-                        if v == EMPTY_SIGNATURE {
-                            continue;
-                        }
-                        for &earlier in table.bucket(v) {
-                            counter.increment(earlier, j as u32);
-                        }
-                        table.insert(v, j as u32);
-                    }
-                }
-                counter
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect::<Vec<_>>()
-    });
+    let (counter, _, _) = row_bucket_counts_pool(sigs, pool, 1);
     let mut merged = PairCounter::new();
-    for local in locals {
-        for (i, j, c) in local.iter() {
-            merged.add(i, j, c);
-        }
+    for (i, j, c) in counter.iter() {
+        merged.add(i, j, c);
     }
     merged
+}
+
+/// Per-worker state for the sorted-row bucket scan.
+struct RowCountLocal {
+    counter: ShardedPairCounter,
+    hist: Vec<u64>,
+    increments: u64,
+    buf: Vec<(u64, u32)>,
+}
+
+/// The shared phase-2 counting kernel for signature-matrix schemes (MH
+/// and Row-Sorting): signature rows are dealt out dynamically; for each
+/// row the non-empty `(value, column)` entries are sorted once and every
+/// maximal equal-value run is scanned as one bucket (see
+/// [`count_sorted_runs`]). Per-worker sharded counters merge in parallel
+/// per shard.
+///
+/// Returns `(pair counts, bucket-occupancy histogram, increments)`;
+/// `min_hist_run` is 1 for Hash-Count occupancy (all buckets) and 2 for
+/// Row-Sorting (runs of at least two columns).
+pub(crate) fn row_bucket_counts_pool(
+    sigs: &SignatureMatrix,
+    pool: &ThreadPool,
+    min_hist_run: usize,
+) -> (ShardedPairCounter, Vec<u64>, u64) {
+    let shards = default_shards(pool.threads());
+    let locals = pool.par_fold(
+        sigs.k(),
+        1,
+        |_| RowCountLocal {
+            counter: ShardedPairCounter::new(shards),
+            hist: Vec::new(),
+            increments: 0,
+            buf: Vec::new(),
+        },
+        |local, rows| {
+            for l in rows {
+                local.buf.clear();
+                for (j, &v) in sigs.row(l).iter().enumerate() {
+                    if v != EMPTY_SIGNATURE {
+                        local.buf.push((v, j as u32));
+                    }
+                }
+                local.buf.sort_unstable();
+                local.increments += count_sorted_runs(
+                    &local.buf,
+                    &mut local.counter,
+                    &mut local.hist,
+                    min_hist_run,
+                );
+            }
+        },
+    );
+    let mut hist = Vec::new();
+    let mut increments = 0u64;
+    let mut counters = Vec::with_capacity(locals.len());
+    for local in locals {
+        add_hist(&mut hist, &local.hist);
+        increments += local.increments;
+        counters.push(local.counter);
+    }
+    (merge_sharded(counters, pool), hist, increments)
 }
 
 /// MH candidate generation: pairs agreeing on at least
@@ -138,6 +178,34 @@ pub fn mh_candidates_with_stats(
         }
         table.accumulate_occupancy(&mut stats.bucket_histogram);
     }
+    stats.record("counter-increments", increments);
+    stats.record("pairs-agreeing", counter.len() as u64);
+    let threshold = agreement_threshold(sigs.k(), s_star, delta) as u32;
+    let mut out: Vec<CandidatePair> = counter
+        .iter()
+        .filter(|&(_, _, c)| c >= threshold)
+        .map(|(i, j, c)| CandidatePair::new(i, j, f64::from(c) / sigs.k() as f64))
+        .collect();
+    out.sort_by_key(CandidatePair::ids);
+    stats.record("threshold-admitted", out.len() as u64);
+    (out, stats)
+}
+
+/// Pool-based [`mh_candidates_with_stats`]: identical candidates, stage
+/// counters, and occupancy histogram, computed with the parallel sorted
+/// bucket scan ([`row_bucket_counts_pool`]).
+#[must_use]
+pub fn mh_candidates_with_stats_pool(
+    sigs: &SignatureMatrix,
+    s_star: f64,
+    delta: f64,
+    pool: &ThreadPool,
+) -> (Vec<CandidatePair>, CandidateGenStats) {
+    let (counter, hist, increments) = row_bucket_counts_pool(sigs, pool, 1);
+    let mut stats = CandidateGenStats {
+        bucket_histogram: hist,
+        ..CandidateGenStats::default()
+    };
     stats.record("counter-increments", increments);
     stats.record("pairs-agreeing", counter.len() as u64);
     let threshold = agreement_threshold(sigs.k(), s_star, delta) as u32;
@@ -244,6 +312,138 @@ pub fn kmh_candidates_with_stats(
         if unbiased >= (1.0 - delta) * s_star {
             out.push(CandidatePair::new(i, j, unbiased));
         }
+    }
+    out.sort_by_key(CandidatePair::ids);
+    stats.record("overlap-admitted", overlap_admitted);
+    stats.record("rescore-admitted", out.len() as u64);
+    (out, stats)
+}
+
+/// The K-MH flavour of the batched bucket scan: all `(sketch value,
+/// column)` entries are gathered (in parallel), sorted once, split at
+/// value boundaries, and the resulting buckets are dealt out dynamically
+/// to workers counting into sharded counters.
+///
+/// Returns `(pair counts, occupancy histogram, increments)` — exactly
+/// what the incremental single-table scan of [`kmh_overlap_counts`]
+/// produces.
+pub(crate) fn kmh_sorted_counts_pool(
+    sigs: &BottomKSignatures,
+    pool: &ThreadPool,
+) -> (ShardedPairCounter, Vec<u64>, u64) {
+    let m = sigs.m();
+    let mut entries: Vec<(u64, u32)> = pool
+        .par_fold(
+            m,
+            pool.chunk_for(m),
+            |_| Vec::new(),
+            |acc, cols| {
+                for j in cols {
+                    for &v in sigs.signature(j as u32) {
+                        acc.push((v, j as u32));
+                    }
+                }
+            },
+        )
+        .concat();
+    entries.sort_unstable();
+    // Bucket boundaries: maximal runs of equal sketch value.
+    let mut starts = vec![0usize];
+    for idx in 1..entries.len() {
+        if entries[idx].0 != entries[idx - 1].0 {
+            starts.push(idx);
+        }
+    }
+    starts.push(entries.len());
+    let n_buckets = starts.len() - 1;
+    let shards = default_shards(pool.threads());
+    let entries = &entries;
+    let starts = &starts;
+    let locals = pool.par_fold(
+        n_buckets,
+        pool.chunk_for(n_buckets),
+        |_| (ShardedPairCounter::new(shards), Vec::new(), 0u64),
+        |(counter, hist, increments), buckets| {
+            let slice = &entries[starts[buckets.start]..starts[buckets.end]];
+            *increments += count_sorted_runs(slice, counter, hist, 1);
+        },
+    );
+    let mut hist = Vec::new();
+    let mut increments = 0u64;
+    let mut counters = Vec::with_capacity(locals.len());
+    for (counter, local_hist, local_incr) in locals {
+        add_hist(&mut hist, &local_hist);
+        increments += local_incr;
+        counters.push(counter);
+    }
+    (merge_sharded(counters, pool), hist, increments)
+}
+
+/// Pool-based [`kmh_overlap_counts`]; identical counts.
+#[must_use]
+pub fn kmh_overlap_counts_pool(sigs: &BottomKSignatures, pool: &ThreadPool) -> PairCounter {
+    if pool.threads() == 1 {
+        return kmh_overlap_counts(sigs);
+    }
+    let (counter, _, _) = kmh_sorted_counts_pool(sigs, pool);
+    let mut merged = PairCounter::new();
+    for (i, j, c) in counter.iter() {
+        merged.add(i, j, c);
+    }
+    merged
+}
+
+/// Pool-based [`kmh_candidates_with_stats`]: identical candidates and
+/// instrumentation. The overlap scan uses the batched sorted bucket
+/// scan, and the per-pair threshold + unbiased re-scoring stage runs
+/// shard-parallel.
+#[must_use]
+pub fn kmh_candidates_with_stats_pool(
+    sigs: &BottomKSignatures,
+    s_star: f64,
+    delta: f64,
+    pool: &ThreadPool,
+) -> (Vec<CandidatePair>, CandidateGenStats) {
+    let (counter, hist, increments) = kmh_sorted_counts_pool(sigs, pool);
+    let mut stats = CandidateGenStats {
+        bucket_histogram: hist,
+        ..CandidateGenStats::default()
+    };
+    stats.record("counter-increments", increments);
+    stats.record("pairs-overlapping", counter.len() as u64);
+    let counter_ref = &counter;
+    let shard_results = pool.par_fold(
+        counter.shards(),
+        1,
+        |_| (0u64, Vec::new()),
+        |(admitted, out), shards| {
+            for s in shards {
+                for (key, overlap) in counter_ref.shard(s).iter() {
+                    let (i, j) = unpack_pair(key);
+                    let threshold = estimate::kmh_overlap_threshold(
+                        s_star,
+                        delta,
+                        sigs.k(),
+                        sigs.column_count(i) as usize,
+                        sigs.column_count(j) as usize,
+                    );
+                    if (overlap as usize) < threshold {
+                        continue;
+                    }
+                    *admitted += 1;
+                    let unbiased = sigs.unbiased_similarity(i, j);
+                    if unbiased >= (1.0 - delta) * s_star {
+                        out.push(CandidatePair::new(i, j, unbiased));
+                    }
+                }
+            }
+        },
+    );
+    let mut overlap_admitted = 0u64;
+    let mut out = Vec::new();
+    for (admitted, cands) in shard_results {
+        overlap_admitted += admitted;
+        out.extend(cands);
     }
     out.sort_by_key(CandidatePair::ids);
     stats.record("overlap-admitted", overlap_admitted);

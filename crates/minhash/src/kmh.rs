@@ -168,10 +168,11 @@ pub fn compute_bottom_k<S: RowStream>(
     Ok(builder.finish())
 }
 
-/// Parallel K-MH over an in-memory matrix: rows are partitioned across
-/// workers, each folds a local [`KmhBuilder`](crate::builder::KmhBuilder),
-/// and the locals are merged (bottom-k union is a commutative idempotent
-/// fold, so the merge is exact).
+/// Parallel K-MH over an in-memory matrix.
+///
+/// Convenience wrapper that builds a one-shot [`sfa_par::ThreadPool`];
+/// pipeline code reuses a pool across phases via
+/// [`compute_bottom_k_pool`].
 ///
 /// # Panics
 ///
@@ -184,38 +185,40 @@ pub fn compute_bottom_k_parallel(
     n_threads: usize,
 ) -> BottomKSignatures {
     assert!(n_threads > 0, "need at least one thread");
-    let n = matrix.n_rows();
+    compute_bottom_k_pool(matrix, k, seed, &sfa_par::ThreadPool::new(n_threads))
+}
+
+/// Pool-based parallel K-MH: row ranges are dealt out dynamically, each
+/// worker folds a local [`KmhBuilder`](crate::builder::KmhBuilder), and
+/// the locals are merged (bottom-k union is a commutative idempotent
+/// fold, so the merge is exact).
+#[must_use]
+pub fn compute_bottom_k_pool(
+    matrix: &sfa_matrix::RowMajorMatrix,
+    k: usize,
+    seed: u64,
+    pool: &sfa_par::ThreadPool,
+) -> BottomKSignatures {
+    let n = matrix.n_rows() as usize;
     let m = matrix.n_cols() as usize;
-    if n_threads == 1 || n < 2 {
+    if pool.threads() == 1 || n < 2 {
         let mut stream = sfa_matrix::MemoryRowStream::new(matrix);
         return compute_bottom_k(&mut stream, k, seed).expect("memory stream cannot fail");
     }
-    let chunk = (n as usize).div_ceil(n_threads) as u32;
-    let locals = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..n_threads as u32 {
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(n);
-            if lo >= hi {
-                break;
+    let merged = pool.par_map_reduce(
+        n,
+        pool.chunk_for(n),
+        |_| crate::builder::KmhBuilder::new(k, m, seed),
+        |local, rows| {
+            for row_id in rows {
+                local.push_row(row_id as u32, matrix.row(row_id as u32));
             }
-            handles.push(scope.spawn(move || {
-                let mut local = crate::builder::KmhBuilder::new(k, m, seed);
-                for row_id in lo..hi {
-                    local.push_row(row_id, matrix.row(row_id));
-                }
-                local
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect::<Vec<_>>()
-    });
-    let mut merged = crate::builder::KmhBuilder::new(k, m, seed);
-    for local in &locals {
-        merged.merge(local);
-    }
+        },
+        |mut a, b| {
+            a.merge(&b);
+            a
+        },
+    );
     merged.finish()
 }
 

@@ -41,6 +41,8 @@ pub mod theory;
 
 pub use builder::{KmhBuilder, MhBuilder};
 pub use candidates::{CandidateGenStats, CandidatePair};
-pub use kmh::{compute_bottom_k, compute_bottom_k_parallel, BottomKSignatures};
-pub use mh::{compute_signatures, compute_signatures_parallel};
+pub use kmh::{
+    compute_bottom_k, compute_bottom_k_parallel, compute_bottom_k_pool, BottomKSignatures,
+};
+pub use mh::{compute_signatures, compute_signatures_parallel, compute_signatures_pool};
 pub use signature::{SignatureMatrix, EMPTY_SIGNATURE};

@@ -48,10 +48,9 @@ pub fn compute_signatures<S: RowStream>(
 
 /// Parallel MH signature computation over an in-memory matrix.
 ///
-/// Rows are partitioned across `n_threads` workers; each computes a local
-/// signature matrix over its row range, and the results are merged by
-/// component-wise minimum (min-hash is a commutative idempotent fold, so
-/// the merge is exact). Workers share nothing but the read-only matrix.
+/// Convenience wrapper that builds a one-shot [`sfa_par::ThreadPool`];
+/// pipeline code reuses a pool across phases via
+/// [`compute_signatures_pool`].
 ///
 /// # Panics
 ///
@@ -64,39 +63,43 @@ pub fn compute_signatures_parallel(
     n_threads: usize,
 ) -> SignatureMatrix {
     assert!(n_threads > 0, "need at least one thread");
-    let n = matrix.n_rows();
+    compute_signatures_pool(matrix, k, seed, &sfa_par::ThreadPool::new(n_threads))
+}
+
+/// Pool-based parallel MH signature computation.
+///
+/// Row ranges are dealt out dynamically over the pool; each worker folds
+/// its rows into a local [`MhBuilder`](crate::builder::MhBuilder), and
+/// the locals are merged by component-wise minimum (min-hash is a
+/// commutative idempotent fold, so the merge is exact). Workers share
+/// nothing but the read-only matrix.
+#[must_use]
+pub fn compute_signatures_pool(
+    matrix: &RowMajorMatrix,
+    k: usize,
+    seed: u64,
+    pool: &sfa_par::ThreadPool,
+) -> SignatureMatrix {
+    let n = matrix.n_rows() as usize;
     let m = matrix.n_cols() as usize;
-    if n_threads == 1 || n < 2 {
+    if pool.threads() == 1 || n < 2 {
         let mut stream = sfa_matrix::MemoryRowStream::new(matrix);
         return compute_signatures(&mut stream, k, seed).expect("memory stream cannot fail");
     }
-    let chunk = (n as usize).div_ceil(n_threads) as u32;
-    let locals = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..n_threads as u32 {
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(n);
-            if lo >= hi {
-                break;
+    let merged = pool.par_map_reduce(
+        n,
+        pool.chunk_for(n),
+        |_| crate::builder::MhBuilder::new(k, m, seed),
+        |local, rows| {
+            for row_id in rows {
+                local.push_row(row_id as u32, matrix.row(row_id as u32));
             }
-            handles.push(scope.spawn(move || {
-                let mut local = crate::builder::MhBuilder::new(k, m, seed);
-                for row_id in lo..hi {
-                    local.push_row(row_id, matrix.row(row_id));
-                }
-                local
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect::<Vec<_>>()
-    });
-
-    let mut merged = crate::builder::MhBuilder::new(k, m, seed);
-    for local in &locals {
-        merged.merge(local);
-    }
+        },
+        |mut a, b| {
+            a.merge(&b);
+            a
+        },
+    );
     merged.finish()
 }
 

@@ -269,6 +269,36 @@ pub fn rowsort_candidates_with_stats(
     (out, stats)
 }
 
+/// Pool-based [`rowsort_candidates_with_stats`]: identical candidates,
+/// stage counters, and run-length histogram. Signature rows are sorted
+/// and run-scanned in parallel by the shared kernel
+/// (`row_bucket_counts_pool`), with `min_hist_run = 2` so the histogram
+/// counts only real runs, matching the sequential `runs()` iterator.
+#[must_use]
+pub fn rowsort_candidates_with_stats_pool(
+    sigs: &SignatureMatrix,
+    s_star: f64,
+    delta: f64,
+    pool: &sfa_par::ThreadPool,
+) -> (Vec<CandidatePair>, CandidateGenStats) {
+    let (counter, hist, increments) = crate::hashcount::row_bucket_counts_pool(sigs, pool, 2);
+    let mut stats = CandidateGenStats {
+        bucket_histogram: hist,
+        ..CandidateGenStats::default()
+    };
+    stats.record("counter-increments", increments);
+    stats.record("pairs-agreeing", counter.len() as u64);
+    let threshold = agreement_threshold(sigs.k(), s_star, delta) as u32;
+    let mut out: Vec<CandidatePair> = counter
+        .iter()
+        .filter(|&(_, _, c)| c >= threshold)
+        .map(|(i, j, c)| CandidatePair::new(i, j, f64::from(c) / sigs.k() as f64))
+        .collect();
+    out.sort_by_key(CandidatePair::ids);
+    stats.record("threshold-admitted", out.len() as u64);
+    (out, stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

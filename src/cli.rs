@@ -7,11 +7,11 @@
 //! sfa info --input table.sfab
 //! sfa stats --input table.sfab [--bins N]
 //! sfa sketch --input table.sfab --out sketch.sfmh|sketch.sfkm --scheme mh|kmh --k N [--seed N]
-//!            [--metrics-json out.json]
+//!            [--metrics-json out.json] [--threads N]
 //! sfa mine --input table.sfab --scheme mh|kmh|mlsh|hlsh --threshold S
 //!          [--k N] [--r N] [--l N] [--delta D] [--seed N] [--csv out.csv]
 //!          [--metrics-json out.json] [--max-retries N]
-//!          [--checkpoint-dir DIR] [--checkpoint-every N]
+//!          [--checkpoint-dir DIR] [--checkpoint-every N] [--threads N]
 //! ```
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs after the
@@ -21,7 +21,10 @@
 //! 2 usage error (usage text printed). `--max-retries` wraps the input in a
 //! [`RetryingRowStream`] so transient IO errors are absorbed;
 //! `--checkpoint-dir` makes `mine` crash-safe via
-//! [`Pipeline::run_resumable`].
+//! [`Pipeline::run_resumable`]. `--threads N` runs the in-memory parallel
+//! pipeline over a worker pool (`0` sizes it from the machine); it is
+//! incompatible with the streaming-only `--checkpoint-dir`/`--max-retries`
+//! options, and the output is byte-identical to the sequential run.
 
 use std::path::{Path, PathBuf};
 
@@ -137,17 +140,19 @@ USAGE:
   sfa info   --input FILE
   sfa stats  --input FILE [--bins N]
   sfa sketch --input FILE --out FILE --scheme mh|kmh [--k N] [--seed N]
-             [--metrics-json FILE]
+             [--metrics-json FILE] [--threads N]
   sfa mine   --input FILE --scheme mh|kmh|mlsh|hlsh [--threshold S]
              [--k N] [--r N] [--l N] [--delta D] [--seed N] [--csv FILE]
              [--metrics-json FILE] [--max-retries N]
-             [--checkpoint-dir DIR] [--checkpoint-every N]
+             [--checkpoint-dir DIR] [--checkpoint-every N] [--threads N]
   sfa optimize --input FILE [--threshold S] [--max-fn N] [--max-fp N]
                [--sample F] [--seed N]
   sfa rules  --input FILE [--confidence C] [--k N] [--delta D] [--seed N]
   sfa compare --input FILE [--threshold S] [--k N] [--seed N]
   sfa help
 
+Parallelism: --threads N runs the in-memory parallel pipeline (N workers;
+0 = size from the machine). Output is identical to the sequential run.
 Dataset kinds for gen: weblog, news, synthetic, cf, basket.
 ";
 
@@ -302,22 +307,53 @@ fn cmd_stats(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parses `--threads` (0 = auto-size from the machine); `None` when the
+/// option is absent, i.e. the sequential streaming path.
+fn parse_threads(args: &Args) -> Result<Option<usize>, CliError> {
+    match args.get("threads") {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| CliError::Usage(format!("bad --threads: {v:?}"))),
+    }
+}
+
 fn cmd_sketch(args: &Args) -> Result<String, CliError> {
-    let (_, stream) = open_input(args)?;
-    let out = PathBuf::from(args.require("out")?);
+    // Validate before touching the filesystem (exit-code-2 contract).
     let k: usize = args.parse_num("k", 100)?;
     let seed: u64 = args.parse_num("seed", 42)?;
+    let threads = parse_threads(args)?;
+    let scheme_word = args.require("scheme")?.to_owned();
+    let out = PathBuf::from(args.require("out")?);
+    let (_, stream) = open_input(args)?;
     let mut scan = crate::matrix::ScanCounter::new(stream);
+    // With --threads the single streaming pass materializes the matrix and
+    // the pool computes signatures from memory; the scan counter still sees
+    // exactly one pass either way.
+    let pool = threads.map(crate::par::ThreadPool::new);
     let started = std::time::Instant::now();
-    let (mut output, scheme, signature_bytes) = match args.require("scheme")? {
+    let (mut output, scheme, signature_bytes) = match scheme_word.as_str() {
         "mh" => {
-            let sigs = crate::minhash::compute_signatures(&mut scan, k, seed).map_err(io_err)?;
+            let sigs = match &pool {
+                Some(pool) => {
+                    let matrix = materialize(&mut scan)?;
+                    crate::minhash::compute_signatures_pool(&matrix, k, seed, pool)
+                }
+                None => crate::minhash::compute_signatures(&mut scan, k, seed).map_err(io_err)?,
+            };
             crate::minhash::persist::write_signatures(&sigs, &out).map_err(io_err)?;
             let output = format!("wrote MH sketch (k={k}) to {}\n", out.display());
             (output, Scheme::Mh { k, delta: 0.0 }, sigs.heap_bytes())
         }
         "kmh" => {
-            let sigs = crate::minhash::compute_bottom_k(&mut scan, k, seed).map_err(io_err)?;
+            let sigs = match &pool {
+                Some(pool) => {
+                    let matrix = materialize(&mut scan)?;
+                    crate::minhash::compute_bottom_k_pool(&matrix, k, seed, pool)
+                }
+                None => crate::minhash::compute_bottom_k(&mut scan, k, seed).map_err(io_err)?,
+            };
             crate::minhash::persist::write_bottom_k(&sigs, &out).map_err(io_err)?;
             let output = format!("wrote K-MH sketch (k={k}) to {}\n", out.display());
             (output, Scheme::Kmh { k, delta: 0.0 }, sigs.heap_bytes())
@@ -337,6 +373,7 @@ fn cmd_sketch(args: &Args) -> Result<String, CliError> {
         };
         let metrics = crate::core::MiningMetrics {
             scheme: scheme.name().to_owned(),
+            threads: pool.as_ref().map_or(1, |p| p.threads() as u64),
             signature_pass: scan
                 .pass_scans()
                 .first()
@@ -404,10 +441,21 @@ fn cmd_mine(args: &Args) -> Result<String, CliError> {
     let checkpoint = args
         .get("checkpoint-dir")
         .map(|dir| CheckpointSpec::new(dir).with_every_rows(every_rows));
+    let threads = parse_threads(args)?;
+    if threads.is_some() && (checkpoint.is_some() || max_retries > 0) {
+        return Err(CliError::Usage(
+            "--threads is incompatible with the streaming-only \
+             --checkpoint-dir/--max-retries options"
+                .into(),
+        ));
+    }
     let scheme = scheme_from_args(args)?;
     let config = PipelineConfig::new(scheme, s_star, seed);
     let (_, mut stream) = open_input(args)?;
-    let result = if max_retries > 0 {
+    let result = if let Some(n) = threads {
+        let matrix = materialize(&mut stream)?;
+        Pipeline::new(config).run_parallel(&matrix, n)
+    } else if max_retries > 0 {
         let mut retrying = RetryingRowStream::new(stream, max_retries);
         let mut result = mine_run(config, &mut retrying, checkpoint.as_ref())?;
         let stats = retrying.stats();
@@ -553,7 +601,7 @@ fn write_pairs_csv(path: &Path, pairs: &[crate::core::VerifiedPair]) -> std::io:
     Ok(())
 }
 
-fn materialize(stream: &mut FileRowStream) -> Result<crate::matrix::RowMajorMatrix, CliError> {
+fn materialize<S: RowStream>(stream: &mut S) -> Result<crate::matrix::RowMajorMatrix, CliError> {
     let n_cols = stream.n_cols();
     let mut rows = Vec::with_capacity(stream.n_rows() as usize);
     let mut buf = Vec::new();
@@ -944,6 +992,184 @@ mod tests {
         .unwrap_err();
         assert_eq!(err.exit_code(), 1, "{err:?}");
         std::fs::remove_file(&garbage).ok();
+    }
+
+    #[test]
+    fn mine_with_threads_matches_sequential_mine() {
+        let table = tmp("par_mine.sfab");
+        dispatch(&strs(&[
+            "gen",
+            "--kind",
+            "weblog",
+            "--out",
+            table.to_str().unwrap(),
+            "--scale",
+            "tiny",
+        ]))
+        .unwrap();
+        let base = &[
+            "mine",
+            "--input",
+            table.to_str().unwrap(),
+            "--scheme",
+            "kmh",
+            "--threshold",
+            "0.8",
+            "--k",
+            "40",
+        ];
+        let sequential = dispatch(&strs(base)).unwrap();
+        let seq_pairs: Vec<&str> = sequential.lines().skip(1).collect();
+        assert!(!seq_pairs.is_empty(), "no pairs mined");
+        for threads in ["1", "3", "0"] {
+            let mut argv = base.to_vec();
+            argv.extend(["--threads", threads]);
+            let parallel = dispatch(&strs(&argv)).unwrap();
+            let par_pairs: Vec<&str> = parallel.lines().skip(1).collect();
+            assert_eq!(par_pairs, seq_pairs, "--threads {threads} diverged");
+        }
+        std::fs::remove_file(&table).ok();
+    }
+
+    #[test]
+    fn threads_flag_rejects_bad_values_and_streaming_conflicts() {
+        // All of these are usage errors (exit 2) and must be detected
+        // before the (nonexistent) input is opened.
+        for bad in [
+            vec![
+                "mine",
+                "--input",
+                "/nonexistent/no.sfab",
+                "--scheme",
+                "mh",
+                "--threads",
+                "NaN",
+            ],
+            vec![
+                "mine",
+                "--input",
+                "/nonexistent/no.sfab",
+                "--scheme",
+                "mh",
+                "--threads",
+                "2",
+                "--checkpoint-dir",
+                "/nonexistent/ckpt",
+            ],
+            vec![
+                "mine",
+                "--input",
+                "/nonexistent/no.sfab",
+                "--scheme",
+                "mh",
+                "--threads",
+                "2",
+                "--max-retries",
+                "3",
+            ],
+            vec![
+                "sketch",
+                "--input",
+                "/nonexistent/no.sfab",
+                "--out",
+                "/nonexistent/out.sfmh",
+                "--scheme",
+                "mh",
+                "--threads",
+                "-1",
+            ],
+        ] {
+            let err = dispatch(&strs(&bad)).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{bad:?} → {err:?}");
+        }
+    }
+
+    #[test]
+    fn sketch_with_threads_writes_identical_sketch() {
+        let table = tmp("par_sketch.sfab");
+        dispatch(&strs(&[
+            "gen",
+            "--kind",
+            "weblog",
+            "--out",
+            table.to_str().unwrap(),
+            "--scale",
+            "tiny",
+        ]))
+        .unwrap();
+        for scheme in ["mh", "kmh"] {
+            let seq_out = tmp(&format!("par_sketch_seq.{scheme}"));
+            let par_out = tmp(&format!("par_sketch_par.{scheme}"));
+            dispatch(&strs(&[
+                "sketch",
+                "--input",
+                table.to_str().unwrap(),
+                "--out",
+                seq_out.to_str().unwrap(),
+                "--scheme",
+                scheme,
+                "--k",
+                "16",
+            ]))
+            .unwrap();
+            dispatch(&strs(&[
+                "sketch",
+                "--input",
+                table.to_str().unwrap(),
+                "--out",
+                par_out.to_str().unwrap(),
+                "--scheme",
+                scheme,
+                "--k",
+                "16",
+                "--threads",
+                "3",
+            ]))
+            .unwrap();
+            let seq_bytes = std::fs::read(&seq_out).unwrap();
+            let par_bytes = std::fs::read(&par_out).unwrap();
+            assert_eq!(seq_bytes, par_bytes, "{scheme} sketch diverged");
+            std::fs::remove_file(&seq_out).ok();
+            std::fs::remove_file(&par_out).ok();
+        }
+        std::fs::remove_file(&table).ok();
+    }
+
+    #[test]
+    fn mine_with_threads_records_thread_count_in_metrics() {
+        let table = tmp("par_mine_metrics.sfab");
+        dispatch(&strs(&[
+            "gen",
+            "--kind",
+            "weblog",
+            "--out",
+            table.to_str().unwrap(),
+            "--scale",
+            "tiny",
+        ]))
+        .unwrap();
+        let json_path = tmp("par_mine_metrics.json");
+        dispatch(&strs(&[
+            "mine",
+            "--input",
+            table.to_str().unwrap(),
+            "--scheme",
+            "mh",
+            "--threshold",
+            "0.8",
+            "--k",
+            "40",
+            "--threads",
+            "2",
+            "--metrics-json",
+            json_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&json_path).unwrap();
+        let doc: crate::core::MetricsDocument = crate::json::from_str(&text).unwrap();
+        assert_eq!(doc.metrics.threads, 2);
+        std::fs::remove_file(&table).ok();
+        std::fs::remove_file(&json_path).ok();
     }
 
     #[test]

@@ -59,3 +59,4 @@ pub use sfa_json as json;
 pub use sfa_lsh as lsh;
 pub use sfa_matrix as matrix;
 pub use sfa_minhash as minhash;
+pub use sfa_par as par;
