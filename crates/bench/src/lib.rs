@@ -13,6 +13,9 @@
 //!   gate ablation.
 //! * `bench_pipeline` — end-to-end pipeline per scheme and the a priori
 //!   baseline (the Fig. 4 table as a benchmark).
+//! * `bench_kernels` — intersection-kernel ablation (merge vs gallop vs
+//!   popcount) over a density × skew grid, and the exact ground-truth
+//!   driver before/after the blocked bitmap path.
 
 use sfa_datagen::{WeblogConfig, WeblogData};
 use sfa_matrix::RowMajorMatrix;

@@ -565,12 +565,17 @@ impl Pipeline {
             }
         };
         metrics.candidates_generated = candidates.len() as u64;
+        // Phase 3: the matrix is resident, so verify against its
+        // column-major transpose with the bitmap kernels instead of
+        // re-scanning rows (streaming, checkpoint, and fault-injection
+        // paths keep the row scan).
         let t = Instant::now();
+        let columns = matrix.transpose();
         let (verified, column_counts) =
-            crate::verify::verify_candidates_pool(matrix, &candidates, pool);
+            crate::verify::verify_candidates_in_memory_pool(&columns, &candidates, pool);
         timings.verify = t.elapsed();
-        // Both passes scan the whole in-memory matrix; the partitioned
-        // workers do not count per-pair probes, so `intersection_work`
+        // Both passes scan the whole in-memory matrix; the in-memory
+        // verifier does not count per-pair probes, so `intersection_work`
         // stays 0 on this path (use `run` for the full counters).
         let full_scan = crate::metrics::PassMetrics {
             rows_scanned: u64::from(matrix.n_rows()),

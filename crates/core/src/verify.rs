@@ -6,10 +6,86 @@
 //! columns." We count intersections directly and column cardinalities for
 //! the union via `|C_i ∪ C_j| = |C_i| + |C_j| − |C_i ∩ C_j|`.
 
-use sfa_matrix::{MatrixError, Result, RowStream};
+use sfa_matrix::{MatrixError, Result, RowStream, SparseMatrix};
 use sfa_minhash::CandidatePair;
 
 use crate::report::VerifiedPair;
+
+/// Flat CSR-style partner adjacency: for each column, its `(partner,
+/// candidate-index)` list, in one allocation instead of `m` heap vectors.
+/// The inner row loop of every verification pass walks these lists, so
+/// keeping them contiguous removes a pointer chase per touched column.
+struct PartnerAdjacency {
+    /// `offsets[c]..offsets[c + 1]` indexes column `c`'s slice of `partners`.
+    offsets: Vec<usize>,
+    partners: Vec<(u32, u32)>,
+}
+
+impl PartnerAdjacency {
+    /// Builds the adjacency over `m` columns; per-column entries keep
+    /// candidate order (counting sort with a cursor per column).
+    fn new(m: usize, candidates: &[CandidatePair]) -> Self {
+        let mut counts = vec![0usize; m];
+        for c in candidates {
+            counts[c.i as usize] += 1;
+            counts[c.j as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(m + 1);
+        offsets.push(0usize);
+        for &c in &counts {
+            offsets.push(offsets.last().unwrap() + c);
+        }
+        let mut cursor = offsets.clone();
+        let mut partners = vec![(0u32, 0u32); 2 * candidates.len()];
+        for (idx, c) in candidates.iter().enumerate() {
+            partners[cursor[c.i as usize]] = (c.j, idx as u32);
+            cursor[c.i as usize] += 1;
+            partners[cursor[c.j as usize]] = (c.i, idx as u32);
+            cursor[c.j as usize] += 1;
+        }
+        Self { offsets, partners }
+    }
+
+    /// Column `col`'s `(partner, candidate-index)` entries.
+    #[inline]
+    fn partners_of(&self, col: u32) -> &[(u32, u32)] {
+        &self.partners[self.offsets[col as usize]..self.offsets[col as usize + 1]]
+    }
+}
+
+/// Assembles the sorted [`VerifiedPair`] list from per-candidate
+/// intersections and per-column counts — the single definition every
+/// verification path (streaming, pooled, in-memory bitmap) funnels
+/// through, so their outputs are identical by construction.
+fn assemble_verified(
+    candidates: &[CandidatePair],
+    intersections: &[u32],
+    column_counts: &[u32],
+) -> Vec<VerifiedPair> {
+    let mut verified: Vec<VerifiedPair> = candidates
+        .iter()
+        .zip(intersections)
+        .map(|(c, &inter)| {
+            let ci = column_counts[c.i as usize];
+            let cj = column_counts[c.j as usize];
+            let union = ci + cj - inter;
+            VerifiedPair {
+                i: c.i,
+                j: c.j,
+                intersection: inter,
+                union,
+                similarity: if union == 0 {
+                    0.0
+                } else {
+                    f64::from(inter) / f64::from(union)
+                },
+                estimate: c.estimate,
+            }
+        })
+        .collect();
+    verified.sort_by_key(|p| (p.i, p.j));
+    verified
+}
 
 /// Mid-pass verification counters: everything phase 3 needs to continue
 /// from row `rows_done` instead of row 0. This is the payload of a phase-3
@@ -88,12 +164,7 @@ pub fn verify_candidates_resumable<S: RowStream>(
     on_checkpoint: &mut dyn FnMut(&VerifyProgress) -> Result<()>,
 ) -> Result<(Vec<VerifiedPair>, Vec<u32>, u64)> {
     let m = stream.n_cols() as usize;
-    // Adjacency: for each column, the (partner, pair-index) list.
-    let mut partners: Vec<Vec<(u32, u32)>> = vec![Vec::new(); m];
-    for (idx, c) in candidates.iter().enumerate() {
-        partners[c.i as usize].push((c.j, idx as u32));
-        partners[c.j as usize].push((c.i, idx as u32));
-    }
+    let partners = PartnerAdjacency::new(m, candidates);
     let (mut rows_done, mut intersections, mut column_counts, mut probes) = match resume {
         Some(p) => {
             assert_eq!(
@@ -128,8 +199,9 @@ pub fn verify_candidates_resumable<S: RowStream>(
         for &col in &buf {
             column_counts[col as usize] += 1;
             // Probe partners once per pair: only from the smaller side.
-            probes += partners[col as usize].len() as u64;
-            for &(partner, idx) in &partners[col as usize] {
+            let adj = partners.partners_of(col);
+            probes += adj.len() as u64;
+            for &(partner, idx) in adj {
                 if partner > col && present[partner as usize] {
                     intersections[idx as usize] += 1;
                 }
@@ -148,28 +220,7 @@ pub fn verify_candidates_resumable<S: RowStream>(
             })?;
         }
     }
-    let mut verified: Vec<VerifiedPair> = candidates
-        .iter()
-        .zip(&intersections)
-        .map(|(c, &inter)| {
-            let ci = column_counts[c.i as usize];
-            let cj = column_counts[c.j as usize];
-            let union = ci + cj - inter;
-            VerifiedPair {
-                i: c.i,
-                j: c.j,
-                intersection: inter,
-                union,
-                similarity: if union == 0 {
-                    0.0
-                } else {
-                    f64::from(inter) / f64::from(union)
-                },
-                estimate: c.estimate,
-            }
-        })
-        .collect();
-    verified.sort_by_key(|p| (p.i, p.j));
+    let verified = assemble_verified(candidates, &intersections, &column_counts);
     Ok((verified, column_counts, probes))
 }
 
@@ -249,11 +300,7 @@ pub fn verify_candidates_pool(
         let mut stream = sfa_matrix::MemoryRowStream::new(matrix);
         return verify_candidates(&mut stream, candidates).expect("memory stream cannot fail");
     }
-    let mut partners: Vec<Vec<(u32, u32)>> = vec![Vec::new(); m];
-    for (idx, c) in candidates.iter().enumerate() {
-        partners[c.i as usize].push((c.j, idx as u32));
-        partners[c.j as usize].push((c.i, idx as u32));
-    }
+    let partners = PartnerAdjacency::new(m, candidates);
     let partners = &partners;
     let partials = pool.par_fold(
         n,
@@ -267,7 +314,7 @@ pub fn verify_candidates_pool(
                 }
                 for &col in row {
                     column_counts[col as usize] += 1;
-                    for &(partner, idx) in &partners[col as usize] {
+                    for &(partner, idx) in partners.partners_of(col) {
                         if partner > col && present[partner as usize] {
                             intersections[idx as usize] += 1;
                         }
@@ -290,29 +337,120 @@ pub fn verify_candidates_pool(
             *acc += v;
         }
     }
-    let mut verified: Vec<VerifiedPair> = candidates
-        .iter()
-        .zip(&intersections)
-        .map(|(c, &inter)| {
-            let ci = column_counts[c.i as usize];
-            let cj = column_counts[c.j as usize];
-            let union = ci + cj - inter;
-            VerifiedPair {
-                i: c.i,
-                j: c.j,
-                intersection: inter,
-                union,
-                similarity: if union == 0 {
-                    0.0
-                } else {
-                    f64::from(inter) / f64::from(union)
-                },
-                estimate: c.estimate,
-            }
-        })
-        .collect();
-    verified.sort_by_key(|p| (p.i, p.j));
+    let verified = assemble_verified(candidates, &intersections, &column_counts);
     (verified, column_counts)
+}
+
+/// Bitmap budget for the in-memory fast path: the materialized
+/// candidate-column bitmaps may use at most this much memory
+/// (`⌈n/64⌉ · 8` bytes per touched column); past it the per-pair
+/// adaptive kernel is used instead, which needs no extra memory.
+const IN_MEMORY_BITMAP_CAP_BYTES: usize = 256 << 20;
+
+/// In-memory phase 3: verifies candidates directly against a resident
+/// [`SparseMatrix`] (the column-major transpose of the table) instead of
+/// re-scanning rows.
+///
+/// Column counts are read off the CSC structure; per-candidate
+/// intersections are AND-popcounts over `u64` row-bitmaps materialized
+/// for exactly the columns the candidate list touches
+/// ([`sfa_matrix::BitMatrix::from_csc_subset`]). If those bitmaps would
+/// exceed [`IN_MEMORY_BITMAP_CAP_BYTES`], each pair falls back to the
+/// adaptive merge/gallop/bitmap kernel on the CSC slices.
+///
+/// Output is identical to [`verify_candidates`] over a fault-free stream
+/// of the same table: both compute the exact `|C_i ∩ C_j|` and `|C_j|`
+/// integers and share the final [`VerifiedPair`] assembly.
+#[must_use]
+pub fn verify_candidates_in_memory(
+    columns: &SparseMatrix,
+    candidates: &[CandidatePair],
+) -> (Vec<VerifiedPair>, Vec<u32>) {
+    let column_counts = csc_column_counts(columns);
+    let intersections = in_memory_intersections(columns, candidates, None);
+    let verified = assemble_verified(candidates, &intersections, &column_counts);
+    (verified, column_counts)
+}
+
+/// Pool-based [`verify_candidates_in_memory`]: candidates are dealt out
+/// dynamically; each worker popcounts its share against the shared
+/// bitmaps. Identical output (each intersection is written by exactly
+/// one worker). Small candidate lists stay on the caller thread (the
+/// pool's serial cutoff).
+#[must_use]
+pub fn verify_candidates_in_memory_pool(
+    columns: &SparseMatrix,
+    candidates: &[CandidatePair],
+    pool: &sfa_par::ThreadPool,
+) -> (Vec<VerifiedPair>, Vec<u32>) {
+    let column_counts = csc_column_counts(columns);
+    let intersections = in_memory_intersections(columns, candidates, Some(pool));
+    let verified = assemble_verified(candidates, &intersections, &column_counts);
+    (verified, column_counts)
+}
+
+/// Exact `|C_j|` for every column, off the CSC column pointers.
+fn csc_column_counts(columns: &SparseMatrix) -> Vec<u32> {
+    (0..columns.n_cols())
+        .map(|j| columns.column_count(j) as u32)
+        .collect()
+}
+
+/// Per-candidate exact intersections via subset bitmaps (or the adaptive
+/// per-pair kernel when the bitmaps would bust the memory cap), serial or
+/// pool-parallel over candidates.
+fn in_memory_intersections(
+    columns: &SparseMatrix,
+    candidates: &[CandidatePair],
+    pool: Option<&sfa_par::ThreadPool>,
+) -> Vec<u32> {
+    // Touched columns, deduplicated; slot[t] is the bitmap of touched[t].
+    let mut touched: Vec<u32> = candidates.iter().flat_map(|c| [c.i, c.j]).collect();
+    touched.sort_unstable();
+    touched.dedup();
+    let words_per_col = sfa_matrix::bitmap::words_for(columns.n_rows());
+    let bitmap_bytes = touched.len() * words_per_col * std::mem::size_of::<u64>();
+    let bits = (bitmap_bytes <= IN_MEMORY_BITMAP_CAP_BYTES).then(|| {
+        let slots = sfa_matrix::BitMatrix::from_csc_subset(columns, &touched);
+        let mut slot_of = vec![u32::MAX; columns.n_cols() as usize];
+        for (t, &j) in touched.iter().enumerate() {
+            slot_of[j as usize] = t as u32;
+        }
+        (slots, slot_of)
+    });
+    let intersect = |c: &CandidatePair| -> u32 {
+        let inter = match &bits {
+            Some((slots, slot_of)) => slots.intersection_size(
+                slot_of[c.i as usize] as usize,
+                slot_of[c.j as usize] as usize,
+            ),
+            None => columns.intersection_size(c.i, c.j),
+        };
+        inter as u32
+    };
+    match pool {
+        Some(pool) => {
+            // One AND-popcount scan per candidate.
+            let est_ops = (candidates.len() as u64).saturating_mul(words_per_col as u64);
+            let chunks = pool.par_fold_bounded(
+                candidates.len(),
+                pool.chunk_for(candidates.len()),
+                est_ops,
+                |_| Vec::new(),
+                |acc: &mut Vec<(usize, u32)>, range| {
+                    for idx in range {
+                        acc.push((idx, intersect(&candidates[idx])));
+                    }
+                },
+            );
+            let mut intersections = vec![0u32; candidates.len()];
+            for (idx, inter) in chunks.into_iter().flatten() {
+                intersections[idx] = inter;
+            }
+            intersections
+        }
+        None => candidates.iter().map(intersect).collect(),
+    }
 }
 
 #[cfg(test)]
@@ -430,6 +568,37 @@ mod tests {
             assert_eq!(par, seq, "threads = {threads}");
             assert_eq!(counts_par, counts_seq);
         }
+    }
+
+    #[test]
+    fn in_memory_matches_streaming() {
+        let m = matrix();
+        let candidates = vec![
+            CandidatePair::new(0, 1, 0.9),
+            CandidatePair::new(0, 2, 0.4),
+            CandidatePair::new(1, 3, 0.3),
+            CandidatePair::new(2, 3, 0.5),
+        ];
+        let (stream_v, stream_c) =
+            verify_candidates(&mut MemoryRowStream::new(&m), &candidates).unwrap();
+        let csc = m.transpose();
+        let (mem_v, mem_c) = verify_candidates_in_memory(&csc, &candidates);
+        assert_eq!(mem_v, stream_v);
+        assert_eq!(mem_c, stream_c);
+        for threads in [1, 2, 4] {
+            let pool = sfa_par::ThreadPool::new(threads);
+            let (pv, pc) = verify_candidates_in_memory_pool(&csc, &candidates, &pool);
+            assert_eq!(pv, stream_v, "threads {threads}");
+            assert_eq!(pc, stream_c, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn in_memory_handles_empty_candidates() {
+        let csc = matrix().transpose();
+        let (verified, counts) = verify_candidates_in_memory(&csc, &[]);
+        assert!(verified.is_empty());
+        assert_eq!(counts, vec![3, 3, 2, 3]);
     }
 
     #[test]

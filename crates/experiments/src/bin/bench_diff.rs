@@ -110,6 +110,27 @@ mod tests {
         );
     }
 
+    /// The baseline's `timing` object grew `oversubscribed` and a
+    /// `kernels` subtree (exact ground-truth kernel seconds); both are
+    /// machine-dependent and must stay invisible to the diff.
+    #[test]
+    fn kernel_timings_and_oversubscription_marker_are_ignored() {
+        let a = Json::parse(
+            r#"{"n": 7, "timing": {"host_threads": 1, "oversubscribed": true,
+                "kernels": {"exact_similar_pairs": {"merge_s": 2.0, "speedup": 4.1}}}}"#,
+        )
+        .unwrap();
+        let b = Json::parse(
+            r#"{"n": 7, "timing": {"host_threads": 16, "oversubscribed": false,
+                "kernels": {"exact_similar_pairs": {"merge_s": 0.3, "speedup": 9.9}}}}"#,
+        )
+        .unwrap();
+        let (mut sa, mut sb) = (a, b);
+        strip_timing(&mut sa);
+        strip_timing(&mut sb);
+        assert_eq!(first_diff_line(&sa, &sb), None);
+    }
+
     #[test]
     fn diff_ignores_timing_but_catches_counters() {
         let a = Json::parse(r#"{"n": 1, "timing": {"s": 0.5}}"#).unwrap();

@@ -98,10 +98,11 @@ impl ColumnSet {
         self.rows.binary_search(&r).is_ok()
     }
 
-    /// `|C_i ∩ C_j|` by sorted-merge intersection.
+    /// `|C_i ∩ C_j|` via the adaptive kernel (merge / gallop / bitmap,
+    /// chosen per call — see [`intersection_size_auto`]).
     #[must_use]
     pub fn intersection_size(&self, other: &Self) -> usize {
-        intersection_size(&self.rows, &other.rows)
+        intersection_size_auto(&self.rows, &other.rows)
     }
 
     /// `|C_i ∪ C_j|` (inclusion–exclusion over the merge count).
@@ -191,12 +192,12 @@ impl ColumnSet {
 
 /// Sorted-merge `|a ∩ b|` over ascending slices.
 ///
-/// Exposed because signature code intersects raw `&[u32]` column slices
-/// straight out of CSC storage without materializing `ColumnSet`s.
+/// Exposed because signature code intersects raw column slices straight
+/// out of CSC storage without materializing `ColumnSet`s. Optimal when
+/// the two cardinalities are near-equal; for skewed or dense pairs use
+/// [`intersection_size_adaptive`] / [`intersection_size_auto`].
 #[must_use]
-pub fn intersection_size(a: &[u32], b: &[u32]) -> usize {
-    // Galloping would win on very skewed sizes; sorted merge is optimal for
-    // the near-equal-cardinality pairs that dominate this workload.
+pub fn intersection_size<T: Ord>(a: &[T], b: &[T]) -> usize {
     let mut count = 0;
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
@@ -213,9 +214,118 @@ pub fn intersection_size(a: &[u32], b: &[u32]) -> usize {
     count
 }
 
+/// Skew ratio past which galloping beats the sorted merge.
+///
+/// A merge costs `O(|a| + |b|)` comparisons; galloping costs
+/// `O(|small| · log |large|)`. With `log₂|large|` rarely above ~20 on this
+/// workload, the crossover sits near `|large| / |small| ≈ 16` in the
+/// `bench_kernels` density×skew sweep; below it the merge's branch-predictable
+/// linear scan wins.
+pub const GALLOP_SKEW_CUTOFF: usize = 16;
+
+/// Minimum density (fraction of the shared row domain, as a reciprocal)
+/// at which the bitmap popcount arm of [`intersection_size_auto`]
+/// engages: both columns must fill at least `domain / DENSE_DOMAIN_DIVISOR`
+/// of `domain = max(a.last, b.last) + 1`.
+///
+/// At 1/8 density a merge touches ≥ `2·(domain/8)` elements (≥ 8 words'
+/// worth of branchy compares per 64-row window) while the scratch bitmap
+/// spends 3 passes of `domain/64` branch-free word ops — the measured
+/// crossover in `bench_kernels`.
+pub const DENSE_DOMAIN_DIVISOR: usize = 8;
+
+/// `|a ∩ b|` by galloping (exponential + binary) search of the larger
+/// slice for each element of the smaller.
+///
+/// `O(|small| · log |large|)` — wins over the merge when the size ratio
+/// exceeds [`GALLOP_SKEW_CUTOFF`].
+#[must_use]
+pub fn intersection_size_gallop<T: Ord>(a: &[T], b: &[T]) -> usize {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut count = 0;
+    let mut lo = 0; // large[..lo] is already below every remaining probe
+    for probe in small {
+        // Gallop: double the step until large[lo + step] >= probe.
+        let mut step = 1;
+        while lo + step < large.len() && large[lo + step] < *probe {
+            lo += step;
+            step <<= 1;
+        }
+        let hi = (lo + step + 1).min(large.len());
+        match large[lo..hi].binary_search(probe) {
+            Ok(off) => {
+                count += 1;
+                lo += off + 1;
+            }
+            Err(off) => lo += off,
+        }
+        if lo >= large.len() {
+            break;
+        }
+    }
+    count
+}
+
+/// Size-adaptive `|a ∩ b|`: sorted merge for near-equal cardinalities,
+/// galloping past the [`GALLOP_SKEW_CUTOFF`] skew ratio.
+///
+/// Works on any ordered element type (the K-MH overlap estimator
+/// intersects `u64` signature slices); for `u32` row ids with a dense
+/// pair, [`intersection_size_auto`] adds a bitmap arm.
+#[must_use]
+pub fn intersection_size_adaptive<T: Ord>(a: &[T], b: &[T]) -> usize {
+    let (small, large) = if a.len() <= b.len() {
+        (a.len(), b.len())
+    } else {
+        (b.len(), a.len())
+    };
+    if small == 0 {
+        0
+    } else if large / small >= GALLOP_SKEW_CUTOFF {
+        intersection_size_gallop(a, b)
+    } else {
+        intersection_size(a, b)
+    }
+}
+
+/// Fully adaptive `|a ∩ b|` for `u32` row ids: merge, gallop, or scratch
+/// bitmap popcount, chosen per call.
+///
+/// Dispatch order (each guard is O(1)):
+/// 1. empty → 0;
+/// 2. skew ratio ≥ [`GALLOP_SKEW_CUTOFF`] → galloping search;
+/// 3. both densities ≥ `1 /` [`DENSE_DOMAIN_DIVISOR`] of the shared
+///    domain `max(a.last, b.last) + 1` → thread-local scratch bitmaps +
+///    AND-popcount ([`crate::bitmap::intersection_size_scratch`]);
+/// 4. otherwise → sorted merge.
+///
+/// All arms compute the same exact count; the equivalence proptests in
+/// `crates/matrix/tests/` pin that down.
+#[must_use]
+pub fn intersection_size_auto(a: &[u32], b: &[u32]) -> usize {
+    let (small, large) = if a.len() <= b.len() {
+        (a.len(), b.len())
+    } else {
+        (b.len(), a.len())
+    };
+    if small == 0 {
+        return 0;
+    }
+    if large / small >= GALLOP_SKEW_CUTOFF {
+        return intersection_size_gallop(a, b);
+    }
+    // Both slices ascend, so last() is the max; the pair's row domain is
+    // whatever the larger max spans.
+    let domain = (*a.last().expect("non-empty")).max(*b.last().expect("non-empty")) as usize + 1;
+    if small >= domain.div_ceil(DENSE_DOMAIN_DIVISOR) {
+        return crate::bitmap::intersection_size_scratch(a, b);
+    }
+    intersection_size(a, b)
+}
+
 /// Jaccard similarity of two ascending row-id slices.
 #[must_use]
-pub fn jaccard(a: &[u32], b: &[u32]) -> f64 {
+pub fn jaccard<T: Ord>(a: &[T], b: &[T]) -> f64 {
     let inter = intersection_size(a, b);
     let union = a.len() + b.len() - inter;
     if union == 0 {
@@ -339,6 +449,52 @@ mod tests {
         let b = [2u32, 3, 9];
         assert_eq!(intersection_size(&a, &b), 2);
         assert!((jaccard(&a, &b) - 0.4).abs() < 1e-12);
-        assert_eq!(jaccard(&[], &[]), 0.0);
+        assert_eq!(jaccard::<u32>(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn gallop_matches_merge_on_skewed_pairs() {
+        let small = [7u32, 250, 251, 9999];
+        let large: Vec<u32> = (0..10_000).step_by(3).collect();
+        assert_eq!(
+            intersection_size_gallop(&small, &large),
+            intersection_size(&small, &large)
+        );
+        // Order of arguments must not matter.
+        assert_eq!(
+            intersection_size_gallop(&large, &small),
+            intersection_size(&small, &large)
+        );
+        assert_eq!(intersection_size_gallop::<u32>(&[], &large), 0);
+    }
+
+    #[test]
+    fn gallop_handles_generic_element_types() {
+        let a = [1u64, 5, 500];
+        let b: Vec<u64> = (0..1000).collect();
+        assert_eq!(intersection_size_gallop(&a, &b), 3);
+        assert_eq!(intersection_size_adaptive(&a, &b), 3);
+    }
+
+    #[test]
+    fn adaptive_dispatch_agrees_on_every_regime() {
+        // Near-equal (merge arm), skewed (gallop arm), dense (bitmap arm).
+        let near_a: Vec<u32> = (0..100).step_by(2).collect();
+        let near_b: Vec<u32> = (0..100).step_by(3).collect();
+        let skew_small = [64u32, 4096];
+        let skew_large: Vec<u32> = (0..8192).collect();
+        let dense_a: Vec<u32> = (0..256).filter(|r| r % 2 == 0).collect();
+        let dense_b: Vec<u32> = (0..256).filter(|r| r % 3 != 0).collect();
+        for (a, b) in [
+            (&near_a[..], &near_b[..]),
+            (&skew_small[..], &skew_large[..]),
+            (&dense_a[..], &dense_b[..]),
+        ] {
+            let exact = intersection_size(a, b);
+            assert_eq!(intersection_size_adaptive(a, b), exact);
+            assert_eq!(intersection_size_auto(a, b), exact);
+            assert_eq!(intersection_size_auto(b, a), exact);
+        }
+        assert_eq!(intersection_size_auto(&[], &near_a), 0);
     }
 }

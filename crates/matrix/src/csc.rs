@@ -2,7 +2,7 @@
 
 use sfa_json::{FromJson, Json, JsonError, ToJson};
 
-use crate::column::{intersection_size, ColumnSet};
+use crate::column::{intersection_size_auto, ColumnSet};
 use crate::csr::RowMajorMatrix;
 use crate::error::{MatrixError, Result};
 
@@ -147,10 +147,12 @@ impl SparseMatrix {
         }
     }
 
-    /// Exact `|C_i ∩ C_j|`.
+    /// Exact `|C_i ∩ C_j|` via the adaptive kernel (merge / gallop /
+    /// bitmap, chosen per call — see
+    /// [`crate::column::intersection_size_auto`]).
     #[must_use]
     pub fn intersection_size(&self, i: u32, j: u32) -> usize {
-        intersection_size(self.column(i), self.column(j))
+        intersection_size_auto(self.column(i), self.column(j))
     }
 
     /// Exact Jaccard similarity `S(c_i, c_j)`.

@@ -12,6 +12,12 @@
 //!   the set operations the paper's definitions are written in terms of:
 //!   `|C_i ∩ C_j|`, `|C_i ∪ C_j|`, the Jaccard similarity `S(c_i, c_j)`,
 //!   the confidence `Conf(c_i → c_j)`, and the Hamming distance of Lemma 3.
+//!   Raw-slice intersections dispatch adaptively (sorted merge, galloping
+//!   search, or bitmap popcount — [`column::intersection_size_auto`]).
+//! * [`bitmap::BitColumn`] / [`bitmap::BitMatrix`] — per-column `u64`
+//!   row-bitmaps with unrolled AND/OR-popcount kernels and a blocked
+//!   all-pairs driver; the fast path behind exact verification and the
+//!   §5.1 brute-force ground truth.
 //! * [`builder::MatrixBuilder`] — validated incremental construction.
 //! * [`csc::SparseMatrix`] — column-major storage (fast column access;
 //!   used for ground truth, verification bookkeeping and per-column views).
@@ -36,6 +42,7 @@
 //!   ("counters for all pairs in the main memory", §5.1), as an
 //!   alternative exact method for modest column counts.
 
+pub mod bitmap;
 pub mod builder;
 pub mod column;
 pub mod crc32;
@@ -49,6 +56,7 @@ pub mod stats;
 pub mod stream;
 pub mod triangle;
 
+pub use bitmap::{BitColumn, BitMatrix};
 pub use builder::MatrixBuilder;
 pub use column::ColumnSet;
 pub use csc::SparseMatrix;

@@ -2,15 +2,65 @@
 //! experiments.
 //!
 //! The paper computes "the real number of pairs within a similarity range …
-//! in an offline fashion by a brute-force counting algorithm" (§5.1). We do
-//! the same, but organize the brute force around row-wise co-occurrence
-//! counting, which costs `O(Σ_rows r_i²)` — linear-ish for sparse rows —
-//! instead of the `O(m² n)` column-pair enumeration.
+//! in an offline fashion by a brute-force counting algorithm" (§5.1). Two
+//! brute forces are available, and each entry point picks per matrix:
+//!
+//! * **row-wise co-occurrence counting** — a hashmap update for every 1-pair
+//!   in every row, `O(Σ_rows r_i²)`; wins when rows are very sparse relative
+//!   to the column count;
+//! * **blocked bitmap popcount** — materialize every column as a `u64`
+//!   row-bitmap ([`crate::bitmap::BitMatrix`]) and AND-popcount all `m(m−1)/2`
+//!   pairs in cache-friendly column tiles, `O(m² · n/64)` branch-free word
+//!   ops; wins whenever the matrix has enough 1s per row that the hashmap
+//!   traffic dominates (the bench baselines land squarely here).
+//!
+//! Both compute identical counts, and identical `f64` similarities from
+//! them, so the dispatch never changes results — only speed. The
+//! `*_cooc` variants stay public for the cost-model fallback and for
+//! before/after benchmarking.
 
 use sfa_hash::bucket::{pack_pair, FastHashMap};
 
+use crate::bitmap::{self, BitMatrix};
 use crate::csc::SparseMatrix;
 use crate::csr::RowMajorMatrix;
+
+/// Approximate cost, in bitmap word operations, of one hashmap
+/// co-occurrence update (hash + probe + RMW vs an AND+popcount on a word).
+/// Calibrated with `bench_kernels`; only the ratio matters, not the scale.
+const COOC_UPDATE_COST_WORDS: u128 = 32;
+
+/// Total pairwise hashmap updates the co-occurrence path would perform:
+/// `Σ_rows r_i (r_i − 1) / 2`, computed in `O(|M| + n)` from CSC.
+fn cooc_update_count(matrix: &SparseMatrix) -> u128 {
+    let mut row_counts = vec![0u64; matrix.n_rows() as usize];
+    for (_, col) in matrix.columns() {
+        for &r in col {
+            row_counts[r as usize] += 1;
+        }
+    }
+    row_counts
+        .iter()
+        .map(|&r| u128::from(r) * u128::from(r.saturating_sub(1)) / 2)
+        .sum()
+}
+
+/// Whether the blocked bitmap driver is the cheaper brute force for this
+/// matrix (the cost model behind [`exact_similar_pairs`],
+/// [`similarity_histogram`] and [`average_similarity`]).
+///
+/// Compares the bitmap's `m(m−1)/2 · ⌈n/64⌉` word operations against the
+/// co-occurrence path's hashmap updates weighted by their measured
+/// per-update cost. Exposed so benches can report which path engaged.
+#[must_use]
+pub fn ground_truth_uses_bitmap(matrix: &SparseMatrix) -> bool {
+    let m = u128::from(matrix.n_cols());
+    if m < 2 {
+        return false;
+    }
+    let pair_words = m * (m - 1) / 2 * bitmap::words_for(matrix.n_rows()) as u128;
+    pair_words <= COOC_UPDATE_COST_WORDS * cooc_update_count(matrix)
+}
 
 /// Exact co-occurrence counts `|C_i ∩ C_j|` for every column pair that
 /// co-occurs in at least one row, keyed by [`pack_pair`]`(i, j)` with `i < j`.
@@ -63,6 +113,33 @@ pub struct SimilarPair {
 /// Panics if `threshold <= 0`.
 #[must_use]
 pub fn exact_similar_pairs(matrix: &SparseMatrix, threshold: f64) -> Vec<SimilarPair> {
+    if ground_truth_uses_bitmap(matrix) {
+        exact_similar_pairs_bitmap(matrix, threshold)
+    } else {
+        exact_similar_pairs_cooc(matrix, threshold)
+    }
+}
+
+/// Descending-similarity-then-ascending-ids order shared by every
+/// `exact_similar_pairs*` variant, so all paths emit identical vectors.
+fn sort_similar_pairs(out: &mut [SimilarPair]) {
+    out.sort_by(|a, b| {
+        b.similarity
+            .partial_cmp(&a.similarity)
+            .expect("similarities are finite")
+            .then(a.i.cmp(&b.i))
+            .then(a.j.cmp(&b.j))
+    });
+}
+
+/// [`exact_similar_pairs`] via row-wise co-occurrence hashmap counting
+/// (the pre-bitmap brute force; cheaper only for very sparse rows).
+///
+/// # Panics
+///
+/// Panics if `threshold <= 0`.
+#[must_use]
+pub fn exact_similar_pairs_cooc(matrix: &SparseMatrix, threshold: f64) -> Vec<SimilarPair> {
     assert!(threshold > 0.0, "threshold must be positive");
     let row_major = matrix.transpose();
     let counts = co_occurrence_counts(&row_major);
@@ -80,13 +157,67 @@ pub fn exact_similar_pairs(matrix: &SparseMatrix, threshold: f64) -> Vec<Similar
             });
         }
     }
-    out.sort_by(|a, b| {
-        b.similarity
-            .partial_cmp(&a.similarity)
-            .expect("similarities are finite")
-            .then(a.i.cmp(&b.i))
-            .then(a.j.cmp(&b.j))
+    sort_similar_pairs(&mut out);
+    out
+}
+
+/// [`exact_similar_pairs`] via the blocked bitmap all-pairs driver
+/// ([`BitMatrix::for_each_cooccurring_pair`]).
+///
+/// # Panics
+///
+/// Panics if `threshold <= 0`.
+#[must_use]
+pub fn exact_similar_pairs_bitmap(matrix: &SparseMatrix, threshold: f64) -> Vec<SimilarPair> {
+    assert!(threshold > 0.0, "threshold must be positive");
+    let bits = BitMatrix::from_csc(matrix);
+    let sizes = matrix.column_counts();
+    let mut out = Vec::new();
+    bits.for_each_cooccurring_pair(|i, j, co| {
+        let union = sizes[i] + sizes[j] - co;
+        let s = co as f64 / union as f64;
+        if s >= threshold {
+            out.push(SimilarPair {
+                i: i as u32,
+                j: j as u32,
+                similarity: s,
+            });
+        }
     });
+    sort_similar_pairs(&mut out);
+    out
+}
+
+/// [`exact_similar_pairs`] via all-pairs scalar sorted-merge intersection —
+/// the pre-PR kernel, kept as the before/after reference the bench
+/// baseline times against the bitmap driver.
+///
+/// # Panics
+///
+/// Panics if `threshold <= 0`.
+#[must_use]
+pub fn exact_similar_pairs_merge(matrix: &SparseMatrix, threshold: f64) -> Vec<SimilarPair> {
+    assert!(threshold > 0.0, "threshold must be positive");
+    let sizes = matrix.column_counts();
+    let mut out = Vec::new();
+    for i in 0..matrix.n_cols() {
+        for j in (i + 1)..matrix.n_cols() {
+            let co = crate::column::intersection_size(matrix.column(i), matrix.column(j));
+            if co == 0 {
+                continue;
+            }
+            let union = sizes[i as usize] + sizes[j as usize] - co;
+            let s = co as f64 / union as f64;
+            if s >= threshold {
+                out.push(SimilarPair {
+                    i,
+                    j,
+                    similarity: s,
+                });
+            }
+        }
+    }
+    sort_similar_pairs(&mut out);
     out
 }
 
@@ -97,6 +228,16 @@ pub fn exact_similar_pairs(matrix: &SparseMatrix, threshold: f64) -> Vec<Similar
 /// in the last bin. This regenerates the Fig. 3 similarity distribution.
 #[must_use]
 pub fn similarity_histogram(matrix: &SparseMatrix, bins: usize) -> Vec<u64> {
+    if ground_truth_uses_bitmap(matrix) {
+        similarity_histogram_bitmap(matrix, bins)
+    } else {
+        similarity_histogram_cooc(matrix, bins)
+    }
+}
+
+/// [`similarity_histogram`] via row-wise co-occurrence counting.
+#[must_use]
+pub fn similarity_histogram_cooc(matrix: &SparseMatrix, bins: usize) -> Vec<u64> {
     assert!(bins > 0, "need at least one bin");
     let row_major = matrix.transpose();
     let counts = co_occurrence_counts(&row_major);
@@ -112,10 +253,36 @@ pub fn similarity_histogram(matrix: &SparseMatrix, bins: usize) -> Vec<u64> {
     hist
 }
 
+/// [`similarity_histogram`] via the blocked bitmap all-pairs driver.
+#[must_use]
+pub fn similarity_histogram_bitmap(matrix: &SparseMatrix, bins: usize) -> Vec<u64> {
+    assert!(bins > 0, "need at least one bin");
+    let bits = BitMatrix::from_csc(matrix);
+    let sizes = matrix.column_counts();
+    let mut hist = vec![0u64; bins];
+    bits.for_each_cooccurring_pair(|i, j, co| {
+        let union = sizes[i] + sizes[j] - co;
+        let s = co as f64 / union as f64;
+        let b = ((s * bins as f64) as usize).min(bins - 1);
+        hist[b] += 1;
+    });
+    hist
+}
+
 /// The average pairwise similarity `S̄ = Σ_{i,j} S(c_i, c_j) / m²` from the
 /// §3.1 running-time analyses (sum over ordered pairs including `i = j`).
 #[must_use]
 pub fn average_similarity(matrix: &SparseMatrix) -> f64 {
+    if ground_truth_uses_bitmap(matrix) {
+        average_similarity_bitmap(matrix)
+    } else {
+        average_similarity_cooc(matrix)
+    }
+}
+
+/// [`average_similarity`] via row-wise co-occurrence counting.
+#[must_use]
+pub fn average_similarity_cooc(matrix: &SparseMatrix) -> f64 {
     let m = matrix.n_cols() as f64;
     if m == 0.0 {
         return 0.0;
@@ -131,6 +298,29 @@ pub fn average_similarity(matrix: &SparseMatrix) -> f64 {
         total += 2.0 * co as f64 / union as f64;
     }
     // Diagonal: S(c, c) = 1 for nonempty columns.
+    total += sizes.iter().filter(|&&s| s > 0).count() as f64;
+    total / (m * m)
+}
+
+/// [`average_similarity`] via the blocked bitmap all-pairs driver.
+///
+/// The per-pair similarities are identical to the co-occurrence path; only
+/// the floating-point accumulation order differs, so the two can disagree
+/// in the final ulps (both paths were already order-dependent — the
+/// hashmap iterates in arbitrary order).
+#[must_use]
+pub fn average_similarity_bitmap(matrix: &SparseMatrix) -> f64 {
+    let m = f64::from(matrix.n_cols());
+    if m == 0.0 {
+        return 0.0;
+    }
+    let bits = BitMatrix::from_csc(matrix);
+    let sizes = matrix.column_counts();
+    let mut total = 0.0;
+    bits.for_each_cooccurring_pair(|i, j, co| {
+        let union = sizes[i] + sizes[j] - co;
+        total += 2.0 * co as f64 / union as f64;
+    });
     total += sizes.iter().filter(|&&s| s > 0).count() as f64;
     total / (m * m)
 }
@@ -251,6 +441,74 @@ mod tests {
     fn average_similarity_empty_matrix() {
         let m = SparseMatrix::from_columns(0, vec![]).unwrap();
         assert_eq!(average_similarity(&m), 0.0);
+    }
+
+    /// A deterministic mid-density matrix exercising all three brute
+    /// forces on a non-trivial pair population.
+    fn patterned(n_rows: u32, n_cols: u32) -> SparseMatrix {
+        let cols = (0..n_cols)
+            .map(|j| {
+                (0..n_rows)
+                    .filter(|r| {
+                        r.wrapping_mul(2654435761)
+                            .wrapping_add(j)
+                            .wrapping_mul(j + 1)
+                            % 5
+                            < 2
+                    })
+                    .collect()
+            })
+            .collect();
+        SparseMatrix::from_columns(n_rows, cols).unwrap()
+    }
+
+    #[test]
+    fn all_exact_pair_variants_agree() {
+        for m in [example1(), patterned(130, 40)] {
+            let cooc = exact_similar_pairs_cooc(&m, 0.05);
+            let bitmap = exact_similar_pairs_bitmap(&m, 0.05);
+            let merge = exact_similar_pairs_merge(&m, 0.05);
+            let auto = exact_similar_pairs(&m, 0.05);
+            assert_eq!(cooc, bitmap);
+            assert_eq!(cooc, merge);
+            assert_eq!(cooc, auto);
+        }
+    }
+
+    #[test]
+    fn histogram_variants_agree() {
+        for m in [example1(), patterned(130, 40)] {
+            assert_eq!(
+                similarity_histogram_cooc(&m, 16),
+                similarity_histogram_bitmap(&m, 16)
+            );
+            assert_eq!(
+                similarity_histogram(&m, 16),
+                similarity_histogram_cooc(&m, 16)
+            );
+        }
+    }
+
+    #[test]
+    fn average_similarity_variants_agree() {
+        for m in [example1(), patterned(130, 40)] {
+            let a = average_similarity_cooc(&m);
+            let b = average_similarity_bitmap(&m);
+            assert!((a - b).abs() < 1e-12, "cooc {a} vs bitmap {b}");
+        }
+    }
+
+    #[test]
+    fn cost_model_prefers_bitmap_on_dense_and_cooc_on_sparse() {
+        // Dense-ish small matrix: many 1s per row, few pair-words.
+        assert!(ground_truth_uses_bitmap(&patterned(130, 40)));
+        // One 1 per row: zero co-occurrence updates — bitmap can't pay off.
+        let sparse =
+            SparseMatrix::from_columns(64, (0..32u32).map(|j| vec![2 * j]).collect()).unwrap();
+        assert!(!ground_truth_uses_bitmap(&sparse));
+        // Degenerate single column.
+        let single = SparseMatrix::from_columns(4, vec![vec![0, 1]]).unwrap();
+        assert!(!ground_truth_uses_bitmap(&single));
     }
 
     #[test]

@@ -97,10 +97,22 @@ pub(crate) fn row_bucket_counts_pool(
     pool: &ThreadPool,
     min_hist_run: usize,
 ) -> (ShardedPairCounter, Vec<u64>, u64) {
-    let shards = default_shards(pool.threads());
-    let locals = pool.par_fold(
+    // Scan cost before counting: k rows × m entries each. Small
+    // signature matrices (the bench baseline's k=100, m=1000) fall below
+    // the pool's serial cutoff and run on the caller thread — with the
+    // single-worker shard count, so pool size cannot change the serial
+    // path's cache behavior.
+    let scan_ops = (sigs.k() as u64).saturating_mul(sigs.m() as u64);
+    let effective_threads = if pool.worth_parallel(scan_ops) {
+        pool.threads()
+    } else {
+        1
+    };
+    let shards = default_shards(effective_threads);
+    let locals = pool.par_fold_bounded(
         sigs.k(),
         1,
+        scan_ops,
         |_| RowCountLocal {
             counter: ShardedPairCounter::new(shards),
             hist: Vec::new(),
@@ -332,10 +344,20 @@ pub(crate) fn kmh_sorted_counts_pool(
     pool: &ThreadPool,
 ) -> (ShardedPairCounter, Vec<u64>, u64) {
     let m = sigs.m();
+    // Gather + count cost tracks the total number of sketch values,
+    // which is at most k per column; below the serial cutoff both folds
+    // stay on the caller thread, with the single-worker shard count.
+    let scan_ops = (sigs.k() as u64).saturating_mul(m as u64);
+    let effective_threads = if pool.worth_parallel(scan_ops) {
+        pool.threads()
+    } else {
+        1
+    };
     let mut entries: Vec<(u64, u32)> = pool
-        .par_fold(
+        .par_fold_bounded(
             m,
             pool.chunk_for(m),
+            scan_ops,
             |_| Vec::new(),
             |acc, cols| {
                 for j in cols {
@@ -356,12 +378,13 @@ pub(crate) fn kmh_sorted_counts_pool(
     }
     starts.push(entries.len());
     let n_buckets = starts.len() - 1;
-    let shards = default_shards(pool.threads());
+    let shards = default_shards(effective_threads);
     let entries = &entries;
     let starts = &starts;
-    let locals = pool.par_fold(
+    let locals = pool.par_fold_bounded(
         n_buckets,
         pool.chunk_for(n_buckets),
+        scan_ops,
         |_| (ShardedPairCounter::new(shards), Vec::new(), 0u64),
         |(counter, hist, increments), buckets| {
             let slice = &entries[starts[buckets.start]..starts[buckets.end]];
@@ -412,9 +435,13 @@ pub fn kmh_candidates_with_stats_pool(
     stats.record("counter-increments", increments);
     stats.record("pairs-overlapping", counter.len() as u64);
     let counter_ref = &counter;
-    let shard_results = pool.par_fold(
+    // Re-scoring is O(k) per overlapping pair; tiny candidate sets stay
+    // on the caller thread.
+    let rescore_ops = (counter.len() as u64).saturating_mul(sigs.k() as u64);
+    let shard_results = pool.par_fold_bounded(
         counter.shards(),
         1,
+        rescore_ops,
         |_| (0u64, Vec::new()),
         |(admitted, out), shards| {
             for s in shards {

@@ -72,23 +72,13 @@ impl BottomKSignatures {
         merge_bottom_k(self.signature(i), self.signature(j), self.k)
     }
 
-    /// `|SIG_i ∩ SIG_j|` — shared sketch values (sorted-merge intersection).
+    /// `|SIG_i ∩ SIG_j|` — shared sketch values. Signatures are ascending
+    /// `u64` slices, so this is the size-adaptive merge/gallop kernel
+    /// ([`sfa_matrix::column::intersection_size_adaptive`]); sketch
+    /// lengths are skewed whenever one column is sparser than `k`.
     #[must_use]
     pub fn intersection_size(&self, i: u32, j: u32) -> usize {
-        let (a, b) = (self.signature(i), self.signature(j));
-        let (mut x, mut y, mut count) = (0, 0, 0);
-        while x < a.len() && y < b.len() {
-            match a[x].cmp(&b[y]) {
-                std::cmp::Ordering::Less => x += 1,
-                std::cmp::Ordering::Greater => y += 1,
-                std::cmp::Ordering::Equal => {
-                    count += 1;
-                    x += 1;
-                    y += 1;
-                }
-            }
-        }
-        count
+        sfa_matrix::column::intersection_size_adaptive(self.signature(i), self.signature(j))
     }
 
     /// The Theorem 2 unbiased similarity estimator:

@@ -25,6 +25,20 @@
 //! environment (see `vendor/`).
 
 use std::ops::Range;
+
+/// Minimum estimated elementary operations per round before the pool
+/// beats the caller thread.
+///
+/// One epoch hand-off (lock, condvar broadcast, workers wake, drain,
+/// final notify) costs on the order of tens of microseconds; at roughly
+/// a few ops per nanosecond the round needs ~10⁵–10⁶ elementary
+/// operations before the workers repay that. `2¹⁸ ≈ 262k` sits at the
+/// conservative end: small pipeline workloads (the bench baseline's
+/// 2000×1000 synthetic) stay serial, while anything that takes
+/// milliseconds parallelizes. Tuned against the `phase2_speedup` sweep
+/// in `BENCH_pipeline.json`, which recorded 0.60–0.74× "speedups" on
+/// exactly these small inputs before the cutoff existed.
+pub const SERIAL_CUTOFF: u64 = 1 << 18;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -166,6 +180,64 @@ impl ThreadPool {
     #[inline]
     pub fn chunk_for(&self, n_items: usize) -> usize {
         (n_items / (self.threads * 8)).max(1)
+    }
+
+    /// Whether a round of `estimated_ops` elementary operations is worth
+    /// dispatching to the pool at all (see [`SERIAL_CUTOFF`]). Callers
+    /// that can estimate their work use this (or the `*_bounded`
+    /// variants) to fall back to the caller thread on small inputs,
+    /// where epoch/condvar hand-off costs more than the work itself.
+    #[inline]
+    pub fn worth_parallel(&self, estimated_ops: u64) -> bool {
+        self.threads > 1 && estimated_ops >= SERIAL_CUTOFF
+    }
+
+    /// [`par_for`](Self::par_for) with a serial fallback: runs entirely
+    /// on the caller thread when `estimated_ops` is below
+    /// [`SERIAL_CUTOFF`]. Identical iteration semantics either way.
+    pub fn par_for_bounded<F: Fn(Range<usize>) + Sync>(
+        &self,
+        n_items: usize,
+        chunk: usize,
+        estimated_ops: u64,
+        f: F,
+    ) {
+        assert!(chunk > 0, "chunk size must be positive");
+        if !self.worth_parallel(estimated_ops) {
+            if n_items > 0 {
+                f(0..n_items);
+            }
+            return;
+        }
+        self.par_for(n_items, chunk, f);
+    }
+
+    /// [`par_fold`](Self::par_fold) with a serial fallback: folds on the
+    /// caller thread when `estimated_ops` is below [`SERIAL_CUTOFF`].
+    /// Callers already merge the returned accumulators commutatively, so
+    /// collapsing to one accumulator never changes the merged result.
+    pub fn par_fold_bounded<T, I, F>(
+        &self,
+        n_items: usize,
+        chunk: usize,
+        estimated_ops: u64,
+        init: I,
+        fold: F,
+    ) -> Vec<T>
+    where
+        T: Send,
+        I: Fn(usize) -> T + Sync,
+        F: Fn(&mut T, Range<usize>) + Sync,
+    {
+        assert!(chunk > 0, "chunk size must be positive");
+        if !self.worth_parallel(estimated_ops) {
+            let mut acc = init(0);
+            if n_items > 0 {
+                fold(&mut acc, 0..n_items);
+            }
+            return vec![acc];
+        }
+        self.par_fold(n_items, chunk, init, fold)
     }
 
     /// Dynamically-scheduled parallel loop over `0..n_items`: workers
@@ -415,6 +487,49 @@ mod tests {
         let locals = pool.par_fold(0, 8, |_| 41u32, |_, _| unreachable!());
         assert_eq!(locals, vec![41]);
         assert_eq!(pool.par_map_reduce(0, 8, |_| 7u32, |_, _| (), |a, _| a), 7);
+    }
+
+    #[test]
+    fn worth_parallel_respects_cutoff_and_pool_size() {
+        let solo = ThreadPool::new(1);
+        assert!(!solo.worth_parallel(u64::MAX));
+        let pool = ThreadPool::new(4);
+        assert!(!pool.worth_parallel(SERIAL_CUTOFF - 1));
+        assert!(pool.worth_parallel(SERIAL_CUTOFF));
+    }
+
+    #[test]
+    fn bounded_variants_match_unbounded_results() {
+        let pool = ThreadPool::new(4);
+        for ops in [0u64, SERIAL_CUTOFF, u64::MAX] {
+            let hits: Vec<AtomicU64> = (0..100).map(|_| AtomicU64::new(0)).collect();
+            pool.par_for_bounded(100, 7, ops, |range| {
+                for i in range {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "ops {ops}"
+            );
+
+            let locals = pool.par_fold_bounded(
+                1000,
+                13,
+                ops,
+                |_| 0u64,
+                |acc, range| {
+                    for i in range {
+                        *acc += i as u64;
+                    }
+                },
+            );
+            assert_eq!(locals.iter().sum::<u64>(), (0..1000u64).sum(), "ops {ops}");
+        }
+        // Serial path still returns one init on an empty range.
+        let locals = pool.par_fold_bounded(0, 8, 0, |_| 41u32, |_, _| unreachable!());
+        assert_eq!(locals, vec![41]);
+        pool.par_for_bounded(0, 8, 0, |_| unreachable!());
     }
 
     #[test]
