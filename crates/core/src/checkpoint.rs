@@ -92,9 +92,9 @@ impl CheckpointSpec {
 /// different run key are ignored rather than resumed into wrong state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct RunKey {
-    fingerprint: u32,
-    n_rows: u32,
-    n_cols: u32,
+    pub(crate) fingerprint: u32,
+    pub(crate) n_rows: u32,
+    pub(crate) n_cols: u32,
 }
 
 impl RunKey {

@@ -16,6 +16,9 @@
 //! * [`verify`] — the phase-3 counting pass over a [`RowStream`].
 //! * [`checkpoint`] — crash-safe checkpoint files for both streaming
 //!   passes, behind [`Pipeline::run_resumable`](pipeline::Pipeline::run_resumable).
+//! * [`spill`] — checksummed shard spill files for out-of-core mining
+//!   under a [`MemoryBudget`], behind
+//!   [`Pipeline::run_sharded`](pipeline::Pipeline::run_sharded).
 //! * [`report`] — result and timing types.
 //! * [`metrics`] — structured per-phase counters and the schema-stable
 //!   JSON document behind `--metrics-json` and the bench baseline.
@@ -43,15 +46,16 @@ pub mod metrics;
 pub mod pipeline;
 pub mod quality;
 pub mod report;
+pub mod spill;
 pub mod streaming;
 pub mod verify;
 
 pub use checkpoint::CheckpointSpec;
 pub use config::{PipelineConfig, Scheme};
 pub use metrics::{
-    MetricsDocument, MiningMetrics, PassMetrics, RecoveryMetrics, StageCount, VerifyMetrics,
-    METRICS_SCHEMA_VERSION,
+    MetricsDocument, MiningMetrics, PassMetrics, RecoveryMetrics, ShardingMetrics, StageCount,
+    VerifyMetrics, METRICS_SCHEMA_VERSION,
 };
-pub use pipeline::Pipeline;
+pub use pipeline::{MemoryBudget, Pipeline};
 pub use quality::{evaluate_quality, QualityReport, SCurveBin};
 pub use report::{MiningResult, PhaseTimings, VerifiedPair};

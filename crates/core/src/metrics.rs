@@ -23,8 +23,10 @@ use crate::report::PhaseTimings;
 /// is renamed, removed, or changes meaning (adding fields is compatible).
 ///
 /// Version history: 1 = initial document; 2 = adds `metrics.threads`
-/// (worker count of the run; absent in v1 documents, which parse as 1).
-pub const METRICS_SCHEMA_VERSION: u32 = 2;
+/// (worker count of the run; absent in v1 documents, which parse as 1);
+/// 3 = adds the optional `metrics.sharding` object (budgeted out-of-core
+/// runs only; absent for in-memory runs and in older documents).
+pub const METRICS_SCHEMA_VERSION: u32 = 3;
 
 /// Oldest document version [`MetricsDocument::from_json`] still accepts.
 pub const METRICS_SCHEMA_MIN_VERSION: u32 = 1;
@@ -167,6 +169,60 @@ impl FromJson for RecoveryMetrics {
     }
 }
 
+/// Out-of-core accounting for a budgeted sharded run
+/// ([`Pipeline::run_sharded`](crate::Pipeline::run_sharded)): how the
+/// pair space was partitioned, what was spilled, and the peak of the
+/// budget-tracked state. Emitted only by sharded runs — in-memory runs
+/// omit the `sharding` object entirely.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardingMetrics {
+    /// The byte budget the run was given.
+    pub memory_budget: u64,
+    /// Final pair-shard count (the partition width that fit the budget).
+    pub shards: u64,
+    /// Times phase 2 overflowed the budget and restarted with the shard
+    /// count doubled.
+    pub shard_restarts: u64,
+    /// Phase-2 shard passes executed, including passes discarded by a
+    /// restart and excluding shards resumed from spill.
+    pub generation_passes: u64,
+    /// Phase-3 verify groups — each one full streaming pass over the rows.
+    pub verify_groups: u64,
+    /// Total bytes written to shard/group spill files.
+    pub spill_bytes: u64,
+    /// Peak bytes of budget-tracked state (pair-counter tables and
+    /// resident per-group candidate state); never exceeds `memory_budget`
+    /// for a run that completed without error.
+    pub peak_tracked_bytes: u64,
+}
+
+impl ToJson for ShardingMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("memory_budget", self.memory_budget)
+            .field("shards", self.shards)
+            .field("shard_restarts", self.shard_restarts)
+            .field("generation_passes", self.generation_passes)
+            .field("verify_groups", self.verify_groups)
+            .field("spill_bytes", self.spill_bytes)
+            .field("peak_tracked_bytes", self.peak_tracked_bytes)
+    }
+}
+
+impl FromJson for ShardingMetrics {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            memory_budget: u64::from_json(json.req("memory_budget")?)?,
+            shards: u64::from_json(json.req("shards")?)?,
+            shard_restarts: u64::from_json(json.req("shard_restarts")?)?,
+            generation_passes: u64::from_json(json.req("generation_passes")?)?,
+            verify_groups: u64::from_json(json.req("verify_groups")?)?,
+            spill_bytes: u64::from_json(json.req("spill_bytes")?)?,
+            peak_tracked_bytes: u64::from_json(json.req("peak_tracked_bytes")?)?,
+        })
+    }
+}
+
 /// Structured counters for one pipeline run, phase by phase.
 ///
 /// # Examples
@@ -210,6 +266,9 @@ pub struct MiningMetrics {
     pub verification: VerifyMetrics,
     /// Fault-recovery events (retries, refetches, checkpoints, resume).
     pub recovery: RecoveryMetrics,
+    /// Out-of-core accounting; `None` for in-memory runs (the key is
+    /// omitted from the JSON entirely).
+    pub sharding: Option<ShardingMetrics>,
 }
 
 impl Default for MiningMetrics {
@@ -225,6 +284,7 @@ impl Default for MiningMetrics {
             bucket_histogram: Vec::new(),
             verification: VerifyMetrics::default(),
             recovery: RecoveryMetrics::default(),
+            sharding: None,
         }
     }
 }
@@ -255,7 +315,7 @@ impl MiningMetrics {
 
 impl ToJson for MiningMetrics {
     fn to_json(&self) -> Json {
-        Json::obj()
+        let json = Json::obj()
             .field("scheme", self.scheme.as_str())
             .field("threads", self.threads)
             .field("signature_pass", self.signature_pass)
@@ -265,7 +325,13 @@ impl ToJson for MiningMetrics {
             .field("candidates_generated", self.candidates_generated)
             .field("bucket_histogram", &self.bucket_histogram[..])
             .field("verification", self.verification)
-            .field("recovery", self.recovery)
+            .field("recovery", self.recovery);
+        // In-memory runs omit the key so their documents are unchanged
+        // from schema v2 (a compatible field addition).
+        match self.sharding {
+            Some(sharding) => json.field("sharding", sharding),
+            None => json,
+        }
     }
 }
 
@@ -295,6 +361,12 @@ impl FromJson for MiningMetrics {
                 .map(RecoveryMetrics::from_json)
                 .transpose()?
                 .unwrap_or_default(),
+            // Only budgeted sharded runs emit the key; absence means an
+            // in-memory run (and covers all pre-v3 documents).
+            sharding: json
+                .get("sharding")
+                .map(ShardingMetrics::from_json)
+                .transpose()?,
         })
     }
 }
@@ -398,6 +470,7 @@ mod tests {
                 checkpoints_written: 2,
                 resumed_from_row: 0,
             },
+            sharding: None,
         }
     }
 
@@ -493,6 +566,53 @@ mod tests {
                 "missing verification key {key}"
             );
         }
+        // `sharding` is emitted only for budgeted sharded runs; in-memory
+        // documents must not carry the key at all.
+        assert!(metrics.get("sharding").is_none());
+        let mut sharded = sample_metrics();
+        sharded.sharding = Some(ShardingMetrics::default());
+        let sharded_json = sharded.to_json();
+        let sharding = sharded_json.get("sharding").unwrap();
+        for key in [
+            "memory_budget",
+            "shards",
+            "shard_restarts",
+            "generation_passes",
+            "verify_groups",
+            "spill_bytes",
+            "peak_tracked_bytes",
+        ] {
+            assert!(sharding.get(key).is_some(), "missing sharding key {key}");
+        }
+    }
+
+    #[test]
+    fn sharding_metrics_round_trip() {
+        let mut metrics = sample_metrics();
+        metrics.sharding = Some(ShardingMetrics {
+            memory_budget: 1 << 20,
+            shards: 4,
+            shard_restarts: 1,
+            generation_passes: 6,
+            verify_groups: 2,
+            spill_bytes: 12_345,
+            peak_tracked_bytes: 900_000,
+        });
+        let json = metrics.to_json().to_string_compact();
+        let back: MiningMetrics = sfa_json::from_str(&json).unwrap();
+        assert_eq!(back, metrics);
+    }
+
+    #[test]
+    fn documents_without_sharding_key_parse_as_in_memory() {
+        // Schema-v2 documents (and v3 in-memory runs) carry no `sharding`
+        // key; it must parse as None, not error.
+        let metrics = sample_metrics();
+        let json = metrics.to_json();
+        assert!(json.get("sharding").is_none());
+        let back = MiningMetrics::from_json(&json).unwrap();
+        assert_eq!(back.sharding, None);
+        assert_eq!(back, metrics);
     }
 
     #[test]

@@ -1,26 +1,32 @@
 //! The pipeline driver: signatures → candidates → exact verification.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
+use sfa_hash::bucket::PairShard;
 use sfa_lsh::{
-    hlsh_candidates_with_stats, hlsh_candidates_with_stats_pool, mlsh_candidates_with_stats,
-    mlsh_candidates_with_stats_pool, HLshParams, MLshParams,
+    hlsh_candidates_sharded, hlsh_candidates_with_stats, hlsh_candidates_with_stats_pool,
+    mlsh_candidates_sharded, mlsh_candidates_with_stats, mlsh_candidates_with_stats_pool,
+    HLshParams, MLshParams,
 };
 use sfa_matrix::{MatrixError, Result, RowMajorMatrix, RowStream, ScanCounter};
 use sfa_minhash::hashcount::{
-    kmh_candidates_with_stats, kmh_candidates_with_stats_pool, mh_candidates_with_stats,
-    mh_candidates_with_stats_pool,
+    kmh_candidates_sharded, kmh_candidates_with_stats, kmh_candidates_with_stats_pool,
+    mh_candidates_sharded, mh_candidates_with_stats, mh_candidates_with_stats_pool,
 };
-use sfa_minhash::rowsort::{rowsort_candidates_with_stats, rowsort_candidates_with_stats_pool};
+use sfa_minhash::rowsort::{
+    rowsort_candidates_sharded, rowsort_candidates_with_stats, rowsort_candidates_with_stats_pool,
+};
 use sfa_minhash::{
     compute_bottom_k, compute_bottom_k_pool, compute_signatures, compute_signatures_pool,
-    BottomKSignatures, CandidatePair, KmhBuilder, MhBuilder, SignatureMatrix,
+    BottomKSignatures, CandidateGenStats, CandidatePair, KmhBuilder, MhBuilder, SignatureMatrix,
 };
 
 use crate::checkpoint::{self, CheckpointSpec, Phase1State, RunKey};
 use crate::config::{PipelineConfig, Scheme};
-use crate::metrics::{MiningMetrics, RecoveryMetrics, VerifyMetrics};
+use crate::metrics::{MiningMetrics, RecoveryMetrics, ShardingMetrics, VerifyMetrics};
 use crate::report::{MiningResult, PhaseTimings, VerifiedPair};
+use crate::spill;
 use crate::verify::{verify_candidates_resumable, verify_candidates_with_stats};
 
 /// Seed-derivation labels, so each pipeline component gets an independent
@@ -605,6 +611,422 @@ fn materialize<S: RowStream>(stream: &mut S) -> Result<RowMajorMatrix> {
     RowMajorMatrix::from_rows(n_cols, rows)
 }
 
+/// A byte cap on the pair-space working state of a sharded run, plus where
+/// that run may spill.
+///
+/// The budget governs the state that grows with the number of *candidate
+/// pairs* — phase-2 pair counters and the phase-3 per-group verification
+/// state — which is the quadratic blowup the paper's schemes are designed
+/// to tame. Linear-in-`m` summaries (signatures, the H-LSH base matrix,
+/// per-column counts) are deliberately outside the budget: they are the
+/// fixed cost of running the scheme at all and cannot be sharded away.
+#[derive(Debug, Clone)]
+pub struct MemoryBudget {
+    /// Byte cap on pair-space state. Must be at least
+    /// [`MemoryBudget::MIN_BYTES`].
+    pub bytes: usize,
+    /// Directory for `.sfsp` spill files (created if absent, spill files
+    /// removed when the run completes).
+    pub spill_dir: PathBuf,
+    /// Shard count the first generation attempt uses (power of two). The
+    /// run doubles it on its own whenever a shard overflows the budget;
+    /// raising it just skips the doubling steps a too-small guess costs.
+    pub initial_shards: u32,
+}
+
+impl MemoryBudget {
+    /// The smallest enforceable budget: one minimum-size pair-counter
+    /// table (16 slots × 12 bytes). Below this even an empty shard
+    /// overflows, so no shard count can satisfy the cap.
+    pub const MIN_BYTES: usize = 192;
+
+    /// A budget of `bytes` spilling into `spill_dir`, starting unsharded.
+    #[must_use]
+    pub fn new(bytes: usize, spill_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            bytes,
+            spill_dir: spill_dir.into(),
+            initial_shards: 1,
+        }
+    }
+
+    /// Starts generation at `shards` shards instead of 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `shards` is a power of two.
+    #[must_use]
+    pub fn with_initial_shards(mut self, shards: u32) -> Self {
+        assert!(
+            shards.is_power_of_two(),
+            "shard count must be a power of two"
+        );
+        self.initial_shards = shards;
+        self
+    }
+}
+
+/// Widest partition the doubling loop will try before concluding the
+/// budget cannot be met (a backstop; any budget ≥ [`MemoryBudget::MIN_BYTES`]
+/// converges long before this).
+const MAX_SHARDS: u32 = 1 << 20;
+
+/// Working-state estimate per candidate during a verification pass: the
+/// [`CandidatePair`] itself, its [`VerifiedPair`], an intersection counter
+/// and two partner-adjacency entries.
+const VERIFY_BYTES_PER_CANDIDATE: u64 = 64;
+
+/// The phase-1 summary a sharded run keeps resident: every shard's
+/// generation pass re-reads this instead of re-scanning the table.
+enum Phase1Summary {
+    Sigs(SignatureMatrix),
+    BottomK(BottomKSignatures),
+    Matrix(RowMajorMatrix),
+}
+
+impl Phase1Summary {
+    fn heap_bytes(&self) -> u64 {
+        match self {
+            Self::Sigs(s) => s.heap_bytes(),
+            Self::BottomK(s) => s.heap_bytes(),
+            Self::Matrix(m) => m.heap_bytes(),
+        }
+    }
+}
+
+/// Folds one shard's generation stats into the running total: stage counts
+/// add positionally (every shard of a scheme records the same stage
+/// sequence), histograms add elementwise.
+fn merge_stats(acc: &mut CandidateGenStats, part: CandidateGenStats) {
+    if acc.stages.is_empty() {
+        acc.stages = part.stages;
+    } else {
+        debug_assert_eq!(acc.stages.len(), part.stages.len());
+        for (a, (_, count)) in acc.stages.iter_mut().zip(part.stages) {
+            a.1 += count;
+        }
+    }
+    if acc.bucket_histogram.len() < part.bucket_histogram.len() {
+        acc.bucket_histogram.resize(part.bucket_histogram.len(), 0);
+    }
+    for (a, b) in acc.bucket_histogram.iter_mut().zip(part.bucket_histogram) {
+        *a += b;
+    }
+}
+
+impl Pipeline {
+    /// Runs one shard's candidate generation against the resident phase-1
+    /// summary under the byte cap.
+    fn generate_shard(
+        &self,
+        summary: &Phase1Summary,
+        lsh_seed: u64,
+        shard: PairShard,
+        cap_bytes: usize,
+    ) -> (
+        Vec<CandidatePair>,
+        CandidateGenStats,
+        sfa_hash::bucket::ShardPassOutcome,
+    ) {
+        let cfg = &self.config;
+        match (cfg.scheme, summary) {
+            (Scheme::Mh { delta, .. }, Phase1Summary::Sigs(sigs)) => {
+                mh_candidates_sharded(sigs, cfg.s_star, delta, shard, cap_bytes)
+            }
+            (Scheme::MhRowSort { delta, .. }, Phase1Summary::Sigs(sigs)) => {
+                rowsort_candidates_sharded(sigs, cfg.s_star, delta, shard, cap_bytes)
+            }
+            (Scheme::Kmh { delta, .. }, Phase1Summary::BottomK(sigs)) => {
+                kmh_candidates_sharded(sigs, cfg.s_star, delta, shard, cap_bytes)
+            }
+            (Scheme::MLsh { r, l, sampled, .. }, Phase1Summary::Sigs(sigs)) => {
+                let params = if sampled {
+                    MLshParams::sampled(r, l, lsh_seed)
+                } else {
+                    MLshParams::banded(r, l, lsh_seed)
+                };
+                mlsh_candidates_sharded(sigs, &params, shard, cap_bytes)
+            }
+            (
+                Scheme::HLsh {
+                    r,
+                    l,
+                    t: gate,
+                    max_levels,
+                },
+                Phase1Summary::Matrix(matrix),
+            ) => {
+                let params = HLshParams {
+                    r,
+                    l,
+                    t: gate,
+                    max_levels,
+                    include_zero_keys: false,
+                    seed: lsh_seed,
+                };
+                hlsh_candidates_sharded(matrix, &params, shard, cap_bytes)
+            }
+            _ => unreachable!("summary kind always matches the scheme"),
+        }
+    }
+
+    /// Runs the pipeline with its pair-space state capped at
+    /// `budget.bytes`, spilling per-shard candidate sets to disk.
+    ///
+    /// The pair space is partitioned into `G` column shards
+    /// ([`PairShard`]); each shard's candidates are generated in an
+    /// independent pass over the resident phase-1 summary with a
+    /// budget-capped counter, then spilled to `budget.spill_dir` as a
+    /// checksummed `.sfsp` file. If any shard's counter would outgrow the
+    /// budget, `G` doubles and generation restarts at the finer partition.
+    /// Verification then streams the table once per *shard group* — shards
+    /// packed greedily so one group's candidate state fits the budget —
+    /// and each group's result is spilled too.
+    ///
+    /// Output is **byte-identical** to [`run`](Self::run): every pair
+    /// belongs to exactly one shard, so the union of shard candidate sets
+    /// equals the unsharded candidate set, and the final merge sorts
+    /// verified pairs into the same `(i, j)` order. `metrics.sharding`
+    /// reports the shard count, restarts, passes, spill volume and peak
+    /// tracked pair-state bytes; with `checkpoint` given, both streaming
+    /// passes also checkpoint (resume semantics as
+    /// [`run_resumable`](Self::run_resumable)), and because finished
+    /// shards and groups live in spill files, a killed run re-does at most
+    /// one shard's generation plus one group's scan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream and spill-IO errors, and reports a budget below
+    /// [`MemoryBudget::MIN_BYTES`] (or one no partition of this table can
+    /// satisfy) as [`MatrixError::DimensionMismatch`].
+    pub fn run_sharded<S: RowStream>(
+        &self,
+        stream: &mut S,
+        budget: &MemoryBudget,
+        checkpoint: Option<&CheckpointSpec>,
+    ) -> Result<MiningResult> {
+        if budget.bytes < MemoryBudget::MIN_BYTES {
+            return Err(MatrixError::DimensionMismatch {
+                detail: format!(
+                    "memory budget of {} bytes is below the {}-byte minimum (one empty pair-counter table)",
+                    budget.bytes,
+                    MemoryBudget::MIN_BYTES
+                ),
+            });
+        }
+        let cfg = &self.config;
+        std::fs::create_dir_all(&budget.spill_dir)?;
+        if let Some(spec) = checkpoint {
+            std::fs::create_dir_all(&spec.dir)?;
+        }
+        let key = RunKey::new(cfg, stream.n_rows(), stream.n_cols());
+        let sig_seed = sfa_hash::family::derive_seed(cfg.seed, purpose::SIGNATURES);
+        let lsh_seed = sfa_hash::family::derive_seed(cfg.seed, purpose::LSH);
+        let mut recovery = RecoveryMetrics::default();
+        let mut timings = PhaseTimings::default();
+        let mut metrics = MiningMetrics {
+            scheme: cfg.scheme.name().to_owned(),
+            ..MiningMetrics::default()
+        };
+        let mut scan = ScanCounter::new(&mut *stream);
+
+        // Phase 1: one streaming pass into the resident summary.
+        let t = Instant::now();
+        let summary = match cfg.scheme {
+            Scheme::Mh { k, .. } | Scheme::MhRowSort { k, .. } | Scheme::MLsh { k, .. } => {
+                Phase1Summary::Sigs(match checkpoint {
+                    Some(spec) => {
+                        signatures_resumable(&mut scan, k, sig_seed, spec, key, &mut recovery)?
+                    }
+                    None => compute_signatures(&mut scan, k, sig_seed)?,
+                })
+            }
+            Scheme::Kmh { k, .. } => Phase1Summary::BottomK(match checkpoint {
+                Some(spec) => bottom_k_resumable(&mut scan, k, sig_seed, spec, key, &mut recovery)?,
+                None => compute_bottom_k(&mut scan, k, sig_seed)?,
+            }),
+            // H-LSH works directly on the data; there is no incremental
+            // phase-1 state to checkpoint.
+            Scheme::HLsh { .. } => Phase1Summary::Matrix(materialize(&mut scan)?),
+        };
+        timings.signatures = t.elapsed();
+        metrics.signature_bytes = summary.heap_bytes();
+
+        // Phase 2: generate each shard under the cap, doubling the
+        // partition whenever a shard overflows. An interrupted run's spill
+        // files let a rerun adopt the widest partition already on disk and
+        // skip every shard spilled there.
+        let mut g = spill::max_valid_shard_count(&budget.spill_dir, key)
+            .unwrap_or(budget.initial_shards)
+            .max(budget.initial_shards);
+        let mut shard_restarts = 0u64;
+        let mut generation_passes = 0u64;
+        let mut spill_bytes = 0u64;
+        let mut peak_tracked_bytes = 0u64;
+        let mut shard_sizes: Vec<u64> = Vec::new();
+        let t = Instant::now();
+        'attempt: loop {
+            let width = g;
+            shard_sizes.clear();
+            let mut acc_stats = CandidateGenStats::default();
+            for s in 0..width {
+                if let Some(cands) = spill::load_shard_candidates(&budget.spill_dir, key, s, width)
+                {
+                    shard_sizes.push(cands.len() as u64);
+                    continue;
+                }
+                generation_passes += 1;
+                let (cands, stats, outcome) =
+                    self.generate_shard(&summary, lsh_seed, PairShard::new(s, width), budget.bytes);
+                peak_tracked_bytes = peak_tracked_bytes.max(outcome.counter_bytes as u64);
+                if outcome.overflowed {
+                    if width >= MAX_SHARDS {
+                        return Err(MatrixError::DimensionMismatch {
+                            detail: format!(
+                                "memory budget of {} bytes cannot be met: a {width}-way shard partition still overflows",
+                                budget.bytes
+                            ),
+                        });
+                    }
+                    g = width * 2;
+                    shard_restarts += 1;
+                    continue 'attempt;
+                }
+                merge_stats(&mut acc_stats, stats);
+                spill_bytes +=
+                    spill::save_shard_candidates(&budget.spill_dir, key, s, width, &cands)?;
+                shard_sizes.push(cands.len() as u64);
+            }
+            metrics.absorb_candidate_stats(acc_stats);
+            break;
+        }
+        timings.candidates = t.elapsed();
+        metrics.candidates_generated = shard_sizes.iter().sum();
+
+        // Phase 3: pack shards greedily into groups whose candidate state
+        // fits the budget (a lone oversized shard still gets a group), and
+        // stream the table once per group that has no spilled result.
+        let mut groups: Vec<Vec<u32>> = Vec::new();
+        let mut group_bytes = 0u64;
+        for (s, &size) in shard_sizes.iter().enumerate() {
+            let bytes = size * VERIFY_BYTES_PER_CANDIDATE;
+            match groups.last_mut() {
+                Some(group) if group_bytes + bytes <= budget.bytes as u64 => {
+                    group.push(s as u32);
+                    group_bytes += bytes;
+                }
+                _ => {
+                    groups.push(vec![s as u32]);
+                    group_bytes = bytes;
+                }
+            }
+        }
+        let mut verified = Vec::new();
+        let mut column_counts = vec![0u32; scan.n_cols() as usize];
+        let mut probes = 0u64;
+        let t = Instant::now();
+        for (group_idx, group) in groups.iter().enumerate() {
+            let mut candidates = Vec::new();
+            for &s in group {
+                candidates.extend(
+                    spill::load_shard_candidates(&budget.spill_dir, key, s, g).ok_or_else(
+                        || MatrixError::DimensionMismatch {
+                            detail: format!("spilled shard {s} of {g} vanished mid-run"),
+                        },
+                    )?,
+                );
+            }
+            candidates.sort_by_key(CandidatePair::ids);
+            peak_tracked_bytes =
+                peak_tracked_bytes.max(candidates.len() as u64 * VERIFY_BYTES_PER_CANDIDATE);
+            let fp = checkpoint::candidates_fingerprint(&candidates);
+            let (group_verified, group_counts, group_probes) =
+                match spill::load_group_result(&budget.spill_dir, key, group_idx, fp) {
+                    Some(result) => result,
+                    None => {
+                        scan.reset()?;
+                        let result = match checkpoint {
+                            Some(spec) => {
+                                let resume = checkpoint::load_phase3(spec, key, fp);
+                                if let Some(s) = &resume {
+                                    recovery.resumed_from_row =
+                                        recovery.resumed_from_row.max(s.progress.rows_done);
+                                }
+                                let mut written = 0u64;
+                                let result = verify_candidates_resumable(
+                                    &mut scan,
+                                    &candidates,
+                                    resume.map(|s| s.progress),
+                                    spec.every_rows,
+                                    &mut |p| {
+                                        checkpoint::save_phase3(spec, key, fp, p)?;
+                                        written += 1;
+                                        Ok(())
+                                    },
+                                )?;
+                                recovery.checkpoints_written += written;
+                                result
+                            }
+                            None => verify_candidates_with_stats(&mut scan, &candidates)?,
+                        };
+                        spill_bytes += spill::save_group_result(
+                            &budget.spill_dir,
+                            key,
+                            group_idx,
+                            fp,
+                            &result.0,
+                            &result.1,
+                            result.2,
+                        )?;
+                        result
+                    }
+                };
+            verified.extend(group_verified);
+            // Every group's pass counts all columns, so the vectors agree;
+            // max keeps the merge idempotent.
+            for (acc, v) in column_counts.iter_mut().zip(&group_counts) {
+                *acc = (*acc).max(*v);
+            }
+            probes += group_probes;
+        }
+        verified.sort_by_key(|p| (p.i, p.j));
+        timings.verify = t.elapsed();
+
+        let passes = scan.pass_scans();
+        metrics.signature_pass = passes.first().copied().unwrap_or_default().into();
+        metrics.verify_pass =
+            passes[1..]
+                .iter()
+                .fold(crate::metrics::PassMetrics::default(), |mut acc, p| {
+                    acc.rows_scanned += p.rows;
+                    acc.nonzeros_scanned += p.nonzeros;
+                    acc
+                });
+        metrics.verification = self.verification_metrics(&verified, probes);
+        metrics.recovery = recovery;
+        metrics.sharding = Some(ShardingMetrics {
+            memory_budget: budget.bytes as u64,
+            shards: u64::from(g),
+            shard_restarts,
+            generation_passes,
+            verify_groups: groups.len() as u64,
+            spill_bytes,
+            peak_tracked_bytes,
+        });
+        spill::clear(&budget.spill_dir)?;
+        if let Some(spec) = checkpoint {
+            checkpoint::clear(spec)?;
+        }
+        Ok(MiningResult {
+            config: self.config,
+            verified,
+            column_counts,
+            timings,
+            metrics,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1070,5 +1492,237 @@ mod tests {
             par.metrics.verification.true_positives,
             seq.metrics.verification.true_positives
         );
+    }
+
+    /// A fresh spill directory under the system temp dir.
+    fn spill_dir(name: &str) -> std::path::PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("sfa-sharded-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn run_sharded_matches_run_for_every_scheme_and_shard_count() {
+        let m = matrix();
+        for scheme in all_schemes() {
+            let cfg = PipelineConfig::new(scheme, 0.8, 11);
+            let plain = Pipeline::new(cfg)
+                .run(&mut MemoryRowStream::new(&m))
+                .unwrap();
+            for shards in [1u32, 2, 4] {
+                let d = spill_dir(&format!("{}-{shards}", scheme.name()));
+                // A roomy budget pins the shard count: nothing overflows,
+                // so the run stays at `initial_shards`.
+                let budget = MemoryBudget::new(1 << 20, &d).with_initial_shards(shards);
+                let sharded = Pipeline::new(cfg)
+                    .run_sharded(&mut MemoryRowStream::new(&m), &budget, None)
+                    .unwrap();
+                assert_eq!(
+                    sharded.verified,
+                    plain.verified,
+                    "{} at {shards} shards",
+                    scheme.name()
+                );
+                assert_eq!(sharded.column_counts, plain.column_counts);
+                // Per-pair stages partition exactly across shards; the
+                // counter-increment stage counts work actually done, which
+                // is one full bucket walk per shard pass. Same for the
+                // occupancy histogram.
+                for (s_stage, p_stage) in sharded
+                    .metrics
+                    .candidate_stages
+                    .iter()
+                    .zip(&plain.metrics.candidate_stages)
+                {
+                    assert_eq!(s_stage.stage, p_stage.stage);
+                    let expected = if s_stage.stage == "counter-increments" {
+                        p_stage.count * u64::from(shards)
+                    } else {
+                        p_stage.count
+                    };
+                    assert_eq!(
+                        s_stage.count,
+                        expected,
+                        "{} at {shards} shards: stage {}",
+                        scheme.name(),
+                        s_stage.stage
+                    );
+                }
+                let scaled: Vec<u64> = plain
+                    .metrics
+                    .bucket_histogram
+                    .iter()
+                    .map(|&v| v * u64::from(shards))
+                    .collect();
+                assert_eq!(
+                    sharded.metrics.bucket_histogram,
+                    scaled,
+                    "{} at {shards} shards: bucket histogram",
+                    scheme.name()
+                );
+                assert_eq!(
+                    sharded.metrics.candidates_generated,
+                    plain.metrics.candidates_generated
+                );
+                let s = sharded.metrics.sharding.expect("sharding metrics");
+                assert_eq!(s.shards, u64::from(shards));
+                assert_eq!(s.shard_restarts, 0);
+                assert_eq!(s.generation_passes, u64::from(shards));
+                assert!(s.verify_groups >= 1);
+                assert!(s.spill_bytes > 0);
+                assert!(s.peak_tracked_bytes <= 1 << 20);
+                // Spill files are cleaned up on success.
+                assert!(
+                    std::fs::read_dir(&d).unwrap().all(|e| !e
+                        .unwrap()
+                        .file_name()
+                        .to_string_lossy()
+                        .ends_with(".sfsp")),
+                    "spill files survived a completed run"
+                );
+                let _ = std::fs::remove_dir_all(&d);
+            }
+        }
+    }
+
+    #[test]
+    fn run_sharded_tiny_budget_doubles_until_shards_fit() {
+        // A dense overlap structure: 8 columns that constantly co-bucket,
+        // so the pair counter needs far more than the 12 distinct keys a
+        // minimum-budget (16-slot) table can hold.
+        let rows: Vec<Vec<u32>> = (0..60u32)
+            .map(|i| {
+                let mut v = vec![i % 8, (i * 3 + 1) % 8, (i * 5 + 2) % 8];
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+            .collect();
+        let m = RowMajorMatrix::from_rows(8, rows).unwrap();
+        let cfg = PipelineConfig::new(Scheme::Mh { k: 100, delta: 0.2 }, 0.5, 11);
+        let plain = Pipeline::new(cfg)
+            .run(&mut MemoryRowStream::new(&m))
+            .unwrap();
+        assert!(
+            plain.metrics.stage("pairs-agreeing").unwrap() > 12,
+            "test premise: more distinct pairs than one minimum table holds"
+        );
+        let d = spill_dir("tiny");
+        // The minimum budget: every shard must fit in one 16-slot table,
+        // which forces the partition to split until it does.
+        let budget = MemoryBudget::new(MemoryBudget::MIN_BYTES, &d);
+        let sharded = Pipeline::new(cfg)
+            .run_sharded(&mut MemoryRowStream::new(&m), &budget, None)
+            .unwrap();
+        assert_eq!(sharded.verified, plain.verified);
+        let s = sharded.metrics.sharding.expect("sharding metrics");
+        assert!(s.shards >= 2, "a 192-byte budget cannot hold one shard");
+        assert!(s.shard_restarts >= 1);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn run_sharded_rejects_sub_minimum_budget() {
+        let m = matrix();
+        let cfg = PipelineConfig::new(Scheme::Mh { k: 16, delta: 0.2 }, 0.8, 1);
+        let d = spill_dir("below-min");
+        let err = Pipeline::new(cfg)
+            .run_sharded(
+                &mut MemoryRowStream::new(&m),
+                &MemoryBudget::new(MemoryBudget::MIN_BYTES - 1, &d),
+                None,
+            )
+            .unwrap_err();
+        assert!(matches!(err, MatrixError::DimensionMismatch { .. }));
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn run_sharded_scans_the_table_once_per_verify_group_plus_phase1() {
+        let m = matrix();
+        let cfg = PipelineConfig::new(Scheme::Mh { k: 64, delta: 0.2 }, 0.8, 11);
+        let d = spill_dir("passes");
+        let budget = MemoryBudget::new(1 << 20, &d).with_initial_shards(4);
+        let mut counter = sfa_matrix::stream::PassCounter::new(MemoryRowStream::new(&m));
+        let result = Pipeline::new(cfg)
+            .run_sharded(&mut counter, &budget, None)
+            .unwrap();
+        let s = result.metrics.sharding.expect("sharding metrics");
+        assert_eq!(
+            u64::from(counter.passes()),
+            1 + s.verify_groups,
+            "phase 1 + one verify scan per group"
+        );
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn run_sharded_resumes_from_spilled_shards_and_groups() {
+        let m = matrix();
+        let cfg = PipelineConfig::new(Scheme::Mh { k: 64, delta: 0.2 }, 0.8, 11);
+        let d = spill_dir("resume");
+        let budget = MemoryBudget::new(1 << 20, &d).with_initial_shards(2);
+        let key = RunKey::new(&cfg, m.n_rows(), m.n_cols());
+
+        // Seed the spill dir the way an interrupted run would: generate
+        // both shards' candidates out-of-band and spill them.
+        std::fs::create_dir_all(&d).unwrap();
+        let sig_seed = sfa_hash::family::derive_seed(cfg.seed, purpose::SIGNATURES);
+        let sigs = compute_signatures(&mut MemoryRowStream::new(&m), 64, sig_seed).unwrap();
+        for s in 0..2u32 {
+            let (cands, _, outcome) =
+                mh_candidates_sharded(&sigs, 0.8, 0.2, PairShard::new(s, 2), usize::MAX);
+            assert!(!outcome.overflowed);
+            spill::save_shard_candidates(&d, key, s, 2, &cands).unwrap();
+        }
+
+        // The resumed run must adopt the 2-way partition from disk and
+        // regenerate nothing.
+        let sharded = Pipeline::new(cfg)
+            .run_sharded(&mut MemoryRowStream::new(&m), &budget, None)
+            .unwrap();
+        let s = sharded.metrics.sharding.expect("sharding metrics");
+        assert_eq!(s.shards, 2);
+        assert_eq!(s.generation_passes, 0, "every shard came from disk");
+        let plain = Pipeline::new(cfg)
+            .run(&mut MemoryRowStream::new(&m))
+            .unwrap();
+        assert_eq!(sharded.verified, plain.verified);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn run_sharded_with_checkpoints_matches_and_cleans_up() {
+        let m = matrix();
+        for scheme in [
+            Scheme::Mh { k: 64, delta: 0.2 },
+            Scheme::Kmh { k: 16, delta: 0.2 },
+            Scheme::HLsh {
+                r: 8,
+                l: 8,
+                t: 4,
+                max_levels: 12,
+            },
+        ] {
+            let cfg = PipelineConfig::new(scheme, 0.8, 11);
+            let plain = Pipeline::new(cfg)
+                .run(&mut MemoryRowStream::new(&m))
+                .unwrap();
+            let d = spill_dir(&format!("ckpt-{}", scheme.name()));
+            let budget = MemoryBudget::new(1 << 20, &d).with_initial_shards(2);
+            let spec = CheckpointSpec::new(d.join("ckpt")).with_every_rows(16);
+            let sharded = Pipeline::new(cfg)
+                .run_sharded(&mut MemoryRowStream::new(&m), &budget, Some(&spec))
+                .unwrap();
+            assert_eq!(sharded.verified, plain.verified, "{}", scheme.name());
+            assert!(
+                sharded.metrics.recovery.checkpoints_written > 0
+                    || matches!(scheme, Scheme::HLsh { .. }),
+                "{}: streaming passes should checkpoint",
+                scheme.name()
+            );
+            let _ = std::fs::remove_dir_all(&d);
+        }
     }
 }

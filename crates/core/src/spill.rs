@@ -1,0 +1,503 @@
+//! Shard spill files for out-of-core mining (`.sfsp`).
+//!
+//! [`Pipeline::run_sharded`](crate::Pipeline::run_sharded) partitions the
+//! pair space into column shards, generates each shard's candidates under
+//! the memory budget, and spills them here so (a) only one shard group's
+//! candidate state is ever resident during verification and (b) a killed
+//! run can resume without regenerating finished shards. Two record kinds
+//! share one container format:
+//!
+//! * **shard candidates** (`shard_<s>_of_<g>.sfsp`) — the candidate pairs
+//!   one [`PairShard`](sfa_hash::bucket::PairShard) admitted. Candidate
+//!   sets are a pure function of the phase-1 summary and the shard, never
+//!   of the byte budget, so a spilled shard is reusable across runs with
+//!   different budgets.
+//! * **group verify results** (`verify_group_<idx>.sfsp`) — one shard
+//!   group's verified pairs, column counts and probe count, keyed by the
+//!   fingerprint of the exact candidate list that was verified.
+//!
+//! Like checkpoints (`docs/ROBUSTNESS.md`), spill files are **advisory**:
+//! any load failure — missing file, bad magic/version/CRC, or a run-key,
+//! shard, or fingerprint mismatch — means "regenerate", never a wrong
+//! answer. Writes go through a temp file plus rename, and the byte layout
+//! (documented in `docs/FORMATS.md`) follows the v2 format family: LE
+//! fields back-to-back behind a 4-byte magic, CRC-32 trailer over
+//! everything after the magic, sizes validated before allocation.
+
+use std::path::{Path, PathBuf};
+
+use sfa_matrix::crc32::crc32;
+use sfa_matrix::{MatrixError, Result};
+use sfa_minhash::CandidatePair;
+
+use crate::checkpoint::RunKey;
+use crate::report::VerifiedPair;
+
+/// Magic for spill files.
+const MAGIC: [u8; 4] = *b"SFSP";
+/// Format version.
+const VERSION: u32 = 1;
+/// Record kind: one shard's candidate pairs.
+const KIND_SHARD_CANDIDATES: u32 = 1;
+/// Record kind: one verify group's results.
+const KIND_GROUP_RESULT: u32 = 2;
+
+/// Path of shard `s` of a `g`-way partition inside `dir`.
+pub(crate) fn shard_path(dir: &Path, shard: u32, n_shards: u32) -> PathBuf {
+    dir.join(format!("shard_{shard}_of_{n_shards}.sfsp"))
+}
+
+/// Path of verify group `idx` inside `dir`.
+pub(crate) fn group_path(dir: &Path, idx: usize) -> PathBuf {
+    dir.join(format!("verify_group_{idx}.sfsp"))
+}
+
+struct Writer {
+    bytes: Vec<u8>,
+}
+
+impl Writer {
+    fn new(kind: u32, key: RunKey) -> Self {
+        let mut w = Self { bytes: Vec::new() };
+        w.bytes.extend_from_slice(&MAGIC);
+        w.u32(VERSION);
+        w.u32(kind);
+        w.u32(key.fingerprint);
+        w.u32(key.n_rows);
+        w.u32(key.n_cols);
+        w
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends the CRC trailer and atomically replaces `path`; returns the
+    /// file size in bytes.
+    fn commit(mut self, path: &Path) -> Result<u64> {
+        let crc = crc32(&self.bytes[4..]);
+        self.u32(crc);
+        let tmp = path.with_extension("sfsp.tmp");
+        std::fs::write(&tmp, &self.bytes)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(self.bytes.len() as u64)
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.bytes.len() - self.pos < n {
+            return Err(MatrixError::Parse {
+                at: self.pos as u64,
+                detail: "spill file truncated".into(),
+            });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn done(&self) -> Result<()> {
+        if self.pos != self.bytes.len() {
+            return Err(MatrixError::Parse {
+                at: self.pos as u64,
+                detail: "trailing bytes in spill file".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Loads `path`, verifies magic/version/CRC and the run key, and returns
+/// the validated image. `None` means "no usable spill file".
+fn open(path: &Path, kind: u32, key: RunKey) -> Option<Vec<u8>> {
+    let bytes = std::fs::read(path).ok()?;
+    if bytes.len() < 28 || bytes[0..4] != MAGIC {
+        return None;
+    }
+    let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+    if crc32(&bytes[4..bytes.len() - 4]) != stored {
+        return None;
+    }
+    let mut r = Reader {
+        bytes: &bytes[..bytes.len() - 4],
+        pos: 4,
+    };
+    let header_ok = (|| -> Result<bool> {
+        Ok(r.u32()? == VERSION
+            && r.u32()? == kind
+            && r.u32()? == key.fingerprint
+            && r.u32()? == key.n_rows
+            && r.u32()? == key.n_cols)
+    })()
+    .unwrap_or(false);
+    if !header_ok {
+        return None;
+    }
+    Some(bytes)
+}
+
+/// A payload reader positioned just past the common header (offset 24) of
+/// a validated spill image.
+fn payload(bytes: &[u8]) -> Reader<'_> {
+    Reader {
+        bytes: &bytes[..bytes.len() - 4],
+        pos: 24,
+    }
+}
+
+/// Persists one shard's candidate list; returns the file size in bytes.
+pub(crate) fn save_shard_candidates(
+    dir: &Path,
+    key: RunKey,
+    shard: u32,
+    n_shards: u32,
+    candidates: &[CandidatePair],
+) -> Result<u64> {
+    let mut w = Writer::new(KIND_SHARD_CANDIDATES, key);
+    w.u32(shard);
+    w.u32(n_shards);
+    w.u32(u32::try_from(candidates.len()).expect("candidate count fits u32"));
+    for c in candidates {
+        w.u32(c.i);
+        w.u32(c.j);
+        w.u64(c.estimate.to_bits());
+    }
+    w.commit(&shard_path(dir, shard, n_shards))
+}
+
+/// Loads one shard's candidate list, if a valid spill for exactly this
+/// `(run key, shard, n_shards)` exists.
+pub(crate) fn load_shard_candidates(
+    dir: &Path,
+    key: RunKey,
+    shard: u32,
+    n_shards: u32,
+) -> Option<Vec<CandidatePair>> {
+    let bytes = open(
+        &shard_path(dir, shard, n_shards),
+        KIND_SHARD_CANDIDATES,
+        key,
+    )?;
+    let parse = |r: &mut Reader<'_>| -> Result<Vec<CandidatePair>> {
+        let bad = |detail: &str, at: u64| MatrixError::Parse {
+            at,
+            detail: detail.into(),
+        };
+        if r.u32()? != shard || r.u32()? != n_shards {
+            return Err(bad("spill shard mismatch", 24));
+        }
+        let n = r.u32()? as usize;
+        if r.remaining() < n.saturating_mul(16) {
+            return Err(bad("spill record count exceeds payload", r.pos as u64));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let i = r.u32()?;
+            let j = r.u32()?;
+            let estimate = f64::from_bits(r.u64()?);
+            if i >= j || j >= key.n_cols {
+                return Err(bad("spill pair ids out of range", r.pos as u64));
+            }
+            out.push(CandidatePair { i, j, estimate });
+        }
+        r.done()?;
+        Ok(out)
+    };
+    parse(&mut payload(&bytes)).ok()
+}
+
+/// Persists one verify group's results — its verified pairs, the full
+/// column-count vector, and the probe count — keyed by `cand_fingerprint`
+/// (the [`crate::checkpoint::candidates_fingerprint`] of the exact
+/// candidate list that was verified). Returns the file size in bytes.
+pub(crate) fn save_group_result(
+    dir: &Path,
+    key: RunKey,
+    group_idx: usize,
+    cand_fingerprint: u32,
+    verified: &[VerifiedPair],
+    column_counts: &[u32],
+    probes: u64,
+) -> Result<u64> {
+    let mut w = Writer::new(KIND_GROUP_RESULT, key);
+    w.u32(cand_fingerprint);
+    w.u32(u32::try_from(verified.len()).expect("verified count fits u32"));
+    for v in verified {
+        w.u32(v.i);
+        w.u32(v.j);
+        w.u32(v.intersection);
+        w.u32(v.union);
+        w.u64(v.similarity.to_bits());
+        w.u64(v.estimate.to_bits());
+    }
+    w.u32(u32::try_from(column_counts.len()).expect("column count fits u32"));
+    for &c in column_counts {
+        w.u32(c);
+    }
+    w.u64(probes);
+    w.commit(&group_path(dir, group_idx))
+}
+
+/// Loads a verify group's results, if a valid spill for exactly this
+/// `(run key, group index, candidate fingerprint)` exists.
+pub(crate) fn load_group_result(
+    dir: &Path,
+    key: RunKey,
+    group_idx: usize,
+    cand_fingerprint: u32,
+) -> Option<(Vec<VerifiedPair>, Vec<u32>, u64)> {
+    let bytes = open(&group_path(dir, group_idx), KIND_GROUP_RESULT, key)?;
+    let parse = |r: &mut Reader<'_>| -> Result<(Vec<VerifiedPair>, Vec<u32>, u64)> {
+        let bad = |detail: &str, at: u64| MatrixError::Parse {
+            at,
+            detail: detail.into(),
+        };
+        if r.u32()? != cand_fingerprint {
+            return Err(bad("spill group fingerprint mismatch", 24));
+        }
+        let n = r.u32()? as usize;
+        if r.remaining() < n.saturating_mul(32) {
+            return Err(bad("spill record count exceeds payload", r.pos as u64));
+        }
+        let mut verified = Vec::with_capacity(n);
+        for _ in 0..n {
+            let i = r.u32()?;
+            let j = r.u32()?;
+            let intersection = r.u32()?;
+            let union = r.u32()?;
+            let similarity = f64::from_bits(r.u64()?);
+            let estimate = f64::from_bits(r.u64()?);
+            verified.push(VerifiedPair {
+                i,
+                j,
+                intersection,
+                union,
+                similarity,
+                estimate,
+            });
+        }
+        let m = r.u32()? as usize;
+        if m != key.n_cols as usize {
+            return Err(bad("spill column-count length mismatch", r.pos as u64));
+        }
+        if r.remaining() < m.saturating_mul(4) {
+            return Err(bad("spill column counts exceed payload", r.pos as u64));
+        }
+        let mut column_counts = Vec::with_capacity(m);
+        for _ in 0..m {
+            column_counts.push(r.u32()?);
+        }
+        let probes = r.u64()?;
+        r.done()?;
+        Ok((verified, column_counts, probes))
+    };
+    parse(&mut payload(&bytes)).ok()
+}
+
+/// The largest partition width `g` for which `dir` holds at least one
+/// shard spill valid under `key` — the width an interrupted run had
+/// reached, which a resuming run adopts so finished shards are reusable.
+pub(crate) fn max_valid_shard_count(dir: &Path, key: RunKey) -> Option<u32> {
+    let mut best: Option<u32> = None;
+    for entry in std::fs::read_dir(dir).ok()? {
+        let Ok(entry) = entry else { continue };
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(rest) = name.strip_prefix("shard_") else {
+            continue;
+        };
+        let Some(rest) = rest.strip_suffix(".sfsp") else {
+            continue;
+        };
+        let Some((shard, n_shards)) = rest.split_once("_of_") else {
+            continue;
+        };
+        let (Ok(shard), Ok(n_shards)) = (shard.parse::<u32>(), n_shards.parse::<u32>()) else {
+            continue;
+        };
+        if !n_shards.is_power_of_two() || shard >= n_shards {
+            continue;
+        }
+        if best.is_some_and(|b| n_shards <= b) {
+            continue;
+        }
+        // Filename candidates are only adopted if the file itself is valid
+        // for this run key.
+        if open(
+            &shard_path(dir, shard, n_shards),
+            KIND_SHARD_CANDIDATES,
+            key,
+        )
+        .is_some()
+        {
+            best = Some(n_shards);
+        }
+    }
+    best
+}
+
+/// Removes every spill file (`*.sfsp`, plus stray `*.sfsp.tmp`) in `dir`,
+/// tolerating files that vanish concurrently.
+pub(crate) fn clear(dir: &Path) -> Result<()> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e.into()),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.ends_with(".sfsp") || name.ends_with(".sfsp.tmp") {
+            match std::fs::remove_file(entry.path()) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PipelineConfig, Scheme};
+
+    fn dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("sfa-spill-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).expect("create test dir");
+        d
+    }
+
+    fn key() -> RunKey {
+        RunKey::new(
+            &PipelineConfig::new(Scheme::Mh { k: 8, delta: 0.2 }, 0.5, 7),
+            100,
+            50,
+        )
+    }
+
+    fn cands() -> Vec<CandidatePair> {
+        vec![
+            CandidatePair::new(0, 3, 0.75),
+            CandidatePair::new(2, 9, 0.5),
+            CandidatePair::new(7, 49, 1.0),
+        ]
+    }
+
+    #[test]
+    fn shard_candidates_round_trip() {
+        let d = dir("shard-rt");
+        let written = cands();
+        save_shard_candidates(&d, key(), 1, 4, &written).expect("save");
+        let loaded = load_shard_candidates(&d, key(), 1, 4).expect("load");
+        assert_eq!(loaded, written);
+        // Wrong shard coordinates: advisory miss, not an error.
+        assert!(load_shard_candidates(&d, key(), 0, 4).is_none());
+        assert!(load_shard_candidates(&d, key(), 1, 8).is_none());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn wrong_run_key_is_ignored() {
+        let d = dir("wrong-key");
+        save_shard_candidates(&d, key(), 0, 2, &cands()).expect("save");
+        let other = RunKey::new(
+            &PipelineConfig::new(Scheme::Mh { k: 9, delta: 0.2 }, 0.5, 7),
+            100,
+            50,
+        );
+        assert!(load_shard_candidates(&d, other, 0, 2).is_none());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        let d = dir("corrupt");
+        save_shard_candidates(&d, key(), 0, 2, &cands()).expect("save");
+        let path = shard_path(&d, 0, 2);
+        let mut bytes = std::fs::read(&path).expect("read");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).expect("write");
+        assert!(load_shard_candidates(&d, key(), 0, 2).is_none());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn group_result_round_trip() {
+        let d = dir("group-rt");
+        let verified = vec![VerifiedPair {
+            i: 0,
+            j: 3,
+            intersection: 5,
+            union: 9,
+            similarity: 5.0 / 9.0,
+            estimate: 0.75,
+        }];
+        let counts: Vec<u32> = (0..50).collect();
+        save_group_result(&d, key(), 2, 0xdead_beef, &verified, &counts, 123).expect("save");
+        let (v, c, probes) = load_group_result(&d, key(), 2, 0xdead_beef).expect("load");
+        assert_eq!(v, verified);
+        assert_eq!(c, counts);
+        assert_eq!(probes, 123);
+        // A different candidate fingerprint must not resume this group.
+        assert!(load_group_result(&d, key(), 2, 0xdead_beee).is_none());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn max_valid_shard_count_prefers_widest_valid_partition() {
+        let d = dir("max-g");
+        assert_eq!(max_valid_shard_count(&d, key()), None);
+        save_shard_candidates(&d, key(), 0, 2, &cands()).expect("save");
+        save_shard_candidates(&d, key(), 3, 4, &cands()).expect("save");
+        assert_eq!(max_valid_shard_count(&d, key()), Some(4));
+        // A wider but corrupt file is not adopted.
+        std::fs::write(shard_path(&d, 0, 8), b"SFSPgarbage").expect("write");
+        assert_eq!(max_valid_shard_count(&d, key()), Some(4));
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn clear_removes_only_spill_files() {
+        let d = dir("clear");
+        save_shard_candidates(&d, key(), 0, 1, &cands()).expect("save");
+        save_group_result(&d, key(), 0, 1, &[], &[0; 50], 0).expect("save");
+        let keep = d.join("keep.txt");
+        std::fs::write(&keep, b"x").expect("write");
+        clear(&d).expect("clear");
+        assert!(keep.exists());
+        assert!(load_shard_candidates(&d, key(), 0, 1).is_none());
+        assert!(load_group_result(&d, key(), 0, 1).is_none());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}

@@ -131,6 +131,37 @@ mod tests {
         assert_eq!(first_diff_line(&sa, &sb), None);
     }
 
+    /// `--scale large` runs put their sharded-pass wall clock under
+    /// `timing.sharding`; like every `timing` subtree it must be invisible
+    /// to the diff, while the deterministic `metrics.sharding` counters
+    /// (shard counts, spill bytes) must still be compared.
+    #[test]
+    fn sharding_wall_clock_is_ignored_but_shard_counters_are_not() {
+        let a = Json::parse(
+            r#"{"metrics": {"sharding": {"shards": 4, "spill_bytes": 968}},
+                "timing": {"total_s": 9.0, "sharding": {"generation_passes_s": 7.5}}}"#,
+        )
+        .unwrap();
+        let mut b = Json::parse(
+            r#"{"metrics": {"sharding": {"shards": 4, "spill_bytes": 968}},
+                "timing": {"total_s": 0.4, "sharding": {"generation_passes_s": 0.2}}}"#,
+        )
+        .unwrap();
+        let (mut sa, mut sb) = (a.clone(), b.clone());
+        strip_timing(&mut sa);
+        strip_timing(&mut sb);
+        assert_eq!(first_diff_line(&sa, &sb), None);
+
+        // A changed shard count is a real behavioral difference.
+        b = Json::parse(
+            r#"{"metrics": {"sharding": {"shards": 8, "spill_bytes": 968}},
+                "timing": {"total_s": 9.0, "sharding": {"generation_passes_s": 7.5}}}"#,
+        )
+        .unwrap();
+        strip_timing(&mut b);
+        assert!(first_diff_line(&sa, &b).is_some());
+    }
+
     #[test]
     fn diff_ignores_timing_but_catches_counters() {
         let a = Json::parse(r#"{"n": 1, "timing": {"s": 0.5}}"#).unwrap();

@@ -220,6 +220,25 @@ impl CounterTable {
         }
     }
 
+    /// Heap bytes held by the key/value arrays (12 bytes per slot).
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.keys.len() * (std::mem::size_of::<u64>() + std::mem::size_of::<u32>())
+    }
+
+    /// Whether the next [`Self::add`] would trigger a grow (the ¾-load
+    /// check `add` performs before probing).
+    #[must_use]
+    pub fn would_grow(&self) -> bool {
+        self.items * 4 >= self.keys.len() * 3
+    }
+
+    /// Heap bytes the table would hold after the next grow.
+    #[must_use]
+    pub fn bytes_after_grow(&self) -> usize {
+        (self.keys.len() * 2).max(16) * (std::mem::size_of::<u64>() + std::mem::size_of::<u32>())
+    }
+
     /// Iterates `(key, count)` in arbitrary order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
         self.keys
@@ -647,6 +666,202 @@ impl PairCounter {
     }
 }
 
+/// Salt applied before the shard-admission mix, so [`PairShard`]'s
+/// admission bits are independent of both [`ShardedPairCounter::shard_of`]
+/// (the unsalted fmix64 low bits) and [`CounterTable`]'s Fibonacci index
+/// bits.
+const PAIR_SHARD_SALT: u64 = 0xbf58_476d_1ce4_e5b9;
+
+/// One slice of a power-of-two partition of the packed-pair key space.
+///
+/// Out-of-core mining runs phase 2 once per shard under a memory budget:
+/// a shard admits a pair iff the salted fmix64 mix of its [`pack_pair`]
+/// key lands in this slice. Admission is a pure function of the pair
+/// alone, so the shards partition the pair space — the union of per-shard
+/// candidate sets over all shards equals the unsharded set exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairShard {
+    shard: u32,
+    n_shards: u32,
+}
+
+impl PairShard {
+    /// Slice `shard` of a partition into `n_shards` (a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards` is not a power of two or `shard >= n_shards`.
+    #[must_use]
+    pub fn new(shard: u32, n_shards: u32) -> Self {
+        assert!(n_shards.is_power_of_two(), "shard count not a power of two");
+        assert!(shard < n_shards, "shard {shard} out of range 0..{n_shards}");
+        Self { shard, n_shards }
+    }
+
+    /// The trivial partition: one shard admitting every pair.
+    #[must_use]
+    pub fn all() -> Self {
+        Self::new(0, 1)
+    }
+
+    /// This slice's index.
+    #[must_use]
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// Number of slices in the partition.
+    #[must_use]
+    pub fn n_shards(&self) -> u32 {
+        self.n_shards
+    }
+
+    /// Whether this slice admits the packed pair `key`.
+    #[inline]
+    #[must_use]
+    pub fn admits_key(&self, key: u64) -> bool {
+        shard_mix(key ^ PAIR_SHARD_SALT) & u64::from(self.n_shards - 1) == u64::from(self.shard)
+    }
+
+    /// Whether this slice admits the unordered pair `{a, b}`.
+    #[inline]
+    #[must_use]
+    pub fn admits(&self, a: u32, b: u32) -> bool {
+        debug_assert_ne!(a, b, "self-pair");
+        let key = if a < b {
+            pack_pair(a, b)
+        } else {
+            pack_pair(b, a)
+        };
+        self.admits_key(key)
+    }
+}
+
+/// What a budgeted shard pass reports back to the pipeline driver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardPassOutcome {
+    /// The counter refused a grow that would have exceeded the budget;
+    /// the pass's output is incomplete and must be discarded (the driver
+    /// doubles the shard count and reruns).
+    pub overflowed: bool,
+    /// Final heap bytes of the pass's counter table (its peak — the
+    /// table only grows).
+    pub counter_bytes: usize,
+}
+
+/// A [`PairCounter`] restricted to one [`PairShard`] and a hard byte cap.
+///
+/// Increments for pairs outside the shard are dropped; an increment that
+/// would grow the table past `cap_bytes` instead sets the `overflowed`
+/// flag and freezes the counter (all further increments are dropped), so
+/// the table's heap footprint provably never exceeds the cap. A frozen
+/// counter's contents are meaningless — callers must check
+/// [`Self::overflowed`] and discard the pass.
+#[derive(Debug)]
+pub struct BudgetedPairCounter {
+    counts: CounterTable,
+    shard: PairShard,
+    cap_bytes: usize,
+    overflowed: bool,
+}
+
+impl BudgetedPairCounter {
+    /// An empty counter admitting only `shard`'s pairs, capped at
+    /// `cap_bytes` of table heap.
+    #[must_use]
+    pub fn new(shard: PairShard, cap_bytes: usize) -> Self {
+        Self {
+            counts: CounterTable::new(),
+            shard,
+            cap_bytes,
+            overflowed: false,
+        }
+    }
+
+    /// An uncapped counter admitting every pair — behaves exactly like
+    /// [`PairCounter`], which is what the unsharded generators delegate
+    /// through.
+    #[must_use]
+    pub fn unbounded() -> Self {
+        Self::new(PairShard::all(), usize::MAX)
+    }
+
+    /// Increments the unordered pair `{a, b}` if this shard admits it and
+    /// the budget allows it.
+    #[inline]
+    pub fn increment(&mut self, a: u32, b: u32) {
+        debug_assert_ne!(a, b, "self-pair");
+        let key = if a < b {
+            pack_pair(a, b)
+        } else {
+            pack_pair(b, a)
+        };
+        if !self.shard.admits_key(key) || self.overflowed {
+            return;
+        }
+        // `add` checks the ¾-load condition before probing, so predicting
+        // the grow here guarantees the table never allocates past the cap.
+        if self.counts.would_grow() && self.counts.bytes_after_grow() > self.cap_bytes {
+            self.overflowed = true;
+            return;
+        }
+        self.counts.add(key, 1);
+    }
+
+    /// Whether the budget was exceeded (the pass must be discarded).
+    #[must_use]
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    /// Current heap bytes of the backing table.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.counts.heap_bytes()
+    }
+
+    /// The pass outcome to report to the driver.
+    #[must_use]
+    pub fn outcome(&self) -> ShardPassOutcome {
+        ShardPassOutcome {
+            overflowed: self.overflowed,
+            counter_bytes: self.counts.heap_bytes(),
+        }
+    }
+
+    /// Number of pairs with a nonzero count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether no pair has been counted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Current count for the unordered pair `{a, b}`.
+    #[must_use]
+    pub fn get(&self, a: u32, b: u32) -> u32 {
+        let key = if a < b {
+            pack_pair(a, b)
+        } else {
+            pack_pair(b, a)
+        };
+        self.counts.get(key)
+    }
+
+    /// Iterates `(i, j, count)` with `i < j`, in arbitrary (but
+    /// insertion-deterministic) order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
+        self.counts.iter().map(|(k, c)| {
+            let (i, j) = unpack_pair(k);
+            (i, j, c)
+        })
+    }
+}
+
 /// Reusable dense counters over `m` slots with `O(touched)` reset.
 ///
 /// The paper's Row-Sorting algorithm keeps one counter per column while
@@ -986,5 +1201,107 @@ mod tests {
         sc.increment(1);
         assert_eq!(sc.get(0), 0);
         assert_eq!(sc.get(1), 1);
+    }
+
+    #[test]
+    fn pair_shards_partition_the_pair_space() {
+        for n_shards in [1u32, 2, 4, 8] {
+            let shards: Vec<PairShard> =
+                (0..n_shards).map(|s| PairShard::new(s, n_shards)).collect();
+            for a in 0..30u32 {
+                for b in (a + 1)..30 {
+                    let admitting = shards.iter().filter(|s| s.admits(a, b)).count();
+                    assert_eq!(
+                        admitting, 1,
+                        "pair ({a},{b}) admitted by {admitting} shards"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_shard_all_admits_everything() {
+        let all = PairShard::all();
+        for a in 0..50u32 {
+            assert!(all.admits(a, a + 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn pair_shard_rejects_non_power_of_two() {
+        let _ = PairShard::new(0, 3);
+    }
+
+    #[test]
+    fn budgeted_counter_matches_pair_counter_when_unbounded() {
+        let mut plain = PairCounter::new();
+        let mut budgeted = BudgetedPairCounter::unbounded();
+        for a in 0..40u32 {
+            for b in (a + 1)..40 {
+                if (a + b) % 3 == 0 {
+                    plain.increment(a, b);
+                    budgeted.increment(a, b);
+                }
+            }
+        }
+        assert!(!budgeted.overflowed());
+        let p: Vec<_> = plain.iter().collect();
+        let b: Vec<_> = budgeted.iter().collect();
+        // Same add sequence into the same table type: identical layout,
+        // hence identical iteration order, not just identical multisets.
+        assert_eq!(p, b);
+    }
+
+    #[test]
+    fn budgeted_counter_shards_union_to_unsharded_counts() {
+        let mut plain = PairCounter::new();
+        let mut shards: Vec<BudgetedPairCounter> = (0..4)
+            .map(|s| BudgetedPairCounter::new(PairShard::new(s, 4), usize::MAX))
+            .collect();
+        for a in 0..25u32 {
+            for b in (a + 1)..25 {
+                plain.increment(a, b);
+                plain.increment(a, b);
+                for shard in &mut shards {
+                    shard.increment(a, b);
+                    shard.increment(a, b);
+                }
+            }
+        }
+        let mut union: Vec<_> = shards.iter().flat_map(BudgetedPairCounter::iter).collect();
+        union.sort_unstable();
+        let mut expected: Vec<_> = plain.iter().collect();
+        expected.sort_unstable();
+        assert_eq!(union, expected);
+    }
+
+    #[test]
+    fn budgeted_counter_freezes_at_the_cap() {
+        // Cap below the minimum 16-slot table: the very first increment
+        // must refuse to allocate and freeze the counter.
+        let mut tiny = BudgetedPairCounter::new(PairShard::all(), 100);
+        tiny.increment(0, 1);
+        assert!(tiny.overflowed());
+        assert!(tiny.is_empty());
+        assert_eq!(tiny.heap_bytes(), 0);
+
+        // Cap admitting exactly the minimum table: grows to 16 slots
+        // (192 bytes) and freezes when the ¾-load grow would pass 384.
+        let mut capped = BudgetedPairCounter::new(PairShard::all(), 192);
+        let mut applied = 0u32;
+        for j in 1..100u32 {
+            capped.increment(0, j);
+            if !capped.overflowed() {
+                applied = j;
+            }
+        }
+        assert!(capped.overflowed());
+        assert!(capped.heap_bytes() <= 192);
+        // A 16-slot table grows when an add starts with 12 items already
+        // present, so exactly 12 distinct keys fit under the cap.
+        assert_eq!(applied, 12);
+        assert_eq!(capped.len(), 12);
     }
 }

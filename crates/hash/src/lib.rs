@@ -31,8 +31,9 @@ pub mod tabulation;
 pub mod topk;
 
 pub use bucket::{
-    add_hist, count_sorted_runs, default_shards, merge_sharded, BucketTable, CounterTable,
-    FastHashMap, FastHashSet, FxBuildHasher, PairCounter, ShardedPairCounter, SparseCounters,
+    add_hist, count_sorted_runs, default_shards, merge_sharded, BucketTable, BudgetedPairCounter,
+    CounterTable, FastHashMap, FastHashSet, FxBuildHasher, PairCounter, PairShard,
+    ShardPassOutcome, ShardedPairCounter, SparseCounters,
 };
 pub use family::{HashFamily, MultiplyShiftFamily, RowHasher};
 pub use mix::{fmix32, fmix64, hash64_with_seed, splitmix64};

@@ -10,8 +10,8 @@
 //! shares a bucket in any run at any level.
 
 use sfa_hash::bucket::{
-    add_hist, count_sorted_runs, default_shards, merge_sharded, BucketTable, FastHashMap,
-    PairCounter, ShardedPairCounter,
+    add_hist, count_sorted_runs, default_shards, merge_sharded, BucketTable, BudgetedPairCounter,
+    FastHashMap, PairCounter, PairShard, ShardPassOutcome, ShardedPairCounter,
 };
 use sfa_hash::SeedSequence;
 use sfa_matrix::ops::or_fold_random;
@@ -219,17 +219,113 @@ pub fn hlsh_candidates_with_stats(
     base: &RowMajorMatrix,
     params: &HLshParams,
 ) -> (Vec<CandidatePair>, CandidateGenStats) {
+    let (out, stats, _) = hlsh_candidates_sharded(base, params, PairShard::all(), usize::MAX);
+    (out, stats)
+}
+
+/// One budgeted shard pass of [`hlsh_candidates_with_stats`]: only pairs
+/// in `shard` are counted and the collision counter's heap is capped at
+/// `cap_bytes`. The ladder, the density gates, and the sampled row
+/// patterns are all independent of the pair filter, so per-shard
+/// collision counts equal the unsharded counts and the union over a full
+/// partition is exactly the unsharded candidate set; with
+/// [`PairShard::all`] and an unbounded cap the output is byte-identical
+/// to the unsharded generator (which delegates here). On overflow the
+/// pass aborts with an empty candidate list and `overflowed` set.
+///
+/// # Panics
+///
+/// Panics on the same parameter violations as
+/// [`hlsh_collision_counts_with_histogram`].
+#[must_use]
+pub fn hlsh_candidates_sharded(
+    base: &RowMajorMatrix,
+    params: &HLshParams,
+    shard: PairShard,
+    cap_bytes: usize,
+) -> (Vec<CandidatePair>, CandidateGenStats, ShardPassOutcome) {
+    assert!(
+        params.r >= 1 && params.r <= 64,
+        "pattern width must be 1..=64"
+    );
+    assert!(params.t >= 3, "density gate needs t >= 3");
     let mut stats = CandidateGenStats::default();
-    let counts = hlsh_collision_counts_with_histogram(base, params, &mut stats.bucket_histogram);
-    stats.record("colliding-pairs", counts.len() as u64);
+    let ladder = DensityLadder::build(base, params.max_levels, params.seed);
+    let mut seq = SeedSequence::new(params.seed ^ 0x5f5f_5f5f);
+    let mut counter = BudgetedPairCounter::new(shard, cap_bytes);
+    let lo_gate = 1.0 / f64::from(params.t);
+    let hi_gate = f64::from(params.t - 1) / f64::from(params.t);
+
+    'levels: for level in 0..ladder.n_levels() {
+        let matrix = ladder.level(level);
+        let n = matrix.n_rows();
+        if (n as usize) < params.r {
+            break;
+        }
+        let counts = matrix.column_counts();
+        // A column participates only inside the density gate.
+        let gated: Vec<bool> = counts
+            .iter()
+            .map(|&c| {
+                let d = f64::from(c) / f64::from(n);
+                d > lo_gate && d < hi_gate
+            })
+            .collect();
+        if !gated.iter().any(|&g| g) {
+            continue;
+        }
+        for _run in 0..params.l {
+            if counter.overflowed() {
+                break 'levels;
+            }
+            let rows = sample_distinct_rows(n, params.r, &mut seq);
+            // Sparse pattern assembly: only columns present in a sampled
+            // row get bits.
+            let mut patterns: FastHashMap<u32, u64> = FastHashMap::default();
+            for (bit, &row) in rows.iter().enumerate() {
+                for &col in matrix.row(row) {
+                    if gated[col as usize] {
+                        *patterns.entry(col).or_insert(0) |= 1u64 << bit;
+                    }
+                }
+            }
+            let mut table = BucketTable::with_capacity(patterns.len());
+            for (&col, &bits) in &patterns {
+                table.insert(bits, col);
+            }
+            if params.include_zero_keys {
+                for (col, &g) in gated.iter().enumerate() {
+                    if g && !patterns.contains_key(&(col as u32)) {
+                        table.insert(0, col as u32);
+                    }
+                }
+            }
+            table.accumulate_occupancy(&mut stats.bucket_histogram);
+            for (_, bucket) in table.iter() {
+                // Buckets are unordered; sort for deterministic pairing.
+                let mut cols = bucket.to_vec();
+                cols.sort_unstable();
+                for (a, &ci) in cols.iter().enumerate() {
+                    for &cj in &cols[a + 1..] {
+                        counter.increment(ci, cj);
+                    }
+                }
+            }
+        }
+    }
+    let outcome = counter.outcome();
+    if outcome.overflowed {
+        return (Vec::new(), stats, outcome);
+    }
+    stats.record("colliding-pairs", counter.len() as u64);
     let total_runs = (params.max_levels * params.l) as f64;
-    let mut out: Vec<CandidatePair> = counts
+    let mut out: Vec<CandidatePair> = counter
         .iter()
         .map(|(i, j, c)| CandidatePair::new(i, j, f64::from(c) / total_runs))
         .collect();
     out.sort_by_key(CandidatePair::ids);
     stats.record("emitted", out.len() as u64);
-    (out, stats)
+    (out, stats, outcome)
 }
 
 /// A ladder level's prepared work: which columns pass the density gate and

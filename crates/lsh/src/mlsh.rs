@@ -8,7 +8,7 @@
 
 use sfa_hash::bucket::{
     add_hist, count_sorted_runs, default_shards, merge_sharded, pack_pair, BucketTable,
-    FastHashSet, PairCounter, ShardedPairCounter,
+    BudgetedPairCounter, FastHashSet, PairCounter, PairShard, ShardPassOutcome, ShardedPairCounter,
 };
 use sfa_hash::mix::{fmix64, splitmix64};
 use sfa_hash::SeedSequence;
@@ -174,16 +174,56 @@ pub fn mlsh_candidates_with_stats(
     sigs: &SignatureMatrix,
     params: &MLshParams,
 ) -> (Vec<CandidatePair>, CandidateGenStats) {
+    let (out, stats, _) = mlsh_candidates_sharded(sigs, params, PairShard::all(), usize::MAX);
+    (out, stats)
+}
+
+/// One budgeted shard pass of [`mlsh_candidates_with_stats`]: only pairs
+/// in `shard` are counted and the collision counter's heap is capped at
+/// `cap_bytes`. A pair's collision count depends on no other pair, so
+/// per-shard counts equal the unsharded counts and the union over a full
+/// partition is exactly the unsharded candidate set; with
+/// [`PairShard::all`] and an unbounded cap the output is byte-identical
+/// to the unsharded generator (which delegates here). On overflow the
+/// pass aborts with an empty candidate list and `overflowed` set.
+#[must_use]
+pub fn mlsh_candidates_sharded(
+    sigs: &SignatureMatrix,
+    params: &MLshParams,
+    shard: PairShard,
+    cap_bytes: usize,
+) -> (Vec<CandidatePair>, CandidateGenStats, ShardPassOutcome) {
     let mut stats = CandidateGenStats::default();
-    let counts = mlsh_collision_counts_with_histogram(sigs, params, &mut stats.bucket_histogram);
-    stats.record("colliding-pairs", counts.len() as u64);
-    let mut out: Vec<CandidatePair> = counts
+    let mut counter = BudgetedPairCounter::new(shard, cap_bytes);
+    let mut seq = SeedSequence::new(params.seed);
+    for t in 0..params.l {
+        if counter.overflowed() {
+            break;
+        }
+        let rows = rows_for_iteration(params, sigs.k(), t, &mut seq);
+        let key_seed = seq.next_seed();
+        let table = iteration_buckets(sigs, &rows, key_seed);
+        table.accumulate_occupancy(&mut stats.bucket_histogram);
+        for (_, bucket) in table.iter() {
+            for (a, &ci) in bucket.iter().enumerate() {
+                for &cj in &bucket[a + 1..] {
+                    counter.increment(ci, cj);
+                }
+            }
+        }
+    }
+    let outcome = counter.outcome();
+    if outcome.overflowed {
+        return (Vec::new(), stats, outcome);
+    }
+    stats.record("colliding-pairs", counter.len() as u64);
+    let mut out: Vec<CandidatePair> = counter
         .iter()
         .map(|(i, j, c)| CandidatePair::new(i, j, f64::from(c) / params.l as f64))
         .collect();
     out.sort_by_key(CandidatePair::ids);
     stats.record("emitted", out.len() as u64);
-    (out, stats)
+    (out, stats, outcome)
 }
 
 /// Per-worker state for the parallel iteration scan.

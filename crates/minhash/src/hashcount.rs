@@ -9,7 +9,7 @@
 
 use sfa_hash::bucket::{
     add_hist, count_sorted_runs, default_shards, merge_sharded, unpack_pair, BucketTable,
-    PairCounter, ShardedPairCounter,
+    BudgetedPairCounter, PairCounter, PairShard, ShardPassOutcome, ShardedPairCounter,
 };
 use sfa_matrix::RowStream;
 use sfa_par::ThreadPool;
@@ -172,11 +172,41 @@ pub fn mh_candidates_with_stats(
     s_star: f64,
     delta: f64,
 ) -> (Vec<CandidatePair>, CandidateGenStats) {
+    let (out, stats, _) = mh_candidates_sharded(sigs, s_star, delta, PairShard::all(), usize::MAX);
+    (out, stats)
+}
+
+/// One budgeted shard pass of [`mh_candidates_with_stats`]: only pairs in
+/// `shard` are counted, and the pair counter's heap is capped at
+/// `cap_bytes`. With [`PairShard::all`] and an unbounded cap this *is*
+/// the unsharded generator (candidates, stage counters, and histogram are
+/// byte-identical — `mh_candidates_with_stats` delegates here).
+///
+/// Shard admission is a pure per-pair predicate, so a pair's agreement
+/// count in its shard equals its unsharded count, and the union of
+/// per-shard candidate sets over a full partition equals the unsharded
+/// set exactly. The `counter-increments` stage counts *attempted*
+/// increments (the scan work done, independent of the shard filter).
+///
+/// On overflow the pass is aborted: the returned candidate list is empty
+/// and [`ShardPassOutcome::overflowed`] is set — the caller must discard
+/// the pass and rerun with more shards.
+#[must_use]
+pub fn mh_candidates_sharded(
+    sigs: &SignatureMatrix,
+    s_star: f64,
+    delta: f64,
+    shard: PairShard,
+    cap_bytes: usize,
+) -> (Vec<CandidatePair>, CandidateGenStats, ShardPassOutcome) {
     let mut stats = CandidateGenStats::default();
-    let mut counter = PairCounter::new();
+    let mut counter = BudgetedPairCounter::new(shard, cap_bytes);
     let mut table = BucketTable::new();
     let mut increments = 0u64;
     for l in 0..sigs.k() {
+        if counter.overflowed() {
+            break;
+        }
         table.clear();
         for (j, &v) in sigs.row(l).iter().enumerate() {
             if v == EMPTY_SIGNATURE {
@@ -190,6 +220,10 @@ pub fn mh_candidates_with_stats(
         }
         table.accumulate_occupancy(&mut stats.bucket_histogram);
     }
+    let outcome = counter.outcome();
+    if outcome.overflowed {
+        return (Vec::new(), stats, outcome);
+    }
     stats.record("counter-increments", increments);
     stats.record("pairs-agreeing", counter.len() as u64);
     let threshold = agreement_threshold(sigs.k(), s_star, delta) as u32;
@@ -200,7 +234,7 @@ pub fn mh_candidates_with_stats(
         .collect();
     out.sort_by_key(CandidatePair::ids);
     stats.record("threshold-admitted", out.len() as u64);
-    (out, stats)
+    (out, stats, outcome)
 }
 
 /// Pool-based [`mh_candidates_with_stats`]: identical candidates, stage
@@ -290,11 +324,32 @@ pub fn kmh_candidates_with_stats(
     s_star: f64,
     delta: f64,
 ) -> (Vec<CandidatePair>, CandidateGenStats) {
+    let (out, stats, _) = kmh_candidates_sharded(sigs, s_star, delta, PairShard::all(), usize::MAX);
+    (out, stats)
+}
+
+/// One budgeted shard pass of [`kmh_candidates_with_stats`] — the K-MH
+/// analogue of [`mh_candidates_sharded`], with the same contract: pure
+/// per-pair shard admission (the overlap count, per-pair threshold, and
+/// unbiased re-scoring of an admitted pair are all independent of every
+/// other pair), attempted-increment accounting, and an aborted empty
+/// pass on budget overflow.
+#[must_use]
+pub fn kmh_candidates_sharded(
+    sigs: &BottomKSignatures,
+    s_star: f64,
+    delta: f64,
+    shard: PairShard,
+    cap_bytes: usize,
+) -> (Vec<CandidatePair>, CandidateGenStats, ShardPassOutcome) {
     let mut stats = CandidateGenStats::default();
-    let mut counter = PairCounter::new();
+    let mut counter = BudgetedPairCounter::new(shard, cap_bytes);
     let mut table = BucketTable::new();
     let mut increments = 0u64;
     for j in 0..sigs.m() as u32 {
+        if counter.overflowed() {
+            break;
+        }
         for &v in sigs.signature(j) {
             for &earlier in table.bucket(v) {
                 counter.increment(earlier, j);
@@ -304,6 +359,10 @@ pub fn kmh_candidates_with_stats(
         }
     }
     table.accumulate_occupancy(&mut stats.bucket_histogram);
+    let outcome = counter.outcome();
+    if outcome.overflowed {
+        return (Vec::new(), stats, outcome);
+    }
     stats.record("counter-increments", increments);
     stats.record("pairs-overlapping", counter.len() as u64);
     let mut overlap_admitted = 0u64;
@@ -328,7 +387,7 @@ pub fn kmh_candidates_with_stats(
     out.sort_by_key(CandidatePair::ids);
     stats.record("overlap-admitted", overlap_admitted);
     stats.record("rescore-admitted", out.len() as u64);
-    (out, stats)
+    (out, stats, outcome)
 }
 
 /// The K-MH flavour of the batched bucket scan: all `(sketch value,

@@ -13,7 +13,7 @@
 //! the §6 confidence extension, which needs the second counter set for
 //! "`h(c_j)` at least as much as `h(c_i)`".
 
-use sfa_hash::bucket::PairCounter;
+use sfa_hash::bucket::{BudgetedPairCounter, PairCounter, PairShard, ShardPassOutcome};
 use sfa_hash::SparseCounters;
 
 use crate::candidates::{CandidateGenStats, CandidatePair};
@@ -234,11 +234,33 @@ pub fn rowsort_candidates_with_stats(
     s_star: f64,
     delta: f64,
 ) -> (Vec<CandidatePair>, CandidateGenStats) {
+    let (out, stats, _) =
+        rowsort_candidates_sharded(sigs, s_star, delta, PairShard::all(), usize::MAX);
+    (out, stats)
+}
+
+/// One budgeted shard pass of [`rowsort_candidates_with_stats`] — same
+/// contract as `sfa_minhash::hashcount::mh_candidates_sharded`: pure
+/// per-pair shard admission, a hard counter-heap cap, and an aborted
+/// empty pass (with `overflowed` set) when the budget is exceeded. With
+/// [`PairShard::all`] and an unbounded cap the output is byte-identical
+/// to the unsharded generator, which delegates here.
+#[must_use]
+pub fn rowsort_candidates_sharded(
+    sigs: &SignatureMatrix,
+    s_star: f64,
+    delta: f64,
+    shard: PairShard,
+    cap_bytes: usize,
+) -> (Vec<CandidatePair>, CandidateGenStats, ShardPassOutcome) {
     let mut stats = CandidateGenStats::default();
     let sorted = SortedRows::build(sigs);
-    let mut counter = PairCounter::new();
+    let mut counter = BudgetedPairCounter::new(shard, cap_bytes);
     let mut increments = 0u64;
     for l in 0..sorted.k() {
+        if counter.overflowed() {
+            break;
+        }
         for run in sorted.runs(l) {
             if run[0].0 == EMPTY_SIGNATURE {
                 continue;
@@ -256,6 +278,10 @@ pub fn rowsort_candidates_with_stats(
             }
         }
     }
+    let outcome = counter.outcome();
+    if outcome.overflowed {
+        return (Vec::new(), stats, outcome);
+    }
     stats.record("counter-increments", increments);
     stats.record("pairs-agreeing", counter.len() as u64);
     let threshold = agreement_threshold(sigs.k(), s_star, delta) as u32;
@@ -266,7 +292,7 @@ pub fn rowsort_candidates_with_stats(
         .collect();
     out.sort_by_key(CandidatePair::ids);
     stats.record("threshold-admitted", out.len() as u64);
-    (out, stats)
+    (out, stats, outcome)
 }
 
 /// Pool-based [`rowsort_candidates_with_stats`]: identical candidates,

@@ -12,6 +12,7 @@
 //!          [--k N] [--r N] [--l N] [--delta D] [--seed N] [--csv out.csv]
 //!          [--metrics-json out.json] [--max-retries N]
 //!          [--checkpoint-dir DIR] [--checkpoint-every N] [--threads N]
+//!          [--memory-budget BYTES]
 //! ```
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs after the
@@ -25,10 +26,16 @@
 //! pipeline over a worker pool (`0` sizes it from the machine); it is
 //! incompatible with the streaming-only `--checkpoint-dir`/`--max-retries`
 //! options, and the output is byte-identical to the sequential run.
+//! `--memory-budget BYTES` runs the sharded out-of-core pipeline
+//! ([`Pipeline::run_sharded`]): pair-space state is capped at the budget,
+//! shard candidate sets spill to disk (into `--checkpoint-dir` when given,
+//! a per-process temp directory otherwise), and the output is again
+//! byte-identical. It composes with `--checkpoint-dir`/`--max-retries`
+//! but not with the in-memory `--threads`.
 
 use std::path::{Path, PathBuf};
 
-use crate::core::{CheckpointSpec, Pipeline, PipelineConfig, Scheme};
+use crate::core::{CheckpointSpec, MemoryBudget, Pipeline, PipelineConfig, Scheme};
 use crate::datagen::{NewsConfig, SyntheticConfig, WeblogConfig};
 use crate::matrix::{io, FileRowStream, RetryingRowStream, RowStream};
 
@@ -145,6 +152,7 @@ USAGE:
              [--k N] [--r N] [--l N] [--delta D] [--seed N] [--csv FILE]
              [--metrics-json FILE] [--max-retries N]
              [--checkpoint-dir DIR] [--checkpoint-every N] [--threads N]
+             [--memory-budget BYTES]
   sfa optimize --input FILE [--threshold S] [--max-fn N] [--max-fp N]
                [--sample F] [--seed N]
   sfa rules  --input FILE [--confidence C] [--k N] [--delta D] [--seed N]
@@ -153,6 +161,9 @@ USAGE:
 
 Parallelism: --threads N runs the in-memory parallel pipeline (N workers;
 0 = size from the machine). Output is identical to the sequential run.
+Memory: --memory-budget BYTES caps pair-space state, sharding candidate
+generation and spilling shards to disk; output is identical to an
+unbudgeted run. Composes with --checkpoint-dir, not with --threads.
 Dataset kinds for gen: weblog, news, synthetic, cf, basket.
 ";
 
@@ -415,17 +426,47 @@ fn scheme_from_args(args: &Args) -> Result<Scheme, CliError> {
     })
 }
 
-/// Runs `mine`'s pipeline over a stream, with or without a checkpoint dir.
+/// Runs `mine`'s pipeline over a stream, with or without a checkpoint dir
+/// and/or a memory budget.
 fn mine_run<S: RowStream>(
     config: PipelineConfig,
     stream: &mut S,
     checkpoint: Option<&CheckpointSpec>,
+    budget: Option<&MemoryBudget>,
 ) -> Result<crate::core::MiningResult, CliError> {
     let pipeline = Pipeline::new(config);
-    match checkpoint {
-        Some(spec) => pipeline.run_resumable(stream, spec).map_err(io_err),
-        None => pipeline.run(stream).map_err(io_err),
+    match (budget, checkpoint) {
+        (Some(b), ck) => pipeline.run_sharded(stream, b, ck).map_err(io_err),
+        (None, Some(spec)) => pipeline.run_resumable(stream, spec).map_err(io_err),
+        (None, None) => pipeline.run(stream).map_err(io_err),
     }
+}
+
+/// Parses `--memory-budget` into a [`MemoryBudget`] spilling into the
+/// checkpoint directory when one is given (so an interrupted run's spill
+/// files survive for resume), or into a per-process temp directory
+/// otherwise.
+fn parse_memory_budget(
+    args: &Args,
+    checkpoint: Option<&CheckpointSpec>,
+) -> Result<Option<MemoryBudget>, CliError> {
+    let Some(v) = args.get("memory-budget") else {
+        return Ok(None);
+    };
+    let bytes: usize = v
+        .parse()
+        .map_err(|_| CliError::Usage(format!("bad --memory-budget: {v:?}")))?;
+    if bytes < MemoryBudget::MIN_BYTES {
+        return Err(CliError::Usage(format!(
+            "--memory-budget must be at least {} bytes",
+            MemoryBudget::MIN_BYTES
+        )));
+    }
+    let spill_dir = match checkpoint {
+        Some(spec) => spec.dir.clone(),
+        None => std::env::temp_dir().join(format!("sfa-spill-{}", std::process::id())),
+    };
+    Ok(Some(MemoryBudget::new(bytes, spill_dir)))
 }
 
 fn cmd_mine(args: &Args) -> Result<String, CliError> {
@@ -449,6 +490,12 @@ fn cmd_mine(args: &Args) -> Result<String, CliError> {
                 .into(),
         ));
     }
+    let budget = parse_memory_budget(args, checkpoint.as_ref())?;
+    if threads.is_some() && budget.is_some() {
+        return Err(CliError::Usage(
+            "--threads is incompatible with the out-of-core --memory-budget option".into(),
+        ));
+    }
     let scheme = scheme_from_args(args)?;
     let config = PipelineConfig::new(scheme, s_star, seed);
     let (_, mut stream) = open_input(args)?;
@@ -457,14 +504,20 @@ fn cmd_mine(args: &Args) -> Result<String, CliError> {
         Pipeline::new(config).run_parallel(&matrix, n)
     } else if max_retries > 0 {
         let mut retrying = RetryingRowStream::new(stream, max_retries);
-        let mut result = mine_run(config, &mut retrying, checkpoint.as_ref())?;
+        let mut result = mine_run(config, &mut retrying, checkpoint.as_ref(), budget.as_ref())?;
         let stats = retrying.stats();
         result.metrics.recovery.transient_errors_retried += stats.retries;
         result.metrics.recovery.rows_refetched += stats.rows_refetched;
         result
     } else {
-        mine_run(config, &mut stream, checkpoint.as_ref())?
+        mine_run(config, &mut stream, checkpoint.as_ref(), budget.as_ref())?
     };
+    // An ephemeral spill directory (no --checkpoint-dir) has served its
+    // purpose once the run completes; run_sharded already removed the
+    // spill files themselves.
+    if let (Some(b), None) = (&budget, &checkpoint) {
+        let _ = std::fs::remove_dir(&b.spill_dir);
+    }
     let pairs = result.similar_pairs();
     let mut out = format!(
         "{}: {} candidates, {} pairs at S >= {s_star} ({})\n",
@@ -1082,6 +1135,142 @@ mod tests {
             let err = dispatch(&strs(&bad)).unwrap_err();
             assert_eq!(err.exit_code(), 2, "{bad:?} → {err:?}");
         }
+    }
+
+    #[test]
+    fn memory_budget_flag_rejects_bad_values_and_threads_conflict() {
+        // Usage errors (exit 2), detected before the nonexistent input is
+        // opened.
+        for bad in [
+            vec![
+                "mine",
+                "--input",
+                "/nonexistent/no.sfab",
+                "--scheme",
+                "mh",
+                "--memory-budget",
+                "lots",
+            ],
+            vec![
+                "mine",
+                "--input",
+                "/nonexistent/no.sfab",
+                "--scheme",
+                "mh",
+                "--memory-budget",
+                "64",
+            ],
+            vec![
+                "mine",
+                "--input",
+                "/nonexistent/no.sfab",
+                "--scheme",
+                "mh",
+                "--memory-budget",
+                "1048576",
+                "--threads",
+                "2",
+            ],
+        ] {
+            let err = dispatch(&strs(&bad)).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{bad:?} → {err:?}");
+        }
+    }
+
+    #[test]
+    fn mine_with_memory_budget_matches_unbudgeted_run() {
+        let table = tmp("budget_mine.sfab");
+        dispatch(&strs(&[
+            "gen",
+            "--kind",
+            "weblog",
+            "--out",
+            table.to_str().unwrap(),
+            "--scale",
+            "tiny",
+        ]))
+        .unwrap();
+        let base = [
+            "mine",
+            "--input",
+            table.to_str().unwrap(),
+            "--scheme",
+            "mh",
+            "--threshold",
+            "0.7",
+            "--k",
+            "40",
+        ];
+        let plain = dispatch(&strs(&base)).unwrap();
+        let json_path = tmp("budget_mine.json");
+        let mut budgeted_args: Vec<&str> = base.to_vec();
+        let json_str = json_path.to_str().unwrap().to_owned();
+        budgeted_args.extend([
+            "--memory-budget",
+            "1048576",
+            "--metrics-json",
+            json_str.as_str(),
+        ]);
+        let budgeted = dispatch(&strs(&budgeted_args)).unwrap();
+        // Identical pair listings; only the trailing "wrote …" line differs.
+        let pairs = |s: &str| {
+            s.lines()
+                .filter(|l| l.contains('\t'))
+                .map(str::to_owned)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(pairs(&budgeted), pairs(&plain));
+        // The metrics document records the sharded run.
+        let doc: crate::core::MetricsDocument =
+            crate::json::from_str(&std::fs::read_to_string(&json_path).unwrap()).unwrap();
+        let sharding = doc.metrics.sharding.expect("sharding metrics present");
+        assert_eq!(sharding.memory_budget, 1_048_576);
+        assert!(sharding.shards >= 1);
+        std::fs::remove_file(&table).ok();
+        std::fs::remove_file(&json_path).ok();
+    }
+
+    #[test]
+    fn mine_with_memory_budget_composes_with_checkpoint_dir() {
+        let table = tmp("budget_ckpt_mine.sfab");
+        dispatch(&strs(&[
+            "gen",
+            "--kind",
+            "weblog",
+            "--out",
+            table.to_str().unwrap(),
+            "--scale",
+            "tiny",
+        ]))
+        .unwrap();
+        let ckpt = tmp("budget_ckpt_dir");
+        std::fs::remove_dir_all(&ckpt).ok();
+        let out = dispatch(&strs(&[
+            "mine",
+            "--input",
+            table.to_str().unwrap(),
+            "--scheme",
+            "mh",
+            "--threshold",
+            "0.7",
+            "--k",
+            "40",
+            "--memory-budget",
+            "1048576",
+            "--checkpoint-dir",
+            ckpt.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("pairs at S >= 0.7"));
+        // Completed runs leave no spill or checkpoint files behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&ckpt)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".sfsp") || n.ends_with(".sfcp"))
+            .collect();
+        assert!(leftovers.is_empty(), "leftover state: {leftovers:?}");
+        std::fs::remove_dir_all(&ckpt).ok();
+        std::fs::remove_file(&table).ok();
     }
 
     #[test]

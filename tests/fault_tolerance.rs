@@ -4,7 +4,7 @@
 //! an undisturbed run, and account for every recovery event in the
 //! metrics JSON.
 
-use sfa::core::{CheckpointSpec, MetricsDocument, Pipeline, PipelineConfig, Scheme};
+use sfa::core::{CheckpointSpec, MemoryBudget, MetricsDocument, Pipeline, PipelineConfig, Scheme};
 use sfa::datagen::WeblogConfig;
 use sfa::json::ToJson;
 use sfa::matrix::stream::PassCounter;
@@ -125,6 +125,86 @@ fn fatal_fault_then_resume_rereads_only_the_uncheckpointed_suffix() {
     // Success clears the checkpoints: nothing left to resume from.
     assert!(!spec.dir.join("phase1.sfcp").exists());
     assert!(!spec.dir.join("phase3.sfcp").exists());
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn sharded_run_survives_kills_in_both_streaming_passes() {
+    let (path, config) = fixture("sharded_kill.sfab", 41);
+    let n_rows = u64::from(FileRowStream::open(&path).unwrap().n_rows());
+
+    let clean = Pipeline::new(config)
+        .run(&mut FileRowStream::open(&path).unwrap())
+        .unwrap();
+
+    let dir = tmp("sharded_kill_state");
+    std::fs::remove_dir_all(&dir).ok();
+    let budget = MemoryBudget::new(1 << 20, dir.join("spill")).with_initial_shards(2);
+    let spec = CheckpointSpec::new(dir.join("ckpt")).with_every_rows(256);
+
+    // Attempt 1: killed mid-phase-1, after the row-1792 checkpoint.
+    let mut doomed = FaultyRowStream::new(
+        FileRowStream::open(&path).unwrap(),
+        FaultConfig {
+            fatal_at_row: Some(1800),
+            ..FaultConfig::default()
+        },
+    );
+    let err = Pipeline::new(config)
+        .run_sharded(&mut doomed, &budget, Some(&spec))
+        .unwrap_err();
+    assert!(!err.is_transient(), "the injected kill is fatal: {err}");
+
+    // Attempt 2: phase 1 resumes past the kill site (skips are never
+    // inspected), both shards generate and spill, then the verify scan is
+    // killed at row 300 — after its row-256 checkpoint.
+    let mut doomed = FaultyRowStream::new(
+        FileRowStream::open(&path).unwrap(),
+        FaultConfig {
+            fatal_at_row: Some(300),
+            ..FaultConfig::default()
+        },
+    );
+    let err = Pipeline::new(config)
+        .run_sharded(&mut doomed, &budget, Some(&spec))
+        .unwrap_err();
+    assert!(!err.is_transient(), "the injected kill is fatal: {err}");
+
+    // Attempt 3: a clean rerun loads phase 1 whole from its checkpoint,
+    // every shard from its spill file, and re-reads only the verify
+    // suffix past row 256.
+    let mut counter = PassCounter::new(FileRowStream::open(&path).unwrap());
+    let resumed = Pipeline::new(config)
+        .run_sharded(&mut counter, &budget, Some(&spec))
+        .unwrap();
+    assert_eq!(
+        resumed.verified, clean.verified,
+        "sharded resume must not change output"
+    );
+    assert_eq!(resumed.column_counts, clean.column_counts);
+    let sharding = resumed.metrics.sharding.expect("sharding metrics");
+    assert_eq!(sharding.shards, 2);
+    assert_eq!(
+        sharding.generation_passes, 0,
+        "every shard must come from its spill file"
+    );
+    assert_eq!(resumed.metrics.recovery.resumed_from_row, n_rows);
+    assert_eq!(
+        sharding.verify_groups, 1,
+        "the roomy budget packs both shards into one verify group"
+    );
+    assert_eq!(
+        counter.rows_read(),
+        n_rows - 256,
+        "phase 1 is skipped whole; only the verify suffix is re-read"
+    );
+
+    // Success clears both the spill files and the checkpoints.
+    assert!(!dir.join("spill").join("shard_0_of_2.sfsp").exists());
+    assert!(!dir.join("spill").join("shard_1_of_2.sfsp").exists());
+    assert!(!dir.join("ckpt").join("phase1.sfcp").exists());
+    assert!(!dir.join("ckpt").join("phase3.sfcp").exists());
     std::fs::remove_dir_all(&dir).ok();
     std::fs::remove_file(&path).ok();
 }
