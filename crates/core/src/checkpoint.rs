@@ -190,13 +190,12 @@ impl Writer {
         self.bytes.extend_from_slice(&v.to_le_bytes());
     }
 
-    /// Appends the CRC trailer and atomically replaces `path`.
+    /// Appends the CRC trailer and durably replaces `path` (tmp + fsync +
+    /// rename + parent-dir fsync, via [`crate::durable::write_atomic`]).
     fn commit(mut self, path: &Path) -> Result<()> {
         let crc = crc32(&self.bytes[4..]);
         self.u32(crc);
-        let tmp = path.with_extension("sfcp.tmp");
-        std::fs::write(&tmp, &self.bytes)?;
-        std::fs::rename(&tmp, path)?;
+        crate::durable::write_atomic(path, &self.bytes)?;
         Ok(())
     }
 }
@@ -473,10 +472,64 @@ pub(crate) fn load_phase3(
     Some(state)
 }
 
-/// Removes both checkpoint files — called when a run completes, so stale
-/// state never leaks into the next run.
+/// Whether `path` holds an intact checkpoint (either phase) belonging to
+/// `key` — the startup-recovery test deciding keep vs quarantine.
+pub(crate) fn valid_for(path: &Path, key: RunKey) -> bool {
+    open(path, PHASE_SIGNATURES, key).is_some() || open(path, PHASE_VERIFY, key).is_some()
+}
+
+/// Strictly validates the container format of a checkpoint file: magic,
+/// minimum length, CRC-32 trailer, version, and phase tag. Run-key and
+/// payload semantics are *not* checked — this answers "is the file
+/// intact", not "does it belong to my run".
+///
+/// # Errors
+///
+/// [`MatrixError::Parse`] or [`MatrixError::Checksum`] describing the
+/// first violation; any single-byte mutation or truncation of a valid
+/// file is guaranteed to be rejected.
+pub fn validate_file(path: &Path) -> Result<()> {
+    let bytes = std::fs::read(path)?;
+    validate_image(&bytes)
+}
+
+fn validate_image(bytes: &[u8]) -> Result<()> {
+    let bad = |at: usize, detail: &str| MatrixError::Parse {
+        at: at as u64,
+        detail: detail.into(),
+    };
+    if bytes.len() < 36 {
+        return Err(bad(bytes.len(), "checkpoint shorter than its header"));
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(bad(0, "bad checkpoint magic"));
+    }
+    let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+    let computed = crc32(&bytes[4..bytes.len() - 4]);
+    if stored != computed {
+        return Err(MatrixError::Checksum { stored, computed });
+    }
+    let u32_at = |i: usize| u32::from_le_bytes(bytes[i..i + 4].try_into().expect("4 bytes"));
+    if u32_at(4) != VERSION {
+        return Err(bad(4, "unknown checkpoint version"));
+    }
+    if !matches!(u32_at(8), PHASE_SIGNATURES | PHASE_VERIFY) {
+        return Err(bad(8, "unknown checkpoint phase"));
+    }
+    Ok(())
+}
+
+/// Removes both checkpoint files and any stray `.sfcp.tmp` staging files
+/// — called when a run completes, so stale state never leaks into the
+/// next run.
 pub(crate) fn clear(spec: &CheckpointSpec) -> Result<()> {
-    for path in [spec.phase1_path(), spec.phase3_path()] {
+    let mut targets = vec![spec.phase1_path(), spec.phase3_path()];
+    targets.extend(
+        [spec.phase1_path(), spec.phase3_path()]
+            .iter()
+            .map(|p| p.with_extension("sfcp.tmp")),
+    );
+    for path in targets {
         match std::fs::remove_file(&path) {
             Ok(()) => {}
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
@@ -591,6 +644,39 @@ mod tests {
         std::fs::write(&path, b"short").unwrap();
         assert_eq!(load_phase1(&spec, key()), None);
         clear(&spec).unwrap();
+    }
+
+    #[test]
+    fn validate_file_checks_container_not_run_key() {
+        let spec = spec("validate_file");
+        save_phase1(&spec, key(), &mh_state()).unwrap();
+        let path = spec.dir.join("phase1.sfcp");
+        validate_file(&path).expect("intact file validates");
+        assert!(valid_for(&path, key()));
+        let other = RunKey {
+            fingerprint: 0,
+            n_rows: 1,
+            n_cols: 2,
+        };
+        assert!(!valid_for(&path, other), "wrong key fails valid_for");
+        validate_file(&path).expect("but the container is still intact");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(validate_file(&path).is_err(), "bit flip rejected");
+        clear(&spec).unwrap();
+    }
+
+    #[test]
+    fn clear_sweeps_stray_staging_files() {
+        let spec = spec("clear_tmp");
+        save_phase1(&spec, key(), &mh_state()).unwrap();
+        let stray = spec.dir.join("phase1.sfcp.tmp");
+        std::fs::write(&stray, b"half-written").unwrap();
+        clear(&spec).unwrap();
+        assert!(!stray.exists(), "clear must sweep .sfcp.tmp strays");
+        assert!(!spec.dir.join("phase1.sfcp").exists());
     }
 
     #[test]

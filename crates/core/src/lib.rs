@@ -19,6 +19,12 @@
 //! * [`spill`] — checksummed shard spill files for out-of-core mining
 //!   under a [`MemoryBudget`], behind
 //!   [`Pipeline::run_sharded`](pipeline::Pipeline::run_sharded).
+//! * [`durable`] — crash-consistent atomic writes (fsync file, then
+//!   parent dir), seeded write-side fault injection, and the startup
+//!   recovery sweep that quarantines corrupt or stale state.
+//! * [`shutdown`] — signal/deadline cancellation: the [`CancelToken`]
+//!   the streaming pipelines poll so a `SIGTERM` flushes a resumable
+//!   checkpoint instead of losing the pass.
 //! * [`report`] — result and timing types.
 //! * [`metrics`] — structured per-phase counters and the schema-stable
 //!   JSON document behind `--metrics-json` and the bench baseline.
@@ -42,16 +48,19 @@ pub mod checkpoint;
 pub mod cluster;
 pub mod confidence;
 pub mod config;
+pub mod durable;
 pub mod metrics;
 pub mod pipeline;
 pub mod quality;
 pub mod report;
+pub mod shutdown;
 pub mod spill;
 pub mod streaming;
 pub mod verify;
 
 pub use checkpoint::CheckpointSpec;
 pub use config::{PipelineConfig, Scheme};
+pub use durable::{DurableDir, RecoveredDir, WriteFault, WriteFaultConfig};
 pub use metrics::{
     MetricsDocument, MiningMetrics, PassMetrics, RecoveryMetrics, ShardingMetrics, StageCount,
     VerifyMetrics, METRICS_SCHEMA_VERSION,
@@ -59,3 +68,4 @@ pub use metrics::{
 pub use pipeline::{MemoryBudget, Pipeline};
 pub use quality::{evaluate_quality, QualityReport, SCurveBin};
 pub use report::{MiningResult, PhaseTimings, VerifiedPair};
+pub use shutdown::{install_signal_handlers, CancelToken};

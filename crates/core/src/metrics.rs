@@ -25,8 +25,10 @@ use crate::report::PhaseTimings;
 /// Version history: 1 = initial document; 2 = adds `metrics.threads`
 /// (worker count of the run; absent in v1 documents, which parse as 1);
 /// 3 = adds the optional `metrics.sharding` object (budgeted out-of-core
-/// runs only; absent for in-memory runs and in older documents).
-pub const METRICS_SCHEMA_VERSION: u32 = 3;
+/// runs only; absent for in-memory runs and in older documents);
+/// 4 = adds `recovery.files_quarantined` and `recovery.tmp_files_removed`
+/// (startup-recovery sweep counters; absent keys parse as 0).
+pub const METRICS_SCHEMA_VERSION: u32 = 4;
 
 /// Oldest document version [`MetricsDocument::from_json`] still accepts.
 pub const METRICS_SCHEMA_MIN_VERSION: u32 = 1;
@@ -146,6 +148,12 @@ pub struct RecoveryMetrics {
     pub checkpoints_written: u64,
     /// Row cursor the run resumed from (0 = started fresh).
     pub resumed_from_row: u64,
+    /// Corrupt or stale state files the startup recovery sweep moved into
+    /// quarantine (schema v4).
+    pub files_quarantined: u64,
+    /// Stray `.tmp` staging files the startup recovery sweep deleted
+    /// (schema v4).
+    pub tmp_files_removed: u64,
 }
 
 impl ToJson for RecoveryMetrics {
@@ -155,16 +163,24 @@ impl ToJson for RecoveryMetrics {
             .field("rows_refetched", self.rows_refetched)
             .field("checkpoints_written", self.checkpoints_written)
             .field("resumed_from_row", self.resumed_from_row)
+            .field("files_quarantined", self.files_quarantined)
+            .field("tmp_files_removed", self.tmp_files_removed)
     }
 }
 
 impl FromJson for RecoveryMetrics {
     fn from_json(json: &Json) -> Result<Self, JsonError> {
+        // The quarantine counters arrived in schema v4; absent keys (older
+        // documents) parse as zero, matching "nothing was quarantined".
+        let opt =
+            |key: &str| -> Result<u64, JsonError> { json.get(key).map_or(Ok(0), u64::from_json) };
         Ok(Self {
             transient_errors_retried: u64::from_json(json.req("transient_errors_retried")?)?,
             rows_refetched: u64::from_json(json.req("rows_refetched")?)?,
             checkpoints_written: u64::from_json(json.req("checkpoints_written")?)?,
             resumed_from_row: u64::from_json(json.req("resumed_from_row")?)?,
+            files_quarantined: opt("files_quarantined")?,
+            tmp_files_removed: opt("tmp_files_removed")?,
         })
     }
 }
@@ -469,6 +485,8 @@ mod tests {
                 rows_refetched: 17,
                 checkpoints_written: 2,
                 resumed_from_row: 0,
+                files_quarantined: 1,
+                tmp_files_removed: 1,
             },
             sharding: None,
         }
@@ -551,6 +569,8 @@ mod tests {
             "rows_refetched",
             "checkpoints_written",
             "resumed_from_row",
+            "files_quarantined",
+            "tmp_files_removed",
         ] {
             assert!(recovery.get(key).is_some(), "missing recovery key {key}");
         }

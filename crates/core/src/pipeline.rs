@@ -24,8 +24,10 @@ use sfa_minhash::{
 
 use crate::checkpoint::{self, CheckpointSpec, Phase1State, RunKey};
 use crate::config::{PipelineConfig, Scheme};
+use crate::durable;
 use crate::metrics::{MiningMetrics, RecoveryMetrics, ShardingMetrics, VerifyMetrics};
 use crate::report::{MiningResult, PhaseTimings, VerifiedPair};
+use crate::shutdown::CancelToken;
 use crate::spill;
 use crate::verify::{verify_candidates_resumable, verify_candidates_with_stats};
 
@@ -205,12 +207,38 @@ impl Pipeline {
     ///
     /// Propagates stream errors.
     pub fn run<S: RowStream>(&self, stream: &mut S) -> Result<MiningResult> {
+        self.run_with(stream, &CancelToken::default())
+    }
+
+    /// [`run`](Self::run) with cooperative cancellation: `cancel` is
+    /// polled at the pass boundaries and after every verify-pass row. A
+    /// plain run keeps no on-disk state, so cancellation simply abandons
+    /// the work — use [`run_resumable_with`](Self::run_resumable_with)
+    /// when an interrupted run should leave a resumable frontier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream errors; returns [`MatrixError::Canceled`] when
+    /// `cancel` fires.
+    pub fn run_with<S: RowStream>(
+        &self,
+        stream: &mut S,
+        cancel: &CancelToken,
+    ) -> Result<MiningResult> {
+        cancel.check()?;
         let mut scan = ScanCounter::new(&mut *stream);
         let (candidates, mut timings, mut metrics) = self.candidates_with_metrics(&mut scan)?;
+        cancel.check()?;
         scan.reset()?;
         let t = Instant::now();
-        let (verified, column_counts, probes) =
-            verify_candidates_with_stats(&mut scan, &candidates)?;
+        let (verified, column_counts, probes) = verify_candidates_resumable(
+            &mut scan,
+            &candidates,
+            None,
+            u64::MAX,
+            &mut |_| Ok(()),
+            cancel,
+        )?;
         timings.verify = t.elapsed();
         let passes = scan.pass_scans();
         metrics.signature_pass = passes.first().copied().unwrap_or_default().into();
@@ -247,15 +275,45 @@ impl Pipeline {
         stream: &mut S,
         spec: &CheckpointSpec,
     ) -> Result<MiningResult> {
+        self.run_resumable_with(stream, spec, &CancelToken::default())
+    }
+
+    /// [`run_resumable`](Self::run_resumable) with cooperative
+    /// cancellation. `cancel` is polled after every processed row; when it
+    /// fires, the current pass flushes its state to the checkpoint
+    /// directory first and the run returns [`MatrixError::Canceled`] — a
+    /// rerun with the same `spec` resumes from that frontier. This is the
+    /// entry point behind the CLI's graceful `SIGINT`/`SIGTERM` and
+    /// `--deadline-secs` handling (exit code 3).
+    ///
+    /// Before any work, the checkpoint directory is swept by
+    /// [`durable::recover_dir`]: stray `.tmp` files are deleted and
+    /// corrupt or stale checkpoints are quarantined (reported in
+    /// `metrics.recovery`) rather than trusted or fatal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stream and checkpoint-IO errors; returns
+    /// [`MatrixError::Canceled`] when `cancel` fires.
+    pub fn run_resumable_with<S: RowStream>(
+        &self,
+        stream: &mut S,
+        spec: &CheckpointSpec,
+        cancel: &CancelToken,
+    ) -> Result<MiningResult> {
         let cfg = &self.config;
         if matches!(cfg.scheme, Scheme::HLsh { .. }) {
-            return self.run(stream);
+            return self.run_with(stream, cancel);
         }
-        std::fs::create_dir_all(&spec.dir)?;
         let key = RunKey::new(cfg, stream.n_rows(), stream.n_cols());
+        let recovered = durable::recover_dir(&spec.dir, key)?;
         let sig_seed = sfa_hash::family::derive_seed(cfg.seed, purpose::SIGNATURES);
         let lsh_seed = sfa_hash::family::derive_seed(cfg.seed, purpose::LSH);
-        let mut recovery = RecoveryMetrics::default();
+        let mut recovery = RecoveryMetrics {
+            files_quarantined: recovered.files_quarantined,
+            tmp_files_removed: recovered.tmp_files_removed,
+            ..RecoveryMetrics::default()
+        };
         let mut timings = PhaseTimings::default();
         let mut metrics = MiningMetrics {
             scheme: cfg.scheme.name().to_owned(),
@@ -265,7 +323,8 @@ impl Pipeline {
         let candidates = match cfg.scheme {
             Scheme::Mh { k, delta } => {
                 let t = Instant::now();
-                let sigs = signatures_resumable(&mut scan, k, sig_seed, spec, key, &mut recovery)?;
+                let sigs =
+                    signatures_resumable(&mut scan, k, sig_seed, spec, key, &mut recovery, cancel)?;
                 timings.signatures = t.elapsed();
                 metrics.signature_bytes = sigs.heap_bytes();
                 let t = Instant::now();
@@ -276,7 +335,8 @@ impl Pipeline {
             }
             Scheme::MhRowSort { k, delta } => {
                 let t = Instant::now();
-                let sigs = signatures_resumable(&mut scan, k, sig_seed, spec, key, &mut recovery)?;
+                let sigs =
+                    signatures_resumable(&mut scan, k, sig_seed, spec, key, &mut recovery, cancel)?;
                 timings.signatures = t.elapsed();
                 metrics.signature_bytes = sigs.heap_bytes();
                 let t = Instant::now();
@@ -287,7 +347,8 @@ impl Pipeline {
             }
             Scheme::Kmh { k, delta } => {
                 let t = Instant::now();
-                let sigs = bottom_k_resumable(&mut scan, k, sig_seed, spec, key, &mut recovery)?;
+                let sigs =
+                    bottom_k_resumable(&mut scan, k, sig_seed, spec, key, &mut recovery, cancel)?;
                 timings.signatures = t.elapsed();
                 metrics.signature_bytes = sigs.heap_bytes();
                 let t = Instant::now();
@@ -298,7 +359,8 @@ impl Pipeline {
             }
             Scheme::MLsh { k, r, l, sampled } => {
                 let t = Instant::now();
-                let sigs = signatures_resumable(&mut scan, k, sig_seed, spec, key, &mut recovery)?;
+                let sigs =
+                    signatures_resumable(&mut scan, k, sig_seed, spec, key, &mut recovery, cancel)?;
                 timings.signatures = t.elapsed();
                 metrics.signature_bytes = sigs.heap_bytes();
                 let t = Instant::now();
@@ -315,6 +377,7 @@ impl Pipeline {
             Scheme::HLsh { .. } => unreachable!("handled above"),
         };
         metrics.candidates_generated = candidates.len() as u64;
+        cancel.check()?;
         scan.reset()?;
         let fp = checkpoint::candidates_fingerprint(&candidates);
         let resume = checkpoint::load_phase3(spec, key, fp);
@@ -333,10 +396,12 @@ impl Pipeline {
                 checkpoints_written += 1;
                 Ok(())
             },
+            cancel,
         )?;
         timings.verify = t.elapsed();
         recovery.checkpoints_written += checkpoints_written;
         checkpoint::clear(spec)?;
+        durable::remove_manifest(&spec.dir)?;
         let passes = scan.pass_scans();
         metrics.signature_pass = passes.first().copied().unwrap_or_default().into();
         metrics.verify_pass = passes.get(1).copied().unwrap_or_default().into();
@@ -363,6 +428,7 @@ fn signatures_resumable<S: RowStream>(
     spec: &CheckpointSpec,
     key: RunKey,
     recovery: &mut RecoveryMetrics,
+    cancel: &CancelToken,
 ) -> Result<SignatureMatrix> {
     let m = stream.n_cols() as usize;
     let mut builder = match checkpoint::load_phase1(spec, key) {
@@ -376,9 +442,15 @@ fn signatures_resumable<S: RowStream>(
     let mut buf = Vec::new();
     while let Some(row_id) = stream.read_row(&mut buf)? {
         builder.push_row(row_id, &buf);
-        if builder.rows_seen() % spec.every_rows == 0 {
+        // A graceful shutdown flushes the builder state off-cadence so the
+        // rerun resumes from this exact row.
+        let canceled = cancel.is_canceled();
+        if builder.rows_seen() % spec.every_rows == 0 || canceled {
             save_mh_state(spec, key, &builder)?;
             recovery.checkpoints_written += 1;
+        }
+        if canceled {
+            cancel.check()?;
         }
     }
     if builder.rows_seen() % spec.every_rows != 0 {
@@ -396,6 +468,7 @@ fn bottom_k_resumable<S: RowStream>(
     spec: &CheckpointSpec,
     key: RunKey,
     recovery: &mut RecoveryMetrics,
+    cancel: &CancelToken,
 ) -> Result<BottomKSignatures> {
     let m = stream.n_cols() as usize;
     let mut builder = match checkpoint::load_phase1(spec, key) {
@@ -414,9 +487,13 @@ fn bottom_k_resumable<S: RowStream>(
     let mut buf = Vec::new();
     while let Some(row_id) = stream.read_row(&mut buf)? {
         builder.push_row(row_id, &buf);
-        if builder.rows_seen() % spec.every_rows == 0 {
+        let canceled = cancel.is_canceled();
+        if builder.rows_seen() % spec.every_rows == 0 || canceled {
             save_kmh_state(spec, key, &builder)?;
             recovery.checkpoints_written += 1;
+        }
+        if canceled {
+            cancel.check()?;
         }
     }
     if builder.rows_seen() % spec.every_rows != 0 {
@@ -805,6 +882,29 @@ impl Pipeline {
         budget: &MemoryBudget,
         checkpoint: Option<&CheckpointSpec>,
     ) -> Result<MiningResult> {
+        self.run_sharded_with(stream, budget, checkpoint, &CancelToken::default())
+    }
+
+    /// [`run_sharded`](Self::run_sharded) with cooperative cancellation.
+    /// `cancel` is polled at shard and verify-group boundaries and (with
+    /// `checkpoint` given) after every streamed row; finished shards and
+    /// groups are already spilled when it fires, so a rerun redoes at most
+    /// the interrupted piece. Both state directories are swept by
+    /// [`durable::recover_dir`] first — stray `.tmp` files deleted,
+    /// corrupt or stale spills and checkpoints quarantined (reported in
+    /// `metrics.recovery`).
+    ///
+    /// # Errors
+    ///
+    /// As [`run_sharded`](Self::run_sharded); returns
+    /// [`MatrixError::Canceled`] when `cancel` fires.
+    pub fn run_sharded_with<S: RowStream>(
+        &self,
+        stream: &mut S,
+        budget: &MemoryBudget,
+        checkpoint: Option<&CheckpointSpec>,
+        cancel: &CancelToken,
+    ) -> Result<MiningResult> {
         if budget.bytes < MemoryBudget::MIN_BYTES {
             return Err(MatrixError::DimensionMismatch {
                 detail: format!(
@@ -815,14 +915,20 @@ impl Pipeline {
             });
         }
         let cfg = &self.config;
-        std::fs::create_dir_all(&budget.spill_dir)?;
-        if let Some(spec) = checkpoint {
-            std::fs::create_dir_all(&spec.dir)?;
-        }
         let key = RunKey::new(cfg, stream.n_rows(), stream.n_cols());
+        let mut recovered = durable::recover_dir(&budget.spill_dir, key)?;
+        if let Some(spec) = checkpoint {
+            if spec.dir != budget.spill_dir {
+                recovered = recovered.merge(durable::recover_dir(&spec.dir, key)?);
+            }
+        }
         let sig_seed = sfa_hash::family::derive_seed(cfg.seed, purpose::SIGNATURES);
         let lsh_seed = sfa_hash::family::derive_seed(cfg.seed, purpose::LSH);
-        let mut recovery = RecoveryMetrics::default();
+        let mut recovery = RecoveryMetrics {
+            files_quarantined: recovered.files_quarantined,
+            tmp_files_removed: recovered.tmp_files_removed,
+            ..RecoveryMetrics::default()
+        };
         let mut timings = PhaseTimings::default();
         let mut metrics = MiningMetrics {
             scheme: cfg.scheme.name().to_owned(),
@@ -835,14 +941,22 @@ impl Pipeline {
         let summary = match cfg.scheme {
             Scheme::Mh { k, .. } | Scheme::MhRowSort { k, .. } | Scheme::MLsh { k, .. } => {
                 Phase1Summary::Sigs(match checkpoint {
-                    Some(spec) => {
-                        signatures_resumable(&mut scan, k, sig_seed, spec, key, &mut recovery)?
-                    }
+                    Some(spec) => signatures_resumable(
+                        &mut scan,
+                        k,
+                        sig_seed,
+                        spec,
+                        key,
+                        &mut recovery,
+                        cancel,
+                    )?,
                     None => compute_signatures(&mut scan, k, sig_seed)?,
                 })
             }
             Scheme::Kmh { k, .. } => Phase1Summary::BottomK(match checkpoint {
-                Some(spec) => bottom_k_resumable(&mut scan, k, sig_seed, spec, key, &mut recovery)?,
+                Some(spec) => {
+                    bottom_k_resumable(&mut scan, k, sig_seed, spec, key, &mut recovery, cancel)?
+                }
                 None => compute_bottom_k(&mut scan, k, sig_seed)?,
             }),
             // H-LSH works directly on the data; there is no incremental
@@ -870,6 +984,9 @@ impl Pipeline {
             shard_sizes.clear();
             let mut acc_stats = CandidateGenStats::default();
             for s in 0..width {
+                // Shard boundary: everything before shard `s` is spilled,
+                // so stopping here loses at most one shard's work.
+                cancel.check()?;
                 if let Some(cands) = spill::load_shard_candidates(&budget.spill_dir, key, s, width)
                 {
                     shard_sizes.push(cands.len() as u64);
@@ -926,6 +1043,8 @@ impl Pipeline {
         let mut probes = 0u64;
         let t = Instant::now();
         for (group_idx, group) in groups.iter().enumerate() {
+            // Group boundary: finished groups have spilled results.
+            cancel.check()?;
             let mut candidates = Vec::new();
             for &s in group {
                 candidates.extend(
@@ -963,6 +1082,7 @@ impl Pipeline {
                                         written += 1;
                                         Ok(())
                                     },
+                                    cancel,
                                 )?;
                                 recovery.checkpoints_written += written;
                                 result
@@ -1014,8 +1134,10 @@ impl Pipeline {
             peak_tracked_bytes,
         });
         spill::clear(&budget.spill_dir)?;
+        durable::remove_manifest(&budget.spill_dir)?;
         if let Some(spec) = checkpoint {
             checkpoint::clear(spec)?;
+            durable::remove_manifest(&spec.dir)?;
         }
         Ok(MiningResult {
             config: self.config,

@@ -1,0 +1,202 @@
+//! Graceful shutdown: signal handling, deadlines, and the cooperative
+//! [`CancelToken`] the streaming pipelines poll.
+//!
+//! Mid-run kills are routine at the paper's §5 scale; the difference
+//! between a kill and a *graceful* shutdown is whether the run gets to
+//! flush its frontier first. The CLI installs handlers for `SIGINT` and
+//! `SIGTERM` that do nothing but set an atomic flag; the pipeline polls a
+//! [`CancelToken`] at row, pass, and shard boundaries, and on
+//! cancellation persists a final checkpoint before returning
+//! [`MatrixError::Canceled`] — which the CLI maps to its documented
+//! resumable exit code 3. The `--deadline-secs` flag uses the same token
+//! with a wall-clock deadline, for batch schedulers that would otherwise
+//! SIGKILL at the slot boundary.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sfa_matrix::{MatrixError, Result};
+
+/// Set by the signal handler; observed by tokens built with
+/// [`CancelToken::watching_signals`].
+static SIGNAL_FLAG: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sys {
+    use super::{Ordering, SIGNAL_FLAG};
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        /// POSIX `signal(2)`; libc is always linked on unix targets, so no
+        /// external crate is needed for this one symbol.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // The only async-signal-safe thing worth doing: set the flag. The
+        // pipeline notices at its next boundary poll.
+        SIGNAL_FLAG.store(true, Ordering::SeqCst);
+    }
+
+    pub(super) fn install() {
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        // SAFETY: `signal` is the POSIX API; the handler performs a single
+        // atomic store, which is async-signal-safe.
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    pub(super) fn install() {}
+}
+
+/// Installs `SIGINT`/`SIGTERM` handlers that request a graceful shutdown,
+/// and clears any previously latched signal so a new run starts fresh.
+/// Idempotent; a no-op on non-unix platforms (where runs remain killable
+/// but not gracefully interruptible).
+pub fn install_signal_handlers() {
+    SIGNAL_FLAG.store(false, Ordering::SeqCst);
+    sys::install();
+}
+
+/// Whether a shutdown signal has been received since the handlers were
+/// (last) installed.
+#[must_use]
+pub fn signal_received() -> bool {
+    SIGNAL_FLAG.load(Ordering::SeqCst)
+}
+
+/// A cooperative cancellation token polled by the streaming pipelines.
+///
+/// A token cancels for any of three reasons: [`cancel`](Self::cancel) was
+/// called on it (or a clone — clones share the flag), its deadline
+/// passed, or — for tokens built with
+/// [`watching_signals`](Self::watching_signals) — a shutdown signal
+/// arrived. The default token never cancels, so non-interactive callers
+/// pay one atomic load per poll and nothing else.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+    watch_signals: bool,
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`cancel`](Self::cancel) is called.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Also cancels once `timeout` has elapsed from now.
+    #[must_use]
+    pub fn with_deadline(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Also cancels when a `SIGINT`/`SIGTERM` arrives (requires
+    /// [`install_signal_handlers`] to have been called).
+    #[must_use]
+    pub fn watching_signals(mut self) -> Self {
+        self.watch_signals = true;
+        self
+    }
+
+    /// Requests cancellation; every clone of this token observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Why the token is canceled, if it is.
+    fn cause(&self) -> Option<&'static str> {
+        if self.flag.load(Ordering::SeqCst) {
+            return Some("request");
+        }
+        if self.watch_signals && signal_received() {
+            return Some("signal");
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Some("deadline");
+        }
+        None
+    }
+
+    /// Whether cancellation has been requested.
+    #[must_use]
+    pub fn is_canceled(&self) -> bool {
+        self.cause().is_some()
+    }
+
+    /// `Err(MatrixError::Canceled)` if cancellation has been requested,
+    /// `Ok(())` otherwise — the form the pipeline's `?`-chains poll.
+    ///
+    /// # Errors
+    ///
+    /// [`MatrixError::Canceled`] naming the cause.
+    pub fn check(&self) -> Result<()> {
+        match self.cause() {
+            Some(reason) => Err(MatrixError::Canceled { reason }),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_token_never_cancels() {
+        let t = CancelToken::new();
+        assert!(!t.is_canceled());
+        t.check().expect("not canceled");
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        clone.cancel();
+        assert!(t.is_canceled());
+        let err = t.check().expect_err("canceled");
+        assert!(err.is_canceled());
+        assert_eq!(err.to_string(), "canceled by request");
+    }
+
+    #[test]
+    fn deadline_cancels_once_elapsed() {
+        let t = CancelToken::new().with_deadline(Duration::from_secs(3600));
+        assert!(!t.is_canceled(), "an hour has not passed");
+        let t = CancelToken::new().with_deadline(Duration::ZERO);
+        assert!(t.is_canceled());
+        assert_eq!(
+            t.check().expect_err("canceled").to_string(),
+            "canceled by deadline"
+        );
+    }
+
+    #[test]
+    fn signal_flag_is_observed_only_by_watching_tokens() {
+        install_signal_handlers();
+        SIGNAL_FLAG.store(true, Ordering::SeqCst);
+        assert!(signal_received());
+        assert!(!CancelToken::new().is_canceled(), "non-watching is immune");
+        let t = CancelToken::new().watching_signals();
+        assert!(t.is_canceled());
+        assert_eq!(
+            t.check().expect_err("canceled").to_string(),
+            "canceled by signal"
+        );
+        // Re-installing clears the latch for the next run.
+        install_signal_handlers();
+        assert!(!t.is_canceled());
+    }
+}

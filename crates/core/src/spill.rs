@@ -76,15 +76,13 @@ impl Writer {
         self.bytes.extend_from_slice(&v.to_le_bytes());
     }
 
-    /// Appends the CRC trailer and atomically replaces `path`; returns the
-    /// file size in bytes.
+    /// Appends the CRC trailer and durably replaces `path` (tmp + fsync +
+    /// rename + parent-dir fsync, via [`crate::durable::write_atomic`]);
+    /// returns the file size in bytes.
     fn commit(mut self, path: &Path) -> Result<u64> {
         let crc = crc32(&self.bytes[4..]);
         self.u32(crc);
-        let tmp = path.with_extension("sfsp.tmp");
-        std::fs::write(&tmp, &self.bytes)?;
-        std::fs::rename(&tmp, path)?;
-        Ok(self.bytes.len() as u64)
+        crate::durable::write_atomic(path, &self.bytes)
     }
 }
 
@@ -320,6 +318,49 @@ pub(crate) fn load_group_result(
     parse(&mut payload(&bytes)).ok()
 }
 
+/// Whether `path` holds an intact spill record (either kind) belonging to
+/// `key` — the startup-recovery test deciding keep vs quarantine.
+pub(crate) fn valid_for(path: &Path, key: RunKey) -> bool {
+    open(path, KIND_SHARD_CANDIDATES, key).is_some() || open(path, KIND_GROUP_RESULT, key).is_some()
+}
+
+/// Strictly validates the container format of a spill file: magic,
+/// minimum length, CRC-32 trailer, version, and record kind. Run-key and
+/// payload semantics are *not* checked — this answers "is the file
+/// intact", not "does it belong to my run".
+///
+/// # Errors
+///
+/// [`MatrixError::Parse`] or [`MatrixError::Checksum`] describing the
+/// first violation; any single-byte mutation or truncation of a valid
+/// file is guaranteed to be rejected.
+pub fn validate_file(path: &Path) -> Result<()> {
+    let bytes = std::fs::read(path)?;
+    let bad = |at: usize, detail: &str| MatrixError::Parse {
+        at: at as u64,
+        detail: detail.into(),
+    };
+    if bytes.len() < 28 {
+        return Err(bad(bytes.len(), "spill file shorter than its header"));
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(bad(0, "bad spill magic"));
+    }
+    let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+    let computed = crc32(&bytes[4..bytes.len() - 4]);
+    if stored != computed {
+        return Err(MatrixError::Checksum { stored, computed });
+    }
+    let u32_at = |i: usize| u32::from_le_bytes(bytes[i..i + 4].try_into().expect("4 bytes"));
+    if u32_at(4) != VERSION {
+        return Err(bad(4, "unknown spill version"));
+    }
+    if !matches!(u32_at(8), KIND_SHARD_CANDIDATES | KIND_GROUP_RESULT) {
+        return Err(bad(8, "unknown spill record kind"));
+    }
+    Ok(())
+}
+
 /// The largest partition width `g` for which `dir` holds at least one
 /// shard spill valid under `key` — the width an interrupted run had
 /// reached, which a resuming run adopts so finished shards are reusable.
@@ -471,6 +512,28 @@ mod tests {
         assert_eq!(probes, 123);
         // A different candidate fingerprint must not resume this group.
         assert!(load_group_result(&d, key(), 2, 0xdead_beee).is_none());
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn validate_file_checks_container_not_run_key() {
+        let d = dir("validate-file");
+        save_shard_candidates(&d, key(), 0, 2, &cands()).expect("save");
+        let path = shard_path(&d, 0, 2);
+        validate_file(&path).expect("intact file validates");
+        assert!(valid_for(&path, key()));
+        let other = RunKey {
+            fingerprint: 0,
+            n_rows: 1,
+            n_cols: 2,
+        };
+        assert!(!valid_for(&path, other), "wrong key fails valid_for");
+        validate_file(&path).expect("but the container is still intact");
+        let mut bytes = std::fs::read(&path).expect("read");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).expect("write");
+        assert!(validate_file(&path).is_err(), "trailer flip rejected");
         let _ = std::fs::remove_dir_all(&d);
     }
 

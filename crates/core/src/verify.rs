@@ -10,6 +10,7 @@ use sfa_matrix::{MatrixError, Result, RowStream, SparseMatrix};
 use sfa_minhash::CandidatePair;
 
 use crate::report::VerifiedPair;
+use crate::shutdown::CancelToken;
 
 /// Flat CSR-style partner adjacency: for each column, its `(partner,
 /// candidate-index)` list, in one allocation instead of `m` heap vectors.
@@ -132,7 +133,14 @@ pub fn verify_candidates_with_stats<S: RowStream>(
     stream: &mut S,
     candidates: &[CandidatePair],
 ) -> Result<(Vec<VerifiedPair>, Vec<u32>, u64)> {
-    verify_candidates_resumable(stream, candidates, None, u64::MAX, &mut |_| Ok(()))
+    verify_candidates_resumable(
+        stream,
+        candidates,
+        None,
+        u64::MAX,
+        &mut |_| Ok(()),
+        &CancelToken::default(),
+    )
 }
 
 /// [`verify_candidates_with_stats`] with checkpoint/resume support: starts
@@ -145,11 +153,17 @@ pub fn verify_candidates_with_stats<S: RowStream>(
 /// pass — the counters are pure functions of the rows folded in, so
 /// "resume + suffix" equals "full pass".
 ///
+/// `cancel` is polled after every row; on cancellation the current
+/// counters are flushed through `on_checkpoint` first (so a graceful
+/// shutdown always leaves a resumable frontier), then the pass returns
+/// [`MatrixError::Canceled`].
+///
 /// # Errors
 ///
-/// Propagates stream and `on_checkpoint` errors, and reports a dimension
+/// Propagates stream and `on_checkpoint` errors, reports a dimension
 /// mismatch if the stream holds fewer rows than `resume` claims were
-/// already processed.
+/// already processed, and returns [`MatrixError::Canceled`] when `cancel`
+/// fires.
 ///
 /// # Panics
 ///
@@ -162,6 +176,7 @@ pub fn verify_candidates_resumable<S: RowStream>(
     resume: Option<VerifyProgress>,
     every_rows: u64,
     on_checkpoint: &mut dyn FnMut(&VerifyProgress) -> Result<()>,
+    cancel: &CancelToken,
 ) -> Result<(Vec<VerifiedPair>, Vec<u32>, u64)> {
     let m = stream.n_cols() as usize;
     let partners = PartnerAdjacency::new(m, candidates);
@@ -211,13 +226,17 @@ pub fn verify_candidates_resumable<S: RowStream>(
             present[col as usize] = false;
         }
         rows_done += 1;
-        if rows_done % every_rows == 0 {
+        let canceled = cancel.is_canceled();
+        if rows_done % every_rows == 0 || canceled {
             on_checkpoint(&VerifyProgress {
                 rows_done,
                 intersections: intersections.clone(),
                 column_counts: column_counts.clone(),
                 probes,
             })?;
+        }
+        if canceled {
+            cancel.check()?;
         }
     }
     let verified = assemble_verified(candidates, &intersections, &column_counts);
@@ -640,6 +659,7 @@ mod tests {
                 checkpoints.push(p.clone());
                 Ok(())
             },
+            &CancelToken::default(),
         )
         .unwrap();
         assert_eq!(
@@ -656,10 +676,38 @@ mod tests {
             Some(checkpoints[1].clone()),
             u64::MAX,
             &mut |_| Ok(()),
+            &CancelToken::default(),
         )
         .unwrap();
         assert_eq!(counter.rows_read(), 2, "only the suffix is re-read");
         assert_eq!(resumed, full);
+    }
+
+    #[test]
+    fn canceled_pass_flushes_a_frontier_then_returns_canceled() {
+        let m = matrix();
+        let candidates = vec![CandidatePair::new(0, 1, 0.9)];
+        let token = CancelToken::new();
+        token.cancel();
+        let mut checkpoints = Vec::new();
+        let err = verify_candidates_resumable(
+            &mut MemoryRowStream::new(&m),
+            &candidates,
+            None,
+            u64::MAX,
+            &mut |p| {
+                checkpoints.push(p.clone());
+                Ok(())
+            },
+            &token,
+        )
+        .unwrap_err();
+        assert!(err.is_canceled());
+        assert_eq!(
+            checkpoints.iter().map(|p| p.rows_done).collect::<Vec<_>>(),
+            vec![1],
+            "the frontier is flushed once, after the first row"
+        );
     }
 
     #[test]
@@ -677,6 +725,7 @@ mod tests {
             Some(progress),
             u64::MAX,
             &mut |_| Ok(()),
+            &CancelToken::default(),
         )
         .unwrap_err();
         assert!(matches!(

@@ -1,0 +1,106 @@
+//! Chaos kill-loop driver: crash-recovery smoke test for `sfa mine`.
+//!
+//! For each seed, runs a clean reference `sfa mine`, then repeatedly
+//! launches the same run under a checkpoint dir while killing it at
+//! seeded random points (SIGKILL/SIGTERM) with seeded write faults
+//! injected (`SFA_WRITE_FAULTS`), until an attempt completes. The
+//! completed output must be byte-identical to the clean run.
+//!
+//! ```text
+//! chaos-kill-loop [--sfa-bin PATH] [--seeds 1,2,3] [--attempts N]
+//!                 [--memory-budget BYTES] [--work-dir DIR]
+//! ```
+//!
+//! Defaults: the `sfa` binary next to this one, seeds `1,2,3`, a fresh
+//! temp work dir. Exits non-zero on the first schedule that fails to
+//! converge or converges to different bytes.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sfa_experiments::chaos::{generate_input, run_chaos_sweep, ChaosConfig};
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn default_sfa_bin() -> PathBuf {
+    std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join("sfa")))
+        .unwrap_or_else(|| PathBuf::from("sfa"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sfa_bin = arg_value(&args, "--sfa-bin").map_or_else(default_sfa_bin, PathBuf::from);
+    let seeds: Vec<u64> = arg_value(&args, "--seeds")
+        .unwrap_or_else(|| "1,2,3".into())
+        .split(',')
+        .map(|s| s.trim().parse().expect("--seeds must be u64,u64,…"))
+        .collect();
+    let attempts: u32 = arg_value(&args, "--attempts")
+        .map_or(25, |v| v.parse().expect("--attempts must be a count"));
+    let memory_budget: Option<usize> =
+        arg_value(&args, "--memory-budget").map(|v| v.parse().expect("--memory-budget in bytes"));
+    let work_dir = arg_value(&args, "--work-dir").map_or_else(
+        || std::env::temp_dir().join(format!("sfa-chaos-{}", std::process::id())),
+        PathBuf::from,
+    );
+
+    std::fs::create_dir_all(&work_dir).expect("create work dir");
+    let input = work_dir.join("chaos_input.sfab");
+    if let Err(e) = generate_input(&sfa_bin, &input, 42) {
+        eprintln!(
+            "chaos: cannot generate input with {}: {e}",
+            sfa_bin.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut base = ChaosConfig::new(sfa_bin, input, work_dir.clone(), 0);
+    base.max_attempts = attempts;
+    base.memory_budget = memory_budget;
+
+    println!(
+        "chaos kill-loop: {} seed(s), {} attempts max, faults on, budget {:?}",
+        seeds.len(),
+        attempts,
+        memory_budget,
+    );
+    match run_chaos_sweep(&base, &seeds) {
+        Ok(outcomes) => {
+            let mut failed = false;
+            for o in &outcomes {
+                println!(
+                    "  seed {:>3}: {} attempts ({} kills, {} fault deaths, {} graceful) → {}",
+                    o.seed,
+                    o.attempts,
+                    o.kills,
+                    o.fault_deaths,
+                    o.graceful_interrupts,
+                    if o.identical {
+                        "byte-identical"
+                    } else {
+                        "OUTPUT DIVERGED"
+                    }
+                );
+                failed |= !o.identical;
+            }
+            if failed {
+                eprintln!("chaos: at least one schedule produced different output");
+                return ExitCode::FAILURE;
+            }
+            let _ = std::fs::remove_dir_all(&work_dir);
+            println!("chaos: all schedules converged byte-identically");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("chaos: {e} (work dir kept at {})", work_dir.display());
+            ExitCode::FAILURE
+        }
+    }
+}

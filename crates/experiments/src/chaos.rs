@@ -1,0 +1,319 @@
+//! Chaos kill-loop harness: crash-recovery testing of the `sfa mine`
+//! binary under injected write faults and random process kills.
+//!
+//! The invariant under test is the repo's north star: **determinism
+//! survives crashes**. A mining run that is repeatedly killed at random
+//! points (SIGKILL mid-write, SIGTERM mid-pass) and subjected to seeded
+//! write-side faults (`SFA_WRITE_FAULTS`) must, once an attempt finally
+//! completes, produce output byte-identical to an undisturbed run of the
+//! same command. Recovery may cost extra IO — quarantined checkpoints,
+//! re-scanned suffixes — but never changes a single output byte.
+//!
+//! A schedule is fully determined by its seed: kill delays, signal
+//! choice, and the per-attempt fault plans all derive from
+//! [`sfa_hash::hash64_with_seed`], so a failing schedule replays
+//! exactly. The tail of every schedule (the last [`UNDISTURBED_TAIL`]
+//! attempts) runs without kills or faults, so every schedule converges;
+//! the byte-identity assertion is where the correctness lives.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use sfa_hash::hash64_with_seed;
+
+/// Attempts at the end of a schedule that run without kills or faults,
+/// guaranteeing convergence from whatever frontier the disturbed
+/// attempts left behind.
+pub const UNDISTURBED_TAIL: u32 = 2;
+
+/// One chaos schedule: which binary to torment, on what input, and how.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Path to the `sfa` binary under test.
+    pub sfa_bin: PathBuf,
+    /// Input table (`.sfab`).
+    pub input: PathBuf,
+    /// Scratch directory for this schedule (checkpoints, outputs).
+    pub work_dir: PathBuf,
+    /// Mining arguments after `mine --input …` (scheme, threshold, …).
+    pub mine_args: Vec<String>,
+    /// Schedule seed: determines kill delays, signals, and fault plans.
+    pub seed: u64,
+    /// Total attempts before giving up (the last [`UNDISTURBED_TAIL`]
+    /// run undisturbed).
+    pub max_attempts: u32,
+    /// Inject `SFA_WRITE_FAULTS` into disturbed attempts.
+    pub inject_write_faults: bool,
+    /// Upper bound on the kill delay, in milliseconds.
+    pub max_kill_delay_ms: u64,
+    /// `--checkpoint-every` for the disturbed runs (small values make
+    /// kills land between many checkpoint frontiers).
+    pub checkpoint_every: u64,
+    /// Run out-of-core under this `--memory-budget`, exercising spill
+    /// recovery as well as checkpoint recovery.
+    pub memory_budget: Option<usize>,
+}
+
+impl ChaosConfig {
+    /// A schedule with the defaults the smoke suite uses.
+    #[must_use]
+    pub fn new(sfa_bin: PathBuf, input: PathBuf, work_dir: PathBuf, seed: u64) -> Self {
+        Self {
+            sfa_bin,
+            input,
+            work_dir,
+            mine_args: ["--scheme", "mh", "--threshold", "0.8", "--k", "40"]
+                .iter()
+                .map(|s| (*s).to_string())
+                .collect(),
+            seed,
+            max_attempts: 25,
+            inject_write_faults: true,
+            max_kill_delay_ms: 120,
+            checkpoint_every: 16,
+            memory_budget: None,
+        }
+    }
+}
+
+/// How a chaos schedule ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosOutcome {
+    /// The schedule seed.
+    pub seed: u64,
+    /// Attempts launched, including the one that completed.
+    pub attempts: u32,
+    /// Attempts terminated by a delivered signal.
+    pub kills: u32,
+    /// Attempts that died on their own (injected write faults).
+    pub fault_deaths: u32,
+    /// Attempts that exited with the graceful resumable code 3.
+    pub graceful_interrupts: u32,
+    /// Whether the completing attempt's output matched the clean run
+    /// byte for byte.
+    pub identical: bool,
+}
+
+/// Sends `SIGTERM` to a child process (unix only; elsewhere falls back
+/// to the non-graceful [`Child::kill`]).
+pub fn send_sigterm(child: &mut Child) {
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn kill(pid: i32, sig: i32) -> i32;
+        }
+        const SIGTERM: i32 = 15;
+        // A failure here means the child already exited; the subsequent
+        // wait() observes whichever happened first.
+        #[allow(clippy::cast_possible_wrap)]
+        unsafe {
+            kill(child.id() as i32, SIGTERM);
+        }
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = child.kill();
+    }
+}
+
+/// The fault-plan string for one disturbed attempt. Each attempt gets a
+/// different derived seed, so a fault that blocks one attempt's final
+/// write does not block the next attempt at the same spot forever.
+#[must_use]
+pub fn fault_env(schedule_seed: u64, attempt: u32) -> String {
+    let salt = hash64_with_seed(u64::from(attempt).wrapping_add(0x9e37), schedule_seed);
+    format!("seed={salt},enospc=6,short=6,torn=4,lost=3")
+}
+
+fn mine_command(cfg: &ChaosConfig, csv: &Path, checkpointed: bool) -> Command {
+    let mut cmd = Command::new(&cfg.sfa_bin);
+    cmd.arg("mine")
+        .arg("--input")
+        .arg(&cfg.input)
+        .arg("--csv")
+        .arg(csv)
+        .args(&cfg.mine_args)
+        .env_remove("SFA_WRITE_FAULTS")
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped());
+    if checkpointed {
+        cmd.arg("--checkpoint-dir")
+            .arg(cfg.work_dir.join("ckpt"))
+            .arg("--checkpoint-every")
+            .arg(cfg.checkpoint_every.to_string());
+    }
+    if let Some(bytes) = cfg.memory_budget {
+        cmd.arg("--memory-budget").arg(bytes.to_string());
+    }
+    cmd
+}
+
+fn stderr_of(child: Child) -> String {
+    child
+        .wait_with_output()
+        .map(|o| String::from_utf8_lossy(&o.stderr).into_owned())
+        .unwrap_or_default()
+}
+
+/// Runs one chaos schedule to completion.
+///
+/// First performs an undisturbed reference run, then kill-loops the same
+/// command (plus `--checkpoint-dir`) under the schedule's kills and
+/// faults until an attempt completes, and compares the outputs.
+///
+/// # Errors
+///
+/// Returns a diagnostic when the reference run fails, when no attempt
+/// completes within `max_attempts`, or when an undisturbed attempt fails
+/// outright (all of which mean the durability layer is broken).
+pub fn run_chaos_schedule(cfg: &ChaosConfig) -> Result<ChaosOutcome, String> {
+    std::fs::create_dir_all(&cfg.work_dir).map_err(|e| format!("create work dir: {e}"))?;
+    let clean_csv = cfg.work_dir.join("clean.csv");
+    let chaos_csv = cfg.work_dir.join("chaos.csv");
+
+    let clean = mine_command(cfg, &clean_csv, false)
+        .spawn()
+        .map_err(|e| format!("spawn clean run: {e}"))?;
+    let out = clean
+        .wait_with_output()
+        .map_err(|e| format!("wait clean run: {e}"))?;
+    if !out.status.success() {
+        return Err(format!(
+            "clean run failed ({}): {}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        ));
+    }
+    let clean_bytes = std::fs::read(&clean_csv).map_err(|e| format!("read clean csv: {e}"))?;
+
+    let mut outcome = ChaosOutcome {
+        seed: cfg.seed,
+        attempts: 0,
+        kills: 0,
+        fault_deaths: 0,
+        graceful_interrupts: 0,
+        identical: false,
+    };
+    for attempt in 0..cfg.max_attempts {
+        outcome.attempts = attempt + 1;
+        let disturbed = attempt + UNDISTURBED_TAIL < cfg.max_attempts;
+        let mut cmd = mine_command(cfg, &chaos_csv, true);
+        if disturbed && cfg.inject_write_faults {
+            cmd.env("SFA_WRITE_FAULTS", fault_env(cfg.seed, attempt));
+        }
+        let mut child = cmd
+            .spawn()
+            .map_err(|e| format!("spawn attempt {attempt}: {e}"))?;
+
+        if disturbed {
+            let roll = hash64_with_seed(u64::from(attempt), cfg.seed);
+            let delay_ms = roll % cfg.max_kill_delay_ms.max(1);
+            std::thread::sleep(Duration::from_millis(delay_ms));
+            // Alternate pseudo-randomly between an abrupt SIGKILL (crash
+            // recovery) and a graceful SIGTERM (flush-then-exit-3).
+            if roll & 1 == 0 {
+                let _ = child.kill();
+            } else {
+                send_sigterm(&mut child);
+            }
+        }
+        let status = child
+            .wait()
+            .map_err(|e| format!("wait attempt {attempt}: {e}"))?;
+        match status.code() {
+            Some(0) => {
+                let chaos_bytes =
+                    std::fs::read(&chaos_csv).map_err(|e| format!("read chaos csv: {e}"))?;
+                outcome.identical = chaos_bytes == clean_bytes;
+                return Ok(outcome);
+            }
+            Some(3) => outcome.graceful_interrupts += 1,
+            Some(_) if disturbed => outcome.fault_deaths += 1,
+            Some(code) => {
+                return Err(format!(
+                    "undisturbed attempt {attempt} failed with exit code {code}"
+                ));
+            }
+            // Killed by a signal before it could exit on its own.
+            None => outcome.kills += 1,
+        }
+    }
+    Err(format!(
+        "schedule seed={} did not converge in {} attempts \
+         ({} kills, {} fault deaths, {} graceful interrupts)",
+        cfg.seed,
+        cfg.max_attempts,
+        outcome.kills,
+        outcome.fault_deaths,
+        outcome.graceful_interrupts
+    ))
+}
+
+/// Runs a sweep of schedules (one per seed) and returns every outcome.
+///
+/// # Errors
+///
+/// Propagates the first schedule failure, naming its seed.
+pub fn run_chaos_sweep(base: &ChaosConfig, seeds: &[u64]) -> Result<Vec<ChaosOutcome>, String> {
+    let mut outcomes = Vec::with_capacity(seeds.len());
+    for &seed in seeds {
+        let cfg = ChaosConfig {
+            seed,
+            work_dir: base.work_dir.join(format!("seed-{seed}")),
+            ..base.clone()
+        };
+        outcomes.push(run_chaos_schedule(&cfg)?);
+    }
+    Ok(outcomes)
+}
+
+/// Generates a small input table for the harness by invoking `sfa gen`.
+///
+/// # Errors
+///
+/// Returns a diagnostic when the generator run fails.
+pub fn generate_input(sfa_bin: &Path, out: &Path, seed: u64) -> Result<(), String> {
+    let child = Command::new(sfa_bin)
+        .args(["gen", "--kind", "weblog", "--scale", "tiny"])
+        .arg("--out")
+        .arg(out)
+        .arg("--seed")
+        .arg(seed.to_string())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("spawn gen: {e}"))?;
+    let stderr = stderr_of(child);
+    if out.exists() {
+        Ok(())
+    } else {
+        Err(format!("gen produced no table: {stderr}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_env_is_deterministic_and_attempt_salted() {
+        assert_eq!(fault_env(7, 0), fault_env(7, 0));
+        assert_ne!(fault_env(7, 0), fault_env(7, 1));
+        assert_ne!(fault_env(7, 0), fault_env(8, 0));
+        assert!(fault_env(1, 2).starts_with("seed="));
+    }
+
+    #[test]
+    fn config_defaults_are_disturbable() {
+        let cfg = ChaosConfig::new(
+            PathBuf::from("sfa"),
+            PathBuf::from("t.sfab"),
+            PathBuf::from("w"),
+            9,
+        );
+        assert!(cfg.max_attempts > UNDISTURBED_TAIL);
+        assert!(cfg.inject_write_faults);
+        assert!(cfg.checkpoint_every > 0);
+    }
+}

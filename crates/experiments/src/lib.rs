@@ -16,9 +16,12 @@
 //! | `synthetic_sweep` | §5 — synthetic-data validation of all schemes |
 //! | `confidence_rules` | §6 — high-confidence rules without support |
 //! | `all_experiments` | runs everything above |
+//! | `chaos-kill-loop` | [`chaos`] — crash-recovery kill-loop smoke test |
 //!
 //! Each binary prints the paper-shaped rows/series and writes CSV files
 //! into `results/`.
+
+pub mod chaos;
 
 use std::io::Write as _;
 use std::path::PathBuf;

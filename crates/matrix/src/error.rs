@@ -38,6 +38,13 @@ pub enum MatrixError {
     },
     /// An underlying IO error.
     Io(std::io::Error),
+    /// The run was canceled cooperatively — a signal, deadline, or explicit
+    /// request — after flushing any resumable state. Not a data error: the
+    /// input and all on-disk state are intact, and rerunning resumes.
+    Canceled {
+        /// What requested the cancellation ("signal", "deadline", ...).
+        reason: &'static str,
+    },
 }
 
 impl MatrixError {
@@ -69,6 +76,16 @@ impl MatrixError {
             _ => false,
         }
     }
+
+    /// Whether this is a cooperative cancellation rather than a failure.
+    ///
+    /// Callers that distinguish "the data was bad" from "the run was asked
+    /// to stop" (the CLI maps the latter to its resumable exit code) branch
+    /// on this instead of matching the `#[non_exhaustive]` enum.
+    #[must_use]
+    pub fn is_canceled(&self) -> bool {
+        matches!(self, Self::Canceled { .. })
+    }
 }
 
 impl std::fmt::Display for MatrixError {
@@ -84,6 +101,7 @@ impl std::fmt::Display for MatrixError {
                 "checksum mismatch: file claims {stored:#010x}, contents hash to {computed:#010x}"
             ),
             Self::Io(e) => write!(f, "io error: {e}"),
+            Self::Canceled { reason } => write!(f, "canceled by {reason}"),
         }
     }
 }
@@ -174,6 +192,19 @@ mod tests {
             bound: 3
         }
         .is_transient());
+    }
+
+    #[test]
+    fn canceled_is_neither_transient_nor_a_data_error() {
+        let e = MatrixError::Canceled { reason: "deadline" };
+        assert!(!e.is_transient(), "canceled must not be retried in place");
+        assert!(e.is_canceled());
+        assert_eq!(e.to_string(), "canceled by deadline");
+        assert!(!MatrixError::Parse {
+            at: 0,
+            detail: "bad".into()
+        }
+        .is_canceled());
     }
 
     #[test]

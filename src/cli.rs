@@ -12,14 +12,18 @@
 //!          [--k N] [--r N] [--l N] [--delta D] [--seed N] [--csv out.csv]
 //!          [--metrics-json out.json] [--max-retries N]
 //!          [--checkpoint-dir DIR] [--checkpoint-every N] [--threads N]
-//!          [--memory-budget BYTES]
+//!          [--memory-budget BYTES] [--deadline-secs S]
 //! ```
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs after the
 //! subcommand) to keep the dependency footprint at zero.
 //!
 //! Exit codes: 0 success, 1 data/environment error (one-line diagnostic),
-//! 2 usage error (usage text printed). `--max-retries` wraps the input in a
+//! 2 usage error (usage text printed), 3 interrupted-but-resumable — a
+//! SIGINT/SIGTERM or an elapsed `--deadline-secs DEADLINE` canceled the run
+//! at a safe point after flushing any resumable state, so rerunning the
+//! same command with `--checkpoint-dir` picks up from the saved frontier.
+//! `--max-retries` wraps the input in a
 //! [`RetryingRowStream`] so transient IO errors are absorbed;
 //! `--checkpoint-dir` makes `mine` crash-safe via
 //! [`Pipeline::run_resumable`]. `--threads N` runs the in-memory parallel
@@ -35,7 +39,7 @@
 
 use std::path::{Path, PathBuf};
 
-use crate::core::{CheckpointSpec, MemoryBudget, Pipeline, PipelineConfig, Scheme};
+use crate::core::{CancelToken, CheckpointSpec, MemoryBudget, Pipeline, PipelineConfig, Scheme};
 use crate::datagen::{NewsConfig, SyntheticConfig, WeblogConfig};
 use crate::matrix::{io, FileRowStream, RetryingRowStream, RowStream};
 
@@ -50,6 +54,12 @@ pub enum CliError {
     /// missing/corrupt/truncated input, IO failure. Exit code 1; a
     /// one-line diagnostic is printed (no usage spam).
     Data(String),
+    /// The run was canceled cooperatively (signal or `--deadline-secs`)
+    /// after flushing any resumable state. Exit code 3; the diagnostic
+    /// names the cause and how to resume. Distinct from `Data` so wrapper
+    /// scripts can tell "rerun to resume" apart from "this will fail
+    /// again".
+    Interrupted(String),
 }
 
 impl CliError {
@@ -59,6 +69,7 @@ impl CliError {
         match self {
             Self::Usage(_) => 2,
             Self::Data(_) => 1,
+            Self::Interrupted(_) => 3,
         }
     }
 
@@ -66,7 +77,7 @@ impl CliError {
     #[must_use]
     pub fn message(&self) -> &str {
         match self {
-            Self::Usage(m) | Self::Data(m) => m,
+            Self::Usage(m) | Self::Data(m) | Self::Interrupted(m) => m,
         }
     }
 }
@@ -152,7 +163,7 @@ USAGE:
              [--k N] [--r N] [--l N] [--delta D] [--seed N] [--csv FILE]
              [--metrics-json FILE] [--max-retries N]
              [--checkpoint-dir DIR] [--checkpoint-every N] [--threads N]
-             [--memory-budget BYTES]
+             [--memory-budget BYTES] [--deadline-secs S]
   sfa optimize --input FILE [--threshold S] [--max-fn N] [--max-fp N]
                [--sample F] [--seed N]
   sfa rules  --input FILE [--confidence C] [--k N] [--delta D] [--seed N]
@@ -164,11 +175,14 @@ Parallelism: --threads N runs the in-memory parallel pipeline (N workers;
 Memory: --memory-budget BYTES caps pair-space state, sharding candidate
 generation and spilling shards to disk; output is identical to an
 unbudgeted run. Composes with --checkpoint-dir, not with --threads.
+Shutdown: mine traps SIGINT/SIGTERM, and --deadline-secs S caps the run's
+wall clock; either cancels at the next safe point after flushing resumable
+state and exits 3 (rerun with the same --checkpoint-dir to resume).
 Dataset kinds for gen: weblog, news, synthetic, cf, basket.
 ";
 
 /// Runs the CLI; returns the process exit code (0 success, 1 data error,
-/// 2 usage error).
+/// 2 usage error, 3 interrupted with resumable state flushed).
 #[must_use]
 pub fn run(raw: &[String]) -> i32 {
     match dispatch(raw) {
@@ -426,20 +440,55 @@ fn scheme_from_args(args: &Args) -> Result<Scheme, CliError> {
     })
 }
 
+/// Classifies a pipeline failure: a cooperative cancellation becomes the
+/// exit-code-3 `Interrupted` family (with a resume hint), everything else
+/// stays a data error.
+fn mine_err(e: crate::matrix::MatrixError, resumable: bool) -> CliError {
+    if e.is_canceled() {
+        let hint = if resumable {
+            "resumable state flushed; rerun the same command to continue"
+        } else {
+            "rerun with --checkpoint-dir to make interrupted runs resumable"
+        };
+        CliError::Interrupted(format!("{e} ({hint})"))
+    } else {
+        CliError::Data(e.to_string())
+    }
+}
+
 /// Runs `mine`'s pipeline over a stream, with or without a checkpoint dir
-/// and/or a memory budget.
+/// and/or a memory budget, polling `cancel` at safe points.
 fn mine_run<S: RowStream>(
     config: PipelineConfig,
     stream: &mut S,
     checkpoint: Option<&CheckpointSpec>,
     budget: Option<&MemoryBudget>,
+    cancel: &CancelToken,
 ) -> Result<crate::core::MiningResult, CliError> {
     let pipeline = Pipeline::new(config);
+    let resumable = checkpoint.is_some();
     match (budget, checkpoint) {
-        (Some(b), ck) => pipeline.run_sharded(stream, b, ck).map_err(io_err),
-        (None, Some(spec)) => pipeline.run_resumable(stream, spec).map_err(io_err),
-        (None, None) => pipeline.run(stream).map_err(io_err),
+        (Some(b), ck) => pipeline.run_sharded_with(stream, b, ck, cancel),
+        (None, Some(spec)) => pipeline.run_resumable_with(stream, spec, cancel),
+        (None, None) => pipeline.run_with(stream, cancel),
     }
+    .map_err(|e| mine_err(e, resumable))
+}
+
+/// Parses `--deadline-secs` into a wall-clock budget. `0` is legal (cancel
+/// at the first safe point — useful for exercising the shutdown path
+/// deterministically); negative, NaN, and infinite values are usage errors.
+fn parse_deadline(args: &Args) -> Result<Option<std::time::Duration>, CliError> {
+    let Some(v) = args.get("deadline-secs") else {
+        return Ok(None);
+    };
+    let secs: f64 = v
+        .parse()
+        .map_err(|_| CliError::Usage(format!("bad --deadline-secs: {v:?}")))?;
+    if !secs.is_finite() || secs < 0.0 {
+        return Err(CliError::Usage(format!("bad --deadline-secs: {v:?}")));
+    }
+    Ok(Some(std::time::Duration::from_secs_f64(secs)))
 }
 
 /// Parses `--memory-budget` into a [`MemoryBudget`] spilling into the
@@ -496,21 +545,48 @@ fn cmd_mine(args: &Args) -> Result<String, CliError> {
             "--threads is incompatible with the out-of-core --memory-budget option".into(),
         ));
     }
+    let deadline = parse_deadline(args)?;
+    if threads.is_some() && deadline.is_some() {
+        return Err(CliError::Usage(
+            "--deadline-secs needs the streaming pipeline's cancellation \
+             points and is incompatible with --threads"
+                .into(),
+        ));
+    }
     let scheme = scheme_from_args(args)?;
     let config = PipelineConfig::new(scheme, s_star, seed);
     let (_, mut stream) = open_input(args)?;
+    // Trap SIGINT/SIGTERM for the duration of the mining run so a shutdown
+    // request flushes a resumable checkpoint instead of killing the pass.
+    crate::core::install_signal_handlers();
+    let mut cancel = CancelToken::new().watching_signals();
+    if let Some(budget) = deadline {
+        cancel = cancel.with_deadline(budget);
+    }
     let result = if let Some(n) = threads {
         let matrix = materialize(&mut stream)?;
         Pipeline::new(config).run_parallel(&matrix, n)
     } else if max_retries > 0 {
         let mut retrying = RetryingRowStream::new(stream, max_retries);
-        let mut result = mine_run(config, &mut retrying, checkpoint.as_ref(), budget.as_ref())?;
+        let mut result = mine_run(
+            config,
+            &mut retrying,
+            checkpoint.as_ref(),
+            budget.as_ref(),
+            &cancel,
+        )?;
         let stats = retrying.stats();
         result.metrics.recovery.transient_errors_retried += stats.retries;
         result.metrics.recovery.rows_refetched += stats.rows_refetched;
         result
     } else {
-        mine_run(config, &mut stream, checkpoint.as_ref(), budget.as_ref())?
+        mine_run(
+            config,
+            &mut stream,
+            checkpoint.as_ref(),
+            budget.as_ref(),
+            &cancel,
+        )?
     };
     // An ephemeral spill directory (no --checkpoint-dir) has served its
     // purpose once the run completes; run_sharded already removed the
@@ -543,8 +619,15 @@ fn cmd_mine(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn write_metrics_json(path: &Path, doc: &crate::core::MetricsDocument) -> std::io::Result<()> {
-    std::fs::write(path, crate::json::to_string_pretty(doc))
+/// Writes the metrics document atomically (tmp + fsync + rename) so a
+/// crash mid-write can never leave a truncated JSON file where a consumer
+/// expects a complete one.
+fn write_metrics_json(
+    path: &Path,
+    doc: &crate::core::MetricsDocument,
+) -> Result<(), crate::matrix::MatrixError> {
+    crate::core::durable::write_atomic(path, crate::json::to_string_pretty(doc).as_bytes())
+        .map(|_| ())
 }
 
 fn cmd_optimize(args: &Args) -> Result<String, CliError> {
@@ -640,18 +723,23 @@ fn cmd_compare(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn write_pairs_csv(path: &Path, pairs: &[crate::core::VerifiedPair]) -> std::io::Result<()> {
-    use std::io::Write as _;
-    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-    writeln!(f, "i,j,similarity,intersection,union")?;
+/// Writes the pair listing atomically (tmp + fsync + rename); the result
+/// set is bounded by pair-space, so staging it in memory is cheap relative
+/// to the mining run that produced it.
+fn write_pairs_csv(
+    path: &Path,
+    pairs: &[crate::core::VerifiedPair],
+) -> Result<(), crate::matrix::MatrixError> {
+    use std::fmt::Write as _;
+    let mut text = String::from("i,j,similarity,intersection,union\n");
     for p in pairs {
-        writeln!(
-            f,
+        let _ = writeln!(
+            text,
             "{},{},{:.6},{},{}",
             p.i, p.j, p.similarity, p.intersection, p.union
-        )?;
+        );
     }
-    Ok(())
+    crate::core::durable::write_atomic(path, text.as_bytes()).map(|_| ())
 }
 
 fn materialize<S: RowStream>(stream: &mut S) -> Result<crate::matrix::RowMajorMatrix, CliError> {
@@ -1359,6 +1447,108 @@ mod tests {
         assert_eq!(doc.metrics.threads, 2);
         std::fs::remove_file(&table).ok();
         std::fs::remove_file(&json_path).ok();
+    }
+
+    #[test]
+    fn deadline_flag_rejects_bad_values_and_threads_conflict() {
+        // Usage errors (exit 2), detected before the nonexistent input is
+        // opened.
+        for bad in [
+            vec![
+                "mine",
+                "--input",
+                "/nonexistent/no.sfab",
+                "--scheme",
+                "mh",
+                "--deadline-secs",
+                "soon",
+            ],
+            vec![
+                "mine",
+                "--input",
+                "/nonexistent/no.sfab",
+                "--scheme",
+                "mh",
+                "--deadline-secs",
+                "-1",
+            ],
+            vec![
+                "mine",
+                "--input",
+                "/nonexistent/no.sfab",
+                "--scheme",
+                "mh",
+                "--deadline-secs",
+                "inf",
+            ],
+            vec![
+                "mine",
+                "--input",
+                "/nonexistent/no.sfab",
+                "--scheme",
+                "mh",
+                "--deadline-secs",
+                "5",
+                "--threads",
+                "2",
+            ],
+        ] {
+            let err = dispatch(&strs(&bad)).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{bad:?} → {err:?}");
+        }
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_with_exit_code_3_and_leaves_a_checkpoint() {
+        let table = tmp("deadline_mine.sfab");
+        dispatch(&strs(&[
+            "gen",
+            "--kind",
+            "weblog",
+            "--out",
+            table.to_str().unwrap(),
+            "--scale",
+            "tiny",
+        ]))
+        .unwrap();
+        let ckpt = tmp("deadline_ckpt");
+        std::fs::remove_dir_all(&ckpt).ok();
+        let base = [
+            "mine",
+            "--input",
+            table.to_str().unwrap(),
+            "--scheme",
+            "mh",
+            "--threshold",
+            "0.8",
+            "--k",
+            "40",
+            "--checkpoint-dir",
+            ckpt.to_str().unwrap(),
+        ];
+        // A zero deadline is already expired: the run must stop at the
+        // first safe point, flush a frontier, and classify as Interrupted.
+        let mut argv = base.to_vec();
+        argv.extend(["--deadline-secs", "0"]);
+        let err = dispatch(&strs(&argv)).unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err:?}");
+        assert!(err.message().contains("deadline"), "{err:?}");
+        assert!(
+            ckpt.join("phase1.sfcp").exists(),
+            "no checkpoint flushed before exiting"
+        );
+        // Rerunning without the deadline resumes and matches a clean run.
+        let resumed = dispatch(&strs(&base)).unwrap();
+        let clean = dispatch(&strs(&base[..base.len() - 2])).unwrap();
+        let pairs = |s: &str| {
+            s.lines()
+                .filter(|l| l.contains('\t'))
+                .map(str::to_owned)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(pairs(&resumed), pairs(&clean));
+        std::fs::remove_dir_all(&ckpt).ok();
+        std::fs::remove_file(&table).ok();
     }
 
     #[test]

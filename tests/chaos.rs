@@ -1,0 +1,171 @@
+//! Chaos and graceful-shutdown tests of the compiled `sfa` binary.
+//!
+//! The kill-loop schedules repeatedly crash `sfa mine` (SIGKILL and
+//! SIGTERM at seeded random points, seeded `SFA_WRITE_FAULTS` injected)
+//! and assert that once a run finally completes its output is
+//! byte-identical to an undisturbed run — recovery may cost IO but never
+//! changes output. The SIGTERM test pins the graceful-shutdown contract:
+//! exit code 3, a flushed resumable frontier, and a follow-up run that
+//! finishes from that frontier without rescanning completed rows.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::Duration;
+
+use sfa_experiments::chaos::{run_chaos_schedule, send_sigterm, ChaosConfig};
+
+fn sfa_bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_sfa"))
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("sfa_chaos_tests").join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn gen_table(dir: &std::path::Path) -> PathBuf {
+    let table = dir.join("table.sfab");
+    let out = Command::new(sfa_bin())
+        .args(["gen", "--kind", "weblog", "--scale", "tiny", "--seed", "7"])
+        .arg("--out")
+        .arg(&table)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    table
+}
+
+#[test]
+fn kill_loop_converges_to_byte_identical_output() {
+    let work = tmp_dir("kill_loop");
+    let table = gen_table(&work);
+    for seed in [11, 12] {
+        let cfg = ChaosConfig {
+            work_dir: work.join(format!("seed-{seed}")),
+            ..ChaosConfig::new(sfa_bin(), table.clone(), work.clone(), seed)
+        };
+        let outcome = run_chaos_schedule(&cfg).unwrap();
+        assert!(
+            outcome.identical,
+            "seed {seed}: recovered output diverged: {outcome:?}"
+        );
+        assert!(outcome.attempts >= 1);
+    }
+    std::fs::remove_dir_all(&work).ok();
+}
+
+#[test]
+fn kill_loop_converges_under_a_memory_budget() {
+    // The sharded out-of-core path spills candidate sets to disk; kills
+    // and write faults must not change its output either.
+    let work = tmp_dir("kill_loop_sharded");
+    let table = gen_table(&work);
+    let cfg = ChaosConfig {
+        memory_budget: Some(1 << 20),
+        work_dir: work.join("seed-21"),
+        ..ChaosConfig::new(sfa_bin(), table, work.clone(), 21)
+    };
+    let outcome = run_chaos_schedule(&cfg).unwrap();
+    assert!(outcome.identical, "sharded recovery diverged: {outcome:?}");
+    std::fs::remove_dir_all(&work).ok();
+}
+
+#[test]
+#[cfg(unix)]
+fn sigterm_mid_run_exits_3_and_resumes_from_the_frontier() {
+    let work = tmp_dir("sigterm");
+    let table = gen_table(&work);
+    let ckpt = work.join("ckpt");
+    let metrics = work.join("metrics.json");
+    let base_args = |extra: &[&str]| -> Vec<String> {
+        let mut v: Vec<String> = [
+            "mine",
+            "--input",
+            table.to_str().unwrap(),
+            "--scheme",
+            "mh",
+            "--threshold",
+            "0.8",
+            "--k",
+            "40",
+            "--checkpoint-dir",
+            ckpt.to_str().unwrap(),
+            "--checkpoint-every",
+            "16",
+        ]
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
+        v.extend(extra.iter().map(|s| (*s).to_string()));
+        v
+    };
+
+    // SIGTERM lands at an arbitrary point; if the run wins the race and
+    // finishes first, retry with a shorter fuse. Signal delivery before
+    // the handler is installed kills the process outright (no exit
+    // code), which is the crash path, not the graceful one — retry that
+    // too.
+    let mut graceful = false;
+    let mut delay_ms = 40u64;
+    for _ in 0..20 {
+        std::fs::remove_dir_all(&ckpt).ok();
+        let mut child = Command::new(sfa_bin())
+            .args(base_args(&[]))
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(delay_ms));
+        send_sigterm(&mut child);
+        let status = child.wait().unwrap();
+        match status.code() {
+            Some(3) => {
+                graceful = true;
+                break;
+            }
+            Some(0) => delay_ms = (delay_ms / 2).max(1), // finished first: kill sooner
+            _ => delay_ms += 10, // died before the handler was up: kill later
+        }
+    }
+    assert!(graceful, "no attempt terminated gracefully with exit 3");
+    assert!(
+        ckpt.join("phase1.sfcp").exists() || ckpt.join("phase3.sfcp").exists(),
+        "graceful shutdown left no resumable checkpoint"
+    );
+
+    // The follow-up run resumes from the flushed frontier: the metrics
+    // must show a mid-stream resume point and a signature pass that
+    // scanned strictly fewer rows than the table holds.
+    let out = Command::new(sfa_bin())
+        .args(base_args(&["--metrics-json", metrics.to_str().unwrap()]))
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "resume failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = std::fs::read_to_string(&metrics).unwrap();
+    let grab = |key: &str| -> u64 {
+        doc.split(&format!("\"{key}\": "))
+            .nth(1)
+            .unwrap_or_else(|| panic!("{key} missing from metrics: {doc}"))
+            .split(|c: char| !c.is_ascii_digit())
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    assert!(
+        grab("resumed_from_row") > 0,
+        "resume did not use the frontier"
+    );
+    assert!(
+        grab("rows_scanned") < 2000,
+        "resumed signature pass rescanned the whole table"
+    );
+    std::fs::remove_dir_all(&work).ok();
+}

@@ -1,14 +1,18 @@
-//! Property tests for the checksummed v2 on-disk formats: any single-byte
-//! mutation of a valid `.sfab` / `.sfmh` / `.sfkm` file, and any
-//! truncation, must surface as a clean `Err` from the reader — never a
-//! panic, and never silently wrong data.
+//! Property tests for the checksummed on-disk formats: any single-byte
+//! mutation of a valid `.sfab` / `.sfmh` / `.sfkm` table/sketch file or
+//! `.sfcp` / `.sfsp` checkpoint/spill file, and any truncation, must
+//! surface as a clean `Err` from the reader — never a panic, and never
+//! silently wrong data.
 //!
-//! The v2 CRC-32 trailer covers everything after the magic, so every
-//! mutation is either a magic/parse error or a checksum mismatch.
+//! The CRC-32 trailer covers everything after the magic, so every
+//! mutation is either a magic/parse error or a checksum mismatch. The
+//! checkpoint and spill fixtures come from the real pipeline writers: a
+//! sharded, checkpointed run canceled mid-verify leaves both behind.
 
 use proptest::prelude::*;
 
-use sfa::matrix::{io, FileRowStream, RowMajorMatrix, RowStream};
+use sfa::core::{CancelToken, CheckpointSpec, MemoryBudget, Pipeline, PipelineConfig, Scheme};
+use sfa::matrix::{io, FileRowStream, MemoryRowStream, RowMajorMatrix, RowStream};
 use sfa::minhash::persist::{read_bottom_k, read_signatures, write_bottom_k, write_signatures};
 use sfa::minhash::{KmhBuilder, MhBuilder};
 
@@ -31,7 +35,78 @@ fn sample_matrix() -> RowMajorMatrix {
     RowMajorMatrix::from_rows(6, rows).unwrap()
 }
 
-/// Writes each of the three v2 formats once and returns the pristine bytes
+/// A stream wrapper that trips a [`CancelToken`] after delivering a fixed
+/// number of rows, so a pipeline run cancels at a known point: after the
+/// signature pass but mid-way through the verification pass.
+struct CancelAfter<'a> {
+    inner: MemoryRowStream<'a>,
+    token: CancelToken,
+    delivered: u32,
+    cancel_at: u32,
+}
+
+impl RowStream for CancelAfter<'_> {
+    fn n_rows(&self) -> u32 {
+        self.inner.n_rows()
+    }
+    fn n_cols(&self) -> u32 {
+        self.inner.n_cols()
+    }
+    fn read_row(&mut self, buf: &mut Vec<u32>) -> sfa::matrix::Result<Option<u32>> {
+        let id = self.inner.read_row(buf)?;
+        if id.is_some() {
+            self.delivered += 1;
+            if self.delivered == self.cancel_at {
+                self.token.cancel();
+            }
+        }
+        Ok(id)
+    }
+    fn reset(&mut self) -> sfa::matrix::Result<()> {
+        self.inner.reset()
+    }
+}
+
+/// Produces pristine checkpoint (`.sfcp`) and spill (`.sfsp`) bytes via
+/// the real pipeline writers: a sharded, checkpointed run over the sample
+/// matrix is canceled mid-verify, which flushes a phase-3 checkpoint
+/// (flush-then-error) after the candidate phase already spilled its
+/// shards.
+fn state_fixtures(prefix: &str, tag: u64) -> Vec<(&'static str, Vec<u8>)> {
+    let m = sample_matrix();
+    let dir = tmp(&format!("{prefix}{tag}_state"));
+    std::fs::remove_dir_all(&dir).ok();
+    let token = CancelToken::new();
+    let mut stream = CancelAfter {
+        inner: MemoryRowStream::new(&m),
+        token: token.clone(),
+        delivered: 0,
+        // Signature pass delivers all 20 rows; row 30 is row 10 of the
+        // verification pass.
+        cancel_at: 30,
+    };
+    let spec = CheckpointSpec::new(&dir).with_every_rows(64);
+    let budget = MemoryBudget::new(4096, &dir);
+    let config = PipelineConfig::new(Scheme::Mh { k: 8, delta: 0.2 }, 0.5, 42);
+    let err = Pipeline::new(config)
+        .run_sharded_with(&mut stream, &budget, Some(&spec), &token)
+        .unwrap_err();
+    assert!(err.is_canceled(), "fixture run must cancel, got {err}");
+
+    let sfcp = std::fs::read(dir.join("phase3.sfcp")).unwrap();
+    let sfsp = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| {
+            let p = e.unwrap().path();
+            (p.extension().is_some_and(|x| x == "sfsp")).then(|| std::fs::read(&p).unwrap())
+        })
+        .next()
+        .expect("canceled sharded run left no spill file");
+    std::fs::remove_dir_all(&dir).ok();
+    vec![("sfcp", sfcp), ("sfsp", sfsp)]
+}
+
+/// Writes each checksummed format once and returns the pristine bytes
 /// keyed by extension. `prefix` keeps concurrently running properties from
 /// racing on the same fixture paths.
 fn fixtures(prefix: &str, tag: u64) -> Vec<(&'static str, Vec<u8>)> {
@@ -53,11 +128,12 @@ fn fixtures(prefix: &str, tag: u64) -> Vec<(&'static str, Vec<u8>)> {
     let pk = tmp(&format!("{prefix}{tag}.sfkm"));
     write_bottom_k(&kmh.finish(), &pk).unwrap();
 
-    let out = vec![
+    let mut out = vec![
         ("sfab", std::fs::read(&pb).unwrap()),
         ("sfmh", std::fs::read(&pm).unwrap()),
         ("sfkm", std::fs::read(&pk).unwrap()),
     ];
+    out.extend(state_fixtures(prefix, tag));
     for p in [pb, pm, pk] {
         std::fs::remove_file(&p).ok();
     }
@@ -76,6 +152,8 @@ fn load(ext: &str, path: &std::path::Path) -> Result<(), sfa::matrix::MatrixErro
         }
         "sfmh" => read_signatures(path).map(|_| ()),
         "sfkm" => read_bottom_k(path).map(|_| ()),
+        "sfcp" => sfa::core::checkpoint::validate_file(path),
+        "sfsp" => sfa::core::spill::validate_file(path),
         other => unreachable!("unknown fixture {other}"),
     }
 }
