@@ -27,8 +27,10 @@ use crate::report::PhaseTimings;
 /// 3 = adds the optional `metrics.sharding` object (budgeted out-of-core
 /// runs only; absent for in-memory runs and in older documents);
 /// 4 = adds `recovery.files_quarantined` and `recovery.tmp_files_removed`
-/// (startup-recovery sweep counters; absent keys parse as 0).
-pub const METRICS_SCHEMA_VERSION: u32 = 4;
+/// (startup-recovery sweep counters; absent keys parse as 0);
+/// 5 = adds the optional `metrics.serving` object (`sfa serve` runs only;
+/// absent for batch runs and in older documents).
+pub const METRICS_SCHEMA_VERSION: u32 = 5;
 
 /// Oldest document version [`MetricsDocument::from_json`] still accepts.
 pub const METRICS_SCHEMA_MIN_VERSION: u32 = 1;
@@ -239,6 +241,88 @@ impl FromJson for ShardingMetrics {
     }
 }
 
+/// Request accounting for one `sfa serve` session (schema v5). Emitted
+/// only by the serve subcommand — batch runs omit the `serving` object
+/// entirely.
+///
+/// The load-balance invariant the CI smoke job asserts:
+/// `answered + shed + timed_out == accepted` — every request the server
+/// admitted got exactly one disposition. `malformed` is a sub-count of
+/// `answered` (malformed requests are answered, with `ERR`).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServingMetrics {
+    /// Requests admitted: every request read off a socket, plus every
+    /// connection shed at the admission gate.
+    pub accepted: u64,
+    /// Requests that got a reply (`OK …` or `ERR …`).
+    pub answered: u64,
+    /// Requests refused with `OVERLOADED` by admission control.
+    pub shed: u64,
+    /// Requests dropped by a read/write timeout or a per-request deadline.
+    pub timed_out: u64,
+    /// Sub-count of `answered`: syntactically invalid requests answered
+    /// with `ERR`.
+    pub malformed: u64,
+    /// Rows acknowledged via `INGEST`.
+    pub ingested_rows: u64,
+    /// Snapshot rebuilds atomically swapped in.
+    pub snapshot_swaps: u64,
+    /// Wall-clock seconds the server was accepting traffic.
+    pub uptime_secs: f64,
+    /// Answered requests per second over the uptime.
+    pub qps: f64,
+    /// Median reply latency of answered requests, in microseconds.
+    pub p50_micros: u64,
+    /// 99th-percentile reply latency of answered requests, in
+    /// microseconds.
+    pub p99_micros: u64,
+}
+
+impl ToJson for ServingMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("accepted", self.accepted)
+            .field("answered", self.answered)
+            .field("shed", self.shed)
+            .field("timed_out", self.timed_out)
+            .field("malformed", self.malformed)
+            .field("ingested_rows", self.ingested_rows)
+            .field("snapshot_swaps", self.snapshot_swaps)
+            .field("uptime_secs", self.uptime_secs)
+            .field("qps", self.qps)
+            .field("p50_micros", self.p50_micros)
+            .field("p99_micros", self.p99_micros)
+    }
+}
+
+impl FromJson for ServingMetrics {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            accepted: u64::from_json(json.req("accepted")?)?,
+            answered: u64::from_json(json.req("answered")?)?,
+            shed: u64::from_json(json.req("shed")?)?,
+            timed_out: u64::from_json(json.req("timed_out")?)?,
+            malformed: u64::from_json(json.req("malformed")?)?,
+            ingested_rows: u64::from_json(json.req("ingested_rows")?)?,
+            snapshot_swaps: u64::from_json(json.req("snapshot_swaps")?)?,
+            uptime_secs: f64::from_json(json.req("uptime_secs")?)?,
+            qps: f64::from_json(json.req("qps")?)?,
+            p50_micros: u64::from_json(json.req("p50_micros")?)?,
+            p99_micros: u64::from_json(json.req("p99_micros")?)?,
+        })
+    }
+}
+
+impl ServingMetrics {
+    /// Whether the accounting balances: every accepted request ended in
+    /// exactly one of answered / shed / timed out.
+    #[must_use]
+    pub fn balances(&self) -> bool {
+        self.answered + self.shed + self.timed_out == self.accepted
+            && self.malformed <= self.answered
+    }
+}
+
 /// Structured counters for one pipeline run, phase by phase.
 ///
 /// # Examples
@@ -258,7 +342,7 @@ impl FromJson for ShardingMetrics {
 /// let back: MiningMetrics = sfa_json::from_str(&json).unwrap();
 /// assert_eq!(back, metrics);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MiningMetrics {
     /// Short scheme name ([`Scheme::name`](crate::config::Scheme::name)).
     pub scheme: String,
@@ -285,6 +369,9 @@ pub struct MiningMetrics {
     /// Out-of-core accounting; `None` for in-memory runs (the key is
     /// omitted from the JSON entirely).
     pub sharding: Option<ShardingMetrics>,
+    /// Request accounting; `None` for batch runs (the key is omitted from
+    /// the JSON entirely). Emitted by `sfa serve` (schema v5).
+    pub serving: Option<ServingMetrics>,
 }
 
 impl Default for MiningMetrics {
@@ -301,6 +388,7 @@ impl Default for MiningMetrics {
             verification: VerifyMetrics::default(),
             recovery: RecoveryMetrics::default(),
             sharding: None,
+            serving: None,
         }
     }
 }
@@ -344,8 +432,13 @@ impl ToJson for MiningMetrics {
             .field("recovery", self.recovery);
         // In-memory runs omit the key so their documents are unchanged
         // from schema v2 (a compatible field addition).
-        match self.sharding {
+        let json = match self.sharding {
             Some(sharding) => json.field("sharding", sharding),
+            None => json,
+        };
+        // Batch runs omit the key; only `sfa serve` emits it (schema v5).
+        match self.serving {
+            Some(serving) => json.field("serving", serving),
             None => json,
         }
     }
@@ -382,6 +475,12 @@ impl FromJson for MiningMetrics {
             sharding: json
                 .get("sharding")
                 .map(ShardingMetrics::from_json)
+                .transpose()?,
+            // Only `sfa serve` emits the key; absence means a batch run
+            // (and covers all pre-v5 documents).
+            serving: json
+                .get("serving")
+                .map(ServingMetrics::from_json)
                 .transpose()?,
         })
     }
@@ -489,6 +588,23 @@ mod tests {
                 tmp_files_removed: 1,
             },
             sharding: None,
+            serving: None,
+        }
+    }
+
+    fn sample_serving() -> ServingMetrics {
+        ServingMetrics {
+            accepted: 120,
+            answered: 100,
+            shed: 15,
+            timed_out: 5,
+            malformed: 7,
+            ingested_rows: 12,
+            snapshot_swaps: 2,
+            uptime_secs: 1.5,
+            qps: 66.5,
+            p50_micros: 180,
+            p99_micros: 2_400,
         }
     }
 
@@ -604,6 +720,60 @@ mod tests {
         ] {
             assert!(sharding.get(key).is_some(), "missing sharding key {key}");
         }
+        // `serving` is emitted only by `sfa serve`; batch documents must
+        // not carry the key at all.
+        assert!(metrics.get("serving").is_none());
+        let mut serving_metrics = sample_metrics();
+        serving_metrics.serving = Some(sample_serving());
+        let serving_json = serving_metrics.to_json();
+        let serving = serving_json.get("serving").unwrap();
+        for key in [
+            "accepted",
+            "answered",
+            "shed",
+            "timed_out",
+            "malformed",
+            "ingested_rows",
+            "snapshot_swaps",
+            "uptime_secs",
+            "qps",
+            "p50_micros",
+            "p99_micros",
+        ] {
+            assert!(serving.get(key).is_some(), "missing serving key {key}");
+        }
+    }
+
+    #[test]
+    fn serving_metrics_round_trip() {
+        let mut metrics = sample_metrics();
+        metrics.serving = Some(sample_serving());
+        let json = metrics.to_json().to_string_compact();
+        let back: MiningMetrics = sfa_json::from_str(&json).unwrap();
+        assert_eq!(back, metrics);
+    }
+
+    #[test]
+    fn documents_without_serving_key_parse_as_batch() {
+        // Pre-v5 documents (and v5 batch runs) carry no `serving` key; it
+        // must parse as None, not error.
+        let metrics = sample_metrics();
+        let json = metrics.to_json();
+        assert!(json.get("serving").is_none());
+        let back = MiningMetrics::from_json(&json).unwrap();
+        assert_eq!(back.serving, None);
+        assert_eq!(back, metrics);
+    }
+
+    #[test]
+    fn serving_balance_invariant() {
+        let mut s = sample_serving();
+        assert!(s.balances(), "100 + 15 + 5 == 120");
+        s.shed += 1;
+        assert!(!s.balances(), "a double-counted request must not balance");
+        s.shed -= 1;
+        s.malformed = s.answered + 1;
+        assert!(!s.balances(), "malformed exceeds answered");
     }
 
     #[test]

@@ -27,7 +27,7 @@ use crate::config::{PipelineConfig, Scheme};
 use crate::durable;
 use crate::metrics::{MiningMetrics, RecoveryMetrics, ShardingMetrics, VerifyMetrics};
 use crate::report::{MiningResult, PhaseTimings, VerifiedPair};
-use crate::shutdown::CancelToken;
+use crate::shutdown::{CancelToken, CANCEL_POLL_STRIDE};
 use crate::spill;
 use crate::verify::{verify_candidates_resumable, verify_candidates_with_stats};
 
@@ -440,6 +440,7 @@ fn signatures_resumable<S: RowStream>(
         _ => MhBuilder::new(k, m, seed),
     };
     let mut buf = Vec::new();
+    let mut cancel = cancel.throttled(CANCEL_POLL_STRIDE);
     while let Some(row_id) = stream.read_row(&mut buf)? {
         builder.push_row(row_id, &buf);
         // A graceful shutdown flushes the builder state off-cadence so the
@@ -485,6 +486,7 @@ fn bottom_k_resumable<S: RowStream>(
         _ => KmhBuilder::new(k, m, seed),
     };
     let mut buf = Vec::new();
+    let mut cancel = cancel.throttled(CANCEL_POLL_STRIDE);
     while let Some(row_id) = stream.read_row(&mut buf)? {
         builder.push_row(row_id, &buf);
         let canceled = cancel.is_canceled();

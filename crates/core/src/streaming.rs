@@ -56,10 +56,28 @@ impl StreamingMiner {
         self.n_cols
     }
 
+    /// Rebuilds a miner from previously persisted rows — the serve layer's
+    /// restart path. Equivalent to `new` followed by `push_row` for each
+    /// row (same panics on malformed rows).
+    #[must_use]
+    pub fn from_rows(n_cols: u32, k: usize, seed: u64, rows: &[Vec<u32>]) -> Self {
+        let mut miner = Self::new(n_cols, k, seed);
+        for row in rows {
+            miner.push_row(row);
+        }
+        miner
+    }
+
     /// Rows ingested so far.
     #[must_use]
     pub fn n_rows(&self) -> u32 {
         self.rows.len() as u32
+    }
+
+    /// The retained rows, in ingest order.
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<u32>] {
+        &self.rows
     }
 
     /// Appends one row (strictly ascending column ids).

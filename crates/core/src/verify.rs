@@ -10,7 +10,7 @@ use sfa_matrix::{MatrixError, Result, RowStream, SparseMatrix};
 use sfa_minhash::CandidatePair;
 
 use crate::report::VerifiedPair;
-use crate::shutdown::CancelToken;
+use crate::shutdown::{CancelToken, CANCEL_POLL_STRIDE};
 
 /// Flat CSR-style partner adjacency: for each column, its `(partner,
 /// candidate-index)` list, in one allocation instead of `m` heap vectors.
@@ -207,6 +207,7 @@ pub fn verify_candidates_resumable<S: RowStream>(
     };
     let mut present = vec![false; m];
     let mut buf = Vec::new();
+    let mut cancel = cancel.throttled(CANCEL_POLL_STRIDE);
     while stream.read_row(&mut buf)?.is_some() {
         for &col in &buf {
             present[col as usize] = true;

@@ -28,13 +28,16 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use sfa_core::{
-    MemoryBudget, MiningResult, Pipeline, PipelineConfig, Scheme, METRICS_SCHEMA_VERSION,
+    CancelToken, MemoryBudget, MiningResult, Pipeline, PipelineConfig, Scheme,
+    METRICS_SCHEMA_VERSION,
 };
 use sfa_datagen::{SyntheticConfig, WeblogConfig};
+use sfa_experiments::loadgen::{run_load, LoadConfig};
 use sfa_experiments::{print_table, run_scheme, EXPERIMENT_SEED};
 use sfa_json::Json;
 use sfa_matrix::{stats, MemoryRowStream, RowMajorMatrix, SparseMatrix};
 use sfa_par::ThreadPool;
+use sfa_serve::{Server, ServerConfig};
 
 /// Similarity threshold shared by every baseline run.
 const S_STAR: f64 = 0.7;
@@ -289,6 +292,59 @@ fn sharded_dataset_json(name: &str, rows: &RowMajorMatrix, table: &mut Vec<Vec<S
         .field("runs", runs)
 }
 
+/// Serving latency under a short well-formed load: an in-process
+/// `sfa serve` on a loopback port, driven by the load generator. Every
+/// number here is machine-dependent (latencies, QPS) or load-race-
+/// dependent (reply counts on a slow host), so the whole block lives
+/// under `timing.serving` and the CI diff ignores it.
+fn serving_json(rows: &RowMajorMatrix, table: &mut Vec<Vec<String>>) -> Json {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        threads: 2,
+        s_star: S_STAR,
+        seed: EXPERIMENT_SEED,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(config, rows).expect("bind loopback");
+    let addr = server.local_addr().expect("bound").to_string();
+    let cancel = CancelToken::new();
+    let (report, serving) = std::thread::scope(|s| {
+        let run = s.spawn(|| server.run(&cancel));
+        let report = run_load(&LoadConfig {
+            clients: 4,
+            requests_per_client: 200,
+            adversarial: false,
+            ingest_every: 0,
+            ..LoadConfig::new(&addr, EXPERIMENT_SEED, rows.n_cols())
+        });
+        cancel.cancel();
+        let serving = run.join().expect("server thread").expect("clean drain");
+        (report, serving)
+    });
+    assert!(serving.balances(), "{serving:?}");
+    assert_eq!(report.violations, 0, "{report:?}");
+    let (p50, p99, qps) = (
+        report.percentile_micros(0.50),
+        report.percentile_micros(0.99),
+        report.qps(),
+    );
+    table.push(vec![
+        "serve (4 clients × 200)".to_owned(),
+        format!("{p50}"),
+        format!("{p99}"),
+        format!("{qps:.0}"),
+    ]);
+    Json::obj()
+        .field("clients", 4u32)
+        .field("requests_per_client", 200u32)
+        .field("replies", report.ok + report.err)
+        .field("p50_micros", p50)
+        .field("p99_micros", p99)
+        .field("qps", qps)
+        .field("server_p50_micros", serving.p50_micros)
+        .field("server_p99_micros", serving.p99_micros)
+}
+
 fn dataset_json(name: &str, rows: &RowMajorMatrix, table: &mut Vec<Vec<String>>) -> Json {
     let mut runs = Vec::new();
     for scheme in schemes() {
@@ -371,10 +427,21 @@ fn main() {
         &kernel_table,
     );
 
+    let mut serving_table = Vec::new();
+    let serving = serving_json(&synthetic, &mut serving_table);
+    print_table(
+        "serving latency (in-process sfa serve, well-formed load)",
+        &["load", "p50(µs)", "p99(µs)", "qps"],
+        &serving_table,
+    );
+
     let doc = Json::obj()
         .field("schema_version", METRICS_SCHEMA_VERSION)
         .field("seed", EXPERIMENT_SEED)
-        .field("timing", speedups.field("kernels", kernels))
+        .field(
+            "timing",
+            speedups.field("kernels", kernels).field("serving", serving),
+        )
         .field("datasets", datasets);
     let path = out_path();
     std::fs::write(&path, doc.to_string_pretty()).expect("write BENCH_pipeline.json");

@@ -1,0 +1,112 @@
+//! Adversarial load generator CLI for `sfa serve` (see [`loadgen`]).
+//!
+//! ```text
+//! cargo run --release -p sfa-experiments --bin serve-loadgen -- \
+//!     --addr 127.0.0.1:4617 --cols 1300 [--seed N] [--clients N] \
+//!     [--requests N] [--adversarial true|false] [--ingest-every N]
+//! ```
+//!
+//! Prints a disposition table and one machine-readable JSON summary line
+//! (`loadgen: {...}`). Exit codes: 0 clean run, 1 the server violated the
+//! client-visible protocol (a reply line that is not `OK`/`ERR`/
+//! `OVERLOADED`, or a truncated multi-line body), 2 usage error.
+//!
+//! [`loadgen`]: sfa_experiments::loadgen
+
+use std::process::ExitCode;
+
+use sfa_experiments::loadgen::{run_load, LoadConfig};
+use sfa_experiments::print_table;
+use sfa_json::Json;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: serve-loadgen --addr HOST:PORT --cols N [--seed N] [--clients N] \
+         [--requests N] [--adversarial true|false] [--ingest-every N]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr: Option<String> = None;
+    let mut cols: Option<u32> = None;
+    let mut seed = 1u64;
+    let mut clients = 24usize;
+    let mut requests = 64usize;
+    let mut adversarial = true;
+    let mut ingest_every = 7usize;
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(value) = it.next() else {
+            return usage();
+        };
+        let ok = match key.as_str() {
+            "--addr" => {
+                addr = Some(value.clone());
+                true
+            }
+            "--cols" => value.parse().map(|v| cols = Some(v)).is_ok(),
+            "--seed" => value.parse().map(|v| seed = v).is_ok(),
+            "--clients" => value.parse().map(|v| clients = v).is_ok(),
+            "--requests" => value.parse().map(|v| requests = v).is_ok(),
+            "--adversarial" => value.parse().map(|v| adversarial = v).is_ok(),
+            "--ingest-every" => value.parse().map(|v| ingest_every = v).is_ok(),
+            _ => false,
+        };
+        if !ok {
+            return usage();
+        }
+    }
+    let (Some(addr), Some(cols)) = (addr, cols) else {
+        return usage();
+    };
+    let cfg = LoadConfig {
+        addr,
+        seed,
+        clients,
+        requests_per_client: requests,
+        n_cols: cols,
+        adversarial,
+        ingest_every,
+    };
+
+    let report = run_load(&cfg);
+    print_table(
+        &format!(
+            "serve-loadgen (seed {seed}, {clients} clients × {requests} requests, \
+             adversarial: {adversarial})"
+        ),
+        &["disposition", "count"],
+        &[
+            vec!["sent".into(), report.sent.to_string()],
+            vec!["ok".into(), report.ok.to_string()],
+            vec!["err".into(), report.err.to_string()],
+            vec!["overloaded".into(), report.overloaded.to_string()],
+            vec!["closed".into(), report.closed.to_string()],
+            vec!["violations".into(), report.violations.to_string()],
+            vec![
+                "acked ingests".into(),
+                report.acked_ingests.len().to_string(),
+            ],
+        ],
+    );
+    let summary = Json::obj()
+        .field("seed", seed)
+        .field("ok", report.ok)
+        .field("err", report.err)
+        .field("overloaded", report.overloaded)
+        .field("closed", report.closed)
+        .field("violations", report.violations)
+        .field("acked_ingests", report.acked_ingests.len())
+        .field("p50_micros", report.percentile_micros(0.50))
+        .field("p99_micros", report.percentile_micros(0.99))
+        .field("qps", report.qps());
+    println!("loadgen: {summary}");
+    if report.violations == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("serve-loadgen: {} protocol violations", report.violations);
+        ExitCode::from(1)
+    }
+}

@@ -17,11 +17,13 @@
 //! | `confidence_rules` | §6 — high-confidence rules without support |
 //! | `all_experiments` | runs everything above |
 //! | `chaos-kill-loop` | [`chaos`] — crash-recovery kill-loop smoke test |
+//! | `serve-loadgen` | [`loadgen`] — adversarial load against `sfa serve` |
 //!
 //! Each binary prints the paper-shaped rows/series and writes CSV files
 //! into `results/`.
 
 pub mod chaos;
+pub mod loadgen;
 
 use std::io::Write as _;
 use std::path::PathBuf;

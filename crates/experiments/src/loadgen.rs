@@ -1,0 +1,474 @@
+//! Seeded adversarial load generator for `sfa serve`.
+//!
+//! Drives a live server over its line protocol with a reproducible mix of
+//! client behaviors — well-formed query traffic, slow-loris stalls,
+//! mid-request disconnects, garbage floods, and oversized lines — and
+//! reports what came back. Every choice derives from
+//! [`sfa_hash::hash64_with_seed`], so a failing schedule replays exactly.
+//!
+//! The generator is deliberately server-agnostic: it asserts only the
+//! *client-visible* contract (every reply line starts with `OK`, `ERR`,
+//! or `OVERLOADED`; a reply either arrives whole or the connection
+//! closes). Server-side invariants — the disposition balance, bounded
+//! memory, durability of acknowledged ingests — are asserted by the
+//! harness in `tests/serve_robustness.rs` from the metrics the server
+//! emits.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use sfa_hash::hash64_with_seed;
+
+/// What one generator run should do.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address, e.g. `127.0.0.1:4617`.
+    pub addr: String,
+    /// Root seed; every client decision derives from it.
+    pub seed: u64,
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Requests each well-formed client attempts.
+    pub requests_per_client: usize,
+    /// Column universe of the served table (query targets stay in range).
+    pub n_cols: u32,
+    /// Mix in adversarial clients (slow-loris, disconnects, garbage,
+    /// oversized lines). When false every client is well-formed — the
+    /// configuration the latency benchmark uses.
+    pub adversarial: bool,
+    /// Every `ingest_every`-th well-formed request is an `INGEST`
+    /// (0 = never ingest).
+    pub ingest_every: usize,
+}
+
+impl LoadConfig {
+    /// A small default against `addr`: 8 clients × 32 requests.
+    #[must_use]
+    pub fn new(addr: &str, seed: u64, n_cols: u32) -> Self {
+        Self {
+            addr: addr.to_owned(),
+            seed,
+            clients: 8,
+            requests_per_client: 32,
+            n_cols,
+            adversarial: true,
+            ingest_every: 7,
+        }
+    }
+}
+
+/// What a run observed, merged across all clients.
+#[derive(Debug, Default)]
+pub struct LoadReport {
+    /// Complete well-formed requests written to a socket.
+    pub sent: u64,
+    /// `OK` replies received.
+    pub ok: u64,
+    /// `ERR` replies received.
+    pub err: u64,
+    /// `OVERLOADED` replies received (explicit shed).
+    pub overloaded: u64,
+    /// Connections that closed (EOF or client-side timeout) before a
+    /// reply — the server shed them quietly or timed them out.
+    pub closed: u64,
+    /// Reply lines violating the protocol (first token not
+    /// `OK`/`ERR`/`OVERLOADED`, or a truncated multi-line body).
+    pub violations: u64,
+    /// Rows the server acknowledged via `INGEST` → `OK <row_id>`,
+    /// in `(row_id, columns)` form — the durability obligation set.
+    pub acked_ingests: Vec<(u64, Vec<u32>)>,
+    /// Latency of each `OK`/`ERR` reply, in microseconds.
+    pub latencies_micros: Vec<u64>,
+    /// Wall-clock seconds of the whole run.
+    pub elapsed_secs: f64,
+}
+
+impl LoadReport {
+    fn merge(&mut self, other: LoadReport) {
+        self.sent += other.sent;
+        self.ok += other.ok;
+        self.err += other.err;
+        self.overloaded += other.overloaded;
+        self.closed += other.closed;
+        self.violations += other.violations;
+        self.acked_ingests.extend(other.acked_ingests);
+        self.latencies_micros.extend(other.latencies_micros);
+    }
+
+    /// The `p`-th latency percentile in microseconds (0 when idle).
+    #[must_use]
+    pub fn percentile_micros(&self, p: f64) -> u64 {
+        if self.latencies_micros.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies_micros.clone();
+        sorted.sort_unstable();
+        #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+        let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Replies per second over the run.
+    #[must_use]
+    pub fn qps(&self) -> f64 {
+        if self.elapsed_secs > 0.0 {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                (self.ok + self.err) as f64 / self.elapsed_secs
+            }
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The behavior one client plays out, drawn from the seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClientKind {
+    /// Sends valid requests and reads full replies.
+    WellFormed,
+    /// Writes half a request, then goes silent holding the socket.
+    SlowLoris,
+    /// Disconnects mid-request without reading the reply.
+    Disconnect,
+    /// Floods seeded garbage bytes (NULs, high bytes, empty lines).
+    Garbage,
+    /// Writes one line far past the server's line limit.
+    Oversized,
+}
+
+fn kind_for(client: usize, cfg: &LoadConfig) -> ClientKind {
+    if !cfg.adversarial {
+        return ClientKind::WellFormed;
+    }
+    match hash64_with_seed(client as u64, cfg.seed) % 10 {
+        0..=5 => ClientKind::WellFormed,
+        6 => ClientKind::SlowLoris,
+        7 => ClientKind::Disconnect,
+        8 => ClientKind::Garbage,
+        _ => ClientKind::Oversized,
+    }
+}
+
+/// Generous client-side read budget: anything slower counts as `closed`
+/// (the server's own timeouts are far shorter).
+const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+fn connect(addr: &str) -> Option<TcpStream> {
+    let stream = TcpStream::connect(addr).ok()?;
+    stream.set_read_timeout(Some(CLIENT_READ_TIMEOUT)).ok()?;
+    stream.set_write_timeout(Some(CLIENT_READ_TIMEOUT)).ok()?;
+    stream.set_nodelay(true).ok()?;
+    Some(stream)
+}
+
+/// One well-formed request, drawn from the seed. Returns the request line
+/// and, for `INGEST`, the columns it carries.
+fn draw_request(roll: u64, cfg: &LoadConfig, req_idx: usize) -> (String, Option<Vec<u32>>) {
+    let cols = u64::from(cfg.n_cols.max(1));
+    if cfg.ingest_every > 0 && req_idx % cfg.ingest_every == cfg.ingest_every - 1 {
+        // A sorted, strictly-ascending column set of 1–3 columns.
+        let a = (roll % cols) as u32;
+        let b = (roll / 7 % cols) as u32;
+        let mut set = vec![a, b, (roll / 49 % cols) as u32];
+        set.sort_unstable();
+        set.dedup();
+        let words: Vec<String> = set.iter().map(ToString::to_string).collect();
+        return (format!("INGEST {}", words.join(" ")), Some(set));
+    }
+    let line = match roll % 4 {
+        0 => format!("TOPK {} {}", roll / 5 % cols, 1 + roll % 8),
+        1 => format!("SIM {} {}", roll / 3 % cols, roll / 11 % cols),
+        2 => format!("PAIRS 0.{}", 1 + roll % 9),
+        _ => "HEALTH".to_owned(),
+    };
+    (line, None)
+}
+
+/// Reads one reply header line; `None` when the connection closed first.
+/// Only `TOPK`/`PAIRS` replies carry a body — the caller knows which verb
+/// it sent and drains accordingly.
+fn read_reply(reader: &mut BufReader<TcpStream>) -> Option<String> {
+    let mut header = String::new();
+    match reader.read_line(&mut header) {
+        Ok(0) | Err(_) => return None,
+        Ok(_) => {}
+    }
+    Some(header.trim_end().to_owned())
+}
+
+fn drain_body(reader: &mut BufReader<TcpStream>, n: usize) -> bool {
+    let mut line = String::new();
+    for _ in 0..n {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return false,
+            Ok(_) => {}
+        }
+    }
+    true
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_well_formed(cfg: &LoadConfig, client: usize) -> LoadReport {
+    let mut report = LoadReport::default();
+    let Some(stream) = connect(&cfg.addr) else {
+        report.closed += 1;
+        return report;
+    };
+    let mut writer = stream.try_clone().ok();
+    let mut reader = BufReader::new(stream);
+    for req_idx in 0..cfg.requests_per_client {
+        let roll = hash64_with_seed((client as u64) << 20 | req_idx as u64, cfg.seed ^ 0xA5);
+        let (line, ingest_cols) = draw_request(roll, cfg, req_idx);
+        let Some(w) = writer.as_mut() else { break };
+        if w.write_all(format!("{line}\n").as_bytes()).is_err() {
+            report.closed += 1;
+            break;
+        }
+        report.sent += 1;
+        let started = Instant::now();
+        let Some(header) = read_reply(&mut reader) else {
+            // EOF or timeout before a reply: shed quietly or timed out.
+            report.closed += 1;
+            break;
+        };
+        let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let words: Vec<&str> = header.split(' ').collect();
+        match words.first().copied() {
+            Some("OK") => {
+                report.ok += 1;
+                report.latencies_micros.push(micros);
+                let verb_has_body = line.starts_with("TOPK") || line.starts_with("PAIRS");
+                if verb_has_body {
+                    let n: usize = words.get(1).and_then(|w| w.parse().ok()).unwrap_or(0);
+                    if !drain_body(&mut reader, n) {
+                        report.violations += 1;
+                        break;
+                    }
+                }
+                if let Some(cols) = ingest_cols {
+                    if let Some(row_id) = words.get(1).and_then(|w| w.parse().ok()) {
+                        report.acked_ingests.push((row_id, cols));
+                    } else {
+                        report.violations += 1;
+                    }
+                }
+            }
+            Some("ERR") => {
+                report.err += 1;
+                report.latencies_micros.push(micros);
+            }
+            Some("OVERLOADED") => {
+                report.overloaded += 1;
+                // The server closes after shedding; reconnect costs are
+                // the client's problem, so this client just stops.
+                break;
+            }
+            _ => {
+                report.violations += 1;
+                break;
+            }
+        }
+    }
+    report
+}
+
+fn run_slow_loris(cfg: &LoadConfig, client: usize) -> LoadReport {
+    let mut report = LoadReport::default();
+    let Some(mut stream) = connect(&cfg.addr) else {
+        report.closed += 1;
+        return report;
+    };
+    // Half a request, one byte at a time, never a newline.
+    for (i, b) in b"TOPK 0".iter().enumerate() {
+        if stream.write_all(&[*b]).is_err() {
+            break;
+        }
+        let pause = 20 + hash64_with_seed((client as u64) * 31 + i as u64, cfg.seed) % 40;
+        std::thread::sleep(Duration::from_millis(pause));
+    }
+    // Hold the socket open a while longer, then vanish.
+    std::thread::sleep(Duration::from_millis(150));
+    report.closed += 1;
+    report
+}
+
+fn run_disconnect(cfg: &LoadConfig, client: usize) -> LoadReport {
+    let mut report = LoadReport::default();
+    // A few complete requests (never reading replies), then a torn one.
+    let Some(mut stream) = connect(&cfg.addr) else {
+        report.closed += 1;
+        return report;
+    };
+    let n = 1 + hash64_with_seed(client as u64, cfg.seed ^ 0x77) % 3;
+    for i in 0..n {
+        if stream
+            .write_all(format!("HEALTH\n{}", if i == n - 1 { "SIM 0" } else { "" }).as_bytes())
+            .is_err()
+        {
+            break;
+        }
+    }
+    drop(stream); // mid-request RST
+    report.closed += 1;
+    report
+}
+
+fn run_garbage(cfg: &LoadConfig, client: usize) -> LoadReport {
+    let mut report = LoadReport::default();
+    let Some(mut stream) = connect(&cfg.addr) else {
+        report.closed += 1;
+        return report;
+    };
+    let mut state = hash64_with_seed(client as u64, cfg.seed ^ 0xBEEF) | 1;
+    let mut buf = Vec::with_capacity(512);
+    for _ in 0..512 {
+        // xorshift64 over the seed: bytes include NULs, high bytes, and
+        // the occasional newline so some "lines" complete.
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let b = (state % 260) as u32;
+        buf.push(if b >= 256 { b'\n' } else { b as u8 });
+    }
+    let _ = stream.write_all(&buf);
+    // Read whatever comes back (ERR lines or a close); never panic.
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    while let Ok(n) = reader.read_line(&mut line) {
+        if n == 0 {
+            break;
+        }
+        if line.starts_with("ERR") {
+            report.err += 1;
+        }
+        line.clear();
+    }
+    report.closed += 1;
+    report
+}
+
+fn run_oversized(cfg: &LoadConfig, _client: usize) -> LoadReport {
+    let mut report = LoadReport::default();
+    let Some(mut stream) = connect(&cfg.addr) else {
+        report.closed += 1;
+        return report;
+    };
+    // 128 KiB without a newline: twice the server's line limit.
+    let blob = vec![b'A'; 128 << 10];
+    let _ = stream.write_all(&blob);
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(n) if n > 0 && line.starts_with("ERR") => report.err += 1,
+        _ => report.closed += 1,
+    }
+    report
+}
+
+/// Runs the configured load and merges every client's observations.
+///
+/// # Panics
+///
+/// Panics if a client thread panics (the generator itself is bug-free by
+/// assertion; a panic here is a harness defect worth failing loudly on).
+#[must_use]
+pub fn run_load(cfg: &LoadConfig) -> LoadReport {
+    let merged = Mutex::new(LoadReport::default());
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for client in 0..cfg.clients {
+            let merged = &merged;
+            s.spawn(move || {
+                let report = match kind_for(client, cfg) {
+                    ClientKind::WellFormed => run_well_formed(cfg, client),
+                    ClientKind::SlowLoris => run_slow_loris(cfg, client),
+                    ClientKind::Disconnect => run_disconnect(cfg, client),
+                    ClientKind::Garbage => run_garbage(cfg, client),
+                    ClientKind::Oversized => run_oversized(cfg, client),
+                };
+                merged.lock().expect("report lock").merge(report);
+            });
+        }
+    });
+    let mut report = merged.into_inner().expect("report lock");
+    report.elapsed_secs = started.elapsed().as_secs_f64();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_seeded_and_cover_the_mix() {
+        let cfg = LoadConfig::new("127.0.0.1:1", 42, 8);
+        let kinds: Vec<ClientKind> = (0..64).map(|c| kind_for(c, &cfg)).collect();
+        let again: Vec<ClientKind> = (0..64).map(|c| kind_for(c, &cfg)).collect();
+        assert_eq!(kinds, again, "kind assignment must be deterministic");
+        for want in [
+            ClientKind::WellFormed,
+            ClientKind::SlowLoris,
+            ClientKind::Disconnect,
+            ClientKind::Garbage,
+            ClientKind::Oversized,
+        ] {
+            assert!(kinds.contains(&want), "{want:?} missing from 64 clients");
+        }
+        let mut tame = cfg;
+        tame.adversarial = false;
+        assert!((0..64).all(|c| kind_for(c, &tame) == ClientKind::WellFormed));
+    }
+
+    #[test]
+    fn drawn_requests_are_valid_protocol_lines() {
+        let cfg = LoadConfig::new("127.0.0.1:1", 7, 5);
+        for i in 0..200 {
+            let (line, ingest) = draw_request(hash64_with_seed(i, 3), &cfg, i as usize);
+            let words: Vec<&str> = line.split(' ').collect();
+            match words[0] {
+                "TOPK" | "SIM" => assert_eq!(words.len(), 3, "{line}"),
+                "PAIRS" => assert_eq!(words.len(), 2, "{line}"),
+                "HEALTH" => assert_eq!(words.len(), 1),
+                "INGEST" => {
+                    let cols = ingest.expect("ingest carries its columns");
+                    assert!(!cols.is_empty());
+                    assert!(cols.windows(2).all(|w| w[0] < w[1]), "ascending: {line}");
+                    assert!(cols.iter().all(|&c| c < cfg.n_cols));
+                }
+                other => panic!("unexpected verb {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn percentiles_and_qps_summarize_the_run() {
+        let mut r = LoadReport {
+            latencies_micros: (1..=100).collect(),
+            ok: 100,
+            elapsed_secs: 2.0,
+            ..Default::default()
+        };
+        assert_eq!(r.percentile_micros(0.50), 50);
+        assert_eq!(r.percentile_micros(0.99), 99);
+        assert!((r.qps() - 50.0).abs() < 1e-9);
+        r.latencies_micros.clear();
+        assert_eq!(r.percentile_micros(0.5), 0);
+    }
+
+    #[test]
+    fn against_a_dead_port_every_client_reports_closed_not_panic() {
+        // Nothing listens on the reserved discard port of localhost; every
+        // kind must degrade to `closed` without panicking.
+        let mut cfg = LoadConfig::new("127.0.0.1:9", 11, 4);
+        cfg.clients = 10;
+        cfg.requests_per_client = 2;
+        let report = run_load(&cfg);
+        assert_eq!(report.ok + report.err + report.overloaded, 0);
+        assert!(report.closed >= 1);
+        assert_eq!(report.violations, 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! Always-on similarity query service over a mined index.
+//!
+//! ROADMAP item 2: turn the batch miner into a service. This crate is the
+//! network layer — dependency-free std TCP, one-line-per-request
+//! protocol — built for hostile conditions:
+//!
+//! * [`protocol`] — the request grammar and a parser total over
+//!   arbitrary bytes (fuzz-proofed; `ERR`, never a panic).
+//! * [`snapshot`] — immutable epoch snapshots of the mined index
+//!   (`TOPK`/`SIM`/`PAIRS` indexes), atomically swappable while readers
+//!   keep serving the old epoch.
+//! * [`stats`] — lock-free request accounting whose dispositions balance
+//!   by construction (`answered + shed + timed_out == accepted`), folded
+//!   into the schema-v5 `serving` metrics block.
+//! * [`wal`] — the durable ingest log: acknowledged `INGEST` rows
+//!   survive a graceful drain and restart.
+//! * [`server`] — admission control (bounded queue, explicit
+//!   `OVERLOADED`), per-request timeouts, and the graceful drain driven
+//!   by [`sfa_core::shutdown::CancelToken`].
+//!
+//! See `docs/SERVING.md` for the protocol and operational contract.
+
+#![warn(missing_docs)]
+
+pub mod protocol;
+pub mod server;
+pub mod snapshot;
+pub mod stats;
+pub mod wal;
+
+pub use protocol::{parse_request, ParseError, Request, MAX_LINE_BYTES};
+pub use server::{Server, ServerConfig};
+pub use snapshot::{Snapshot, SnapshotStore};
+pub use stats::ServerStats;
+pub use wal::IngestLog;

@@ -1,0 +1,268 @@
+//! The line protocol: request grammar, hardened parser, reply formats.
+//!
+//! One request per `\n`-terminated ASCII line (a trailing `\r` is
+//! tolerated for telnet-style clients). The parser is total over
+//! arbitrary bytes: anything outside the grammar yields a bounded
+//! [`ParseError`] — never a panic — which the server answers with a
+//! single `ERR <reason>` line. See `docs/SERVING.md` for the grammar.
+//!
+//! ```text
+//! TOPK <col> <k>      → OK <n>          then n lines "<col> <sim>"
+//! SIM <a> <b>         → OK <sim> <inter> <union>
+//! PAIRS <s*>          → OK <n>          then n lines "<i> <j> <sim>"
+//! HEALTH              → OK epoch=<e> rows=<r> cols=<m> pairs=<p> inflight=<f>
+//! INGEST <c1> <c2> …  → OK <row_id>     (strictly ascending column ids)
+//! QUIT                → OK bye          (server closes the connection)
+//! ```
+
+use std::fmt;
+
+/// Hard cap on one request line, newline included. A line that reaches
+/// this length without a `\n` is malformed; the server replies `ERR` and
+/// closes the connection (framing cannot be trusted past an oversized
+/// line).
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Upper bound on `k` in `TOPK` — a single reply stays small even when a
+/// hostile client asks for the universe.
+pub const MAX_TOPK: u64 = 10_000;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `TOPK <col> <k>`: the up-to-`k` most similar partners of `col`.
+    TopK {
+        /// Queried column.
+        col: u32,
+        /// Maximum partners returned.
+        k: usize,
+    },
+    /// `SIM <a> <b>`: exact similarity of one pair.
+    Sim {
+        /// First column.
+        a: u32,
+        /// Second column.
+        b: u32,
+    },
+    /// `PAIRS <s*>`: every verified pair with similarity ≥ `s*`.
+    Pairs {
+        /// Similarity threshold in `[0, 1]`.
+        s_star: f64,
+    },
+    /// `HEALTH`: snapshot epoch and server gauges.
+    Health,
+    /// `INGEST <c1> <c2> …`: append one row (strictly ascending columns).
+    Ingest {
+        /// The row's column ids.
+        cols: Vec<u32>,
+    },
+    /// `QUIT`: polite close.
+    Quit,
+}
+
+/// Why a request failed to parse. The reason is a short static token —
+/// hostile bytes never echo back into the reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseError {
+    /// Static, newline-free reason token for the `ERR` reply.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+const fn err(reason: &'static str) -> ParseError {
+    ParseError { reason }
+}
+
+fn parse_u32(token: &str, what: &'static str) -> Result<u32, ParseError> {
+    token.parse::<u32>().map_err(|_| err(what))
+}
+
+/// Parses one complete request line (without its terminating `\n`).
+///
+/// Total over arbitrary bytes: embedded NULs, non-ASCII, bad UTF-8, and
+/// out-of-grammar tokens all map to a [`ParseError`], never a panic.
+///
+/// # Errors
+///
+/// [`ParseError`] with a static reason token.
+pub fn parse_request(line: &[u8]) -> Result<Request, ParseError> {
+    if line.len() >= MAX_LINE_BYTES {
+        return Err(err("line too long"));
+    }
+    // Tolerate one trailing carriage return (CRLF clients).
+    let line = line.strip_suffix(b"\r").unwrap_or(line);
+    if line.is_empty() {
+        return Err(err("empty request"));
+    }
+    // The grammar is printable ASCII; reject control bytes (including
+    // NUL) before any string handling.
+    if !line.iter().all(|&b| b.is_ascii_graphic() || b == b' ') {
+        return Err(err("non-printable byte"));
+    }
+    let line = std::str::from_utf8(line).map_err(|_| err("invalid utf-8"))?;
+    let mut tokens = line.split(' ').filter(|t| !t.is_empty());
+    let verb = tokens.next().ok_or(err("empty request"))?;
+    let rest: Vec<&str> = tokens.collect();
+    match verb {
+        "TOPK" => {
+            let [col, k] = rest[..] else {
+                return Err(err("usage: TOPK <col> <k>"));
+            };
+            let col = parse_u32(col, "bad column id")?;
+            let k = k.parse::<u64>().map_err(|_| err("bad k"))?;
+            if k == 0 || k > MAX_TOPK {
+                return Err(err("k out of range"));
+            }
+            Ok(Request::TopK { col, k: k as usize })
+        }
+        "SIM" => {
+            let [a, b] = rest[..] else {
+                return Err(err("usage: SIM <a> <b>"));
+            };
+            Ok(Request::Sim {
+                a: parse_u32(a, "bad column id")?,
+                b: parse_u32(b, "bad column id")?,
+            })
+        }
+        "PAIRS" => {
+            let [s] = rest[..] else {
+                return Err(err("usage: PAIRS <s*>"));
+            };
+            let s_star = s.parse::<f64>().map_err(|_| err("bad threshold"))?;
+            if !(0.0..=1.0).contains(&s_star) {
+                return Err(err("threshold out of range"));
+            }
+            Ok(Request::Pairs { s_star })
+        }
+        "HEALTH" => {
+            if rest.is_empty() {
+                Ok(Request::Health)
+            } else {
+                Err(err("usage: HEALTH"))
+            }
+        }
+        "INGEST" => {
+            if rest.is_empty() {
+                return Err(err("usage: INGEST <c1> <c2> ..."));
+            }
+            let mut cols = Vec::with_capacity(rest.len());
+            for token in rest {
+                cols.push(parse_u32(token, "bad column id")?);
+            }
+            if !cols.windows(2).all(|w| w[0] < w[1]) {
+                return Err(err("columns not strictly ascending"));
+            }
+            Ok(Request::Ingest { cols })
+        }
+        "QUIT" => {
+            if rest.is_empty() {
+                Ok(Request::Quit)
+            } else {
+                Err(err("usage: QUIT"))
+            }
+        }
+        _ => Err(err("unknown verb")),
+    }
+}
+
+/// Formats a similarity for the wire: fixed six decimal places, so
+/// replies are byte-deterministic across platforms.
+#[must_use]
+pub fn fmt_sim(sim: f64) -> String {
+    format!("{sim:.6}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_verb() {
+        assert_eq!(
+            parse_request(b"TOPK 3 10"),
+            Ok(Request::TopK { col: 3, k: 10 })
+        );
+        assert_eq!(parse_request(b"SIM 1 2"), Ok(Request::Sim { a: 1, b: 2 }));
+        assert_eq!(
+            parse_request(b"PAIRS 0.8"),
+            Ok(Request::Pairs { s_star: 0.8 })
+        );
+        assert_eq!(parse_request(b"HEALTH"), Ok(Request::Health));
+        assert_eq!(
+            parse_request(b"INGEST 0 4 9"),
+            Ok(Request::Ingest {
+                cols: vec![0, 4, 9]
+            })
+        );
+        assert_eq!(parse_request(b"QUIT"), Ok(Request::Quit));
+    }
+
+    #[test]
+    fn tolerates_crlf_and_repeated_spaces() {
+        assert_eq!(
+            parse_request(b"SIM  1   2\r"),
+            Ok(Request::Sim { a: 1, b: 2 })
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_without_panicking() {
+        for bad in [
+            &b""[..],
+            b"\r",
+            b"BOGUS",
+            b"TOPK",
+            b"TOPK 1",
+            b"TOPK 1 2 3",
+            b"TOPK x 2",
+            b"TOPK 1 0",
+            b"TOPK 1 99999999",
+            b"SIM 1",
+            b"SIM -1 2",
+            b"SIM 1 99999999999999999999",
+            b"PAIRS",
+            b"PAIRS nan",
+            b"PAIRS 1.5",
+            b"PAIRS -0.1",
+            b"HEALTH now",
+            b"INGEST",
+            b"INGEST 3 1",
+            b"INGEST 2 2",
+            b"INGEST 1 two",
+            b"QUIT now",
+            b"SIM 1 2\0",
+            b"\0\0\0\0",
+            b"\xff\xfe TOPK 1 2",
+            b"sim 1 2",
+        ] {
+            let e = parse_request(bad).expect_err("must reject");
+            assert!(!e.reason.is_empty() && !e.reason.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn pairs_accepts_the_threshold_boundaries() {
+        assert_eq!(
+            parse_request(b"PAIRS 0"),
+            Ok(Request::Pairs { s_star: 0.0 })
+        );
+        assert_eq!(
+            parse_request(b"PAIRS 1"),
+            Ok(Request::Pairs { s_star: 1.0 })
+        );
+    }
+
+    #[test]
+    fn sim_formatting_is_fixed_width() {
+        assert_eq!(fmt_sim(0.5), "0.500000");
+        assert_eq!(fmt_sim(1.0), "1.000000");
+        assert_eq!(fmt_sim(1.0 / 3.0), "0.333333");
+    }
+}

@@ -1,0 +1,218 @@
+//! Immutable epoch snapshots of the mined index, atomically swappable.
+//!
+//! A [`Snapshot`] holds everything a query needs — the verified pairs, a
+//! per-column adjacency sorted by similarity for `TOPK`, and the exact
+//! column sets for `SIM` — built once, then shared read-only across every
+//! worker. Ingested rows accumulate off the hot path; a rebuild produces
+//! the next snapshot from scratch and [`SnapshotStore::swap`]s it in
+//! behind an `Arc`, so readers never block on a writer: they clone the
+//! current `Arc` under a momentary read lock and keep serving from the
+//! old epoch until they next look.
+
+use std::sync::{Arc, RwLock};
+
+use sfa_core::streaming::StreamingMiner;
+use sfa_core::VerifiedPair;
+use sfa_matrix::{Result, RowMajorMatrix, SparseMatrix};
+
+/// One immutable epoch of the mined index.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// Monotone epoch counter; 1 is the startup snapshot.
+    pub epoch: u64,
+    /// Rows folded into this snapshot (base + ingested).
+    pub n_rows: u32,
+    /// Column universe (fixed for the server's lifetime).
+    pub n_cols: u32,
+    /// Verified pairs at or above the serving threshold, sorted by
+    /// descending similarity (ties by `(i, j)`).
+    pub pairs: Vec<VerifiedPair>,
+    /// `partners[c]` = `(partner, similarity)` of every pair touching
+    /// `c`, sorted by descending similarity — the `TOPK` index.
+    partners: Vec<Vec<(u32, f64)>>,
+    /// Exact column sets (CSC) — the `SIM` index.
+    columns: SparseMatrix,
+}
+
+impl Snapshot {
+    /// Builds an epoch from the full row set: mines verified pairs at
+    /// `s_star` via the streaming sketch (size `k`, seeded) and indexes
+    /// them for queries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates matrix-construction errors (malformed rows).
+    pub fn build(
+        epoch: u64,
+        n_cols: u32,
+        rows: &[Vec<u32>],
+        k: usize,
+        seed: u64,
+        s_star: f64,
+        delta: f64,
+    ) -> Result<Self> {
+        let miner = StreamingMiner::from_rows(n_cols, k, seed, rows);
+        let pairs = miner.mine(s_star, delta)?;
+        let matrix = RowMajorMatrix::from_rows(n_cols, rows.to_vec())?;
+        let columns = matrix.transpose();
+        let mut partners: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n_cols as usize];
+        // `pairs` is already sorted by descending similarity, so pushing
+        // in order keeps each adjacency list sorted too.
+        for p in &pairs {
+            partners[p.i as usize].push((p.j, p.similarity));
+            partners[p.j as usize].push((p.i, p.similarity));
+        }
+        Ok(Self {
+            epoch,
+            n_rows: rows.len() as u32,
+            n_cols,
+            pairs,
+            partners,
+            columns,
+        })
+    }
+
+    /// The up-to-`k` most similar verified partners of `col`.
+    #[must_use]
+    pub fn top_k(&self, col: u32, k: usize) -> &[(u32, f64)] {
+        let list = &self.partners[col as usize];
+        &list[..k.min(list.len())]
+    }
+
+    /// Exact `(similarity, intersection, union)` of one column pair,
+    /// computed from the column sets (not limited to mined pairs).
+    #[must_use]
+    pub fn similarity(&self, a: u32, b: u32) -> (f64, u64, u64) {
+        let inter = self.columns.intersection_size(a, b) as u64;
+        let union =
+            self.columns.column_count(a) as u64 + self.columns.column_count(b) as u64 - inter;
+        let sim = if union == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                inter as f64 / union as f64
+            }
+        };
+        (sim, inter, union)
+    }
+
+    /// Verified pairs with similarity ≥ `s_star` (a prefix of `pairs`,
+    /// which is sorted descending).
+    #[must_use]
+    pub fn pairs_at(&self, s_star: f64) -> &[VerifiedPair] {
+        let cut = self.pairs.partition_point(|p| p.similarity >= s_star);
+        &self.pairs[..cut]
+    }
+}
+
+/// The shared, swappable handle to the current [`Snapshot`].
+///
+/// Readers pay one brief read-lock acquisition to clone the `Arc`; the
+/// writer holds the write lock only for the pointer swap. No reader ever
+/// waits on a rebuild.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    current: RwLock<Arc<Snapshot>>,
+}
+
+impl SnapshotStore {
+    /// Wraps the startup snapshot.
+    #[must_use]
+    pub fn new(initial: Snapshot) -> Self {
+        Self {
+            current: RwLock::new(Arc::new(initial)),
+        }
+    }
+
+    /// The current epoch's snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a writer panicked while swapping (poisoned lock) — which
+    /// cannot happen: the swap is a pointer store.
+    #[must_use]
+    pub fn load(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.current.read().expect("snapshot lock poisoned"))
+    }
+
+    /// Atomically publishes a new epoch.
+    ///
+    /// # Panics
+    ///
+    /// See [`load`](Self::load).
+    pub fn swap(&self, next: Snapshot) {
+        *self.current.write().expect("snapshot lock poisoned") = Arc::new(next);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Vec<u32>> {
+        // Columns 0 and 1 co-occur in every row; column 2 in half.
+        (0..8u32)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vec![0, 1, 2]
+                } else {
+                    vec![0, 1]
+                }
+            })
+            .collect()
+    }
+
+    fn snap() -> Snapshot {
+        Snapshot::build(1, 3, &rows(), 32, 7, 0.4, 0.2).unwrap()
+    }
+
+    #[test]
+    fn build_indexes_pairs_both_ways() {
+        let s = snap();
+        assert_eq!(s.epoch, 1);
+        assert_eq!((s.n_rows, s.n_cols), (8, 3));
+        let top = s.top_k(0, 10);
+        assert_eq!(top[0], (1, 1.0), "0-1 are identical");
+        assert_eq!(top[1].0, 2);
+        assert!((top[1].1 - 0.5).abs() < 1e-12);
+        assert_eq!(s.top_k(0, 1).len(), 1, "k truncates");
+        assert_eq!(s.top_k(2, 10).len(), 2, "2 partners 0 and 1");
+    }
+
+    #[test]
+    fn similarity_is_exact_even_for_unmined_pairs() {
+        let s = Snapshot::build(1, 3, &rows(), 32, 7, 0.99, 0.2).unwrap();
+        // 0-2 falls below the mining threshold but SIM still answers.
+        let (sim, inter, union) = s.similarity(0, 2);
+        assert!((sim - 0.5).abs() < 1e-12);
+        assert_eq!((inter, union), (4, 8));
+        let (sim_empty, inter_empty, union_empty) = {
+            let empty = Snapshot::build(1, 2, &[], 8, 1, 0.5, 0.2).unwrap();
+            empty.similarity(0, 1)
+        };
+        assert_eq!((sim_empty, inter_empty, union_empty), (0.0, 0, 0));
+    }
+
+    #[test]
+    fn pairs_at_takes_sorted_prefix() {
+        let s = snap();
+        assert_eq!(s.pairs_at(0.0).len(), s.pairs.len());
+        assert_eq!(s.pairs_at(0.9).len(), 1);
+        assert!(s.pairs_at(1.1).is_empty());
+    }
+
+    #[test]
+    fn store_swaps_epochs_without_blocking_readers() {
+        let store = SnapshotStore::new(snap());
+        let held = store.load();
+        assert_eq!(held.epoch, 1);
+        let mut rows2 = rows();
+        rows2.push(vec![0, 2]);
+        store.swap(Snapshot::build(2, 3, &rows2, 32, 7, 0.4, 0.2).unwrap());
+        // The old epoch stays valid for holders; new loads see epoch 2.
+        assert_eq!(held.epoch, 1);
+        assert_eq!(store.load().epoch, 2);
+        assert_eq!(store.load().n_rows, 9);
+    }
+}

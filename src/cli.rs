@@ -168,6 +168,10 @@ USAGE:
                [--sample F] [--seed N]
   sfa rules  --input FILE [--confidence C] [--k N] [--delta D] [--seed N]
   sfa compare --input FILE [--threshold S] [--k N] [--seed N]
+  sfa serve  --input FILE [--addr HOST:PORT] [--threads N] [--queue-depth N]
+             [--request-timeout-ms MS] [--drain-secs S] [--threshold S]
+             [--k N] [--delta D] [--seed N] [--state-dir DIR]
+             [--metrics-json FILE] [--deadline-secs S]
   sfa help
 
 Parallelism: --threads N runs the in-memory parallel pipeline (N workers;
@@ -178,6 +182,10 @@ unbudgeted run. Composes with --checkpoint-dir, not with --threads.
 Shutdown: mine traps SIGINT/SIGTERM, and --deadline-secs S caps the run's
 wall clock; either cancels at the next safe point after flushing resumable
 state and exits 3 (rerun with the same --checkpoint-dir to resume).
+Serving: serve mines the input at --threshold, prints the bound address,
+and answers TOPK/SIM/PAIRS/HEALTH/INGEST over a line protocol (see
+docs/SERVING.md). On SIGINT/SIGTERM or --deadline-secs it drains within
+--drain-secs, flushes acknowledged ingests to --state-dir, and exits 3.
 Dataset kinds for gen: weblog, news, synthetic, cf, basket.
 ";
 
@@ -216,6 +224,7 @@ pub fn dispatch(raw: &[String]) -> Result<String, CliError> {
         "optimize" => cmd_optimize(&args),
         "rules" => cmd_rules(&args),
         "compare" => cmd_compare(&args),
+        "serve" => cmd_serve(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
     }
@@ -740,6 +749,98 @@ fn write_pairs_csv(
         );
     }
     crate::core::durable::write_atomic(path, text.as_bytes()).map(|_| ())
+}
+
+/// `sfa serve`: load and mine the input, then answer similarity queries
+/// over TCP until a shutdown signal or `--deadline-secs` fires, drain, and
+/// exit through the `Interrupted` (exit-code-3) family — the only way a
+/// server run ends is a shutdown request, so the shutdown contract applies.
+fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    // Validate the whole command line before binding (exit-code-2 contract).
+    let s_star: f64 = args.parse_num("threshold", 0.5)?;
+    let k: usize = args.parse_num("k", 128)?;
+    let delta: f64 = args.parse_num("delta", 0.2)?;
+    let seed: u64 = args.parse_num("seed", 42)?;
+    let threads: usize = args.parse_num("threads", 0)?;
+    let queue_depth: usize = args.parse_num("queue-depth", 64)?;
+    if queue_depth == 0 {
+        return Err(CliError::Usage("--queue-depth must be > 0".into()));
+    }
+    let request_timeout_ms: u64 = args.parse_num("request-timeout-ms", 2_000)?;
+    if request_timeout_ms == 0 {
+        return Err(CliError::Usage("--request-timeout-ms must be > 0".into()));
+    }
+    let drain_secs: f64 = args.parse_num("drain-secs", 5.0)?;
+    if !drain_secs.is_finite() || drain_secs < 0.0 {
+        return Err(CliError::Usage(format!("bad --drain-secs: {drain_secs}")));
+    }
+    if !(0.0..=1.0).contains(&s_star) {
+        return Err(CliError::Usage(format!("bad --threshold: {s_star}")));
+    }
+    let deadline = parse_deadline(args)?;
+    let config = crate::serve::ServerConfig {
+        addr: args.get_or("addr", "127.0.0.1:0").to_owned(),
+        threads,
+        queue_depth,
+        request_timeout: std::time::Duration::from_millis(request_timeout_ms),
+        drain: std::time::Duration::from_secs_f64(drain_secs),
+        s_star,
+        delta,
+        k,
+        seed,
+        state_dir: args.get("state-dir").map(PathBuf::from),
+        // Test hook: linger after the drain so a second signal has a
+        // deterministic window to land in (exercises forced shutdown).
+        drain_hold: std::env::var("SFA_DRAIN_HOLD_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .map_or(std::time::Duration::ZERO, std::time::Duration::from_millis),
+    };
+    let (_, mut stream) = open_input(args)?;
+    let matrix = materialize(&mut stream)?;
+    // Trap shutdown signals before announcing readiness: anyone reading
+    // the bound address may signal immediately, and that must already be
+    // a graceful drain, not a default-disposition kill.
+    crate::core::install_signal_handlers();
+    let mut cancel = CancelToken::new().watching_signals();
+    if let Some(budget) = deadline {
+        cancel = cancel.with_deadline(budget);
+    }
+    let server = crate::serve::Server::bind(config, &matrix).map_err(io_err)?;
+    let bound = server.local_addr().map_err(io_err)?;
+    // The harness reads the bound address (port 0 support) before sending
+    // traffic, so it must hit stdout before the blocking run.
+    {
+        use std::io::Write as _;
+        println!("listening on {bound}");
+        let _ = std::io::stdout().flush();
+    }
+    let serving = server.run(&cancel).map_err(io_err)?;
+    if let Some(path) = args.get("metrics-json") {
+        let config = PipelineConfig::new(Scheme::Mh { k, delta }, s_star, seed);
+        let metrics = crate::core::MiningMetrics {
+            scheme: "serve".to_owned(),
+            threads: threads as u64,
+            serving: Some(serving),
+            ..Default::default()
+        };
+        let doc = crate::core::MetricsDocument::new(
+            config,
+            crate::core::PhaseTimings::default(),
+            metrics,
+        );
+        write_metrics_json(Path::new(path), &doc).map_err(io_err)?;
+    }
+    Err(CliError::Interrupted(format!(
+        "serve drained after shutdown: answered {} / shed {} / timed out {} \
+         of {} accepted, {} rows ingested, over {:.1}s",
+        serving.answered,
+        serving.shed,
+        serving.timed_out,
+        serving.accepted,
+        serving.ingested_rows,
+        serving.uptime_secs
+    )))
 }
 
 fn materialize<S: RowStream>(stream: &mut S) -> Result<crate::matrix::RowMajorMatrix, CliError> {

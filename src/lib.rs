@@ -48,6 +48,7 @@
 //! | [`apriori`] | the classical support-pruned baseline |
 //! | [`datagen`] | seeded generators for the paper's three workloads |
 //! | [`core`] | the three-phase pipeline, quality evaluation, §6 confidence rules, §7 boolean extensions |
+//! | [`serve`] | the always-on TCP query service over a mined index (`sfa serve`) |
 
 pub mod cli;
 
@@ -60,3 +61,4 @@ pub use sfa_lsh as lsh;
 pub use sfa_matrix as matrix;
 pub use sfa_minhash as minhash;
 pub use sfa_par as par;
+pub use sfa_serve as serve;
