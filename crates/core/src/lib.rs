@@ -62,10 +62,11 @@ pub use checkpoint::CheckpointSpec;
 pub use config::{PipelineConfig, Scheme};
 pub use durable::{DurableDir, RecoveredDir, WriteFault, WriteFaultConfig};
 pub use metrics::{
-    MetricsDocument, MiningMetrics, PassMetrics, RecoveryMetrics, ServingMetrics, ShardingMetrics,
-    StageCount, VerifyMetrics, METRICS_SCHEMA_VERSION,
+    KernelMetrics, MetricsDocument, MiningMetrics, PassMetrics, RecoveryMetrics, ServingMetrics,
+    ShardingMetrics, StageCount, VerifyMetrics, METRICS_SCHEMA_VERSION,
 };
 pub use pipeline::{MemoryBudget, Pipeline};
 pub use quality::{evaluate_quality, QualityReport, SCurveBin};
 pub use report::{MiningResult, PhaseTimings, VerifiedPair};
 pub use shutdown::{install_signal_handlers, CancelToken, ThrottledCancel};
+pub use verify::InMemoryKernelReport;

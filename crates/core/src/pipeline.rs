@@ -656,9 +656,14 @@ impl Pipeline {
         // paths keep the row scan).
         let t = Instant::now();
         let columns = matrix.transpose();
-        let (verified, column_counts) =
-            crate::verify::verify_candidates_in_memory_pool(&columns, &candidates, pool);
+        let (verified, column_counts, kernel_report) =
+            crate::verify::verify_candidates_in_memory_pool_with_report(
+                &columns,
+                &candidates,
+                pool,
+            );
         timings.verify = t.elapsed();
+        metrics.kernels = Some(kernel_report.into());
         // Both passes scan the whole in-memory matrix; the in-memory
         // verifier does not count per-pair probes, so `intersection_work`
         // stays 0 on this path (use `run` for the full counters).

@@ -361,21 +361,44 @@ pub fn verify_candidates_pool(
     (verified, column_counts)
 }
 
-/// Bitmap budget for the in-memory fast path: the materialized
-/// candidate-column bitmaps may use at most this much memory
-/// (`⌈n/64⌉ · 8` bytes per touched column); past it the per-pair
-/// adaptive kernel is used instead, which needs no extra memory.
-const IN_MEMORY_BITMAP_CAP_BYTES: usize = 256 << 20;
+/// Memory budget for the in-memory fast path: the materialized hybrid
+/// containers for the candidate-touched columns may use at most this
+/// much payload. The charge is the *actual* container bytes
+/// ([`sfa_matrix::HybridColumns::payload_bytes_for_subset`]), not the
+/// dense `⌈n/64⌉ · 8` bitmap bytes the pre-container accounting
+/// assumed, so compressed columns raise the effective capacity. Past
+/// the cap, each pair falls back to the adaptive per-pair kernel,
+/// which needs no extra memory.
+const IN_MEMORY_CONTAINER_CAP_BYTES: usize = 256 << 20;
+
+/// What the in-memory verifier's kernel layer did for one run — the
+/// source of the `metrics.kernels` block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InMemoryKernelReport {
+    /// The process-wide kernel arm (`"scalar"` | `"avx2"` | `"neon"`).
+    pub dispatch_arm: &'static str,
+    /// Whether hybrid containers were materialized (false = the
+    /// candidate columns busted the cap and the per-pair adaptive
+    /// kernel ran instead).
+    pub used_containers: bool,
+    /// Container tallies of the materialized columns (all zero when
+    /// `used_containers` is false).
+    pub container: sfa_matrix::ContainerStats,
+}
 
 /// In-memory phase 3: verifies candidates directly against a resident
 /// [`SparseMatrix`] (the column-major transpose of the table) instead of
 /// re-scanning rows.
 ///
 /// Column counts are read off the CSC structure; per-candidate
-/// intersections are AND-popcounts over `u64` row-bitmaps materialized
-/// for exactly the columns the candidate list touches
-/// ([`sfa_matrix::BitMatrix::from_csc_subset`]). If those bitmaps would
-/// exceed [`IN_MEMORY_BITMAP_CAP_BYTES`], each pair falls back to the
+/// intersections dispatch through roaring-style hybrid containers
+/// ([`sfa_matrix::HybridColumns::from_csc_subset`]) materialized for
+/// exactly the columns the candidate list touches — each 2^16-row chunk
+/// in its smallest array/bitmap/run representation, each pair counted
+/// by the cheapest container-vs-container kernel (bitmap chunks
+/// AND-popcount through the SIMD-dispatched
+/// [`sfa_matrix::kernel`] layer). If the containers would exceed
+/// [`IN_MEMORY_CONTAINER_CAP_BYTES`], each pair falls back to the
 /// adaptive merge/gallop/bitmap kernel on the CSC slices.
 ///
 /// Output is identical to [`verify_candidates`] over a fault-free stream
@@ -386,15 +409,26 @@ pub fn verify_candidates_in_memory(
     columns: &SparseMatrix,
     candidates: &[CandidatePair],
 ) -> (Vec<VerifiedPair>, Vec<u32>) {
-    let column_counts = csc_column_counts(columns);
-    let intersections = in_memory_intersections(columns, candidates, None);
-    let verified = assemble_verified(candidates, &intersections, &column_counts);
+    let (verified, column_counts, _) = verify_candidates_in_memory_with_report(columns, candidates);
     (verified, column_counts)
 }
 
+/// [`verify_candidates_in_memory`] plus the kernel-layer report.
+#[must_use]
+pub fn verify_candidates_in_memory_with_report(
+    columns: &SparseMatrix,
+    candidates: &[CandidatePair],
+) -> (Vec<VerifiedPair>, Vec<u32>, InMemoryKernelReport) {
+    let column_counts = csc_column_counts(columns);
+    let (intersections, report) =
+        in_memory_intersections(columns, candidates, None, IN_MEMORY_CONTAINER_CAP_BYTES);
+    let verified = assemble_verified(candidates, &intersections, &column_counts);
+    (verified, column_counts, report)
+}
+
 /// Pool-based [`verify_candidates_in_memory`]: candidates are dealt out
-/// dynamically; each worker popcounts its share against the shared
-/// bitmaps. Identical output (each intersection is written by exactly
+/// dynamically; each worker counts its share against the shared
+/// containers. Identical output (each intersection is written by exactly
 /// one worker). Small candidate lists stay on the caller thread (the
 /// pool's serial cutoff).
 #[must_use]
@@ -403,10 +437,27 @@ pub fn verify_candidates_in_memory_pool(
     candidates: &[CandidatePair],
     pool: &sfa_par::ThreadPool,
 ) -> (Vec<VerifiedPair>, Vec<u32>) {
-    let column_counts = csc_column_counts(columns);
-    let intersections = in_memory_intersections(columns, candidates, Some(pool));
-    let verified = assemble_verified(candidates, &intersections, &column_counts);
+    let (verified, column_counts, _) =
+        verify_candidates_in_memory_pool_with_report(columns, candidates, pool);
     (verified, column_counts)
+}
+
+/// [`verify_candidates_in_memory_pool`] plus the kernel-layer report.
+#[must_use]
+pub fn verify_candidates_in_memory_pool_with_report(
+    columns: &SparseMatrix,
+    candidates: &[CandidatePair],
+    pool: &sfa_par::ThreadPool,
+) -> (Vec<VerifiedPair>, Vec<u32>, InMemoryKernelReport) {
+    let column_counts = csc_column_counts(columns);
+    let (intersections, report) = in_memory_intersections(
+        columns,
+        candidates,
+        Some(pool),
+        IN_MEMORY_CONTAINER_CAP_BYTES,
+    );
+    let verified = assemble_verified(candidates, &intersections, &column_counts);
+    (verified, column_counts, report)
 }
 
 /// Exact `|C_j|` for every column, off the CSC column pointers.
@@ -416,30 +467,43 @@ fn csc_column_counts(columns: &SparseMatrix) -> Vec<u32> {
         .collect()
 }
 
-/// Per-candidate exact intersections via subset bitmaps (or the adaptive
-/// per-pair kernel when the bitmaps would bust the memory cap), serial or
-/// pool-parallel over candidates.
+/// Per-candidate exact intersections via subset hybrid containers (or
+/// the adaptive per-pair kernel when the containers would bust the
+/// memory cap), serial or pool-parallel over candidates. The cap is a
+/// parameter so tests can pin the accounting; production callers pass
+/// [`IN_MEMORY_CONTAINER_CAP_BYTES`].
 fn in_memory_intersections(
     columns: &SparseMatrix,
     candidates: &[CandidatePair],
     pool: Option<&sfa_par::ThreadPool>,
-) -> Vec<u32> {
-    // Touched columns, deduplicated; slot[t] is the bitmap of touched[t].
+    cap_bytes: usize,
+) -> (Vec<u32>, InMemoryKernelReport) {
+    // Touched columns, deduplicated; slot[t] holds the containers of
+    // touched[t].
     let mut touched: Vec<u32> = candidates.iter().flat_map(|c| [c.i, c.j]).collect();
     touched.sort_unstable();
     touched.dedup();
-    let words_per_col = sfa_matrix::bitmap::words_for(columns.n_rows());
-    let bitmap_bytes = touched.len() * words_per_col * std::mem::size_of::<u64>();
-    let bits = (bitmap_bytes <= IN_MEMORY_BITMAP_CAP_BYTES).then(|| {
-        let slots = sfa_matrix::BitMatrix::from_csc_subset(columns, &touched);
+    // Charge what the containers will actually allocate — compressed
+    // columns fit many more than the dense n/8-bytes-per-column charge
+    // would admit.
+    let container_bytes = sfa_matrix::HybridColumns::payload_bytes_for_subset(columns, &touched);
+    let hybrid = (container_bytes <= cap_bytes).then(|| {
+        let slots = sfa_matrix::HybridColumns::from_csc_subset(columns, &touched);
         let mut slot_of = vec![u32::MAX; columns.n_cols() as usize];
         for (t, &j) in touched.iter().enumerate() {
             slot_of[j as usize] = t as u32;
         }
         (slots, slot_of)
     });
+    let report = InMemoryKernelReport {
+        dispatch_arm: sfa_matrix::kernel::arm_name(),
+        used_containers: hybrid.is_some(),
+        container: hybrid
+            .as_ref()
+            .map_or_else(Default::default, |(slots, _)| slots.stats()),
+    };
     let intersect = |c: &CandidatePair| -> u32 {
-        let inter = match &bits {
+        let inter = match &hybrid {
             Some((slots, slot_of)) => slots.intersection_size(
                 slot_of[c.i as usize] as usize,
                 slot_of[c.j as usize] as usize,
@@ -448,9 +512,10 @@ fn in_memory_intersections(
         };
         inter as u32
     };
-    match pool {
+    let intersections = match pool {
         Some(pool) => {
-            // One AND-popcount scan per candidate.
+            // One container (or adaptive) scan per candidate.
+            let words_per_col = sfa_matrix::bitmap::words_for(columns.n_rows());
             let est_ops = (candidates.len() as u64).saturating_mul(words_per_col as u64);
             let chunks = pool.par_fold_bounded(
                 candidates.len(),
@@ -470,7 +535,8 @@ fn in_memory_intersections(
             intersections
         }
         None => candidates.iter().map(intersect).collect(),
-    }
+    };
+    (intersections, report)
 }
 
 #[cfg(test)]
@@ -619,6 +685,44 @@ mod tests {
         let (verified, counts) = verify_candidates_in_memory(&csc, &[]);
         assert!(verified.is_empty());
         assert_eq!(counts, vec![3, 3, 2, 3]);
+    }
+
+    #[test]
+    fn cap_charges_actual_container_bytes_not_dense_bitmaps() {
+        // Two sparse 100-element columns over a million rows: dense
+        // bitmaps would charge 2 · ⌈n/64⌉ · 8 = 250 KB; the hybrid
+        // containers actually allocate a few hundred bytes.
+        let n_rows = 1_000_000u32;
+        let a: Vec<u32> = (0..100u32).map(|i| i * 9_973).collect();
+        let b: Vec<u32> = (0..100u32).map(|i| i * 7_919).collect();
+        let csc =
+            sfa_matrix::SparseMatrix::from_columns(n_rows, vec![a.clone(), b.clone()]).unwrap();
+        let candidates = vec![CandidatePair::new(0, 1, 0.5)];
+        let container_bytes = sfa_matrix::HybridColumns::payload_bytes_for_subset(&csc, &[0, 1]);
+        let dense_bytes = 2 * sfa_matrix::bitmap::words_for(n_rows) * 8;
+        assert!(
+            container_bytes * 100 < dense_bytes,
+            "containers must be far smaller: {container_bytes} vs {dense_bytes}"
+        );
+        // A cap between the two: the old dense accounting would have
+        // refused the fast path; the container accounting admits it.
+        let cap = dense_bytes / 2;
+        let (inter, report) = in_memory_intersections(&csc, &candidates, None, cap);
+        assert!(report.used_containers, "containers fit under {cap}");
+        assert_eq!(report.container.container_bytes, container_bytes as u64);
+        assert_eq!(report.container.raw_bitmap_bytes, dense_bytes as u64);
+        assert!(!report.dispatch_arm.is_empty());
+        // Below the actual container bytes the per-pair fallback engages
+        // and still produces identical counts.
+        let (inter_fb, report_fb) =
+            in_memory_intersections(&csc, &candidates, None, container_bytes - 1);
+        assert!(!report_fb.used_containers);
+        assert_eq!(report_fb.container, sfa_matrix::ContainerStats::default());
+        assert_eq!(inter, inter_fb);
+        assert_eq!(
+            inter[0] as usize,
+            sfa_matrix::column::intersection_size(&a, &b)
+        );
     }
 
     #[test]

@@ -3,8 +3,11 @@
 //! Every machine-dependent number the baseline emits lives under a key
 //! named `"timing"` (per-run phase seconds, the 1-vs-4-thread speedup
 //! sweep). This tool strips those subtrees from both documents — at any
-//! depth — and compares what remains, so CI fails only when deterministic
-//! counters (candidates, pairs, histograms, scan volumes) actually change.
+//! depth — plus every field named `"dispatch_arm"` (the kernel arm the
+//! host CPU selected, e.g. `"avx2"` vs `"scalar"`, which a pool-mined
+//! `metrics.kernels` block records), and compares what remains, so CI
+//! fails only when deterministic counters (candidates, pairs, histograms,
+//! scan volumes, container tallies) actually change.
 //!
 //! ```text
 //! cargo run --release -p sfa-experiments --bin bench-diff -- \
@@ -18,11 +21,12 @@ use std::process::ExitCode;
 
 use sfa_json::Json;
 
-/// Removes every object field named `"timing"`, recursively.
+/// Removes every object field named `"timing"` or `"dispatch_arm"`,
+/// recursively.
 fn strip_timing(json: &mut Json) {
     match json {
         Json::Obj(fields) => {
-            fields.retain(|(k, _)| k != "timing");
+            fields.retain(|(k, _)| k != "timing" && k != "dispatch_arm");
             for (_, v) in fields.iter_mut() {
                 strip_timing(v);
             }
@@ -160,6 +164,37 @@ mod tests {
         .unwrap();
         strip_timing(&mut b);
         assert!(first_diff_line(&sa, &b).is_some());
+    }
+
+    /// `metrics.kernels` mixes the machine-dependent `dispatch_arm`
+    /// (whichever SIMD arm the host CPU has) with deterministic container
+    /// tallies; the arm must be invisible to the diff while a moved
+    /// container counter or byte total must still fail it.
+    #[test]
+    fn dispatch_arm_is_ignored_but_container_counters_are_not() {
+        let a = Json::parse(
+            r#"{"kernels": {"dispatch_arm": "avx2", "used_containers": true,
+                "array_containers": 40, "container_bytes": 9000}}"#,
+        )
+        .unwrap();
+        let b = Json::parse(
+            r#"{"kernels": {"dispatch_arm": "scalar", "used_containers": true,
+                "array_containers": 40, "container_bytes": 9000}}"#,
+        )
+        .unwrap();
+        let (mut sa, mut sb) = (a, b);
+        strip_timing(&mut sa);
+        strip_timing(&mut sb);
+        assert_eq!(first_diff_line(&sa, &sb), None);
+
+        // A changed container tally is a real behavioral difference.
+        let mut c = Json::parse(
+            r#"{"kernels": {"dispatch_arm": "avx2", "used_containers": true,
+                "array_containers": 41, "container_bytes": 9000}}"#,
+        )
+        .unwrap();
+        strip_timing(&mut c);
+        assert!(first_diff_line(&sa, &c).is_some());
     }
 
     #[test]

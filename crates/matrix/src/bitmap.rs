@@ -43,40 +43,19 @@ fn fill_words(words: &mut [u64], rows: &[u32]) {
     }
 }
 
-/// `|a ∩ b|` over two bitmaps: unrolled AND-popcount.
-///
-/// Four independent accumulators let the popcounts pipeline instead of
-/// serializing on one add chain; the remainder tail is at most 3 words.
+/// `|a ∩ b|` over two bitmaps: AND-popcount via the selected kernel arm
+/// ([`crate::kernel`] — AVX2/NEON Harley–Seal when available, the
+/// unrolled scalar loop otherwise). Every arm returns identical counts.
 #[must_use]
 pub fn intersection_size_words(a: &[u64], b: &[u64]) -> usize {
-    let n = a.len().min(b.len());
-    let (a, b) = (&a[..n], &b[..n]);
-    let mut chunks_a = a.chunks_exact(4);
-    let mut chunks_b = b.chunks_exact(4);
-    let (mut c0, mut c1, mut c2, mut c3) = (0u64, 0u64, 0u64, 0u64);
-    for (wa, wb) in chunks_a.by_ref().zip(chunks_b.by_ref()) {
-        c0 += (wa[0] & wb[0]).count_ones() as u64;
-        c1 += (wa[1] & wb[1]).count_ones() as u64;
-        c2 += (wa[2] & wb[2]).count_ones() as u64;
-        c3 += (wa[3] & wb[3]).count_ones() as u64;
-    }
-    for (wa, wb) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
-        c0 += (wa & wb).count_ones() as u64;
-    }
-    (c0 + c1 + c2 + c3) as usize
+    crate::kernel::and_popcount(a, b)
 }
 
-/// `|a ∪ b|` over two bitmaps (OR-popcount, same unrolling).
+/// `|a ∪ b|` over two bitmaps (OR-popcount via the selected kernel arm;
+/// the shorter slice zero-extends to the longer).
 #[must_use]
 pub fn union_size_words(a: &[u64], b: &[u64]) -> usize {
-    let n = a.len().max(b.len());
-    let mut total = 0usize;
-    for i in 0..n {
-        let wa = a.get(i).copied().unwrap_or(0);
-        let wb = b.get(i).copied().unwrap_or(0);
-        total += (wa | wb).count_ones() as usize;
-    }
-    total
+    crate::kernel::or_popcount(a, b)
 }
 
 /// One column materialized as a `u64` row-bitmap.

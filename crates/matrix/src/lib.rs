@@ -45,12 +45,14 @@
 pub mod bitmap;
 pub mod builder;
 pub mod column;
+pub mod container;
 pub mod crc32;
 pub mod csc;
 pub mod csr;
 pub mod error;
 pub mod fault;
 pub mod io;
+pub mod kernel;
 pub mod ops;
 pub mod stats;
 pub mod stream;
@@ -59,8 +61,10 @@ pub mod triangle;
 pub use bitmap::{BitColumn, BitMatrix};
 pub use builder::MatrixBuilder;
 pub use column::ColumnSet;
+pub use container::{ContainerStats, HybridColumn, HybridColumns};
 pub use csc::SparseMatrix;
 pub use csr::RowMajorMatrix;
 pub use error::{MatrixError, Result};
 pub use fault::{FaultConfig, FaultyRowStream, RetryStats, RetryingRowStream};
+pub use kernel::{KernelArm, KernelChoice};
 pub use stream::{FileRowStream, MemoryRowStream, PassScan, RowStream, ScanCounter};

@@ -221,6 +221,43 @@ pub fn exact_similar_pairs_merge(matrix: &SparseMatrix, threshold: f64) -> Vec<S
     out
 }
 
+/// [`exact_similar_pairs`] via roaring-style hybrid containers
+/// ([`crate::container::HybridColumns`]): each column chunk sits in its
+/// smallest representation and every pair dispatches to the cheapest
+/// container-vs-container kernel. Identical output to every other
+/// variant; wins when the columns compress well (sparse or clustered),
+/// where the dense bitmap driver would mostly AND zero words.
+///
+/// # Panics
+///
+/// Panics if `threshold <= 0`.
+#[must_use]
+pub fn exact_similar_pairs_hybrid(matrix: &SparseMatrix, threshold: f64) -> Vec<SimilarPair> {
+    assert!(threshold > 0.0, "threshold must be positive");
+    let hybrid = crate::container::HybridColumns::from_csc(matrix);
+    let sizes = matrix.column_counts();
+    let mut out = Vec::new();
+    for i in 0..matrix.n_cols() {
+        for j in (i + 1)..matrix.n_cols() {
+            let co = hybrid.intersection_size(i as usize, j as usize);
+            if co == 0 {
+                continue;
+            }
+            let union = sizes[i as usize] + sizes[j as usize] - co;
+            let s = co as f64 / union as f64;
+            if s >= threshold {
+                out.push(SimilarPair {
+                    i,
+                    j,
+                    similarity: s,
+                });
+            }
+        }
+    }
+    sort_similar_pairs(&mut out);
+    out
+}
+
 /// Histogram over `[0, 1]` of the exact similarities of all co-occurring
 /// column pairs (pairs with similarity exactly 0 are not counted).
 ///
@@ -468,9 +505,11 @@ mod tests {
             let cooc = exact_similar_pairs_cooc(&m, 0.05);
             let bitmap = exact_similar_pairs_bitmap(&m, 0.05);
             let merge = exact_similar_pairs_merge(&m, 0.05);
+            let hybrid = exact_similar_pairs_hybrid(&m, 0.05);
             let auto = exact_similar_pairs(&m, 0.05);
             assert_eq!(cooc, bitmap);
             assert_eq!(cooc, merge);
+            assert_eq!(cooc, hybrid);
             assert_eq!(cooc, auto);
         }
     }

@@ -2,10 +2,12 @@
 //!
 //! The sorted two-pointer merge ([`column::intersection_size`]) is the
 //! reference implementation; every faster kernel — galloping search, the
-//! adaptive dispatcher, the u32 auto dispatcher with its bitmap arm, and
-//! the blocked [`BitMatrix`] all-pairs driver — must return exactly the
-//! same integer counts on every input, including the adversarially skewed
-//! shapes the dispatcher uses to pick a kernel.
+//! adaptive dispatcher, the u32 auto dispatcher with its bitmap arm, the
+//! blocked [`BitMatrix`] all-pairs driver, the hybrid
+//! (array/bitmap/run) containers, and the runtime-dispatched SIMD word
+//! kernels — must return exactly the same integer counts on every input,
+//! including the adversarially skewed shapes the dispatcher uses to pick
+//! a kernel and every pairwise container-type combination.
 
 use proptest::prelude::*;
 
@@ -13,11 +15,59 @@ use sfa_matrix::bitmap::{intersection_size_scratch, BitColumn, BitMatrix};
 use sfa_matrix::column::{
     intersection_size, intersection_size_adaptive, intersection_size_auto, intersection_size_gallop,
 };
-use sfa_matrix::MatrixBuilder;
+use sfa_matrix::{kernel, HybridColumn, MatrixBuilder};
 
 fn row_set(bound: u32, max_len: usize) -> impl Strategy<Value = Vec<u32>> {
     prop::collection::btree_set(0..bound, 0..=max_len)
         .prop_map(|s| s.into_iter().collect::<Vec<u32>>())
+}
+
+/// Rows spanning three 2^16 chunks (`N_ROWS_HYBRID` = 3·65536), shaped to
+/// land on a specific container type in the middle chunk:
+/// * `array` — a sparse scatter (chunk cardinality ≤ 4096),
+/// * `runs` — a handful of long intervals (few runs, huge cardinality),
+/// * `bitmap` — a dense scatter (cardinality > 4096 with many runs).
+const N_ROWS_HYBRID: u32 = 3 << 16;
+
+fn shaped_rows() -> impl Strategy<Value = Vec<u32>> {
+    let array = prop::collection::btree_set(0..N_ROWS_HYBRID, 0..=300)
+        .prop_map(|s| s.into_iter().collect::<Vec<u32>>());
+    let runs =
+        prop::collection::vec((0..N_ROWS_HYBRID - 9000, 1u32..9000), 1..6).prop_map(|intervals| {
+            let mut set = std::collections::BTreeSet::new();
+            for (start, len) in intervals {
+                set.extend(start..start + len);
+            }
+            set.into_iter().collect::<Vec<u32>>()
+        });
+    // Scattering ~6000 of every 8 rows of one chunk forces the bitmap
+    // container: cardinality > 4096 and far too many runs to store.
+    let bitmap = (
+        0u32..3,
+        prop::collection::btree_set(0u32..48_000, 4200..=4600),
+    )
+        .prop_map(|(chunk, offsets)| {
+            offsets
+                .into_iter()
+                .map(|o| (chunk << 16) + (o % (1 << 16)))
+                .collect::<std::collections::BTreeSet<u32>>()
+                .into_iter()
+                .collect::<Vec<u32>>()
+        });
+    // The vendored proptest shim has no `prop_oneof`; generate all three
+    // shapes and let a selector pick one.
+    (0u32..3, array, runs, bitmap).prop_map(|(sel, array, runs, bitmap)| match sel {
+        0 => array,
+        1 => runs,
+        _ => bitmap,
+    })
+}
+
+/// Sorted distinct `u64` values for the sorted-set SIMD merge, spread
+/// over a narrow range so intersections are non-trivial.
+fn sorted_u64s(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::btree_set(0u64..4_096, 0..=max_len)
+        .prop_map(|s| s.into_iter().collect::<Vec<u64>>())
 }
 
 /// A pair of columns where one side is forced to be far longer than the
@@ -71,6 +121,56 @@ proptest! {
     }
 
     #[test]
+    fn hybrid_containers_match_merge_on_shaped_columns(
+        a in shaped_rows(),
+        b in shaped_rows(),
+    ) {
+        let ca = HybridColumn::from_rows(N_ROWS_HYBRID, &a);
+        let cb = HybridColumn::from_rows(N_ROWS_HYBRID, &b);
+        let expected = intersection_size(&a, &b);
+        prop_assert_eq!(ca.intersection_size(&cb), expected);
+        prop_assert_eq!(cb.intersection_size(&ca), expected, "container order asymmetry");
+        let union = a.len() + b.len() - expected;
+        prop_assert_eq!(ca.union_size(&cb), union);
+        prop_assert_eq!(
+            HybridColumn::payload_bytes_for_rows(&a),
+            ca.heap_bytes(),
+            "cap estimator diverged from the built payload bytes"
+        );
+    }
+
+    #[test]
+    fn simd_word_kernels_match_scalar(
+        a in prop::collection::vec(any::<u64>(), 0..=300),
+        b in prop::collection::vec(any::<u64>(), 0..=300),
+    ) {
+        // Lengths differ, so the AND truncates and the OR counts the
+        // tail; >64-word inputs reach the Harley–Seal main loop.
+        let and_expected = kernel::and_popcount_scalar(&a, &b);
+        let or_expected = kernel::or_popcount_scalar(&a, &b);
+        prop_assert_eq!(kernel::and_popcount(&a, &b), and_expected);
+        prop_assert_eq!(kernel::or_popcount(&a, &b), or_expected);
+        if let Some(simd) = kernel::and_popcount_simd(&a, &b) {
+            prop_assert_eq!(simd, and_expected, "SIMD AND diverged from scalar");
+        }
+        if let Some(simd) = kernel::or_popcount_simd(&a, &b) {
+            prop_assert_eq!(simd, or_expected, "SIMD OR diverged from scalar");
+        }
+    }
+
+    #[test]
+    fn simd_sorted_merge_matches_scalar(
+        a in sorted_u64s(400),
+        b in sorted_u64s(400),
+    ) {
+        let expected = kernel::intersect_sorted_u64_scalar(&a, &b);
+        prop_assert_eq!(kernel::intersect_sorted_u64(&a, &b), expected);
+        if let Some(simd) = kernel::intersect_sorted_u64_simd(&a, &b) {
+            prop_assert_eq!(simd, expected, "SIMD block merge diverged from scalar");
+        }
+    }
+
+    #[test]
     fn blocked_driver_matches_per_pair_merge(
         entries in prop::collection::vec((0u32..60, 0u32..40), 0..400),
     ) {
@@ -96,5 +196,103 @@ proptest! {
                 prop_assert_eq!(got, expected, "pair ({}, {})", i, j);
             }
         }
+    }
+}
+
+/// Fixed representatives of each container shape in chunk 0 — checked by
+/// `container_counts`, so a change to the selection heuristic that
+/// breaks the premise fails loudly here.
+fn shape_representatives() -> Vec<(&'static str, Vec<u32>)> {
+    // array: 1000 scattered rows (card <= 4096, runs too many to win).
+    let array: Vec<u32> = (0..1000u32).map(|i| i * 61 % (1 << 16)).collect();
+    let array: Vec<u32> = {
+        let set: std::collections::BTreeSet<u32> = array.into_iter().collect();
+        set.into_iter().collect()
+    };
+    // bitmap: every other row of the chunk (card 32768, 32768 runs).
+    let bitmap: Vec<u32> = (0..1u32 << 16).step_by(2).collect();
+    // runs: three long intervals (card 15000, 3 runs).
+    let runs: Vec<u32> = (100..5100u32)
+        .chain(20_000..25_000)
+        .chain(40_000..45_000)
+        .collect();
+    vec![("array", array), ("bitmap", bitmap), ("runs", runs)]
+}
+
+#[test]
+fn every_container_type_pairing_matches_merge() {
+    let shapes = shape_representatives();
+    for (name, rows) in &shapes {
+        let col = HybridColumn::from_rows(1 << 16, rows);
+        let (arrays, bitmaps, run_chunks) = col.container_counts();
+        let got = match (arrays, bitmaps, run_chunks) {
+            (1, 0, 0) => "array",
+            (0, 1, 0) => "bitmap",
+            (0, 0, 1) => "runs",
+            other => panic!("expected exactly one container, got {other:?}"),
+        };
+        assert_eq!(&got, name, "representative no longer builds a {name}");
+    }
+    for (na, a) in &shapes {
+        for (nb, b) in &shapes {
+            let ca = HybridColumn::from_rows(1 << 16, a);
+            let cb = HybridColumn::from_rows(1 << 16, b);
+            let expected = intersection_size(a, b);
+            assert_eq!(
+                ca.intersection_size(&cb),
+                expected,
+                "{na} ∩ {nb} diverged from the merge kernel"
+            );
+            assert_eq!(
+                ca.union_size(&cb),
+                a.len() + b.len() - expected,
+                "{na} ∪ {nb} diverged"
+            );
+        }
+    }
+}
+
+/// The dispatched entry points agree with the forced-scalar arm on a
+/// deterministic workload, whatever arm the host CPU selects. The
+/// per-arm functions make this race-free: nothing here mutates the
+/// process-wide dispatch cache.
+#[test]
+fn dispatched_kernels_agree_with_forced_scalar_arm() {
+    let a: Vec<u64> = (0..777u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    let b: Vec<u64> = (0..777u64)
+        .map(|i| (i + 3).wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
+        .collect();
+    assert_eq!(
+        kernel::and_popcount(&a, &b),
+        kernel::and_popcount_scalar(&a, &b)
+    );
+    assert_eq!(
+        kernel::or_popcount(&a, &b),
+        kernel::or_popcount_scalar(&a, &b)
+    );
+    let sa: Vec<u64> = (0..2_000u64).map(|i| i * 7).collect();
+    let sb: Vec<u64> = (0..2_000u64).map(|i| i * 3 + 1).collect();
+    assert_eq!(
+        kernel::intersect_sorted_u64(&sa, &sb),
+        kernel::intersect_sorted_u64_scalar(&sa, &sb)
+    );
+    // On hosts with a SIMD arm the explicit SIMD entry points must agree
+    // too; on scalar-only hosts they return None and the dispatcher
+    // above already proved the fallback.
+    if kernel::simd_arm().is_some() {
+        assert_eq!(
+            kernel::and_popcount_simd(&a, &b),
+            Some(kernel::and_popcount_scalar(&a, &b))
+        );
+        assert_eq!(
+            kernel::or_popcount_simd(&a, &b),
+            Some(kernel::or_popcount_scalar(&a, &b))
+        );
+        assert_eq!(
+            kernel::intersect_sorted_u64_simd(&sa, &sb),
+            Some(kernel::intersect_sorted_u64_scalar(&sa, &sb))
+        );
     }
 }

@@ -13,7 +13,7 @@ use std::sync::{Arc, RwLock};
 
 use sfa_core::streaming::StreamingMiner;
 use sfa_core::VerifiedPair;
-use sfa_matrix::{Result, RowMajorMatrix, SparseMatrix};
+use sfa_matrix::{HybridColumns, Result, RowMajorMatrix};
 
 /// One immutable epoch of the mined index.
 #[derive(Debug)]
@@ -30,8 +30,12 @@ pub struct Snapshot {
     /// `partners[c]` = `(partner, similarity)` of every pair touching
     /// `c`, sorted by descending similarity — the `TOPK` index.
     partners: Vec<Vec<(u32, f64)>>,
-    /// Exact column sets (CSC) — the `SIM` index.
-    columns: SparseMatrix,
+    /// Exact column sets as hybrid (array/bitmap/run) containers — the
+    /// `SIM` index. Containers keep resident snapshot bytes proportional
+    /// to the cheapest per-chunk representation rather than dense
+    /// bitmaps, and `SIM` intersections dispatch to the cheapest
+    /// pairwise kernel.
+    columns: HybridColumns,
 }
 
 impl Snapshot {
@@ -54,7 +58,7 @@ impl Snapshot {
         let miner = StreamingMiner::from_rows(n_cols, k, seed, rows);
         let pairs = miner.mine(s_star, delta)?;
         let matrix = RowMajorMatrix::from_rows(n_cols, rows.to_vec())?;
-        let columns = matrix.transpose();
+        let columns = HybridColumns::from_csc(&matrix.transpose());
         let mut partners: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n_cols as usize];
         // `pairs` is already sorted by descending similarity, so pushing
         // in order keeps each adjacency list sorted too.
@@ -83,9 +87,10 @@ impl Snapshot {
     /// computed from the column sets (not limited to mined pairs).
     #[must_use]
     pub fn similarity(&self, a: u32, b: u32) -> (f64, u64, u64) {
-        let inter = self.columns.intersection_size(a, b) as u64;
-        let union =
-            self.columns.column_count(a) as u64 + self.columns.column_count(b) as u64 - inter;
+        let inter = self.columns.intersection_size(a as usize, b as usize) as u64;
+        let union = self.columns.column(a as usize).cardinality()
+            + self.columns.column(b as usize).cardinality()
+            - inter;
         let sim = if union == 0 {
             0.0
         } else {

@@ -174,6 +174,10 @@ USAGE:
              [--metrics-json FILE] [--deadline-secs S]
   sfa help
 
+Every subcommand also accepts --kernel auto|scalar|simd (default auto;
+env SFA_KERNEL=scalar): pins the word-count kernel dispatch arm. auto
+picks AVX2/NEON when the CPU has it; simd errors when it does not.
+Output is byte-identical across arms — the option only affects speed.
 Parallelism: --threads N runs the in-memory parallel pipeline (N workers;
 0 = size from the machine). Output is identical to the sequential run.
 Memory: --memory-budget BYTES caps pair-space state, sharding candidate
@@ -215,6 +219,7 @@ pub fn run(raw: &[String]) -> i32 {
 /// Returns a classified [`CliError`] on bad arguments or IO failures.
 pub fn dispatch(raw: &[String]) -> Result<String, CliError> {
     let args = Args::parse(raw).map_err(CliError::Usage)?;
+    apply_kernel_choice(&args)?;
     match args.command.as_str() {
         "gen" => cmd_gen(&args),
         "info" => cmd_info(&args),
@@ -232,6 +237,19 @@ pub fn dispatch(raw: &[String]) -> Result<String, CliError> {
 
 fn io_err(e: impl std::fmt::Display) -> CliError {
     CliError::Data(e.to_string())
+}
+
+/// Applies the global `--kernel auto|scalar|simd` option (also settable
+/// via the `SFA_KERNEL` env var): pins the process-wide word-kernel
+/// dispatch arm before any counting runs. `simd` is an error on CPUs
+/// with no SIMD arm; every arm produces byte-identical output, so the
+/// option only affects speed.
+fn apply_kernel_choice(args: &Args) -> Result<(), CliError> {
+    if let Some(word) = args.get("kernel") {
+        let choice: crate::matrix::KernelChoice = word.parse().map_err(CliError::Usage)?;
+        crate::matrix::kernel::force(choice).map_err(CliError::Usage)?;
+    }
+    Ok(())
 }
 
 fn cmd_gen(args: &Args) -> Result<String, CliError> {
@@ -1269,6 +1287,66 @@ mod tests {
             let parallel = dispatch(&strs(&argv)).unwrap();
             let par_pairs: Vec<&str> = parallel.lines().skip(1).collect();
             assert_eq!(par_pairs, seq_pairs, "--threads {threads} diverged");
+        }
+        std::fs::remove_file(&table).ok();
+    }
+
+    #[test]
+    fn kernel_flag_rejects_bad_values_before_io() {
+        // Bad --kernel is a usage error (exit 2) detected before the
+        // (nonexistent) input is opened.
+        let err = dispatch(&strs(&[
+            "mine",
+            "--input",
+            "no-such-file.sfab",
+            "--scheme",
+            "mh",
+            "--kernel",
+            "avx512",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err:?}");
+    }
+
+    #[test]
+    fn kernel_scalar_matches_default_mine_output() {
+        let table = tmp("kernel_mine.sfab");
+        dispatch(&strs(&[
+            "gen",
+            "--kind",
+            "weblog",
+            "--out",
+            table.to_str().unwrap(),
+            "--scale",
+            "tiny",
+        ]))
+        .unwrap();
+        let base = &[
+            "mine",
+            "--input",
+            table.to_str().unwrap(),
+            "--scheme",
+            "kmh",
+            "--threshold",
+            "0.8",
+            "--k",
+            "40",
+            "--threads",
+            "1",
+        ];
+        let default_out = dispatch(&strs(base)).unwrap();
+        // The first line is a wall-clock timing summary; the pair lines
+        // below it are the byte-stable output.
+        let default_pairs: Vec<&str> = default_out.lines().skip(1).collect();
+        assert!(!default_pairs.is_empty(), "no pairs mined");
+        // Forcing the scalar arm must give identical pairs; `auto`
+        // restores the detected arm for the rest of the process.
+        for kernel in ["scalar", "auto"] {
+            let mut argv = base.to_vec();
+            argv.extend(["--kernel", kernel]);
+            let forced = dispatch(&strs(&argv)).unwrap();
+            let forced_pairs: Vec<&str> = forced.lines().skip(1).collect();
+            assert_eq!(forced_pairs, default_pairs, "--kernel {kernel} diverged");
         }
         std::fs::remove_file(&table).ok();
     }
