@@ -25,6 +25,9 @@
 //! * [`shutdown`] — signal/deadline cancellation: the [`CancelToken`]
 //!   the streaming pipelines poll so a `SIGTERM` flushes a resumable
 //!   checkpoint instead of losing the pass.
+//! * [`sigcache`] — the config-fingerprinted signature cache: phase-1
+//!   sketches keyed on `(scheme kind, k, seed, table shape)` so repeated
+//!   mines over the same table skip the signature pass entirely.
 //! * [`report`] — result and timing types.
 //! * [`metrics`] — structured per-phase counters and the schema-stable
 //!   JSON document behind `--metrics-json` and the bench baseline.
@@ -54,6 +57,7 @@ pub mod pipeline;
 pub mod quality;
 pub mod report;
 pub mod shutdown;
+pub mod sigcache;
 pub mod spill;
 pub mod streaming;
 pub mod verify;
@@ -62,11 +66,12 @@ pub use checkpoint::CheckpointSpec;
 pub use config::{PipelineConfig, Scheme};
 pub use durable::{DurableDir, RecoveredDir, WriteFault, WriteFaultConfig};
 pub use metrics::{
-    KernelMetrics, MetricsDocument, MiningMetrics, PassMetrics, RecoveryMetrics, ServingMetrics,
-    ShardingMetrics, StageCount, VerifyMetrics, METRICS_SCHEMA_VERSION,
+    KernelMetrics, MetricsDocument, MiningMetrics, PassMetrics, Phase1Metrics, RecoveryMetrics,
+    ServingMetrics, ShardingMetrics, StageCount, VerifyMetrics, METRICS_SCHEMA_VERSION,
 };
 pub use pipeline::{MemoryBudget, Pipeline};
 pub use quality::{evaluate_quality, QualityReport, SCurveBin};
 pub use report::{MiningResult, PhaseTimings, VerifiedPair};
 pub use shutdown::{install_signal_handlers, CancelToken, ThrottledCancel};
+pub use sigcache::SignatureCache;
 pub use verify::InMemoryKernelReport;

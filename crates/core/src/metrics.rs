@@ -33,8 +33,12 @@ use crate::report::PhaseTimings;
 /// 6 = adds the optional `metrics.kernels` object (runs whose phase 3
 /// used the in-memory kernel layer: dispatch arm, hybrid-container
 /// tallies, container vs dense bitmap bytes; absent otherwise and in
-/// older documents).
-pub const METRICS_SCHEMA_VERSION: u32 = 6;
+/// older documents);
+/// 7 = adds the optional `metrics.phase1` object (runs whose phase 1
+/// built a sketch: the SIMD arm the signature kernels dispatched through
+/// and whether the signature cache hit or stored; absent for H-LSH runs
+/// and in older documents).
+pub const METRICS_SCHEMA_VERSION: u32 = 7;
 
 /// Oldest document version [`MetricsDocument::from_json`] still accepts.
 pub const METRICS_SCHEMA_MIN_VERSION: u32 = 1;
@@ -400,6 +404,47 @@ impl ServingMetrics {
     }
 }
 
+/// Phase-1 provenance (schema v7): which SIMD arm the signature kernels
+/// dispatched through and how the signature cache participated. Emitted
+/// by every run that built (or loaded) a phase-1 sketch — H-LSH runs,
+/// which work directly on the data, omit the `phase1` object entirely.
+///
+/// `dispatch_arm` is machine-dependent, like
+/// [`KernelMetrics::dispatch_arm`], and `bench-diff` strips it under the
+/// same key name. The cache flags are deterministic for a given command
+/// sequence and are diffed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Phase1Metrics {
+    /// The min-merge/sieve arm phase 1 dispatched through
+    /// (`"scalar"` | `"avx2"` | `"neon"`).
+    pub dispatch_arm: String,
+    /// Whether the sketch was loaded from the signature cache (phase 1's
+    /// table pass was skipped entirely).
+    pub cache_hit: bool,
+    /// Whether the freshly computed sketch was stored into the signature
+    /// cache (always `false` on a hit or when no cache is configured).
+    pub cache_stored: bool,
+}
+
+impl ToJson for Phase1Metrics {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("dispatch_arm", self.dispatch_arm.as_str())
+            .field("cache_hit", self.cache_hit)
+            .field("cache_stored", self.cache_stored)
+    }
+}
+
+impl FromJson for Phase1Metrics {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            dispatch_arm: String::from_json(json.req("dispatch_arm")?)?,
+            cache_hit: bool::from_json(json.req("cache_hit")?)?,
+            cache_stored: bool::from_json(json.req("cache_stored")?)?,
+        })
+    }
+}
+
 /// Structured counters for one pipeline run, phase by phase.
 ///
 /// # Examples
@@ -453,6 +498,9 @@ pub struct MiningMetrics {
     /// the in-memory kernel dispatch (the key is omitted from the JSON
     /// entirely). Emitted by pool runs (schema v6).
     pub kernels: Option<KernelMetrics>,
+    /// Phase-1 provenance; `None` for H-LSH runs, which build no sketch
+    /// (the key is omitted from the JSON entirely). Schema v7.
+    pub phase1: Option<Phase1Metrics>,
 }
 
 impl Default for MiningMetrics {
@@ -471,6 +519,7 @@ impl Default for MiningMetrics {
             sharding: None,
             serving: None,
             kernels: None,
+            phase1: None,
         }
     }
 }
@@ -525,8 +574,13 @@ impl ToJson for MiningMetrics {
         };
         // Only runs through the in-memory kernel dispatch emit the key
         // (schema v6).
-        match &self.kernels {
+        let json = match &self.kernels {
             Some(kernels) => json.field("kernels", kernels.clone()),
+            None => json,
+        };
+        // Only runs that built a phase-1 sketch emit the key (schema v7).
+        match &self.phase1 {
+            Some(phase1) => json.field("phase1", phase1.clone()),
             None => json,
         }
     }
@@ -575,6 +629,12 @@ impl FromJson for MiningMetrics {
             kernels: json
                 .get("kernels")
                 .map(KernelMetrics::from_json)
+                .transpose()?,
+            // Only sketch-building runs emit the key; absence covers
+            // H-LSH runs and all pre-v7 documents.
+            phase1: json
+                .get("phase1")
+                .map(Phase1Metrics::from_json)
                 .transpose()?,
         })
     }
@@ -684,6 +744,7 @@ mod tests {
             sharding: None,
             serving: None,
             kernels: None,
+            phase1: None,
         }
     }
 
@@ -867,6 +928,45 @@ mod tests {
         ] {
             assert!(kernels.get(key).is_some(), "missing kernels key {key}");
         }
+        // `phase1` is emitted only by runs that built a sketch; documents
+        // without it must not carry the key at all.
+        assert!(metrics.get("phase1").is_none());
+        let mut phase1_metrics = sample_metrics();
+        phase1_metrics.phase1 = Some(Phase1Metrics {
+            dispatch_arm: "avx2".to_owned(),
+            cache_hit: true,
+            cache_stored: false,
+        });
+        let phase1_json = phase1_metrics.to_json();
+        let phase1 = phase1_json.get("phase1").unwrap();
+        for key in ["dispatch_arm", "cache_hit", "cache_stored"] {
+            assert!(phase1.get(key).is_some(), "missing phase1 key {key}");
+        }
+    }
+
+    #[test]
+    fn phase1_metrics_round_trip() {
+        let mut metrics = sample_metrics();
+        metrics.phase1 = Some(Phase1Metrics {
+            dispatch_arm: "scalar".to_owned(),
+            cache_hit: false,
+            cache_stored: true,
+        });
+        let json = metrics.to_json().to_string_compact();
+        let back: MiningMetrics = sfa_json::from_str(&json).unwrap();
+        assert_eq!(back, metrics);
+    }
+
+    #[test]
+    fn documents_without_phase1_key_still_parse() {
+        // Pre-v7 documents carry no `phase1` key; it must parse as None,
+        // not error.
+        let metrics = sample_metrics();
+        let json = metrics.to_json();
+        assert!(json.get("phase1").is_none());
+        let back = MiningMetrics::from_json(&json).unwrap();
+        assert_eq!(back.phase1, None);
+        assert_eq!(back, metrics);
     }
 
     #[test]

@@ -25,9 +25,12 @@ use sfa_minhash::{
 use crate::checkpoint::{self, CheckpointSpec, Phase1State, RunKey};
 use crate::config::{PipelineConfig, Scheme};
 use crate::durable;
-use crate::metrics::{MiningMetrics, RecoveryMetrics, ShardingMetrics, VerifyMetrics};
+use crate::metrics::{
+    MiningMetrics, Phase1Metrics, RecoveryMetrics, ShardingMetrics, VerifyMetrics,
+};
 use crate::report::{MiningResult, PhaseTimings, VerifiedPair};
 use crate::shutdown::{CancelToken, CANCEL_POLL_STRIDE};
+use crate::sigcache::SignatureCache;
 use crate::spill;
 use crate::verify::{verify_candidates_resumable, verify_candidates_with_stats};
 
@@ -36,6 +39,17 @@ use crate::verify::{verify_candidates_resumable, verify_candidates_with_stats};
 mod purpose {
     pub const SIGNATURES: u64 = 1;
     pub const LSH: u64 = 2;
+}
+
+/// Phase-1 provenance for `metrics.phase1`: the SIMD arm the signature
+/// kernels dispatch through (shared with the phase-3 kernels, so
+/// `--kernel`/`SFA_KERNEL` pins both) plus the cache disposition.
+fn phase1_provenance(cache_hit: bool, cache_stored: bool) -> Phase1Metrics {
+    Phase1Metrics {
+        dispatch_arm: sfa_matrix::kernel::arm_name().to_owned(),
+        cache_hit,
+        cache_stored,
+    }
 }
 
 /// Runs the configured scheme end to end over a row stream.
@@ -56,16 +70,32 @@ mod purpose {
 /// assert_eq!((pairs[0].i, pairs[0].j), (0, 1));
 /// assert_eq!(pairs[0].similarity, 1.0);
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Pipeline {
     config: PipelineConfig,
+    signature_cache: Option<SignatureCache>,
 }
 
 impl Pipeline {
     /// Wraps a configuration.
     #[must_use]
     pub const fn new(config: PipelineConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            signature_cache: None,
+        }
+    }
+
+    /// Consults and populates a [`SignatureCache`] rooted at `dir` for
+    /// every phase-1 sketch this pipeline builds: a hit skips the
+    /// signature pass entirely (output stays byte-identical — min-hash
+    /// sketches are a pure function of the cache key), a miss computes
+    /// and stores. One cache directory serves one dataset; see
+    /// [`crate::sigcache`] for the keying contract.
+    #[must_use]
+    pub fn with_signature_cache(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.signature_cache = Some(SignatureCache::new(dir));
+        self
     }
 
     /// The configuration.
@@ -108,8 +138,9 @@ impl Pipeline {
         let candidates = match cfg.scheme {
             Scheme::Mh { k, delta } => {
                 let t = Instant::now();
-                let sigs = compute_signatures(stream, k, sig_seed)?;
+                let (sigs, phase1) = self.signatures_phase1(stream, k, sig_seed)?;
                 timings.signatures = t.elapsed();
+                metrics.phase1 = Some(phase1);
                 metrics.signature_bytes = sigs.heap_bytes();
                 let t = Instant::now();
                 let (cands, stats) = mh_candidates_with_stats(&sigs, cfg.s_star, delta);
@@ -119,8 +150,9 @@ impl Pipeline {
             }
             Scheme::MhRowSort { k, delta } => {
                 let t = Instant::now();
-                let sigs = compute_signatures(stream, k, sig_seed)?;
+                let (sigs, phase1) = self.signatures_phase1(stream, k, sig_seed)?;
                 timings.signatures = t.elapsed();
+                metrics.phase1 = Some(phase1);
                 metrics.signature_bytes = sigs.heap_bytes();
                 let t = Instant::now();
                 let (cands, stats) = rowsort_candidates_with_stats(&sigs, cfg.s_star, delta);
@@ -130,8 +162,9 @@ impl Pipeline {
             }
             Scheme::Kmh { k, delta } => {
                 let t = Instant::now();
-                let sigs = compute_bottom_k(stream, k, sig_seed)?;
+                let (sigs, phase1) = self.bottom_k_phase1(stream, k, sig_seed)?;
                 timings.signatures = t.elapsed();
+                metrics.phase1 = Some(phase1);
                 metrics.signature_bytes = sigs.heap_bytes();
                 let t = Instant::now();
                 let (cands, stats) = kmh_candidates_with_stats(&sigs, cfg.s_star, delta);
@@ -141,8 +174,9 @@ impl Pipeline {
             }
             Scheme::MLsh { k, r, l, sampled } => {
                 let t = Instant::now();
-                let sigs = compute_signatures(stream, k, sig_seed)?;
+                let (sigs, phase1) = self.signatures_phase1(stream, k, sig_seed)?;
                 timings.signatures = t.elapsed();
+                metrics.phase1 = Some(phase1);
                 metrics.signature_bytes = sigs.heap_bytes();
                 let t = Instant::now();
                 let params = if sampled {
@@ -163,6 +197,7 @@ impl Pipeline {
             } => {
                 // H-LSH "works directly on the data": materialize M_0 from
                 // the stream (phase 1), then ladder + runs (phase 2).
+                // No sketch is built, so `metrics.phase1` stays None.
                 let t = Instant::now();
                 let matrix = materialize(stream)?;
                 timings.signatures = t.elapsed();
@@ -184,6 +219,99 @@ impl Pipeline {
         };
         metrics.candidates_generated = candidates.len() as u64;
         Ok((candidates, timings, metrics))
+    }
+
+    /// Phase 1 (MH family) through the signature cache: a hit skips the
+    /// table pass entirely, a miss computes and stores. Without a cache,
+    /// just the pass.
+    fn signatures_phase1<S: RowStream>(
+        &self,
+        stream: &mut S,
+        k: usize,
+        seed: u64,
+    ) -> Result<(SignatureMatrix, Phase1Metrics)> {
+        if let Some(cache) = &self.signature_cache {
+            if let Some(sigs) = cache.load_signatures(k, seed, stream.n_rows(), stream.n_cols()) {
+                return Ok((sigs, phase1_provenance(true, false)));
+            }
+            let sigs = compute_signatures(stream, k, seed)?;
+            let stored = cache.store_signatures(k, seed, stream.n_rows(), stream.n_cols(), &sigs);
+            return Ok((sigs, phase1_provenance(false, stored)));
+        }
+        let sigs = compute_signatures(stream, k, seed)?;
+        Ok((sigs, phase1_provenance(false, false)))
+    }
+
+    /// Phase 1 (K-MH) through the signature cache; see
+    /// [`signatures_phase1`](Self::signatures_phase1).
+    fn bottom_k_phase1<S: RowStream>(
+        &self,
+        stream: &mut S,
+        k: usize,
+        seed: u64,
+    ) -> Result<(BottomKSignatures, Phase1Metrics)> {
+        if let Some(cache) = &self.signature_cache {
+            if let Some(sigs) = cache.load_bottom_k(k, seed, stream.n_rows(), stream.n_cols()) {
+                return Ok((sigs, phase1_provenance(true, false)));
+            }
+            let sigs = compute_bottom_k(stream, k, seed)?;
+            let stored = cache.store_bottom_k(k, seed, stream.n_rows(), stream.n_cols(), &sigs);
+            return Ok((sigs, phase1_provenance(false, stored)));
+        }
+        let sigs = compute_bottom_k(stream, k, seed)?;
+        Ok((sigs, phase1_provenance(false, false)))
+    }
+
+    /// [`signatures_resumable`] behind the signature cache: a hit skips
+    /// both the pass and its checkpointing (there is no partial state to
+    /// persist when no rows are processed); a miss runs the resumable
+    /// pass, then stores the completed sketch.
+    #[allow(clippy::too_many_arguments)]
+    fn signatures_resumable_cached<S: RowStream>(
+        &self,
+        stream: &mut S,
+        k: usize,
+        seed: u64,
+        spec: &CheckpointSpec,
+        key: RunKey,
+        recovery: &mut RecoveryMetrics,
+        cancel: &CancelToken,
+    ) -> Result<(SignatureMatrix, Phase1Metrics)> {
+        if let Some(cache) = &self.signature_cache {
+            if let Some(sigs) = cache.load_signatures(k, seed, stream.n_rows(), stream.n_cols()) {
+                return Ok((sigs, phase1_provenance(true, false)));
+            }
+        }
+        let sigs = signatures_resumable(stream, k, seed, spec, key, recovery, cancel)?;
+        let stored = self.signature_cache.as_ref().is_some_and(|cache| {
+            cache.store_signatures(k, seed, stream.n_rows(), stream.n_cols(), &sigs)
+        });
+        Ok((sigs, phase1_provenance(false, stored)))
+    }
+
+    /// [`bottom_k_resumable`] behind the signature cache; see
+    /// [`signatures_resumable_cached`](Self::signatures_resumable_cached).
+    #[allow(clippy::too_many_arguments)]
+    fn bottom_k_resumable_cached<S: RowStream>(
+        &self,
+        stream: &mut S,
+        k: usize,
+        seed: u64,
+        spec: &CheckpointSpec,
+        key: RunKey,
+        recovery: &mut RecoveryMetrics,
+        cancel: &CancelToken,
+    ) -> Result<(BottomKSignatures, Phase1Metrics)> {
+        if let Some(cache) = &self.signature_cache {
+            if let Some(sigs) = cache.load_bottom_k(k, seed, stream.n_rows(), stream.n_cols()) {
+                return Ok((sigs, phase1_provenance(true, false)));
+            }
+        }
+        let sigs = bottom_k_resumable(stream, k, seed, spec, key, recovery, cancel)?;
+        let stored = self.signature_cache.as_ref().is_some_and(|cache| {
+            cache.store_bottom_k(k, seed, stream.n_rows(), stream.n_cols(), &sigs)
+        });
+        Ok((sigs, phase1_provenance(false, stored)))
     }
 
     /// Classifies verified pairs against the `s*` threshold and packs the
@@ -323,9 +451,17 @@ impl Pipeline {
         let candidates = match cfg.scheme {
             Scheme::Mh { k, delta } => {
                 let t = Instant::now();
-                let sigs =
-                    signatures_resumable(&mut scan, k, sig_seed, spec, key, &mut recovery, cancel)?;
+                let (sigs, phase1) = self.signatures_resumable_cached(
+                    &mut scan,
+                    k,
+                    sig_seed,
+                    spec,
+                    key,
+                    &mut recovery,
+                    cancel,
+                )?;
                 timings.signatures = t.elapsed();
+                metrics.phase1 = Some(phase1);
                 metrics.signature_bytes = sigs.heap_bytes();
                 let t = Instant::now();
                 let (cands, stats) = mh_candidates_with_stats(&sigs, cfg.s_star, delta);
@@ -335,9 +471,17 @@ impl Pipeline {
             }
             Scheme::MhRowSort { k, delta } => {
                 let t = Instant::now();
-                let sigs =
-                    signatures_resumable(&mut scan, k, sig_seed, spec, key, &mut recovery, cancel)?;
+                let (sigs, phase1) = self.signatures_resumable_cached(
+                    &mut scan,
+                    k,
+                    sig_seed,
+                    spec,
+                    key,
+                    &mut recovery,
+                    cancel,
+                )?;
                 timings.signatures = t.elapsed();
+                metrics.phase1 = Some(phase1);
                 metrics.signature_bytes = sigs.heap_bytes();
                 let t = Instant::now();
                 let (cands, stats) = rowsort_candidates_with_stats(&sigs, cfg.s_star, delta);
@@ -347,9 +491,17 @@ impl Pipeline {
             }
             Scheme::Kmh { k, delta } => {
                 let t = Instant::now();
-                let sigs =
-                    bottom_k_resumable(&mut scan, k, sig_seed, spec, key, &mut recovery, cancel)?;
+                let (sigs, phase1) = self.bottom_k_resumable_cached(
+                    &mut scan,
+                    k,
+                    sig_seed,
+                    spec,
+                    key,
+                    &mut recovery,
+                    cancel,
+                )?;
                 timings.signatures = t.elapsed();
+                metrics.phase1 = Some(phase1);
                 metrics.signature_bytes = sigs.heap_bytes();
                 let t = Instant::now();
                 let (cands, stats) = kmh_candidates_with_stats(&sigs, cfg.s_star, delta);
@@ -359,9 +511,17 @@ impl Pipeline {
             }
             Scheme::MLsh { k, r, l, sampled } => {
                 let t = Instant::now();
-                let sigs =
-                    signatures_resumable(&mut scan, k, sig_seed, spec, key, &mut recovery, cancel)?;
+                let (sigs, phase1) = self.signatures_resumable_cached(
+                    &mut scan,
+                    k,
+                    sig_seed,
+                    spec,
+                    key,
+                    &mut recovery,
+                    cancel,
+                )?;
                 timings.signatures = t.elapsed();
+                metrics.phase1 = Some(phase1);
                 metrics.signature_bytes = sigs.heap_bytes();
                 let t = Instant::now();
                 let params = if sampled {
@@ -525,7 +685,7 @@ fn save_mh_state(spec: &CheckpointSpec, key: RunKey, builder: &MhBuilder) -> Res
         key,
         &Phase1State::Mh {
             rows_done: builder.rows_seen(),
-            sigs: builder.current().clone(),
+            sigs: builder.current(),
         },
     )
 }
@@ -561,6 +721,47 @@ impl Pipeline {
         self.run_pool(matrix, &pool)
     }
 
+    /// [`signatures_phase1`](Self::signatures_phase1) for the pool path:
+    /// same cache-first discipline, pool-parallel pass on a miss.
+    fn signatures_pool_phase1(
+        &self,
+        matrix: &RowMajorMatrix,
+        k: usize,
+        seed: u64,
+        pool: &sfa_par::ThreadPool,
+    ) -> (SignatureMatrix, Phase1Metrics) {
+        if let Some(cache) = &self.signature_cache {
+            if let Some(sigs) = cache.load_signatures(k, seed, matrix.n_rows(), matrix.n_cols()) {
+                return (sigs, phase1_provenance(true, false));
+            }
+            let sigs = compute_signatures_pool(matrix, k, seed, pool);
+            let stored = cache.store_signatures(k, seed, matrix.n_rows(), matrix.n_cols(), &sigs);
+            return (sigs, phase1_provenance(false, stored));
+        }
+        let sigs = compute_signatures_pool(matrix, k, seed, pool);
+        (sigs, phase1_provenance(false, false))
+    }
+
+    /// [`bottom_k_phase1`](Self::bottom_k_phase1) for the pool path.
+    fn bottom_k_pool_phase1(
+        &self,
+        matrix: &RowMajorMatrix,
+        k: usize,
+        seed: u64,
+        pool: &sfa_par::ThreadPool,
+    ) -> (BottomKSignatures, Phase1Metrics) {
+        if let Some(cache) = &self.signature_cache {
+            if let Some(sigs) = cache.load_bottom_k(k, seed, matrix.n_rows(), matrix.n_cols()) {
+                return (sigs, phase1_provenance(true, false));
+            }
+            let sigs = compute_bottom_k_pool(matrix, k, seed, pool);
+            let stored = cache.store_bottom_k(k, seed, matrix.n_rows(), matrix.n_cols(), &sigs);
+            return (sigs, phase1_provenance(false, stored));
+        }
+        let sigs = compute_bottom_k_pool(matrix, k, seed, pool);
+        (sigs, phase1_provenance(false, false))
+    }
+
     /// [`run_parallel`](Self::run_parallel) over a caller-owned pool, so
     /// several runs (e.g. a benchmark sweep) can share one set of workers.
     #[must_use]
@@ -577,8 +778,9 @@ impl Pipeline {
         let candidates = match cfg.scheme {
             Scheme::Mh { k, delta } => {
                 let t = Instant::now();
-                let sigs = compute_signatures_pool(matrix, k, sig_seed, pool);
+                let (sigs, phase1) = self.signatures_pool_phase1(matrix, k, sig_seed, pool);
                 timings.signatures = t.elapsed();
+                metrics.phase1 = Some(phase1);
                 metrics.signature_bytes = sigs.heap_bytes();
                 let t = Instant::now();
                 let (cands, stats) = mh_candidates_with_stats_pool(&sigs, cfg.s_star, delta, pool);
@@ -588,8 +790,9 @@ impl Pipeline {
             }
             Scheme::MhRowSort { k, delta } => {
                 let t = Instant::now();
-                let sigs = compute_signatures_pool(matrix, k, sig_seed, pool);
+                let (sigs, phase1) = self.signatures_pool_phase1(matrix, k, sig_seed, pool);
                 timings.signatures = t.elapsed();
+                metrics.phase1 = Some(phase1);
                 metrics.signature_bytes = sigs.heap_bytes();
                 let t = Instant::now();
                 let (cands, stats) =
@@ -600,8 +803,9 @@ impl Pipeline {
             }
             Scheme::Kmh { k, delta } => {
                 let t = Instant::now();
-                let sigs = compute_bottom_k_pool(matrix, k, sig_seed, pool);
+                let (sigs, phase1) = self.bottom_k_pool_phase1(matrix, k, sig_seed, pool);
                 timings.signatures = t.elapsed();
+                metrics.phase1 = Some(phase1);
                 metrics.signature_bytes = sigs.heap_bytes();
                 let t = Instant::now();
                 let (cands, stats) = kmh_candidates_with_stats_pool(&sigs, cfg.s_star, delta, pool);
@@ -611,8 +815,9 @@ impl Pipeline {
             }
             Scheme::MLsh { k, r, l, sampled } => {
                 let t = Instant::now();
-                let sigs = compute_signatures_pool(matrix, k, sig_seed, pool);
+                let (sigs, phase1) = self.signatures_pool_phase1(matrix, k, sig_seed, pool);
                 timings.signatures = t.elapsed();
+                metrics.phase1 = Some(phase1);
                 metrics.signature_bytes = sigs.heap_bytes();
                 let t = Instant::now();
                 let params = if sampled {
@@ -943,12 +1148,13 @@ impl Pipeline {
         };
         let mut scan = ScanCounter::new(&mut *stream);
 
-        // Phase 1: one streaming pass into the resident summary.
+        // Phase 1: one streaming pass into the resident summary (skipped
+        // entirely on a signature-cache hit).
         let t = Instant::now();
         let summary = match cfg.scheme {
             Scheme::Mh { k, .. } | Scheme::MhRowSort { k, .. } | Scheme::MLsh { k, .. } => {
-                Phase1Summary::Sigs(match checkpoint {
-                    Some(spec) => signatures_resumable(
+                let (sigs, phase1) = match checkpoint {
+                    Some(spec) => self.signatures_resumable_cached(
                         &mut scan,
                         k,
                         sig_seed,
@@ -957,17 +1163,29 @@ impl Pipeline {
                         &mut recovery,
                         cancel,
                     )?,
-                    None => compute_signatures(&mut scan, k, sig_seed)?,
-                })
+                    None => self.signatures_phase1(&mut scan, k, sig_seed)?,
+                };
+                metrics.phase1 = Some(phase1);
+                Phase1Summary::Sigs(sigs)
             }
-            Scheme::Kmh { k, .. } => Phase1Summary::BottomK(match checkpoint {
-                Some(spec) => {
-                    bottom_k_resumable(&mut scan, k, sig_seed, spec, key, &mut recovery, cancel)?
-                }
-                None => compute_bottom_k(&mut scan, k, sig_seed)?,
-            }),
+            Scheme::Kmh { k, .. } => {
+                let (sigs, phase1) = match checkpoint {
+                    Some(spec) => self.bottom_k_resumable_cached(
+                        &mut scan,
+                        k,
+                        sig_seed,
+                        spec,
+                        key,
+                        &mut recovery,
+                        cancel,
+                    )?,
+                    None => self.bottom_k_phase1(&mut scan, k, sig_seed)?,
+                };
+                metrics.phase1 = Some(phase1);
+                Phase1Summary::BottomK(sigs)
+            }
             // H-LSH works directly on the data; there is no incremental
-            // phase-1 state to checkpoint.
+            // phase-1 state to checkpoint and no sketch to cache.
             Scheme::HLsh { .. } => Phase1Summary::Matrix(materialize(&mut scan)?),
         };
         timings.signatures = t.elapsed();

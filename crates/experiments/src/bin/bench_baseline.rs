@@ -239,6 +239,152 @@ fn kernel_json(name: &str, columns: &SparseMatrix, table: &mut Vec<Vec<String>>)
     json
 }
 
+/// Phase-1 signature-build timings on one baseline dataset: the MH and
+/// K-MH sketch builds pinned to the scalar and (when the CPU has one)
+/// the SIMD kernel arm, plus a signature-cache hit, all best-of-5. The
+/// sketches must be byte-identical across arms and across store/load,
+/// and — the `--kernel` contract extended to whole mines — every scheme
+/// must produce identical pairs under forced `scalar`, forced `simd`,
+/// a cache miss, and a cache hit. The seconds are machine-dependent and
+/// live under the `"timing"` subtree.
+fn phase1_json(name: &str, rows: &RowMajorMatrix, table: &mut Vec<Vec<String>>) -> Json {
+    use sfa_core::SignatureCache;
+    use sfa_matrix::{kernel, KernelChoice};
+    use sfa_minhash::{compute_bottom_k, compute_signatures};
+
+    let cache_dir = std::env::temp_dir().join(format!("sfa-bench-sigcache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let cache = SignatureCache::new(&cache_dir);
+    let (n_rows, n_cols) = (rows.n_rows(), rows.n_cols());
+    let mut per_scheme = Vec::new();
+
+    // MH (k = 100): the k-wide min-merge inner loop.
+    kernel::force(KernelChoice::Scalar).expect("scalar arm always available");
+    let (mh_ref, mh_scalar_s) = best_seconds(5, || {
+        compute_signatures(&mut MemoryRowStream::new(rows), 100, EXPERIMENT_SEED)
+            .expect("in-memory stream cannot fail")
+    });
+    let mh_simd = kernel::force(KernelChoice::Simd).ok().map(|_| {
+        let (sigs, s) = best_seconds(5, || {
+            compute_signatures(&mut MemoryRowStream::new(rows), 100, EXPERIMENT_SEED)
+                .expect("in-memory stream cannot fail")
+        });
+        assert_eq!(sigs, mh_ref, "SIMD MH signatures diverged from scalar");
+        s
+    });
+    kernel::force(KernelChoice::Auto).expect("auto restores detection");
+    assert!(cache.store_signatures(100, EXPERIMENT_SEED, n_rows, n_cols, &mh_ref));
+    let (mh_loaded, mh_hit_s) = best_seconds(5, || {
+        cache
+            .load_signatures(100, EXPERIMENT_SEED, n_rows, n_cols)
+            .expect("just stored")
+    });
+    assert_eq!(mh_loaded, mh_ref, "cache hit returned different signatures");
+
+    // K-MH (k = 64): the single-hash sieve loop.
+    kernel::force(KernelChoice::Scalar).expect("scalar arm always available");
+    let (kmh_ref, kmh_scalar_s) = best_seconds(5, || {
+        compute_bottom_k(&mut MemoryRowStream::new(rows), 64, EXPERIMENT_SEED)
+            .expect("in-memory stream cannot fail")
+    });
+    let kmh_simd = kernel::force(KernelChoice::Simd).ok().map(|_| {
+        let (sigs, s) = best_seconds(5, || {
+            compute_bottom_k(&mut MemoryRowStream::new(rows), 64, EXPERIMENT_SEED)
+                .expect("in-memory stream cannot fail")
+        });
+        assert_eq!(sigs, kmh_ref, "SIMD K-MH sketches diverged from scalar");
+        s
+    });
+    kernel::force(KernelChoice::Auto).expect("auto restores detection");
+    assert!(cache.store_bottom_k(64, EXPERIMENT_SEED, n_rows, n_cols, &kmh_ref));
+    let (kmh_loaded, kmh_hit_s) = best_seconds(5, || {
+        cache
+            .load_bottom_k(64, EXPERIMENT_SEED, n_rows, n_cols)
+            .expect("just stored")
+    });
+    assert_eq!(kmh_loaded, kmh_ref, "cache hit returned different sketches");
+
+    for (label, scalar_s, simd, hit_s) in [
+        ("MH k=100", mh_scalar_s, mh_simd, mh_hit_s),
+        ("K-MH k=64", kmh_scalar_s, kmh_simd, kmh_hit_s),
+    ] {
+        let (simd_cell, speedup_cell) = simd.map_or_else(
+            || ("n/a".to_owned(), "-".to_owned()),
+            |s| (format!("{s:.4}"), format!("{:.2}x", scalar_s / s)),
+        );
+        table.push(vec![
+            name.to_owned(),
+            label.to_owned(),
+            format!("{scalar_s:.4}"),
+            simd_cell,
+            speedup_cell,
+            format!("{hit_s:.6}"),
+        ]);
+        let mut entry = Json::obj()
+            .field("sketch", label)
+            .field("scalar_s", scalar_s)
+            .field("cache_hit_s", hit_s);
+        if let Some(s) = simd {
+            entry = entry.field("simd_s", s).field("simd_speedup", scalar_s / s);
+        }
+        per_scheme.push(entry);
+    }
+
+    // Whole-mine parity: every scheme, forced scalar vs forced simd vs
+    // cache miss vs cache hit, must find the identical pair set.
+    for scheme in schemes() {
+        kernel::force(KernelChoice::Scalar).expect("scalar arm always available");
+        let reference = run_scheme(rows, scheme, S_STAR, EXPERIMENT_SEED).similar_pairs();
+        if kernel::force(KernelChoice::Simd).is_ok() {
+            let simd_pairs = run_scheme(rows, scheme, S_STAR, EXPERIMENT_SEED).similar_pairs();
+            assert_eq!(
+                simd_pairs,
+                reference,
+                "{} diverged under simd",
+                scheme.name()
+            );
+        }
+        kernel::force(KernelChoice::Auto).expect("auto restores detection");
+        let cached = Pipeline::new(PipelineConfig::new(scheme, S_STAR, EXPERIMENT_SEED))
+            .with_signature_cache(&cache_dir);
+        let miss = cached
+            .run(&mut MemoryRowStream::new(rows))
+            .expect("in-memory stream cannot fail");
+        let hit = cached
+            .run(&mut MemoryRowStream::new(rows))
+            .expect("in-memory stream cannot fail");
+        assert_eq!(
+            miss.similar_pairs(),
+            reference,
+            "{} diverged on cache miss",
+            scheme.name()
+        );
+        assert_eq!(
+            hit.similar_pairs(),
+            reference,
+            "{} diverged on cache hit",
+            scheme.name()
+        );
+        if !matches!(scheme, Scheme::HLsh { .. }) {
+            let phase1 = hit
+                .metrics
+                .phase1
+                .as_ref()
+                .expect("sketch scheme records phase1");
+            assert!(
+                phase1.cache_hit,
+                "{} second mine missed the cache",
+                scheme.name()
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    Json::obj()
+        .field("dispatch_arm", sfa_matrix::kernel::arm_name())
+        .field("sketches", per_scheme)
+}
+
 /// One sharded (out-of-core) run's JSON entry. Identical in shape to
 /// [`run_json`] except that the machine-dependent `timing` object gains a
 /// `sharding` subtree — which the CI `bench-diff` strips along with the
@@ -376,6 +522,63 @@ fn serving_json(rows: &RowMajorMatrix, table: &mut Vec<Vec<String>>) -> Json {
         .field("server_p99_micros", serving.p99_micros)
 }
 
+/// Incremental vs cold serve rebuild after a ≤1%-row ingest. The cold
+/// path re-sketches the full row set; the incremental path folds only
+/// the delta into a clone of the warm miner (the clone happens outside
+/// the timed region — the live server keeps one miner and never
+/// clones). Both snapshots must be byte-identical; the seconds are
+/// machine-dependent and live under `timing.serving.rebuild`.
+fn rebuild_json(rows: &RowMajorMatrix, table: &mut Vec<Vec<String>>) -> Json {
+    use sfa_core::streaming::StreamingMiner;
+    use sfa_serve::Snapshot;
+
+    const K: usize = 128; // ServerConfig::default sketch size
+    let base: Vec<Vec<u32>> = rows.rows().map(|(_, cols)| cols.to_vec()).collect();
+    let n_cols = rows.n_cols();
+    let delta = (base.len() / 100).max(1);
+    let delta_rows: Vec<Vec<u32>> = base.iter().take(delta).cloned().collect();
+    let mut all = base.clone();
+    all.extend(delta_rows.iter().cloned());
+
+    let (cold, cold_s) = best_seconds(3, || {
+        Snapshot::build(2, n_cols, &all, K, EXPERIMENT_SEED, S_STAR, 0.2).expect("valid rows")
+    });
+    let warm = StreamingMiner::from_rows(n_cols, K, EXPERIMENT_SEED, &base);
+    let mut incremental_s = f64::INFINITY;
+    let mut incremental = None;
+    for _ in 0..3 {
+        let mut miner = warm.clone();
+        let t = Instant::now();
+        for row in &delta_rows {
+            miner.push_row(row);
+        }
+        let snap = Snapshot::build_from_miner(2, &miner, S_STAR, 0.2).expect("valid rows");
+        incremental_s = incremental_s.min(t.elapsed().as_secs_f64());
+        incremental = Some(snap);
+    }
+    let incremental = incremental.expect("reps >= 1");
+    assert_eq!(
+        incremental.pairs, cold.pairs,
+        "incremental rebuild diverged from the cold build"
+    );
+    assert_eq!(
+        (incremental.n_rows, incremental.n_cols),
+        (cold.n_rows, cold.n_cols)
+    );
+    table.push(vec![
+        format!("rebuild after {delta}-row ingest"),
+        format!("{cold_s:.4}"),
+        format!("{incremental_s:.4}"),
+        format!("{:.2}x", cold_s / incremental_s),
+    ]);
+    Json::obj()
+        .field("base_rows", base.len())
+        .field("ingested_rows", delta)
+        .field("rebuild_cold_s", cold_s)
+        .field("rebuild_incremental_s", incremental_s)
+        .field("incremental_speedup", cold_s / incremental_s)
+}
+
 /// Deterministic hybrid-container tallies for one dataset: per-type
 /// chunk counts and the container bytes vs. what dense bitmaps would
 /// cost. Pure functions of the seeded data, so these diff — a change
@@ -495,6 +698,27 @@ fn main() {
         &kernel_table,
     );
 
+    let mut phase1_table = Vec::new();
+    let phase1 = Json::obj()
+        .field(
+            "synthetic",
+            phase1_json("synthetic", &synthetic, &mut phase1_table),
+        )
+        .field("weblog", phase1_json("weblog", &weblog, &mut phase1_table));
+    print_table(
+        "phase-1 signature kernels (best of 5; sketches byte-identical \
+         across arms and across cache store/load)",
+        &[
+            "dataset",
+            "sketch",
+            "scalar(s)",
+            "simd(s)",
+            "simd speedup",
+            "cache hit(s)",
+        ],
+        &phase1_table,
+    );
+
     let mut serving_table = Vec::new();
     let serving = serving_json(&synthetic, &mut serving_table);
     print_table(
@@ -503,12 +727,23 @@ fn main() {
         &serving_table,
     );
 
+    let mut rebuild_table = Vec::new();
+    let rebuild = rebuild_json(&synthetic, &mut rebuild_table);
+    print_table(
+        "serve snapshot rebuild, cold vs incremental (synthetic; best of 3)",
+        &["rebuild", "cold(s)", "incremental(s)", "speedup"],
+        &rebuild_table,
+    );
+
     let doc = Json::obj()
         .field("schema_version", METRICS_SCHEMA_VERSION)
         .field("seed", EXPERIMENT_SEED)
         .field(
             "timing",
-            speedups.field("kernels", kernels).field("serving", serving),
+            speedups
+                .field("kernels", kernels)
+                .field("phase1", phase1)
+                .field("serving", serving.field("rebuild", rebuild)),
         )
         .field("datasets", datasets);
     let path = out_path();

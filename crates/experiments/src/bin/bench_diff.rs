@@ -197,6 +197,42 @@ mod tests {
         assert!(first_diff_line(&sa, &c).is_some());
     }
 
+    /// The phase-1 overhaul put signature-kernel seconds under
+    /// `timing.phase1` and the serve rebuild comparison under
+    /// `timing.serving.rebuild`; both (and the per-dataset
+    /// `dispatch_arm`) are machine-dependent, while the deterministic
+    /// `metrics.phase1` cache-provenance flags must still be compared.
+    #[test]
+    fn phase1_and_rebuild_timings_are_ignored_but_cache_flags_are_not() {
+        let a = Json::parse(
+            r#"{"metrics": {"phase1": {"dispatch_arm": "avx2", "cache_hit": false}},
+                "timing": {"phase1": {"synthetic": {"dispatch_arm": "avx2",
+                    "sketches": [{"sketch": "MH k=100", "scalar_s": 0.008}]}},
+                "serving": {"rebuild": {"rebuild_cold_s": 0.04, "incremental_speedup": 1.9}}}}"#,
+        )
+        .unwrap();
+        let b = Json::parse(
+            r#"{"metrics": {"phase1": {"dispatch_arm": "scalar", "cache_hit": false}},
+                "timing": {"phase1": {"synthetic": {"dispatch_arm": "scalar",
+                    "sketches": [{"sketch": "MH k=100", "scalar_s": 0.9}]}},
+                "serving": {"rebuild": {"rebuild_cold_s": 3.0, "incremental_speedup": 1.0}}}}"#,
+        )
+        .unwrap();
+        let (mut sa, mut sb) = (a, b);
+        strip_timing(&mut sa);
+        strip_timing(&mut sb);
+        assert_eq!(first_diff_line(&sa, &sb), None);
+
+        // A flipped cache-provenance flag is a real behavioral difference.
+        let mut c = Json::parse(
+            r#"{"metrics": {"phase1": {"dispatch_arm": "avx2", "cache_hit": true}},
+                "timing": {}}"#,
+        )
+        .unwrap();
+        strip_timing(&mut c);
+        assert!(first_diff_line(&sa, &c).is_some());
+    }
+
     #[test]
     fn diff_ignores_timing_but_catches_counters() {
         let a = Json::parse(r#"{"n": 1, "timing": {"s": 0.5}}"#).unwrap();

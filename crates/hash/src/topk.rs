@@ -10,8 +10,12 @@
 
 /// Retains the `k` smallest *distinct* `u64` values fed to it.
 ///
-/// Backed by a max-heap so the current threshold (largest retained value)
-/// is available in `O(1)` and each accepted insertion costs `O(log k)`.
+/// Backed by a flat-`Vec` max-heap so the current threshold (largest
+/// retained value) is available in `O(1)` and each accepted insertion costs
+/// `O(log k)`. Values that cannot displace the threshold are rejected in
+/// `O(1)` before any heap work; a saturated tracker admits by *replacing*
+/// the root and sifting down once, instead of the push-then-pop double
+/// sift a generic heap would pay.
 ///
 /// # Examples
 ///
@@ -27,8 +31,9 @@
 #[derive(Debug, Clone)]
 pub struct BottomK {
     k: usize,
-    /// Max-heap of the retained values (std BinaryHeap is a max-heap).
-    heap: std::collections::BinaryHeap<u64>,
+    /// Binary max-heap laid out in the classic flat array form:
+    /// `heap[0]` is the maximum, children of `i` are `2i+1` and `2i+2`.
+    heap: Vec<u64>,
 }
 
 impl BottomK {
@@ -42,7 +47,7 @@ impl BottomK {
         assert!(k > 0, "k must be positive");
         Self {
             k,
-            heap: std::collections::BinaryHeap::with_capacity(k + 1),
+            heap: Vec::with_capacity(k),
         }
     }
 
@@ -68,24 +73,38 @@ impl BottomK {
     /// tracker is full), or `None` if empty.
     #[must_use]
     pub fn max(&self) -> Option<u64> {
-        self.heap.peek().copied()
+        self.heap.first().copied()
+    }
+
+    /// The admission threshold as the K-MH sieve consumes it: the current
+    /// maximum when the tracker is saturated, `u64::MAX` (admit anything)
+    /// while it still has room.
+    #[must_use]
+    pub fn threshold(&self) -> u64 {
+        if self.heap.len() < self.k {
+            u64::MAX
+        } else {
+            self.heap[0]
+        }
     }
 
     /// Whether `v` would be admitted by [`insert`](Self::insert).
     ///
-    /// This is the `O(1)` fast-path test the K-MH inner loop uses before
-    /// paying the `O(log k)` heap update.
+    /// This is the `O(1)` threshold reject the K-MH inner loop relies on:
+    /// one comparison against the heap root, no traversal.
     #[inline]
     #[must_use]
     pub fn would_admit(&self, v: u64) -> bool {
-        self.heap.len() < self.k || v < *self.heap.peek().expect("full heap is non-empty")
+        self.heap.len() < self.k || v < self.heap[0]
     }
 
     /// Offers a value; returns `true` if it was admitted.
     ///
     /// A value is admitted when the tracker is not yet full or when it is
     /// strictly smaller than the current maximum, and it is not already
-    /// present (set semantics).
+    /// present (set semantics). Rejected values cost one comparison; an
+    /// admission into a saturated tracker replaces the root with a single
+    /// `O(log k)` sift-down.
     pub fn insert(&mut self, v: u64) -> bool {
         if !self.would_admit(v) {
             return false;
@@ -93,20 +112,58 @@ impl BottomK {
         // Set semantics: reject duplicates. A linear scan is acceptable
         // because admissions happen only O(k log n) times per column and
         // duplicates are vanishingly rare with 64-bit hashes.
-        if self.heap.iter().any(|&x| x == v) {
+        if self.heap.contains(&v) {
             return false;
         }
-        self.heap.push(v);
-        if self.heap.len() > self.k {
-            self.heap.pop();
+        if self.heap.len() < self.k {
+            self.heap.push(v);
+            self.sift_up(self.heap.len() - 1);
+        } else {
+            self.heap[0] = v;
+            self.sift_down(0);
         }
         true
+    }
+
+    /// Moves `heap[i]` up toward the root until its parent is larger.
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[parent] >= self.heap[i] {
+                break;
+            }
+            self.heap.swap(parent, i);
+            i = parent;
+        }
+    }
+
+    /// Moves `heap[i]` down, swapping with its larger child, until both
+    /// children are smaller.
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let left = 2 * i + 1;
+            if left >= n {
+                break;
+            }
+            let right = left + 1;
+            let child = if right < n && self.heap[right] > self.heap[left] {
+                right
+            } else {
+                left
+            };
+            if self.heap[i] >= self.heap[child] {
+                break;
+            }
+            self.heap.swap(i, child);
+            i = child;
+        }
     }
 
     /// Consumes the tracker, returning the retained values in ascending order.
     #[must_use]
     pub fn into_sorted_vec(self) -> Vec<u64> {
-        let mut v = self.heap.into_vec();
+        let mut v = self.heap;
         v.sort_unstable();
         v
     }
@@ -114,7 +171,7 @@ impl BottomK {
     /// Copies the retained values into a fresh ascending `Vec`.
     #[must_use]
     pub fn to_sorted_vec(&self) -> Vec<u64> {
-        let mut v: Vec<u64> = self.heap.iter().copied().collect();
+        let mut v = self.heap.clone();
         v.sort_unstable();
         v
     }
@@ -212,6 +269,18 @@ mod tests {
     }
 
     #[test]
+    fn threshold_is_max_when_full_else_unbounded() {
+        let mut bk = BottomK::new(2);
+        assert_eq!(bk.threshold(), u64::MAX);
+        bk.insert(10);
+        assert_eq!(bk.threshold(), u64::MAX); // room left: admit anything
+        bk.insert(20);
+        assert_eq!(bk.threshold(), 20); // saturated: the current max
+        bk.insert(5);
+        assert_eq!(bk.threshold(), 10);
+    }
+
+    #[test]
     fn underfull_returns_everything() {
         let mut bk = BottomK::new(100);
         for v in [3, 1, 2] {
@@ -225,6 +294,54 @@ mod tests {
     #[should_panic(expected = "k must be positive")]
     fn zero_k_panics() {
         let _ = BottomK::new(0);
+    }
+
+    #[test]
+    fn matches_naive_sort_truncate_on_random_streams() {
+        // The flat-heap rework (replace-max instead of push-then-pop) must
+        // not change a single retained value: cross-check every prefix
+        // against sort+dedup+truncate.
+        let mut seq = crate::rng::SeedSequence::new(0xB077_03FF);
+        for trial in 0..40 {
+            let k = 1 + (trial % 9);
+            let stream: Vec<u64> = (0..60).map(|_| seq.next_seed() % 50).collect();
+            let mut bk = BottomK::new(k);
+            for (i, &v) in stream.iter().enumerate() {
+                let admitted = bk.insert(v);
+                let mut naive: Vec<u64> = stream[..=i].to_vec();
+                naive.sort_unstable();
+                naive.dedup();
+                naive.truncate(k);
+                assert_eq!(bk.to_sorted_vec(), naive, "trial {trial}, step {i}");
+                assert_eq!(bk.max(), naive.last().copied());
+                // `insert` returned true iff the retained set gained `v`.
+                assert_eq!(
+                    admitted,
+                    naive.contains(&v) && {
+                        let mut before: Vec<u64> = stream[..i].to_vec();
+                        before.sort_unstable();
+                        before.dedup();
+                        before.truncate(k);
+                        !before.contains(&v)
+                    }
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn saturated_rejects_do_no_heap_work() {
+        // After saturation with small values, a stream of larger values
+        // must leave the retained set (and the threshold) untouched.
+        let mut bk = BottomK::new(3);
+        for v in [1, 2, 3] {
+            bk.insert(v);
+        }
+        for v in 100..200 {
+            assert!(!bk.insert(v));
+        }
+        assert_eq!(bk.threshold(), 3);
+        assert_eq!(bk.into_sorted_vec(), vec![1, 2, 3]);
     }
 
     #[test]

@@ -11,12 +11,22 @@
 //! [`compute_signatures`](crate::mh::compute_signatures) and
 //! [`compute_bottom_k`](crate::kmh::compute_bottom_k); the batch functions
 //! are thin wrappers over them.
+//!
+//! Both builders run their inner loops through the dispatched phase-1
+//! kernels in [`crate::kernel`]: `MhBuilder` keeps its signatures in a
+//! *column-major* work buffer so a row's `k`-wide hash vector min-merges
+//! into each touched column as one contiguous SIMD pass (the public
+//! [`SignatureMatrix`] stays row-major; the layouts meet at
+//! [`finish`](MhBuilder::finish)/[`current`](MhBuilder::current)), and
+//! `KmhBuilder` pre-filters each row's hash against a flat vector of
+//! per-column admission thresholds before touching any tracker.
 
 use sfa_hash::topk::BottomK;
 use sfa_hash::{HashFamily, RowHasher};
 
+use crate::kernel;
 use crate::kmh::BottomKSignatures;
-use crate::signature::SignatureMatrix;
+use crate::signature::{SignatureMatrix, EMPTY_SIGNATURE};
 
 /// Streaming builder for the MH `k × m` signature matrix.
 ///
@@ -36,7 +46,11 @@ use crate::signature::SignatureMatrix;
 pub struct MhBuilder {
     family: HashFamily,
     seed: u64,
-    sigs: SignatureMatrix,
+    k: usize,
+    m: usize,
+    /// Column-major signatures: `work[j·k..(j+1)·k]` holds column `j`'s
+    /// `k` running minima, contiguous for the min-merge kernel.
+    work: Vec<u64>,
     row_hashes: Vec<u64>,
     rows_seen: u64,
 }
@@ -48,7 +62,9 @@ impl MhBuilder {
         Self {
             family: HashFamily::new(k, seed),
             seed,
-            sigs: SignatureMatrix::new_empty(k, m),
+            k,
+            m,
+            work: vec![EMPTY_SIGNATURE; k * m],
             row_hashes: vec![0; k],
             rows_seen: 0,
         }
@@ -60,11 +76,19 @@ impl MhBuilder {
     /// exactly what an uninterrupted builder would have produced.
     #[must_use]
     pub fn from_state(seed: u64, rows_seen: u64, sigs: SignatureMatrix) -> Self {
-        let k = sigs.k();
+        let (k, m) = (sigs.k(), sigs.m());
+        let mut work = vec![EMPTY_SIGNATURE; k * m];
+        for j in 0..m {
+            for (l, slot) in work[j * k..(j + 1) * k].iter_mut().enumerate() {
+                *slot = sigs.get(l, j as u32);
+            }
+        }
         Self {
             family: HashFamily::new(k, seed),
             seed,
-            sigs,
+            k,
+            m,
+            work,
             row_hashes: vec![0; k],
             rows_seen,
         }
@@ -90,47 +114,38 @@ impl MhBuilder {
         self.family
             .hash_all(u64::from(row_id), &mut self.row_hashes);
         for &col in cols {
-            for (l, &h) in self.row_hashes.iter().enumerate() {
-                let slot = self.sigs.get_mut(l, col);
-                if h < *slot {
-                    *slot = h;
-                }
-            }
+            let start = col as usize * self.k;
+            kernel::min_merge_u64(&mut self.work[start..start + self.k], &self.row_hashes);
         }
         self.rows_seen += 1;
     }
 
-    /// A read-only view of the current signatures (usable mid-stream).
+    /// A snapshot of the current signatures (usable mid-stream). Allocates
+    /// a fresh row-major matrix from the column-major work buffer.
     #[must_use]
-    pub const fn current(&self) -> &SignatureMatrix {
-        &self.sigs
+    pub fn current(&self) -> SignatureMatrix {
+        SignatureMatrix::from_col_major(self.k, self.m, &self.work)
     }
 
     /// Consumes the builder, returning the signature matrix.
     #[must_use]
     pub fn finish(self) -> SignatureMatrix {
-        self.sigs
+        SignatureMatrix::from_col_major(self.k, self.m, &self.work)
     }
 
     /// Merges another builder over the *same* `(k, m, seed)` configuration
-    /// by component-wise minimum — the parallel-scan combine step.
+    /// by component-wise minimum — the parallel-scan combine step. The two
+    /// work buffers share one layout, so the merge is a single whole-buffer
+    /// kernel pass.
     ///
     /// # Panics
     ///
     /// Panics if the shapes differ. (Seeds are the caller's contract; two
     /// different seeds produce a meaningless merge.)
     pub fn merge(&mut self, other: &Self) {
-        assert_eq!(self.sigs.k(), other.sigs.k(), "k mismatch");
-        assert_eq!(self.sigs.m(), other.sigs.m(), "m mismatch");
-        for l in 0..self.sigs.k() {
-            for j in 0..self.sigs.m() as u32 {
-                let v = other.sigs.get(l, j);
-                let slot = self.sigs.get_mut(l, j);
-                if v < *slot {
-                    *slot = v;
-                }
-            }
-        }
+        assert_eq!(self.k, other.k, "k mismatch");
+        assert_eq!(self.m, other.m, "m mismatch");
+        kernel::min_merge_u64(&mut self.work, &other.work);
         self.rows_seen += other.rows_seen;
     }
 }
@@ -142,8 +157,16 @@ pub struct KmhBuilder {
     seed: u64,
     k: usize,
     trackers: Vec<BottomK>,
+    /// `thresholds[j]` mirrors `trackers[j].threshold()`: the saturated
+    /// tracker's max, or `u64::MAX` while it still has room. Kept flat so
+    /// a row's admission tests gather into one contiguous sieve pass.
+    thresholds: Vec<u64>,
     counts: Vec<u32>,
     rows_seen: u64,
+    /// Per-row scratch: the touched columns' thresholds, then the sieve's
+    /// surviving indices. Retained across rows to avoid reallocating.
+    sieve_thresholds: Vec<u64>,
+    sieve_admitted: Vec<u32>,
 }
 
 impl KmhBuilder {
@@ -155,8 +178,11 @@ impl KmhBuilder {
             seed,
             k,
             trackers: (0..m).map(|_| BottomK::new(k)).collect(),
+            thresholds: vec![u64::MAX; m],
             counts: vec![0; m],
             rows_seen: 0,
+            sieve_thresholds: Vec::new(),
+            sieve_admitted: Vec::new(),
         }
     }
 
@@ -178,7 +204,7 @@ impl KmhBuilder {
         counts: Vec<u32>,
     ) -> Self {
         assert_eq!(sigs.len(), counts.len(), "per-column lengths disagree");
-        let trackers = sigs
+        let trackers: Vec<BottomK> = sigs
             .into_iter()
             .enumerate()
             .map(|(j, values)| {
@@ -190,13 +216,17 @@ impl KmhBuilder {
                 t
             })
             .collect();
+        let thresholds = trackers.iter().map(BottomK::threshold).collect();
         Self {
             hasher: RowHasher::new(seed),
             seed,
             k,
             trackers,
+            thresholds,
             counts,
             rows_seen,
+            sieve_thresholds: Vec::new(),
+            sieve_admitted: Vec::new(),
         }
     }
 
@@ -233,14 +263,26 @@ impl KmhBuilder {
     }
 
     /// Folds one row into the sketches.
+    ///
+    /// The row hash is first sieved against the touched columns' admission
+    /// thresholds in one batched kernel pass; only surviving columns pay a
+    /// tracker probe, so saturated sketches cost one compare per nonzero.
     pub fn push_row(&mut self, row_id: u32, cols: &[u32]) {
         let h = self.hasher.hash_row(row_id);
+        self.sieve_thresholds.clear();
+        self.sieve_thresholds
+            .extend(cols.iter().map(|&c| self.thresholds[c as usize]));
+        self.sieve_admitted.clear();
+        kernel::sieve_le(h, &self.sieve_thresholds, &mut self.sieve_admitted);
+        for &i in &self.sieve_admitted {
+            let col = cols[i as usize] as usize;
+            let t = &mut self.trackers[col];
+            if t.insert(h) {
+                self.thresholds[col] = t.threshold();
+            }
+        }
         for &col in cols {
             self.counts[col as usize] += 1;
-            let t = &mut self.trackers[col as usize];
-            if t.would_admit(h) {
-                t.insert(h);
-            }
         }
         self.rows_seen += 1;
     }
@@ -265,11 +307,13 @@ impl KmhBuilder {
     pub fn merge(&mut self, other: &Self) {
         assert_eq!(self.k, other.k, "k mismatch");
         assert_eq!(self.trackers.len(), other.trackers.len(), "m mismatch");
-        for (mine, theirs) in self.trackers.iter_mut().zip(&other.trackers) {
+        for (j, (mine, theirs)) in self.trackers.iter_mut().zip(&other.trackers).enumerate() {
+            let mut changed = false;
             for v in theirs.iter() {
-                if mine.would_admit(v) {
-                    mine.insert(v);
-                }
+                changed |= mine.insert(v);
+            }
+            if changed {
+                self.thresholds[j] = mine.threshold();
             }
         }
         for (c, &o) in self.counts.iter_mut().zip(&other.counts) {
@@ -325,7 +369,7 @@ mod tests {
         for (id, cols) in m.rows().take(2) {
             staged.push_row(id, cols);
         }
-        let mid = staged.current().clone();
+        let mid = staged.current();
         for (id, cols) in m.rows().skip(2) {
             staged.push_row(id, cols);
         }
@@ -383,7 +427,7 @@ mod tests {
         }
         // Checkpoint: partial signatures + row cursor. Then "crash" and
         // rebuild from the persisted state.
-        let (rows_seen, sigs) = (first.rows_seen(), first.current().clone());
+        let (rows_seen, sigs) = (first.rows_seen(), first.current());
         drop(first);
         let mut resumed = MhBuilder::from_state(5, rows_seen, sigs);
         assert_eq!(resumed.seed(), 5);
@@ -411,6 +455,20 @@ mod tests {
         }
         let batch = compute_bottom_k(&mut MemoryRowStream::new(&m), 2, 5).unwrap();
         assert_eq!(resumed.finish(), batch);
+    }
+
+    #[test]
+    fn kmh_thresholds_track_trackers_exactly() {
+        // The sieve is only correct if the flat threshold vector never
+        // lags the trackers; check the invariant along a long stream.
+        let rows: Vec<Vec<u32>> = (0..200u32).map(|i| vec![i % 3, 3 + (i % 2)]).collect();
+        let mut b = KmhBuilder::new(4, 5, 11);
+        for (id, cols) in rows.iter().enumerate() {
+            b.push_row(id as u32, cols);
+            for (j, t) in b.trackers.iter().enumerate() {
+                assert_eq!(b.thresholds[j], t.threshold(), "row {id}, column {j}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,519 @@
+//! Runtime-dispatched SIMD kernels for the phase-1 signature scan.
+//!
+//! Phase 1 (§3) is "assign random hash values to the rows, keep the
+//! per-column minimum": for every 1-entry of the table, the row's `k`-wide
+//! hash vector is min-merged into that column's signature. At `k = 100`
+//! and millions of nonzeros this elementwise min is the densest loop in
+//! the whole pipeline, so it gets the same treatment phase 3 got in the
+//! kernel layer of `sfa_matrix::kernel`: a portable scalar arm that is
+//! the semantic floor, plus SIMD arms selected once per process.
+//!
+//! Arm selection is *shared* with the phase-3 kernels — this module asks
+//! [`sfa_matrix::kernel::arm`] which arm is active, so `--kernel` /
+//! `SFA_KERNEL` pin phase 1 and phase 3 together and `dispatch_arm` in
+//! the metrics describes both.
+//!
+//! Three kernels:
+//!
+//! * [`min_merge_u64`] — `dst[i] = min(dst[i], src[i])` over unsigned
+//!   64-bit lanes. AVX2 has no unsigned 64-bit min, so the AVX2 arm uses
+//!   the sign-flip trick: XOR both operands with `2^63`, compare with the
+//!   *signed* `vpcmpgtq`, and blend. NEON compares natively (`vcgtq_u64`)
+//!   and selects with `vbslq_u64`.
+//! * [`min_merge_u64_lo32`] — the same merge under the 32-bit
+//!   paper-fidelity precondition (every value is a zero-extended `u32` or
+//!   the `u64::MAX` empty sentinel). Under that precondition a per-32-bit
+//!   lane unsigned min (`vpminud` / `vminq_u32`) computes the exact
+//!   64-bit min — the high half of every non-sentinel lane is zero, and
+//!   the sentinel is all-ones in both halves — so this arm runs one cheap
+//!   instruction where the general arm needs three.
+//! * [`sieve_le`] — the batched K-MH sieve: given one row hash `h` and
+//!   the gathered per-column admission thresholds, emit the indices whose
+//!   threshold `h` does not exceed. Columns rejected here are never
+//!   touched again, so a saturated bottom-k set costs one compare per
+//!   nonzero instead of a tracker probe.
+//!
+//! Every arm returns exactly the same bytes; `tests/signature_kernels.rs`
+//! pins scalar-vs-SIMD agreement and CI re-runs the suites under
+//! `SFA_KERNEL=scalar` so the portable floor cannot rot.
+
+use sfa_matrix::kernel::{arm, simd_arm, KernelArm};
+
+/// `dst[i] = min(dst[i], src[i])` via the selected arm.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn min_merge_u64(dst: &mut [u64], src: &[u64]) {
+    assert_eq!(dst.len(), src.len(), "min-merge length mismatch");
+    match arm() {
+        KernelArm::Scalar => min_merge_u64_scalar(dst, src),
+        KernelArm::Avx2 | KernelArm::Neon => simd_min_merge(dst, src),
+    }
+}
+
+/// Scalar arm of [`min_merge_u64`] (the portable floor).
+pub fn min_merge_u64_scalar(dst: &mut [u64], src: &[u64]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        if s < *d {
+            *d = s;
+        }
+    }
+}
+
+/// Forced-SIMD arm of [`min_merge_u64`]; returns `false` (leaving `dst`
+/// untouched) when the CPU has no SIMD arm. Race-free for tests: bypasses
+/// (and never mutates) the cached process-wide arm.
+pub fn min_merge_u64_simd(dst: &mut [u64], src: &[u64]) -> bool {
+    assert_eq!(dst.len(), src.len(), "min-merge length mismatch");
+    if simd_arm().is_some() {
+        simd_min_merge(dst, src);
+        true
+    } else {
+        false
+    }
+}
+
+/// `dst[i] = min(dst[i], src[i])` under the 32-bit mode precondition:
+/// every value in both slices is either `< 2^32` (a zero-extended folded
+/// hash) or `u64::MAX` (the empty-signature sentinel).
+///
+/// The scalar arm is a plain 64-bit min, so the result is correct even if
+/// the precondition is violated — only the SIMD arms rely on it.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn min_merge_u64_lo32(dst: &mut [u64], src: &[u64]) {
+    assert_eq!(dst.len(), src.len(), "min-merge length mismatch");
+    match arm() {
+        KernelArm::Scalar => min_merge_u64_scalar(dst, src),
+        KernelArm::Avx2 | KernelArm::Neon => simd_min_merge_lo32(dst, src),
+    }
+}
+
+/// Forced-SIMD arm of [`min_merge_u64_lo32`]; `false` when the CPU has no
+/// SIMD arm.
+pub fn min_merge_u64_lo32_simd(dst: &mut [u64], src: &[u64]) -> bool {
+    assert_eq!(dst.len(), src.len(), "min-merge length mismatch");
+    if simd_arm().is_some() {
+        simd_min_merge_lo32(dst, src);
+        true
+    } else {
+        false
+    }
+}
+
+/// The batched K-MH sieve: pushes every index `i` with
+/// `h <= thresholds[i]` onto `admitted`.
+///
+/// The predicate is `<=`, not `<`, deliberately: an unsaturated tracker's
+/// threshold is `u64::MAX` and must admit *everything* (including a row
+/// hash that is itself `u64::MAX`), and a hash equal to a saturated
+/// tracker's max must still reach the tracker so its duplicate/set
+/// semantics stay the single source of truth. The sieve only guarantees
+/// it never drops a hash the tracker would admit.
+pub fn sieve_le(h: u64, thresholds: &[u64], admitted: &mut Vec<u32>) {
+    match arm() {
+        KernelArm::Scalar => sieve_le_scalar(h, thresholds, admitted),
+        KernelArm::Avx2 | KernelArm::Neon => simd_sieve_le(h, thresholds, admitted),
+    }
+}
+
+/// Scalar arm of [`sieve_le`].
+pub fn sieve_le_scalar(h: u64, thresholds: &[u64], admitted: &mut Vec<u32>) {
+    for (i, &t) in thresholds.iter().enumerate() {
+        if h <= t {
+            admitted.push(i as u32);
+        }
+    }
+}
+
+/// Forced-SIMD arm of [`sieve_le`]; `false` (leaving `admitted` untouched)
+/// when the CPU has no SIMD arm.
+pub fn sieve_le_simd(h: u64, thresholds: &[u64], admitted: &mut Vec<u32>) -> bool {
+    if simd_arm().is_some() {
+        simd_sieve_le(h, thresholds, admitted);
+        true
+    } else {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 arm (x86-64).
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! Sign-flip unsigned-min, `vpminud` 32-bit-mode min, and the
+    //! broadcast-compare sieve. Every function is `unsafe` with
+    //! `#[target_feature(enable = "avx2")]`; callers in the parent module
+    //! only reach these after runtime detection reports AVX2.
+
+    use std::arch::x86_64::{
+        _mm256_blendv_epi8, _mm256_castsi256_pd, _mm256_cmpgt_epi64, _mm256_loadu_si256,
+        _mm256_min_epu32, _mm256_movemask_pd, _mm256_set1_epi64x, _mm256_storeu_si256,
+        _mm256_xor_si256,
+    };
+
+    /// The unsigned-compare bias: XOR with `2^63` maps unsigned order
+    /// onto signed order, so `vpcmpgtq` (signed) compares unsigned.
+    const SIGN: i64 = i64::MIN;
+
+    /// # Safety
+    ///
+    /// Requires AVX2 (checked by the dispatcher) and
+    /// `dst.len() == src.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn min_merge(dst: &mut [u64], src: &[u64]) {
+        debug_assert_eq!(dst.len(), src.len());
+        let n = dst.len();
+        let bias = _mm256_set1_epi64x(SIGN);
+        let mut i = 0usize;
+        while i + 4 <= n {
+            // SAFETY: the guard leaves >= 4 readable (and writable, for
+            // `dst`) words past `i` in both slices.
+            let d = _mm256_loadu_si256(dst.as_ptr().add(i).cast());
+            let s = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+            // d > s unsigned <=> (d ^ 2^63) > (s ^ 2^63) signed.
+            let gt = _mm256_cmpgt_epi64(_mm256_xor_si256(d, bias), _mm256_xor_si256(s, bias));
+            let m = _mm256_blendv_epi8(d, s, gt);
+            _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), m);
+            i += 4;
+        }
+        for w in i..n {
+            if src[w] < dst[w] {
+                dst[w] = src[w];
+            }
+        }
+    }
+
+    /// 32-bit-mode min-merge: one `vpminud` per vector. Correct because
+    /// every lane is `[v, 0]` (zero-extended `u32`) or `[~0, ~0]` (the
+    /// sentinel): per-32-bit mins of those shapes reproduce the 64-bit
+    /// min exactly.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 and `dst.len() == src.len()`; callers must uphold
+    /// the value-shape precondition.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn min_merge_lo32(dst: &mut [u64], src: &[u64]) {
+        debug_assert_eq!(dst.len(), src.len());
+        let n = dst.len();
+        let mut i = 0usize;
+        while i + 4 <= n {
+            // SAFETY: the guard leaves >= 4 readable/writable words.
+            let d = _mm256_loadu_si256(dst.as_ptr().add(i).cast());
+            let s = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+            _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), _mm256_min_epu32(d, s));
+            i += 4;
+        }
+        for w in i..n {
+            if src[w] < dst[w] {
+                dst[w] = src[w];
+            }
+        }
+    }
+
+    /// Broadcast-compare sieve: 4 thresholds per `vpcmpgtq`, indices
+    /// recovered from the movemask.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 (checked by the dispatcher).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sieve_le(h: u64, thresholds: &[u64], admitted: &mut Vec<u32>) {
+        let n = thresholds.len();
+        let bias = _mm256_set1_epi64x(SIGN);
+        let hb = _mm256_xor_si256(_mm256_set1_epi64x(h as i64), bias);
+        let mut i = 0usize;
+        while i + 4 <= n {
+            // SAFETY: the guard leaves >= 4 readable words past `i`.
+            let t = _mm256_loadu_si256(thresholds.as_ptr().add(i).cast());
+            // h > t unsigned per lane; the *complement* is h <= t.
+            let gt = _mm256_cmpgt_epi64(hb, _mm256_xor_si256(t, bias));
+            let mut keep = !(_mm256_movemask_pd(_mm256_castsi256_pd(gt)) as u32) & 0xF;
+            while keep != 0 {
+                let lane = keep.trailing_zeros();
+                admitted.push(i as u32 + lane);
+                keep &= keep - 1;
+            }
+            i += 4;
+        }
+        for (w, &t) in thresholds.iter().enumerate().skip(i) {
+            if h <= t {
+                admitted.push(w as u32);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NEON arm (aarch64). NEON is baseline on aarch64, but the functions keep
+// the target_feature annotation so the safety contract mirrors AVX2.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use std::arch::aarch64::{
+        vbslq_u64, vcgtq_u64, vdupq_n_u64, vld1q_u64, vminq_u32, vreinterpretq_u32_u64,
+        vreinterpretq_u64_u32, vst1q_u64,
+    };
+
+    /// # Safety
+    ///
+    /// Requires NEON (checked by the dispatcher) and
+    /// `dst.len() == src.len()`.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn min_merge(dst: &mut [u64], src: &[u64]) {
+        debug_assert_eq!(dst.len(), src.len());
+        let n = dst.len();
+        let mut i = 0usize;
+        while i + 2 <= n {
+            // SAFETY: the guard leaves >= 2 readable/writable words.
+            let d = vld1q_u64(dst.as_ptr().add(i));
+            let s = vld1q_u64(src.as_ptr().add(i));
+            // Select `s` in lanes where d > s (unsigned): the min.
+            vst1q_u64(dst.as_mut_ptr().add(i), vbslq_u64(vcgtq_u64(d, s), s, d));
+            i += 2;
+        }
+        for w in i..n {
+            if src[w] < dst[w] {
+                dst[w] = src[w];
+            }
+        }
+    }
+
+    /// 32-bit-mode min-merge via `vminq_u32` (see the AVX2 arm for the
+    /// lane-shape argument).
+    ///
+    /// # Safety
+    ///
+    /// Requires NEON and `dst.len() == src.len()`; callers must uphold
+    /// the value-shape precondition.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn min_merge_lo32(dst: &mut [u64], src: &[u64]) {
+        debug_assert_eq!(dst.len(), src.len());
+        let n = dst.len();
+        let mut i = 0usize;
+        while i + 2 <= n {
+            // SAFETY: the guard leaves >= 2 readable/writable words.
+            let d = vreinterpretq_u32_u64(vld1q_u64(dst.as_ptr().add(i)));
+            let s = vreinterpretq_u32_u64(vld1q_u64(src.as_ptr().add(i)));
+            vst1q_u64(
+                dst.as_mut_ptr().add(i),
+                vreinterpretq_u64_u32(vminq_u32(d, s)),
+            );
+            i += 2;
+        }
+        for w in i..n {
+            if src[w] < dst[w] {
+                dst[w] = src[w];
+            }
+        }
+    }
+
+    /// Broadcast-compare sieve, 2 thresholds per compare.
+    ///
+    /// # Safety
+    ///
+    /// Requires NEON (checked by the dispatcher).
+    #[target_feature(enable = "neon")]
+    pub unsafe fn sieve_le(h: u64, thresholds: &[u64], admitted: &mut Vec<u32>) {
+        use std::arch::aarch64::vgetq_lane_u64;
+        let n = thresholds.len();
+        let hb = vdupq_n_u64(h);
+        let mut i = 0usize;
+        while i + 2 <= n {
+            // SAFETY: the guard leaves >= 2 readable words past `i`.
+            let t = vld1q_u64(thresholds.as_ptr().add(i));
+            let gt = vcgtq_u64(hb, t); // h > t per lane; keep the rest
+            if vgetq_lane_u64::<0>(gt) == 0 {
+                admitted.push(i as u32);
+            }
+            if vgetq_lane_u64::<1>(gt) == 0 {
+                admitted.push(i as u32 + 1);
+            }
+            i += 2;
+        }
+        for (w, &t) in thresholds.iter().enumerate().skip(i) {
+            if h <= t {
+                admitted.push(w as u32);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SIMD entry points (compiled per-arch; scalar elsewhere).
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+fn simd_min_merge(dst: &mut [u64], src: &[u64]) {
+    // SAFETY: only reached when `simd_arm()` reported AVX2.
+    unsafe { avx2::min_merge(dst, src) }
+}
+
+#[cfg(target_arch = "aarch64")]
+fn simd_min_merge(dst: &mut [u64], src: &[u64]) {
+    // SAFETY: only reached when `simd_arm()` reported NEON.
+    unsafe { neon::min_merge(dst, src) }
+}
+
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+fn simd_min_merge(dst: &mut [u64], src: &[u64]) {
+    min_merge_u64_scalar(dst, src);
+}
+
+#[cfg(target_arch = "x86_64")]
+fn simd_min_merge_lo32(dst: &mut [u64], src: &[u64]) {
+    // SAFETY: only reached when `simd_arm()` reported AVX2.
+    unsafe { avx2::min_merge_lo32(dst, src) }
+}
+
+#[cfg(target_arch = "aarch64")]
+fn simd_min_merge_lo32(dst: &mut [u64], src: &[u64]) {
+    // SAFETY: only reached when `simd_arm()` reported NEON.
+    unsafe { neon::min_merge_lo32(dst, src) }
+}
+
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+fn simd_min_merge_lo32(dst: &mut [u64], src: &[u64]) {
+    min_merge_u64_scalar(dst, src);
+}
+
+#[cfg(target_arch = "x86_64")]
+fn simd_sieve_le(h: u64, thresholds: &[u64], admitted: &mut Vec<u32>) {
+    // SAFETY: only reached when `simd_arm()` reported AVX2.
+    unsafe { avx2::sieve_le(h, thresholds, admitted) }
+}
+
+#[cfg(target_arch = "aarch64")]
+fn simd_sieve_le(h: u64, thresholds: &[u64], admitted: &mut Vec<u32>) {
+    // SAFETY: only reached when `simd_arm()` reported NEON.
+    unsafe { neon::sieve_le(h, thresholds, admitted) }
+}
+
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+fn simd_sieve_le(h: u64, thresholds: &[u64], admitted: &mut Vec<u32>) {
+    sieve_le_scalar(h, thresholds, admitted);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift word stream for kernel tests.
+    fn words(seed: u64, n: usize) -> Vec<u64> {
+        let mut s = seed | 1;
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn simd_min_merge_matches_scalar_across_lengths() {
+        for n in [0, 1, 2, 3, 4, 5, 7, 8, 15, 64, 100, 101] {
+            let src = words(0x9e37_79b9 ^ n as u64, n);
+            let mut scalar = words(0x85eb_ca6b ^ n as u64, n);
+            let mut simd = scalar.clone();
+            let mut dispatched = scalar.clone();
+            min_merge_u64_scalar(&mut scalar, &src);
+            if min_merge_u64_simd(&mut simd, &src) {
+                assert_eq!(simd, scalar, "n={n}");
+            }
+            min_merge_u64(&mut dispatched, &src);
+            assert_eq!(dispatched, scalar, "n={n}");
+        }
+    }
+
+    #[test]
+    fn min_merge_handles_extremes() {
+        // Sign-flip correctness hinges on values straddling 2^63, and the
+        // sentinel u64::MAX must always lose to a real hash.
+        let src = vec![0, u64::MAX, 1 << 63, (1 << 63) - 1, u64::MAX, 3, 9, 2];
+        let mut scalar = vec![u64::MAX, 5, (1 << 63) + 1, 1 << 63, u64::MAX, 4, 2, 2];
+        let mut simd = scalar.clone();
+        min_merge_u64_scalar(&mut scalar, &src);
+        if min_merge_u64_simd(&mut simd, &src) {
+            assert_eq!(simd, scalar);
+        }
+        assert_eq!(
+            scalar,
+            vec![0, 5, 1 << 63, (1 << 63) - 1, u64::MAX, 3, 2, 2]
+        );
+    }
+
+    #[test]
+    fn lo32_mode_matches_scalar() {
+        // Values shaped like 32-bit mode: zero-extended u32 or the sentinel.
+        for n in [0, 1, 3, 4, 6, 8, 33, 100] {
+            let shape = |seed: u64| -> Vec<u64> {
+                words(seed, n)
+                    .into_iter()
+                    .map(|w| {
+                        if w % 7 == 0 {
+                            u64::MAX
+                        } else {
+                            w & 0xFFFF_FFFF
+                        }
+                    })
+                    .collect()
+            };
+            let src = shape(11 + n as u64);
+            let mut scalar = shape(23 + n as u64);
+            let mut simd = scalar.clone();
+            let mut dispatched = scalar.clone();
+            min_merge_u64_scalar(&mut scalar, &src);
+            if min_merge_u64_lo32_simd(&mut simd, &src) {
+                assert_eq!(simd, scalar, "n={n}");
+            }
+            min_merge_u64_lo32(&mut dispatched, &src);
+            assert_eq!(dispatched, scalar, "n={n}");
+        }
+    }
+
+    #[test]
+    fn sieve_matches_scalar_and_is_le() {
+        for n in [0, 1, 2, 3, 4, 5, 8, 9, 31, 64] {
+            let thresholds = words(77 + n as u64, n)
+                .into_iter()
+                .map(|w| if w % 5 == 0 { u64::MAX } else { w })
+                .collect::<Vec<_>>();
+            for h in [0u64, 1, 1 << 63, u64::MAX - 1, u64::MAX] {
+                let mut want = Vec::new();
+                sieve_le_scalar(h, &thresholds, &mut want);
+                let mut got = Vec::new();
+                if sieve_le_simd(h, &thresholds, &mut got) {
+                    assert_eq!(got, want, "h={h} n={n}");
+                }
+                let mut dispatched = Vec::new();
+                sieve_le(h, &thresholds, &mut dispatched);
+                assert_eq!(dispatched, want, "h={h} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn sieve_max_hash_passes_max_threshold() {
+        // The freak case the `<=` predicate exists for: an unsaturated
+        // tracker (threshold u64::MAX) must admit a hash of u64::MAX.
+        let mut admitted = Vec::new();
+        sieve_le(u64::MAX, &[u64::MAX, 0, u64::MAX], &mut admitted);
+        assert_eq!(admitted, vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "min-merge length mismatch")]
+    fn min_merge_rejects_length_mismatch() {
+        let mut dst = vec![0u64; 3];
+        min_merge_u64(&mut dst, &[1, 2]);
+    }
+}

@@ -26,12 +26,16 @@
 //! * [`explicit`] — the textbook explicit-permutation formulation,
 //!   reproducing the paper's Example 1 exactly and serving as a
 //!   differential oracle for the hashed implementation.
+//! * [`kernel`] — runtime-dispatched SIMD min-merge and sieve kernels the
+//!   builders' inner loops run through; arm selection is shared with the
+//!   phase-3 kernels in `sfa_matrix::kernel`.
 
 pub mod builder;
 pub mod candidates;
 pub mod estimate;
 pub mod explicit;
 pub mod hashcount;
+pub mod kernel;
 pub mod kmh;
 pub mod mh;
 pub mod persist;

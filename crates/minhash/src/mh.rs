@@ -122,20 +122,22 @@ pub fn compute_signatures_32<S: RowStream>(
 ) -> Result<SignatureMatrix> {
     let m = stream.n_cols() as usize;
     let family = sfa_hash::HashFamily::new(k, seed);
-    let mut sigs = SignatureMatrix::new_empty(k, m);
+    // Column-major work buffer, like MhBuilder's: every value is either a
+    // zero-extended folded u32 or the u64::MAX sentinel, which is exactly
+    // the shape the lo32 kernel arm requires.
+    let mut work = vec![crate::signature::EMPTY_SIGNATURE; k * m];
+    let mut row_hashes = vec![0u64; k];
     let mut buf = Vec::new();
     while let Some(row_id) = stream.read_row(&mut buf)? {
+        for (l, slot) in row_hashes.iter_mut().enumerate() {
+            *slot = u64::from(sfa_hash::mix::fold32(family.hash(l, u64::from(row_id))));
+        }
         for &col in &buf {
-            for l in 0..k {
-                let h = u64::from(sfa_hash::mix::fold32(family.hash(l, u64::from(row_id))));
-                let slot = sigs.get_mut(l, col);
-                if h < *slot {
-                    *slot = h;
-                }
-            }
+            let start = col as usize * k;
+            crate::kernel::min_merge_u64_lo32(&mut work[start..start + k], &row_hashes);
         }
     }
-    Ok(sigs)
+    Ok(SignatureMatrix::from_col_major(k, m, &work))
 }
 
 #[cfg(test)]

@@ -22,12 +22,17 @@
 //!
 //! Byte-exact layouts and the validation rules readers enforce are
 //! specified in `docs/FORMATS.md` at the repository root.
+//!
+//! The [`encode_signatures`]/[`decode_signatures`] (and `_bottom_k`) pairs
+//! expose the same formats as in-memory byte images, so callers that need
+//! atomic or fault-injected IO (the signature cache, checkpoints) can route
+//! the bytes through their own writer.
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
 
-use sfa_matrix::crc32::{crc32, CrcWriter};
+use sfa_matrix::crc32::crc32;
 use sfa_matrix::{MatrixError, Result};
 
 use crate::kmh::BottomKSignatures;
@@ -98,11 +103,9 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Loads a sketch file, checks its magic against the v1/v2 constants, and
-/// (for v2) verifies the CRC-32 trailer. Returns the file image and a
-/// cursor positioned after the magic, covering exactly the payload.
-fn open_sketch(path: &Path, magic_v1: [u8; 4], magic_v2: [u8; 4], what: &str) -> Result<Vec<u8>> {
-    let bytes = std::fs::read(path)?;
+/// Checks a sketch image's magic against the v1/v2 constants and (for v2)
+/// verifies the CRC-32 trailer, before any value is trusted.
+fn check_sketch(bytes: &[u8], magic_v1: [u8; 4], magic_v2: [u8; 4], what: &str) -> Result<()> {
     if bytes.len() < 4 {
         return Err(MatrixError::Parse {
             at: bytes.len() as u64,
@@ -133,7 +136,17 @@ fn open_sketch(path: &Path, magic_v1: [u8; 4], magic_v2: [u8; 4], what: &str) ->
             return Err(MatrixError::Checksum { stored, computed });
         }
     }
-    Ok(bytes)
+    Ok(())
+}
+
+/// Assembles a v2 image: magic, body, CRC-32 trailer over the body.
+fn seal_v2(magic: [u8; 4], body: &[u8]) -> Vec<u8> {
+    let crc = crc32(body);
+    let mut out = Vec::with_capacity(4 + body.len() + 4);
+    out.extend_from_slice(&magic);
+    out.extend_from_slice(body);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
 }
 
 /// The payload region of a loaded sketch image: everything after the magic,
@@ -147,19 +160,22 @@ fn payload(bytes: &[u8], magic_v2: [u8; 4]) -> Cursor<'_> {
     Cursor::new(&bytes[..end], 4)
 }
 
+/// Encodes a [`SignatureMatrix`] as a checksummed v2 `.sfmh` byte image —
+/// the exact bytes [`write_signatures`] puts on disk.
+#[must_use]
+pub fn encode_signatures(sigs: &SignatureMatrix) -> Vec<u8> {
+    let mut body = Vec::new();
+    write_signatures_body(&mut body, sigs).expect("writing to a Vec cannot fail");
+    seal_v2(MH_MAGIC_V2, &body)
+}
+
 /// Writes a [`SignatureMatrix`] to `path` in the checksummed v2 format.
 ///
 /// # Errors
 ///
 /// Propagates IO errors.
 pub fn write_signatures(sigs: &SignatureMatrix, path: &Path) -> Result<()> {
-    let mut w = CrcWriter::new(BufWriter::new(File::create(path)?));
-    w.get_mut().write_all(&MH_MAGIC_V2)?;
-    write_signatures_body(&mut w, sigs)?;
-    let crc = w.digest();
-    let inner = w.get_mut();
-    inner.write_all(&crc.to_le_bytes())?;
-    inner.flush()?;
+    std::fs::write(path, encode_signatures(sigs))?;
     Ok(())
 }
 
@@ -196,8 +212,18 @@ fn write_signatures_body(w: &mut impl Write, sigs: &SignatureMatrix) -> Result<(
 /// Fails on IO errors, a malformed header, a payload whose size disagrees
 /// with the declared `k·m`, or (v2) a checksum mismatch.
 pub fn read_signatures(path: &Path) -> Result<SignatureMatrix> {
-    let bytes = open_sketch(path, MH_MAGIC, MH_MAGIC_V2, "SFMH/SFM2")?;
-    let mut c = payload(&bytes, MH_MAGIC_V2);
+    decode_signatures(&std::fs::read(path)?)
+}
+
+/// Decodes a [`SignatureMatrix`] from a v1/v2 byte image, with the same
+/// validation as [`read_signatures`].
+///
+/// # Errors
+///
+/// As [`read_signatures`], minus the IO.
+pub fn decode_signatures(bytes: &[u8]) -> Result<SignatureMatrix> {
+    check_sketch(bytes, MH_MAGIC, MH_MAGIC_V2, "SFMH/SFM2")?;
+    let mut c = payload(bytes, MH_MAGIC_V2);
     let k = c.read_u32()? as usize;
     let m = c.read_u32()? as usize;
     // Validate the declared size against the actual payload *before*
@@ -219,19 +245,22 @@ pub fn read_signatures(path: &Path) -> Result<SignatureMatrix> {
     Ok(SignatureMatrix::from_values(k, m, values))
 }
 
+/// Encodes [`BottomKSignatures`] as a checksummed v2 `.sfkm` byte image —
+/// the exact bytes [`write_bottom_k`] puts on disk.
+#[must_use]
+pub fn encode_bottom_k(sigs: &BottomKSignatures) -> Vec<u8> {
+    let mut body = Vec::new();
+    write_bottom_k_body(&mut body, sigs).expect("writing to a Vec cannot fail");
+    seal_v2(KMH_MAGIC_V2, &body)
+}
+
 /// Writes [`BottomKSignatures`] to `path` in the checksummed v2 format.
 ///
 /// # Errors
 ///
 /// Propagates IO errors.
 pub fn write_bottom_k(sigs: &BottomKSignatures, path: &Path) -> Result<()> {
-    let mut w = CrcWriter::new(BufWriter::new(File::create(path)?));
-    w.get_mut().write_all(&KMH_MAGIC_V2)?;
-    write_bottom_k_body(&mut w, sigs)?;
-    let crc = w.digest();
-    let inner = w.get_mut();
-    inner.write_all(&crc.to_le_bytes())?;
-    inner.flush()?;
+    std::fs::write(path, encode_bottom_k(sigs))?;
     Ok(())
 }
 
@@ -272,8 +301,18 @@ fn write_bottom_k_body(w: &mut impl Write, sigs: &BottomKSignatures) -> Result<(
 /// (signature longer than `k`, non-ascending values, size mismatches —
 /// every error carries the byte offset), or (v2) a checksum mismatch.
 pub fn read_bottom_k(path: &Path) -> Result<BottomKSignatures> {
-    let bytes = open_sketch(path, KMH_MAGIC, KMH_MAGIC_V2, "SFKM/SFK2")?;
-    let mut c = payload(&bytes, KMH_MAGIC_V2);
+    decode_bottom_k(&std::fs::read(path)?)
+}
+
+/// Decodes [`BottomKSignatures`] from a v1/v2 byte image, with the same
+/// validation as [`read_bottom_k`].
+///
+/// # Errors
+///
+/// As [`read_bottom_k`], minus the IO.
+pub fn decode_bottom_k(bytes: &[u8]) -> Result<BottomKSignatures> {
+    check_sketch(bytes, KMH_MAGIC, KMH_MAGIC_V2, "SFKM/SFK2")?;
+    let mut c = payload(bytes, KMH_MAGIC_V2);
     let k = c.read_u32()? as usize;
     let m = c.read_u32()? as usize;
     // Each column record is at least 8 bytes; bound the declared column
@@ -463,6 +502,23 @@ mod tests {
             Err(MatrixError::Parse { .. })
         ));
         std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn encode_matches_writer_bytes_and_round_trips() {
+        let m = matrix();
+        let mh = compute_signatures(&mut MemoryRowStream::new(&m), 8, 5).unwrap();
+        let kmh = compute_bottom_k(&mut MemoryRowStream::new(&m), 3, 5).unwrap();
+        let pm = tmp("enc.sfmh");
+        let pk = tmp("enc.sfkm");
+        write_signatures(&mh, &pm).unwrap();
+        write_bottom_k(&kmh, &pk).unwrap();
+        assert_eq!(encode_signatures(&mh), std::fs::read(&pm).unwrap());
+        assert_eq!(encode_bottom_k(&kmh), std::fs::read(&pk).unwrap());
+        assert_eq!(decode_signatures(&encode_signatures(&mh)).unwrap(), mh);
+        assert_eq!(decode_bottom_k(&encode_bottom_k(&kmh)).unwrap(), kmh);
+        std::fs::remove_file(&pm).ok();
+        std::fs::remove_file(&pk).ok();
     }
 
     #[test]

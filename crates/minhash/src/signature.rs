@@ -43,6 +43,26 @@ impl SignatureMatrix {
         Self { k, m, values }
     }
 
+    /// Builds a matrix from column-major values
+    /// (`values[j·k + l] = h_l(c_j)`) — the layout the streaming builder
+    /// keeps so a row's hash vector min-merges into each touched column
+    /// as one contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != k * m`.
+    #[must_use]
+    pub(crate) fn from_col_major(k: usize, m: usize, values: &[u64]) -> Self {
+        assert_eq!(values.len(), k * m, "values length must be k·m");
+        let mut out = vec![0u64; k * m];
+        for j in 0..m {
+            for (l, &v) in values[j * k..(j + 1) * k].iter().enumerate() {
+                out[l * m + j] = v;
+            }
+        }
+        Self { k, m, values: out }
+    }
+
     /// Number of hash functions `k`.
     #[must_use]
     pub const fn k(&self) -> usize {
@@ -60,12 +80,6 @@ impl SignatureMatrix {
     #[must_use]
     pub fn get(&self, l: usize, j: u32) -> u64 {
         self.values[l * self.m + j as usize]
-    }
-
-    /// Mutable access for builders.
-    #[inline]
-    pub(crate) fn get_mut(&mut self, l: usize, j: u32) -> &mut u64 {
-        &mut self.values[l * self.m + j as usize]
     }
 
     /// The `l`th signature row `(h_l(c_0), …, h_l(c_{m−1}))`.

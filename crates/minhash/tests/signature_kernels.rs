@@ -1,0 +1,120 @@
+//! Property-based equivalence of the phase-1 signature kernels.
+//!
+//! The scalar min-merge/sieve loops are the semantic floor; the SIMD
+//! arms (sign-flip AVX2 min, `vpminud` 32-bit-mode min, broadcast
+//! sieve) must produce exactly the same bytes on every input — including
+//! values straddling `2^63`, the `u64::MAX` empty-signature sentinel,
+//! and vector-width remainder tails. On top of the per-kernel checks,
+//! whole signature builds (MH, 32-bit MH, K-MH) over randomly shaped
+//! matrices are pinned byte-identical across the forced `scalar` and
+//! `simd` dispatch arms — the end-to-end guarantee `--kernel` documents.
+//!
+//! CI re-runs this suite under `SFA_KERNEL=scalar`, which cannot change
+//! any outcome here (the per-arm entry points bypass the dispatch cache,
+//! and the end-to-end test forces both arms itself) but pins the
+//! portable floor on hosts whose auto arm is SIMD.
+
+use proptest::prelude::*;
+
+use sfa_matrix::kernel::{force, simd_arm, KernelChoice};
+use sfa_matrix::{MemoryRowStream, RowMajorMatrix};
+use sfa_minhash::kernel::{
+    min_merge_u64_lo32_simd, min_merge_u64_scalar, min_merge_u64_simd, sieve_le_scalar,
+    sieve_le_simd,
+};
+use sfa_minhash::mh::compute_signatures_32;
+use sfa_minhash::{compute_bottom_k, compute_signatures};
+
+/// Serializes the tests that mutate the process-wide dispatch arm so a
+/// forced `scalar` in one test cannot leak into another's `simd` build.
+static FORCE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Paired words so `dst` and `src` always have equal lengths, spanning
+/// the widths where the vector loop, its tail, and the empty case live.
+fn word_pairs(max_len: usize) -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((any::<u64>(), any::<u64>()), 0..=max_len)
+}
+
+/// Values shaped like 32-bit signature mode: zero-extended `u32` hashes
+/// or the `u64::MAX` empty sentinel — the precondition `vpminud` needs.
+fn lo32_shape(w: u64) -> u64 {
+    if w.is_multiple_of(7) {
+        u64::MAX
+    } else {
+        w & 0xFFFF_FFFF
+    }
+}
+
+/// A small 0/1 matrix as sorted row sets over `n_cols` columns, mixing
+/// empty, sparse, and dense rows (density rides on the per-row bound).
+fn shaped_matrix(n_cols: u32, max_rows: usize) -> impl Strategy<Value = Vec<Vec<u32>>> {
+    prop::collection::vec(
+        prop::collection::btree_set(0..n_cols, 0..=n_cols as usize)
+            .prop_map(|s| s.into_iter().collect::<Vec<u32>>()),
+        0..=max_rows,
+    )
+}
+
+proptest! {
+    #[test]
+    fn min_merge_simd_matches_scalar(pairs in word_pairs(300)) {
+        let src: Vec<u64> = pairs.iter().map(|&(_, s)| s).collect();
+        let mut scalar: Vec<u64> = pairs.iter().map(|&(d, _)| d).collect();
+        let mut simd = scalar.clone();
+        min_merge_u64_scalar(&mut scalar, &src);
+        if min_merge_u64_simd(&mut simd, &src) {
+            prop_assert_eq!(simd, scalar, "SIMD min-merge diverged");
+        }
+    }
+
+    #[test]
+    fn lo32_min_merge_simd_matches_scalar(pairs in word_pairs(300)) {
+        let src: Vec<u64> = pairs.iter().map(|&(_, s)| lo32_shape(s)).collect();
+        let mut scalar: Vec<u64> = pairs.iter().map(|&(d, _)| lo32_shape(d)).collect();
+        let mut simd = scalar.clone();
+        min_merge_u64_scalar(&mut scalar, &src);
+        if min_merge_u64_lo32_simd(&mut simd, &src) {
+            prop_assert_eq!(simd, scalar, "lo32 SIMD min-merge diverged");
+        }
+    }
+
+    #[test]
+    fn sieve_simd_matches_scalar(
+        h in any::<u64>(),
+        thresholds in prop::collection::vec(any::<u64>(), 0..=300),
+    ) {
+        let mut want = Vec::new();
+        sieve_le_scalar(h, &thresholds, &mut want);
+        let mut got = Vec::new();
+        if sieve_le_simd(h, &thresholds, &mut got) {
+            prop_assert_eq!(got, want, "SIMD sieve diverged");
+        }
+    }
+
+    #[test]
+    fn signature_builds_byte_identical_across_arms(
+        rows in shaped_matrix(24, 40),
+        k in 1usize..=12,
+        seed in 0u64..1_000,
+    ) {
+        if simd_arm().is_none() {
+            return; // scalar-only host: nothing to diff against
+        }
+        let matrix = RowMajorMatrix::from_rows(24, rows).expect("sorted in-range rows");
+        let _guard = FORCE_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        force(KernelChoice::Scalar).expect("scalar always available");
+        let mh_scalar = compute_signatures(&mut MemoryRowStream::new(&matrix), k, seed).unwrap();
+        let mh32_scalar =
+            compute_signatures_32(&mut MemoryRowStream::new(&matrix), k, seed).unwrap();
+        let kmh_scalar = compute_bottom_k(&mut MemoryRowStream::new(&matrix), k, seed).unwrap();
+        force(KernelChoice::Simd).expect("simd_arm() reported one");
+        let mh_simd = compute_signatures(&mut MemoryRowStream::new(&matrix), k, seed).unwrap();
+        let mh32_simd =
+            compute_signatures_32(&mut MemoryRowStream::new(&matrix), k, seed).unwrap();
+        let kmh_simd = compute_bottom_k(&mut MemoryRowStream::new(&matrix), k, seed).unwrap();
+        force(KernelChoice::Auto).expect("auto always available");
+        prop_assert_eq!(mh_simd, mh_scalar, "MH signatures diverged across arms");
+        prop_assert_eq!(mh32_simd, mh32_scalar, "32-bit MH signatures diverged across arms");
+        prop_assert_eq!(kmh_simd, kmh_scalar, "K-MH sketches diverged across arms");
+    }
+}

@@ -39,6 +39,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use sfa_core::shutdown::CancelToken;
+use sfa_core::streaming::StreamingMiner;
 use sfa_core::ServingMetrics;
 use sfa_matrix::{Result, RowMajorMatrix};
 use sfa_par::ThreadPool;
@@ -112,8 +113,12 @@ pub struct Server {
     store: SnapshotStore,
     stats: ServerStats,
     base: Vec<Vec<u32>>,
-    n_cols: u32,
     ingest: Mutex<IngestState>,
+    /// The live sketch across epochs: rebuilds fold only newly ingested
+    /// rows into it (`O(Δ·k)`) instead of re-sketching the full table.
+    /// Only the rebuild loop mutates it; the mutex is for interior
+    /// mutability behind `&self`.
+    miner: Mutex<StreamingMiner>,
     wal: Option<IngestLog>,
     inflight: AtomicU64,
 }
@@ -171,15 +176,8 @@ impl Server {
         let base_rows: Vec<Vec<u32>> = base.rows().map(|(_, cols)| cols.to_vec()).collect();
         let mut all = base_rows.clone();
         all.extend(replayed.iter().cloned());
-        let snapshot = Snapshot::build(
-            1,
-            n_cols,
-            &all,
-            config.k,
-            config.seed,
-            config.s_star,
-            config.delta,
-        )?;
+        let miner = StreamingMiner::from_rows(n_cols, config.k, config.seed, &all);
+        let snapshot = Snapshot::build_from_miner(1, &miner, config.s_star, config.delta)?;
         let listener = TcpListener::bind(&config.addr)?;
         let persisted = replayed.len();
         Ok(Self {
@@ -188,11 +186,11 @@ impl Server {
             store: SnapshotStore::new(snapshot),
             stats: ServerStats::default(),
             base: base_rows,
-            n_cols,
             ingest: Mutex::new(IngestState {
                 rows: replayed,
                 persisted,
             }),
+            miner: Mutex::new(miner),
             wal,
             inflight: AtomicU64::new(0),
         })
@@ -313,10 +311,19 @@ impl Server {
         let _ = stream.write_all(b"OVERLOADED\n");
     }
 
-    /// Off-hot-path snapshot rebuilds: persist new ingests, rebuild,
-    /// swap. Runs until told to stop; failures are logged and retried on
-    /// the next tick (the in-memory state is never lost by a failed
-    /// flush — the drain epilogue retries once more).
+    /// Off-hot-path snapshot rebuilds: persist new ingests, fold them
+    /// into the live sketch, rebuild, swap. Runs until told to stop;
+    /// failures are logged and retried on the next tick (the in-memory
+    /// state is never lost by a failed flush — the drain epilogue
+    /// retries once more).
+    ///
+    /// The rebuild is *incremental*: only rows not yet in the live
+    /// [`StreamingMiner`] are pushed (`O(Δ·k)` sketch work for a
+    /// Δ-row ingest), and because the bottom-k fold is order-insensitive
+    /// the swapped-in epoch is byte-identical to a cold build over the
+    /// full row set. Already-folded rows stay folded across a failed
+    /// flush or build — the fold is idempotent per row, keyed on the
+    /// miner's own row count.
     fn rebuild_loop(&self, stop: &AtomicBool) {
         let mut built_rows = {
             let st = lock_ingest(&self.ingest);
@@ -342,20 +349,20 @@ impl Server {
                 let mut st = lock_ingest(&self.ingest);
                 st.persisted = st.persisted.max(ingested.len());
             }
-            let mut all = self.base.clone();
-            all.extend(ingested.iter().cloned());
             epoch += 1;
-            match Snapshot::build(
-                epoch,
-                self.n_cols,
-                &all,
-                self.config.k,
-                self.config.seed,
-                self.config.s_star,
-                self.config.delta,
-            ) {
+            let built = {
+                // Only the rebuild loop takes this lock after startup,
+                // so holding it across the build contends with no one.
+                let mut miner = lock_miner(&self.miner);
+                let folded = miner.n_rows() as usize - self.base.len();
+                for row in &ingested[folded..] {
+                    miner.push_row(row);
+                }
+                Snapshot::build_from_miner(epoch, &miner, self.config.s_star, self.config.delta)
+            };
+            match built {
                 Ok(snapshot) => {
-                    built_rows = all.len();
+                    built_rows = self.base.len() + ingested.len();
                     self.store.swap(snapshot);
                     self.stats.swapped();
                 }
@@ -366,6 +373,10 @@ impl Server {
 }
 
 fn lock_ingest(m: &Mutex<IngestState>) -> std::sync::MutexGuard<'_, IngestState> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn lock_miner(m: &Mutex<StreamingMiner>) -> std::sync::MutexGuard<'_, StreamingMiner> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 

@@ -3,11 +3,14 @@
 //! A [`Snapshot`] holds everything a query needs — the verified pairs, a
 //! per-column adjacency sorted by similarity for `TOPK`, and the exact
 //! column sets for `SIM` — built once, then shared read-only across every
-//! worker. Ingested rows accumulate off the hot path; a rebuild produces
-//! the next snapshot from scratch and [`SnapshotStore::swap`]s it in
-//! behind an `Arc`, so readers never block on a writer: they clone the
-//! current `Arc` under a momentary read lock and keep serving from the
-//! old epoch until they next look.
+//! worker. Ingested rows accumulate off the hot path; a rebuild folds
+//! only the new rows into the live [`StreamingMiner`]'s sketch (min-hash
+//! sketches merge row-by-row, so the incremental fold is byte-identical
+//! to a cold build over the full row set), produces the next snapshot
+//! via [`Snapshot::build_from_miner`], and [`SnapshotStore::swap`]s it
+//! in behind an `Arc`, so readers never block on a writer: they clone
+//! the current `Arc` under a momentary read lock and keep serving from
+//! the old epoch until they next look.
 
 use std::sync::{Arc, RwLock};
 
@@ -39,13 +42,18 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
-    /// Builds an epoch from the full row set: mines verified pairs at
-    /// `s_star` via the streaming sketch (size `k`, seeded) and indexes
-    /// them for queries.
+    /// Builds an epoch from the full row set: cold-builds a streaming
+    /// sketch (size `k`, seeded) over `rows` and delegates to
+    /// [`build_from_miner`](Self::build_from_miner).
     ///
     /// # Errors
     ///
-    /// Propagates matrix-construction errors (malformed rows).
+    /// Propagates matrix-construction errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row is not strictly ascending or references a column
+    /// `>= n_cols` (see [`StreamingMiner::push_row`]).
     pub fn build(
         epoch: u64,
         n_cols: u32,
@@ -56,8 +64,32 @@ impl Snapshot {
         delta: f64,
     ) -> Result<Self> {
         let miner = StreamingMiner::from_rows(n_cols, k, seed, rows);
+        Self::build_from_miner(epoch, &miner, s_star, delta)
+    }
+
+    /// Builds an epoch from a live miner's current state: mines verified
+    /// pairs at `s_star` from its sketch and indexes them for queries.
+    ///
+    /// This is the incremental-rebuild entry point: a server that keeps
+    /// one `StreamingMiner` alive folds only newly ingested rows into
+    /// it (`O(Δ·k)` sketch work) instead of re-sketching the whole
+    /// table, and because the sketch fold is order-insensitive the
+    /// resulting snapshot is byte-identical to a cold
+    /// [`build`](Self::build) over the same rows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates matrix-construction errors (practically infallible:
+    /// the miner validated every row on `push_row`).
+    pub fn build_from_miner(
+        epoch: u64,
+        miner: &StreamingMiner,
+        s_star: f64,
+        delta: f64,
+    ) -> Result<Self> {
+        let n_cols = miner.n_cols();
         let pairs = miner.mine(s_star, delta)?;
-        let matrix = RowMajorMatrix::from_rows(n_cols, rows.to_vec())?;
+        let matrix = RowMajorMatrix::from_rows(n_cols, miner.rows().to_vec())?;
         let columns = HybridColumns::from_csc(&matrix.transpose());
         let mut partners: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n_cols as usize];
         // `pairs` is already sorted by descending similarity, so pushing
@@ -68,7 +100,7 @@ impl Snapshot {
         }
         Ok(Self {
             epoch,
-            n_rows: rows.len() as u32,
+            n_rows: miner.n_rows(),
             n_cols,
             pairs,
             partners,
@@ -205,6 +237,34 @@ mod tests {
         assert_eq!(s.pairs_at(0.0).len(), s.pairs.len());
         assert_eq!(s.pairs_at(0.9).len(), 1);
         assert!(s.pairs_at(1.1).is_empty());
+    }
+
+    #[test]
+    fn incremental_build_matches_cold_build_at_every_split() {
+        // Fold base+ingest in two stages (cold prefix, pushed suffix) at
+        // every split point: the snapshot must be indistinguishable from
+        // a cold build over the full row set — same sketch, same pairs,
+        // same indexes.
+        let mut all = rows();
+        all.extend([vec![0, 2], vec![2], vec![1, 2], vec![0]]);
+        let cold = Snapshot::build(9, 3, &all, 32, 7, 0.4, 0.2).unwrap();
+        let cold_sketch = StreamingMiner::from_rows(3, 32, 7, &all).snapshot_sketch();
+        for split in 0..=all.len() {
+            let mut miner = StreamingMiner::from_rows(3, 32, 7, &all[..split]);
+            for row in &all[split..] {
+                miner.push_row(row);
+            }
+            assert_eq!(miner.snapshot_sketch(), cold_sketch, "split {split}");
+            let inc = Snapshot::build_from_miner(9, &miner, 0.4, 0.2).unwrap();
+            assert_eq!(inc.pairs, cold.pairs, "split {split}");
+            assert_eq!((inc.n_rows, inc.n_cols), (cold.n_rows, cold.n_cols));
+            for c in 0..3 {
+                assert_eq!(inc.top_k(c, 10), cold.top_k(c, 10), "split {split}");
+            }
+            for (a, b) in [(0, 1), (0, 2), (1, 2)] {
+                assert_eq!(inc.similarity(a, b), cold.similarity(a, b));
+            }
+        }
     }
 
     #[test]

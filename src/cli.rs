@@ -13,6 +13,7 @@
 //!          [--metrics-json out.json] [--max-retries N]
 //!          [--checkpoint-dir DIR] [--checkpoint-every N] [--threads N]
 //!          [--memory-budget BYTES] [--deadline-secs S]
+//!          [--signature-cache DIR]
 //! ```
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs after the
@@ -36,6 +37,10 @@
 //! a per-process temp directory otherwise), and the output is again
 //! byte-identical. It composes with `--checkpoint-dir`/`--max-retries`
 //! but not with the in-memory `--threads`.
+//! `--signature-cache DIR` persists phase-1 sketches (keyed on scheme
+//! kind, `k`, seed, and table shape) so repeated mines over the same
+//! table skip the signature pass; it composes with every execution mode
+//! and `metrics.phase1.cache_hit` records whether it fired.
 
 use std::path::{Path, PathBuf};
 
@@ -164,6 +169,7 @@ USAGE:
              [--metrics-json FILE] [--max-retries N]
              [--checkpoint-dir DIR] [--checkpoint-every N] [--threads N]
              [--memory-budget BYTES] [--deadline-secs S]
+             [--signature-cache DIR]
   sfa optimize --input FILE [--threshold S] [--max-fn N] [--max-fp N]
                [--sample F] [--seed N]
   sfa rules  --input FILE [--confidence C] [--k N] [--delta D] [--seed N]
@@ -183,6 +189,10 @@ Parallelism: --threads N runs the in-memory parallel pipeline (N workers;
 Memory: --memory-budget BYTES caps pair-space state, sharding candidate
 generation and spilling shards to disk; output is identical to an
 unbudgeted run. Composes with --checkpoint-dir, not with --threads.
+Caching: --signature-cache DIR reuses phase-1 sketches (MH/K-MH) across
+mines keyed on scheme kind, k, seed, and table shape; use one directory
+per dataset. Corrupt entries are quarantined and recomputed; metrics
+record the hit under metrics.phase1. H-LSH builds no sketch to cache.
 Shutdown: mine traps SIGINT/SIGTERM, and --deadline-secs S caps the run's
 wall clock; either cancels at the next safe point after flushing resumable
 state and exits 3 (rerun with the same --checkpoint-dir to resume).
@@ -490,9 +500,13 @@ fn mine_run<S: RowStream>(
     stream: &mut S,
     checkpoint: Option<&CheckpointSpec>,
     budget: Option<&MemoryBudget>,
+    sig_cache: Option<&str>,
     cancel: &CancelToken,
 ) -> Result<crate::core::MiningResult, CliError> {
-    let pipeline = Pipeline::new(config);
+    let mut pipeline = Pipeline::new(config);
+    if let Some(dir) = sig_cache {
+        pipeline = pipeline.with_signature_cache(dir);
+    }
     let resumable = checkpoint.is_some();
     match (budget, checkpoint) {
         (Some(b), ck) => pipeline.run_sharded_with(stream, b, ck, cancel),
@@ -580,6 +594,7 @@ fn cmd_mine(args: &Args) -> Result<String, CliError> {
                 .into(),
         ));
     }
+    let sig_cache = args.get("signature-cache");
     let scheme = scheme_from_args(args)?;
     let config = PipelineConfig::new(scheme, s_star, seed);
     let (_, mut stream) = open_input(args)?;
@@ -592,7 +607,11 @@ fn cmd_mine(args: &Args) -> Result<String, CliError> {
     }
     let result = if let Some(n) = threads {
         let matrix = materialize(&mut stream)?;
-        Pipeline::new(config).run_parallel(&matrix, n)
+        let mut pipeline = Pipeline::new(config);
+        if let Some(dir) = sig_cache {
+            pipeline = pipeline.with_signature_cache(dir);
+        }
+        pipeline.run_parallel(&matrix, n)
     } else if max_retries > 0 {
         let mut retrying = RetryingRowStream::new(stream, max_retries);
         let mut result = mine_run(
@@ -600,6 +619,7 @@ fn cmd_mine(args: &Args) -> Result<String, CliError> {
             &mut retrying,
             checkpoint.as_ref(),
             budget.as_ref(),
+            sig_cache,
             &cancel,
         )?;
         let stats = retrying.stats();
@@ -612,6 +632,7 @@ fn cmd_mine(args: &Args) -> Result<String, CliError> {
             &mut stream,
             checkpoint.as_ref(),
             budget.as_ref(),
+            sig_cache,
             &cancel,
         )?
     };
@@ -1009,6 +1030,68 @@ mod tests {
         assert!(!doc.metrics.candidate_stages.is_empty());
         std::fs::remove_file(&table).ok();
         std::fs::remove_file(&json_path).ok();
+    }
+
+    #[test]
+    fn mine_with_signature_cache_hits_on_second_run_with_identical_output() {
+        let table = tmp("mine_sigcache.sfab");
+        dispatch(&strs(&[
+            "gen",
+            "--kind",
+            "weblog",
+            "--out",
+            table.to_str().unwrap(),
+            "--scale",
+            "tiny",
+        ]))
+        .unwrap();
+        let cache = tmp("mine_sigcache_dir");
+        std::fs::remove_dir_all(&cache).ok();
+        let run = |json_path: &Path| {
+            dispatch(&strs(&[
+                "mine",
+                "--input",
+                table.to_str().unwrap(),
+                "--scheme",
+                "kmh",
+                "--threshold",
+                "0.8",
+                "--k",
+                "16",
+                "--signature-cache",
+                cache.to_str().unwrap(),
+                "--metrics-json",
+                json_path.to_str().unwrap(),
+            ]))
+            .unwrap()
+        };
+        let json1 = tmp("mine_sigcache1.json");
+        let json2 = tmp("mine_sigcache2.json");
+        let out1 = run(&json1);
+        let out2 = run(&json2);
+        // Identical mined pairs (the header embeds wall-clock timings and
+        // the trailer the metrics pathname, so compare the pair lines).
+        let pairs = |out: &str| {
+            out.lines()
+                .filter(|l| l.contains('\t'))
+                .map(str::to_owned)
+                .collect::<Vec<_>>()
+        };
+        assert!(!pairs(&out1).is_empty(), "no pairs mined");
+        assert_eq!(pairs(&out1), pairs(&out2), "cache hit changed the result");
+        let doc = |p: &Path| {
+            let text = std::fs::read_to_string(p).unwrap();
+            crate::json::from_str::<crate::core::MetricsDocument>(&text).unwrap()
+        };
+        let p1 = doc(&json1).metrics.phase1.expect("phase1 recorded");
+        let p2 = doc(&json2).metrics.phase1.expect("phase1 recorded");
+        assert!(!p1.cache_hit && p1.cache_stored, "first run populates");
+        assert!(p2.cache_hit && !p2.cache_stored, "second run hits");
+        assert!(!p1.dispatch_arm.is_empty());
+        std::fs::remove_file(&table).ok();
+        std::fs::remove_file(&json1).ok();
+        std::fs::remove_file(&json2).ok();
+        std::fs::remove_dir_all(&cache).ok();
     }
 
     #[test]
